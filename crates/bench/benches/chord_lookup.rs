@@ -1,0 +1,70 @@
+//! E10 criterion bench: Chord routed-lookup cost vs ring size (§IV-C
+//! client-side distributor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fragcloud_dht::ChordRing;
+
+fn ring(n: usize) -> ChordRing {
+    let mut r = ChordRing::new(4);
+    for i in 0..n {
+        r.join(&format!("provider-{i}"));
+    }
+    r
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    for &n in &[8usize, 32, 128, 512] {
+        let r = ring(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            let mut serial = 0u32;
+            b.iter(|| {
+                serial = serial.wrapping_add(1);
+                r.lookup("provider-0", "bench.bin", serial)
+                    .expect("member lookup")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_owner(c: &mut Criterion) {
+    // Direct successor query (the client-side fast path: no routing).
+    let mut group = c.benchmark_group("chord_owner");
+    for &n in &[8usize, 128, 512] {
+        let r = ring(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &r, |b, r| {
+            let mut serial = 0u32;
+            b.iter(|| {
+                serial = serial.wrapping_add(1);
+                r.owner("bench.bin", serial).cloned()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_churn");
+    group.bench_function("join_leave_64", |b| {
+        b.iter(|| {
+            let mut r = ring(64);
+            r.join("provider-new");
+            r.leave("provider-new");
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable;
+    // raise for publication-grade numbers.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_lookup, bench_owner, bench_churn
+}
+criterion_main!(benches);

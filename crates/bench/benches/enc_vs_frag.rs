@@ -1,0 +1,94 @@
+//! E11 criterion bench: client-side compute cost of the three §VII-E
+//! privacy mechanisms for the same analytical query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fragcloud_crypto::{ByteRange, ChaCha20};
+use fragcloud_mining::regression::RegressionModel;
+use fragcloud_workloads::bidding::{self, BiddingConfig, PREDICTORS, RESPONSE};
+use fragcloud_workloads::records;
+
+fn corpus(rows: usize) -> Vec<u8> {
+    records::encode(&bidding::generate(BiddingConfig {
+        rows,
+        seed: rows as u64,
+        ..Default::default()
+    }))
+}
+
+fn query(bytes: &[u8]) -> f64 {
+    let data = records::decode(bytes).expect("well-formed corpus");
+    RegressionModel::fit(&data, &PREDICTORS, RESPONSE)
+        .expect("enough rows")
+        .fit
+        .r_squared
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let cipher = ChaCha20::new(&[0x42; 32], &[0x24; 12]);
+    let mut group = c.benchmark_group("enc_vs_frag_client_compute");
+    group.sample_size(20);
+    for &rows in &[1_000usize, 10_000] {
+        let plain = corpus(rows);
+        group.throughput(Throughput::Bytes(plain.len() as u64));
+
+        // Whole-file encryption: decrypt + parse + fit.
+        let ciphertext = cipher.encrypt(&plain);
+        group.bench_with_input(
+            BenchmarkId::new("full_decrypt_query", rows),
+            &ciphertext,
+            |b, ct| {
+                b.iter(|| {
+                    let pt = cipher.decrypt(ct);
+                    query(&pt)
+                })
+            },
+        );
+
+        // Plain fragmentation: parse + fit only.
+        group.bench_with_input(BenchmarkId::new("plaintext_query", rows), &plain, |b, pt| {
+            b.iter(|| query(pt))
+        });
+
+        // Partial encryption: decrypt a quarter, then parse + fit.
+        let range = ByteRange::new(plain.len() - plain.len() / 4, plain.len());
+        let mut partial = plain.clone();
+        fragcloud_crypto::encrypt_ranges(&cipher, &mut partial, &[range]);
+        group.bench_with_input(
+            BenchmarkId::new("partial_decrypt_query", rows),
+            &partial,
+            |b, ct| {
+                b.iter(|| {
+                    let mut pt = ct.clone();
+                    fragcloud_crypto::decrypt_ranges(&cipher, &mut pt, &[range]);
+                    query(&pt)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chacha_throughput(c: &mut Criterion) {
+    let cipher = ChaCha20::new(&[7; 32], &[3; 12]);
+    let mut group = c.benchmark_group("chacha20_throughput");
+    for &size in &[4 << 10, 1 << 20] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| cipher.encrypt(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable;
+    // raise for publication-grade numbers.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_mechanisms, bench_chacha_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Attacker-toolkit bench: the cost of each mining algorithm on full vs
+//! fragmented data — the computational side of the paper's claim that
+//! "mining data from distributed sources is challenging".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fragcloud_mining::apriori;
+use fragcloud_mining::dataset::{correlation_distance, DistanceMatrix};
+use fragcloud_mining::hclust::{cluster, Linkage};
+use fragcloud_mining::kmeans::{kmeans, KMeansConfig};
+use fragcloud_mining::regression::RegressionModel;
+use fragcloud_workloads::bidding::{self, BiddingConfig, PREDICTORS, RESPONSE};
+use fragcloud_workloads::gps::{self, GpsConfig};
+use fragcloud_workloads::transactions::{self, TransactionConfig};
+
+fn bench_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols_fit");
+    for &rows in &[100usize, 1_000, 10_000] {
+        let data = bidding::generate(BiddingConfig {
+            rows,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, d| {
+            b.iter(|| RegressionModel::fit(d, &PREDICTORS, RESPONSE).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hclust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hclust_30users");
+    group.sample_size(20);
+    let corpus = gps::generate(GpsConfig {
+        users: 30,
+        observations_per_user: 3000,
+        ..Default::default()
+    });
+    for (label, obs) in [("full_3000obs", None), ("fragment_500obs", Some(500usize))] {
+        let feats = gps::user_features(&corpus, 12, obs);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &feats, |b, f| {
+            b.iter(|| {
+                let dm = DistanceMatrix::compute(f, correlation_distance)
+                    .expect("non-empty");
+                cluster(&dm, Linkage::Average).expect("clusters")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    let corpus = gps::generate(GpsConfig {
+        users: 30,
+        observations_per_user: 2000,
+        ..Default::default()
+    });
+    let feats = gps::user_features(&corpus, 12, None);
+    group.bench_function("k5_30users", |b| {
+        b.iter(|| {
+            kmeans(
+                &feats,
+                KMeansConfig {
+                    k: 5,
+                    ..Default::default()
+                },
+            )
+            .expect("fits")
+        })
+    });
+    group.finish();
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori");
+    group.sample_size(20);
+    for &count in &[500usize, 2_000] {
+        let txs = transactions::generate(&TransactionConfig {
+            count,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(count), &txs, |b, t| {
+            b.iter(|| apriori::mine_rules(t, 0.1, 0.7).expect("mines"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable;
+    // raise for publication-grade numbers.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_regression,
+    bench_hclust,
+    bench_kmeans,
+    bench_apriori
+}
+criterion_main!(benches);

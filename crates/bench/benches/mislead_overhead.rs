@@ -1,0 +1,44 @@
+//! E7 criterion bench: misleading-byte injection/strip throughput — the
+//! "overhead associated with retrieving data" of §VII-D.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fragcloud_core::mislead;
+
+fn bench_inject(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mislead_inject");
+    let data = vec![0x5Au8; 1 << 20];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for &rate in &[0.01, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &data, |b, d| {
+            b.iter(|| mislead::inject(d, rate, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mislead_strip");
+    let data = vec![0x5Au8; 1 << 20];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for &rate in &[0.01, 0.05, 0.2] {
+        let (stored, positions) = mislead::inject(&data, rate, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rate),
+            &(stored, positions),
+            |b, (stored, positions)| b.iter(|| mislead::strip(stored, positions)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full-workspace bench run tractable;
+    // raise for publication-grade numbers.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_inject, bench_strip
+}
+criterion_main!(benches);

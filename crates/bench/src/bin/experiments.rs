@@ -1,0 +1,77 @@
+//! CLI that regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <name>      run one experiment
+//! experiments all         run everything (the EXPERIMENTS.md input)
+//! experiments list        list experiment names
+//! ```
+
+use fragcloud_bench::experiments as exp;
+
+const NAMES: &[(&str, &str)] = &[
+    ("fig3", "E1: Tables I-III + Fig. 3 walkthrough"),
+    ("table4", "E2: Table IV regression attack, full vs fragments"),
+    ("fig456", "E3: Figs. 4-6 GPS clustering dendrograms"),
+    ("disttime", "E4: distribution/retrieval time sweep"),
+    ("chunksize", "E6: chunk size vs mining success"),
+    ("mislead", "E7: misleading-data rate sweep"),
+    ("policy", "E8: privacy-level placement audit"),
+    ("availability", "E9: availability under outages"),
+    ("dht", "E10: Chord client-side distributor"),
+    ("encvsfrag", "E11: encryption vs fragmentation"),
+    ("attacker", "E12: k-of-n provider compromise"),
+    ("classify", "E13: prediction attacks vs fragment fraction"),
+    ("cost", "E14: storage-cost comparison"),
+    ("ablation", "E15: redundancy ablation"),
+    ("rules", "E16: Apriori rule recall vs k compromised providers"),
+    ("segmentation", "E17: customer-segmentation attack vs fragment fraction"),
+];
+
+fn run_one(name: &str) -> Option<String> {
+    Some(match name {
+        "fig3" => exp::fig3::run().1,
+        "table4" => exp::table4::run().1,
+        "fig456" => exp::fig456::run().1,
+        "disttime" => exp::disttime::run().1,
+        "chunksize" => exp::chunksize::run().1,
+        "mislead" => exp::mislead::run().1,
+        "policy" => exp::policy::run().1,
+        "availability" => exp::availability::run().1,
+        "dht" => exp::dht::run().1,
+        "encvsfrag" => exp::encvsfrag::run().1,
+        "attacker" => exp::attacker::run().1,
+        "classify" => exp::classify::run().1,
+        "cost" => exp::cost::run().1,
+        "ablation" => exp::ablation::run().1,
+        "rules" => exp::rules::run().1,
+        "segmentation" => exp::segmentation::run().1,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for (name, desc) in NAMES {
+                println!("  {name:<14} {desc}");
+            }
+            println!("  all            run every experiment");
+        }
+        "all" => {
+            for (name, _) in NAMES {
+                let report = run_one(name).expect("known name");
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+            }
+        }
+        name => match run_one(name) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment {name:?}; try `experiments list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

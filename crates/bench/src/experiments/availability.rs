@@ -1,0 +1,115 @@
+//! E9 — §III-B / RACS: "the distributed approach … ensures the greater
+//! availability of data."
+//!
+//! Monte-Carlo provider outages (plus the analytic k-of-n closed form):
+//! single-provider storage vs RAID-5 and RAID-6 stripes across providers.
+
+use crate::{fnum, render_table};
+use fragcloud_sim::failure::{estimate_availability, k_of_n_availability, AvailabilityModel};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct AvailabilityPoint {
+    /// Per-provider availability probability.
+    pub p: f64,
+    /// Single-provider file availability (Monte Carlo).
+    pub single: f64,
+    /// RAID-5 stripe (4+1 over 5 providers) availability.
+    pub raid5: f64,
+    /// RAID-6 stripe (4+2 over 6 providers) availability.
+    pub raid6: f64,
+    /// Analytic values for the same geometries.
+    pub analytic: (f64, f64, f64),
+}
+
+/// Runs the availability comparison.
+pub fn run() -> (Vec<AvailabilityPoint>, String) {
+    let ps = [0.90, 0.95, 0.99, 0.999];
+    const TRIALS: usize = 100_000;
+    let mut points = Vec::new();
+    for (i, &p) in ps.iter().enumerate() {
+        let seed = 0xA11 + i as u64;
+        let single = estimate_availability(
+            &AvailabilityModel::uniform(1, p),
+            TRIALS,
+            seed,
+            |up| up[0],
+        )
+        .availability;
+        let raid5 = estimate_availability(
+            &AvailabilityModel::uniform(5, p),
+            TRIALS,
+            seed,
+            |up| up.iter().filter(|&&u| u).count() >= 4,
+        )
+        .availability;
+        let raid6 = estimate_availability(
+            &AvailabilityModel::uniform(6, p),
+            TRIALS,
+            seed,
+            |up| up.iter().filter(|&&u| u).count() >= 4,
+        )
+        .availability;
+        points.push(AvailabilityPoint {
+            p,
+            single,
+            raid5,
+            raid6,
+            analytic: (
+                p,
+                k_of_n_availability(4, 5, p),
+                k_of_n_availability(4, 6, p),
+            ),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                format!("{:.3}", pt.p),
+                fnum(pt.single),
+                fnum(pt.raid5),
+                fnum(pt.raid6),
+                format!(
+                    "{} / {} / {}",
+                    fnum(pt.analytic.0),
+                    fnum(pt.analytic.1),
+                    fnum(pt.analytic.2)
+                ),
+            ]
+        })
+        .collect();
+    let mut report = String::from(
+        "E9 / §III-B — availability under provider outages (100k Monte-Carlo trials)\n\
+         geometries: single provider | RAID-5 4+1 | RAID-6 4+2\n\n",
+    );
+    report.push_str(&render_table(
+        &["prov avail", "single", "raid5(4+1)", "raid6(4+2)", "analytic s/r5/r6"],
+        &rows,
+    ));
+    report.push_str(
+        "\nconclusion: striping with parity across providers beats the single-\n\
+         provider baseline at every realistic provider availability, and RAID-6\n\
+         dominates RAID-5 — the paper's greater-availability claim, quantified.\n",
+    );
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_beats_single_provider() {
+        let (points, _) = run();
+        for pt in &points {
+            assert!(pt.raid5 >= pt.single, "{pt:?}");
+            assert!(pt.raid6 >= pt.raid5, "{pt:?}");
+            // Monte Carlo within 1% of analytic.
+            assert!((pt.single - pt.analytic.0).abs() < 0.01, "{pt:?}");
+            assert!((pt.raid5 - pt.analytic.1).abs() < 0.01, "{pt:?}");
+            assert!((pt.raid6 - pt.analytic.2).abs() < 0.01, "{pt:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! E6 — §VII-C: reducing chunk size restricts mining.
+//!
+//! "Mining is strongly associated with large data sets … splitting data
+//! into smaller chunks restricts mining to a great extent. Smaller chunks
+//! contain insufficient data. So analyzing such chunks leads to mining
+//! failure."
+//!
+//! We encode a bidding history to bytes, split it at swept chunk sizes and
+//! let the per-chunk attacker scavenge rows and fit the Table IV
+//! regression. Shrinking chunks should drive the attack from "succeeds
+//! with accurate coefficients" to "fails outright".
+
+use crate::{fnum, render_table};
+use fragcloud_core::chunker;
+use fragcloud_core::config::ChunkSizeSchedule;
+use fragcloud_mining::regression::RegressionModel;
+use fragcloud_mining::Dataset;
+use fragcloud_sim::PrivacyLevel;
+use fragcloud_workloads::bidding::{self, BiddingConfig, COLUMNS, PREDICTORS, RESPONSE};
+use fragcloud_workloads::records;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct ChunkSizePoint {
+    /// Chunk size in bytes.
+    pub chunk_size: usize,
+    /// Chunks produced.
+    pub chunks: usize,
+    /// Mean scavenged rows per chunk.
+    pub mean_rows: f64,
+    /// Fraction of chunks on which the regression fit even succeeds.
+    pub fit_success: f64,
+    /// Mean relative slope error of the successful fits vs ground truth.
+    pub mean_slope_err: f64,
+}
+
+/// Ground-truth generator configuration shared by the sweep.
+fn workload() -> (Dataset, [f64; 3]) {
+    let cfg = BiddingConfig {
+        rows: 400,
+        noise_std: 60.0,
+        ..Default::default()
+    };
+    (bidding::generate(cfg), cfg.slopes)
+}
+
+fn dataset_from_rows(rows: Vec<Vec<f64>>) -> Dataset {
+    Dataset::from_rows(COLUMNS.iter().map(|s| s.to_string()).collect(), rows)
+        .expect("scavenged rows share Table IV width")
+}
+
+/// Runs the chunk-size sweep.
+pub fn run() -> (Vec<ChunkSizePoint>, String) {
+    let (data, true_slopes) = workload();
+    let bytes = records::encode(&data);
+    let sizes = [16 << 10, 4 << 10, 1 << 10, 512, 256, 128];
+    let mut points = Vec::new();
+
+    for &size in &sizes {
+        let chunks = chunker::split(
+            &bytes,
+            PrivacyLevel::Public,
+            &ChunkSizeSchedule::uniform(size),
+        );
+        let mut rows_total = 0usize;
+        let mut successes = 0usize;
+        let mut slope_errs = Vec::new();
+        for chunk in &chunks {
+            let rows = records::scavenge_rows(chunk, COLUMNS.len());
+            rows_total += rows.len();
+            if rows.is_empty() {
+                continue;
+            }
+            let ds = dataset_from_rows(rows);
+            if let Ok(m) = RegressionModel::fit(&ds, &PREDICTORS, RESPONSE) {
+                successes += 1;
+                let err = m
+                    .slopes()
+                    .iter()
+                    .zip(true_slopes)
+                    .map(|(got, want)| (got - want).abs() / want.abs())
+                    .sum::<f64>()
+                    / 3.0;
+                slope_errs.push(err);
+            }
+        }
+        points.push(ChunkSizePoint {
+            chunk_size: size,
+            chunks: chunks.len(),
+            mean_rows: rows_total as f64 / chunks.len() as f64,
+            fit_success: successes as f64 / chunks.len() as f64,
+            mean_slope_err: if slope_errs.is_empty() {
+                f64::NAN
+            } else {
+                slope_errs.iter().sum::<f64>() / slope_errs.len() as f64
+            },
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.chunk_size.to_string(),
+                p.chunks.to_string(),
+                fnum(p.mean_rows),
+                fnum(p.fit_success),
+                if p.mean_slope_err.is_nan() {
+                    "n/a (no fits)".to_string()
+                } else {
+                    fnum(p.mean_slope_err)
+                },
+            ]
+        })
+        .collect();
+    let mut report = String::from(
+        "E6 / §VII-C — chunk size vs per-chunk regression attack\n\
+         (400-row bidding history, truth Bid = 1.4*M + 1.5*P + 3.1*Mn + 5436 + noise)\n\n",
+    );
+    report.push_str(&render_table(
+        &["chunk bytes", "chunks", "rows/chunk", "fit success", "slope rel err"],
+        &rows,
+    ));
+    report.push_str(
+        "\nconclusion: below ~a few hundred bytes a chunk no longer carries enough\n\
+         rows to fit the model — mining fails exactly as §VII-C argues; larger\n\
+         chunks let the per-chunk attacker recover the true model.\n",
+    );
+    (points, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_chunks_degrade_the_attack() {
+        let (points, report) = run();
+        let first = points.first().expect("sweep non-empty"); // 16 KiB
+        let last = points.last().expect("sweep non-empty"); // 128 B
+        // Large chunks: attack works on nearly every chunk.
+        assert!(first.fit_success > 0.9, "{first:?}");
+        assert!(first.mean_slope_err < 0.3, "{first:?}");
+        // Tiny chunks: attack fails everywhere.
+        assert!(last.fit_success < 0.05, "{last:?}");
+        // Monotone-ish: success never increases as chunks shrink.
+        for w in points.windows(2) {
+            assert!(
+                w[1].fit_success <= w[0].fit_success + 0.05,
+                "{:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(report.contains("chunk bytes"));
+    }
+}

@@ -1,0 +1,141 @@
+//! E2 — Table IV / §VII-A: the multivariate-regression attack and how
+//! fragmentation degrades it.
+//!
+//! Paper result: the malicious employee Hera fits
+//! `Bid ≈ 1.4·Materials + 1.5·Production + 3.1·Maintenance + 5436` on the
+//! full 12-row history; after splitting across 3 providers, the three
+//! 4-row fits are "all … misleading".
+
+use crate::{fnum, render_table};
+use fragcloud_metrics::coefficient_distance;
+use fragcloud_mining::regression::RegressionModel;
+use fragcloud_workloads::bidding::{self, PREDICTORS, RESPONSE};
+
+/// Result of the experiment, for programmatic checks.
+#[derive(Debug)]
+pub struct Table4Result {
+    /// Full-data model.
+    pub full: RegressionModel,
+    /// Fragment models (3 fragments of 4 rows).
+    pub fragments: Vec<RegressionModel>,
+    /// Mean absolute prediction error of each fragment model on the full
+    /// table.
+    pub fragment_errors: Vec<f64>,
+    /// Prediction error of the full model on the full table.
+    pub full_error: f64,
+}
+
+/// Runs the attack on the verbatim Table IV.
+pub fn run() -> (Table4Result, String) {
+    let data = bidding::hercules_table();
+    let full = RegressionModel::fit(&data, &PREDICTORS, RESPONSE)
+        .expect("12 rows fit 4 unknowns");
+    let full_error = full.mean_abs_error(&data).expect("same columns");
+
+    let frags = data.fragment(3);
+    let fragments: Vec<RegressionModel> = frags
+        .iter()
+        .map(|f| RegressionModel::fit(f, &PREDICTORS, RESPONSE).expect("4 rows fit 4 unknowns"))
+        .collect();
+    let fragment_errors: Vec<f64> = fragments
+        .iter()
+        .map(|m| m.mean_abs_error(&data).expect("same columns"))
+        .collect();
+
+    let mut report = String::from("E2 / Table IV — multivariate regression attack\n\n");
+    report.push_str(&format!(
+        "full data ({} rows): {}\n",
+        data.len(),
+        full.equation()
+    ));
+    report.push_str("paper reports:      (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n\n");
+
+    let mut rows = Vec::new();
+    let (paper_slopes, paper_icept) = bidding::PAPER_FULL_FIT;
+    rows.push(vec![
+        "full".to_string(),
+        full.equation(),
+        format!(
+            "({}*M + {}*P + {}*Mn) + {}",
+            paper_slopes[0], paper_slopes[1], paper_slopes[2], paper_icept
+        ),
+        fnum(full_error),
+    ]);
+    for (i, (m, err)) in fragments.iter().zip(&fragment_errors).enumerate() {
+        let (ps, pi) = bidding::PAPER_FRAGMENT_FITS[i];
+        rows.push(vec![
+            format!("fragment {}", i + 1),
+            m.equation(),
+            format!("({}*M + {}*P + {}*Mn) + {}", ps[0], ps[1], ps[2], pi),
+            fnum(*err),
+        ]);
+    }
+    report.push_str(&render_table(
+        &["model", "measured equation", "paper equation", "MAE on truth ($)"],
+        &rows,
+    ));
+
+    // Drift summary.
+    report.push('\n');
+    let mut drift_rows = Vec::new();
+    for (i, m) in fragments.iter().enumerate() {
+        let d = coefficient_distance(&full, m);
+        drift_rows.push(vec![
+            format!("fragment {}", i + 1),
+            fnum(d.euclidean),
+            fnum(d.mean_relative_slope_error),
+        ]);
+    }
+    report.push_str(&render_table(
+        &["model", "coef L2 drift", "mean rel. slope err"],
+        &drift_rows,
+    ));
+    report.push_str(
+        "\nconclusion: fragment models drift far from the true pricing model; \
+         the paper's qualitative claim (fragment equations are misleading) holds.\n",
+    );
+
+    (
+        Table4Result {
+            full,
+            fragments,
+            fragment_errors,
+            full_error,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let (res, report) = run();
+        // Full model matches the paper's printed coefficients.
+        for (got, want) in res.full.slopes().iter().zip(bidding::PAPER_FULL_FIT.0) {
+            assert!((got - want).abs() < 0.05);
+        }
+        // Every fragment model predicts the truth worse than the full model.
+        for err in &res.fragment_errors {
+            assert!(
+                *err > res.full_error,
+                "fragment err {err} vs full {}",
+                res.full_error
+            );
+        }
+        assert!(report.contains("Table IV"));
+        assert!(report.contains("fragment 3"));
+    }
+
+    #[test]
+    fn fragment_drift_is_substantial() {
+        let (res, _) = run();
+        for m in &res.fragments {
+            let d = coefficient_distance(&res.full, m);
+            // Intercepts differ by hundreds-to-thousands of dollars.
+            assert!(d.euclidean > 100.0, "drift {}", d.euclidean);
+        }
+    }
+}

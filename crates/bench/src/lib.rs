@@ -1,0 +1,81 @@
+//! Paper-experiment regeneration harness.
+//!
+//! One module per artifact of the paper's evaluation (see DESIGN.md §4 for
+//! the experiment index). Every module exposes a `run(...) -> String`
+//! returning a human-readable report; the `experiments` binary prints them
+//! and EXPERIMENTS.md records paper-vs-measured.
+
+pub mod experiments;
+
+/// Formats a float with fixed width for report tables.
+pub fn fnum(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), ncols, "table row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        padded.join("  ")
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(5436.2), "5436");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(1.5), "1.5000");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_panic() {
+        render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

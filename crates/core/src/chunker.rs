@@ -1,0 +1,116 @@
+//! Fragmentation: files → PL-sized chunks and back.
+//!
+//! §VI `chunks[] split(file)`: "The chunk size is fixed for a particular
+//! privilege level. The higher the privilege level, the lower the chunk
+//! size." Smaller chunks mean less minable data per exposure point
+//! (§VII-C).
+
+use crate::config::ChunkSizeSchedule;
+use fragcloud_sim::PrivacyLevel;
+
+/// Splits a file into chunks sized by the schedule for its privacy level.
+///
+/// The final chunk may be shorter; an empty file yields one empty chunk so
+/// that every file has at least one addressable serial.
+pub fn split(data: &[u8], pl: PrivacyLevel, schedule: &ChunkSizeSchedule) -> Vec<Vec<u8>> {
+    let size = schedule.size_for(pl);
+    if data.is_empty() {
+        return vec![Vec::new()];
+    }
+    data.chunks(size).map(|c| c.to_vec()).collect()
+}
+
+/// Reassembles chunks (in serial order) into the original file.
+pub fn join(chunks: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for c in chunks {
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Number of chunks `split` will produce for a file of `len` bytes.
+pub fn chunk_count(len: usize, pl: PrivacyLevel, schedule: &ChunkSizeSchedule) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(schedule.size_for(pl))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> ChunkSizeSchedule {
+        ChunkSizeSchedule {
+            sizes: [16, 8, 4, 2],
+        }
+    }
+
+    #[test]
+    fn split_exact_multiple() {
+        let data: Vec<u8> = (0..16).collect();
+        let chunks = split(&data, PrivacyLevel::Low, &sched());
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 8);
+        assert_eq!(chunks[1].len(), 8);
+    }
+
+    #[test]
+    fn split_with_remainder() {
+        let data: Vec<u8> = (0..10).collect();
+        let chunks = split(&data, PrivacyLevel::Moderate, &sched());
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn higher_pl_means_more_smaller_chunks() {
+        let data = vec![7u8; 64];
+        let s = sched();
+        let mut last = 0;
+        for pl in PrivacyLevel::ALL {
+            let n = split(&data, pl, &s).len();
+            assert!(n >= last, "chunk count must not decrease with PL");
+            last = n;
+        }
+        assert_eq!(split(&data, PrivacyLevel::Public, &s).len(), 4);
+        assert_eq!(split(&data, PrivacyLevel::High, &s).len(), 32);
+    }
+
+    #[test]
+    fn empty_file_single_empty_chunk() {
+        let chunks = split(&[], PrivacyLevel::Public, &sched());
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].is_empty());
+        assert_eq!(chunk_count(0, PrivacyLevel::Public, &sched()), 1);
+    }
+
+    #[test]
+    fn join_inverts_split() {
+        let s = sched();
+        for n in [0usize, 1, 2, 15, 16, 17, 100] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 7) as u8).collect();
+            for pl in PrivacyLevel::ALL {
+                assert_eq!(join(&split(&data, pl, &s)), data, "n={n} pl={pl}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_count_matches_split() {
+        let s = sched();
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let data = vec![0u8; n];
+            for pl in PrivacyLevel::ALL {
+                assert_eq!(
+                    chunk_count(n, pl, &s),
+                    split(&data, pl, &s).len(),
+                    "n={n} pl={pl}"
+                );
+            }
+        }
+    }
+}

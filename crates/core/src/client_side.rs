@@ -1,0 +1,333 @@
+//! The client-side distributor (§IV-C).
+//!
+//! "The Cloud Data Distributor can be implemented at client side by using
+//! CAN or CHORD like hash tables that will map each ⟨filename, chunk Sl⟩
+//! pair to a Cloud Provider. A downloadable list of Cloud Providers can be
+//! used to generate the Cloud Provider Table. Client will also have to
+//! maintain a Chunk Table for his chunks. This approach has some
+//! limitations: client will require some memory where the tables will
+//! reside."
+//!
+//! One [`ClientSideDistributor`] belongs to one client. Placement comes
+//! from per-privacy-level Chord rings (a provider appears on the PL-`p`
+//! ring iff its own PL ≥ `p`), so the eligibility rule of §IV-A holds with
+//! no central table. The client keeps only its own chunk table — the
+//! memory cost the paper warns about, which [`ClientSideDistributor::table_bytes_estimate`]
+//! reports.
+
+use crate::chunker;
+use crate::config::ChunkSizeSchedule;
+use crate::vid::VidAllocator;
+use crate::{CoreError, Result};
+use bytes::Bytes;
+use fragcloud_dht::ChordRing;
+use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, VirtualId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A client-local chunk record (the client's private Chunk Table row).
+#[derive(Debug, Clone)]
+struct LocalChunk {
+    vid: VirtualId,
+    provider: String,
+    len: usize,
+}
+
+/// Per-file metadata.
+#[derive(Debug, Clone)]
+struct LocalFile {
+    pl: PrivacyLevel,
+    chunks: Vec<LocalChunk>,
+    total_len: usize,
+}
+
+/// A distributor that lives entirely on the client.
+pub struct ClientSideDistributor {
+    providers: HashMap<String, Arc<CloudProvider>>,
+    /// One ring per privacy level; ring `p` holds providers with PL ≥ p.
+    rings: [ChordRing; 4],
+    files: HashMap<String, LocalFile>,
+    chunk_sizes: ChunkSizeSchedule,
+    vids: VidAllocator,
+}
+
+impl ClientSideDistributor {
+    /// Builds the client-side distributor from "a downloadable list of
+    /// Cloud Providers".
+    pub fn new(
+        provider_list: Vec<Arc<CloudProvider>>,
+        chunk_sizes: ChunkSizeSchedule,
+        seed: u64,
+    ) -> Self {
+        let mut rings: [ChordRing; 4] = [
+            ChordRing::new(4),
+            ChordRing::new(4),
+            ChordRing::new(4),
+            ChordRing::new(4),
+        ];
+        let mut providers = HashMap::new();
+        for p in provider_list {
+            let pl = p.profile().privacy_level;
+            for level in PrivacyLevel::ALL {
+                if pl >= level {
+                    rings[level.as_u8() as usize].join(p.name());
+                }
+            }
+            providers.insert(p.name().to_string(), p);
+        }
+        ClientSideDistributor {
+            providers,
+            rings,
+            files: HashMap::new(),
+            chunk_sizes,
+            vids: VidAllocator::new(seed),
+        }
+    }
+
+    /// Uploads a file; chunks are placed by Chord mapping of
+    /// ⟨filename, serial⟩ on the PL-appropriate ring.
+    pub fn put_file(&mut self, filename: &str, data: &[u8], pl: PrivacyLevel) -> Result<usize> {
+        if self.files.contains_key(filename) {
+            return Err(CoreError::FileExists(filename.to_string()));
+        }
+        let ring = &self.rings[pl.as_u8() as usize];
+        if ring.is_empty() {
+            return Err(CoreError::NoEligibleProvider { pl });
+        }
+        let chunks = chunker::split(data, pl, &self.chunk_sizes);
+        let mut local = Vec::with_capacity(chunks.len());
+        for (sl, chunk) in chunks.iter().enumerate() {
+            let owner = ring
+                .owner(filename, sl as u32)
+                .expect("non-empty ring has owners")
+                .clone();
+            let provider = &self.providers[&owner];
+            let vid = self.vids.allocate();
+            provider.put(vid, Bytes::from(chunk.clone()))?;
+            local.push(LocalChunk {
+                vid,
+                provider: owner,
+                len: chunk.len(),
+            });
+        }
+        let n = local.len();
+        self.files.insert(
+            filename.to_string(),
+            LocalFile {
+                pl,
+                chunks: local,
+                total_len: data.len(),
+            },
+        );
+        Ok(n)
+    }
+
+    /// Fetches one chunk.
+    pub fn get_chunk(&self, filename: &str, serial: u32) -> Result<Vec<u8>> {
+        let file = self.file(filename)?;
+        let chunk = file
+            .chunks
+            .get(serial as usize)
+            .ok_or_else(|| CoreError::UnknownChunk {
+                filename: filename.to_string(),
+                serial,
+            })?;
+        let bytes = self.providers[&chunk.provider].get(chunk.vid)?;
+        if bytes.len() != chunk.len {
+            // Provider returned a tampered/truncated object.
+            return Err(CoreError::Store(fragcloud_sim::StoreError::NotFound(
+                chunk.vid,
+            )));
+        }
+        Ok(bytes.to_vec())
+    }
+
+    /// Fetches and reassembles a file.
+    pub fn get_file(&self, filename: &str) -> Result<Vec<u8>> {
+        let file = self.file(filename)?;
+        let mut out = Vec::with_capacity(file.total_len);
+        for c in &file.chunks {
+            out.extend_from_slice(&self.providers[&c.provider].get(c.vid)?);
+        }
+        Ok(out)
+    }
+
+    /// Removes a file from the providers and the local table.
+    pub fn remove_file(&mut self, filename: &str) -> Result<()> {
+        let file = self.file(filename)?.clone();
+        for c in &file.chunks {
+            self.providers[&c.provider].delete(c.vid)?;
+        }
+        self.files.remove(filename);
+        Ok(())
+    }
+
+    /// Verifies that the Chord mapping still locates each stored chunk:
+    /// recomputes `owner(filename, sl)` and compares with the recorded
+    /// provider. True when the ring has not churned since upload.
+    pub fn mapping_consistent(&self, filename: &str) -> Result<bool> {
+        let file = self.file(filename)?;
+        let ring = &self.rings[file.pl.as_u8() as usize];
+        for (sl, c) in file.chunks.iter().enumerate() {
+            match ring.owner(filename, sl as u32) {
+                Some(owner) if *owner == c.provider => {}
+                _ => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Number of chunk-table entries the client must keep in memory.
+    pub fn table_entries(&self) -> usize {
+        self.files.values().map(|f| f.chunks.len()).sum()
+    }
+
+    /// Rough memory footprint of the client-side tables (the §IV-C
+    /// limitation): vid + provider-name pointer + length per chunk entry.
+    pub fn table_bytes_estimate(&self) -> usize {
+        let per_entry = std::mem::size_of::<LocalChunk>();
+        self.table_entries() * per_entry
+            + self
+                .files
+                .keys()
+                .map(|k| k.len() + std::mem::size_of::<LocalFile>())
+                .sum::<usize>()
+    }
+
+    fn file(&self, filename: &str) -> Result<&LocalFile> {
+        self.files
+            .get(filename)
+            .ok_or_else(|| CoreError::UnknownFile {
+                client: "<self>".to_string(),
+                filename: filename.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_sim::{CostLevel, ProviderProfile};
+
+    fn fleet() -> Vec<Arc<CloudProvider>> {
+        [
+            ("AWS", PrivacyLevel::High),
+            ("Google", PrivacyLevel::High),
+            ("Sky", PrivacyLevel::Moderate),
+            ("Sea", PrivacyLevel::Low),
+            ("Earth", PrivacyLevel::Low),
+        ]
+        .iter()
+        .map(|(n, pl)| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                *n,
+                *pl,
+                CostLevel::new(1),
+            )))
+        })
+        .collect()
+    }
+
+    fn dist() -> ClientSideDistributor {
+        ClientSideDistributor::new(fleet(), ChunkSizeSchedule::uniform(32), 7)
+    }
+
+    fn body(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 13) as u8).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let mut d = dist();
+        for (i, pl) in PrivacyLevel::ALL.into_iter().enumerate() {
+            let name = format!("f{i}");
+            let data = body(150);
+            let n = d.put_file(&name, &data, pl).unwrap();
+            assert_eq!(n, 5);
+            assert_eq!(d.get_file(&name).unwrap(), data);
+            assert_eq!(d.get_chunk(&name, 0).unwrap(), &data[..32]);
+        }
+    }
+
+    #[test]
+    fn eligibility_respected_without_central_table() {
+        let mut d = dist();
+        d.put_file("secret", &body(320), PrivacyLevel::High).unwrap();
+        // Only AWS/Google (PL High) may hold chunks.
+        let file = &d.files["secret"];
+        for c in &file.chunks {
+            assert!(
+                c.provider == "AWS" || c.provider == "Google",
+                "chunk on {}",
+                c.provider
+            );
+        }
+    }
+
+    #[test]
+    fn chunks_spread_across_eligible_providers() {
+        let mut d = dist();
+        d.put_file("pub", &body(32 * 40), PrivacyLevel::Public).unwrap();
+        let mut used = std::collections::HashSet::new();
+        for c in &d.files["pub"].chunks {
+            used.insert(c.provider.clone());
+        }
+        assert!(used.len() >= 3, "only {used:?}");
+    }
+
+    #[test]
+    fn mapping_consistency_check() {
+        let mut d = dist();
+        d.put_file("f", &body(100), PrivacyLevel::Low).unwrap();
+        assert!(d.mapping_consistent("f").unwrap());
+    }
+
+    #[test]
+    fn remove_file_cleans_providers() {
+        let mut d = dist();
+        d.put_file("f", &body(100), PrivacyLevel::Low).unwrap();
+        let stored: usize = d.providers.values().map(|p| p.chunk_count()).sum();
+        assert!(stored > 0);
+        d.remove_file("f").unwrap();
+        let stored: usize = d.providers.values().map(|p| p.chunk_count()).sum();
+        assert_eq!(stored, 0);
+        assert!(d.get_file("f").is_err());
+    }
+
+    #[test]
+    fn table_memory_accounting() {
+        let mut d = dist();
+        assert_eq!(d.table_entries(), 0);
+        d.put_file("f", &body(320), PrivacyLevel::Public).unwrap();
+        assert_eq!(d.table_entries(), 10);
+        assert!(d.table_bytes_estimate() > 0);
+    }
+
+    #[test]
+    fn errors() {
+        let mut d = dist();
+        d.put_file("f", &body(10), PrivacyLevel::Public).unwrap();
+        assert!(matches!(
+            d.put_file("f", &body(10), PrivacyLevel::Public),
+            Err(CoreError::FileExists(_))
+        ));
+        assert!(matches!(
+            d.get_chunk("f", 99),
+            Err(CoreError::UnknownChunk { .. })
+        ));
+        assert!(matches!(
+            d.get_file("missing"),
+            Err(CoreError::UnknownFile { .. })
+        ));
+        // No provider trusted for PL High when only low-trust ones exist.
+        let low_fleet: Vec<Arc<CloudProvider>> = vec![Arc::new(CloudProvider::new(
+            ProviderProfile::new("Sea", PrivacyLevel::Low, CostLevel::new(0)),
+        ))];
+        let mut d2 =
+            ClientSideDistributor::new(low_fleet, ChunkSizeSchedule::uniform(8), 1);
+        assert!(matches!(
+            d2.put_file("s", &body(8), PrivacyLevel::High),
+            Err(CoreError::NoEligibleProvider { .. })
+        ));
+    }
+}

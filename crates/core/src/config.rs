@@ -1,0 +1,160 @@
+//! Distributor configuration.
+
+use fragcloud_raid::RaidLevel;
+use fragcloud_sim::PrivacyLevel;
+
+/// Chunk-placement strategy among eligible providers.
+///
+/// The paper distributes chunks "in a random way" among eligible providers
+/// (§VI) but also prefers lower cost levels (§IV-A); the ablation in E12
+/// compares these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Prefer the cheapest eligible provider, randomizing ties — the
+    /// paper's composite rule and our default.
+    CheapestEligible,
+    /// Uniform random among all eligible providers.
+    RandomEligible,
+    /// Everything to the single cheapest eligible provider — the paper's
+    /// *baseline under attack* (single-provider cloud).
+    SingleProvider,
+}
+
+/// PL→chunk-size schedule: "the chunk size is fixed for a particular
+/// privilege level. The higher the privilege level, the lower the chunk
+/// size" (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSizeSchedule {
+    /// Chunk size in bytes for each PL 0..=3.
+    pub sizes: [usize; 4],
+}
+
+impl ChunkSizeSchedule {
+    /// The defaults called out in DESIGN.md §5:
+    /// PL0 = 256 KiB, PL1 = 64 KiB, PL2 = 16 KiB, PL3 = 4 KiB.
+    pub fn paper_default() -> Self {
+        ChunkSizeSchedule {
+            sizes: [256 << 10, 64 << 10, 16 << 10, 4 << 10],
+        }
+    }
+
+    /// Uniform chunk size across levels (for sweeps).
+    pub fn uniform(size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        ChunkSizeSchedule { sizes: [size; 4] }
+    }
+
+    /// Chunk size for a privacy level.
+    pub fn size_for(&self, pl: PrivacyLevel) -> usize {
+        self.sizes[pl.as_u8() as usize]
+    }
+
+    /// Validates monotonicity (higher PL ⇒ chunk size not larger).
+    pub fn is_monotone(&self) -> bool {
+        self.sizes.windows(2).all(|w| w[1] <= w[0])
+    }
+}
+
+/// Full distributor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributorConfig {
+    /// PL→chunk-size schedule.
+    pub chunk_sizes: ChunkSizeSchedule,
+    /// Data shards per RAID stripe (parity shards come from the level).
+    pub stripe_width: usize,
+    /// Default assurance level; `Raid5` per §IV-A, `Raid6` for "higher
+    /// assurance", `None` to disable parity.
+    pub raid_level: RaidLevel,
+    /// Fraction of misleading bytes injected per chunk (0.0 disables; the
+    /// paper's §VII-D option).
+    pub mislead_rate: f64,
+    /// Placement strategy.
+    pub placement: PlacementStrategy,
+    /// Seed for placement randomization and misleading-byte positions.
+    pub seed: u64,
+}
+
+impl Default for DistributorConfig {
+    fn default() -> Self {
+        DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule::paper_default(),
+            stripe_width: 4,
+            raid_level: RaidLevel::Raid5,
+            mislead_rate: 0.0,
+            placement: PlacementStrategy::CheapestEligible,
+            seed: 0x0D15_7B17,
+        }
+    }
+}
+
+impl DistributorConfig {
+    /// Panics on invalid settings; called by the distributor constructor.
+    pub fn validate(&self) {
+        assert!(self.stripe_width >= 1, "stripe_width must be >= 1");
+        assert!(
+            (0.0..0.5).contains(&self.mislead_rate),
+            "mislead_rate must be in [0, 0.5)"
+        );
+        assert!(
+            self.chunk_sizes.sizes.iter().all(|&s| s > 0),
+            "chunk sizes must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_schedule() {
+        let s = ChunkSizeSchedule::paper_default();
+        assert_eq!(s.size_for(PrivacyLevel::Public), 256 << 10);
+        assert_eq!(s.size_for(PrivacyLevel::High), 4 << 10);
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    fn uniform_schedule() {
+        let s = ChunkSizeSchedule::uniform(1000);
+        for pl in PrivacyLevel::ALL {
+            assert_eq!(s.size_for(pl), 1000);
+        }
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_uniform_panics() {
+        ChunkSizeSchedule::uniform(0);
+    }
+
+    #[test]
+    fn default_config_is_valid_and_paper_shaped() {
+        let c = DistributorConfig::default();
+        c.validate();
+        assert_eq!(c.raid_level, RaidLevel::Raid5);
+        assert_eq!(c.placement, PlacementStrategy::CheapestEligible);
+        assert_eq!(c.mislead_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe_width")]
+    fn invalid_stripe_rejected() {
+        DistributorConfig {
+            stripe_width: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mislead_rate")]
+    fn invalid_mislead_rejected() {
+        DistributorConfig {
+            mislead_rate: 0.9,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,242 @@
+//! Client-side encryption composed with fragmentation (§VII-E).
+//!
+//! "Concerned clients can also use encryption along with fragmentation.
+//! But encryption is not an alternative to fragmentation, rather it is a
+//! complement. Clients can also use partial encryption along with
+//! fragmentation, that involves partitioning data and encrypting a portion
+//! of it."
+//!
+//! [`EncryptedClient`] wraps a [`CloudDataDistributor`] **on the client
+//! side**: bytes are encrypted before they ever reach the distributor (who,
+//! being a third party, never sees the key) and decrypted after retrieval.
+//! Both full and partial (suffix-fraction) encryption are supported; the
+//! per-file mode is remembered in a small client-local table.
+
+use crate::distributor::{CloudDataDistributor, PutOptions, PutReceipt};
+use crate::{PrivacyLevel, Result};
+use fragcloud_crypto::{decrypt_ranges, encrypt_ranges, ByteRange, ChaCha20};
+use std::collections::HashMap;
+
+/// How much of each file is encrypted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EncryptionMode {
+    /// Encrypt every byte.
+    Full,
+    /// Encrypt only the trailing fraction (0, 1] of the file — the
+    /// "sensitive portion" of §VII-E's partial-encryption suggestion.
+    PartialSuffix(f64),
+}
+
+/// A client-side encrypting wrapper around the distributor.
+pub struct EncryptedClient<'a> {
+    distributor: &'a CloudDataDistributor,
+    key: [u8; 32],
+    /// filename → (mode, encrypted range) so decryption is self-contained.
+    modes: HashMap<String, (EncryptionMode, Option<ByteRange>)>,
+}
+
+impl<'a> EncryptedClient<'a> {
+    /// Wraps a distributor with a client-held 256-bit key.
+    pub fn new(distributor: &'a CloudDataDistributor, key: [u8; 32]) -> Self {
+        EncryptedClient {
+            distributor,
+            key,
+            modes: HashMap::new(),
+        }
+    }
+
+    /// Derives a per-file nonce from the filename (96-bit, FNV-based).
+    fn nonce_for(filename: &str) -> [u8; 12] {
+        let h1 = fragcloud_dht::hash::fnv1a(filename.as_bytes());
+        let h2 = fragcloud_dht::hash::fnv1a(&h1.to_le_bytes());
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&h1.to_le_bytes());
+        nonce[8..].copy_from_slice(&h2.to_le_bytes()[..4]);
+        nonce
+    }
+
+    fn cipher_for(&self, filename: &str) -> ChaCha20 {
+        ChaCha20::new(&self.key, &Self::nonce_for(filename))
+    }
+
+    /// Encrypts (per `mode`) and uploads through the distributor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_file(
+        &mut self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        data: &[u8],
+        pl: PrivacyLevel,
+        mode: EncryptionMode,
+        opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        let cipher = self.cipher_for(filename);
+        let mut payload = data.to_vec();
+        let range = match mode {
+            EncryptionMode::Full => {
+                let r = ByteRange::new(0, payload.len());
+                encrypt_ranges(&cipher, &mut payload, &[r]);
+                Some(r)
+            }
+            EncryptionMode::PartialSuffix(fraction) => {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "partial fraction must be in (0, 1]"
+                );
+                let start = payload.len() - (payload.len() as f64 * fraction) as usize;
+                let r = ByteRange::new(start, payload.len());
+                encrypt_ranges(&cipher, &mut payload, &[r]);
+                Some(r)
+            }
+        };
+        let receipt = self
+            .distributor
+            .put_file(client, password, filename, &payload, pl, opts)?;
+        self.modes.insert(filename.to_string(), (mode, range));
+        Ok(receipt)
+    }
+
+    /// Retrieves and decrypts a file uploaded through this wrapper.
+    pub fn get_file(&self, client: &str, password: &str, filename: &str) -> Result<Vec<u8>> {
+        let receipt = self.distributor.get_file(client, password, filename)?;
+        let mut data = receipt.data;
+        if let Some((_, Some(range))) = self.modes.get(filename) {
+            if !range.is_empty() {
+                let cipher = self.cipher_for(filename);
+                decrypt_ranges(&cipher, &mut data, &[*range]);
+            }
+        }
+        Ok(data)
+    }
+
+    /// The recorded mode for a file, if uploaded through this wrapper.
+    pub fn mode_of(&self, filename: &str) -> Option<EncryptionMode> {
+        self.modes.get(filename).map(|(m, _)| *m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChunkSizeSchedule, DistributorConfig};
+    use fragcloud_sim::{CloudProvider, CostLevel, ObjectStore, ProviderProfile};
+    use std::sync::Arc;
+
+    fn distributor() -> CloudDataDistributor {
+        let fleet: Vec<Arc<CloudProvider>> = (0..6)
+            .map(|i| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    format!("cp{i}"),
+                    PrivacyLevel::High,
+                    CostLevel::new(1),
+                )))
+            })
+            .collect();
+        let d = CloudDataDistributor::new(
+            fleet,
+            DistributorConfig {
+                chunk_sizes: ChunkSizeSchedule::uniform(64),
+                stripe_width: 3,
+                ..Default::default()
+            },
+        );
+        d.register_client("c").unwrap();
+        d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+        d
+    }
+
+    fn body(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn full_encryption_roundtrip_and_providers_see_ciphertext() {
+        let d = distributor();
+        let mut ec = EncryptedClient::new(&d, [7u8; 32]);
+        let data = body(500);
+        ec.put_file("c", "pw", "f", &data, PrivacyLevel::High, EncryptionMode::Full, PutOptions::default())
+            .unwrap();
+        assert_eq!(ec.get_file("c", "pw", "f").unwrap(), data);
+        assert_eq!(ec.mode_of("f"), Some(EncryptionMode::Full));
+        // No provider-stored object contains any 32-byte window of the
+        // plaintext.
+        let window = &data[100..132];
+        for p in d.providers() {
+            for key in p.keys() {
+                let stored = p.get(key).unwrap();
+                assert!(
+                    !stored.windows(32).any(|w| w == window),
+                    "plaintext leaked to {}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_encryption_roundtrip_and_prefix_visible() {
+        let d = distributor();
+        let mut ec = EncryptedClient::new(&d, [9u8; 32]);
+        let data = body(400);
+        ec.put_file(
+            "c",
+            "pw",
+            "f",
+            &data,
+            PrivacyLevel::Moderate,
+            EncryptionMode::PartialSuffix(0.25),
+            PutOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ec.get_file("c", "pw", "f").unwrap(), data);
+        // The raw distributor view shows the cleartext prefix but not the
+        // encrypted suffix.
+        let raw = d.get_file("c", "pw", "f").unwrap().data;
+        assert_eq!(&raw[..300], &data[..300]);
+        assert_ne!(&raw[300..], &data[300..]);
+    }
+
+    #[test]
+    fn different_files_use_different_nonces() {
+        let d = distributor();
+        let mut ec = EncryptedClient::new(&d, [1u8; 32]);
+        let data = body(128);
+        ec.put_file("c", "pw", "a", &data, PrivacyLevel::Low, EncryptionMode::Full, PutOptions::default())
+            .unwrap();
+        ec.put_file("c", "pw", "b", &data, PrivacyLevel::Low, EncryptionMode::Full, PutOptions::default())
+            .unwrap();
+        let ra = d.get_file("c", "pw", "a").unwrap().data;
+        let rb = d.get_file("c", "pw", "b").unwrap().data;
+        assert_ne!(ra, rb, "same plaintext must encrypt differently per file");
+        assert_eq!(ec.get_file("c", "pw", "a").unwrap(), data);
+        assert_eq!(ec.get_file("c", "pw", "b").unwrap(), data);
+    }
+
+    #[test]
+    fn files_not_uploaded_through_wrapper_pass_through() {
+        let d = distributor();
+        let ec = EncryptedClient::new(&d, [1u8; 32]);
+        let data = body(64);
+        d.put_file("c", "pw", "plain", &data, PrivacyLevel::Low, PutOptions::default())
+            .unwrap();
+        assert_eq!(ec.get_file("c", "pw", "plain").unwrap(), data);
+        assert_eq!(ec.mode_of("plain"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial fraction")]
+    fn zero_fraction_panics() {
+        let d = distributor();
+        let mut ec = EncryptedClient::new(&d, [1u8; 32]);
+        let _ = ec.put_file(
+            "c",
+            "pw",
+            "f",
+            &body(10),
+            PrivacyLevel::Low,
+            EncryptionMode::PartialSuffix(0.0),
+            PutOptions::default(),
+        );
+    }
+}

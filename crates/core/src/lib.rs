@@ -1,0 +1,157 @@
+#![warn(missing_docs)]
+
+//! The Cloud Data Distributor — the paper's primary contribution.
+//!
+//! "Our approach consists of categorization, fragmentation and distribution
+//! of data" (§I). The distributor receives files from clients, categorizes
+//! them by privacy level, splits them into PL-sized chunks, assigns opaque
+//! virtual ids, and places the chunks on eligible cloud providers with
+//! RAID-style parity, optional misleading bytes, and snapshot support.
+//!
+//! Module map (↔ paper sections):
+//!
+//! - [`config`] — tunables: PL→chunk-size schedule, stripe width, default
+//!   RAID level, misleading-byte rate, placement strategy;
+//! - [`chunker`] — fragmentation (§VI `split`), PL-dependent chunk sizes
+//!   (§VII-B/C);
+//! - [`vid`] — virtual-id allocation (§IV-A identity concealment);
+//! - [`mislead`] — misleading-data injection and stripping (§VII-D);
+//! - [`tables`] — the Cloud Provider / Client / Chunk tables
+//!   (Tables I–III);
+//! - [`access`] — ⟨password, PL⟩ access control (§V, Fig. 3);
+//! - [`policy`] — provider-eligibility and placement (§IV-A: "a chunk is
+//!   given to a provider having equal or higher privacy level", cheapest
+//!   cost level preferred);
+//! - [`distributor`] — the [`distributor::CloudDataDistributor`] facade:
+//!   `put_file`, `get_file`, `get_chunk`, `remove_file`, `remove_chunk`,
+//!   `update_chunk` with snapshots (§VI);
+//! - [`multi`] — multiple distributors, primary/secondary (§IV-C, Fig. 2);
+//! - [`client_side`] — the CHORD-based client-side distributor (§IV-C);
+//! - [`persist`] — versioned text snapshots of the table state, so a
+//!   restarted (or newly promoted) distributor can rehydrate against the
+//!   same provider fleet;
+//! - [`rebalance`] — §VII-E locality migration of hot chunks;
+//! - [`envelope`] — client-side full/partial encryption composed with
+//!   fragmentation (§VII-E: "encryption is not an alternative to
+//!   fragmentation, rather it is a complement").
+
+pub mod access;
+pub mod chunker;
+pub mod client_side;
+pub mod config;
+pub mod distributor;
+pub mod envelope;
+pub mod mislead;
+pub mod multi;
+pub mod persist;
+pub mod policy;
+pub mod rebalance;
+pub mod tables;
+pub mod vid;
+
+pub use config::DistributorConfig;
+pub use distributor::{CloudDataDistributor, PutOptions, PutReceipt};
+pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
+
+/// Errors surfaced by the distributor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Unknown client name.
+    UnknownClient(String),
+    /// Unknown file for a client.
+    UnknownFile {
+        /// Client name.
+        client: String,
+        /// Requested filename.
+        filename: String,
+    },
+    /// Chunk serial out of range.
+    UnknownChunk {
+        /// Requested filename.
+        filename: String,
+        /// Requested serial number.
+        serial: u32,
+    },
+    /// Password not recognized, or its PL is below the chunk's PL —
+    /// "the password is not privileged enough to access the chunk. Hence
+    /// its request is denied" (§V).
+    AccessDenied,
+    /// A file with this name already exists for the client.
+    FileExists(String),
+    /// No provider is eligible to hold a chunk of this privacy level.
+    NoEligibleProvider {
+        /// The chunk privacy level that could not be placed.
+        pl: PrivacyLevel,
+    },
+    /// Not enough *distinct* eligible providers for the requested stripe.
+    InsufficientProviders {
+        /// Providers needed (data + parity).
+        needed: usize,
+        /// Distinct eligible providers available.
+        available: usize,
+    },
+    /// A provider operation failed.
+    Store(fragcloud_sim::StoreError),
+    /// Stripe reconstruction failed (too many providers down).
+    Raid(fragcloud_raid::RaidError),
+    /// Client registration conflict.
+    ClientExists(String),
+    /// Upload sent to a distributor that is not the client's primary
+    /// (§IV-C: "a specific distributor will act as the primary distributor
+    /// that will upload data").
+    NotPrimary {
+        /// The client whose primary is elsewhere.
+        client: String,
+        /// Name of the actual primary distributor.
+        primary: String,
+    },
+    /// The addressed distributor node is down.
+    DistributorDown(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownClient(c) => write!(f, "unknown client {c:?}"),
+            CoreError::UnknownFile { client, filename } => {
+                write!(f, "client {client:?} has no file {filename:?}")
+            }
+            CoreError::UnknownChunk { filename, serial } => {
+                write!(f, "file {filename:?} has no chunk #{serial}")
+            }
+            CoreError::AccessDenied => write!(f, "access denied"),
+            CoreError::FileExists(n) => write!(f, "file {n:?} already exists"),
+            CoreError::NoEligibleProvider { pl } => {
+                write!(f, "no provider eligible for {pl} data")
+            }
+            CoreError::InsufficientProviders { needed, available } => write!(
+                f,
+                "stripe needs {needed} distinct providers, only {available} eligible"
+            ),
+            CoreError::Store(e) => write!(f, "provider error: {e}"),
+            CoreError::Raid(e) => write!(f, "reconstruction error: {e}"),
+            CoreError::ClientExists(c) => write!(f, "client {c:?} already registered"),
+            CoreError::NotPrimary { client, primary } => {
+                write!(f, "not the primary distributor for {client:?} (primary: {primary})")
+            }
+            CoreError::DistributorDown(n) => write!(f, "distributor {n} is down"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<fragcloud_sim::StoreError> for CoreError {
+    fn from(e: fragcloud_sim::StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<fragcloud_raid::RaidError> for CoreError {
+    fn from(e: fragcloud_raid::RaidError) -> Self {
+        CoreError::Raid(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,179 @@
+//! Misleading-data injection and stripping.
+//!
+//! §IV-A / §VII-D: "the Cloud Data Distributor may add misleading data into
+//! chunks depending on the demand of clients. The positions of misleading
+//! data bytes are also maintained by the distributor and these misleading
+//! bytes are removed while providing the chunks to the clients."
+//!
+//! Injection expands the chunk; a provider (or attacker) that mines the
+//! stored bytes sees plausible-looking but false values interleaved with
+//! the real ones. Positions refer to offsets **in the stored chunk**, in
+//! ascending order, matching the Chunk Table's `M` column.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Injects `⌈rate · len⌉` misleading bytes at pseudo-random positions.
+///
+/// Returns the expanded chunk plus the sorted positions of the inserted
+/// bytes (stored-chunk offsets). Injected byte values mimic the local byte
+/// distribution (they copy a random nearby real byte, perturbed), so they
+/// don't stand out statistically.
+///
+/// # Panics
+/// Panics when `rate` is not in `[0, 0.5)`.
+pub fn inject(chunk: &[u8], rate: f64, seed: u64) -> (Vec<u8>, Vec<usize>) {
+    assert!((0.0..0.5).contains(&rate), "mislead rate must be in [0, 0.5)");
+    if rate == 0.0 || chunk.is_empty() {
+        return (chunk.to_vec(), Vec::new());
+    }
+    let n_inject = ((chunk.len() as f64 * rate).ceil() as usize).max(1);
+    let out_len = chunk.len() + n_inject;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Choose distinct positions in the *output* index space.
+    let mut positions = std::collections::BTreeSet::new();
+    while positions.len() < n_inject {
+        positions.insert(rng.gen_range(0..out_len));
+    }
+    let positions: Vec<usize> = positions.into_iter().collect();
+
+    let mut out = Vec::with_capacity(out_len);
+    let mut src = chunk.iter().copied();
+    let mut pos_iter = positions.iter().peekable();
+    for i in 0..out_len {
+        if pos_iter.peek() == Some(&&i) {
+            pos_iter.next();
+            // A misleading byte: a perturbed copy of a random real byte.
+            let base = chunk[rng.gen_range(0..chunk.len())];
+            out.push(base.wrapping_add(rng.gen_range(1..=32)));
+        } else {
+            out.push(src.next().expect("source bytes exhausted early"));
+        }
+    }
+    debug_assert!(src.next().is_none());
+    (out, positions)
+}
+
+/// Removes the bytes at `positions` (ascending stored-chunk offsets),
+/// restoring the original chunk.
+///
+/// # Panics
+/// Panics when positions are out of bounds or unsorted.
+pub fn strip(stored: &[u8], positions: &[usize]) -> Vec<u8> {
+    if positions.is_empty() {
+        return stored.to_vec();
+    }
+    assert!(
+        positions.windows(2).all(|w| w[0] < w[1]),
+        "positions must be strictly ascending"
+    );
+    assert!(
+        *positions.last().expect("non-empty") < stored.len(),
+        "position out of bounds"
+    );
+    let mut out = Vec::with_capacity(stored.len() - positions.len());
+    let mut pos_iter = positions.iter().peekable();
+    for (i, &b) in stored.iter().enumerate() {
+        if pos_iter.peek() == Some(&&i) {
+            pos_iter.next();
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let data = vec![1u8, 2, 3];
+        let (out, pos) = inject(&data, 0.0, 1);
+        assert_eq!(out, data);
+        assert!(pos.is_empty());
+        assert_eq!(strip(&out, &pos), data);
+    }
+
+    #[test]
+    fn inject_strip_roundtrip() {
+        for n in [1usize, 2, 10, 100, 1000] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 31) as u8).collect();
+            for rate in [0.01, 0.05, 0.2, 0.49] {
+                let (stored, pos) = inject(&data, rate, n as u64);
+                assert_eq!(strip(&stored, &pos), data, "n={n} rate={rate}");
+                assert_eq!(stored.len(), data.len() + pos.len());
+            }
+        }
+    }
+
+    #[test]
+    fn injection_count_matches_rate() {
+        let data = vec![0u8; 1000];
+        let (_, pos) = inject(&data, 0.1, 7);
+        assert_eq!(pos.len(), 100);
+        let (_, pos) = inject(&data, 0.001, 7);
+        assert_eq!(pos.len(), 1);
+    }
+
+    #[test]
+    fn positions_sorted_unique_in_bounds() {
+        let data: Vec<u8> = (0..500).map(|i| i as u8).collect();
+        let (stored, pos) = inject(&data, 0.3, 42);
+        for w in pos.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*pos.last().unwrap() < stored.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = vec![9u8; 64];
+        let a = inject(&data, 0.2, 5);
+        let b = inject(&data, 0.2, 5);
+        assert_eq!(a, b);
+        let c = inject(&data, 0.2, 6);
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn empty_chunk_safe() {
+        let (out, pos) = inject(&[], 0.2, 1);
+        assert!(out.is_empty());
+        assert!(pos.is_empty());
+        assert!(strip(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be")]
+    fn excessive_rate_panics() {
+        inject(&[1, 2, 3], 0.8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn strip_out_of_bounds_panics() {
+        strip(&[1, 2], &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn strip_unsorted_panics() {
+        strip(&[1, 2, 3], &[1, 0]);
+    }
+
+    #[test]
+    fn misleading_bytes_resemble_real_distribution() {
+        // Injected bytes are perturbed copies of real bytes, so the stored
+        // chunk should not contain byte values wildly outside the data's
+        // range for a narrow-range input.
+        let data = vec![100u8; 200];
+        let (stored, pos) = inject(&data, 0.1, 3);
+        for &p in &pos {
+            let v = stored[p];
+            assert!((101..=132).contains(&v), "injected byte {v} out of family");
+        }
+    }
+}

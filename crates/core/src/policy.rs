@@ -1,0 +1,240 @@
+//! Provider eligibility and stripe placement.
+//!
+//! §IV-A: "A chunk is given to a provider having equal or higher privacy
+//! level compared to the privacy level of the chunk … in case of equal
+//! privacy level, the one with a lower cost level is given preference."
+//! §VI adds that distribution among eligible providers is randomized.
+//!
+//! For RAID stripes we additionally enforce **anti-affinity**: the shards
+//! of one stripe land on distinct providers, otherwise losing one provider
+//! could take out several shards and defeat the parity (DESIGN.md §5).
+
+use crate::config::PlacementStrategy;
+use crate::{CoreError, Result};
+use fragcloud_sim::{CloudProvider, PrivacyLevel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Indices of providers eligible to store a chunk of privacy level `pl`:
+/// online and with provider PL ≥ chunk PL.
+pub fn eligible_providers(providers: &[Arc<CloudProvider>], pl: PrivacyLevel) -> Vec<usize> {
+    providers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_online() && p.profile().privacy_level >= pl)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Chooses providers for one stripe of `shards` chunks of level `pl`.
+///
+/// Returns one provider index per shard. All strategies respect
+/// eligibility; `CheapestEligible` and `RandomEligible` guarantee distinct
+/// providers per stripe, while `SingleProvider` (the attack baseline)
+/// deliberately concentrates every shard on one provider.
+pub fn place_stripe(
+    providers: &[Arc<CloudProvider>],
+    pl: PrivacyLevel,
+    shards: usize,
+    strategy: PlacementStrategy,
+    rng: &mut StdRng,
+) -> Result<Vec<usize>> {
+    let mut eligible = eligible_providers(providers, pl);
+    if eligible.is_empty() {
+        return Err(CoreError::NoEligibleProvider { pl });
+    }
+    match strategy {
+        PlacementStrategy::SingleProvider => {
+            // Cheapest eligible provider takes everything.
+            let idx = *eligible
+                .iter()
+                .min_by_key(|&&i| providers[i].profile().cost_level)
+                .expect("non-empty eligible set");
+            Ok(vec![idx; shards])
+        }
+        PlacementStrategy::RandomEligible => {
+            if eligible.len() < shards {
+                return Err(CoreError::InsufficientProviders {
+                    needed: shards,
+                    available: eligible.len(),
+                });
+            }
+            eligible.shuffle(rng);
+            Ok(eligible[..shards].to_vec())
+        }
+        PlacementStrategy::CheapestEligible => {
+            if eligible.len() < shards {
+                return Err(CoreError::InsufficientProviders {
+                    needed: shards,
+                    available: eligible.len(),
+                });
+            }
+            // Sort by cost level; break ties with a per-stripe random key so
+            // equal-cost providers share load across stripes.
+            let mut keyed: Vec<(u8, u64, usize)> = eligible
+                .iter()
+                .map(|&i| {
+                    (
+                        providers[i].profile().cost_level.0,
+                        rng.gen::<u64>(),
+                        i,
+                    )
+                })
+                .collect();
+            keyed.sort_unstable();
+            Ok(keyed.into_iter().take(shards).map(|(_, _, i)| i).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_sim::{CostLevel, ProviderProfile};
+    use rand::SeedableRng;
+
+    fn fleet() -> Vec<Arc<CloudProvider>> {
+        // Mirrors the spirit of Fig. 3's provider table: premium trusted
+        // providers plus cheap low-trust ones.
+        let spec = [
+            ("Adobe", PrivacyLevel::High, 3),
+            ("AWS", PrivacyLevel::High, 3),
+            ("Google", PrivacyLevel::High, 3),
+            ("Microsoft", PrivacyLevel::High, 3),
+            ("Sky", PrivacyLevel::Moderate, 1),
+            ("Sea", PrivacyLevel::Low, 1),
+            ("Earth", PrivacyLevel::Low, 1),
+        ];
+        spec.iter()
+            .map(|(n, pl, cl)| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    *n,
+                    *pl,
+                    CostLevel::new(*cl),
+                )))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eligibility_respects_pl_and_online() {
+        let f = fleet();
+        assert_eq!(eligible_providers(&f, PrivacyLevel::High).len(), 4);
+        assert_eq!(eligible_providers(&f, PrivacyLevel::Moderate).len(), 5);
+        assert_eq!(eligible_providers(&f, PrivacyLevel::Public).len(), 7);
+        f[0].set_online(false);
+        assert_eq!(eligible_providers(&f, PrivacyLevel::High).len(), 3);
+    }
+
+    #[test]
+    fn stripe_members_distinct_and_eligible() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(1);
+        for strat in [
+            PlacementStrategy::CheapestEligible,
+            PlacementStrategy::RandomEligible,
+        ] {
+            for _ in 0..50 {
+                let placed =
+                    place_stripe(&f, PrivacyLevel::Moderate, 4, strat, &mut rng).unwrap();
+                assert_eq!(placed.len(), 4);
+                let mut uniq = placed.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), 4, "{strat:?}: {placed:?}");
+                for &i in &placed {
+                    assert!(f[i].profile().privacy_level >= PrivacyLevel::Moderate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cheapest_prefers_low_cost() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(2);
+        // PL Public: all 7 eligible; cheapest are Sky/Sea/Earth (CL1).
+        let placed = place_stripe(
+            &f,
+            PrivacyLevel::Public,
+            3,
+            PlacementStrategy::CheapestEligible,
+            &mut rng,
+        )
+        .unwrap();
+        for &i in &placed {
+            assert_eq!(f[i].profile().cost_level, CostLevel(1), "{placed:?}");
+        }
+    }
+
+    #[test]
+    fn cheapest_tiebreak_spreads_load() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut first_seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let placed = place_stripe(
+                &f,
+                PrivacyLevel::Public,
+                1,
+                PlacementStrategy::CheapestEligible,
+                &mut rng,
+            )
+            .unwrap();
+            first_seen.insert(placed[0]);
+        }
+        // All three CL1 providers should appear as first pick over time.
+        assert_eq!(first_seen.len(), 3, "{first_seen:?}");
+    }
+
+    #[test]
+    fn single_provider_concentrates() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(4);
+        let placed = place_stripe(
+            &f,
+            PrivacyLevel::High,
+            5,
+            PlacementStrategy::SingleProvider,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(placed.len(), 5);
+        assert!(placed.iter().all(|&i| i == placed[0]));
+        // High PL: must still be a trusted provider.
+        assert!(f[placed[0]].profile().privacy_level >= PrivacyLevel::High);
+    }
+
+    #[test]
+    fn errors_when_impossible() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(5);
+        // 6 distinct PL-High providers don't exist.
+        assert!(matches!(
+            place_stripe(
+                &f,
+                PrivacyLevel::High,
+                6,
+                PlacementStrategy::CheapestEligible,
+                &mut rng
+            ),
+            Err(CoreError::InsufficientProviders { needed: 6, available: 4 })
+        ));
+        // No providers at all for a level when all are offline.
+        for p in &f {
+            p.set_online(false);
+        }
+        assert!(matches!(
+            place_stripe(
+                &f,
+                PrivacyLevel::Public,
+                1,
+                PlacementStrategy::RandomEligible,
+                &mut rng
+            ),
+            Err(CoreError::NoEligibleProvider { .. })
+        ));
+    }
+}

@@ -1,0 +1,371 @@
+//! The distributor's three tables (paper Tables I–III).
+//!
+//! - **Cloud Provider Table** — name, PL, CL, chunk count, virtual-id list
+//!   (we hold a live handle to the simulated provider and derive the
+//!   count/list columns from it);
+//! - **Client Table** — client name, ⟨password, PL⟩ pairs, chunk count, and
+//!   per-chunk ⟨filename, serial, PL, chunk-table index⟩ quadruples;
+//! - **Chunk Table** — virtual id, PL, current-provider index, snapshot-
+//!   provider index, misleading-byte positions (plus the stripe bookkeeping
+//!   our RAID layer needs).
+
+use crate::{CoreError, Result};
+use fragcloud_raid::RaidLevel;
+use fragcloud_sim::{CloudProvider, PrivacyLevel, VirtualId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Role of a chunk within its stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkRole {
+    /// A data chunk, carrying the file's serial `sl`.
+    Data {
+        /// Serial number within the file.
+        serial: u32,
+    },
+    /// A parity chunk (`index` 0 = P, 1 = Q).
+    Parity {
+        /// Parity slot within the stripe.
+        index: u8,
+    },
+}
+
+/// Stripe membership pointer stored on each chunk entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeRef {
+    /// Index into the stripe list.
+    pub stripe_id: usize,
+    /// Shard index within the stripe: `0..k` data, `k` = P, `k+1` = Q.
+    pub index: usize,
+}
+
+/// One row of the Chunk Table (Table III) plus RAID bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ChunkEntry {
+    /// Opaque id under which the chunk is stored at providers.
+    pub vid: VirtualId,
+    /// The chunk's privacy level (inherited from its file).
+    pub pl: PrivacyLevel,
+    /// Cloud Provider Table index of the current provider (`CP`).
+    pub provider_idx: usize,
+    /// Provider index of the snapshot provider (`SP`), if a snapshot exists.
+    pub snapshot_provider_idx: Option<usize>,
+    /// Virtual id of the snapshot object at the snapshot provider.
+    pub snapshot_vid: Option<VirtualId>,
+    /// Misleading-byte positions of the snapshotted pre-state (the snapshot
+    /// object holds the *stored* form, so restore needs these to strip it).
+    pub snapshot_mislead: Vec<usize>,
+    /// Ascending positions of misleading bytes in the stored chunk (`M`).
+    pub mislead_positions: Vec<usize>,
+    /// Stored length (logical + misleading bytes).
+    pub stored_len: usize,
+    /// Logical (client-visible) length.
+    pub logical_len: usize,
+    /// Stripe membership, when RAID is active.
+    pub stripe: Option<StripeRef>,
+    /// Data or parity role.
+    pub role: ChunkRole,
+    /// Tombstone: the chunk was explicitly removed (§VI `remove chunk`);
+    /// its stripe slot contributes zeros to parity from then on.
+    pub removed: bool,
+    /// Extra copies: "same chunk can be provided to multiple Cloud
+    /// Providers depending on the clients' requirement" (§VI). Each replica
+    /// lives at a distinct provider under its own virtual id (so providers
+    /// cannot correlate copies).
+    pub replicas: Vec<(usize, VirtualId)>,
+}
+
+/// Geometry and membership of one RAID stripe.
+#[derive(Debug, Clone)]
+pub struct StripeInfo {
+    /// Number of data shards.
+    pub k: usize,
+    /// Assurance level.
+    pub level: RaidLevel,
+    /// Chunk-table indices of the members: `k` data chunks then parity.
+    pub members: Vec<usize>,
+    /// Common padded shard width used for parity math.
+    pub shard_width: usize,
+}
+
+/// One file's metadata inside a client entry.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    /// Privacy level chosen by the client at upload.
+    pub pl: PrivacyLevel,
+    /// Chunk-table indices of the data chunks, in serial order.
+    pub chunk_indices: Vec<usize>,
+    /// Stripes covering this file.
+    pub stripe_ids: Vec<usize>,
+    /// Original file length.
+    pub total_len: usize,
+}
+
+/// One row of the Client Table (Table II).
+#[derive(Debug, Clone, Default)]
+pub struct ClientEntry {
+    /// ⟨password, PL⟩ pairs; "associates a group of users with a
+    /// ⟨password, PL⟩ pair at client side".
+    pub passwords: Vec<(String, PrivacyLevel)>,
+    /// Files owned by the client.
+    pub files: HashMap<String, FileEntry>,
+}
+
+impl ClientEntry {
+    /// Total chunk count across files (Table II's `Count`).
+    pub fn chunk_count(&self) -> usize {
+        self.files.values().map(|f| f.chunk_indices.len()).sum()
+    }
+}
+
+/// All distributor state: the three tables.
+#[derive(Debug, Default)]
+pub struct Tables {
+    /// Cloud Provider Table: live provider handles; row index = CP index.
+    pub providers: Vec<Arc<CloudProvider>>,
+    /// Client Table.
+    pub clients: HashMap<String, ClientEntry>,
+    /// Chunk Table.
+    pub chunks: Vec<ChunkEntry>,
+    /// Stripe list (not in the paper's tables; implements its RAID call).
+    pub stripes: Vec<StripeInfo>,
+}
+
+impl Tables {
+    /// Creates tables over a provider fleet.
+    pub fn new(providers: Vec<Arc<CloudProvider>>) -> Self {
+        Tables {
+            providers,
+            ..Default::default()
+        }
+    }
+
+    /// Looks up a client or fails.
+    pub fn client(&self, name: &str) -> Result<&ClientEntry> {
+        self.clients
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownClient(name.to_string()))
+    }
+
+    /// Mutable client lookup.
+    pub fn client_mut(&mut self, name: &str) -> Result<&mut ClientEntry> {
+        self.clients
+            .get_mut(name)
+            .ok_or_else(|| CoreError::UnknownClient(name.to_string()))
+    }
+
+    /// Looks up a client's file or fails.
+    pub fn file(&self, client: &str, filename: &str) -> Result<&FileEntry> {
+        self.client(client)?
+            .files
+            .get(filename)
+            .ok_or_else(|| CoreError::UnknownFile {
+                client: client.to_string(),
+                filename: filename.to_string(),
+            })
+    }
+
+    /// Chunk-table index for a file's serial number.
+    pub fn chunk_index(&self, client: &str, filename: &str, serial: u32) -> Result<usize> {
+        let file = self.file(client, filename)?;
+        file.chunk_indices
+            .get(serial as usize)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownChunk {
+                filename: filename.to_string(),
+                serial,
+            })
+    }
+
+    /// Renders the Cloud Provider Table like the paper's Table I.
+    pub fn render_provider_table(&self) -> String {
+        let mut out = String::from("Cloud Provider | PL | CL | Count | Virtual id list\n");
+        for p in &self.providers {
+            let ids = p.virtual_id_list();
+            let preview: Vec<String> = ids.iter().take(3).map(|v| v.0.to_string()).collect();
+            let ell = if ids.len() > 3 { ", ..." } else { "" };
+            out.push_str(&format!(
+                "{} | {} | {} | {} | {{{}{}}}\n",
+                p.name(),
+                p.profile().privacy_level,
+                p.profile().cost_level,
+                p.chunk_count(),
+                preview.join(", "),
+                ell
+            ));
+        }
+        out
+    }
+
+    /// Renders the Client Table like the paper's Table II.
+    pub fn render_client_table(&self) -> String {
+        let mut out =
+            String::from("Client | (pass, PL) | Count | (filename, sl, PL, idx)\n");
+        let mut names: Vec<&String> = self.clients.keys().collect();
+        names.sort();
+        for name in names {
+            let c = &self.clients[name];
+            let passes: Vec<String> = c
+                .passwords
+                .iter()
+                .map(|(p, pl)| format!("({p}, {})", pl.as_u8()))
+                .collect();
+            let mut quads = Vec::new();
+            let mut files: Vec<(&String, &FileEntry)> = c.files.iter().collect();
+            files.sort_by_key(|(n, _)| (*n).clone());
+            for (fname, fe) in files {
+                for (sl, &idx) in fe.chunk_indices.iter().enumerate() {
+                    quads.push(format!("({fname}, {sl}, {}, {idx})", fe.pl.as_u8()));
+                }
+            }
+            out.push_str(&format!(
+                "{name} | {} | {} | {}\n",
+                passes.join(" "),
+                c.chunk_count(),
+                quads.join(" ")
+            ));
+        }
+        out
+    }
+
+    /// Renders the Chunk Table like the paper's Table III.
+    pub fn render_chunk_table(&self) -> String {
+        let mut out = String::from("virtual id | PL | CP index | SP index | M\n");
+        for ch in &self.chunks {
+            let sp = ch
+                .snapshot_provider_idx
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "NA".to_string());
+            let m: Vec<String> = ch
+                .mislead_positions
+                .iter()
+                .take(3)
+                .map(|p| p.to_string())
+                .collect();
+            let ell = if ch.mislead_positions.len() > 3 {
+                ", ..."
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{} | {} | {} | {} | {{{}{}}}\n",
+                ch.vid.0,
+                ch.pl.as_u8(),
+                ch.provider_idx,
+                sp,
+                m.join(", "),
+                ell
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_sim::{CostLevel, ProviderProfile};
+
+    fn fleet() -> Vec<Arc<CloudProvider>> {
+        ["Adobe", "AWS", "Google"]
+            .iter()
+            .map(|n| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    *n,
+                    PrivacyLevel::High,
+                    CostLevel::new(3),
+                )))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lookups_fail_cleanly() {
+        let t = Tables::new(fleet());
+        assert!(matches!(
+            t.client("Bob"),
+            Err(CoreError::UnknownClient(_))
+        ));
+        let mut t = t;
+        t.clients.insert("Bob".into(), ClientEntry::default());
+        assert!(t.client("Bob").is_ok());
+        assert!(matches!(
+            t.file("Bob", "file1"),
+            Err(CoreError::UnknownFile { .. })
+        ));
+        t.client_mut("Bob").unwrap().files.insert(
+            "file1".into(),
+            FileEntry {
+                pl: PrivacyLevel::Low,
+                chunk_indices: vec![0],
+                stripe_ids: vec![],
+                total_len: 10,
+            },
+        );
+        assert!(t.chunk_index("Bob", "file1", 0).is_ok());
+        assert!(matches!(
+            t.chunk_index("Bob", "file1", 5),
+            Err(CoreError::UnknownChunk { serial: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_count_sums_files() {
+        let mut c = ClientEntry::default();
+        c.files.insert(
+            "a".into(),
+            FileEntry {
+                pl: PrivacyLevel::Public,
+                chunk_indices: vec![0, 1, 2],
+                stripe_ids: vec![],
+                total_len: 3,
+            },
+        );
+        c.files.insert(
+            "b".into(),
+            FileEntry {
+                pl: PrivacyLevel::Public,
+                chunk_indices: vec![3],
+                stripe_ids: vec![],
+                total_len: 1,
+            },
+        );
+        assert_eq!(c.chunk_count(), 4);
+    }
+
+    #[test]
+    fn renders_contain_headers_and_rows() {
+        let mut t = Tables::new(fleet());
+        t.clients.insert(
+            "Bob".into(),
+            ClientEntry {
+                passwords: vec![("x9pr".into(), PrivacyLevel::Low)],
+                files: HashMap::new(),
+            },
+        );
+        t.chunks.push(ChunkEntry {
+            vid: VirtualId(10986),
+            pl: PrivacyLevel::Low,
+            provider_idx: 0,
+            snapshot_provider_idx: None,
+            snapshot_vid: None,
+            snapshot_mislead: Vec::new(),
+            mislead_positions: vec![],
+            stored_len: 8,
+            logical_len: 8,
+            stripe: None,
+            role: ChunkRole::Data { serial: 0 },
+            removed: false,
+            replicas: Vec::new(),
+        });
+        let pt = t.render_provider_table();
+        assert!(pt.contains("AWS"));
+        assert!(pt.contains("PL3"));
+        let ct = t.render_client_table();
+        assert!(ct.contains("Bob"));
+        assert!(ct.contains("x9pr"));
+        let kt = t.render_chunk_table();
+        assert!(kt.contains("10986"));
+        assert!(kt.contains("NA"));
+    }
+}

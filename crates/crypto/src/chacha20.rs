@@ -1,0 +1,186 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+/// ChaCha20 cipher instance: 256-bit key + 96-bit nonce, 32-bit block
+/// counter (RFC 8439 layout).
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+/// The ChaCha constant "expand 32-byte k" as four little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 32-byte key and 12-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Computes the 64-byte keystream block for the given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `initial_counter`) into `data`
+    /// in place. Apply twice to decrypt.
+    pub fn apply_keystream(&self, data: &mut [u8], initial_counter: u32) {
+        let mut counter = initial_counter;
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block(counter);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+            counter = counter
+                .checked_add(1)
+                .expect("chacha20: block counter overflow");
+        }
+    }
+
+    /// Convenience: returns an encrypted copy (counter starts at 1, the RFC
+    /// 8439 AEAD convention that reserves block 0).
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.apply_keystream(&mut out, 1);
+        out
+    }
+
+    /// Convenience: returns a decrypted copy (inverse of [`Self::encrypt`]).
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Vec<u8> {
+        self.encrypt(ciphertext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 key/nonce.
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // §2.3.2: counter = 1, nonce = 00:00:00:09:00:00:00:4a:00:00:00:00
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&rfc_key(), &nonce);
+        let block = cipher.block(1);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // §2.4.2: the "Ladies and Gentlemen" plaintext.
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let cipher = ChaCha20::new(&rfc_key(), &nonce);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = cipher.encrypt(plaintext);
+        let expected_first16: [u8; 16] = [
+            0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+            0x69, 0x81,
+        ];
+        assert_eq!(&ct[..16], &expected_first16);
+        let expected_last8: [u8; 8] = [0x8e, 0xed, 0xf2, 0x78, 0x5e, 0x42, 0x87, 0x4d];
+        assert_eq!(&ct[ct.len() - 8..], &expected_last8);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let cipher = ChaCha20::new(&[7u8; 32], &[3u8; 12]);
+        for n in [0usize, 1, 63, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..n).map(|i| (i * 13) as u8).collect();
+            let ct = cipher.encrypt(&pt);
+            assert_eq!(cipher.decrypt(&ct), pt, "n={n}");
+            if n > 0 {
+                assert_ne!(ct, pt, "ciphertext must differ (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [42u8; 32];
+        let c1 = ChaCha20::new(&key, &[0u8; 12]);
+        let c2 = ChaCha20::new(&key, &[1u8; 12]);
+        assert_ne!(c1.block(1), c2.block(1));
+    }
+
+    #[test]
+    fn keystream_counter_offsets_compose() {
+        // Encrypting in two halves with the right counters equals one pass.
+        let cipher = ChaCha20::new(&[9u8; 32], &[1u8; 12]);
+        let pt: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut whole = pt.clone();
+        cipher.apply_keystream(&mut whole, 1);
+        let mut a = pt[..128].to_vec();
+        let mut b = pt[128..].to_vec();
+        cipher.apply_keystream(&mut a, 1);
+        cipher.apply_keystream(&mut b, 3); // 128 bytes = 2 blocks
+        a.extend_from_slice(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter overflow")]
+    fn counter_overflow_panics() {
+        let cipher = ChaCha20::new(&[0u8; 32], &[0u8; 12]);
+        let mut data = vec![0u8; 130];
+        cipher.apply_keystream(&mut data, u32::MAX);
+    }
+}

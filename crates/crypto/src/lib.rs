@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Stream-cipher substrate for the paper's §VII-E comparison.
+//!
+//! The paper argues that *fragmentation* preserves privacy at a much lower
+//! cost than *encryption* ("the client has to fetch the whole database, then
+//! decrypt it and run queries"), and that the two can also be combined
+//! ("partial encryption along with fragmentation"). To benchmark that
+//! comparison honestly we need a real cipher, implemented from scratch:
+//!
+//! - [`chacha20`] — the ChaCha20 stream cipher (RFC 8439 block function and
+//!   counter-mode keystream), verified against the RFC test vectors;
+//! - [`partial`] — partial encryption: encrypt only a sensitive prefix
+//!   (or byte ranges) of each record, as §VII-E suggests.
+//!
+//! This crate is an experiment substrate, **not** a hardened security
+//! product — there is no authentication (no Poly1305), no key management,
+//! and no constant-time guarantee beyond what the straightforward code
+//! provides.
+
+pub mod chacha20;
+pub mod partial;
+
+pub use chacha20::ChaCha20;
+pub use partial::{decrypt_ranges, encrypt_ranges, ByteRange};

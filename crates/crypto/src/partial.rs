@@ -1,0 +1,176 @@
+//! Partial encryption: encrypt selected byte ranges of a record.
+//!
+//! §VII-E: "Clients can also use partial encryption along with
+//! fragmentation, that involves partitioning data and encrypting a portion
+//! of it." A [`ByteRange`] list marks the sensitive regions; everything
+//! outside remains plaintext (and therefore cheap to query).
+
+use crate::chacha20::ChaCha20;
+
+/// A half-open byte range `[start, end)` within a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteRange {
+    /// Inclusive start offset.
+    pub start: usize,
+    /// Exclusive end offset.
+    pub end: usize,
+}
+
+impl ByteRange {
+    /// Creates a range; `start ≤ end` is required.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "ByteRange: start {start} > end {end}");
+        ByteRange { start, end }
+    }
+
+    /// Length of the range.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Encrypts the listed ranges of `data` in place.
+///
+/// Each range gets an independent keystream segment: range `i` starts at
+/// block counter `1 + i·2³²⁄₂` — in practice we simply give each range its
+/// own counter base spaced far apart (2²⁴ blocks ≈ 1 GiB per range), so
+/// ranges never share keystream even if the caller reorders them.
+///
+/// Ranges must be within bounds and non-overlapping (checked).
+///
+/// # Panics
+/// Panics on out-of-bounds or overlapping ranges.
+pub fn encrypt_ranges(cipher: &ChaCha20, data: &mut [u8], ranges: &[ByteRange]) {
+    validate(data.len(), ranges);
+    for (i, r) in ranges.iter().enumerate() {
+        let counter = range_counter(i);
+        cipher.apply_keystream(&mut data[r.start..r.end], counter);
+    }
+}
+
+/// Decrypts ranges previously encrypted with [`encrypt_ranges`] (same
+/// cipher, same range order).
+pub fn decrypt_ranges(cipher: &ChaCha20, data: &mut [u8], ranges: &[ByteRange]) {
+    // XOR keystream is an involution.
+    encrypt_ranges(cipher, data, ranges);
+}
+
+/// Keystream counter base for range `i`: 2²⁴ blocks (1 GiB) apart.
+fn range_counter(i: usize) -> u32 {
+    let base = 1u64 + (i as u64) * (1 << 24);
+    u32::try_from(base).expect("too many ranges: counter space exhausted")
+}
+
+fn validate(len: usize, ranges: &[ByteRange]) {
+    let mut sorted: Vec<ByteRange> = ranges.to_vec();
+    sorted.sort_by_key(|r| r.start);
+    let mut prev_end = 0usize;
+    for r in &sorted {
+        assert!(r.end <= len, "range {r:?} out of bounds (len {len})");
+        assert!(
+            r.start >= prev_end || r.is_empty(),
+            "overlapping ranges at {r:?}"
+        );
+        if !r.is_empty() {
+            prev_end = r.end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> ChaCha20 {
+        ChaCha20::new(&[5u8; 32], &[6u8; 12])
+    }
+
+    #[test]
+    fn roundtrip_single_range() {
+        let c = cipher();
+        let orig: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let mut data = orig.clone();
+        let ranges = [ByteRange::new(10, 50)];
+        encrypt_ranges(&c, &mut data, &ranges);
+        assert_eq!(&data[..10], &orig[..10], "prefix untouched");
+        assert_eq!(&data[50..], &orig[50..], "suffix untouched");
+        assert_ne!(&data[10..50], &orig[10..50], "range encrypted");
+        decrypt_ranges(&c, &mut data, &ranges);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn roundtrip_multiple_ranges() {
+        let c = cipher();
+        let orig: Vec<u8> = (0..=255).collect();
+        let mut data = orig.clone();
+        let ranges = [
+            ByteRange::new(0, 16),
+            ByteRange::new(100, 132),
+            ByteRange::new(200, 256),
+        ];
+        encrypt_ranges(&c, &mut data, &ranges);
+        assert_eq!(&data[16..100], &orig[16..100]);
+        assert_eq!(&data[132..200], &orig[132..200]);
+        decrypt_ranges(&c, &mut data, &ranges);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ranges_use_independent_keystreams() {
+        // Two identical plaintext ranges must encrypt to different bytes.
+        let c = cipher();
+        let mut data = vec![0xAAu8; 128];
+        let ranges = [ByteRange::new(0, 64), ByteRange::new(64, 128)];
+        encrypt_ranges(&c, &mut data, &ranges);
+        assert_ne!(&data[..64], &data[64..]);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let c = cipher();
+        let orig = vec![1u8, 2, 3];
+        let mut data = orig.clone();
+        encrypt_ranges(&c, &mut data, &[ByteRange::new(1, 1)]);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let c = cipher();
+        let mut data = vec![0u8; 10];
+        encrypt_ranges(&c, &mut data, &[ByteRange::new(5, 11)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_panics() {
+        let c = cipher();
+        let mut data = vec![0u8; 20];
+        encrypt_ranges(
+            &c,
+            &mut data,
+            &[ByteRange::new(0, 10), ByteRange::new(5, 15)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start 5 > end 2")]
+    fn inverted_range_panics() {
+        ByteRange::new(5, 2);
+    }
+
+    #[test]
+    fn range_len() {
+        let r = ByteRange::new(3, 8);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(ByteRange::new(4, 4).is_empty());
+    }
+}

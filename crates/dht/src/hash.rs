@@ -1,0 +1,66 @@
+//! 64-bit FNV-1a hashing for ring identifiers.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte string to a 64-bit ring identifier.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Ring id for a named node, with a virtual-node replica index.
+pub fn node_id(name: &str, replica: u32) -> u64 {
+    let mut buf = Vec::with_capacity(name.len() + 5);
+    buf.extend_from_slice(name.as_bytes());
+    buf.push(b'#');
+    buf.extend_from_slice(&replica.to_le_bytes());
+    fnv1a(&buf)
+}
+
+/// Ring id for a ⟨filename, chunk serial⟩ pair — the §IV-C key.
+pub fn chunk_key(filename: &str, serial: u32) -> u64 {
+    let mut buf = Vec::with_capacity(filename.len() + 5);
+    buf.extend_from_slice(filename.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&serial.to_le_bytes());
+    fnv1a(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn node_replicas_differ() {
+        let a = node_id("AWS", 0);
+        let b = node_id("AWS", 1);
+        let c = node_id("Google", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(node_id("AWS", 0), a);
+    }
+
+    #[test]
+    fn chunk_keys_distinguish_file_and_serial() {
+        assert_ne!(chunk_key("file1", 0), chunk_key("file1", 1));
+        assert_ne!(chunk_key("file1", 0), chunk_key("file2", 0));
+        // Separator prevents ambiguity between name and serial bytes.
+        assert_ne!(chunk_key("a", 0x6261), chunk_key("ab", 0x62));
+    }
+}

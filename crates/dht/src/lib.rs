@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Chord-style distributed hash table for the client-side distributor.
+//!
+//! §IV-C: to avoid trusting a third-party Cloud Data Distributor, it "can be
+//! implemented at client side by using CAN or CHORD like hash tables that
+//! will map each ⟨filename, chunk Sl⟩ pair to a Cloud Provider."
+//!
+//! We implement the Chord construction (Stoica et al., SIGCOMM'01) as a
+//! deterministic simulation: nodes (providers) own arcs of a 2⁶⁴ identifier
+//! ring, keys map to their successor node, and routed lookups walk finger
+//! tables so experiments can measure the O(log n) hop counts the protocol
+//! promises.
+//!
+//! - [`hash`] — a from-scratch 64-bit FNV-1a hasher for node/key ids;
+//! - [`ring`] — the ring, finger tables, routed lookups, join/leave key
+//!   remapping.
+
+pub mod hash;
+pub mod ring;
+
+pub use ring::{ChordRing, LookupTrace, NodeName};

@@ -1,0 +1,71 @@
+//! Property tests for the Chord ring.
+
+use fragcloud_dht::ChordRing;
+use proptest::prelude::*;
+
+fn ring_of(names: &[String]) -> ChordRing {
+    let mut r = ChordRing::new(3);
+    for n in names {
+        r.join(n);
+    }
+    r
+}
+
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set("[a-z]{3,8}", 1..20)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routed lookup from any member agrees with direct ownership.
+    #[test]
+    fn lookup_agrees_with_owner(names in arb_names(), serial: u32, start_pick: usize) {
+        let ring = ring_of(&names);
+        let start = &names[start_pick % names.len()];
+        let trace = ring.lookup(start, "file.bin", serial).expect("member start");
+        let owner = ring.owner("file.bin", serial).expect("non-empty ring");
+        prop_assert_eq!(&trace.owner, owner);
+    }
+
+    /// Ownership is deterministic and total.
+    #[test]
+    fn ownership_total_and_stable(names in arb_names(), serials in proptest::collection::vec(any::<u32>(), 1..50)) {
+        let ring = ring_of(&names);
+        for &s in &serials {
+            let a = ring.owner("f", s).expect("total").clone();
+            let b = ring.owner("f", s).expect("total").clone();
+            prop_assert_eq!(&a, &b);
+            prop_assert!(names.contains(&a));
+        }
+    }
+
+    /// Join/leave of one node only remaps keys to/from that node.
+    #[test]
+    fn churn_locality(names in arb_names(), extra in "[a-z]{9,12}") {
+        prop_assume!(!names.contains(&extra));
+        let mut ring = ring_of(&names);
+        let keys: Vec<(String, u32)> = (0..200).map(|s| ("k".to_string(), s)).collect();
+        let refs: Vec<(&str, u32)> = keys.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+        let before = ring.assign_all(refs.iter().copied());
+        ring.join(&extra);
+        let after = ring.assign_all(refs.iter().copied());
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                prop_assert_eq!(a, &extra, "join must only attract keys");
+            }
+        }
+        ring.leave(&extra);
+        let back = ring.assign_all(refs.iter().copied());
+        prop_assert_eq!(back, before, "leave must restore the old mapping");
+    }
+
+    /// Hop counts are bounded by the membership size.
+    #[test]
+    fn hops_bounded(names in arb_names(), serial: u32) {
+        let ring = ring_of(&names);
+        let trace = ring.lookup(&names[0], "g", serial).expect("member");
+        prop_assert!(trace.hops <= names.len() + 64, "hops {}", trace.hops);
+    }
+}

@@ -1,0 +1,153 @@
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+//! Cholesky decomposition for symmetric positive-definite matrices.
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Used by the normal-equations OLS path (`XᵀX β = Xᵀy`) and as a fast SPD
+/// solver; [`crate::qr::Qr`] is preferred when conditioning is a concern.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper part is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (Gram matrices always satisfy it).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("Cholesky requires square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A·x = b` using the factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs length {} != {n}", b.len()),
+            });
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Returns the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Log-determinant of `A` (numerically robust product of squares).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_known_spd() {
+        let a = Matrix::from_vec(2, 2, vec![4., 2., 2., 3.]).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        // Reconstruct
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_vec(3, 3, vec![6., 2., 1., 2., 5., 2., 1., 2., 4.]).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x_ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            assert!((c - l).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 1.]).unwrap(); // eigenvalues 3, -1
+        assert_eq!(
+            Cholesky::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        let zero = Matrix::zeros(2, 2);
+        assert_eq!(
+            Cholesky::new(&zero).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = Matrix::from_vec(2, 2, vec![4., 2., 2., 3.]).unwrap();
+        let ld = Cholesky::new(&a).unwrap().log_det();
+        let det = crate::lu::Lu::new(&a).unwrap().det();
+        assert!((ld - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra and summary statistics.
+//!
+//! This crate is the numerical substrate for the attacker's data-mining
+//! toolkit (`fragcloud-mining`). It provides a small, dependency-free
+//! dense [`Matrix`] type with the decompositions needed by the paper's
+//! attack experiments:
+//!
+//! - LU with partial pivoting ([`lu::Lu`]) — general linear solves,
+//! - Householder QR ([`qr::Qr`]) — numerically stable least squares,
+//! - Cholesky ([`cholesky::Cholesky`]) — SPD solves (normal equations),
+//! - ordinary least squares ([`lstsq::ols`]) with fit diagnostics (R²),
+//! - summary statistics ([`stats`]) — mean, variance, covariance,
+//!   Pearson correlation.
+//!
+//! The paper's Table IV attack is a multiple linear regression fitted with
+//! MATLAB; [`lstsq::ols`] reproduces those coefficients on the same data
+//! (see `fragcloud-bench`, experiment E2).
+
+pub mod cholesky;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod stats;
+
+pub use lstsq::{ols, OlsFit};
+pub use matrix::Matrix;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected/actual shapes.
+        detail: String,
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// The system is underdetermined: fewer rows than columns.
+    Underdetermined {
+        /// Number of observations (rows).
+        rows: usize,
+        /// Number of unknowns (columns).
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Underdetermined { rows, cols } => {
+                write!(f, "underdetermined system: {rows} rows < {cols} cols")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,192 @@
+//! Ordinary least squares with fit diagnostics.
+
+use crate::{matrix::Matrix, qr::Qr, LinalgError, Result};
+
+/// Result of an ordinary-least-squares fit.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Fitted coefficients. When an intercept was requested it is the
+    /// **last** element (matching the paper's `1.4·M + 1.5·P + 3.1·Mn + 5436`
+    /// presentation where the constant is written last).
+    pub coefficients: Vec<f64>,
+    /// Whether an intercept column was appended.
+    pub intercept: bool,
+    /// Residuals `y − ŷ`.
+    pub residuals: Vec<f64>,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Total sum of squares around the mean of `y`.
+    pub tss: f64,
+}
+
+impl OlsFit {
+    /// Predicts the response for a single predictor row (without intercept
+    /// term; the intercept is added automatically if the fit used one).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let n_pred = if self.intercept {
+            self.coefficients.len() - 1
+        } else {
+            self.coefficients.len()
+        };
+        assert_eq!(
+            x.len(),
+            n_pred,
+            "predict: expected {n_pred} predictors, got {}",
+            x.len()
+        );
+        let mut y: f64 = x
+            .iter()
+            .zip(&self.coefficients[..n_pred])
+            .map(|(a, b)| a * b)
+            .sum();
+        if self.intercept {
+            y += self.coefficients[n_pred];
+        }
+        y
+    }
+
+    /// Root-mean-square error of the residuals.
+    pub fn rmse(&self) -> f64 {
+        if self.residuals.is_empty() {
+            return 0.0;
+        }
+        (self.rss / self.residuals.len() as f64).sqrt()
+    }
+}
+
+/// Fits `y ≈ X·β (+ c)` by QR least squares.
+///
+/// `x` is the `n × p` predictor matrix (one row per observation). When
+/// `intercept` is true a constant column is appended, and the constant is
+/// reported as the **last** coefficient.
+///
+/// Returns [`LinalgError::Underdetermined`] when there are fewer
+/// observations than unknowns — the mathematical reason the paper's
+/// fragmentation defence degrades regression attacks (§VII-A: "Regression
+/// analysis involving many variables requires many sample cases").
+pub fn ols(x: &Matrix, y: &[f64], intercept: bool) -> Result<OlsFit> {
+    let n = x.rows();
+    let p = x.cols() + usize::from(intercept);
+    if y.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            detail: format!("y length {} != {} rows", y.len(), n),
+        });
+    }
+    if n < p {
+        return Err(LinalgError::Underdetermined { rows: n, cols: p });
+    }
+    // Build the design matrix (optionally with an intercept column last).
+    let design = if intercept {
+        let mut d = Matrix::zeros(n, p);
+        for r in 0..n {
+            let src = x.row(r);
+            let dst = d.row_mut(r);
+            dst[..x.cols()].copy_from_slice(src);
+            dst[p - 1] = 1.0;
+        }
+        d
+    } else {
+        x.clone()
+    };
+
+    let beta = Qr::new(&design)?.solve_lstsq(y)?;
+
+    let yhat = design.matvec(&beta)?;
+    let residuals: Vec<f64> = y.iter().zip(&yhat).map(|(a, b)| a - b).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let mean = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+    Ok(OlsFit {
+        coefficients: beta,
+        intercept,
+        residuals,
+        r_squared,
+        rss,
+        tss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_with_intercept() {
+        // y = 2x + 1
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]).unwrap();
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = ols(&x, &y, true).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-10);
+        assert!((fit.coefficients[1] - 1.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.rmse() < 1e-10);
+        assert!((fit.predict(&[10.0]) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_intercept_through_origin() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let y = [2.0, 4.0, 6.0];
+        let fit = ols(&x, &y, false).unwrap();
+        assert_eq!(fit.coefficients.len(), 1);
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-12);
+        assert!((fit.predict(&[5.0]) - 10.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multivariate_known_plane() {
+        // y = 3a - 2b + 7
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 3.0],
+            vec![5.0, 1.0],
+        ];
+        let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&slices).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 7.0).collect();
+        let fit = ols(&x, &y, true).unwrap();
+        assert!((fit.coefficients[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] + 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[2] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        // 2 observations, 2 predictors + intercept = 3 unknowns.
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let y = [1.0, 2.0];
+        assert!(matches!(
+            ols(&x, &y, true),
+            Err(LinalgError::Underdetermined { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn y_length_mismatch_rejected() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(ols(&x, &[1.0], true).is_err());
+    }
+
+    #[test]
+    fn r_squared_between_zero_and_one_for_noise() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]).unwrap();
+        let y = [2.0, 1.0, 3.0, 2.5, 2.0]; // weak relationship
+        let fit = ols(&x, &y, true).unwrap();
+        assert!(fit.r_squared >= 0.0 && fit.r_squared <= 1.0);
+        assert!(fit.rss > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict: expected")]
+    fn predict_wrong_arity_panics() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let fit = ols(&x, &[1.0, 2.0, 3.0], true).unwrap();
+        let _ = fit.predict(&[1.0, 2.0]);
+    }
+}

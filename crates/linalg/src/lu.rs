@@ -1,0 +1,234 @@
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+//! LU decomposition with partial pivoting.
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// Relative pivot threshold below which a matrix is treated as singular.
+const SINGULARITY_EPS: f64 = 1e-12;
+
+/// LU decomposition `P·A = L·U` of a square matrix with partial pivoting.
+///
+/// `L` (unit lower-triangular) and `U` (upper-triangular) are stored packed
+/// in a single matrix; `perm` records the row permutation.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1); used by [`Lu::det`].
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] when a pivot is (numerically) zero
+    /// and [`LinalgError::ShapeMismatch`] for non-square input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("LU requires square matrix, got {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        // Scale factors for scaled partial pivoting: largest |a_ij| per row.
+        let scale: Vec<f64> = (0..n)
+            .map(|r| lu.row(r).iter().fold(0.0_f64, |m, &x| m.max(x.abs())))
+            .collect();
+        if scale.contains(&0.0) {
+            return Err(LinalgError::Singular);
+        }
+
+        for k in 0..n {
+            // Pick pivot row maximizing |a_ik| / scale_i.
+            let mut pivot_row = k;
+            let mut pivot_val = (lu[(k, k)] / scale[perm[k]]).abs();
+            for i in (k + 1)..n {
+                let v = (lu[(i, k)] / scale[perm[i]]).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < SINGULARITY_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs length {} != {n}", b.len()),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs has {} rows, expected {n}", b.rows()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col = b.col(c);
+            let x = self.solve(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out[(r, c)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.lu.rows()))
+    }
+}
+
+/// Convenience: solves `A·x = b` by LU factorization.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![2., 1., 1., 3.]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!(approx(&x, &[1.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // a11 = 0 forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(approx(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 4.]).unwrap();
+        assert_eq!(Lu::new(&a).unwrap_err(), LinalgError::Singular);
+        let zero = Matrix::zeros(2, 2);
+        assert_eq!(Lu::new(&zero).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn det_known() {
+        let a = Matrix::from_vec(2, 2, vec![3., 1., 4., 2.]).unwrap();
+        assert!((Lu::new(&a).unwrap().det() - 2.0).abs() < 1e-12);
+        // Permutation sign: swapping rows flips determinant sign.
+        let b = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]).unwrap();
+        assert!((Lu::new(&b).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_vec(3, 3, vec![4., 7., 2., 3., 6., 1., 2., 5., 3.]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_larger_system_consistent() {
+        // Random-ish but fixed 5x5 system; verify A * x ≈ b.
+        let a = Matrix::from_vec(
+            5,
+            5,
+            vec![
+                2., -1., 0., 3., 1., 4., 2., 1., 0., -2., 0., 5., 3., 1., 1., 1., 1., -1., 2.,
+                0., 3., 0., 2., -1., 4.,
+            ],
+        )
+        .unwrap();
+        let b = vec![1., 2., 3., 4., 5.];
+        let x = solve(&a, &b).unwrap();
+        let bx = a.matvec(&x).unwrap();
+        assert!(approx(&bx, &b, 1e-10));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

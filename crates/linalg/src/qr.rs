@@ -1,0 +1,218 @@
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+//! Householder QR decomposition and least-squares solves.
+
+use crate::{matrix::Matrix, LinalgError, Result};
+
+/// QR decomposition `A = Q·R` of an `m × n` matrix with `m ≥ n`, computed
+/// with Householder reflections.
+///
+/// The factorization is stored compactly: the Householder vectors live in
+/// the lower trapezoid of `qr` plus `beta`, and `R` in the upper triangle.
+/// This is the numerically stable path used by [`crate::lstsq::ols`].
+#[derive(Debug, Clone)]
+pub struct Qr {
+    qr: Matrix,
+    /// Scalar `β_k = 2 / (vᵀv)` for each Householder reflector.
+    betas: Vec<f64>,
+}
+
+/// Threshold on |r_kk| relative to the matrix norm for rank detection.
+const RANK_EPS: f64 = 1e-10;
+
+impl Qr {
+    /// Factorizes `a`; requires `rows ≥ cols`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Build the Householder vector for column k, rows k..m.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, a_{k+1,k}, ..., a_{m-1,k}); store v scaled by v0 so the
+            // leading entry is 1 (LAPACK-style), with beta adjusted.
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 * v0 * v0 / vtv };
+            // Normalize stored vector to leading 1.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha; // R diagonal
+            betas.push(beta);
+
+            // Apply reflector to remaining columns: A := (I - beta v vᵀ) A
+            for j in (k + 1)..n {
+                // w = vᵀ a_j  (v has implicit leading 1 at row k)
+                let mut w = qr[(k, j)];
+                for i in (k + 1)..m {
+                    w += qr[(i, k)] * qr[(i, j)];
+                }
+                w *= beta;
+                qr[(k, j)] -= w;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= w * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut w = b[k];
+            for i in (k + 1)..m {
+                w += self.qr[(i, k)] * b[i];
+            }
+            w *= beta;
+            b[k] -= w;
+            for i in (k + 1)..m {
+                b[i] -= w * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs length {} != {m}", b.len()),
+            });
+        }
+        // Estimate the scale of R for the rank test.
+        let rmax = (0..n)
+            .map(|k| self.qr[(k, k)].abs())
+            .fold(0.0_f64, f64::max);
+        let mut qtb = b.to_vec();
+        self.apply_qt(&mut qtb);
+        // Back substitution on R x = (Qᵀ b)[0..n]
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= RANK_EPS * rmax.max(1.0) {
+                return Err(LinalgError::Singular);
+            }
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// Returns a copy of the upper-triangular factor `R` (n × n).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_vec(2, 2, vec![2., 1., 1., 3.]).unwrap();
+        let x = Qr::new(&a).unwrap().solve_lstsq(&[5.0, 10.0]).unwrap();
+        assert!(approx(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn overdetermined_matches_known_fit() {
+        // Fit y = 2x + 1 exactly through three collinear points.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let x = Qr::new(&a).unwrap().solve_lstsq(&[1.0, 3.0, 5.0]).unwrap();
+        assert!(approx(&x, &[1.0, 2.0], 1e-10));
+    }
+
+    #[test]
+    fn overdetermined_noisy_minimizes_residual() {
+        // y ≈ 1 + 2x with noise; compare to hand-computed normal-equation fit.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.1, 2.9, 5.2, 6.8];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&slices).unwrap();
+        let beta = Qr::new(&a).unwrap().solve_lstsq(&ys).unwrap();
+        // Normal equations by hand: XtX = [[4,6],[6,14]], Xty = [16, 33.7]
+        let det = 4.0 * 14.0 - 36.0;
+        let b0 = (14.0 * 16.0 - 6.0 * 33.7) / det;
+        let b1 = (4.0 * 33.7 - 6.0 * 16.0) / det;
+        assert!(approx(&beta, &[b0, b1], 1e-10));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert_eq!(qr.solve_lstsq(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::new(&a),
+            Err(LinalgError::Underdetermined { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_consistent() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // |R| column norms must match |A| column norms (Q is orthogonal):
+        // check via RᵀR == AᵀA.
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let ata = a.gram();
+        assert!(rtr.max_abs_diff(&ata).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve_lstsq(&[1.0]).is_err());
+    }
+}

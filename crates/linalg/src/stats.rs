@@ -1,0 +1,157 @@
+//! Summary statistics: mean, variance, covariance, correlation, z-scores.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance; `0.0` when fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Unbiased sample covariance of two equal-length series.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient in `[-1, 1]`; `0.0` when either series is
+/// constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    (covariance(xs, ys) / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Standardizes a series to zero mean, unit variance. A constant series maps
+/// to all zeros.
+pub fn z_scores(xs: &[f64]) -> Vec<f64> {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Minimum and maximum of a slice; `None` when empty or any value is NaN.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut lo = xs[0];
+    let mut hi = xs[0];
+    for &x in &xs[1..] {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Percentile by linear interpolation (`p` in `[0, 100]`); `None` when empty.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        assert_eq!(variance(&[5.0]), 0.0);
+        // Known: var([2,4,4,4,5,5,7,9]) sample = 32/7
+        let v = variance(&[2., 4., 4., 4., 5., 5., 7., 9.]);
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&[2., 4., 4., 4., 5., 5., 7., 9.]) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_known() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((covariance(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn covariance_length_mismatch_panics() {
+        covariance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn z_scores_properties() {
+        let z = z_scores(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((variance(&z) - 1.0).abs() < 1e-12);
+        assert_eq!(z_scores(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_and_percentile() {
+        assert_eq!(min_max(&[3.0, 1.0, 2.0]), Some((1.0, 3.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[1.0, f64::NAN]), None);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), Some(2.5));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.0), Some(1.0));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 100.0), Some(3.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the linear-algebra substrate.
+
+use fragcloud_linalg::{cholesky::Cholesky, lu, matrix::Matrix, ols, qr::Qr};
+use proptest::prelude::*;
+
+/// Random diagonally-dominant matrix (always well conditioned enough).
+fn arb_dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| v[i * n + j].abs()).sum();
+            v[i * n + i] = row_sum + 1.0; // strict dominance
+        }
+        Matrix::from_vec(n, n, v).expect("square data")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LU solves satisfy A x = b to tight tolerance.
+    #[test]
+    fn lu_solve_residual(a in arb_dd_matrix(5), b in proptest::collection::vec(-10.0f64..10.0, 5)) {
+        let x = lu::solve(&a, &b).expect("dd matrix is nonsingular");
+        let ax = a.matvec(&x).expect("square");
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual {l} vs {r}");
+        }
+    }
+
+    /// QR and LU agree on square solves.
+    #[test]
+    fn qr_matches_lu_on_square(a in arb_dd_matrix(4), b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let x_lu = lu::solve(&a, &b).expect("nonsingular");
+        let x_qr = Qr::new(&a).expect("square is fine").solve_lstsq(&b).expect("full rank");
+        for (l, q) in x_lu.iter().zip(&x_qr) {
+            prop_assert!((l - q).abs() < 1e-7, "{l} vs {q}");
+        }
+    }
+
+    /// Cholesky of AᵀA (+ εI) solves the normal equations like LU does.
+    #[test]
+    fn cholesky_matches_lu_on_spd(a in arb_dd_matrix(4), b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let spd = a.gram(); // AᵀA of a nonsingular A is SPD
+        let x_ch = Cholesky::new(&spd).expect("SPD").solve(&b).expect("len ok");
+        let x_lu = lu::solve(&spd, &b).expect("nonsingular");
+        for (c, l) in x_ch.iter().zip(&x_lu) {
+            prop_assert!((c - l).abs() < 1e-7, "{c} vs {l}");
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ and matmul associates.
+    #[test]
+    fn matmul_algebra(
+        a in proptest::collection::vec(-3.0f64..3.0, 6),
+        b in proptest::collection::vec(-3.0f64..3.0, 6),
+        c in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let a = Matrix::from_vec(2, 3, a).expect("2x3");
+        let b = Matrix::from_vec(3, 2, b).expect("3x2");
+        let c = Matrix::from_vec(2, 2, c).expect("2x2");
+        let ab = a.matmul(&b).expect("compatible");
+        let abt = ab.transpose();
+        let btat = b.transpose().matmul(&a.transpose()).expect("compatible");
+        prop_assert!(abt.max_abs_diff(&btat).expect("same shape") < 1e-10);
+        let ab_c = ab.matmul(&c).expect("compatible");
+        let bc = b.matmul(&c).expect("compatible");
+        let a_bc = a.matmul(&bc).expect("compatible");
+        prop_assert!(ab_c.max_abs_diff(&a_bc).expect("same shape") < 1e-9);
+    }
+
+    /// OLS residuals are orthogonal to the design columns (normal
+    /// equations hold at the optimum).
+    #[test]
+    fn ols_residual_orthogonality(
+        xs in proptest::collection::vec(-10.0f64..10.0, 12),
+        ys in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        // One predictor with spread (skip degenerate constant xs).
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let x = Matrix::from_vec(12, 1, xs.clone()).expect("12x1");
+        let fit = ols(&x, &ys, true).expect("12 rows, 2 unknowns");
+        // Σ rᵢ = 0 (intercept column) and Σ rᵢ xᵢ = 0.
+        let sum_r: f64 = fit.residuals.iter().sum();
+        let sum_rx: f64 = fit.residuals.iter().zip(&xs).map(|(r, x)| r * x).sum();
+        prop_assert!(sum_r.abs() < 1e-6, "sum r = {sum_r}");
+        prop_assert!(sum_rx.abs() < 1e-4, "sum rx = {sum_rx}");
+        prop_assert!(fit.r_squared <= 1.0 + 1e-12);
+    }
+}

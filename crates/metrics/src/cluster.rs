@@ -1,0 +1,212 @@
+//! Clustering-agreement metrics: Rand index, Adjusted Rand Index,
+//! migration rate.
+//!
+//! §VIII-B observes that after fragmentation "many entities have moved from
+//! their original cluster to other clusters". ARI quantifies exactly that:
+//! 1.0 = identical partitions (attack unaffected), ≈0 = chance-level
+//! agreement (attack defeated).
+
+/// Builds the contingency table between two labelings of the same points.
+///
+/// # Panics
+/// Panics when the labelings have different lengths or are empty.
+fn contingency(a: &[usize], b: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same points");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let ka = a.iter().max().unwrap() + 1;
+    let kb = b.iter().max().unwrap() + 1;
+    let mut table = vec![vec![0usize; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    table
+}
+
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Rand index in `[0, 1]`: fraction of point pairs on which the two
+/// partitions agree (same-same or different-different).
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let table = contingency(a, b);
+    let n = a.len();
+    let total_pairs = choose2(n);
+    if total_pairs == 0.0 {
+        return 1.0;
+    }
+    let sum_cells: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = table
+        .iter()
+        .map(|row| choose2(row.iter().sum::<usize>()))
+        .sum();
+    let sum_cols: f64 = (0..table[0].len())
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<usize>()))
+        .sum();
+    // agreements = same-same pairs + different-different pairs
+    let same_same = sum_cells;
+    let diff_diff = total_pairs - sum_rows - sum_cols + sum_cells;
+    (same_same + diff_diff) / total_pairs
+}
+
+/// Adjusted Rand Index: Rand index corrected for chance; 1.0 = identical,
+/// ~0 = random agreement, can be negative for adversarial disagreement.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let table = contingency(a, b);
+    let n = a.len();
+    let total_pairs = choose2(n);
+    if total_pairs == 0.0 {
+        return 1.0;
+    }
+    let index: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = table
+        .iter()
+        .map(|row| choose2(row.iter().sum::<usize>()))
+        .sum();
+    let sum_cols: f64 = (0..table[0].len())
+        .map(|j| choose2(table.iter().map(|row| row[j]).sum::<usize>()))
+        .sum();
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        // Degenerate partitions (e.g. both all-in-one): define as 1.0 when
+        // identical agreement, else 0.
+        return if (index - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Migration rate: the minimum fraction of points whose label must change
+/// to turn partition `b` into partition `a`, after optimally matching
+/// cluster labels (greedy maximum matching on the contingency table).
+///
+/// 0.0 = no entity moved; the paper's "many entities have moved" claim
+/// shows up as a large value.
+pub fn migration_rate(a: &[usize], b: &[usize]) -> f64 {
+    let table = contingency(a, b);
+    let n = a.len() as f64;
+    // Greedy matching: repeatedly take the largest cell, match its row/col.
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            if c > 0 {
+                cells.push((c, i, j));
+            }
+        }
+    }
+    cells.sort_unstable_by_key(|x| std::cmp::Reverse(x.0));
+    let mut used_row = vec![false; table.len()];
+    let mut used_col = vec![false; table[0].len()];
+    let mut matched = 0usize;
+    for (c, i, j) in cells {
+        if !used_row[i] && !used_col[j] {
+            used_row[i] = true;
+            used_col[j] = true;
+            matched += c;
+        }
+    }
+    1.0 - matched as f64 / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(migration_rate(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn label_permutation_is_still_perfect() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(migration_rate(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: a=[0,0,1,1], b=[0,0,0,1]
+        // contingency: [[2,0],[1,1]]
+        // index = C(2,2)+C(1,2)+C(1,2) = 1; sum_rows = 1+1 = 2; sum_cols = C(3,2)+C(1,2)=3
+        // expected = 2*3/6 = 1; max = 2.5; ARI = (1-1)/(2.5-1) = 0
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 0, 0, 1];
+        assert!((adjusted_rand_index(&a, &b) - 0.0).abs() < 1e-12);
+        // Rand index: agreements: pairs (0,1) same-same ✓, (2,3) diff in b ✗,
+        // (0,2),(0,3),(1,2),(1,3): a diff; b: (0,2) same ✗,(0,3) diff ✓,(1,2) same ✗,(1,3) diff ✓
+        // agree = 3 of 6
+        assert!((rand_index(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_counts_moved_points() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1]; // one point moved
+        assert!((migration_rate(&a, &b) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_partitions() {
+        // a groups pairs; b groups alternating — heavy disagreement.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari <= 0.0, "ari={ari}");
+        assert!(migration_rate(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn singleton_vs_lump_degenerate() {
+        let a = vec![0, 1, 2, 3];
+        let b = vec![0, 0, 0, 0];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 1e-9, "ari={ari}");
+        assert!(rand_index(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn both_all_in_one_is_agreement() {
+        let a = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert_eq!(rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same points")]
+    fn length_mismatch_panics() {
+        rand_index(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_panics() {
+        rand_index(&[], &[]);
+    }
+
+    #[test]
+    fn ari_bounded_above_by_one_random_partitions() {
+        // Pseudo-random partitions: ARI must stay in [-1, 1].
+        let a: Vec<usize> = (0..50).map(|i| (i * 7 + 3) % 4).collect();
+        let b: Vec<usize> = (0..50).map(|i| (i * 13 + 1) % 5).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!((-1.0..=1.0).contains(&ari), "ari={ari}");
+        let ri = rand_index(&a, &b);
+        assert!((0.0..=1.0).contains(&ri));
+        let mig = migration_rate(&a, &b);
+        assert!((0.0..=1.0).contains(&mig));
+    }
+}

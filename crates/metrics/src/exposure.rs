@@ -1,0 +1,117 @@
+//! Attacker-exposure accounting.
+//!
+//! §III-B: "Distribution of data chunks among multiple providers restricts
+//! a cloud provider from accessing all chunks of a client." These helpers
+//! quantify what an attacker who compromises `k` of `n` providers actually
+//! holds.
+
+/// Exposure of one client's data to an attacker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exposure {
+    /// Fraction of the client's chunks observed.
+    pub chunk_fraction: f64,
+    /// Fraction of the client's bytes observed.
+    pub byte_fraction: f64,
+}
+
+/// Computes exposure from per-provider holdings.
+///
+/// `chunks_per_provider[i]` / `bytes_per_provider[i]` describe what provider
+/// `i` stores for the victim; `compromised` flags the providers the attacker
+/// controls.
+///
+/// # Panics
+/// Panics when the slice lengths disagree.
+pub fn exposure(
+    chunks_per_provider: &[usize],
+    bytes_per_provider: &[u64],
+    compromised: &[bool],
+) -> Exposure {
+    assert_eq!(chunks_per_provider.len(), bytes_per_provider.len());
+    assert_eq!(chunks_per_provider.len(), compromised.len());
+    let total_chunks: usize = chunks_per_provider.iter().sum();
+    let total_bytes: u64 = bytes_per_provider.iter().sum();
+    let seen_chunks: usize = chunks_per_provider
+        .iter()
+        .zip(compromised)
+        .filter(|(_, &c)| c)
+        .map(|(&n, _)| n)
+        .sum();
+    let seen_bytes: u64 = bytes_per_provider
+        .iter()
+        .zip(compromised)
+        .filter(|(_, &c)| c)
+        .map(|(&n, _)| n)
+        .sum();
+    Exposure {
+        chunk_fraction: if total_chunks == 0 {
+            0.0
+        } else {
+            seen_chunks as f64 / total_chunks as f64
+        },
+        byte_fraction: if total_bytes == 0 {
+            0.0
+        } else {
+            seen_bytes as f64 / total_bytes as f64
+        },
+    }
+}
+
+/// Expected byte exposure when the attacker compromises `k` uniformly
+/// random providers out of `n` holding equal shares: simply `k / n`.
+pub fn expected_uniform_exposure(k: usize, n: usize) -> f64 {
+    assert!(n > 0 && k <= n);
+    k as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_compromise_no_exposure() {
+        let e = exposure(&[10, 10, 10], &[100, 100, 100], &[false, false, false]);
+        assert_eq!(e.chunk_fraction, 0.0);
+        assert_eq!(e.byte_fraction, 0.0);
+    }
+
+    #[test]
+    fn full_compromise_full_exposure() {
+        let e = exposure(&[5, 5], &[10, 30], &[true, true]);
+        assert_eq!(e.chunk_fraction, 1.0);
+        assert_eq!(e.byte_fraction, 1.0);
+    }
+
+    #[test]
+    fn partial_compromise_weighted_by_holdings() {
+        let e = exposure(&[1, 3], &[10, 30], &[true, false]);
+        assert!((e.chunk_fraction - 0.25).abs() < 1e-12);
+        assert!((e.byte_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_provider_baseline_is_total_exposure() {
+        // The paper's core point: with one provider, one compromise = 100%.
+        let e = exposure(&[40], &[4096], &[true]);
+        assert_eq!(e.byte_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_holdings_are_zero() {
+        let e = exposure(&[0, 0], &[0, 0], &[true, true]);
+        assert_eq!(e.chunk_fraction, 0.0);
+        assert_eq!(e.byte_fraction, 0.0);
+    }
+
+    #[test]
+    fn uniform_expectation() {
+        assert_eq!(expected_uniform_exposure(1, 4), 0.25);
+        assert_eq!(expected_uniform_exposure(4, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        exposure(&[1], &[1, 2], &[true]);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Privacy and mining-degradation metrics.
+//!
+//! The paper argues qualitatively that fragmentation degrades mining
+//! ("many entities have moved from their original cluster to other
+//! clusters", "all of these equations are misleading"). This crate turns
+//! those claims into numbers:
+//!
+//! - [`cluster`] — Rand index, Adjusted Rand Index and migration rate
+//!   between a full-data clustering and a fragment clustering (Figs. 4–6);
+//! - [`regression`] — coefficient drift and prediction error between the
+//!   full-data fit and fragment fits (Table IV / §VII-A);
+//! - [`rules`] — recall/precision of association rules surviving
+//!   fragmentation;
+//! - [`exposure`] — how much of a client's data an attacker controlling
+//!   `k` of `n` providers actually observes.
+
+pub mod cluster;
+pub mod exposure;
+pub mod regression;
+pub mod rules;
+
+pub use cluster::{adjusted_rand_index, migration_rate, rand_index};
+pub use regression::{coefficient_distance, CoefficientDrift};
+pub use rules::{rule_precision, rule_recall};

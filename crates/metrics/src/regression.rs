@@ -1,0 +1,114 @@
+//! Regression-attack degradation metrics.
+//!
+//! §VII-A: the full-data fit recovers the true pricing model; the three
+//! fragment fits are "all … misleading". These metrics quantify
+//! *how* misleading: distance in coefficient space and error when the
+//! attacker uses a fragment-trained model to predict the truth.
+
+use fragcloud_mining::regression::RegressionModel;
+
+/// Drift of one model's coefficients relative to a reference model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientDrift {
+    /// Euclidean distance between coefficient vectors (slopes + intercept).
+    pub euclidean: f64,
+    /// Largest absolute per-coefficient difference.
+    pub max_abs: f64,
+    /// Mean relative error of the slopes, `mean(|Δcᵢ| / max(|cᵢ_ref|, ε))`.
+    pub mean_relative_slope_error: f64,
+}
+
+/// Compares two fitted models with identical predictor sets.
+///
+/// # Panics
+/// Panics when the models have different predictor lists.
+pub fn coefficient_distance(
+    reference: &RegressionModel,
+    other: &RegressionModel,
+) -> CoefficientDrift {
+    assert_eq!(
+        reference.predictors, other.predictors,
+        "models must share the predictor set"
+    );
+    let a = &reference.fit.coefficients;
+    let b = &other.fit.coefficients;
+    let euclidean = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let max_abs = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    let eps = 1e-9;
+    let n_slopes = reference.predictors.len();
+    let mean_relative_slope_error = a[..n_slopes]
+        .iter()
+        .zip(&b[..n_slopes])
+        .map(|(x, y)| (x - y).abs() / x.abs().max(eps))
+        .sum::<f64>()
+        / n_slopes as f64;
+    CoefficientDrift {
+        euclidean,
+        max_abs,
+        mean_relative_slope_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_mining::Dataset;
+
+    fn model(slope: f64, icept: f64) -> RegressionModel {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..8 {
+            let x = i as f64;
+            d.push(vec![x, slope * x + icept]);
+        }
+        RegressionModel::fit(&d, &["x"], "y").unwrap()
+    }
+
+    #[test]
+    fn identical_models_drift_zero() {
+        let m = model(2.0, 5.0);
+        let d = coefficient_distance(&m, &m);
+        assert!(d.euclidean < 1e-9);
+        assert!(d.max_abs < 1e-9);
+        assert!(d.mean_relative_slope_error < 1e-9);
+    }
+
+    #[test]
+    fn known_drift() {
+        let a = model(2.0, 0.0);
+        let b = model(3.0, 0.0);
+        let d = coefficient_distance(&a, &b);
+        assert!((d.euclidean - 1.0).abs() < 1e-6);
+        assert!((d.max_abs - 1.0).abs() < 1e-6);
+        assert!((d.mean_relative_slope_error - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intercept_counts_in_euclidean_not_slope_error() {
+        let a = model(2.0, 0.0);
+        let b = model(2.0, 10.0);
+        let d = coefficient_distance(&a, &b);
+        assert!((d.euclidean - 10.0).abs() < 1e-6);
+        assert!(d.mean_relative_slope_error < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the predictor set")]
+    fn mismatched_predictors_panic() {
+        let a = model(1.0, 0.0);
+        let mut d = Dataset::new(vec!["z".into(), "y".into()]);
+        for i in 0..8 {
+            d.push(vec![i as f64, i as f64]);
+        }
+        let b = RegressionModel::fit(&d, &["z"], "y").unwrap();
+        coefficient_distance(&a, &b);
+    }
+}

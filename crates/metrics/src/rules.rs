@@ -1,0 +1,101 @@
+//! Association-rule survival metrics.
+//!
+//! How many of the rules an attacker could mine from the *full* data are
+//! still discoverable from a fragment? Recall near 1 means fragmentation
+//! did not help; recall near 0 means the association structure was
+//! destroyed.
+
+use fragcloud_mining::apriori::Rule;
+
+/// Structural equality key for a rule (antecedent ⇒ consequent).
+fn key(rule: &Rule) -> (Vec<u32>, Vec<u32>) {
+    (rule.antecedent.clone(), rule.consequent.clone())
+}
+
+/// Fraction of `reference` rules present (structurally) in `found`.
+/// 1.0 when `reference` is empty (nothing to miss).
+pub fn rule_recall(reference: &[Rule], found: &[Rule]) -> f64 {
+    if reference.is_empty() {
+        return 1.0;
+    }
+    let found_keys: std::collections::HashSet<_> = found.iter().map(key).collect();
+    let hit = reference
+        .iter()
+        .filter(|r| found_keys.contains(&key(r)))
+        .count();
+    hit as f64 / reference.len() as f64
+}
+
+/// Fraction of `found` rules that are genuine (present in `reference`).
+/// Low precision means the fragment led the attacker to *spurious* rules —
+/// the paper's "misleading" outcome. 1.0 when `found` is empty.
+pub fn rule_precision(reference: &[Rule], found: &[Rule]) -> f64 {
+    if found.is_empty() {
+        return 1.0;
+    }
+    let ref_keys: std::collections::HashSet<_> = reference.iter().map(key).collect();
+    let hit = found.iter().filter(|r| ref_keys.contains(&key(r))).count();
+    hit as f64 / found.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_mining::apriori::mine_rules;
+
+    fn txs_full() -> Vec<Vec<u32>> {
+        // Strong pattern: 1 and 2 co-occur always; 3 independent.
+        vec![
+            vec![1, 2],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![3],
+        ]
+    }
+
+    #[test]
+    fn recall_one_when_found_superset() {
+        let rules = mine_rules(&txs_full(), 0.3, 0.8).unwrap();
+        assert!(!rules.is_empty());
+        assert_eq!(rule_recall(&rules, &rules), 1.0);
+        assert_eq!(rule_precision(&rules, &rules), 1.0);
+    }
+
+    #[test]
+    fn recall_zero_when_nothing_found() {
+        let rules = mine_rules(&txs_full(), 0.3, 0.8).unwrap();
+        assert_eq!(rule_recall(&rules, &[]), 0.0);
+        // Empty found set is vacuously precise.
+        assert_eq!(rule_precision(&rules, &[]), 1.0);
+    }
+
+    #[test]
+    fn empty_reference_is_full_recall() {
+        let rules = mine_rules(&txs_full(), 0.3, 0.8).unwrap();
+        assert_eq!(rule_recall(&[], &rules), 1.0);
+        // But those found rules are all spurious w.r.t. empty reference.
+        assert_eq!(rule_precision(&[], &rules), 0.0);
+    }
+
+    #[test]
+    fn fragmentation_reduces_recall_on_skewed_fragment() {
+        let full_rules = mine_rules(&txs_full(), 0.3, 0.8).unwrap();
+        // A fragment missing most co-occurrences.
+        let fragment = vec![vec![3u32], vec![3], vec![1]];
+        let frag_rules = mine_rules(&fragment, 0.3, 0.8).unwrap();
+        let recall = rule_recall(&full_rules, &frag_rules);
+        assert!(recall < 1.0, "recall={recall}");
+    }
+
+    #[test]
+    fn partial_overlap_counts_fractionally() {
+        let rules = mine_rules(&txs_full(), 0.3, 0.8).unwrap();
+        assert!(rules.len() >= 2);
+        let half = &rules[..rules.len() / 2];
+        let r = rule_recall(&rules, half);
+        assert!(r > 0.0 && r < 1.0, "recall={r}");
+        assert_eq!(rule_precision(&rules, half), 1.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Apriori association-rule mining.
+//!
+//! §II-B: "association rule mining can be used to discover association
+//! relationships among large number of business transaction records." The
+//! attacker experiments mine market-basket transactions observed on one
+//! provider; the defence metric is *rule recall* — how many of the rules
+//! discoverable from the full data survive fragmentation
+//! (`fragcloud-metrics::rules`).
+
+use crate::{MiningError, Result};
+use std::collections::{BTreeSet, HashMap};
+
+/// An item is a small integer id (the workload generator maps names to ids).
+pub type Item = u32;
+
+/// A transaction is a sorted, deduplicated set of items.
+pub type Transaction = Vec<Item>;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<Item>,
+    /// Number of transactions containing all of the items.
+    pub support_count: usize,
+}
+
+/// An association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Left-hand side items (sorted).
+    pub antecedent: Vec<Item>,
+    /// Right-hand side items (sorted).
+    pub consequent: Vec<Item>,
+    /// Fraction of transactions containing both sides.
+    pub support: f64,
+    /// `support(A ∪ C) / support(A)`.
+    pub confidence: f64,
+    /// `confidence / support(C)` — how much the antecedent lifts the
+    /// consequent over its base rate.
+    pub lift: f64,
+}
+
+/// Mines all frequent itemsets with support ≥ `min_support` (a fraction of
+/// the transaction count) using the classic level-wise Apriori algorithm.
+pub fn frequent_itemsets(
+    transactions: &[Transaction],
+    min_support: f64,
+) -> Result<Vec<FrequentItemset>> {
+    if !(0.0..=1.0).contains(&min_support) || min_support <= 0.0 {
+        return Err(MiningError::InvalidParameter {
+            detail: format!("min_support must be in (0, 1], got {min_support}"),
+        });
+    }
+    let n = transactions.len();
+    if n == 0 {
+        return Err(MiningError::InsufficientData { have: 0, need: 1 });
+    }
+    let min_count = (min_support * n as f64).ceil() as usize;
+    let min_count = min_count.max(1);
+
+    // Normalize transactions: sorted unique items.
+    let txs: Vec<Vec<Item>> = transactions
+        .iter()
+        .map(|t| {
+            let set: BTreeSet<Item> = t.iter().copied().collect();
+            set.into_iter().collect()
+        })
+        .collect();
+
+    // L1
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for t in &txs {
+        for &i in t {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut current: Vec<Vec<Item>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_count)
+        .map(|(&i, _)| vec![i])
+        .collect();
+    current.sort();
+    let mut result: Vec<FrequentItemset> = current
+        .iter()
+        .map(|items| FrequentItemset {
+            items: items.clone(),
+            support_count: counts[&items[0]],
+        })
+        .collect();
+
+    // Level-wise expansion.
+    while !current.is_empty() {
+        let k = current[0].len() + 1;
+        // Candidate generation: join itemsets sharing a (k-2)-prefix.
+        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        for a in 0..current.len() {
+            for b in (a + 1)..current.len() {
+                let x = &current[a];
+                let y = &current[b];
+                if x[..k - 2] == y[..k - 2] {
+                    let mut cand = x.clone();
+                    cand.push(y[k - 2]);
+                    // Prune: all (k-1)-subsets must be frequent.
+                    let all_frequent = (0..cand.len()).all(|skip| {
+                        let sub: Vec<Item> = cand
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != skip)
+                            .map(|(_, &v)| v)
+                            .collect();
+                        current.binary_search(&sub).is_ok()
+                    });
+                    if all_frequent {
+                        candidates.push(cand);
+                    }
+                } else {
+                    break; // sorted order: later b's share even less prefix
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Count supports.
+        let mut cand_counts = vec![0usize; candidates.len()];
+        for t in &txs {
+            if t.len() < k {
+                continue;
+            }
+            for (ci, cand) in candidates.iter().enumerate() {
+                if is_subset(cand, t) {
+                    cand_counts[ci] += 1;
+                }
+            }
+        }
+        let mut next: Vec<Vec<Item>> = Vec::new();
+        for (cand, &c) in candidates.iter().zip(&cand_counts) {
+            if c >= min_count {
+                result.push(FrequentItemset {
+                    items: cand.clone(),
+                    support_count: c,
+                });
+                next.push(cand.clone());
+            }
+        }
+        next.sort();
+        current = next;
+    }
+
+    Ok(result)
+}
+
+/// Derives association rules with confidence ≥ `min_confidence` from the
+/// frequent itemsets of `transactions` at `min_support`.
+pub fn mine_rules(
+    transactions: &[Transaction],
+    min_support: f64,
+    min_confidence: f64,
+) -> Result<Vec<Rule>> {
+    if !(0.0..=1.0).contains(&min_confidence) {
+        return Err(MiningError::InvalidParameter {
+            detail: format!("min_confidence must be in [0, 1], got {min_confidence}"),
+        });
+    }
+    let itemsets = frequent_itemsets(transactions, min_support)?;
+    let n = transactions.len() as f64;
+    let support_of: HashMap<Vec<Item>, usize> = itemsets
+        .iter()
+        .map(|fi| (fi.items.clone(), fi.support_count))
+        .collect();
+
+    let mut rules = Vec::new();
+    for fi in itemsets.iter().filter(|fi| fi.items.len() >= 2) {
+        // Every non-empty proper subset as antecedent.
+        let m = fi.items.len();
+        for mask in 1..((1usize << m) - 1) {
+            let antecedent: Vec<Item> = (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| fi.items[i])
+                .collect();
+            let consequent: Vec<Item> = (0..m)
+                .filter(|i| mask & (1 << i) == 0)
+                .map(|i| fi.items[i])
+                .collect();
+            let Some(&ant_count) = support_of.get(&antecedent) else {
+                continue; // antecedent below threshold (can't happen by downward closure)
+            };
+            let confidence = fi.support_count as f64 / ant_count as f64;
+            if confidence + 1e-12 < min_confidence {
+                continue;
+            }
+            let cons_base = support_of
+                .get(&consequent)
+                .map(|&c| c as f64 / n)
+                .unwrap_or(0.0);
+            let lift = if cons_base > 0.0 {
+                confidence / cons_base
+            } else {
+                f64::INFINITY
+            };
+            rules.push(Rule {
+                antecedent,
+                consequent,
+                support: fi.support_count as f64 / n,
+                confidence,
+                lift,
+            });
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite confidence")
+            .then(b.support.partial_cmp(&a.support).expect("finite support"))
+    });
+    Ok(rules)
+}
+
+/// Tests `needle ⊆ haystack` for two ascending-sorted slices.
+fn is_subset(needle: &[Item], haystack: &[Item]) -> bool {
+    let mut hi = 0;
+    'outer: for &x in needle {
+        while hi < haystack.len() {
+            match haystack[hi].cmp(&x) {
+                std::cmp::Ordering::Less => hi += 1,
+                std::cmp::Ordering::Equal => {
+                    hi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook 5-transaction example.
+    fn market() -> Vec<Transaction> {
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    fn find<'a>(sets: &'a [FrequentItemset], items: &[Item]) -> Option<&'a FrequentItemset> {
+        sets.iter().find(|fi| fi.items == items)
+    }
+
+    #[test]
+    fn textbook_l1_counts() {
+        let sets = frequent_itemsets(&market(), 2.0 / 9.0).unwrap();
+        assert_eq!(find(&sets, &[1]).unwrap().support_count, 6);
+        assert_eq!(find(&sets, &[2]).unwrap().support_count, 7);
+        assert_eq!(find(&sets, &[3]).unwrap().support_count, 6);
+        assert_eq!(find(&sets, &[4]).unwrap().support_count, 2);
+        assert_eq!(find(&sets, &[5]).unwrap().support_count, 2);
+    }
+
+    #[test]
+    fn textbook_l2_and_l3() {
+        let sets = frequent_itemsets(&market(), 2.0 / 9.0).unwrap();
+        assert_eq!(find(&sets, &[1, 2]).unwrap().support_count, 4);
+        assert_eq!(find(&sets, &[1, 3]).unwrap().support_count, 4);
+        assert_eq!(find(&sets, &[1, 5]).unwrap().support_count, 2);
+        assert_eq!(find(&sets, &[2, 3]).unwrap().support_count, 4);
+        assert_eq!(find(&sets, &[2, 4]).unwrap().support_count, 2);
+        assert_eq!(find(&sets, &[2, 5]).unwrap().support_count, 2);
+        assert!(find(&sets, &[3, 4]).is_none());
+        assert_eq!(find(&sets, &[1, 2, 3]).unwrap().support_count, 2);
+        assert_eq!(find(&sets, &[1, 2, 5]).unwrap().support_count, 2);
+        // no frequent 4-itemsets
+        assert!(sets.iter().all(|fi| fi.items.len() <= 3));
+    }
+
+    #[test]
+    fn downward_closure_holds() {
+        let sets = frequent_itemsets(&market(), 2.0 / 9.0).unwrap();
+        for fi in &sets {
+            if fi.items.len() < 2 {
+                continue;
+            }
+            for skip in 0..fi.items.len() {
+                let sub: Vec<Item> = fi
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let parent = find(&sets, &sub).expect("subset must be frequent");
+                assert!(parent.support_count >= fi.support_count);
+            }
+        }
+    }
+
+    #[test]
+    fn rules_confidence_and_lift() {
+        let rules = mine_rules(&market(), 2.0 / 9.0, 0.9).unwrap();
+        // {5} => {1,2} has confidence 2/2 = 1.0
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![5] && r.consequent == vec![1, 2])
+            .expect("rule {5}=>{1,2} must be found");
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!((r.support - 2.0 / 9.0).abs() < 1e-12);
+        // lift = 1.0 / (4/9)
+        assert!((r.lift - 9.0 / 4.0).abs() < 1e-12);
+        // All returned rules meet the confidence bar.
+        assert!(rules.iter().all(|r| r.confidence >= 0.9 - 1e-12));
+        // Sorted by confidence descending.
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_support_one_returns_universal_items_only() {
+        let txs = vec![vec![1, 2], vec![1, 3], vec![1]];
+        let sets = frequent_itemsets(&txs, 1.0).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].items, vec![1]);
+        assert_eq!(sets[0].support_count, 3);
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_counted_once() {
+        let txs = vec![vec![1, 1, 2], vec![2, 1]];
+        let sets = frequent_itemsets(&txs, 1.0).unwrap();
+        assert_eq!(find(&sets, &[1, 2]).unwrap().support_count, 2);
+    }
+
+    #[test]
+    fn parameter_errors() {
+        assert!(frequent_itemsets(&market(), 0.0).is_err());
+        assert!(frequent_itemsets(&market(), 1.5).is_err());
+        let empty: Vec<Transaction> = vec![];
+        assert!(matches!(
+            frequent_itemsets(&empty, 0.5),
+            Err(MiningError::InsufficientData { .. })
+        ));
+        assert!(mine_rules(&market(), 0.5, 1.5).is_err());
+    }
+
+    #[test]
+    fn is_subset_cases() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

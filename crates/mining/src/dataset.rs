@@ -1,0 +1,407 @@
+//! Tabular dataset container and distance kernels.
+
+use crate::{MiningError, Result};
+use fragcloud_linalg::Matrix;
+
+/// A tabular dataset: one row per observation, named numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Dataset {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from column names and rows, validating widths.
+    pub fn from_rows(columns: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self> {
+        let width = columns.len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(MiningError::InvalidParameter {
+                    detail: format!("row {i} has {} values, expected {width}", r.len()),
+                });
+            }
+        }
+        Ok(Dataset { columns, rows })
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the column count.
+    pub fn push(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "Dataset::push: row width mismatch"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Borrow of observation `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Extracts one column as a vector.
+    pub fn column(&self, name: &str) -> Result<Vec<f64>> {
+        let idx = self
+            .column_index(name)
+            .ok_or_else(|| MiningError::InvalidParameter {
+                detail: format!("no column named {name:?}"),
+            })?;
+        Ok(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Builds a predictor [`Matrix`] from the named columns (in order).
+    pub fn design_matrix(&self, predictors: &[&str]) -> Result<Matrix> {
+        let idxs: Vec<usize> = predictors
+            .iter()
+            .map(|p| {
+                self.column_index(p).ok_or_else(|| MiningError::InvalidParameter {
+                    detail: format!("no column named {p:?}"),
+                })
+            })
+            .collect::<Result<_>>()?;
+        let mut data = Vec::with_capacity(self.rows.len() * idxs.len());
+        for r in &self.rows {
+            for &i in &idxs {
+                data.push(r[i]);
+            }
+        }
+        Matrix::from_vec(self.rows.len(), idxs.len(), data).map_err(Into::into)
+    }
+
+    /// Returns the sub-dataset containing rows `[start, end)` — the shape of
+    /// data an attacker sees on one provider after fragmentation.
+    pub fn slice(&self, start: usize, end: usize) -> Dataset {
+        let end = end.min(self.rows.len());
+        let start = start.min(end);
+        Dataset {
+            columns: self.columns.clone(),
+            rows: self.rows[start..end].to_vec(),
+        }
+    }
+
+    /// Splits the dataset into `n` contiguous, nearly equal fragments —
+    /// exactly the paper's §VII-A scenario ("if Hercules distributes his
+    /// data equally among 3 providers").
+    pub fn fragment(&self, n: usize) -> Vec<Dataset> {
+        assert!(n > 0, "fragment count must be positive");
+        let total = self.rows.len();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            out.push(self.slice(start, start + size));
+            start += size;
+        }
+        out
+    }
+
+    /// Standardizes every column to zero mean / unit variance (in place),
+    /// returning the per-column (mean, std) so callers can invert it.
+    pub fn standardize(&mut self) -> Vec<(f64, f64)> {
+        let width = self.columns.len();
+        let mut params = Vec::with_capacity(width);
+        for c in 0..width {
+            let col: Vec<f64> = self.rows.iter().map(|r| r[c]).collect();
+            let m = fragcloud_linalg::stats::mean(&col);
+            let s = fragcloud_linalg::stats::std_dev(&col);
+            let s_eff = if s == 0.0 { 1.0 } else { s };
+            for r in &mut self.rows {
+                r[c] = (r[c] - m) / s_eff;
+            }
+            params.push((m, s));
+        }
+        params
+    }
+}
+
+/// Squared Euclidean distance between two equal-length points.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Correlation distance `1 − ρ(a, b)` — the metric MATLAB's dendrogram
+/// examples use and the natural one for the paper's GPS feature vectors
+/// (Figs. 4–6 have heights in `[0.04, 0.32]`, consistent with `1 − ρ`).
+pub fn correlation_distance(a: &[f64], b: &[f64]) -> f64 {
+    (1.0 - fragcloud_linalg::stats::pearson(a, b)).max(0.0)
+}
+
+/// A symmetric pairwise distance matrix stored as the strict lower triangle.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major strict lower triangle: entry (i, j) with i > j at
+    /// `i·(i−1)/2 + j`.
+    tri: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances with `dist`, splitting the row range
+    /// across threads with crossbeam when the input is large.
+    pub fn compute<F>(points: &[Vec<f64>], dist: F) -> Result<Self>
+    where
+        F: Fn(&[f64], &[f64]) -> f64 + Sync,
+    {
+        let n = points.len();
+        if n == 0 {
+            return Err(MiningError::InvalidParameter {
+                detail: "cannot build distance matrix over zero points".into(),
+            });
+        }
+        let mut tri = vec![0.0; n * (n - 1) / 2];
+
+        // Parallel threshold: below this the spawn overhead dominates.
+        const PAR_THRESHOLD: usize = 64;
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if n < PAR_THRESHOLD || threads < 2 {
+            let mut k = 0;
+            for i in 1..n {
+                for j in 0..i {
+                    tri[k] = dist(&points[i], &points[j]);
+                    k += 1;
+                }
+            }
+        } else {
+            // Partition the triangle by rows into contiguous slices of `tri`
+            // so each thread writes a disjoint region without locking.
+            let mut boundaries = Vec::with_capacity(threads + 1);
+            boundaries.push(1usize);
+            let per = tri.len() / threads;
+            let mut acc = 0usize;
+            for i in 1..n {
+                acc += i; // row i contributes i entries
+                if acc >= per * boundaries.len() && boundaries.len() < threads {
+                    boundaries.push(i + 1);
+                }
+            }
+            boundaries.push(n);
+            let mut slices: Vec<&mut [f64]> = Vec::with_capacity(boundaries.len() - 1);
+            let mut rest: &mut [f64] = &mut tri;
+            for w in boundaries.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                // Rows lo..hi occupy tri[lo(lo-1)/2 .. hi(hi-1)/2).
+                let take = hi * (hi - 1) / 2 - lo * (lo - 1) / 2;
+                let (head, tail) = rest.split_at_mut(take);
+                slices.push(head);
+                rest = tail;
+            }
+            crossbeam::thread::scope(|scope| {
+                for (w, slice) in boundaries.windows(2).zip(slices) {
+                    let (lo, hi) = (w[0], w[1]);
+                    let dist = &dist;
+                    scope.spawn(move |_| {
+                        let mut k = 0;
+                        for i in lo..hi {
+                            for j in 0..i {
+                                slice[k] = dist(&points[i], &points[j]);
+                                k += 1;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("distance matrix worker panicked");
+        }
+
+        if tri.iter().any(|d| d.is_nan()) {
+            return Err(MiningError::InvalidParameter {
+                detail: "distance function produced NaN".into(),
+            });
+        }
+        Ok(DistanceMatrix { n, tri })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is over zero points (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        if i == j {
+            return 0.0;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        self.tri[hi * (hi - 1) / 2 + lo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = ds();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.columns(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(d.column("b").unwrap(), vec![2.0, 4.0, 6.0]);
+        assert!(d.column("zzz").is_err());
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let r = Dataset::from_rows(vec!["a".into()], vec![vec![1.0, 2.0]]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_wrong_width_panics() {
+        let mut d = ds();
+        d.push(vec![1.0]);
+    }
+
+    #[test]
+    fn design_matrix_selects_and_orders() {
+        let d = ds();
+        let m = d.design_matrix(&["b", "a"]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(0), &[2.0, 1.0]);
+        assert!(d.design_matrix(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn slice_and_fragment() {
+        let d = ds();
+        let s = d.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[3.0, 4.0]);
+        // fragment into 2: sizes 2 and 1
+        let frags = d.fragment(2);
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].len(), 2);
+        assert_eq!(frags[1].len(), 1);
+        // fragment into more parts than rows: empties allowed
+        let frags = d.fragment(5);
+        assert_eq!(frags.iter().map(Dataset::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let mut d = ds();
+        let params = d.standardize();
+        assert_eq!(params.len(), 2);
+        let col = d.column("a").unwrap();
+        assert!(fragcloud_linalg::stats::mean(&col).abs() < 1e-12);
+        assert!((fragcloud_linalg::stats::variance(&col) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_column_safe() {
+        let mut d =
+            Dataset::from_rows(vec!["c".into()], vec![vec![5.0], vec![5.0]]).unwrap();
+        d.standardize();
+        assert_eq!(d.column("c").unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn distance_kernels() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        // Perfectly correlated → distance 0; anti-correlated → 2.
+        let a = [1.0, 2.0, 3.0];
+        assert!(correlation_distance(&a, &[2.0, 4.0, 6.0]).abs() < 1e-12);
+        assert!((correlation_distance(&a, &[3.0, 2.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_small() {
+        let pts = vec![vec![0.0], vec![3.0], vec![7.0]];
+        let dm = DistanceMatrix::compute(&pts, euclidean).unwrap();
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.get(0, 0), 0.0);
+        assert_eq!(dm.get(0, 1), 3.0);
+        assert_eq!(dm.get(1, 0), 3.0);
+        assert_eq!(dm.get(2, 0), 7.0);
+        assert_eq!(dm.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn distance_matrix_parallel_matches_serial() {
+        // 100 points crosses the parallel threshold.
+        let pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.7).cos(), i as f64 * 0.01])
+            .collect();
+        let dm = DistanceMatrix::compute(&pts, euclidean).unwrap();
+        for i in 0..100 {
+            for j in 0..100 {
+                let expect = euclidean(&pts[i], &pts[j]);
+                assert!((dm.get(i, j) - expect).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_matrix_errors() {
+        let empty: Vec<Vec<f64>> = vec![];
+        assert!(DistanceMatrix::compute(&empty, euclidean).is_err());
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(DistanceMatrix::compute(&pts, |_, _| f64::NAN).is_err());
+    }
+}

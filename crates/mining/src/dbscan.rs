@@ -1,0 +1,205 @@
+//! DBSCAN density-based clustering.
+//!
+//! A third clustering lens (after hierarchical and k-means): density
+//! clustering is what an attacker uses when cluster *count* is unknown —
+//! e.g. discovering how many distinct "places" appear in GPS data. On a
+//! fragment, sparse sampling breaks density reachability and points
+//! degrade to noise.
+
+use crate::dataset::sq_euclidean;
+use crate::{MiningError, Result};
+
+/// Cluster assignment produced by [`dbscan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Dense-region member with its cluster id.
+    Cluster(usize),
+    /// Noise point (no dense neighbourhood).
+    Noise,
+}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct DbscanFit {
+    /// Per-point assignment.
+    pub assignments: Vec<Assignment>,
+    /// Number of clusters discovered.
+    pub clusters: usize,
+}
+
+impl DbscanFit {
+    /// Fraction of points labelled noise.
+    pub fn noise_fraction(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        self.assignments
+            .iter()
+            .filter(|a| matches!(a, Assignment::Noise))
+            .count() as f64
+            / self.assignments.len() as f64
+    }
+}
+
+/// Runs DBSCAN with radius `eps` and density threshold `min_pts`
+/// (neighbourhood includes the point itself).
+pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Result<DbscanFit> {
+    if eps <= 0.0 || !eps.is_finite() {
+        return Err(MiningError::InvalidParameter {
+            detail: format!("eps must be positive and finite, got {eps}"),
+        });
+    }
+    if min_pts == 0 {
+        return Err(MiningError::InvalidParameter {
+            detail: "min_pts must be >= 1".into(),
+        });
+    }
+    if points.is_empty() {
+        return Err(MiningError::InsufficientData { have: 0, need: 1 });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(MiningError::InvalidParameter {
+            detail: "points must share dimensionality".into(),
+        });
+    }
+
+    let n = points.len();
+    let eps2 = eps * eps;
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| sq_euclidean(&points[i], &points[j]) <= eps2)
+            .collect()
+    };
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; n];
+    let mut clusters = 0usize;
+
+    for i in 0..n {
+        if label[i] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_pts {
+            label[i] = NOISE;
+            continue;
+        }
+        let cid = clusters;
+        clusters += 1;
+        label[i] = cid;
+        // Expand the cluster via a worklist.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if label[j] == NOISE {
+                label[j] = cid; // border point
+            }
+            if label[j] != UNVISITED {
+                continue;
+            }
+            label[j] = cid;
+            let jn = neighbours(j);
+            if jn.len() >= min_pts {
+                queue.extend(jn);
+            }
+        }
+    }
+
+    let assignments = label
+        .into_iter()
+        .map(|l| {
+            if l == NOISE || l == UNVISITED {
+                Assignment::Noise
+            } else {
+                Assignment::Cluster(l)
+            }
+        })
+        .collect();
+    Ok(DbscanFit {
+        assignments,
+        clusters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs_with_outlier() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + (i as f64) * 0.05, 0.0]);
+            pts.push(vec![10.0 + (i as f64) * 0.05, 10.0]);
+        }
+        pts.push(vec![50.0, 50.0]); // outlier
+        pts
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let pts = two_blobs_with_outlier();
+        let fit = dbscan(&pts, 0.5, 3).unwrap();
+        assert_eq!(fit.clusters, 2);
+        assert_eq!(fit.assignments[20], Assignment::Noise);
+        // Members of the same blob share a cluster.
+        let a = fit.assignments[0];
+        let b = fit.assignments[2];
+        assert_eq!(a, b);
+        assert!(matches!(a, Assignment::Cluster(_)));
+        // Blobs differ.
+        assert_ne!(fit.assignments[0], fit.assignments[1]);
+        assert!((fit.noise_fraction() - 1.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let pts = two_blobs_with_outlier();
+        let fit = dbscan(&pts, 1e-6, 2).unwrap();
+        assert_eq!(fit.clusters, 0);
+        assert_eq!(fit.noise_fraction(), 1.0);
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let pts = two_blobs_with_outlier();
+        let fit = dbscan(&pts, 1000.0, 2).unwrap();
+        assert_eq!(fit.clusters, 1);
+        assert_eq!(fit.noise_fraction(), 0.0);
+    }
+
+    #[test]
+    fn border_points_join_clusters() {
+        // A dense core plus one border point within eps of the core but with
+        // a sparse neighbourhood of its own.
+        let mut pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 0.1]).collect();
+        pts.push(vec![0.9]); // within 0.5 of the core edge
+        let fit = dbscan(&pts, 0.5, 4).unwrap();
+        assert_eq!(fit.clusters, 1);
+        assert!(matches!(fit.assignments[5], Assignment::Cluster(0)));
+    }
+
+    #[test]
+    fn subsampling_increases_noise() {
+        // The fragmentation effect: keep every 4th point, density collapses.
+        let pts = two_blobs_with_outlier();
+        let sparse: Vec<Vec<f64>> = pts.iter().step_by(4).cloned().collect();
+        let dense_fit = dbscan(&pts, 0.3, 3).unwrap();
+        let sparse_fit = dbscan(&sparse, 0.3, 3).unwrap();
+        assert!(sparse_fit.noise_fraction() > dense_fit.noise_fraction());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(dbscan(&[], 1.0, 2).is_err());
+        let pts = vec![vec![1.0]];
+        assert!(dbscan(&pts, 0.0, 2).is_err());
+        assert!(dbscan(&pts, f64::NAN, 2).is_err());
+        assert!(dbscan(&pts, 1.0, 0).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(dbscan(&ragged, 1.0, 1).is_err());
+    }
+}

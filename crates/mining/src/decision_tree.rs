@@ -1,0 +1,340 @@
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+//! CART-style decision-tree classification (Gini impurity, axis-aligned
+//! numeric splits).
+//!
+//! A second "prediction algorithm" lens for the attack experiments: an
+//! attacker with labelled observations (e.g. which bids won) learns a
+//! classifier over the victim's records; fragmentation shrinks and skews
+//! the training set.
+
+use crate::{MiningError, Result};
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the subtree for `x[feature] <= threshold`.
+        left: usize,
+        /// Index of the subtree for `x[feature] > threshold`.
+        right: usize,
+    },
+}
+
+/// Hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+fn gini(labels: &[u32]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let n = labels.len() as f64;
+    1.0 - counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(labels: &[u32]) -> u32 {
+    let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(_, c)| c)
+        .map(|(l, _)| l)
+        .expect("non-empty labels")
+}
+
+impl DecisionTree {
+    /// Fits a tree on feature rows `x` and labels `y`.
+    pub fn fit(x: &[Vec<f64>], y: &[u32], config: TreeConfig) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(MiningError::InvalidParameter {
+                detail: format!("{} rows vs {} labels", x.len(), y.len()),
+            });
+        }
+        if x.is_empty() {
+            return Err(MiningError::InsufficientData { have: 0, need: 1 });
+        }
+        let dim = x[0].len();
+        if dim == 0 || x.iter().any(|r| r.len() != dim) {
+            return Err(MiningError::InvalidParameter {
+                detail: "rows must share a positive dimensionality".into(),
+            });
+        }
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            dim,
+        };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.build(x, y, &idx, 0, config);
+        Ok(tree)
+    }
+
+    /// Recursively builds the subtree over `idx`, returning its node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[u32],
+        idx: &[usize],
+        depth: usize,
+        config: TreeConfig,
+    ) -> usize {
+        let labels: Vec<u32> = idx.iter().map(|&i| y[i]).collect();
+        let parent_gini = gini(&labels);
+        let stop = depth >= config.max_depth
+            || idx.len() < config.min_samples_split
+            || parent_gini == 0.0;
+        if !stop {
+            // Split whenever the node is impure and a valid split exists —
+            // even a zero-gain split (e.g. the first level of XOR) makes
+            // later levels separable, matching standard CART behaviour.
+            if let Some((feature, threshold, _gain)) = self.best_split(x, y, idx, parent_gini) {
+                let (l_idx, r_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] <= threshold);
+                // Guard against degenerate splits.
+                if !l_idx.is_empty() && !r_idx.is_empty() {
+                    let node_pos = self.nodes.len();
+                    self.nodes.push(Node::Leaf { label: 0 }); // placeholder
+                    let left = self.build(x, y, &l_idx, depth + 1, config);
+                    let right = self.build(x, y, &r_idx, depth + 1, config);
+                    self.nodes[node_pos] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return node_pos;
+                }
+            }
+        }
+        let node_pos = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            label: majority(&labels),
+        });
+        node_pos
+    }
+
+    /// Finds the (feature, threshold) minimizing weighted child Gini.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[u32],
+        idx: &[usize],
+        parent_gini: f64,
+    ) -> Option<(usize, f64, f64)> {
+        let n = idx.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for f in 0..self.dim {
+            // Candidate thresholds: midpoints between sorted distinct values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            vals.dedup();
+            for w in vals.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (l, r): (Vec<u32>, Vec<u32>) = idx
+                    .iter()
+                    .map(|&i| (x[i][f] <= threshold, y[i]))
+                    .partition_map_labels();
+                let weighted = (l.len() as f64 / n) * gini(&l) + (r.len() as f64 / n) * gini(&r);
+                let gain = parent_gini - weighted;
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the label of one feature row.
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        assert_eq!(x.len(), self.dim, "feature dimensionality mismatch");
+        // Root is node 0 by construction.
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Accuracy on labelled data.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[u32]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 0.0;
+        }
+        let hit = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &l)| self.predict(row) == l)
+            .count();
+        hit as f64 / x.len() as f64
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+/// Helper: partition (bool, label) pairs into left/right label vectors.
+trait PartitionMapLabels {
+    fn partition_map_labels(self) -> (Vec<u32>, Vec<u32>);
+}
+
+impl<I: Iterator<Item = (bool, u32)>> PartitionMapLabels for I {
+    fn partition_map_labels(self) -> (Vec<u32>, Vec<u32>) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for (is_left, label) in self {
+            if is_left {
+                l.push(label);
+            } else {
+                r.push(label);
+            }
+        }
+        (l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[1, 1, 1]), 0.0);
+        assert!((gini(&[0, 1]) - 0.5).abs() < 1e-12);
+        assert!((gini(&[0, 0, 1, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_axis_aligned_boundary() {
+        // label = x0 > 5
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.25, 1.0]).collect();
+        let y: Vec<u32> = x.iter().map(|r| u32::from(r[0] > 5.0)).collect();
+        let t = DecisionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+        assert_eq!(t.accuracy(&x, &y), 1.0);
+        assert_eq!(t.predict(&[2.0, 1.0]), 0);
+        assert_eq!(t.predict(&[8.0, 1.0]), 1);
+        assert!(t.depth() <= 3, "simple boundary needs a shallow tree");
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        // XOR needs depth ≥ 2.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push((a ^ b) as u32);
+                }
+            }
+        }
+        let t = DecisionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+        assert_eq!(t.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<u32> = (0..64).map(|i| (i % 2) as u32).collect(); // worst case
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        assert!(t.depth() <= 4); // root at depth 1 + 3 levels
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![7, 7, 7];
+        let t = DecisionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[100.0]), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(DecisionTree::fit(&[], &[], TreeConfig::default()).is_err());
+        assert!(DecisionTree::fit(&[vec![1.0]], &[1, 2], TreeConfig::default()).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(DecisionTree::fit(&ragged, &[0, 1], TreeConfig::default()).is_err());
+        let zero_dim = vec![vec![], vec![]];
+        assert!(DecisionTree::fit(&zero_dim, &[0, 1], TreeConfig::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn predict_wrong_dim_panics() {
+        let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], TreeConfig::default())
+            .unwrap();
+        t.predict(&[1.0, 2.0]);
+    }
+}

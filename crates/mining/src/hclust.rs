@@ -1,0 +1,410 @@
+#![allow(clippy::needless_range_loop)] // index form mirrors the math
+
+//! Agglomerative hierarchical clustering with dendrogram extraction.
+//!
+//! This reproduces the paper's Figs. 4–6 instrument: "the dendrogram plot of
+//! the hierarchical binary cluster tree of 30 users based on GPS". We
+//! implement the classic Lance–Williams agglomerative scheme over a
+//! precomputed [`DistanceMatrix`], with the four standard linkages, plus:
+//!
+//! - [`Dendrogram::cut`] — flat clusters at a height or count, used to
+//!   measure how entities "move from their original cluster to other
+//!   clusters due to fragmentation" (§VIII-B);
+//! - [`Dendrogram::render_ascii`] — a text dendrogram, the repo's stand-in
+//!   for MATLAB's plot.
+
+use crate::dataset::DistanceMatrix;
+use crate::{MiningError, Result};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Nearest-neighbour distance between clusters.
+    Single,
+    /// Farthest-neighbour distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA — MATLAB's default for
+    /// `linkage(..., 'average')`; we use it for the Fig. 4–6 reproduction).
+    Average,
+    /// Ward's minimum-variance criterion (requires Euclidean-like input).
+    Ward,
+}
+
+/// One merge step: clusters `a` and `b` join at `height` into a new cluster.
+///
+/// Leaf clusters are `0..n`; the merge at step `s` creates cluster `n + s`,
+/// mirroring SciPy/MATLAB linkage-matrix conventions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First child cluster id.
+    pub a: usize,
+    /// Second child cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Number of leaves under the new cluster.
+    pub size: usize,
+}
+
+/// A full binary cluster tree over `n` leaves (`n − 1` merges).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+/// Runs agglomerative clustering over a distance matrix.
+///
+/// Complexity is O(n³) worst case with the naive nearest-pair scan, which is
+/// ample for the paper's n = 30 users (and fine into the low thousands).
+pub fn cluster(dm: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram> {
+    let n = dm.len();
+    if n == 0 {
+        return Err(MiningError::InvalidParameter {
+            detail: "cannot cluster zero points".into(),
+        });
+    }
+
+    // Active cluster list; each holds its current id and leaf count.
+    // Working pairwise distances are kept in a dense mutable matrix indexed
+    // by *slot*; slots are compacted as clusters merge.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut d: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dm.get(i, j)).collect())
+        .collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        let m = ids.len();
+        // Find the closest active pair.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        let (sa, sb) = (sizes[bi] as f64, sizes[bj] as f64);
+        let new_id = n + step;
+        merges.push(Merge {
+            a: ids[bi],
+            b: ids[bj],
+            height: best,
+            size: (sa + sb) as usize,
+        });
+
+        // Lance–Williams update of distances from the merged cluster to every
+        // other active cluster k.
+        for k in 0..m {
+            if k == bi || k == bj {
+                continue;
+            }
+            let dik = d[bi][k];
+            let djk = d[bj][k];
+            let dij = best;
+            let nk = sizes[k] as f64;
+            let updated = match linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => (sa * dik + sb * djk) / (sa + sb),
+                Linkage::Ward => {
+                    let t = sa + sb + nk;
+                    (((sa + nk) * dik * dik + (sb + nk) * djk * djk - nk * dij * dij) / t)
+                        .max(0.0)
+                        .sqrt()
+                }
+            };
+            d[bi][k] = updated;
+            d[k][bi] = updated;
+        }
+        ids[bi] = new_id;
+        sizes[bi] += sizes[bj];
+
+        // Compact: remove slot bj.
+        ids.remove(bj);
+        sizes.remove(bj);
+        d.remove(bj);
+        for row in &mut d {
+            row.remove(bj);
+        }
+    }
+
+    Ok(Dendrogram { n, merges })
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has no leaves (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge sequence, in non-decreasing creation order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into exactly `k` flat clusters, returning a label in
+    /// `0..k` for each leaf. Labels are assigned in order of first leaf.
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>> {
+        if k == 0 || k > self.n {
+            return Err(MiningError::InvalidParameter {
+                detail: format!("cannot cut {} leaves into {k} clusters", self.n),
+            });
+        }
+        // Apply the first n - k merges with union-find.
+        let mut parent: Vec<usize> = (0..(2 * self.n - 1)).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().take(self.n - k).enumerate() {
+            let new_id = self.n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // Map roots to compact labels in order of first appearance.
+        let mut label_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let r = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(r).or_insert(next);
+            labels.push(l);
+        }
+        Ok(labels)
+    }
+
+    /// Cuts at a height threshold: leaves joined by merges with
+    /// `height <= h` share a cluster.
+    pub fn cut_at_height(&self, h: f64) -> Vec<usize> {
+        let below = self.merges.iter().filter(|m| m.height <= h).count();
+        let k = self.n - below;
+        self.cut(k).expect("k derived from merge count is valid")
+    }
+
+    /// Leaf ordering that places merged clusters adjacently (the order a
+    /// dendrogram plot shows on its x-axis).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.n == 1 {
+            return vec![0];
+        }
+        // children of internal node n+step are merges[step].(a, b)
+        let root = self.n + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n);
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if node < self.n {
+                order.push(node);
+            } else {
+                let m = &self.merges[node - self.n];
+                // push b first so a is visited first (left side)
+                stack.push(m.b);
+                stack.push(m.a);
+            }
+        }
+        order
+    }
+
+    /// Renders a text dendrogram: one line per merge, indented by height
+    /// rank, listing the leaves each merge joins. `labels` supplies leaf
+    /// names (defaults to 1-based indices like the paper's user ids).
+    pub fn render_ascii(&self, labels: Option<&[String]>) -> String {
+        let default_labels: Vec<String> =
+            (1..=self.n).map(|i| i.to_string()).collect();
+        let labels = labels.unwrap_or(&default_labels);
+        let mut members: Vec<Vec<usize>> = (0..self.n).map(|i| vec![i]).collect();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "dendrogram over {} leaves (order: {})\n",
+            self.n,
+            self.leaf_order()
+                .iter()
+                .map(|&l| labels[l].as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        for m in &self.merges {
+            // Internal node n+step is pushed at step, so m.a/m.b always index
+            // an existing entry.
+            let la: Vec<usize> = members[m.a].clone();
+            let lb: Vec<usize> = members[m.b].clone();
+            let mut joined = la.clone();
+            joined.extend(&lb);
+            out.push_str(&format!(
+                "h={:>8.4}  [{}] + [{}]\n",
+                m.height,
+                la.iter().map(|&l| labels[l].as_str()).collect::<Vec<_>>().join(","),
+                lb.iter().map(|&l| labels[l].as_str()).collect::<Vec<_>>().join(","),
+            ));
+            members.push(joined);
+        }
+        out
+    }
+
+    /// Height of the final (root) merge; 0 for a single leaf.
+    pub fn root_height(&self) -> f64 {
+        self.merges.last().map_or(0.0, |m| m.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{euclidean, DistanceMatrix};
+
+    fn dm(points: &[Vec<f64>]) -> DistanceMatrix {
+        DistanceMatrix::compute(points, euclidean).unwrap()
+    }
+
+    /// Two tight groups far apart; every linkage must find them.
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let d = dm(&two_blobs());
+        let t = cluster(&d, Linkage::Average).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.merges().len(), 5);
+        assert_eq!(t.merges().last().unwrap().size, 6);
+    }
+
+    #[test]
+    fn all_linkages_recover_two_blobs() {
+        let d = dm(&two_blobs());
+        for lk in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let t = cluster(&d, lk).unwrap();
+            let labels = t.cut(2).unwrap();
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[0], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[3], labels[5]);
+            assert_ne!(labels[0], labels[3], "{lk:?}");
+        }
+    }
+
+    #[test]
+    fn heights_nondecreasing_for_reducible_linkages() {
+        // Single/complete/average are reducible: merge heights are monotone.
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64 * 0.618).fract() * 10.0, (i as f64 * 0.33).fract() * 7.0])
+            .collect();
+        let d = dm(&pts);
+        for lk in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let t = cluster(&d, lk).unwrap();
+            let hs: Vec<f64> = t.merges().iter().map(|m| m.height).collect();
+            for w in hs.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{lk:?}: {hs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = dm(&two_blobs());
+        let t = cluster(&d, Linkage::Complete).unwrap();
+        let all_one = t.cut(1).unwrap();
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = t.cut(6).unwrap();
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert!(t.cut(0).is_err());
+        assert!(t.cut(7).is_err());
+    }
+
+    #[test]
+    fn cut_at_height_matches_cut() {
+        let d = dm(&two_blobs());
+        let t = cluster(&d, Linkage::Average).unwrap();
+        // Root height joins the blobs; just below it there are 2 clusters.
+        let h = t.root_height();
+        let two = t.cut_at_height(h * 0.5);
+        assert_eq!(two, t.cut(2).unwrap());
+        let one = t.cut_at_height(h + 1.0);
+        assert!(one.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let d = dm(&[vec![1.0]]);
+        let t = cluster(&d, Linkage::Single).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.merges().is_empty());
+        assert_eq!(t.cut(1).unwrap(), vec![0]);
+        assert_eq!(t.leaf_order(), vec![0]);
+        assert_eq!(t.root_height(), 0.0);
+    }
+
+    #[test]
+    fn leaf_order_is_permutation_and_groups_blobs() {
+        let d = dm(&two_blobs());
+        let t = cluster(&d, Linkage::Average).unwrap();
+        let order = t.leaf_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        // The two blobs must be contiguous in display order.
+        let pos: Vec<usize> = (0..6)
+            .map(|leaf| order.iter().position(|&o| o == leaf).unwrap())
+            .collect();
+        let blob_a: Vec<usize> = pos[..3].to_vec();
+        let blob_b: Vec<usize> = pos[3..].to_vec();
+        let amax = *blob_a.iter().max().unwrap();
+        let amin = *blob_a.iter().min().unwrap();
+        let bmax = *blob_b.iter().max().unwrap();
+        let bmin = *blob_b.iter().min().unwrap();
+        assert!(amax < bmin || bmax < amin, "blobs interleaved: {order:?}");
+    }
+
+    #[test]
+    fn render_ascii_contains_all_leaves() {
+        let d = dm(&two_blobs());
+        let t = cluster(&d, Linkage::Average).unwrap();
+        let txt = t.render_ascii(None);
+        for i in 1..=6 {
+            assert!(txt.contains(&i.to_string()), "missing leaf {i}:\n{txt}");
+        }
+        assert_eq!(txt.lines().count(), 6); // header + 5 merges
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let empty: Vec<Vec<f64>> = vec![];
+        assert!(DistanceMatrix::compute(&empty, euclidean).is_err());
+    }
+
+    #[test]
+    fn ward_prefers_balanced_merges() {
+        // A classic ward sanity check: chain of points; ward should not
+        // produce degenerate heights (all finite, non-negative).
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let d = dm(&pts);
+        let t = cluster(&d, Linkage::Ward).unwrap();
+        assert!(t.merges().iter().all(|m| m.height.is_finite() && m.height >= 0.0));
+    }
+}

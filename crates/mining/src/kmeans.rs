@@ -1,0 +1,245 @@
+//! K-means clustering with k-means++ seeding (Lloyd's algorithm).
+//!
+//! A second clustering lens for the attack experiments: where the paper's
+//! Figs. 4–6 use a hierarchical tree, k-means shows the same cluster-
+//! migration effect with a flat partition ("entities may move from their
+//! original cluster to other clusters", §VII-A).
+
+use crate::dataset::sq_euclidean;
+use crate::{MiningError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub labels: Vec<usize>,
+    /// Final within-cluster sum of squares (inertia).
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 2,
+            max_iters: 100,
+            seed: 0xF1A6_C10D,
+        }
+    }
+}
+
+/// Runs k-means++ / Lloyd on the points.
+pub fn kmeans(points: &[Vec<f64>], config: KMeansConfig) -> Result<KMeansFit> {
+    let n = points.len();
+    let k = config.k;
+    if k == 0 {
+        return Err(MiningError::InvalidParameter {
+            detail: "k must be >= 1".into(),
+        });
+    }
+    if n < k {
+        return Err(MiningError::InsufficientData { have: n, need: k });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(MiningError::InvalidParameter {
+            detail: "points have inconsistent dimensionality".into(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut best_d2: Vec<f64> = points
+        .iter()
+        .map(|p| sq_euclidean(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = best_d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick any.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d2) in best_d2.iter().enumerate() {
+                if target < d2 {
+                    pick = i;
+                    break;
+                }
+                target -= d2;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d2 = sq_euclidean(p, centroids.last().expect("just pushed"));
+            if d2 < best_d2[i] {
+                best_d2[i] = d2;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // Assign step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (mut best_c, mut best) = (0usize, f64::INFINITY);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d2 = sq_euclidean(p, centroid);
+                if d2 < best {
+                    best = d2;
+                    best_c = c;
+                }
+            }
+            if labels[i] != best_c {
+                labels[i] = best_c;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &v) in sums[l].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed at the point farthest from its centroid.
+                let (far_i, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, sq_euclidean(p, &centroids[labels[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .expect("nonempty points");
+                centroids[c] = points[far_i].clone();
+            } else {
+                for (cd, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cd = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| sq_euclidean(p, &centroids[l]))
+        .sum();
+    Ok(KMeansFit {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![100.0 + (i as f64) * 0.01, 100.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let fit = kmeans(&blobs(), KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        // Even indices are blob A, odd are blob B.
+        let a = fit.labels[0];
+        let b = fit.labels[1];
+        assert_ne!(a, b);
+        for (i, &l) in fit.labels.iter().enumerate() {
+            assert_eq!(l, if i % 2 == 0 { a } else { b }, "point {i}");
+        }
+        assert!(fit.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![1.0], vec![5.0], vec![9.0]];
+        let fit = kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        assert!(fit.inertia < 1e-12);
+        let mut ls = fit.labels.clone();
+        ls.sort_unstable();
+        ls.dedup();
+        assert_eq!(ls.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = blobs();
+        let cfg = KMeansConfig { k: 2, seed: 42, ..Default::default() };
+        let f1 = kmeans(&pts, cfg).unwrap();
+        let f2 = kmeans(&pts, cfg).unwrap();
+        assert_eq!(f1.labels, f2.labels);
+    }
+
+    #[test]
+    fn parameter_errors() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            kmeans(&pts, KMeansConfig { k: 0, ..Default::default() }),
+            Err(MiningError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }),
+            Err(MiningError::InsufficientData { have: 2, need: 3 })
+        ));
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(kmeans(&ragged, KMeansConfig { k: 1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn identical_points_dont_loop_forever() {
+        let pts = vec![vec![3.0, 3.0]; 8];
+        let fit = kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        assert!(fit.inertia < 1e-12);
+        assert!(fit.iterations <= 100);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64 * 1.7).sin() * 10.0]).collect();
+        let i2 = kmeans(&pts, KMeansConfig { k: 2, ..Default::default() })
+            .unwrap()
+            .inertia;
+        let i5 = kmeans(&pts, KMeansConfig { k: 5, ..Default::default() })
+            .unwrap()
+            .inertia;
+        assert!(i5 <= i2 + 1e-9, "i2={i2} i5={i5}");
+    }
+}

@@ -1,0 +1,167 @@
+//! k-nearest-neighbour classification (majority vote, Euclidean metric).
+//!
+//! The simplest attacker model: no training at all, just the victim's raw
+//! observations — which is precisely what a curious provider holds.
+//! Fragmentation removes neighbours, degrading the vote.
+
+use crate::dataset::sq_euclidean;
+use crate::{MiningError, Result};
+
+/// A kNN classifier holding its training set.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    x: Vec<Vec<f64>>,
+    y: Vec<u32>,
+    k: usize,
+    dim: usize,
+}
+
+impl Knn {
+    /// Builds the classifier; requires `k ≥ 1` and at least `k` samples.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<u32>, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(MiningError::InvalidParameter {
+                detail: "k must be >= 1".into(),
+            });
+        }
+        if x.len() != y.len() {
+            return Err(MiningError::InvalidParameter {
+                detail: format!("{} rows vs {} labels", x.len(), y.len()),
+            });
+        }
+        if x.len() < k {
+            return Err(MiningError::InsufficientData {
+                have: x.len(),
+                need: k,
+            });
+        }
+        let dim = x[0].len();
+        if x.iter().any(|r| r.len() != dim) {
+            return Err(MiningError::InvalidParameter {
+                detail: "rows must share dimensionality".into(),
+            });
+        }
+        Ok(Knn { x, y, k, dim })
+    }
+
+    /// Predicts by majority vote among the k nearest training points
+    /// (ties broken toward the smaller label for determinism).
+    pub fn predict(&self, q: &[f64]) -> u32 {
+        assert_eq!(q.len(), self.dim, "feature dimensionality mismatch");
+        // Partial selection of the k smallest distances.
+        let mut dist: Vec<(f64, u32)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(row, &l)| (sq_euclidean(row, q), l))
+            .collect();
+        dist.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut counts: std::collections::BTreeMap<u32, usize> =
+            std::collections::BTreeMap::new();
+        for (_, l) in dist.iter().take(self.k) {
+            *counts.entry(*l).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+            .expect("k >= 1 voters")
+    }
+
+    /// Accuracy over labelled data.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[u32]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 0.0;
+        }
+        let hit = x
+            .iter()
+            .zip(y)
+            .filter(|(q, &l)| self.predict(q) == l)
+            .count();
+        hit as f64 / x.len() as f64
+    }
+
+    /// Training-set size.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the training set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![0.0 + i as f64 * 0.1, 0.0]);
+            y.push(0);
+            x.push(vec![10.0 + i as f64 * 0.1, 10.0]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_separable_blobs() {
+        let (x, y) = blobs();
+        let knn = Knn::fit(x.clone(), y.clone(), 3).unwrap();
+        assert_eq!(knn.accuracy(&x, &y), 1.0);
+        assert_eq!(knn.predict(&[0.5, 0.5]), 0);
+        assert_eq!(knn.predict(&[9.5, 9.5]), 1);
+        assert_eq!(knn.len(), 20);
+        assert!(!knn.is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_memorizes() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![5, 6, 7];
+        let knn = Knn::fit(x.clone(), y.clone(), 1).unwrap();
+        for (q, &l) in x.iter().zip(&y) {
+            assert_eq!(knn.predict(q), l);
+        }
+    }
+
+    #[test]
+    fn majority_beats_single_outlier() {
+        // One mislabeled point inside blob 0; k=5 outvotes it.
+        let (mut x, mut y) = blobs();
+        x.push(vec![0.05, 0.05]);
+        y.push(1); // outlier label
+        let knn = Knn::fit(x, y, 5).unwrap();
+        assert_eq!(knn.predict(&[0.0, 0.1]), 0);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let y = vec![3, 9];
+        let knn = Knn::fit(x, y, 2).unwrap();
+        // Equidistant, k=2, one vote each → smaller label wins.
+        assert_eq!(knn.predict(&[1.0]), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Knn::fit(vec![], vec![], 1).is_err());
+        assert!(Knn::fit(vec![vec![1.0]], vec![1, 2], 1).is_err());
+        assert!(matches!(
+            Knn::fit(vec![vec![1.0]], vec![1], 3),
+            Err(MiningError::InsufficientData { have: 1, need: 3 })
+        ));
+        assert!(Knn::fit(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1], 1).is_err());
+        assert!(Knn::fit(vec![vec![1.0]], vec![0], 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+#![warn(missing_docs)]
+
+//! The attacker's data-mining toolkit.
+//!
+//! §II-B of the paper lists the mining techniques that make a single cloud
+//! provider dangerous; evaluating the fragmentation defence requires
+//! actually running them. This crate implements each from scratch:
+//!
+//! - [`regression`] — multivariate linear regression ("can be used to
+//!   determine the financial condition of an individual from his buy-sell
+//!   records"), the Table IV attack;
+//! - [`hclust`] — agglomerative hierarchical clustering with dendrograms
+//!   (the Figs. 4–6 GPS experiment, "clustering algorithms can be used to
+//!   categorize people or entities");
+//! - [`kmeans`] — k-means with k-means++ seeding, a second clustering lens;
+//! - [`apriori`] — association-rule mining ("discover association
+//!   relationships among large number of business transaction records");
+//! - [`naive_bayes`] — Gaussian naive-Bayes prediction, representing the
+//!   "prediction algorithms may reveal misleading results as they lack
+//!   numbers of observations" claim (§VII-A);
+//! - [`decision_tree`] / [`knn`] — further prediction lenses (CART trees,
+//!   nearest-neighbour voting);
+//! - [`dbscan`] — density clustering for unknown cluster counts;
+//! - [`pca`] — principal components (the broader "multivariate analysis"
+//!   family of §II-B);
+//! - [`dataset`] — the tabular container and distance kernels shared by all
+//!   of the above, with crossbeam-parallel distance matrices.
+//!
+//! Everything is deterministic given a seed, so experiments are
+//! reproducible end to end.
+
+pub mod apriori;
+pub mod dataset;
+pub mod dbscan;
+pub mod decision_tree;
+pub mod hclust;
+pub mod kmeans;
+pub mod knn;
+pub mod naive_bayes;
+pub mod pca;
+pub mod regression;
+
+pub use dataset::Dataset;
+pub use hclust::{Dendrogram, Linkage};
+pub use regression::RegressionModel;
+
+/// Errors produced by mining algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// Not enough observations for the requested model — the paper's core
+    /// defence mechanism manifests as this error ("mining algorithms often
+    /// require large data sets", §II).
+    InsufficientData {
+        /// Observations available.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// Invalid parameter (k = 0, empty dataset, NaN distance, …).
+    InvalidParameter {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The underlying linear-algebra routine failed.
+    Numeric(fragcloud_linalg::LinalgError),
+}
+
+impl std::fmt::Display for MiningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiningError::InsufficientData { have, need } => {
+                write!(f, "insufficient data: have {have} observations, need {need}")
+            }
+            MiningError::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
+            MiningError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+impl From<fragcloud_linalg::LinalgError> for MiningError {
+    fn from(e: fragcloud_linalg::LinalgError) -> Self {
+        match e {
+            fragcloud_linalg::LinalgError::Underdetermined { rows, cols } => {
+                MiningError::InsufficientData { have: rows, need: cols }
+            }
+            other => MiningError::Numeric(other),
+        }
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MiningError>;

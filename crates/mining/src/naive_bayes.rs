@@ -1,0 +1,233 @@
+//! Gaussian naive-Bayes classification.
+//!
+//! Stands in for the paper's "prediction algorithms" (§VII-A): an attacker
+//! who labels some observations (e.g. which bids won) can predict labels for
+//! the rest — unless fragmentation starves the per-class estimates.
+
+use crate::{MiningError, Result};
+use std::collections::BTreeMap;
+
+/// Minimum variance floor to keep likelihoods finite for constant features.
+const VAR_FLOOR: f64 = 1e-9;
+
+/// A fitted Gaussian naive-Bayes model.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Class label → (prior, per-feature mean, per-feature variance).
+    classes: BTreeMap<u32, ClassStats>,
+    dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ClassStats {
+    log_prior: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+impl GaussianNb {
+    /// Fits the model from feature rows and integer class labels.
+    ///
+    /// Requires at least two observations per class so variances are
+    /// meaningful; fragments that slice a class below that fail with
+    /// [`MiningError::InsufficientData`].
+    pub fn fit(x: &[Vec<f64>], y: &[u32]) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(MiningError::InvalidParameter {
+                detail: format!("{} feature rows vs {} labels", x.len(), y.len()),
+            });
+        }
+        if x.is_empty() {
+            return Err(MiningError::InsufficientData { have: 0, need: 2 });
+        }
+        let dim = x[0].len();
+        if x.iter().any(|r| r.len() != dim) {
+            return Err(MiningError::InvalidParameter {
+                detail: "feature rows have inconsistent dimensionality".into(),
+            });
+        }
+        let n = x.len() as f64;
+
+        let mut grouped: BTreeMap<u32, Vec<&Vec<f64>>> = BTreeMap::new();
+        for (row, &label) in x.iter().zip(y) {
+            grouped.entry(label).or_default().push(row);
+        }
+        if grouped.len() < 2 {
+            return Err(MiningError::InvalidParameter {
+                detail: "need at least two distinct classes".into(),
+            });
+        }
+
+        let mut classes = BTreeMap::new();
+        for (label, rows) in grouped {
+            if rows.len() < 2 {
+                return Err(MiningError::InsufficientData {
+                    have: rows.len(),
+                    need: 2,
+                });
+            }
+            let m = rows.len() as f64;
+            let mut means = vec![0.0; dim];
+            for r in &rows {
+                for (mu, &v) in means.iter_mut().zip(r.iter()) {
+                    *mu += v;
+                }
+            }
+            for mu in &mut means {
+                *mu /= m;
+            }
+            let mut vars = vec![0.0; dim];
+            for r in &rows {
+                for ((va, mu), &v) in vars.iter_mut().zip(&means).zip(r.iter()) {
+                    *va += (v - mu) * (v - mu);
+                }
+            }
+            for va in &mut vars {
+                *va = (*va / (m - 1.0)).max(VAR_FLOOR);
+            }
+            classes.insert(
+                label,
+                ClassStats {
+                    log_prior: (m / n).ln(),
+                    means,
+                    vars,
+                },
+            );
+        }
+        Ok(GaussianNb { classes, dim })
+    }
+
+    /// Log joint density `log P(class) + Σ log N(xᵢ; μ, σ²)` per class.
+    pub fn log_scores(&self, x: &[f64]) -> Vec<(u32, f64)> {
+        assert_eq!(x.len(), self.dim, "feature dimensionality mismatch");
+        self.classes
+            .iter()
+            .map(|(&label, st)| {
+                let mut s = st.log_prior;
+                for ((&v, &mu), &var) in x.iter().zip(&st.means).zip(&st.vars) {
+                    let d = v - mu;
+                    s += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+                }
+                (label, s)
+            })
+            .collect()
+    }
+
+    /// Most probable class for a feature row.
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        self.log_scores(x)
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("at least two classes")
+            .0
+    }
+
+    /// Accuracy against labelled data.
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[u32]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 0.0;
+        }
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(row, &label)| self.predict(row) == label)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+
+    /// Class labels known to the model.
+    pub fn labels(&self) -> Vec<u32> {
+        self.classes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i as f64) * 0.01;
+            x.push(vec![0.0 + jitter, 1.0 - jitter]);
+            y.push(0);
+            x.push(vec![10.0 + jitter, -5.0 + jitter]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn perfect_on_separable_data() {
+        let (x, y) = separable();
+        let nb = GaussianNb::fit(&x, &y).unwrap();
+        assert_eq!(nb.accuracy(&x, &y), 1.0);
+        assert_eq!(nb.predict(&[0.05, 0.95]), 0);
+        assert_eq!(nb.predict(&[10.0, -4.9]), 1);
+        assert_eq!(nb.labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn priors_matter_for_ambiguous_points() {
+        // Class 0 has 3x the mass and identical variance to class 1; a point
+        // exactly between the class means must go to the majority class.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let off = if i % 2 == 0 { -0.5 } else { 0.5 };
+            x.push(vec![-1.0 + off]);
+            y.push(0);
+        }
+        for i in 0..10 {
+            let off = if i % 2 == 0 { -0.5 } else { 0.5 };
+            x.push(vec![1.0 + off]);
+            y.push(1);
+        }
+        let nb = GaussianNb::fit(&x, &y).unwrap();
+        assert_eq!(nb.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert!(GaussianNb::fit(&[], &[]).is_err());
+        // Length mismatch.
+        assert!(GaussianNb::fit(&[vec![1.0]], &[0, 1]).is_err());
+        // Single class.
+        let x = vec![vec![1.0], vec![2.0]];
+        assert!(GaussianNb::fit(&x, &[0, 0]).is_err());
+        // Class with one member.
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        assert!(matches!(
+            GaussianNb::fit(&x, &[0, 0, 1]),
+            Err(MiningError::InsufficientData { have: 1, need: 2 })
+        ));
+        // Ragged rows.
+        let x = vec![vec![1.0], vec![2.0, 3.0], vec![4.0], vec![5.0]];
+        assert!(GaussianNb::fit(&x, &[0, 0, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = vec![
+            vec![5.0, 0.0],
+            vec![5.0, 0.1],
+            vec![5.0, 10.0],
+            vec![5.0, 10.1],
+        ];
+        let y = vec![0, 0, 1, 1];
+        let nb = GaussianNb::fit(&x, &y).unwrap();
+        let scores = nb.log_scores(&[5.0, 0.05]);
+        assert!(scores.iter().all(|(_, s)| s.is_finite()));
+        assert_eq!(nb.predict(&[5.0, 0.05]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn predict_wrong_dim_panics() {
+        let (x, y) = separable();
+        let nb = GaussianNb::fit(&x, &y).unwrap();
+        nb.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! The "multivariate analysis" family (§II-B) beyond regression: an
+//! attacker summarizing a victim's high-dimensional records (e.g. spending
+//! vectors) by their dominant directions. Fragment-estimated components
+//! drift from the full-data ones.
+
+use crate::{MiningError, Result};
+use fragcloud_linalg::Matrix;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal components, one row per component (unit length).
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalues (variance along each component), descending.
+    pub explained_variance: Vec<f64>,
+}
+
+/// Power-iteration convergence parameters.
+const MAX_ITERS: usize = 500;
+const TOL: f64 = 1e-10;
+
+/// Fits the top `k` principal components of the rows of `x`.
+pub fn fit(x: &[Vec<f64>], k: usize) -> Result<Pca> {
+    if x.len() < 2 {
+        return Err(MiningError::InsufficientData {
+            have: x.len(),
+            need: 2,
+        });
+    }
+    let dim = x[0].len();
+    if dim == 0 || x.iter().any(|r| r.len() != dim) {
+        return Err(MiningError::InvalidParameter {
+            detail: "rows must share a positive dimensionality".into(),
+        });
+    }
+    if k == 0 || k > dim {
+        return Err(MiningError::InvalidParameter {
+            detail: format!("k must be in 1..={dim}, got {k}"),
+        });
+    }
+
+    // Column means.
+    let n = x.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for r in x {
+        for (m, &v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+
+    // Covariance matrix (dim × dim).
+    let mut cov = Matrix::zeros(dim, dim);
+    for r in x {
+        for i in 0..dim {
+            let di = r[i] - mean[i];
+            if di == 0.0 {
+                continue;
+            }
+            for j in i..dim {
+                cov[(i, j)] += di * (r[j] - mean[j]);
+            }
+        }
+    }
+    for i in 0..dim {
+        for j in 0..i {
+            cov[(i, j)] = cov[(j, i)];
+        }
+    }
+    let cov = cov.scale(1.0 / (n - 1.0));
+
+    // Power iteration with deflation.
+    let mut work = cov;
+    let mut components = Vec::with_capacity(k);
+    let mut explained = Vec::with_capacity(k);
+    for c in 0..k {
+        // Deterministic start vector, varied per component.
+        let mut v: Vec<f64> = (0..dim)
+            .map(|i| ((i + c * 7 + 1) as f64 * 0.37).sin() + 0.5)
+            .collect();
+        normalize(&mut v);
+        let mut lambda = 0.0;
+        for _ in 0..MAX_ITERS {
+            let mut w = work.matvec(&v).expect("square matvec");
+            let norm = l2(&w);
+            if norm < 1e-14 {
+                // Remaining space has (numerically) zero variance.
+                w = v.clone();
+                lambda = 0.0;
+                normalize(&mut w);
+                v = w;
+                break;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = w;
+            lambda = norm;
+            if delta < TOL {
+                break;
+            }
+        }
+        // Deflate: work -= lambda v vᵀ.
+        for i in 0..dim {
+            for j in 0..dim {
+                work[(i, j)] -= lambda * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        explained.push(lambda.max(0.0));
+    }
+
+    Ok(Pca {
+        mean,
+        components,
+        explained_variance: explained,
+    })
+}
+
+impl Pca {
+    /// Projects one row onto the fitted components.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, b)| a - b).collect();
+        self.components
+            .iter()
+            .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Cosine similarity (absolute, sign-invariant) between this model's
+    /// leading component and another's — the component-drift metric.
+    pub fn leading_alignment(&self, other: &Pca) -> f64 {
+        let a = &self.components[0];
+        let b = &other.components[0];
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>().abs()
+    }
+}
+
+fn l2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = l2(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points stretched along a known direction.
+    fn line_data(direction: [f64; 2], n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 / n as f64 - 0.5) * 10.0;
+                // small perpendicular wobble
+                let w = ((i * 13) % 7) as f64 * 0.01;
+                vec![
+                    direction[0] * t - direction[1] * w + 3.0,
+                    direction[1] * t + direction[0] * w - 2.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let dir = [3.0 / 5.0, 4.0 / 5.0];
+        let data = line_data(dir, 200);
+        let pca = fit(&data, 2).unwrap();
+        let lead = &pca.components[0];
+        let dot = (lead[0] * dir[0] + lead[1] * dir[1]).abs();
+        assert!(dot > 0.999, "leading component {lead:?} vs {dir:?}");
+        assert!(pca.explained_variance[0] > pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = line_data([1.0, 0.0], 100);
+        let pca = fit(&data, 2).unwrap();
+        let c0 = &pca.components[0];
+        let c1 = &pca.components[1];
+        assert!((l2(c0) - 1.0).abs() < 1e-8);
+        assert!((l2(c1) - 1.0).abs() < 1e-8);
+        let dot: f64 = c0.iter().zip(c1).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-6, "dot={dot}");
+    }
+
+    #[test]
+    fn projection_centers_data() {
+        let data = line_data([1.0, 0.0], 50);
+        let pca = fit(&data, 1).unwrap();
+        // Mean projects to ~zero.
+        let z = pca.project(&pca.mean.clone());
+        assert!(z[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_metric() {
+        let a = fit(&line_data([1.0, 0.0], 100), 1).unwrap();
+        let b = fit(&line_data([1.0, 0.0], 100), 1).unwrap();
+        assert!(a.leading_alignment(&b) > 0.9999);
+        let c = fit(&line_data([0.0, 1.0], 100), 1).unwrap();
+        assert!(a.leading_alignment(&c) < 0.1);
+    }
+
+    #[test]
+    fn constant_data_yields_zero_variance() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let pca = fit(&data, 2).unwrap();
+        assert!(pca.explained_variance.iter().all(|&v| v < 1e-12));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(fit(&[vec![1.0]], 1).is_err()); // too few rows
+        assert!(fit(&[vec![1.0], vec![2.0]], 0).is_err());
+        assert!(fit(&[vec![1.0], vec![2.0]], 2).is_err()); // k > dim
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(fit(&ragged, 1).is_err());
+        let zero_dim = vec![vec![], vec![]];
+        assert!(fit(&zero_dim, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn project_wrong_dim_panics() {
+        let pca = fit(&line_data([1.0, 0.0], 10), 1).unwrap();
+        pca.project(&[1.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Multivariate linear regression — the Table IV attack instrument.
+//!
+//! §VII-A: a malicious employee runs "multivariate analysis (linear multiple
+//! regression using MATLAB)" on a client's bidding history and recovers the
+//! pricing model `1.4·Materials + 1.5·Production + 3.1·Maintenance + 5436`.
+//! [`RegressionModel::fit`] is that attack; the defence's success is
+//! measured by how far fragment-level fits drift from the full-data fit.
+
+use crate::dataset::Dataset;
+use crate::Result;
+use fragcloud_linalg::{ols, OlsFit};
+
+/// A fitted linear model with named predictors.
+#[derive(Debug, Clone)]
+pub struct RegressionModel {
+    /// Predictor column names, in coefficient order.
+    pub predictors: Vec<String>,
+    /// Response column name.
+    pub response: String,
+    /// Underlying OLS fit (intercept last).
+    pub fit: OlsFit,
+}
+
+impl RegressionModel {
+    /// Fits `response ~ predictors + intercept` on a dataset.
+    ///
+    /// Fails with [`crate::MiningError::InsufficientData`] when the fragment
+    /// holds fewer observations than unknowns — the paper's fragmentation
+    /// defence in action.
+    pub fn fit(data: &Dataset, predictors: &[&str], response: &str) -> Result<Self> {
+        let x = data.design_matrix(predictors)?;
+        let y = data.column(response)?;
+        let fit = ols(&x, &y, true)?;
+        Ok(RegressionModel {
+            predictors: predictors.iter().map(|s| s.to_string()).collect(),
+            response: response.to_string(),
+            fit,
+        })
+    }
+
+    /// Slope coefficients (excluding the intercept).
+    pub fn slopes(&self) -> &[f64] {
+        &self.fit.coefficients[..self.predictors.len()]
+    }
+
+    /// The intercept term.
+    pub fn intercept(&self) -> f64 {
+        self.fit.coefficients[self.predictors.len()]
+    }
+
+    /// Predicts the response for one observation (predictor order as fitted).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.fit.predict(x)
+    }
+
+    /// Formats the model like the paper writes it:
+    /// `(1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436`.
+    pub fn equation(&self) -> String {
+        let terms: Vec<String> = self
+            .predictors
+            .iter()
+            .zip(self.slopes())
+            .map(|(p, c)| format!("{c:.1}*{p}"))
+            .collect();
+        format!("({}) + {:.0}", terms.join(" + "), self.intercept())
+    }
+
+    /// Mean absolute prediction error against another dataset — how well an
+    /// attacker's (possibly fragment-trained) model explains held-out truth.
+    pub fn mean_abs_error(&self, data: &Dataset) -> Result<f64> {
+        let x = data.design_matrix(
+            &self.predictors.iter().map(String::as_str).collect::<Vec<_>>(),
+        )?;
+        let y = data.column(&self.response)?;
+        let mut total = 0.0;
+        for (i, yi) in y.iter().enumerate() {
+            total += (self.predict(x.row(i)) - yi).abs();
+        }
+        Ok(total / y.len().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> Dataset {
+        // y = 2a + 3b + 10, exact.
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "y".into()]);
+        for i in 0..10 {
+            let a = i as f64;
+            let b = (i * i % 7) as f64;
+            d.push(vec![a, b, 2.0 * a + 3.0 * b + 10.0]);
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_exact_plane() {
+        let d = synthetic();
+        let m = RegressionModel::fit(&d, &["a", "b"], "y").unwrap();
+        assert!((m.slopes()[0] - 2.0).abs() < 1e-9);
+        assert!((m.slopes()[1] - 3.0).abs() < 1e-9);
+        assert!((m.intercept() - 10.0).abs() < 1e-8);
+        assert!((m.fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(m.mean_abs_error(&d).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn equation_format() {
+        let d = synthetic();
+        let m = RegressionModel::fit(&d, &["a", "b"], "y").unwrap();
+        let eq = m.equation();
+        assert!(eq.contains("2.0*a"), "{eq}");
+        assert!(eq.contains("3.0*b"), "{eq}");
+        assert!(eq.ends_with("+ 10"), "{eq}");
+    }
+
+    #[test]
+    fn fragment_too_small_fails() {
+        let d = synthetic();
+        let frags = d.fragment(5); // 2 rows each < 3 unknowns
+        let err = RegressionModel::fit(&frags[0], &["a", "b"], "y").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::MiningError::InsufficientData { have: 2, need: 3 }
+        ));
+    }
+
+    #[test]
+    fn missing_columns_error() {
+        let d = synthetic();
+        assert!(RegressionModel::fit(&d, &["a", "zzz"], "y").is_err());
+        assert!(RegressionModel::fit(&d, &["a"], "zzz").is_err());
+    }
+
+    #[test]
+    fn predict_matches_formula() {
+        let d = synthetic();
+        let m = RegressionModel::fit(&d, &["a", "b"], "y").unwrap();
+        assert!((m.predict(&[4.0, 2.0]) - (8.0 + 6.0 + 10.0)).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the mining toolkit.
+
+use fragcloud_mining::apriori::{frequent_itemsets, mine_rules, Transaction};
+use fragcloud_mining::dataset::{euclidean, DistanceMatrix};
+use fragcloud_mining::hclust::{cluster, Linkage};
+use fragcloud_mining::kmeans::{kmeans, KMeansConfig};
+use fragcloud_mining::Dataset;
+use proptest::prelude::*;
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Transaction>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..20, 1..8),
+        1..40,
+    )
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 2),
+        2..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apriori downward closure: every subset of a frequent itemset is
+    /// frequent with at least the same support.
+    #[test]
+    fn apriori_downward_closure(txs in arb_transactions(), sup in 0.05f64..0.9) {
+        let sets = frequent_itemsets(&txs, sup).expect("valid input");
+        let lookup: std::collections::HashMap<Vec<u32>, usize> = sets
+            .iter()
+            .map(|fi| (fi.items.clone(), fi.support_count))
+            .collect();
+        for fi in &sets {
+            if fi.items.len() < 2 {
+                continue;
+            }
+            for skip in 0..fi.items.len() {
+                let sub: Vec<u32> = fi
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let sub_support = lookup.get(&sub).copied();
+                prop_assert!(
+                    sub_support.is_some_and(|s| s >= fi.support_count),
+                    "subset {sub:?} of {:?} missing or under-supported",
+                    fi.items
+                );
+            }
+        }
+    }
+
+    /// Rule confidence is the ratio of the two itemset supports, in (0, 1].
+    #[test]
+    fn apriori_rule_confidence_bounds(txs in arb_transactions()) {
+        let rules = mine_rules(&txs, 0.1, 0.0).expect("valid input");
+        for r in rules {
+            prop_assert!(r.confidence > 0.0 && r.confidence <= 1.0 + 1e-12);
+            prop_assert!(r.support > 0.0 && r.support <= 1.0 + 1e-12);
+            prop_assert!(r.lift >= 0.0);
+        }
+    }
+
+    /// Any cut of a dendrogram is a partition with exactly k parts.
+    #[test]
+    fn hclust_cut_is_partition(points in arb_points(), k_pick in any::<usize>()) {
+        let dm = DistanceMatrix::compute(&points, euclidean).expect("points");
+        let tree = cluster(&dm, Linkage::Average).expect("non-empty");
+        let k = 1 + k_pick % points.len();
+        let labels = tree.cut(k).expect("valid k");
+        prop_assert_eq!(labels.len(), points.len());
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k);
+        // Labels are exactly 0..k (compact).
+        prop_assert!(labels.iter().all(|&l| l < k));
+    }
+
+    /// Coarser cuts refine: merging never splits an existing cluster
+    /// (cut(k) is a refinement of cut(k-1)).
+    #[test]
+    fn hclust_cuts_are_nested(points in arb_points()) {
+        let dm = DistanceMatrix::compute(&points, euclidean).expect("points");
+        let tree = cluster(&dm, Linkage::Complete).expect("non-empty");
+        let n = points.len();
+        for k in 1..n {
+            let coarse = tree.cut(k).expect("valid");
+            let fine = tree.cut(k + 1).expect("valid");
+            // Same fine label ⇒ same coarse label.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if fine[i] == fine[j] {
+                        prop_assert_eq!(
+                            coarse[i], coarse[j],
+                            "k={} split a finer cluster", k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// K-means labels are in range and inertia is non-negative and finite.
+    #[test]
+    fn kmeans_invariants(points in arb_points(), k_pick in any::<usize>(), seed: u64) {
+        let k = 1 + k_pick % points.len();
+        let fit = kmeans(
+            &points,
+            KMeansConfig { k, seed, ..Default::default() },
+        )
+        .expect("valid input");
+        prop_assert_eq!(fit.labels.len(), points.len());
+        prop_assert!(fit.labels.iter().all(|&l| l < k));
+        prop_assert!(fit.inertia.is_finite() && fit.inertia >= 0.0);
+        prop_assert_eq!(fit.centroids.len(), k);
+    }
+
+    /// Fragmenting a dataset preserves all rows in order.
+    #[test]
+    fn fragment_preserves_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f64..1e6, 3),
+            1..50,
+        ),
+        n in 1usize..8,
+    ) {
+        let ds = Dataset::from_rows(
+            vec!["a".into(), "b".into(), "c".into()],
+            rows.clone(),
+        )
+        .expect("consistent width");
+        let frags = ds.fragment(n);
+        prop_assert_eq!(frags.len(), n);
+        let rejoined: Vec<Vec<f64>> = frags
+            .iter()
+            .flat_map(|f| f.rows().to_vec())
+            .collect();
+        prop_assert_eq!(rejoined, rows);
+    }
+}

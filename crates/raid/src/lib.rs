@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! RAID-style erasure coding across cloud providers.
+//!
+//! The paper (§IV-A) stripes chunks across providers "applying Redundant
+//! Array of Independent Disks (RAID) strategy … The default choice is RAID
+//! level 5. In case of higher assurance, RAID level 6 is used", following
+//! RACS (Abu-Libdeh et al., SoCC'10) in treating **each cloud provider as a
+//! separate disk**.
+//!
+//! This crate implements the coding layer from scratch:
+//!
+//! - [`gf256`] — arithmetic in GF(2⁸) with the AES polynomial `0x11B`,
+//! - [`raid5`] — single-parity XOR striping (tolerates one lost provider),
+//! - [`raid6`] — P+Q Reed–Solomon striping (tolerates any two lost
+//!   providers),
+//! - [`stripe`] — a level-agnostic [`stripe::StripeCodec`] facade used by the
+//!   distributor.
+
+pub mod gf256;
+pub mod raid5;
+pub mod raid6;
+pub mod stripe;
+
+pub use stripe::{RaidLevel, StripeCodec};
+
+/// Errors produced by the erasure-coding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaidError {
+    /// Stripe geometry is invalid (too few data shards, zero width, …).
+    BadGeometry {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// More shards were lost than the code can tolerate.
+    TooManyErasures {
+        /// Number of missing shards.
+        missing: usize,
+        /// Maximum number of erasures the configured level repairs.
+        tolerable: usize,
+    },
+    /// Shards passed to decode have inconsistent lengths.
+    ShardLengthMismatch,
+}
+
+impl std::fmt::Display for RaidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaidError::BadGeometry { detail } => write!(f, "bad stripe geometry: {detail}"),
+            RaidError::TooManyErasures { missing, tolerable } => write!(
+                f,
+                "unrecoverable stripe: {missing} shards missing, can repair {tolerable}"
+            ),
+            RaidError::ShardLengthMismatch => write!(f, "shards have inconsistent lengths"),
+        }
+    }
+}
+
+impl std::error::Error for RaidError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RaidError>;

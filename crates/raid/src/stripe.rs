@@ -1,0 +1,386 @@
+//! Level-agnostic striping facade used by the Cloud Data Distributor.
+//!
+//! A [`StripeCodec`] slices a byte blob into `k` equal-width data shards
+//! (zero-padded), appends the parity shards demanded by the configured
+//! [`RaidLevel`], and can rebuild the original blob from any sufficient
+//! subset of shards.
+
+use crate::{raid5, raid6, RaidError, Result};
+
+/// Assurance level for a stripe, mirroring the paper's §IV-A choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaidLevel {
+    /// No parity: all shards are required to read (maximum fragmentation,
+    /// zero storage overhead). The single-provider baseline uses this.
+    None,
+    /// One XOR parity shard; tolerates one lost provider. Paper default.
+    Raid5,
+    /// P+Q Reed–Solomon parity; tolerates two lost providers. Paper's
+    /// "higher assurance" choice.
+    Raid6,
+}
+
+impl RaidLevel {
+    /// Number of parity shards this level appends.
+    pub fn parity_shards(self) -> usize {
+        match self {
+            RaidLevel::None => 0,
+            RaidLevel::Raid5 => 1,
+            RaidLevel::Raid6 => 2,
+        }
+    }
+
+    /// Number of shard losses the level tolerates.
+    pub fn fault_tolerance(self) -> usize {
+        self.parity_shards()
+    }
+}
+
+impl std::fmt::Display for RaidLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaidLevel::None => write!(f, "none"),
+            RaidLevel::Raid5 => write!(f, "raid5"),
+            RaidLevel::Raid6 => write!(f, "raid6"),
+        }
+    }
+}
+
+/// An encoded stripe: `k` data shards followed by the level's parity shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedStripe {
+    /// All shards; indices `0..k` are data, the rest parity (P then Q).
+    pub shards: Vec<Vec<u8>>,
+    /// Number of data shards.
+    pub k: usize,
+    /// Original blob length before padding.
+    pub original_len: usize,
+    /// The level used to encode.
+    pub level: RaidLevel,
+}
+
+/// Stripe encoder/decoder with a fixed geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeCodec {
+    /// Number of data shards per stripe.
+    pub data_shards: usize,
+    /// Assurance level.
+    pub level: RaidLevel,
+}
+
+impl StripeCodec {
+    /// Creates a codec; `data_shards` must be ≥ 1 (and ≤ 255 for RAID-6).
+    pub fn new(data_shards: usize, level: RaidLevel) -> Result<Self> {
+        if data_shards == 0 {
+            return Err(RaidError::BadGeometry {
+                detail: "data_shards must be >= 1".into(),
+            });
+        }
+        if level == RaidLevel::Raid6 && data_shards > raid6::MAX_DATA_SHARDS {
+            return Err(RaidError::BadGeometry {
+                detail: format!("RAID-6 supports at most {} data shards", raid6::MAX_DATA_SHARDS),
+            });
+        }
+        Ok(StripeCodec { data_shards, level })
+    }
+
+    /// Total shards per stripe (data + parity).
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.level.parity_shards()
+    }
+
+    /// Encodes a blob into an [`EncodedStripe`].
+    ///
+    /// The blob is split into `data_shards` equal slices, the last one
+    /// zero-padded. An empty blob yields zero-width shards.
+    pub fn encode(&self, blob: &[u8]) -> Result<EncodedStripe> {
+        let k = self.data_shards;
+        let width = blob.len().div_ceil(k);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+        for i in 0..k {
+            let start = (i * width).min(blob.len());
+            let end = ((i + 1) * width).min(blob.len());
+            let mut s = Vec::with_capacity(width);
+            s.extend_from_slice(&blob[start..end]);
+            s.resize(width, 0);
+            shards.push(s);
+        }
+        let data_refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        match self.level {
+            RaidLevel::None => {}
+            RaidLevel::Raid5 => {
+                let p = raid5::parity(&data_refs)?;
+                shards.push(p);
+            }
+            RaidLevel::Raid6 => {
+                let pq = raid6::parity(&data_refs)?;
+                shards.push(pq.p);
+                shards.push(pq.q);
+            }
+        }
+        Ok(EncodedStripe {
+            shards,
+            k,
+            original_len: blob.len(),
+            level: self.level,
+        })
+    }
+
+    /// Rebuilds the original blob from the available shards.
+    ///
+    /// `available` pairs each surviving shard with its stripe index
+    /// (`0..k` = data, `k` = P, `k+1` = Q). `original_len` is the
+    /// pre-padding blob length recorded at encode time.
+    pub fn decode(
+        &self,
+        available: &[(usize, &[u8])],
+        original_len: usize,
+    ) -> Result<Vec<u8>> {
+        let k = self.data_shards;
+        let total = self.total_shards();
+        for (idx, _) in available {
+            if *idx >= total {
+                return Err(RaidError::BadGeometry {
+                    detail: format!("shard index {idx} out of range (total {total})"),
+                });
+            }
+        }
+        let have_data: Vec<&(usize, &[u8])> =
+            available.iter().filter(|(i, _)| *i < k).collect();
+        let missing_data = k - have_data.len();
+
+        let data: Vec<Vec<u8>> = if missing_data == 0 {
+            // Fast path: sort data shards by index, no parity math.
+            let mut slots: Vec<Option<&[u8]>> = vec![None; k];
+            for (i, s) in &have_data {
+                slots[*i] = Some(s);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("all data present").to_vec())
+                .collect()
+        } else {
+            match self.level {
+                RaidLevel::None => {
+                    return Err(RaidError::TooManyErasures {
+                        missing: missing_data,
+                        tolerable: 0,
+                    })
+                }
+                RaidLevel::Raid5 => {
+                    if missing_data > 1 {
+                        return Err(RaidError::TooManyErasures {
+                            missing: missing_data,
+                            tolerable: 1,
+                        });
+                    }
+                    let p = available
+                        .iter()
+                        .find(|(i, _)| *i == k)
+                        .map(|(_, s)| *s)
+                        .ok_or(RaidError::TooManyErasures {
+                            missing: 2,
+                            tolerable: 1,
+                        })?;
+                    let missing_idx = (0..k)
+                        .find(|i| !have_data.iter().any(|(j, _)| j == i))
+                        .expect("one data shard is missing");
+                    let mut present: Vec<&[u8]> =
+                        have_data.iter().map(|(_, s)| *s).collect();
+                    present.push(p);
+                    let rec = raid5::reconstruct(&present)?;
+                    let mut slots: Vec<Option<Vec<u8>>> = vec![None; k];
+                    for (i, s) in &have_data {
+                        slots[*i] = Some(s.to_vec());
+                    }
+                    slots[missing_idx] = Some(rec);
+                    slots
+                        .into_iter()
+                        .map(|s| s.expect("reconstructed"))
+                        .collect()
+                }
+                RaidLevel::Raid6 => {
+                    let survivors: Vec<raid6::Shard<'_>> = available
+                        .iter()
+                        .map(|(i, s)| raid6::Shard {
+                            id: if *i < k {
+                                raid6::ShardId::Data(*i)
+                            } else if *i == k {
+                                raid6::ShardId::P
+                            } else {
+                                raid6::ShardId::Q
+                            },
+                            data: s,
+                        })
+                        .collect();
+                    raid6::reconstruct(k, &survivors)?
+                }
+            }
+        };
+
+        // Concatenate and trim padding.
+        let width = data.first().map_or(0, |d| d.len());
+        let mut blob = Vec::with_capacity(width * k);
+        for d in &data {
+            if d.len() != width {
+                return Err(RaidError::ShardLengthMismatch);
+            }
+            blob.extend_from_slice(d);
+        }
+        if original_len > blob.len() {
+            return Err(RaidError::BadGeometry {
+                detail: format!(
+                    "original_len {original_len} exceeds stripe capacity {}",
+                    blob.len()
+                ),
+            });
+        }
+        blob.truncate(original_len);
+        Ok(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    fn avail(stripe: &EncodedStripe) -> Vec<(usize, &[u8])> {
+        stripe
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_levels_various_sizes() {
+        for level in [RaidLevel::None, RaidLevel::Raid5, RaidLevel::Raid6] {
+            for k in [1usize, 2, 3, 5, 8] {
+                for n in [0usize, 1, 7, 64, 100, 1000] {
+                    let codec = StripeCodec::new(k, level).unwrap();
+                    let b = blob(n);
+                    let enc = codec.encode(&b).unwrap();
+                    assert_eq!(enc.shards.len(), codec.total_shards());
+                    let dec = codec.decode(&avail(&enc), n).unwrap();
+                    assert_eq!(dec, b, "level={level} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raid5_survives_any_single_loss() {
+        let codec = StripeCodec::new(4, RaidLevel::Raid5).unwrap();
+        let b = blob(123);
+        let enc = codec.encode(&b).unwrap();
+        for lost in 0..codec.total_shards() {
+            let a: Vec<(usize, &[u8])> = avail(&enc)
+                .into_iter()
+                .filter(|(i, _)| *i != lost)
+                .collect();
+            assert_eq!(codec.decode(&a, 123).unwrap(), b, "lost={lost}");
+        }
+    }
+
+    #[test]
+    fn raid5_two_losses_fail() {
+        let codec = StripeCodec::new(4, RaidLevel::Raid5).unwrap();
+        let enc = codec.encode(&blob(50)).unwrap();
+        let a: Vec<(usize, &[u8])> = avail(&enc)
+            .into_iter()
+            .filter(|(i, _)| *i != 0 && *i != 1)
+            .collect();
+        assert!(matches!(
+            codec.decode(&a, 50),
+            Err(RaidError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn raid6_survives_any_double_loss() {
+        let codec = StripeCodec::new(5, RaidLevel::Raid6).unwrap();
+        let b = blob(333);
+        let enc = codec.encode(&b).unwrap();
+        let t = codec.total_shards();
+        for l1 in 0..t {
+            for l2 in (l1 + 1)..t {
+                let a: Vec<(usize, &[u8])> = avail(&enc)
+                    .into_iter()
+                    .filter(|(i, _)| *i != l1 && *i != l2)
+                    .collect();
+                assert_eq!(codec.decode(&a, 333).unwrap(), b, "lost {l1},{l2}");
+            }
+        }
+    }
+
+    #[test]
+    fn raid6_three_losses_fail() {
+        let codec = StripeCodec::new(5, RaidLevel::Raid6).unwrap();
+        let enc = codec.encode(&blob(100)).unwrap();
+        let a: Vec<(usize, &[u8])> = avail(&enc)
+            .into_iter()
+            .filter(|(i, _)| *i > 2)
+            .collect();
+        assert!(matches!(
+            codec.decode(&a, 100),
+            Err(RaidError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn level_none_requires_everything() {
+        let codec = StripeCodec::new(3, RaidLevel::None).unwrap();
+        let b = blob(30);
+        let enc = codec.encode(&b).unwrap();
+        assert_eq!(enc.shards.len(), 3);
+        let a: Vec<(usize, &[u8])> = avail(&enc).into_iter().skip(1).collect();
+        assert!(matches!(
+            codec.decode(&a, 30),
+            Err(RaidError::TooManyErasures { missing: 1, tolerable: 0 })
+        ));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(StripeCodec::new(0, RaidLevel::Raid5).is_err());
+        assert!(StripeCodec::new(256, RaidLevel::Raid6).is_err());
+        assert!(StripeCodec::new(255, RaidLevel::Raid6).is_ok());
+        let codec = StripeCodec::new(2, RaidLevel::Raid5).unwrap();
+        let enc = codec.encode(&blob(10)).unwrap();
+        // Out-of-range shard index rejected.
+        let bad = [(9usize, enc.shards[0].as_slice())];
+        assert!(matches!(
+            codec.decode(&bad, 10),
+            Err(RaidError::BadGeometry { .. })
+        ));
+        // original_len larger than capacity rejected.
+        let a = avail(&enc);
+        assert!(matches!(
+            codec.decode(&a, 1000),
+            Err(RaidError::BadGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn parity_counts() {
+        assert_eq!(RaidLevel::None.parity_shards(), 0);
+        assert_eq!(RaidLevel::Raid5.parity_shards(), 1);
+        assert_eq!(RaidLevel::Raid6.parity_shards(), 2);
+        assert_eq!(format!("{}", RaidLevel::Raid6), "raid6");
+    }
+
+    #[test]
+    fn storage_overhead_is_parity_only() {
+        let b = blob(1000);
+        let codec = StripeCodec::new(5, RaidLevel::Raid6).unwrap();
+        let enc = codec.encode(&b).unwrap();
+        let stored: usize = enc.shards.iter().map(|s| s.len()).sum();
+        let width = 1000usize.div_ceil(5);
+        assert_eq!(stored, width * 7); // 5 data + P + Q
+    }
+}

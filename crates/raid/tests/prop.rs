@@ -1,0 +1,125 @@
+//! Property tests for the erasure-coding layer.
+
+use fragcloud_raid::{gf256, raid5, raid6, RaidLevel, StripeCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Field axioms on random elements.
+    #[test]
+    fn gf256_field_axioms(a: u8, b: u8, c: u8) {
+        // Commutativity and associativity of multiplication.
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+        // Distributivity over addition (xor).
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Inverse law.
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+            prop_assert_eq!(gf256::div(gf256::mul(a, b), a), b);
+        }
+    }
+
+    /// RAID-5 parity is its own reconstruction for every erased position.
+    #[test]
+    fn raid5_reconstructs_any_position(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64),
+            2..6,
+        ),
+        lose_pick in any::<usize>(),
+    ) {
+        // Equalize lengths.
+        let width = data.iter().map(Vec::len).max().expect("non-empty stripe");
+        let shards: Vec<Vec<u8>> = data
+            .into_iter()
+            .map(|mut s| {
+                s.resize(width, 0);
+                s
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let p = raid5::parity(&refs).expect("valid stripe");
+        let lose = lose_pick % shards.len();
+        let mut present: Vec<&[u8]> = refs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != lose)
+            .map(|(_, s)| *s)
+            .collect();
+        present.push(&p);
+        prop_assert_eq!(raid5::reconstruct(&present).expect("one loss"), shards[lose].clone());
+    }
+
+    /// RAID-6 verify accepts generated parity and rejects any bit flip.
+    #[test]
+    fn raid6_verify_detects_any_single_bitflip(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 4..32),
+            2..5,
+        ),
+        flip_shard in any::<usize>(),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let width = data.iter().map(Vec::len).max().expect("non-empty");
+        let shards: Vec<Vec<u8>> = data
+            .into_iter()
+            .map(|mut s| {
+                s.resize(width, 0);
+                s
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let pq = raid6::parity(&refs).expect("valid stripe");
+        prop_assert!(raid6::verify(&refs, &pq).expect("same geometry"));
+
+        let mut corrupted = shards.clone();
+        let si = flip_shard % corrupted.len();
+        let bi = flip_byte % width;
+        corrupted[si][bi] ^= 1 << flip_bit;
+        let crefs: Vec<&[u8]> = corrupted.iter().map(|s| s.as_slice()).collect();
+        prop_assert!(!raid6::verify(&crefs, &pq).expect("same geometry"));
+    }
+
+    /// Codec roundtrip with arbitrary original_len boundaries.
+    #[test]
+    fn codec_roundtrip_arbitrary_blobs(
+        blob in proptest::collection::vec(any::<u8>(), 0..2048),
+        k in 1usize..10,
+    ) {
+        for level in [RaidLevel::None, RaidLevel::Raid5, RaidLevel::Raid6] {
+            let codec = StripeCodec::new(k, level).expect("valid geometry");
+            let enc = codec.encode(&blob).expect("encode");
+            let avail: Vec<(usize, &[u8])> = enc
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.as_slice()))
+                .collect();
+            prop_assert_eq!(codec.decode(&avail, blob.len()).expect("decode"), blob.clone());
+        }
+    }
+
+    /// Parity is linear: P(a ⊕ b) = P(a) ⊕ P(b) over same-width shard sets.
+    #[test]
+    fn raid5_parity_is_linear(
+        a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 16), 3),
+        b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 16), 3),
+    ) {
+        let xor: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let pa = raid5::parity(&a.iter().map(|s| s.as_slice()).collect::<Vec<_>>()).expect("a");
+        let pb = raid5::parity(&b.iter().map(|s| s.as_slice()).collect::<Vec<_>>()).expect("b");
+        let pxor = raid5::parity(&xor.iter().map(|s| s.as_slice()).collect::<Vec<_>>()).expect("xor");
+        let manual: Vec<u8> = pa.iter().zip(&pb).map(|(x, y)| x ^ y).collect();
+        prop_assert_eq!(pxor, manual);
+    }
+}

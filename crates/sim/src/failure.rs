@@ -1,0 +1,166 @@
+//! Outage injection and Monte-Carlo availability sampling.
+//!
+//! §I motivates the distributed design with the April 2011 EC2 outage;
+//! §III-B claims the distributed approach "ensures the greater availability
+//! of data". Experiment E9 quantifies that: sample provider up/down states
+//! from per-provider availability probabilities and check whether each
+//! file's stripes remain decodable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent per-provider availability model.
+#[derive(Debug, Clone)]
+pub struct AvailabilityModel {
+    /// Probability that each provider is up at observation time.
+    pub per_provider_up: Vec<f64>,
+}
+
+impl AvailabilityModel {
+    /// Uniform availability across `n` providers.
+    pub fn uniform(n: usize, up: f64) -> Self {
+        assert!((0.0..=1.0).contains(&up), "probability out of range");
+        AvailabilityModel {
+            per_provider_up: vec![up; n],
+        }
+    }
+
+    /// Samples one up/down outcome per provider.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<bool> {
+        self.per_provider_up
+            .iter()
+            .map(|&p| rng.gen_bool(p))
+            .collect()
+    }
+}
+
+/// Result of a Monte-Carlo availability run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityEstimate {
+    /// Fraction of trials in which the file was readable.
+    pub availability: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+/// Estimates the probability that a read succeeds, given a survival
+/// predicate over the sampled provider states.
+///
+/// `readable(up)` returns whether the file can be reconstructed when
+/// `up[i]` says provider `i` is online — e.g. "at most 1 of the stripe's
+/// providers is down" for RAID-5.
+pub fn estimate_availability<F>(
+    model: &AvailabilityModel,
+    trials: usize,
+    seed: u64,
+    mut readable: F,
+) -> AvailabilityEstimate
+where
+    F: FnMut(&[bool]) -> bool,
+{
+    assert!(trials > 0, "trials must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let up = model.sample(&mut rng);
+        if readable(&up) {
+            ok += 1;
+        }
+    }
+    AvailabilityEstimate {
+        availability: ok as f64 / trials as f64,
+        trials,
+    }
+}
+
+/// Analytic availability of a `k`-of-`n` code under i.i.d. provider
+/// availability `p`: `Σ_{i=k}^{n} C(n,i) pⁱ (1−p)^{n−i}`.
+pub fn k_of_n_availability(k: usize, n: usize, p: f64) -> f64 {
+    assert!(k <= n, "k must be <= n");
+    assert!((0.0..=1.0).contains(&p));
+    let mut total = 0.0;
+    for i in k..=n {
+        total += binomial(n, i) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+    }
+    total.min(1.0)
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut c = 1.0;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_model_shape() {
+        let m = AvailabilityModel::uniform(5, 0.9);
+        assert_eq!(m.per_provider_up.len(), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let up = m.sample(&mut rng);
+        assert_eq!(up.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_panics() {
+        AvailabilityModel::uniform(3, 1.5);
+    }
+
+    #[test]
+    fn always_up_gives_certainty() {
+        let m = AvailabilityModel::uniform(4, 1.0);
+        let est = estimate_availability(&m, 100, 7, |up| up.iter().all(|&u| u));
+        assert_eq!(est.availability, 1.0);
+    }
+
+    #[test]
+    fn always_down_gives_zero() {
+        let m = AvailabilityModel::uniform(4, 0.0);
+        let est = estimate_availability(&m, 100, 7, |up| up.iter().any(|&u| u));
+        assert_eq!(est.availability, 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_k_of_n() {
+        // 3-of-5 at p=0.9
+        let m = AvailabilityModel::uniform(5, 0.9);
+        let est = estimate_availability(&m, 200_000, 42, |up| {
+            up.iter().filter(|&&u| u).count() >= 3
+        });
+        let analytic = k_of_n_availability(3, 5, 0.9);
+        assert!(
+            (est.availability - analytic).abs() < 0.005,
+            "mc={} analytic={analytic}",
+            est.availability
+        );
+    }
+
+    #[test]
+    fn analytic_known_values() {
+        // 1-of-1: availability = p
+        assert!((k_of_n_availability(1, 1, 0.9) - 0.9).abs() < 1e-12);
+        // 0-of-n: always readable
+        assert_eq!(k_of_n_availability(0, 3, 0.5), 1.0);
+        // n-of-n: p^n
+        assert!((k_of_n_availability(3, 3, 0.9) - 0.729).abs() < 1e-12);
+        // RAID-5 style 4-of-5 beats 5-of-5.
+        assert!(k_of_n_availability(4, 5, 0.95) > k_of_n_availability(5, 5, 0.95));
+        // RAID-6 style 4-of-6 beats 4-of-5.
+        assert!(k_of_n_availability(4, 6, 0.95) > k_of_n_availability(4, 5, 0.95));
+    }
+
+    #[test]
+    fn determinism() {
+        let m = AvailabilityModel::uniform(6, 0.8);
+        let e1 = estimate_availability(&m, 1000, 99, |up| up[0]);
+        let e2 = estimate_availability(&m, 1000, 99, |up| up[0]);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic network latency/bandwidth model.
+//!
+//! The paper's prototype measured "distribution time" over a LAN of lab
+//! PCs. Wall-clock numbers from that testbed are irreproducible; instead,
+//! every provider carries a [`LatencyModel`] and the distributor reports
+//! *simulated* transfer times alongside real CPU time. The model is the
+//! classic affine cost `base + size/bandwidth (+ seeded jitter)`, which
+//! preserves the shapes the paper's evaluation cares about (scaling in file
+//! size, chunk count, provider count, RAID level).
+
+use std::time::Duration;
+
+/// Affine latency model for one provider link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed per-request overhead (connection setup, request parsing).
+    pub base: Duration,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Max multiplicative jitter (0.0 = deterministic, 0.2 = ±20%).
+    pub jitter: f64,
+}
+
+impl LatencyModel {
+    /// A LAN-class link: 1 ms setup, 1 Gbit/s, no jitter.
+    pub fn lan() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(1),
+            bandwidth_bps: 125_000_000.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// A WAN-class link to a public cloud: 40 ms setup, 100 Mbit/s.
+    pub fn wan() -> Self {
+        LatencyModel {
+            base: Duration::from_millis(40),
+            bandwidth_bps: 12_500_000.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Zero-cost model (pure algorithm benchmarking).
+    pub fn zero() -> Self {
+        LatencyModel {
+            base: Duration::ZERO,
+            bandwidth_bps: f64::INFINITY,
+            jitter: 0.0,
+        }
+    }
+
+    /// Simulated duration of transferring `size` bytes, with deterministic
+    /// jitter derived from `op_seq` (so repeated runs agree).
+    pub fn transfer_time(&self, size: usize, op_seq: u64) -> Duration {
+        let transfer_secs = if self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0 {
+            size as f64 / self.bandwidth_bps
+        } else {
+            0.0
+        };
+        let mut total = self.base.as_secs_f64() + transfer_secs;
+        if self.jitter > 0.0 {
+            // xorshift-style hash → uniform in [-jitter, +jitter]
+            let mut h = op_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            let unit = (h as f64 / u64::MAX as f64) * 2.0 - 1.0;
+            total *= 1.0 + unit * self.jitter;
+        }
+        Duration::from_secs_f64(total.max(0.0))
+    }
+}
+
+/// Accumulates simulated time across parallel operations: sequential ops
+/// add, concurrent batches take the max (providers are independent links).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    elapsed: Duration,
+}
+
+impl SimClock {
+    /// Creates a clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total simulated time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Advances by a sequential operation.
+    pub fn advance(&mut self, d: Duration) {
+        self.elapsed += d;
+    }
+
+    /// Advances by a batch of concurrent operations (costs their maximum —
+    /// "this approach exploits the benefit of parallel query processing as
+    /// various fragments can be accessed simultaneously", §VII-E).
+    pub fn advance_parallel<I: IntoIterator<Item = Duration>>(&mut self, batch: I) {
+        let max = batch.into_iter().max().unwrap_or(Duration::ZERO);
+        self.elapsed += max;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_costs_nothing() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.transfer_time(1 << 30, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn lan_scales_with_size() {
+        let m = LatencyModel::lan();
+        let small = m.transfer_time(1_000, 0);
+        let big = m.transfer_time(125_000_000, 0);
+        assert!(big > small);
+        // 125 MB at 125 MB/s = 1 s + 1 ms base
+        assert!((big.as_secs_f64() - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let size = 1 << 20;
+        assert!(
+            LatencyModel::wan().transfer_time(size, 0)
+                > LatencyModel::lan().transfer_time(size, 0)
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = LatencyModel {
+            jitter: 0.2,
+            ..LatencyModel::lan()
+        };
+        let base = LatencyModel::lan().transfer_time(1 << 20, 0);
+        for seq in 0..100 {
+            let t1 = m.transfer_time(1 << 20, seq);
+            let t2 = m.transfer_time(1 << 20, seq);
+            assert_eq!(t1, t2, "same seq must give same jitter");
+            let ratio = t1.as_secs_f64() / base.as_secs_f64();
+            assert!(
+                (0.8 - 1e-6..=1.2 + 1e-6).contains(&ratio),
+                "seq={seq} ratio={ratio}"
+            );
+        }
+        // Different seqs should not all coincide.
+        let a = m.transfer_time(1 << 20, 1);
+        let b = m.transfer_time(1 << 20, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clock_sequential_and_parallel() {
+        let mut c = SimClock::new();
+        c.advance(Duration::from_millis(10));
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.elapsed(), Duration::from_millis(15));
+        c.advance_parallel([
+            Duration::from_millis(7),
+            Duration::from_millis(30),
+            Duration::from_millis(2),
+        ]);
+        assert_eq!(c.elapsed(), Duration::from_millis(45));
+        c.advance_parallel(std::iter::empty());
+        assert_eq!(c.elapsed(), Duration::from_millis(45));
+    }
+}

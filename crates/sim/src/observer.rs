@@ -1,0 +1,144 @@
+//! The honest-but-curious observer — the attack surface of a provider.
+//!
+//! §III-A: "Mining based attacks on cloud involve attackers of two
+//! categories: malicious employees inside provider and outside attackers."
+//! Either way the adversary sees exactly the chunks that landed on the
+//! providers they control. An [`Observer`] records every `put` so the
+//! attack experiments can later *pool* the observations of `k` compromised
+//! providers and run the mining toolkit over them.
+
+use crate::types::VirtualId;
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// A record of one stored object as the provider saw it.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The opaque key — note the provider never learns the client identity,
+    /// filename or serial number (§IV-A virtualization).
+    pub key: VirtualId,
+    /// The chunk payload.
+    pub data: Bytes,
+}
+
+/// Records everything a provider stores; cheap to clone-share.
+#[derive(Debug, Default)]
+pub struct Observer {
+    log: Mutex<Vec<Observation>>,
+}
+
+impl Observer {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a stored object (called by the provider on `put`).
+    pub fn record(&self, key: VirtualId, data: Bytes) {
+        self.log.lock().push(Observation { key, data });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.log.lock().is_empty()
+    }
+
+    /// Snapshot of all observations (latest write per key wins).
+    pub fn snapshot(&self) -> Vec<Observation> {
+        let log = self.log.lock();
+        let mut latest: std::collections::HashMap<VirtualId, usize> =
+            std::collections::HashMap::with_capacity(log.len());
+        for (i, o) in log.iter().enumerate() {
+            latest.insert(o.key, i);
+        }
+        let mut idxs: Vec<usize> = latest.into_values().collect();
+        idxs.sort_unstable();
+        idxs.iter().map(|&i| log[i].clone()).collect()
+    }
+
+    /// Concatenated view of all observed payloads, in arrival order — the
+    /// raw corpus a malicious employee would mine.
+    pub fn pooled_bytes(&self) -> Vec<u8> {
+        let snap = self.snapshot();
+        let total: usize = snap.iter().map(|o| o.data.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for o in &snap {
+            out.extend_from_slice(&o.data);
+        }
+        out
+    }
+
+    /// Clears the log (e.g. between experiment repetitions).
+    pub fn clear(&self) {
+        self.log.lock().clear();
+    }
+}
+
+/// Pools the observations of several compromised providers — the §III-B
+/// outside attacker who "manages access to various providers".
+pub fn pool_observations(observers: &[&Observer]) -> Vec<Observation> {
+    let mut all = Vec::new();
+    for o in observers {
+        all.extend(o.snapshot());
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let o = Observer::new();
+        assert!(o.is_empty());
+        o.record(VirtualId(1), Bytes::from_static(b"aa"));
+        o.record(VirtualId(2), Bytes::from_static(b"bb"));
+        assert_eq!(o.len(), 2);
+        let snap = o.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].key, VirtualId(1));
+    }
+
+    #[test]
+    fn rewrite_keeps_latest() {
+        let o = Observer::new();
+        o.record(VirtualId(1), Bytes::from_static(b"old"));
+        o.record(VirtualId(1), Bytes::from_static(b"new"));
+        let snap = o.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].data, Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn pooled_bytes_concatenates_in_order() {
+        let o = Observer::new();
+        o.record(VirtualId(5), Bytes::from_static(b"abc"));
+        o.record(VirtualId(9), Bytes::from_static(b"def"));
+        assert_eq!(o.pooled_bytes(), b"abcdef");
+    }
+
+    #[test]
+    fn pooling_multiple_observers() {
+        let a = Observer::new();
+        let b = Observer::new();
+        a.record(VirtualId(1), Bytes::from_static(b"x"));
+        b.record(VirtualId(2), Bytes::from_static(b"y"));
+        let pooled = pool_observations(&[&a, &b]);
+        assert_eq!(pooled.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let o = Observer::new();
+        o.record(VirtualId(1), Bytes::from_static(b"x"));
+        o.clear();
+        assert!(o.is_empty());
+        assert!(o.pooled_bytes().is_empty());
+    }
+}

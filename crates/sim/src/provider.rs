@@ -1,0 +1,343 @@
+//! A simulated cloud provider: profile + object store + failure switch +
+//! curious observer + op accounting.
+
+use crate::net::LatencyModel;
+use crate::observer::Observer;
+use crate::store::{MemoryStore, ObjectStore, StoreError};
+use crate::types::{CostLevel, PrivacyLevel, VirtualId};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Static description of a provider, mirroring one row of the paper's
+/// Cloud Provider Table (Table I: name, PL, CL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderProfile {
+    /// Provider name ("AWS", "Google", "Sky", "Earth", …).
+    pub name: String,
+    /// Trustworthiness level; a chunk may only be placed here if the chunk's
+    /// PL ≤ this.
+    pub privacy_level: PrivacyLevel,
+    /// Price tier.
+    pub cost_level: CostLevel,
+    /// Network characteristics of the link to this provider.
+    pub latency: LatencyModel,
+}
+
+impl ProviderProfile {
+    /// Convenience constructor with a LAN-class link.
+    pub fn new(name: impl Into<String>, pl: PrivacyLevel, cl: CostLevel) -> Self {
+        ProviderProfile {
+            name: name.into(),
+            privacy_level: pl,
+            cost_level: cl,
+            latency: LatencyModel::lan(),
+        }
+    }
+}
+
+/// Cumulative operation counters for a provider.
+#[derive(Debug, Default)]
+pub struct ProviderStats {
+    /// Successful `put` calls.
+    pub puts: AtomicU64,
+    /// Successful `get` calls.
+    pub gets: AtomicU64,
+    /// Successful `delete` calls.
+    pub deletes: AtomicU64,
+    /// Bytes written.
+    pub bytes_in: AtomicU64,
+    /// Bytes read.
+    pub bytes_out: AtomicU64,
+    /// Requests rejected because the provider was offline.
+    pub rejected: AtomicU64,
+}
+
+/// A simulated cloud storage provider.
+///
+/// All operations go through the S3-like [`ObjectStore`] interface; an
+/// internal [`Observer`] records stored chunks for the attack experiments,
+/// and an online/offline switch injects outages (§I's EC2 incident).
+pub struct CloudProvider {
+    profile: ProviderProfile,
+    store: MemoryStore,
+    observer: Observer,
+    online: AtomicBool,
+    stats: ProviderStats,
+    op_seq: AtomicU64,
+    /// Probabilistic per-op failure (grey failures, as opposed to the
+    /// binary outage switch). `None` = reliable.
+    flakiness: Mutex<Option<(f64, StdRng)>>,
+}
+
+impl CloudProvider {
+    /// Brings up an empty, online provider.
+    pub fn new(profile: ProviderProfile) -> Self {
+        CloudProvider {
+            profile,
+            store: MemoryStore::new(),
+            observer: Observer::new(),
+            online: AtomicBool::new(true),
+            stats: ProviderStats::default(),
+            op_seq: AtomicU64::new(0),
+            flakiness: Mutex::new(None),
+        }
+    }
+
+    /// Makes every operation fail independently with probability `p`
+    /// (seeded, so runs are reproducible); `p = 0` restores reliability.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn set_flaky(&self, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "failure probability out of range");
+        *self.flakiness.lock() = if p > 0.0 {
+            Some((p, StdRng::seed_from_u64(seed)))
+        } else {
+            None
+        };
+    }
+
+    /// The provider's static profile.
+    pub fn profile(&self) -> &ProviderProfile {
+        &self.profile
+    }
+
+    /// Provider name.
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// Whether the provider currently accepts requests.
+    pub fn is_online(&self) -> bool {
+        self.online.load(Ordering::Acquire)
+    }
+
+    /// Injects or clears an outage.
+    pub fn set_online(&self, online: bool) {
+        self.online.store(online, Ordering::Release);
+    }
+
+    /// The curious-observer log for attack experiments.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &ProviderStats {
+        &self.stats
+    }
+
+    /// Number of chunks currently stored (Table I's `Count` column).
+    pub fn chunk_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Stored ids (Table I's `Virtual id list` column).
+    pub fn virtual_id_list(&self) -> Vec<VirtualId> {
+        self.store.keys()
+    }
+
+    /// Monthly storage cost at the provider's CL price, in dollars.
+    pub fn monthly_cost_dollars(&self) -> f64 {
+        let gb = self.store.bytes_stored() as f64 / 1e9;
+        gb * self.profile.cost_level.dollars_per_gb_month()
+    }
+
+    /// Simulated network time for an operation of `size` bytes.
+    pub fn simulate_transfer(&self, size: usize) -> Duration {
+        let seq = self.op_seq.fetch_add(1, Ordering::Relaxed);
+        self.profile.latency.transfer_time(size, seq)
+    }
+
+    fn check_online(&self) -> Result<(), StoreError> {
+        if !self.is_online() {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Unavailable {
+                provider: self.profile.name.clone(),
+            });
+        }
+        if let Some((p, rng)) = self.flakiness.lock().as_mut() {
+            if rng.gen_bool(*p) {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Unavailable {
+                    provider: self.profile.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for CloudProvider {
+    fn put(&self, key: VirtualId, value: Bytes) -> Result<(), StoreError> {
+        self.check_online()?;
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_in
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.observer.record(key, value.clone());
+        self.store.put(key, value)
+    }
+
+    fn get(&self, key: VirtualId) -> Result<Bytes, StoreError> {
+        self.check_online()?;
+        let v = self.store.get(key)?;
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_out
+            .fetch_add(v.len() as u64, Ordering::Relaxed);
+        Ok(v)
+    }
+
+    fn delete(&self, key: VirtualId) -> Result<(), StoreError> {
+        self.check_online()?;
+        self.store.delete(key)?;
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn contains(&self, key: VirtualId) -> bool {
+        self.store.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.store.bytes_stored()
+    }
+
+    fn keys(&self) -> Vec<VirtualId> {
+        self.store.keys()
+    }
+}
+
+impl std::fmt::Debug for CloudProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudProvider")
+            .field("name", &self.profile.name)
+            .field("privacy_level", &self.profile.privacy_level)
+            .field("cost_level", &self.profile.cost_level)
+            .field("online", &self.is_online())
+            .field("chunks", &self.chunk_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provider() -> CloudProvider {
+        CloudProvider::new(ProviderProfile::new(
+            "AWS",
+            PrivacyLevel::High,
+            CostLevel::new(3),
+        ))
+    }
+
+    #[test]
+    fn basic_ops_update_stats() {
+        let p = provider();
+        p.put(VirtualId(1), Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(p.get(VirtualId(1)).unwrap(), Bytes::from_static(b"hello"));
+        p.delete(VirtualId(1)).unwrap();
+        assert_eq!(p.stats().puts.load(Ordering::Relaxed), 1);
+        assert_eq!(p.stats().gets.load(Ordering::Relaxed), 1);
+        assert_eq!(p.stats().deletes.load(Ordering::Relaxed), 1);
+        assert_eq!(p.stats().bytes_in.load(Ordering::Relaxed), 5);
+        assert_eq!(p.stats().bytes_out.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn outage_rejects_everything() {
+        let p = provider();
+        p.put(VirtualId(1), Bytes::from_static(b"x")).unwrap();
+        p.set_online(false);
+        assert!(matches!(
+            p.get(VirtualId(1)),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            p.put(VirtualId(2), Bytes::from_static(b"y")),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            p.delete(VirtualId(1)),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert_eq!(p.stats().rejected.load(Ordering::Relaxed), 3);
+        // Recovery: data survived the outage.
+        p.set_online(true);
+        assert_eq!(p.get(VirtualId(1)).unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn observer_sees_puts_even_after_delete() {
+        // A malicious employee keeps what they saw; deleting from the store
+        // does not delete from the adversary's memory.
+        let p = provider();
+        p.put(VirtualId(9), Bytes::from_static(b"secret")).unwrap();
+        p.delete(VirtualId(9)).unwrap();
+        assert_eq!(p.observer().len(), 1);
+        assert_eq!(p.observer().pooled_bytes(), b"secret");
+    }
+
+    #[test]
+    fn accounting() {
+        let p = provider();
+        p.put(VirtualId(1), Bytes::from(vec![0u8; 500_000_000]))
+            .unwrap();
+        // 0.5 GB at CL3 ($0.08/GB-month) = $0.04
+        assert!((p.monthly_cost_dollars() - 0.04).abs() < 1e-9);
+        assert_eq!(p.chunk_count(), 1);
+        assert_eq!(p.virtual_id_list(), vec![VirtualId(1)]);
+    }
+
+    #[test]
+    fn simulated_transfer_uses_profile_latency() {
+        let p = provider();
+        let d = p.simulate_transfer(0);
+        assert_eq!(d, Duration::from_millis(1)); // LAN base
+    }
+
+    #[test]
+    fn flaky_provider_fails_probabilistically() {
+        let p = provider();
+        p.put(VirtualId(1), Bytes::from_static(b"x")).unwrap();
+        p.set_flaky(0.5, 42);
+        let mut ok = 0;
+        let mut fail = 0;
+        for _ in 0..200 {
+            match p.get(VirtualId(1)) {
+                Ok(_) => ok += 1,
+                Err(StoreError::Unavailable { .. }) => fail += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(ok > 50 && fail > 50, "ok={ok} fail={fail}");
+        // Restore reliability.
+        p.set_flaky(0.0, 0);
+        for _ in 0..50 {
+            p.get(VirtualId(1)).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn flaky_bad_probability_panics() {
+        provider().set_flaky(1.5, 0);
+    }
+
+    #[test]
+    fn debug_format_mentions_name() {
+        let p = provider();
+        let s = format!("{p:?}");
+        assert!(s.contains("AWS"));
+    }
+}

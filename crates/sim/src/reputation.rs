@@ -1,0 +1,242 @@
+//! Provider-reputation tracking.
+//!
+//! §IV-A: "Cloud Data Distributor maintains privacy level … for each
+//! provider. Privacy level of a provider indicates its reliability. …
+//! The reliability of a cloud provider is defined in terms of its
+//! reputation." The paper treats those levels as static inputs; this
+//! module makes them *earned*: a [`ReputationTracker`] observes per-
+//! provider successes and failures (outages, rejected ops, integrity
+//! mismatches) and scores reliability, so an operator can audit whether a
+//! provider still deserves its assigned PL.
+//!
+//! Scoring is a Beta-Bernoulli posterior mean with exponential decay:
+//! `score = (α + decayed successes) / (α + β + decayed total)`, which
+//! starts neutral, converges to the observed success rate and forgets old
+//! behaviour at a configurable rate.
+
+use parking_lot::Mutex;
+
+/// Events the tracker scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReputationEvent {
+    /// An operation completed correctly.
+    Success,
+    /// The provider was unavailable or rejected the operation.
+    Failure,
+    /// The provider returned corrupted or wrong-sized data — weighted
+    /// heavier than mere unavailability.
+    IntegrityViolation,
+}
+
+/// Tunables for the reputation model.
+#[derive(Debug, Clone, Copy)]
+pub struct ReputationConfig {
+    /// Beta prior pseudo-successes (optimism of a fresh provider).
+    pub prior_alpha: f64,
+    /// Beta prior pseudo-failures.
+    pub prior_beta: f64,
+    /// Multiplicative decay applied to history per recorded event
+    /// (1.0 = never forget; 0.99 ≈ ~100-event memory).
+    pub decay: f64,
+    /// Failure weight of an integrity violation relative to an outage.
+    pub integrity_weight: f64,
+}
+
+impl Default for ReputationConfig {
+    fn default() -> Self {
+        ReputationConfig {
+            prior_alpha: 3.0,
+            prior_beta: 1.0,
+            decay: 0.995,
+            integrity_weight: 10.0,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    successes: f64,
+    failures: f64,
+}
+
+/// Tracks reputation scores for a fleet of providers.
+#[derive(Debug)]
+pub struct ReputationTracker {
+    config: ReputationConfig,
+    counters: Mutex<Vec<Counters>>,
+}
+
+impl ReputationTracker {
+    /// Creates a tracker for `n` providers.
+    pub fn new(n: usize, config: ReputationConfig) -> Self {
+        assert!(config.prior_alpha > 0.0 && config.prior_beta > 0.0);
+        assert!((0.0..=1.0).contains(&config.decay) && config.decay > 0.0);
+        ReputationTracker {
+            config,
+            counters: Mutex::new(vec![Counters::default(); n]),
+        }
+    }
+
+    /// Records one event for provider `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn record(&self, idx: usize, event: ReputationEvent) {
+        let mut c = self.counters.lock();
+        let slot = &mut c[idx];
+        slot.successes *= self.config.decay;
+        slot.failures *= self.config.decay;
+        match event {
+            ReputationEvent::Success => slot.successes += 1.0,
+            ReputationEvent::Failure => slot.failures += 1.0,
+            ReputationEvent::IntegrityViolation => {
+                slot.failures += self.config.integrity_weight
+            }
+        }
+    }
+
+    /// Reliability score in `(0, 1)` for provider `idx`.
+    pub fn score(&self, idx: usize) -> f64 {
+        let c = self.counters.lock();
+        let s = &c[idx];
+        (self.config.prior_alpha + s.successes)
+            / (self.config.prior_alpha + self.config.prior_beta + s.successes + s.failures)
+    }
+
+    /// All scores.
+    pub fn scores(&self) -> Vec<f64> {
+        // Bind the length first: holding the guard across `score` (which
+        // re-locks) would deadlock.
+        let n = { self.counters.lock().len() };
+        (0..n).map(|i| self.score(i)).collect()
+    }
+
+    /// Maps a score onto the paper's 4-level trust scale using fixed
+    /// thresholds: ≥0.95 → PL3, ≥0.85 → PL2, ≥0.70 → PL1, else PL0.
+    pub fn suggested_level(&self, idx: usize) -> crate::types::PrivacyLevel {
+        let s = self.score(idx);
+        use crate::types::PrivacyLevel::*;
+        if s >= 0.95 {
+            High
+        } else if s >= 0.85 {
+            Moderate
+        } else if s >= 0.70 {
+            Low
+        } else {
+            Public
+        }
+    }
+
+    /// Providers whose suggested level fell below their assigned level —
+    /// the audit the distributor's operator would run periodically.
+    pub fn downgrade_candidates(
+        &self,
+        assigned: &[crate::types::PrivacyLevel],
+    ) -> Vec<usize> {
+        assigned
+            .iter()
+            .enumerate()
+            .filter(|(i, &pl)| self.suggested_level(*i) < pl)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PrivacyLevel;
+
+    fn tracker(n: usize) -> ReputationTracker {
+        ReputationTracker::new(n, ReputationConfig::default())
+    }
+
+    #[test]
+    fn fresh_provider_scores_prior_mean() {
+        let t = tracker(1);
+        assert!((t.score(0) - 0.75).abs() < 1e-12); // 3 / (3 + 1)
+    }
+
+    #[test]
+    fn successes_raise_failures_lower() {
+        let t = tracker(2);
+        for _ in 0..200 {
+            t.record(0, ReputationEvent::Success);
+            t.record(1, ReputationEvent::Failure);
+        }
+        assert!(t.score(0) > 0.95, "{}", t.score(0));
+        assert!(t.score(1) < 0.2, "{}", t.score(1));
+        let scores = t.scores();
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    fn integrity_violation_hits_harder_than_outage() {
+        let a = tracker(2);
+        for _ in 0..20 {
+            a.record(0, ReputationEvent::Success);
+            a.record(1, ReputationEvent::Success);
+        }
+        a.record(0, ReputationEvent::Failure);
+        a.record(1, ReputationEvent::IntegrityViolation);
+        assert!(a.score(1) < a.score(0));
+    }
+
+    #[test]
+    fn decay_forgives_ancient_history() {
+        let strict = ReputationTracker::new(
+            1,
+            ReputationConfig {
+                decay: 0.9,
+                ..Default::default()
+            },
+        );
+        for _ in 0..30 {
+            strict.record(0, ReputationEvent::Failure);
+        }
+        let low = strict.score(0);
+        for _ in 0..60 {
+            strict.record(0, ReputationEvent::Success);
+        }
+        let recovered = strict.score(0);
+        assert!(low < 0.3, "{low}");
+        assert!(recovered > 0.8, "{recovered}");
+    }
+
+    #[test]
+    fn level_mapping_and_downgrades() {
+        let t = tracker(3);
+        // Provider 0: excellent; 1: mediocre; 2: terrible.
+        for _ in 0..300 {
+            t.record(0, ReputationEvent::Success);
+        }
+        for i in 0..40 {
+            t.record(
+                1,
+                if i % 4 == 0 {
+                    ReputationEvent::Failure
+                } else {
+                    ReputationEvent::Success
+                },
+            );
+        }
+        for _ in 0..50 {
+            t.record(2, ReputationEvent::Failure);
+        }
+        assert_eq!(t.suggested_level(0), PrivacyLevel::High);
+        assert!(t.suggested_level(1) < PrivacyLevel::High);
+        assert_eq!(t.suggested_level(2), PrivacyLevel::Public);
+        // All three were assigned PL3; the audit flags the unworthy.
+        let flagged = t.downgrade_candidates(&[PrivacyLevel::High; 3]);
+        assert!(flagged.contains(&1));
+        assert!(flagged.contains(&2));
+        assert!(!flagged.contains(&0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        tracker(1).record(5, ReputationEvent::Success);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared vocabulary between distributor and providers.
+
+/// Mining-sensitivity privacy level, PL 0–3 (§IV-A).
+///
+/// - `PL 0` — public data: "accessible to everyone including the adversary";
+/// - `PL 1` — low sensitive: reveals no protected information but usable for
+///   pattern finding;
+/// - `PL 2` — moderately sensitive: "protected data that can be used to
+///   extract non-trivial financial, legal, health information";
+/// - `PL 3` — highly sensitive / private: leaking it "can prove disastrous".
+///
+/// For a *provider* the same scale means trustworthiness: "the higher the
+/// privacy level, the more trustworthy the provider."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivacyLevel {
+    /// PL 0 — public.
+    Public = 0,
+    /// PL 1 — low sensitivity.
+    Low = 1,
+    /// PL 2 — moderate sensitivity.
+    Moderate = 2,
+    /// PL 3 — high sensitivity (private).
+    High = 3,
+}
+
+impl PrivacyLevel {
+    /// All levels, ascending.
+    pub const ALL: [PrivacyLevel; 4] = [
+        PrivacyLevel::Public,
+        PrivacyLevel::Low,
+        PrivacyLevel::Moderate,
+        PrivacyLevel::High,
+    ];
+
+    /// Numeric level 0–3.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a numeric level.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(PrivacyLevel::Public),
+            1 => Some(PrivacyLevel::Low),
+            2 => Some(PrivacyLevel::Moderate),
+            3 => Some(PrivacyLevel::High),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PrivacyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PL{}", self.as_u8())
+    }
+}
+
+/// Storage cost level, CL 0–3: "the higher the cost level, the more costly
+/// the provider" (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CostLevel(pub u8);
+
+impl CostLevel {
+    /// Creates a cost level; values are clamped to 0–3.
+    pub fn new(v: u8) -> Self {
+        CostLevel(v.min(3))
+    }
+
+    /// Nominal dollars per GB-month for this level (experiment pricing
+    /// model: cheap providers at $0.01, premium at $0.08).
+    pub fn dollars_per_gb_month(self) -> f64 {
+        match self.0 {
+            0 => 0.01,
+            1 => 0.02,
+            2 => 0.04,
+            _ => 0.08,
+        }
+    }
+}
+
+impl std::fmt::Display for CostLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CL{}", self.0)
+    }
+}
+
+/// Opaque chunk identifier — "each chunk is given a unique virtual id and
+/// this id is used to identify the chunk within the Cloud Data Distributor
+/// and Cloud Providers. This virtualization conceals the identity of a
+/// client from the provider" (§IV-A). It is the S3 `key` of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualId(pub u64);
+
+impl std::fmt::Display for VirtualId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vid:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_level_ordering() {
+        assert!(PrivacyLevel::Public < PrivacyLevel::Low);
+        assert!(PrivacyLevel::Low < PrivacyLevel::Moderate);
+        assert!(PrivacyLevel::Moderate < PrivacyLevel::High);
+    }
+
+    #[test]
+    fn privacy_level_roundtrip() {
+        for pl in PrivacyLevel::ALL {
+            assert_eq!(PrivacyLevel::from_u8(pl.as_u8()), Some(pl));
+        }
+        assert_eq!(PrivacyLevel::from_u8(4), None);
+        assert_eq!(format!("{}", PrivacyLevel::High), "PL3");
+    }
+
+    #[test]
+    fn cost_level_clamps_and_prices() {
+        assert_eq!(CostLevel::new(9), CostLevel(3));
+        assert!(CostLevel(0).dollars_per_gb_month() < CostLevel(3).dollars_per_gb_month());
+        assert_eq!(format!("{}", CostLevel(2)), "CL2");
+    }
+
+    #[test]
+    fn virtual_id_display() {
+        assert_eq!(format!("{}", VirtualId(10986)), "vid:10986");
+    }
+}

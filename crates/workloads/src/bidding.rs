@@ -1,0 +1,191 @@
+//! Bidding-history workloads: the paper's Table IV and a parametric
+//! generator.
+
+use fragcloud_mining::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column names of a bidding history, matching Table IV.
+pub const COLUMNS: [&str; 5] = ["Year", "Materials", "Production", "Maintenance", "Bid"];
+
+/// The predictor columns of the §VII-A regression attack.
+pub const PREDICTORS: [&str; 3] = ["Materials", "Production", "Maintenance"];
+
+/// The response column.
+pub const RESPONSE: &str = "Bid";
+
+/// The verbatim 12-row Hercules bidding history of **Table IV**.
+///
+/// Columns: Year, Materials, Production, Maintenance, Bid (the `Company`
+/// column is categorical and unused by the paper's regression, which found
+/// the price "irrespective of the company").
+pub fn hercules_table() -> Dataset {
+    let rows: [[f64; 5]; 12] = [
+        [2001.0, 1300.0, 600.0, 3200.0, 18111.0],
+        [2002.0, 1400.0, 600.0, 3300.0, 18627.0],
+        [2002.0, 1900.0, 800.0, 3200.0, 19337.0],
+        [2004.0, 1700.0, 900.0, 3500.0, 20078.0],
+        [2005.0, 1700.0, 700.0, 3100.0, 18383.0],
+        [2006.0, 1800.0, 800.0, 3300.0, 19600.0],
+        [2009.0, 1500.0, 1000.0, 3600.0, 20320.0],
+        [2010.0, 1700.0, 900.0, 3700.0, 20667.0],
+        [2010.0, 1800.0, 700.0, 3500.0, 19937.0],
+        [2011.0, 2100.0, 800.0, 3700.0, 21135.0],
+        [2011.0, 1900.0, 1100.0, 3600.0, 20945.0],
+        [2011.0, 2000.0, 1000.0, 3700.0, 21199.0],
+    ];
+    let mut d = Dataset::new(COLUMNS.iter().map(|s| s.to_string()).collect());
+    for r in rows {
+        d.push(r.to_vec());
+    }
+    d
+}
+
+/// The paper's reported full-data coefficients:
+/// `Bid ≈ 1.4·Materials + 1.5·Production + 3.1·Maintenance + 5436`.
+pub const PAPER_FULL_FIT: ([f64; 3], f64) = ([1.4, 1.5, 3.1], 5436.0);
+
+/// The paper's three fragment fits (first/middle/last 4 rows).
+pub const PAPER_FRAGMENT_FITS: [([f64; 3], f64); 3] = [
+    ([1.8, 0.8, 3.4], 4489.0),
+    ([3.0, 4.7, 2.2], 3089.0),
+    ([2.4, 1.5, 1.7], 8753.0),
+];
+
+/// Configuration for the parametric bidding generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BiddingConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Ground-truth slopes for (Materials, Production, Maintenance).
+    pub slopes: [f64; 3],
+    /// Ground-truth intercept.
+    pub intercept: f64,
+    /// Standard deviation of the additive bid noise.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BiddingConfig {
+    fn default() -> Self {
+        BiddingConfig {
+            rows: 100,
+            slopes: [1.4, 1.5, 3.1],
+            intercept: 5436.0,
+            noise_std: 150.0,
+            seed: 2012,
+        }
+    }
+}
+
+/// Generates a synthetic bidding history with the configured ground truth —
+/// used for chunk-size sweeps where 12 rows are too few.
+pub fn generate(config: BiddingConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut d = Dataset::new(COLUMNS.iter().map(|s| s.to_string()).collect());
+    for i in 0..config.rows {
+        let year = 2000.0 + (i / 2) as f64;
+        let materials = 1200.0 + rng.gen_range(0.0..1000.0);
+        let production = 500.0 + rng.gen_range(0.0..700.0);
+        let maintenance = 3000.0 + rng.gen_range(0.0..900.0);
+        let noise: f64 = {
+            // Box-Muller from two uniforms.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        } * config.noise_std;
+        let bid = config.slopes[0] * materials
+            + config.slopes[1] * production
+            + config.slopes[2] * maintenance
+            + config.intercept
+            + noise;
+        d.push(vec![year, materials, production, maintenance, bid]);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_mining::regression::RegressionModel;
+
+    #[test]
+    fn table_iv_shape() {
+        let d = hercules_table();
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.columns().len(), 5);
+        assert_eq!(d.row(0), &[2001.0, 1300.0, 600.0, 3200.0, 18111.0]);
+        assert_eq!(d.row(11), &[2011.0, 2000.0, 1000.0, 3700.0, 21199.0]);
+    }
+
+    #[test]
+    fn full_fit_reproduces_paper_coefficients() {
+        // The paper: Bid ≈ 1.4·M + 1.5·P + 3.1·Mn + 5436 (coefficients
+        // printed to 1–2 significant figures).
+        let d = hercules_table();
+        let m = RegressionModel::fit(&d, &PREDICTORS, RESPONSE).unwrap();
+        let (slopes, icept) = PAPER_FULL_FIT;
+        for (got, want) in m.slopes().iter().zip(slopes) {
+            assert!(
+                (got - want).abs() < 0.05,
+                "slope {got} vs paper {want}: {:?}",
+                m.slopes()
+            );
+        }
+        assert!(
+            (m.intercept() - icept).abs() < 50.0,
+            "intercept {} vs paper {icept}",
+            m.intercept()
+        );
+    }
+
+    #[test]
+    fn fragment_fits_reproduce_paper_misleading_equations() {
+        let d = hercules_table();
+        let frags = d.fragment(3);
+        for (frag, (slopes, icept)) in frags.iter().zip(PAPER_FRAGMENT_FITS) {
+            let m = RegressionModel::fit(frag, &PREDICTORS, RESPONSE).unwrap();
+            for (got, want) in m.slopes().iter().zip(slopes) {
+                assert!(
+                    (got - want).abs() < 0.1,
+                    "fragment slope {got} vs paper {want} (all: {:?})",
+                    m.slopes()
+                );
+            }
+            assert!(
+                (m.intercept() - icept).abs() < 60.0,
+                "fragment intercept {} vs paper {icept}",
+                m.intercept()
+            );
+        }
+    }
+
+    #[test]
+    fn generator_recovers_ground_truth_at_scale() {
+        let cfg = BiddingConfig {
+            rows: 5000,
+            noise_std: 50.0,
+            ..Default::default()
+        };
+        let d = generate(cfg);
+        assert_eq!(d.len(), 5000);
+        let m = RegressionModel::fit(&d, &PREDICTORS, RESPONSE).unwrap();
+        for (got, want) in m.slopes().iter().zip(cfg.slopes) {
+            assert!((got - want).abs() < 0.05, "{got} vs {want}");
+        }
+        assert!((m.intercept() - cfg.intercept).abs() < 60.0);
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic() {
+        let a = generate(BiddingConfig::default());
+        let b = generate(BiddingConfig::default());
+        assert_eq!(a.rows(), b.rows());
+        let c = generate(BiddingConfig {
+            seed: 999,
+            ..Default::default()
+        });
+        assert_ne!(a.rows(), c.rows());
+    }
+}

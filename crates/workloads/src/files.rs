@@ -1,0 +1,94 @@
+//! Byte corpora for throughput and distribution-time benches (E4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a pseudo-random byte file of the given size.
+pub fn random_file(size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = vec![0u8; size];
+    rng.fill(buf.as_mut_slice());
+    buf
+}
+
+/// Generates a corpus of files with sizes swept over powers of two:
+/// `base_size << i` for `i in 0..count`.
+pub fn size_sweep(base_size: usize, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| random_file(base_size << i, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// A named client file, as handed to the Cloud Data Distributor.
+#[derive(Debug, Clone)]
+pub struct ClientFile {
+    /// Filename (the client-visible identifier).
+    pub name: String,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// Generates a mixed client corpus: `count` files with sizes uniformly
+/// drawn from `[min_size, max_size]`.
+pub fn client_corpus(
+    count: usize,
+    min_size: usize,
+    max_size: usize,
+    seed: u64,
+) -> Vec<ClientFile> {
+    assert!(min_size <= max_size);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let size = rng.gen_range(min_size..=max_size);
+            let mut data = vec![0u8; size];
+            rng.fill(data.as_mut_slice());
+            ClientFile {
+                name: format!("file-{i:04}"),
+                data,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_file_deterministic() {
+        let a = random_file(1024, 7);
+        let b = random_file(1024, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1024);
+        assert_ne!(a, random_file(1024, 8));
+    }
+
+    #[test]
+    fn size_sweep_doubles() {
+        let files = size_sweep(64, 4, 1);
+        let sizes: Vec<usize> = files.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn client_corpus_shape() {
+        let corpus = client_corpus(10, 100, 200, 3);
+        assert_eq!(corpus.len(), 10);
+        for f in &corpus {
+            assert!((100..=200).contains(&f.data.len()));
+            assert!(f.name.starts_with("file-"));
+        }
+        // Unique names.
+        let mut names: Vec<&String> = corpus.iter().map(|f| &f.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        client_corpus(1, 10, 5, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Synthetic GPS mobility corpus for the Figs. 4–6 experiment.
+//!
+//! **Substitution note (DESIGN.md §2):** the paper clustered GPS traces
+//! "collected from 30 people living in Dhaka city". Those traces are
+//! unavailable, so we generate them: each user follows a mixture of
+//! *anchor places* (home, work, errands) with Gaussian excursions. Users
+//! belong to behavioural groups that share anchor neighbourhoods, so the
+//! full-data clustering has real structure for fragmentation to destroy —
+//! which is precisely the property the paper's experiment measures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One GPS observation (latitude/longitude in abstract city units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsPoint {
+    /// East-west coordinate.
+    pub x: f64,
+    /// North-south coordinate.
+    pub y: f64,
+}
+
+/// An anchor place with a visit probability and spread.
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    center: GpsPoint,
+    weight: f64,
+    spread: f64,
+}
+
+/// Configuration for the GPS corpus generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GpsConfig {
+    /// Number of users (the paper used 30).
+    pub users: usize,
+    /// Number of behavioural groups users are drawn from.
+    pub groups: usize,
+    /// Observations per user (paper: >3000 full, 500 per fragment).
+    pub observations_per_user: usize,
+    /// City side length in abstract units.
+    pub city_size: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GpsConfig {
+    fn default() -> Self {
+        GpsConfig {
+            users: 30,
+            groups: 5,
+            observations_per_user: 3000,
+            city_size: 100.0,
+            seed: 0xD4AC_A001,
+        }
+    }
+}
+
+/// The generated corpus: per-user observation streams.
+#[derive(Debug, Clone)]
+pub struct GpsCorpus {
+    /// `traces[u]` is user `u`'s chronological observation list.
+    pub traces: Vec<Vec<GpsPoint>>,
+    /// Ground-truth group of each user (for sanity checks only — the
+    /// attacker does not see this).
+    pub true_groups: Vec<usize>,
+    /// City side length (for feature binning).
+    pub city_size: f64,
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates the corpus.
+pub fn generate(config: GpsConfig) -> GpsCorpus {
+    assert!(config.users > 0 && config.groups > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Shared city landmarks: groups mix the SAME places with different
+    // weights, so group fingerprints overlap (as real city mobility does)
+    // and small-sample clustering becomes fragile — the regime the paper's
+    // Figs. 5-6 display.
+    let n_landmarks = 6;
+    let landmarks: Vec<GpsPoint> = (0..n_landmarks)
+        .map(|_| GpsPoint {
+            x: rng.gen_range(0.1..0.9) * config.city_size,
+            y: rng.gen_range(0.1..0.9) * config.city_size,
+        })
+        .collect();
+    let group_templates: Vec<Vec<Anchor>> = (0..config.groups)
+        .map(|_| {
+            let mut weights: Vec<f64> =
+                (0..n_landmarks).map(|_| rng.gen_range(0.2..1.0)).collect();
+            let total: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= total;
+            }
+            landmarks
+                .iter()
+                .zip(&weights)
+                .map(|(lm, &w)| Anchor {
+                    center: *lm,
+                    weight: w,
+                    spread: rng.gen_range(3.0..8.0),
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut traces = Vec::with_capacity(config.users);
+    let mut true_groups = Vec::with_capacity(config.users);
+    for u in 0..config.users {
+        let g = u % config.groups;
+        true_groups.push(g);
+        // Each user personalizes the group profile: jittered anchor
+        // positions and perturbed visit weights.
+        let mut anchors: Vec<Anchor> = group_templates[g]
+            .iter()
+            .map(|a| Anchor {
+                center: GpsPoint {
+                    x: a.center.x + gaussian(&mut rng) * 2.0,
+                    y: a.center.y + gaussian(&mut rng) * 2.0,
+                },
+                weight: (a.weight * (1.0 + gaussian(&mut rng) * 0.25)).max(0.02),
+                spread: a.spread,
+            })
+            .collect();
+        let wsum: f64 = anchors.iter().map(|a| a.weight).sum();
+        for a in &mut anchors {
+            a.weight /= wsum;
+        }
+        let mut trace = Vec::with_capacity(config.observations_per_user);
+        for _ in 0..config.observations_per_user {
+            // Pick an anchor by weight.
+            let mut t = rng.gen_range(0.0..1.0);
+            let mut pick = anchors.len() - 1;
+            for (i, a) in anchors.iter().enumerate() {
+                if t < a.weight {
+                    pick = i;
+                    break;
+                }
+                t -= a.weight;
+            }
+            let a = &anchors[pick];
+            trace.push(GpsPoint {
+                x: (a.center.x + gaussian(&mut rng) * a.spread)
+                    .clamp(0.0, config.city_size),
+                y: (a.center.y + gaussian(&mut rng) * a.spread)
+                    .clamp(0.0, config.city_size),
+            });
+        }
+        traces.push(trace);
+    }
+    GpsCorpus {
+        traces,
+        true_groups,
+        city_size: config.city_size,
+    }
+}
+
+/// Converts a trace into a visit-frequency feature vector over a
+/// `grid × grid` spatial histogram — the per-user fingerprint the
+/// clustering attack compares.
+pub fn visit_histogram(trace: &[GpsPoint], city_size: f64, grid: usize) -> Vec<f64> {
+    assert!(grid > 0);
+    let mut h = vec![0.0; grid * grid];
+    if trace.is_empty() {
+        return h;
+    }
+    let cell = city_size / grid as f64;
+    for p in trace {
+        let cx = ((p.x / cell) as usize).min(grid - 1);
+        let cy = ((p.y / cell) as usize).min(grid - 1);
+        h[cy * grid + cx] += 1.0;
+    }
+    let n = trace.len() as f64;
+    for v in &mut h {
+        *v /= n;
+    }
+    h
+}
+
+/// Feature matrix for all users from the first `obs` observations of each
+/// trace (`obs = None` uses everything) — `obs = Some(500)` models the
+/// 500-observation fragments of Figs. 5–6.
+pub fn user_features(corpus: &GpsCorpus, grid: usize, obs: Option<usize>) -> Vec<Vec<f64>> {
+    corpus
+        .traces
+        .iter()
+        .map(|t| {
+            let take = obs.unwrap_or(t.len()).min(t.len());
+            visit_histogram(&t[..take], corpus.city_size, grid)
+        })
+        .collect()
+}
+
+/// Like [`user_features`] but over observation window `[start, start+len)`
+/// of each trace — a *different* fragment of the same corpus (Fig. 6 vs
+/// Fig. 5 show two distinct fragments).
+pub fn user_features_window(
+    corpus: &GpsCorpus,
+    grid: usize,
+    start: usize,
+    len: usize,
+) -> Vec<Vec<f64>> {
+    corpus
+        .traces
+        .iter()
+        .map(|t| {
+            let s = start.min(t.len());
+            let e = (start + len).min(t.len());
+            visit_histogram(&t[s..e], corpus.city_size, grid)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shape() {
+        let c = generate(GpsConfig {
+            users: 30,
+            observations_per_user: 100,
+            ..Default::default()
+        });
+        assert_eq!(c.traces.len(), 30);
+        assert!(c.traces.iter().all(|t| t.len() == 100));
+        assert_eq!(c.true_groups.len(), 30);
+        assert!(c.true_groups.iter().all(|&g| g < 5));
+        // All points inside the city.
+        for t in &c.traces {
+            for p in t {
+                assert!((0.0..=c.city_size).contains(&p.x));
+                assert!((0.0..=c.city_size).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GpsConfig {
+            observations_per_user: 50,
+            ..Default::default()
+        };
+        let a = generate(cfg);
+        let b = generate(cfg);
+        assert_eq!(a.traces[0], b.traces[0]);
+        let c = generate(GpsConfig { seed: 1, ..cfg });
+        assert_ne!(a.traces[0], c.traces[0]);
+    }
+
+    #[test]
+    fn histogram_is_probability_vector() {
+        let c = generate(GpsConfig {
+            observations_per_user: 200,
+            ..Default::default()
+        });
+        let h = visit_histogram(&c.traces[0], c.city_size, 8);
+        assert_eq!(h.len(), 64);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn empty_trace_histogram_is_zero() {
+        let h = visit_histogram(&[], 100.0, 4);
+        assert_eq!(h, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn same_group_users_have_similar_fingerprints_on_average() {
+        let c = generate(GpsConfig {
+            users: 20,
+            groups: 2,
+            observations_per_user: 4000,
+            ..Default::default()
+        });
+        let feats = user_features(&c, 8, None);
+        let l1 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        let mut within = (0.0, 0usize);
+        let mut between = (0.0, 0usize);
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                let d = l1(&feats[i], &feats[j]);
+                if c.true_groups[i] == c.true_groups[j] {
+                    within = (within.0 + d, within.1 + 1);
+                } else {
+                    between = (between.0 + d, between.1 + 1);
+                }
+            }
+        }
+        let w = within.0 / within.1 as f64;
+        let b = between.0 / between.1 as f64;
+        assert!(w < b, "within={w} between={b}");
+    }
+
+    #[test]
+    fn windowed_features_cover_distinct_data() {
+        let c = generate(GpsConfig {
+            users: 4,
+            observations_per_user: 1000,
+            ..Default::default()
+        });
+        let w1 = user_features_window(&c, 8, 0, 500);
+        let w2 = user_features_window(&c, 8, 500, 500);
+        // Finite samples: windows differ (almost surely).
+        assert_ne!(w1[0], w2[0]);
+        // Truncation form matches window [0, n).
+        let head = user_features(&c, 8, Some(500));
+        assert_eq!(w1, head);
+    }
+
+    #[test]
+    fn out_of_range_window_is_safe() {
+        let c = generate(GpsConfig {
+            users: 2,
+            observations_per_user: 100,
+            ..Default::default()
+        });
+        let w = user_features_window(&c, 4, 90, 500);
+        assert_eq!(w.len(), 2);
+        let w2 = user_features_window(&c, 4, 5000, 10);
+        assert!(w2[0].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Synthetic experiment workloads.
+//!
+//! Every input the paper's evaluation uses, regenerable from a seed:
+//!
+//! - [`bidding`] — the **verbatim Table IV** Hercules bidding history plus a
+//!   parametric generator for larger bidding datasets with a known ground-
+//!   truth pricing model;
+//! - [`gps`] — the 30-user GPS corpus for Figs. 4–6, substituted (per
+//!   DESIGN.md) with a seeded mobility-mixture model since the original
+//!   Dhaka traces are unavailable;
+//! - [`transactions`] — market-basket transactions with planted association
+//!   patterns for the Apriori attack;
+//! - [`tabular`] — customer records with latent segments (the §II-A
+//!   "financial, educational, health or legal" target companies);
+//! - [`records`] — a CSV-style record codec so datasets can round-trip
+//!   through the byte-oriented distributor (and attackers can parse the
+//!   fragments they observe);
+//! - [`files`] — byte corpora for throughput/distribution-time benches.
+
+pub mod bidding;
+pub mod files;
+pub mod gps;
+pub mod records;
+pub mod tabular;
+pub mod transactions;

@@ -1,0 +1,211 @@
+//! Market-basket transactions with planted association patterns.
+//!
+//! Feeds the Apriori attack (§II-B: association rule mining over "business
+//! transaction records"). Patterns are planted with known support and
+//! confidence so experiments can compute exact rule recall after
+//! fragmentation.
+
+use fragcloud_mining::apriori::{Item, Transaction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pattern to plant: whenever the antecedent items appear, the consequent
+/// items are added with probability `confidence`.
+#[derive(Debug, Clone)]
+pub struct PlantedRule {
+    /// Items forming the left-hand side.
+    pub antecedent: Vec<Item>,
+    /// Items implied by the antecedent.
+    pub consequent: Vec<Item>,
+    /// Probability a transaction contains the antecedent.
+    pub support: f64,
+    /// Probability the consequent accompanies the antecedent.
+    pub confidence: f64,
+}
+
+/// Configuration for the transaction generator.
+#[derive(Debug, Clone)]
+pub struct TransactionConfig {
+    /// Number of transactions.
+    pub count: usize,
+    /// Catalogue size; noise items are drawn from `0..catalogue`.
+    pub catalogue: Item,
+    /// Expected noise items per transaction.
+    pub noise_items: usize,
+    /// Patterns to plant.
+    pub rules: Vec<PlantedRule>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransactionConfig {
+    fn default() -> Self {
+        TransactionConfig {
+            count: 1000,
+            catalogue: 50,
+            noise_items: 3,
+            rules: vec![
+                PlantedRule {
+                    antecedent: vec![100, 101],
+                    consequent: vec![102],
+                    support: 0.3,
+                    confidence: 0.9,
+                },
+                PlantedRule {
+                    antecedent: vec![110],
+                    consequent: vec![111],
+                    support: 0.2,
+                    confidence: 0.8,
+                },
+            ],
+            seed: 0xBA5_CE7,
+        }
+    }
+}
+
+/// Generates the transaction corpus.
+pub fn generate(config: &TransactionConfig) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.count);
+    for _ in 0..config.count {
+        let mut t: Vec<Item> = Vec::new();
+        for rule in &config.rules {
+            if rng.gen_bool(rule.support) {
+                t.extend_from_slice(&rule.antecedent);
+                if rng.gen_bool(rule.confidence) {
+                    t.extend_from_slice(&rule.consequent);
+                }
+            }
+        }
+        for _ in 0..config.noise_items {
+            t.push(rng.gen_range(0..config.catalogue));
+        }
+        t.sort_unstable();
+        t.dedup();
+        out.push(t);
+    }
+    out
+}
+
+/// Encodes transactions as one space-separated line each — the byte form a
+/// client would upload and a curious provider would scavenge.
+pub fn encode(transactions: &[Transaction]) -> Vec<u8> {
+    let mut out = String::new();
+    for t in transactions {
+        let items: Vec<String> = t.iter().map(|i| i.to_string()).collect();
+        out.push_str(&items.join(" "));
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Parses whatever complete transaction lines survive in a byte fragment
+/// (boundary lines dropped, malformed lines skipped) — the Apriori
+/// attacker's view of one chunk.
+pub fn scavenge(fragment: &[u8]) -> Vec<Transaction> {
+    let text = String::from_utf8_lossy(fragment);
+    let lines: Vec<&str> = text.split('\n').collect();
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i == 0 || i + 1 == lines.len() || line.is_empty() {
+            continue; // boundary pieces may be cut mid-line
+        }
+        let parsed: Result<Vec<Item>, _> =
+            line.split(' ').map(|f| f.parse::<Item>()).collect();
+        if let Ok(mut t) = parsed {
+            t.sort_unstable();
+            t.dedup();
+            if !t.is_empty() {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fragcloud_mining::apriori::mine_rules;
+
+    #[test]
+    fn corpus_shape_and_determinism() {
+        let cfg = TransactionConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        for t in &a {
+            // Sorted and unique.
+            for w in t.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_rules_are_mineable() {
+        let cfg = TransactionConfig::default();
+        let txs = generate(&cfg);
+        let rules = mine_rules(&txs, 0.15, 0.7).unwrap();
+        // {100,101} => {102} must be discovered.
+        let hit = rules
+            .iter()
+            .any(|r| r.antecedent == vec![100, 101] && r.consequent == vec![102]);
+        assert!(hit, "planted rule not found; rules: {}", rules.len());
+        // Its measured support/confidence must be near the planted values.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![100, 101] && r.consequent == vec![102])
+            .unwrap();
+        assert!((r.support - 0.27).abs() < 0.06, "support {}", r.support);
+        assert!((r.confidence - 0.9).abs() < 0.08, "confidence {}", r.confidence);
+    }
+
+    #[test]
+    fn encode_scavenge_roundtrip_interior() {
+        let cfg = TransactionConfig {
+            count: 50,
+            ..Default::default()
+        };
+        let txs = generate(&cfg);
+        let bytes = encode(&txs);
+        // Whole-file scavenge loses only the two boundary lines.
+        let got = scavenge(&bytes);
+        assert!(got.len() >= txs.len() - 2, "{} of {}", got.len(), txs.len());
+        for t in &got {
+            assert!(txs.contains(t), "scavenged {t:?} not in source");
+        }
+        // Interior fragment yields a strict subset.
+        let frag = &bytes[17..bytes.len() / 2];
+        let part = scavenge(frag);
+        assert!(!part.is_empty());
+        assert!(part.len() < txs.len());
+        for t in &part {
+            assert!(txs.contains(t));
+        }
+    }
+
+    #[test]
+    fn scavenge_tolerates_garbage() {
+        let txs = vec![vec![1u32, 2], vec![3, 4]];
+        let mut bytes = encode(&txs);
+        bytes.splice(0..0, *b"\xFF\xFEgarbage\n");
+        let got = scavenge(&bytes);
+        assert!(got.iter().all(|t| txs.contains(t)));
+        assert!(scavenge(b"").is_empty());
+    }
+
+    #[test]
+    fn noise_items_do_not_form_confident_rules() {
+        let cfg = TransactionConfig {
+            rules: vec![],
+            ..Default::default()
+        };
+        let txs = generate(&cfg);
+        let rules = mine_rules(&txs, 0.05, 0.9).unwrap();
+        // Pure noise at 90% confidence threshold should yield nothing
+        // (catalogue 50, 3 items/tx → pair supports ~0.3%).
+        assert!(rules.is_empty(), "spurious rules: {rules:?}");
+    }
+}

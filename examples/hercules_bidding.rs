@@ -1,0 +1,146 @@
+//! The §VII-A story, end to end: the company **Hercules** stores its tender
+//! bidding history in the cloud; the malicious employee **Hera** at one
+//! provider mines it with multivariate regression.
+//!
+//! Scenario A — single provider (today's cloud): Hera sees everything and
+//! recovers the pricing model, ready to leak it to rival Hydra.
+//!
+//! Scenario B — fragcloud's categorize→fragment→distribute: Hera sees one
+//! provider's chunks; her model is starved or misleading.
+//!
+//! ```text
+//! cargo run --example hercules_bidding
+//! ```
+
+use fragcloud::core::config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
+use fragcloud::core::{CloudDataDistributor, PrivacyLevel, PutOptions};
+use fragcloud::mining::regression::RegressionModel;
+use fragcloud::mining::Dataset;
+use fragcloud::raid::RaidLevel;
+use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
+use fragcloud::workloads::bidding::{self, COLUMNS, PREDICTORS, RESPONSE};
+use fragcloud::workloads::records;
+use std::sync::Arc;
+
+fn fleet() -> Vec<Arc<CloudProvider>> {
+    ["Titans", "Spartans", "Yagamis"]
+        .iter()
+        .map(|n| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                *n,
+                PrivacyLevel::High,
+                CostLevel::new(2),
+            )))
+        })
+        .collect()
+}
+
+/// Hera's attack: scavenge rows from everything one provider stored, then
+/// fit the regression.
+fn hera_attack(provider: &Arc<CloudProvider>) -> Option<RegressionModel> {
+    let mut rows = Vec::new();
+    for obs in provider.observer().snapshot() {
+        rows.extend(records::scavenge_rows(&obs.data, COLUMNS.len()));
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let ds = Dataset::from_rows(COLUMNS.iter().map(|s| s.to_string()).collect(), rows).ok()?;
+    RegressionModel::fit(&ds, &PREDICTORS, RESPONSE).ok()
+}
+
+fn main() {
+    let table = bidding::hercules_table();
+    let bytes = records::encode(&table);
+    println!(
+        "Hercules' bidding history: {} rows, {} bytes as CSV\n",
+        table.len(),
+        bytes.len()
+    );
+
+    // Ground truth (what Hera wants): the full-data fit.
+    let truth = RegressionModel::fit(&table, &PREDICTORS, RESPONSE).expect("12 rows");
+    println!("true pricing model:       {}", truth.equation());
+    println!("paper's reported model:   (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n");
+
+    // ---- Scenario A: everything at Titans --------------------------------
+    let providers = fleet();
+    let single = CloudDataDistributor::new(
+        providers.clone(),
+        DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule::uniform(4096),
+            placement: PlacementStrategy::SingleProvider,
+            raid_level: RaidLevel::None,
+            ..Default::default()
+        },
+    );
+    single.register_client("Hercules").expect("fresh");
+    single
+        .add_password("Hercules", "12labors", PrivacyLevel::High)
+        .expect("client exists");
+    single
+        .put_file(
+            "Hercules",
+            "12labors",
+            "bids.csv",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::default(),
+        )
+        .expect("upload");
+    println!("--- scenario A: single provider (all data at Titans) ---");
+    match hera_attack(&providers[0]) {
+        Some(model) => println!("Hera's mined model:       {}", model.equation()),
+        None => println!("Hera's attack failed (no data)"),
+    }
+
+    // ---- Scenario B: fragmented across three providers -------------------
+    let providers = fleet();
+    let distributed = CloudDataDistributor::new(
+        providers.clone(),
+        DistributorConfig {
+            // ~4 rows of CSV per chunk, mirroring the paper's 3-way split.
+            chunk_sizes: ChunkSizeSchedule::uniform(bytes.len() / 3 + 1),
+            stripe_width: 3,
+            raid_level: RaidLevel::None,
+            ..Default::default()
+        },
+    );
+    distributed.register_client("Hercules").expect("fresh");
+    distributed
+        .add_password("Hercules", "12labors", PrivacyLevel::High)
+        .expect("client exists");
+    distributed
+        .put_file(
+            "Hercules",
+            "12labors",
+            "bids.csv",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::default(),
+        )
+        .expect("upload");
+    println!("\n--- scenario B: distributed across Titans, Spartans, Yagamis ---");
+    for p in &providers {
+        match hera_attack(p) {
+            Some(model) => {
+                println!(
+                    "malicious employee at {:<9} fits: {}   <- misleading",
+                    p.name(),
+                    model.equation()
+                );
+            }
+            None => println!(
+                "malicious employee at {:<9} cannot fit a model (too few rows)",
+                p.name()
+            ),
+        }
+    }
+
+    // Hercules can still read his own data perfectly.
+    let got = distributed
+        .get_file("Hercules", "12labors", "bids.csv")
+        .expect("owner read");
+    assert_eq!(got.data, bytes);
+    println!("\nHercules retrieves his ledger intact ({} bytes).", got.data.len());
+}

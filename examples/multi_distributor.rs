@@ -1,0 +1,85 @@
+//! The Fig. 2 extended architecture: three Cloud Data Distributors share
+//! replicated table state. Each client has one *primary* distributor for
+//! uploads; *secondaries* serve retrievals; a failed primary is failed
+//! over.
+//!
+//! ```text
+//! cargo run --example multi_distributor
+//! ```
+
+use fragcloud::core::config::DistributorConfig;
+use fragcloud::core::multi::DistributorGroup;
+use fragcloud::core::{CloudDataDistributor, PrivacyLevel, PutOptions};
+use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
+use std::sync::Arc;
+
+fn main() {
+    let fleet: Vec<Arc<CloudProvider>> = (0..8)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new(1),
+            )))
+        })
+        .collect();
+    let shared = Arc::new(CloudDataDistributor::new(fleet, DistributorConfig::default()));
+    let group = DistributorGroup::new(shared, 3);
+
+    // Alice's primary is distributor-0; Carol's is distributor-2.
+    group.register_client(0, "Alice").expect("fresh");
+    group
+        .add_password(0, "Alice", "pw-a", PrivacyLevel::High)
+        .expect("client exists");
+    group.register_client(2, "Carol").expect("fresh");
+    group
+        .add_password(2, "Carol", "pw-c", PrivacyLevel::High)
+        .expect("client exists");
+
+    let report = b"annual report: growth 14%".repeat(500);
+    group
+        .put_file(0, "Alice", "pw-a", "report.txt", &report, PrivacyLevel::Moderate, PutOptions::default())
+        .expect("primary upload");
+    println!("Alice uploaded report.txt via {}", group.node_name(0));
+
+    // A non-primary upload is redirected.
+    let err = group
+        .put_file(1, "Carol", "pw-c", "notes.txt", b"hello", PrivacyLevel::Low, PutOptions::default())
+        .expect_err("node 1 is not Carol's primary");
+    println!("Carol uploading via {}: {err}", group.node_name(1));
+
+    // Reads go through any node.
+    for via in 0..group.len() {
+        let got = group
+            .get_file(via, "Alice", "pw-a", "report.txt")
+            .expect("secondary read");
+        println!(
+            "read report.txt via {}: {} bytes",
+            group.node_name(via),
+            got.data.len()
+        );
+    }
+
+    // Primary failure: distributor-0 goes down; reads keep working and a
+    // failover promotes a new primary for Alice.
+    group.set_node_online(0, false);
+    println!("\n{} is DOWN", group.node_name(0));
+    let got = group
+        .get_file(1, "Alice", "pw-a", "report.txt")
+        .expect("secondaries still serve reads");
+    println!("read via {} still works ({} bytes)", group.node_name(1), got.data.len());
+    let new_primary = group.failover("Alice").expect("a node is alive");
+    println!("Alice failed over to {}", group.node_name(new_primary));
+    group
+        .put_file(
+            new_primary,
+            "Alice",
+            "pw-a",
+            "report-v2.txt",
+            &report,
+            PrivacyLevel::Moderate,
+            PutOptions::default(),
+        )
+        .expect("upload via new primary");
+    println!("Alice uploaded report-v2.txt via {}", group.node_name(new_primary));
+}

@@ -1,0 +1,24 @@
+//! # fragcloud
+//!
+//! Facade crate re-exporting the full fragcloud workspace: a reproduction of
+//! *"An Approach to Protect the Privacy of Cloud Data from Data Mining Based
+//! Attacks"* (Dev et al., 2012).
+//!
+//! See the individual crates for details:
+//! - [`core`] — the Cloud Data Distributor (the paper's contribution)
+//! - [`sim`] — simulated cloud providers
+//! - [`raid`] — RAID-5/6 erasure coding over GF(2^8)
+//! - [`linalg`] / [`mining`] — the attacker's data-mining toolkit
+//! - [`dht`] — Chord-style ring for the client-side distributor variant
+//! - [`crypto`] — ChaCha20 for the encryption-vs-fragmentation comparison
+//! - [`workloads`] / [`metrics`] — experiment inputs and privacy metrics
+
+pub use fragcloud_core as core;
+pub use fragcloud_crypto as crypto;
+pub use fragcloud_dht as dht;
+pub use fragcloud_linalg as linalg;
+pub use fragcloud_metrics as metrics;
+pub use fragcloud_mining as mining;
+pub use fragcloud_raid as raid;
+pub use fragcloud_sim as sim;
+pub use fragcloud_workloads as workloads;

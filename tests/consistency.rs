@@ -1,0 +1,144 @@
+//! Integration test: consistency of the prototype — the paper "tested the
+//! consistency of the system" (§VIII). Concurrent clients, interleaved
+//! uploads/retrievals/removals, update+snapshot semantics.
+
+use fragcloud::core::config::{ChunkSizeSchedule, DistributorConfig};
+use fragcloud::core::{CloudDataDistributor, PrivacyLevel, PutOptions};
+use fragcloud::sim::{CloudProvider, CostLevel, ObjectStore, ProviderProfile};
+use std::sync::Arc;
+
+fn distributor(n_providers: usize) -> CloudDataDistributor {
+    let fleet: Vec<Arc<CloudProvider>> = (0..n_providers)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new((i % 4) as u8),
+            )))
+        })
+        .collect();
+    CloudDataDistributor::new(
+        fleet,
+        DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule::uniform(1 << 10),
+            stripe_width: 4,
+            ..Default::default()
+        },
+    )
+}
+
+fn body(seed: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31 + seed * 131) % 256) as u8).collect()
+}
+
+#[test]
+fn concurrent_clients_roundtrip() {
+    let d = Arc::new(distributor(8));
+    const CLIENTS: usize = 8;
+    const FILES_PER_CLIENT: usize = 5;
+    for c in 0..CLIENTS {
+        d.register_client(&format!("client{c}")).unwrap();
+        d.add_password(&format!("client{c}"), "pw", PrivacyLevel::High)
+            .unwrap();
+    }
+    crossbeam::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let d = Arc::clone(&d);
+            scope.spawn(move |_| {
+                let client = format!("client{c}");
+                for f in 0..FILES_PER_CLIENT {
+                    let name = format!("file{f}");
+                    let data = body(c * 100 + f, 10_000 + f * 777);
+                    d.put_file(&client, "pw", &name, &data, PrivacyLevel::Low, PutOptions::default())
+                        .unwrap();
+                    let got = d.get_file(&client, "pw", &name).unwrap();
+                    assert_eq!(got.data, data, "{client}/{name}");
+                }
+            });
+        }
+    })
+    .unwrap();
+    // After the storm: every file still reads back for every client.
+    for c in 0..CLIENTS {
+        let client = format!("client{c}");
+        for f in 0..FILES_PER_CLIENT {
+            let name = format!("file{f}");
+            let data = body(c * 100 + f, 10_000 + f * 777);
+            assert_eq!(d.get_file(&client, "pw", &name).unwrap().data, data);
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_of_one_file() {
+    let d = Arc::new(distributor(6));
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let data = body(7, 200_000);
+    d.put_file("c", "pw", "shared", &data, PrivacyLevel::Moderate, PutOptions::default())
+        .unwrap();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..16 {
+            let d = Arc::clone(&d);
+            let data = data.clone();
+            scope.spawn(move |_| {
+                for _ in 0..5 {
+                    assert_eq!(d.get_file("c", "pw", "shared").unwrap().data, data);
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn update_then_read_sees_new_data_and_snapshot_restores() {
+    let d = distributor(6);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let data = body(1, 4096); // 4 chunks of 1 KiB
+    d.put_file("c", "pw", "doc", &data, PrivacyLevel::Low, PutOptions::default())
+        .unwrap();
+
+    let new_chunk = vec![0xAB; 1024];
+    d.update_chunk("c", "pw", "doc", 2, &new_chunk).unwrap();
+    let got = d.get_file("c", "pw", "doc").unwrap().data;
+    assert_eq!(&got[..2048], &data[..2048]);
+    assert_eq!(&got[2048..3072], new_chunk.as_slice());
+    assert_eq!(&got[3072..], &data[3072..]);
+
+    d.restore_snapshot("c", "pw", "doc", 2).unwrap();
+    assert_eq!(d.get_file("c", "pw", "doc").unwrap().data, data);
+}
+
+#[test]
+fn interleaved_put_remove_cycles_leave_no_residue() {
+    let d = distributor(6);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    for round in 0..10 {
+        let data = body(round, 5000);
+        d.put_file("c", "pw", "cycle", &data, PrivacyLevel::Low, PutOptions::default())
+            .unwrap();
+        assert_eq!(d.get_file("c", "pw", "cycle").unwrap().data, data);
+        d.remove_file("c", "pw", "cycle").unwrap();
+    }
+    let residue: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
+    assert_eq!(residue, 0);
+}
+
+#[test]
+fn bytes_conserved_across_providers() {
+    let d = distributor(8);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let data = body(3, 64 << 10);
+    let receipt = d
+        .put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+        .unwrap();
+    let stored: u64 = d.providers().iter().map(|p| p.bytes_stored()).sum();
+    assert_eq!(stored, receipt.bytes_stored as u64);
+    // Data bytes (excluding parity) equal the file size: client accounting.
+    let client_bytes: u64 = d.client_bytes_per_provider("c").unwrap().iter().sum();
+    assert_eq!(client_bytes, data.len() as u64);
+}

@@ -1,0 +1,223 @@
+//! Model-based stateful testing: random operation sequences against the
+//! distributor, checked after every step against a trivial in-memory
+//! reference model (`HashMap<filename, bytes>`). Whatever RAID, placement,
+//! misleading-byte or snapshot machinery does internally, the client-visible
+//! semantics must match the model exactly.
+
+use fragcloud::core::config::{ChunkSizeSchedule, DistributorConfig};
+use fragcloud::core::{CloudDataDistributor, CoreError, PrivacyLevel, PutOptions};
+use fragcloud::raid::RaidLevel;
+use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The operations the fuzzer may issue.
+#[derive(Debug, Clone)]
+enum Op {
+    Put { file: u8, size: usize, pl: u8 },
+    Get { file: u8 },
+    GetParallel { file: u8 },
+    UpdateChunk { file: u8, serial: u8, size: usize },
+    RemoveFile { file: u8 },
+    OutageToggle { provider: u8 },
+    Rebalance,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..4, 1usize..3000, 0u8..4).prop_map(|(file, size, pl)| Op::Put { file, size, pl }),
+        3 => (0u8..4).prop_map(|file| Op::Get { file }),
+        1 => (0u8..4).prop_map(|file| Op::GetParallel { file }),
+        1 => (0u8..4, 0u8..4, 1usize..600).prop_map(|(file, serial, size)| Op::UpdateChunk { file, serial, size }),
+        1 => (0u8..4).prop_map(|file| Op::RemoveFile { file }),
+        1 => (0u8..8).prop_map(|provider| Op::OutageToggle { provider }),
+        1 => Just(Op::Rebalance),
+    ]
+}
+
+fn fleet() -> Vec<Arc<CloudProvider>> {
+    (0..8)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new((i % 4) as u8),
+            )))
+        })
+        .collect()
+}
+
+fn payload(tag: u64, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(tag * 131) % 251) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distributor_matches_reference_model(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let providers = fleet();
+        let d = CloudDataDistributor::new(
+            providers.clone(),
+            DistributorConfig {
+                chunk_sizes: ChunkSizeSchedule { sizes: [512, 256, 128, 64] },
+                stripe_width: 3,
+                raid_level: RaidLevel::Raid5,
+                mislead_rate: 0.03,
+                ..Default::default()
+            },
+        );
+        d.register_client("c").expect("fresh");
+        d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+
+        // The reference model: filename -> logical chunk list. Chunks are
+        // the unit of update, and an update may change a chunk's length, so
+        // the model tracks boundaries rather than a flat byte string.
+        let mut model: HashMap<u8, Vec<Vec<u8>>> = HashMap::new();
+        let flat = |chunks: &[Vec<u8>]| -> Vec<u8> { chunks.concat() };
+        let mut offline = [false; 8];
+        let mut tag = 0u64;
+
+        for op in ops {
+            tag += 1;
+            match op {
+                Op::Put { file, size, pl } => {
+                    let pl = PrivacyLevel::from_u8(pl).expect("0..4");
+                    // Need enough online providers for a 3+1 stripe.
+                    let online = offline.iter().filter(|&&o| !o).count();
+                    let data = payload(tag, size);
+                    let res = d.put_file(
+                        "c", "pw", &format!("f{file}"), &data, pl, PutOptions::default(),
+                    );
+                    match res {
+                        Ok(_) => {
+                            prop_assert!(
+                                !model.contains_key(&file),
+                                "put must fail on existing file"
+                            );
+                            let chunk_size = [512usize, 256, 128, 64][pl.as_u8() as usize];
+                            let chunks: Vec<Vec<u8>> = if data.is_empty() {
+                                vec![Vec::new()]
+                            } else {
+                                data.chunks(chunk_size).map(|c| c.to_vec()).collect()
+                            };
+                            model.insert(file, chunks);
+                        }
+                        Err(CoreError::FileExists(_)) => {
+                            prop_assert!(model.contains_key(&file));
+                        }
+                        Err(CoreError::InsufficientProviders { .. })
+                        | Err(CoreError::NoEligibleProvider { .. }) => {
+                            prop_assert!(online < 4, "placement failed with {online} online");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("put: {e}"))),
+                    }
+                }
+                Op::Get { file } | Op::GetParallel { file } => {
+                    let parallel = matches!(op, Op::GetParallel { .. });
+                    let res = if parallel {
+                        d.get_file_parallel("c", "pw", &format!("f{file}"))
+                    } else {
+                        d.get_file("c", "pw", &format!("f{file}"))
+                    };
+                    match (&res, model.get(&file)) {
+                        (Ok(r), Some(chunks)) => {
+                            prop_assert_eq!(&r.data, &flat(chunks), "read mismatch for f{}", file);
+                        }
+                        (Err(CoreError::UnknownFile { .. }), None) => {}
+                        (Err(e), Some(_)) => {
+                            // Reads may legitimately fail when >1 stripe
+                            // provider is down (RAID-5 tolerance exceeded).
+                            let down = offline.iter().filter(|&&o| o).count();
+                            prop_assert!(
+                                down >= 2,
+                                "read failed ({e}) with only {down} providers down"
+                            );
+                        }
+                        (Ok(_), None) => {
+                            return Err(TestCaseError::fail("read of removed file succeeded"));
+                        }
+                        (Err(e), None) => {
+                            return Err(TestCaseError::fail(format!("wrong error {e}")));
+                        }
+                    }
+                }
+                Op::UpdateChunk { file, serial, size } => {
+                    let new_data = payload(tag ^ 0xAB, size);
+                    let res = d.update_chunk("c", "pw", &format!("f{file}"), serial as u32, &new_data);
+                    match res {
+                        Ok(()) => {
+                            let chunks = model.get_mut(&file).expect("update of known file");
+                            prop_assert!((serial as usize) < chunks.len());
+                            chunks[serial as usize] = new_data;
+                        }
+                        Err(CoreError::UnknownFile { .. }) => {
+                            prop_assert!(!model.contains_key(&file));
+                        }
+                        Err(CoreError::UnknownChunk { .. }) => {
+                            if let Some(chunks) = model.get(&file) {
+                                prop_assert!(serial as usize >= chunks.len());
+                            }
+                        }
+                        Err(CoreError::Store(_)) | Err(CoreError::Raid(_)) => {
+                            // A needed provider is down; update_chunk plans
+                            // parity before mutating, so NOTHING changed —
+                            // the model stays as-is and later reads must
+                            // still see the old contents.
+                            let down = offline.iter().filter(|&&o| o).count();
+                            prop_assert!(down >= 1, "update failed with everything online");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("update: {e}"))),
+                    }
+                }
+                Op::RemoveFile { file } => {
+                    let res = d.remove_file("c", "pw", &format!("f{file}"));
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(model.remove(&file).is_some());
+                        }
+                        Err(CoreError::UnknownFile { .. }) => {
+                            prop_assert!(!model.contains_key(&file));
+                        }
+                        Err(CoreError::Store(_)) => {
+                            // A holding provider is down; file stays.
+                            let down = offline.iter().filter(|&&o| o).count();
+                            prop_assert!(down >= 1);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("remove: {e}"))),
+                    }
+                }
+                Op::OutageToggle { provider } => {
+                    let i = provider as usize % providers.len();
+                    offline[i] = !offline[i];
+                    providers[i].set_online(!offline[i]);
+                }
+                Op::Rebalance => {
+                    // Rebalancing must never change client-visible bytes.
+                    let _ = d.rebalance_by_access("c", "pw", 0);
+                }
+            }
+        }
+
+        // Final audit with all providers online: every surviving file reads
+        // back exactly as the model says, via both read paths.
+        for (i, p) in providers.iter().enumerate() {
+            p.set_online(true);
+            offline[i] = false;
+        }
+        for (file, chunks) in &model {
+            let expected = flat(chunks);
+            let got = d.get_file("c", "pw", &format!("f{file}")).expect("final read");
+            prop_assert_eq!(&got.data, &expected, "final state mismatch for f{}", file);
+            let got = d
+                .get_file_parallel("c", "pw", &format!("f{file}"))
+                .expect("final parallel read");
+            prop_assert_eq!(&got.data, &expected);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate property tests: the system-level invariants DESIGN.md §7
+//! promises, checked with proptest-generated inputs.
+
+use fragcloud::core::config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
+use fragcloud::core::{chunker, mislead, CloudDataDistributor, PrivacyLevel, PutOptions};
+use fragcloud::raid::{RaidLevel, StripeCodec};
+use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fleet(n: usize) -> Vec<Arc<CloudProvider>> {
+    (0..n)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new((i % 4) as u8),
+            )))
+        })
+        .collect()
+}
+
+fn arb_pl() -> impl Strategy<Value = PrivacyLevel> {
+    (0u8..4).prop_map(|v| PrivacyLevel::from_u8(v).expect("0..4"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// split ∘ join = id for any payload and privacy level.
+    #[test]
+    fn chunker_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..5000), pl in arb_pl()) {
+        let schedule = ChunkSizeSchedule { sizes: [257, 101, 43, 11] };
+        let chunks = chunker::split(&data, pl, &schedule);
+        prop_assert_eq!(chunker::join(&chunks), data);
+    }
+
+    /// inject ∘ strip = id for any payload and rate.
+    #[test]
+    fn mislead_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        rate in 0.0f64..0.49,
+        seed in any::<u64>(),
+    ) {
+        let (stored, positions) = mislead::inject(&data, rate, seed);
+        prop_assert_eq!(mislead::strip(&stored, &positions), data);
+    }
+
+    /// RAID stripes decode after any tolerable erasure pattern.
+    #[test]
+    fn stripe_roundtrip_with_erasures(
+        data in proptest::collection::vec(any::<u8>(), 0..3000),
+        k in 1usize..8,
+        lose in proptest::collection::vec(any::<usize>(), 0..2),
+        level_pick in 0u8..3,
+    ) {
+        let level = match level_pick {
+            0 => RaidLevel::None,
+            1 => RaidLevel::Raid5,
+            _ => RaidLevel::Raid6,
+        };
+        let codec = StripeCodec::new(k, level).expect("valid geometry");
+        let enc = codec.encode(&data).expect("encode");
+        let total = codec.total_shards();
+        // Drop up to `fault_tolerance` distinct shards.
+        let mut lost: Vec<usize> = lose
+            .into_iter()
+            .map(|v| v % total)
+            .collect();
+        lost.sort_unstable();
+        lost.dedup();
+        lost.truncate(level.fault_tolerance());
+        let avail: Vec<(usize, &[u8])> = enc
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect();
+        prop_assert_eq!(codec.decode(&avail, data.len()).expect("decode"), data);
+    }
+
+    /// End-to-end distributor roundtrip for arbitrary payloads, levels and
+    /// placement strategies; placement never violates the PL rule.
+    #[test]
+    fn distributor_roundtrip_and_policy(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        pl in arb_pl(),
+        placement_pick in 0u8..2,
+        raid_pick in 0u8..3,
+    ) {
+        let placement = if placement_pick == 0 {
+            PlacementStrategy::CheapestEligible
+        } else {
+            PlacementStrategy::RandomEligible
+        };
+        let raid = match raid_pick {
+            0 => RaidLevel::None,
+            1 => RaidLevel::Raid5,
+            _ => RaidLevel::Raid6,
+        };
+        let providers = fleet(8);
+        let d = CloudDataDistributor::new(
+            providers.clone(),
+            DistributorConfig {
+                chunk_sizes: ChunkSizeSchedule { sizes: [512, 256, 128, 64] },
+                stripe_width: 3,
+                raid_level: raid,
+                placement,
+                ..Default::default()
+            },
+        );
+        d.register_client("c").expect("fresh");
+        d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+        d.put_file("c", "pw", "f", &data, pl, PutOptions::default()).expect("upload");
+        let got = d.get_file("c", "pw", "f").expect("read");
+        prop_assert_eq!(got.data, data);
+        // PL rule: a provider below the file PL holds nothing.
+        for p in &providers {
+            if p.profile().privacy_level < pl {
+                prop_assert_eq!(p.chunk_count(), 0);
+            }
+        }
+    }
+
+    /// Misleading data never corrupts the owner's view.
+    #[test]
+    fn mislead_through_distributor(
+        data in proptest::collection::vec(any::<u8>(), 1..3000),
+        rate in 0.01f64..0.3,
+    ) {
+        let d = CloudDataDistributor::new(
+            fleet(6),
+            DistributorConfig {
+                chunk_sizes: ChunkSizeSchedule::uniform(333),
+                stripe_width: 3,
+                mislead_rate: rate,
+                ..Default::default()
+            },
+        );
+        d.register_client("c").expect("fresh");
+        d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+        let receipt = d
+            .put_file("c", "pw", "f", &data, PrivacyLevel::High, PutOptions::default())
+            .expect("upload");
+        prop_assert!(receipt.bytes_stored > data.len());
+        prop_assert_eq!(d.get_file("c", "pw", "f").expect("read").data, data);
+    }
+}
