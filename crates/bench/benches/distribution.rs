@@ -38,15 +38,10 @@ fn bench_put(c: &mut Criterion) {
                     b.iter(|| {
                         let d = make_distributor(8, level);
                         i += 1;
-                        d.put_file(
-                            "c",
-                            "p",
-                            &format!("f{i}"),
-                            body,
-                            PrivacyLevel::Low,
-                            PutOptions::default(),
-                        )
-                        .expect("upload")
+                        d.session("c", "p")
+                            .expect("valid pair")
+                            .put_file(&format!("f{i}"), body, PrivacyLevel::Low, PutOptions::new())
+                            .expect("upload")
                     });
                 },
             );
@@ -61,11 +56,13 @@ fn bench_get(c: &mut Criterion) {
     for &size in &[64 << 10, 1 << 20, 4 << 20] {
         let body = files::random_file(size, size as u64);
         let d = make_distributor(8, RaidLevel::Raid5);
-        d.put_file("c", "p", "f", &body, PrivacyLevel::Low, PutOptions::default())
+        let session = d.session("c", "p").expect("valid pair");
+        session
+            .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
             .expect("upload");
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_function(BenchmarkId::new("raid5", format!("{}KiB", size >> 10)), |b| {
-            b.iter(|| d.get_file("c", "p", "f").expect("retrieve"))
+            b.iter(|| session.get_file("f").expect("retrieve"))
         });
     }
     group.finish();
@@ -78,7 +75,9 @@ fn bench_get_degraded(c: &mut Criterion) {
     let size = 1 << 20;
     let body = files::random_file(size, 99);
     let d = make_distributor(8, RaidLevel::Raid5);
-    d.put_file("c", "p", "f", &body, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "p").expect("valid pair");
+    session
+        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
         .expect("upload");
     let victim = d
         .client_chunks_per_provider("c")
@@ -90,7 +89,7 @@ fn bench_get_degraded(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(size as u64));
     group.bench_function("raid5_one_provider_down/1MiB", |b| {
         b.iter(|| {
-            let r = d.get_file("c", "p", "f").expect("reconstruct");
+            let r = session.get_file("f").expect("reconstruct");
             assert!(r.reconstructed_chunks > 0);
             r
         })
@@ -105,14 +104,16 @@ fn bench_get_parallel(c: &mut Criterion) {
     let size = 4 << 20;
     let body = files::random_file(size, 7);
     let d = make_distributor(8, RaidLevel::Raid5);
-    d.put_file("c", "p", "f", &body, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "p").expect("valid pair");
+    session
+        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
         .expect("upload");
     group.throughput(Throughput::Bytes(size as u64));
     group.bench_function("serial/4MiB", |b| {
-        b.iter(|| d.get_file("c", "p", "f").expect("retrieve"))
+        b.iter(|| session.get_file("f").expect("retrieve"))
     });
     group.bench_function("parallel/4MiB", |b| {
-        b.iter(|| d.get_file_parallel("c", "p", "f").expect("retrieve"))
+        b.iter(|| session.get_file_parallel("f").expect("retrieve"))
     });
     group.finish();
 }

@@ -25,6 +25,7 @@ const NAMES: &[(&str, &str)] = &[
     ("ablation", "E15: redundancy ablation"),
     ("rules", "E16: Apriori rule recall vs k compromised providers"),
     ("segmentation", "E17: customer-segmentation attack vs fragment fraction"),
+    ("degraded", "E18: degraded-mode availability vs provider failure rate"),
 ];
 
 fn run_one(name: &str) -> Option<String> {
@@ -45,6 +46,7 @@ fn run_one(name: &str) -> Option<String> {
         "ablation" => exp::ablation::run().1,
         "rules" => exp::rules::run().1,
         "segmentation" => exp::segmentation::run().1,
+        "degraded" => exp::degraded::run().1,
         _ => return None,
     })
 }

@@ -35,7 +35,8 @@ fn survival(d: &CloudDataDistributor, expected: &[u8]) -> f64 {
     #[allow(clippy::needless_range_loop)]
     for victim in 0..providers.len() {
         providers[victim].set_online(false);
-        if d.get_file("c", "p", "f")
+        if d.session("c", "p")
+            .and_then(|s| s.get_file("f"))
             .map(|r| r.data == expected)
             .unwrap_or(false)
         {
@@ -60,17 +61,9 @@ fn build(raid: RaidLevel, replicas: usize) -> (CloudDataDistributor, f64, Vec<u8
     d.add_password("c", "p", PrivacyLevel::High).expect("client");
     let body = files::random_file(256 << 10, 0xAB1A);
     let receipt = d
-        .put_file(
-            "c",
-            "p",
-            "f",
-            &body,
-            PrivacyLevel::Low,
-            PutOptions {
-                replicas,
-                ..Default::default()
-            },
-        )
+        .session("c", "p")
+        .expect("valid pair")
+        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new().replicas(replicas))
         .expect("upload");
     let overhead = receipt.bytes_stored as f64 / body.len() as f64;
     (d, overhead, body)

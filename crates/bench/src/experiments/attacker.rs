@@ -62,15 +62,10 @@ fn upload(placement: PlacementStrategy) -> (CloudDataDistributor, Vec<u8>, [f64;
     d.register_client("victim").expect("fresh");
     d.add_password("victim", "pw", PrivacyLevel::High)
         .expect("client exists");
-    d.put_file(
-        "victim",
-        "pw",
-        "ledger.csv",
-        &bytes,
-        PrivacyLevel::Moderate,
-        PutOptions::default(),
-    )
-    .expect("upload");
+    d.session("victim", "pw")
+        .expect("valid pair")
+        .put_file("ledger.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+        .expect("upload");
     (d, bytes, cfg.slopes)
 }
 

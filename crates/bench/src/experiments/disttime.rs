@@ -60,13 +60,14 @@ pub fn run() -> (Vec<DistTimePoint>, String) {
                 let body = files::random_file(size, size as u64);
 
                 let t0 = Instant::now();
-                let receipt = d
-                    .put_file("c", "p", "f", &body, PrivacyLevel::Low, PutOptions::default())
+                let session = d.session("c", "p").expect("valid pair");
+                let receipt = session
+                    .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
                     .expect("upload");
                 let put_wall_us = t0.elapsed().as_micros();
 
                 let t1 = Instant::now();
-                let got = d.get_file("c", "p", "f").expect("retrieve");
+                let got = session.get_file("f").expect("retrieve");
                 let get_wall_us = t1.elapsed().as_micros();
                 assert_eq!(got.data.len(), size, "roundtrip integrity");
 

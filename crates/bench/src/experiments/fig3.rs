@@ -53,37 +53,33 @@ pub fn run() -> (Fig3Result, String) {
     // Files: Bob's file1 at PL 1 and file2 at PL 2; Roy's file3 at PL 3.
     let file1: Vec<u8> = (0..96u32).map(|i| (i * 3) as u8).collect();
     distributor
-        .put_file("Bob", "Ty7e", "file1", &file1, PrivacyLevel::Low, PutOptions::default())
+        .session("Bob", "Ty7e")
+        .expect("valid pair")
+        .put_file("file1", &file1, PrivacyLevel::Low, PutOptions::new())
         .expect("upload file1");
     distributor
-        .put_file(
-            "Bob",
-            "Ty7e",
-            "file2",
-            &[7u8; 40],
-            PrivacyLevel::Moderate,
-            PutOptions::default(),
-        )
+        .session("Bob", "Ty7e")
+        .expect("valid pair")
+        .put_file("file2", &[7u8; 40], PrivacyLevel::Moderate, PutOptions::new())
         .expect("upload file2");
     distributor
-        .put_file(
-            "Roy",
-            "eV2t",
-            "file3",
-            &[9u8; 24],
-            PrivacyLevel::High,
-            PutOptions::default(),
-        )
+        .session("Roy", "eV2t")
+        .expect("valid pair")
+        .put_file("file3", &[9u8; 24], PrivacyLevel::High, PutOptions::new())
         .expect("upload file3");
 
     // Scenario 1: (Bob, x9pr, file1, 0) — authorized.
     let authorized_chunk = distributor
-        .get_chunk("Bob", "x9pr", "file1", 0)
+        .session("Bob", "x9pr")
+        .expect("valid pair")
+        .get_chunk("file1", 0)
         .expect("x9pr (PL1) may read a PL1 chunk");
 
     // Scenario 2: (Bob, aB1c, file1, 0) — denied.
     let denied = distributor
-        .get_chunk("Bob", "aB1c", "file1", 0)
+        .session("Bob", "aB1c")
+        .expect("valid pair")
+        .get_chunk("file1", 0)
         .expect_err("aB1c (PL0) must be refused a PL1 chunk");
 
     let mut report = String::from("E1 / Fig. 3 — application-architecture walkthrough\n\n");

@@ -139,23 +139,34 @@ mod tests {
     fn full_clustering_recovers_group_structure_better_than_fragments() {
         // Sanity: with 3000 obs the clustering should align with the
         // ground-truth behavioural groups at least as well as with 500.
-        let corpus = gps::generate(GpsConfig {
-            users: 30,
-            observations_per_user: 3000,
-            ..Default::default()
-        });
-        let truth = corpus.true_groups.clone();
-        let full = tree_for(&gps::user_features(&corpus, GRID, None))
-            .cut(CUT_K)
-            .unwrap();
-        let frag = tree_for(&gps::user_features(&corpus, GRID, Some(500)))
-            .cut(CUT_K)
-            .unwrap();
-        let ari_full = adjusted_rand_index(&truth, &full);
-        let ari_frag = adjusted_rand_index(&truth, &frag);
+        // Any single corpus is noisy (a lucky 500-obs window can beat the
+        // full data), so the comparison is averaged over several seeds.
+        let seeds = [0xD4AC_A001u64, 1, 2, 3, 4];
+        let (mut sum_full, mut sum_frag) = (0.0, 0.0);
+        for seed in seeds {
+            let corpus = gps::generate(GpsConfig {
+                users: 30,
+                observations_per_user: 3000,
+                seed,
+                ..Default::default()
+            });
+            let truth = corpus.true_groups.clone();
+            let full = tree_for(&gps::user_features(&corpus, GRID, None))
+                .cut(CUT_K)
+                .unwrap();
+            let frag = tree_for(&gps::user_features(&corpus, GRID, Some(500)))
+                .cut(CUT_K)
+                .unwrap();
+            sum_full += adjusted_rand_index(&truth, &full);
+            sum_frag += adjusted_rand_index(&truth, &frag);
+        }
+        let (ari_full, ari_frag) = (
+            sum_full / seeds.len() as f64,
+            sum_frag / seeds.len() as f64,
+        );
         assert!(
             ari_full >= ari_frag - 0.05,
-            "full {ari_full} vs fragment {ari_frag}"
+            "mean full {ari_full} vs mean fragment {ari_frag}"
         );
     }
 }

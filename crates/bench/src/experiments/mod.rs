@@ -1,4 +1,4 @@
-//! Experiment modules (E1–E15; see DESIGN.md §4 for the index).
+//! Experiment modules (E1–E18; see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod attacker;
@@ -6,6 +6,7 @@ pub mod availability;
 pub mod chunksize;
 pub mod classify;
 pub mod cost;
+pub mod degraded;
 pub mod dht;
 pub mod disttime;
 pub mod encvsfrag;

@@ -39,7 +39,9 @@ pub fn run() -> (PolicyAudit, String) {
     for (i, pl) in PrivacyLevel::ALL.into_iter().enumerate() {
         let body = files::random_file(64 << 10, i as u64);
         let receipt = d
-            .put_file("c", "p", &format!("f{i}"), &body, pl, PutOptions::default())
+            .session("c", "p")
+            .expect("valid pair")
+            .put_file(&format!("f{i}"), &body, pl, PutOptions::new())
             .expect("upload");
         chunks_per_pl[i] = receipt.chunk_count;
     }
@@ -54,7 +56,9 @@ pub fn run() -> (PolicyAudit, String) {
         d.register_client("c").expect("fresh");
         d.add_password("c", "p", PrivacyLevel::High).expect("client exists");
         let body = files::random_file(64 << 10, fi as u64);
-        d.put_file("c", "p", "f", &body, pl, PutOptions::default())
+        d.session("c", "p")
+            .expect("valid pair")
+            .put_file("f", &body, pl, PutOptions::new())
             .expect("upload");
         for provider in &fleet {
             let held = provider.len();

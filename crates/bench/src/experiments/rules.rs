@@ -59,7 +59,9 @@ pub fn run() -> (Vec<RulesPoint>, String) {
     );
     d.register_client("shop").expect("fresh");
     d.add_password("shop", "pw", PrivacyLevel::High).expect("client");
-    d.put_file("shop", "pw", "baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::default())
+    d.session("shop", "pw")
+        .expect("valid pair")
+        .put_file("baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::new())
         .expect("upload");
 
     let providers = d.providers();
@@ -147,7 +149,9 @@ pub fn run() -> (Vec<RulesPoint>, String) {
         );
         d.register_client("shop").expect("fresh");
         d.add_password("shop", "pw", PrivacyLevel::High).expect("client");
-        d.put_file("shop", "pw", "baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::default())
+        d.session("shop", "pw")
+            .expect("valid pair")
+            .put_file("baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::new())
             .expect("upload");
         let mut seen: Vec<Transaction> = Vec::new();
         for p in d.providers().iter() {
@@ -235,7 +239,9 @@ mod tests {
             );
             d.register_client("s").expect("fresh");
             d.add_password("s", "p", PrivacyLevel::High).expect("client");
-            d.put_file("s", "p", "f", &bytes, PrivacyLevel::Moderate, PutOptions::default())
+            d.session("s", "p")
+                .expect("valid pair")
+                .put_file("f", &bytes, PrivacyLevel::Moderate, PutOptions::new())
                 .expect("upload");
             let mut seen: Vec<Transaction> = Vec::new();
             for p in d.providers().iter() {

@@ -1,5 +1,6 @@
 //! Distributor configuration.
 
+use crate::resilience::ResilienceConfig;
 use fragcloud_raid::RaidLevel;
 use fragcloud_sim::PrivacyLevel;
 
@@ -72,6 +73,9 @@ pub struct DistributorConfig {
     pub placement: PlacementStrategy,
     /// Seed for placement randomization and misleading-byte positions.
     pub seed: u64,
+    /// Degraded-mode I/O engine knobs (retry, hedging, reputation
+    /// ordering); see [`crate::resilience`].
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for DistributorConfig {
@@ -83,6 +87,7 @@ impl Default for DistributorConfig {
             mislead_rate: 0.0,
             placement: PlacementStrategy::CheapestEligible,
             seed: 0x0D15_7B17,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -99,6 +104,7 @@ impl DistributorConfig {
             self.chunk_sizes.sizes.iter().all(|&s| s > 0),
             "chunk sizes must be positive"
         );
+        self.resilience.validate();
     }
 }
 

@@ -4,26 +4,51 @@
 //! `get_chunk`/`get_file`/`get` on retrieval, `remove_chunk`/`remove_file`/
 //! `remove` on deletion — plus snapshotting on update (§IV-A) and RAID
 //! reconstruction when providers are down (§III-B availability).
+//!
+//! Since the degraded-mode engine landed, every provider operation on the
+//! upload and retrieval paths runs under the configured
+//! [`RetryPolicy`](crate::resilience::RetryPolicy), reads fail over
+//! reputation-ordered replicas into inline parity reconstruction (and can
+//! *hedge* stragglers by racing that parity path), writes re-place or skip
+//! shards lost to dead providers within the stripe's fault tolerance, and
+//! [`scrub`](CloudDataDistributor::scrub) /
+//! [`repair`](CloudDataDistributor::repair) walk and heal what's left.
+//! The preferred client surface is the typed [`crate::session::Session`]
+//! API; the ⟨client, password, …⟩ string methods remain as deprecated
+//! wrappers.
 
 use crate::access;
 use crate::chunker;
 use crate::config::DistributorConfig;
 use crate::mislead;
 use crate::policy;
+use crate::resilience::{RepairReport, ScrubReport};
 use crate::tables::{ChunkEntry, ChunkRole, ClientEntry, FileEntry, StripeInfo, StripeRef, Tables};
 use crate::vid::VidAllocator;
 use crate::{CoreError, Result};
 use bytes::Bytes;
 use fragcloud_raid::{RaidLevel, StripeCodec};
-use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, StoreError};
+use fragcloud_sim::reputation::{ReputationConfig, ReputationEvent, ReputationTracker};
+use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, StoreError, VirtualId};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Per-upload options.
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-upload options, built fluently:
+///
+/// ```
+/// use fragcloud_core::PutOptions;
+/// use fragcloud_raid::RaidLevel;
+/// let opts = PutOptions::new().raid(RaidLevel::Raid6).mislead_rate(0.02);
+/// ```
+///
+/// `#[non_exhaustive]`: construct through [`PutOptions::new`] /
+/// [`PutOptions::default`] plus the builder methods, so new knobs can be
+/// added without breaking callers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
 pub struct PutOptions {
     /// Override the distributor's default RAID level for this file.
     pub raid_level: Option<RaidLevel>,
@@ -35,6 +60,32 @@ pub struct PutOptions {
     /// Providers depending on the clients' requirement. Here requirement
     /// indicates the degree of assurance the client demands."
     pub replicas: usize,
+}
+
+impl PutOptions {
+    /// Defaults: distributor-level RAID, distributor-level mislead rate,
+    /// no replicas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the RAID level for this file.
+    pub fn raid(mut self, level: RaidLevel) -> Self {
+        self.raid_level = Some(level);
+        self
+    }
+
+    /// Overrides the misleading-byte rate for this file.
+    pub fn mislead_rate(mut self, rate: f64) -> Self {
+        self.mislead_rate = Some(rate);
+        self
+    }
+
+    /// Requests `n` extra full copies of each data chunk.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
 }
 
 /// Upload receipt: "the total number of chunks for each file is notified to
@@ -62,6 +113,28 @@ pub struct GetReceipt {
     pub sim_time: Duration,
     /// Chunks that had to be RAID-reconstructed (provider down/object gone).
     pub reconstructed_chunks: usize,
+    /// Chunks not served by their primary provider on the first try
+    /// (replica failover, parity reconstruction, or a hedged read).
+    pub degraded_chunks: usize,
+    /// Chunks where the read raced the parity path against a straggling
+    /// primary and the parity path won.
+    pub hedged_chunks: usize,
+    /// Total provider-operation retries spent across the file.
+    pub retries: u64,
+}
+
+/// Internal outcome of fetching one logical chunk on the degraded-mode
+/// read path.
+struct ChunkFetch {
+    logical: Vec<u8>,
+    /// Provider whose link the simulated clock charges for this chunk.
+    charged_provider: usize,
+    /// Simulated time on this chunk's critical path (transfer + backoff).
+    time: Duration,
+    reconstructed: bool,
+    degraded: bool,
+    hedged: bool,
+    retries: u64,
 }
 
 /// Deferred parity writes computed by `plan_parity`.
@@ -77,17 +150,25 @@ pub struct CloudDataDistributor {
     vids: VidAllocator,
     config: DistributorConfig,
     rng: Mutex<StdRng>,
+    /// Live per-provider reputation, fed by every engine-issued operation
+    /// (§IV-A "reliability of a cloud provider is defined in terms of its
+    /// reputation"); orders read candidates when
+    /// [`ResilienceConfig::reputation_ordering`](crate::resilience::ResilienceConfig)
+    /// is on.
+    reputation: ReputationTracker,
 }
 
 impl CloudDataDistributor {
     /// Creates a distributor over a provider fleet.
     pub fn new(providers: Vec<Arc<CloudProvider>>, config: DistributorConfig) -> Self {
         config.validate();
+        let n = providers.len();
         CloudDataDistributor {
             state: RwLock::new(Tables::new(providers)),
             vids: VidAllocator::new(config.seed),
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            reputation: ReputationTracker::new(n, ReputationConfig::default()),
         }
     }
 
@@ -105,11 +186,13 @@ impl CloudDataDistributor {
         already_allocated: u64,
     ) -> Self {
         config.validate();
+        let n = tables.providers.len();
         CloudDataDistributor {
             state: RwLock::new(tables),
             vids: VidAllocator::resume(config.seed, already_allocated),
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed ^ already_allocated)),
+            reputation: ReputationTracker::new(n, ReputationConfig::default()),
         }
     }
 
@@ -150,11 +233,7 @@ impl CloudDataDistributor {
     // Upload: categorize → fragment → distribute
     // ------------------------------------------------------------------
 
-    /// Uploads a file at the given privacy level.
-    ///
-    /// The presenting password must be privileged for `pl` (you cannot
-    /// write data you would not be allowed to read back).
-    pub fn put_file(
+    pub(crate) fn put_file_impl(
         &self,
         client: &str,
         password: &str,
@@ -226,6 +305,13 @@ impl CloudDataDistributor {
             let stripe_id = st.stripes.len();
             let mut members = Vec::with_capacity(total_shards);
 
+            // Degraded-write bookkeeping: shards the engine could not land
+            // anywhere are skipped (the parity already covers them) as long
+            // as the stripe stays within its fault tolerance.
+            let tolerance = raid.fault_tolerance();
+            let mut hosting = placement.clone(); // actual provider per shard slot
+            let mut missing = 0usize;
+
             // Replica placement pool: eligible providers not used by this
             // stripe, cycled per chunk so copies spread out.
             let eligible = policy::eligible_providers(&st.providers, pl);
@@ -237,11 +323,32 @@ impl CloudDataDistributor {
 
             // Store data shards.
             for (i, (vid, stored, positions, logical_len)) in group.iter().enumerate() {
-                let provider_idx = placement[i];
-                let provider = &st.providers[provider_idx];
-                provider.put(*vid, Bytes::from(stored.clone()))?;
-                per_provider_time[provider_idx] += provider.simulate_transfer(stored.len());
-                bytes_stored += stored.len();
+                let provider_idx = match self.store_shard_resilient(
+                    &st,
+                    placement[i],
+                    &hosting,
+                    pl,
+                    *vid,
+                    stored,
+                    &mut per_provider_time,
+                ) {
+                    Some(p) => {
+                        hosting[i] = p;
+                        bytes_stored += stored.len();
+                        p
+                    }
+                    None => {
+                        missing += 1;
+                        if missing > tolerance {
+                            return Err(CoreError::RetriesExhausted {
+                                attempts: self.config.resilience.retry.max_attempts,
+                            });
+                        }
+                        // Entry keeps the intended placement; the object is
+                        // simply absent until `repair` rebuilds it.
+                        placement[i]
+                    }
+                };
 
                 // Extra copies (§VI client-demanded assurance).
                 let mut replicas = Vec::with_capacity(opts.replicas);
@@ -261,10 +368,15 @@ impl CloudDataDistributor {
                     }
                     let rp = candidates[(i + r) % candidates.len()];
                     let rvid = self.vids.allocate();
-                    st.providers[rp].put(rvid, Bytes::from(stored.clone()))?;
-                    per_provider_time[rp] += st.providers[rp].simulate_transfer(stored.len());
-                    bytes_stored += stored.len();
-                    replicas.push((rp, rvid));
+                    // Replicas are best-effort extra assurance: a copy that
+                    // cannot land is dropped, not fatal.
+                    let (res, t, _) =
+                        self.put_with_retry(&st, rp, rvid, Bytes::from(stored.clone()));
+                    per_provider_time[rp] += t;
+                    if res.is_ok() {
+                        bytes_stored += stored.len();
+                        replicas.push((rp, rvid));
+                    }
                 }
 
                 let chunk_idx = st.chunks.len();
@@ -292,12 +404,32 @@ impl CloudDataDistributor {
             }
             // Store parity shards.
             for (pi, blob) in parity_blobs.into_iter().enumerate() {
-                let provider_idx = placement[k + pi];
-                let provider = &st.providers[provider_idx];
                 let vid = self.vids.allocate();
-                provider.put(vid, Bytes::from(blob.clone()))?;
-                per_provider_time[provider_idx] += provider.simulate_transfer(blob.len());
-                bytes_stored += blob.len();
+                let slot = k + pi;
+                let provider_idx = match self.store_shard_resilient(
+                    &st,
+                    placement[slot],
+                    &hosting,
+                    pl,
+                    vid,
+                    &blob,
+                    &mut per_provider_time,
+                ) {
+                    Some(p) => {
+                        hosting[slot] = p;
+                        bytes_stored += blob.len();
+                        p
+                    }
+                    None => {
+                        missing += 1;
+                        if missing > tolerance {
+                            return Err(CoreError::RetriesExhausted {
+                                attempts: self.config.resilience.retry.max_attempts,
+                            });
+                        }
+                        placement[slot]
+                    }
+                };
                 let chunk_idx = st.chunks.len();
                 st.chunks.push(ChunkEntry {
                     vid,
@@ -325,6 +457,7 @@ impl CloudDataDistributor {
                 level: raid,
                 members,
                 shard_width: width,
+                degraded: missing > 0,
             });
             stripe_ids.push(stripe_id);
         }
@@ -351,12 +484,164 @@ impl CloudDataDistributor {
     }
 
     // ------------------------------------------------------------------
+    // Degraded-mode engine: retried provider ops, resilient shard stores
+    // ------------------------------------------------------------------
+
+    /// One provider read under the retry policy. Returns the outcome plus
+    /// the simulated time spent (transfer + backoff waits) and the number
+    /// of retries consumed — failures cost simulated time too.
+    fn get_with_retry(
+        &self,
+        st: &Tables,
+        provider_idx: usize,
+        vid: VirtualId,
+    ) -> (Result<Bytes>, Duration, u64) {
+        let policy = self.config.resilience.retry;
+        let provider = &st.providers[provider_idx];
+        let mut time = Duration::ZERO;
+        let mut retries = 0u64;
+        let mut waited = Duration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            match provider.get(vid) {
+                Ok(bytes) => {
+                    self.reputation.record(provider_idx, ReputationEvent::Success);
+                    time += provider.simulate_transfer(bytes.len());
+                    return (Ok(bytes), time, retries);
+                }
+                Err(e @ StoreError::NotFound(_)) => {
+                    // The object is gone, not the provider: retrying the
+                    // same request cannot help.
+                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    return (Err(e.into()), time, retries);
+                }
+                Err(e) => {
+                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    if attempt == policy.max_attempts {
+                        return (Err(e.into()), time, retries);
+                    }
+                    let pause = policy.backoff(
+                        attempt,
+                        self.config.seed ^ vid.0 ^ (provider_idx as u64).rotate_left(17),
+                    );
+                    waited += pause;
+                    if let Some(deadline) = policy.op_deadline {
+                        if waited > deadline {
+                            let err = CoreError::Timeout {
+                                provider: provider.name().to_string(),
+                            };
+                            return (Err(err), time, retries);
+                        }
+                    }
+                    time += pause;
+                    retries += 1;
+                }
+            }
+        }
+        unreachable!("retry loop returns on its final attempt")
+    }
+
+    /// One provider write under the retry policy; same accounting contract
+    /// as [`Self::get_with_retry`].
+    fn put_with_retry(
+        &self,
+        st: &Tables,
+        provider_idx: usize,
+        vid: VirtualId,
+        bytes: Bytes,
+    ) -> (Result<()>, Duration, u64) {
+        let policy = self.config.resilience.retry;
+        let provider = &st.providers[provider_idx];
+        let len = bytes.len();
+        let mut time = Duration::ZERO;
+        let mut retries = 0u64;
+        let mut waited = Duration::ZERO;
+        for attempt in 1..=policy.max_attempts {
+            match provider.put(vid, bytes.clone()) {
+                Ok(()) => {
+                    self.reputation.record(provider_idx, ReputationEvent::Success);
+                    time += provider.simulate_transfer(len);
+                    return (Ok(()), time, retries);
+                }
+                Err(e) => {
+                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    if attempt == policy.max_attempts {
+                        return (Err(e.into()), time, retries);
+                    }
+                    let pause = policy.backoff(
+                        attempt,
+                        self.config.seed ^ vid.0 ^ (provider_idx as u64).rotate_left(17),
+                    );
+                    waited += pause;
+                    if let Some(deadline) = policy.op_deadline {
+                        if waited > deadline {
+                            let err = CoreError::Timeout {
+                                provider: provider.name().to_string(),
+                            };
+                            return (Err(err), time, retries);
+                        }
+                    }
+                    time += pause;
+                    retries += 1;
+                }
+            }
+        }
+        unreachable!("retry loop returns on its final attempt")
+    }
+
+    /// Stores one shard with retry; on failure re-places it on an
+    /// alternative eligible provider outside the stripe (preserving
+    /// anti-affinity). Returns the provider that took the shard, or `None`
+    /// when every option failed — the caller then skips the shard and the
+    /// stripe goes degraded.
+    #[allow(clippy::too_many_arguments)]
+    fn store_shard_resilient(
+        &self,
+        st: &Tables,
+        preferred: usize,
+        stripe_providers: &[usize],
+        pl: PrivacyLevel,
+        vid: VirtualId,
+        bytes: &[u8],
+        per_provider_time: &mut [Duration],
+    ) -> Option<usize> {
+        let (res, t, _) = self.put_with_retry(st, preferred, vid, Bytes::from(bytes.to_vec()));
+        per_provider_time[preferred] += t;
+        if res.is_ok() {
+            return Some(preferred);
+        }
+        // Alternatives: eligible, not already hosting this stripe; cheapest
+        // first with reputation as tiebreak.
+        let mut alts: Vec<usize> = policy::eligible_providers(&st.providers, pl)
+            .into_iter()
+            .filter(|i| !stripe_providers.contains(i))
+            .collect();
+        alts.sort_by(|&a, &b| {
+            let cost = st.providers[a]
+                .profile()
+                .cost_level
+                .cmp(&st.providers[b].profile().cost_level);
+            let rep = self
+                .reputation
+                .score(b)
+                .partial_cmp(&self.reputation.score(a))
+                .unwrap_or(std::cmp::Ordering::Equal);
+            cost.then(rep).then(a.cmp(&b))
+        });
+        for alt in alts {
+            let (res, t, _) = self.put_with_retry(st, alt, vid, Bytes::from(bytes.to_vec()));
+            per_provider_time[alt] += t;
+            if res.is_ok() {
+                return Some(alt);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
     // Retrieval
     // ------------------------------------------------------------------
 
-    /// Fetches one chunk by ⟨client, password, filename, serial⟩ (§VI
-    /// `get chunk`). Misleading bytes are stripped before return.
-    pub fn get_chunk(
+    pub(crate) fn get_chunk_impl(
         &self,
         client: &str,
         password: &str,
@@ -366,12 +651,15 @@ impl CloudDataDistributor {
         let st = self.state.read();
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
-        let (bytes, _, _) = self.fetch_logical_chunk(&st, chunk_idx)?;
-        Ok(bytes)
+        Ok(self.fetch_logical_chunk(&st, chunk_idx)?.logical)
     }
 
-    /// Fetches and reassembles a whole file (§VI `get file`).
-    pub fn get_file(&self, client: &str, password: &str, filename: &str) -> Result<GetReceipt> {
+    pub(crate) fn get_file_impl(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+    ) -> Result<GetReceipt> {
         let st = self.state.read();
         let file = st.file(client, filename)?;
         access::authorize(st.client(client)?, password, file.pl)?;
@@ -379,32 +667,28 @@ impl CloudDataDistributor {
         let mut out = Vec::with_capacity(file.total_len);
         let mut per_provider_time: Vec<Duration> =
             vec![Duration::ZERO; st.providers.len()];
-        let mut reconstructed = 0usize;
+        let (mut reconstructed, mut degraded, mut hedged) = (0usize, 0usize, 0usize);
+        let mut retries = 0u64;
         for &chunk_idx in &file.chunk_indices {
-            let (bytes, provider_idx, was_reconstructed) =
-                self.fetch_logical_chunk(&st, chunk_idx)?;
-            let stored_len = st.chunks[chunk_idx].stored_len;
-            per_provider_time[provider_idx] +=
-                st.providers[provider_idx].simulate_transfer(stored_len);
-            if was_reconstructed {
-                reconstructed += 1;
-            }
-            out.extend_from_slice(&bytes);
+            let fetch = self.fetch_logical_chunk(&st, chunk_idx)?;
+            per_provider_time[fetch.charged_provider] += fetch.time;
+            reconstructed += usize::from(fetch.reconstructed);
+            degraded += usize::from(fetch.degraded);
+            hedged += usize::from(fetch.hedged);
+            retries += fetch.retries;
+            out.extend_from_slice(&fetch.logical);
         }
         Ok(GetReceipt {
             data: out,
             sim_time: per_provider_time.into_iter().max().unwrap_or_default(),
             reconstructed_chunks: reconstructed,
+            degraded_chunks: degraded,
+            hedged_chunks: hedged,
+            retries,
         })
     }
 
-    /// Fetches and reassembles a whole file with a **parallel fan-out**:
-    /// one worker thread per involved provider (the §VII-E "benefit of
-    /// parallel query processing as various fragments can be accessed
-    /// simultaneously", realized with real threads rather than the
-    /// simulated clock). Chunks whose provider fails are reconstructed
-    /// serially afterwards.
-    pub fn get_file_parallel(
+    pub(crate) fn get_file_parallel_impl(
         &self,
         client: &str,
         password: &str,
@@ -458,51 +742,48 @@ impl CloudDataDistributor {
             .expect("fetch worker panicked");
         }
 
-        // Serial phase: strip mislead bytes; reconstruct what failed.
+        // Serial phase: strip mislead bytes; chunks the fan-out missed go
+        // through the full degraded read path (retry → replicas → parity).
         let mut out = Vec::with_capacity(file.total_len);
-        let mut reconstructed = 0usize;
+        let (mut reconstructed, mut degraded, mut hedged) = (0usize, 0usize, 0usize);
+        let mut retries = 0u64;
         let mut per_provider_time: Vec<Duration> =
             vec![Duration::ZERO; st.providers.len()];
         for &ci in &chunk_indices {
             let e = &st.chunks[ci];
-            let stored = match fetched[ci].take() {
-                Some(bytes) => bytes,
-                None => {
-                    // Replica failover, then RAID.
-                    let mut found = None;
-                    for &(rp, rvid) in &e.replicas {
-                        if let Ok(bytes) = st.providers[rp].get(rvid) {
-                            found = Some(bytes.to_vec());
-                            break;
-                        }
-                    }
-                    match found {
-                        Some(b) => b,
-                        None => {
-                            reconstructed += 1;
-                            self.reconstruct_stored(&st, ci)?
-                        }
-                    }
+            match fetched[ci].take() {
+                Some(bytes) => {
+                    self.reputation.record(e.provider_idx, ReputationEvent::Success);
+                    per_provider_time[e.provider_idx] +=
+                        st.providers[e.provider_idx].simulate_transfer(e.stored_len);
+                    out.extend_from_slice(&mislead::strip(&bytes, &e.mislead_positions));
                 }
-            };
-            per_provider_time[e.provider_idx] +=
-                st.providers[e.provider_idx].simulate_transfer(e.stored_len);
-            out.extend_from_slice(&mislead::strip(&stored, &e.mislead_positions));
+                None => {
+                    let fetch = self.fetch_logical_chunk(&st, ci)?;
+                    per_provider_time[fetch.charged_provider] += fetch.time;
+                    reconstructed += usize::from(fetch.reconstructed);
+                    degraded += usize::from(fetch.degraded);
+                    hedged += usize::from(fetch.hedged);
+                    retries += fetch.retries;
+                    out.extend_from_slice(&fetch.logical);
+                }
+            }
         }
         Ok(GetReceipt {
             data: out,
             sim_time: per_provider_time.into_iter().max().unwrap_or_default(),
             reconstructed_chunks: reconstructed,
+            degraded_chunks: degraded,
+            hedged_chunks: hedged,
+            retries,
         })
     }
 
-    /// Fetches a logical chunk: direct read, falling back to RAID
-    /// reconstruction. Returns (bytes, provider index charged, fell back).
-    fn fetch_logical_chunk(
-        &self,
-        st: &Tables,
-        chunk_idx: usize,
-    ) -> Result<(Vec<u8>, usize, bool)> {
+    /// Fetches a logical chunk through the degraded-mode read path:
+    /// optional hedge against a straggling primary, then retried reads over
+    /// reputation-ordered candidates (primary + replicas), then inline RAID
+    /// reconstruction from the stripe.
+    fn fetch_logical_chunk(&self, st: &Tables, chunk_idx: usize) -> Result<ChunkFetch> {
         let entry = &st.chunks[chunk_idx];
         if entry.removed {
             let serial = match entry.role {
@@ -514,29 +795,147 @@ impl CloudDataDistributor {
                 serial,
             });
         }
-        match st.providers[entry.provider_idx].get(entry.vid) {
-            Ok(stored) => {
-                let logical = mislead::strip(&stored, &entry.mislead_positions);
-                Ok((logical, entry.provider_idx, false))
-            }
-            Err(StoreError::Unavailable { .. }) | Err(StoreError::NotFound(_)) => {
-                // Failover 1: replicas (§VI multi-provider copies).
-                for &(rp, rvid) in &entry.replicas {
-                    if let Ok(stored) = st.providers[rp].get(rvid) {
-                        let logical = mislead::strip(&stored, &entry.mislead_positions);
-                        return Ok((logical, rp, false));
+
+        // Hedge: when the primary looks like a straggler and the parity
+        // path is predicted faster, take the reconstruction instead of
+        // waiting out the slow link — the winner of the race is the only
+        // branch the simulated clock charges.
+        if let Some(threshold) = self.config.resilience.hedge_threshold {
+            let direct_est =
+                st.providers[entry.provider_idx].estimate_transfer(entry.stored_len);
+            if direct_est > threshold {
+                if let Some(parity_est) = self.estimate_reconstruct(st, chunk_idx) {
+                    if parity_est < direct_est {
+                        if let Ok((stored, time, retries)) =
+                            self.reconstruct_stored(st, chunk_idx)
+                        {
+                            return Ok(ChunkFetch {
+                                logical: mislead::strip(&stored, &entry.mislead_positions),
+                                charged_provider: entry.provider_idx,
+                                time,
+                                reconstructed: true,
+                                degraded: false,
+                                hedged: true,
+                                retries,
+                            });
+                        }
                     }
                 }
-                // Failover 2: RAID reconstruction from the stripe.
-                let stored = self.reconstruct_stored(st, chunk_idx)?;
-                let logical = mislead::strip(&stored, &entry.mislead_positions);
-                Ok((logical, entry.provider_idx, true))
             }
+        }
+
+        // Candidate sources: primary then replicas, optionally ordered by
+        // live reputation (stable sort, so ties keep stored order).
+        let mut candidates: Vec<(usize, VirtualId)> =
+            Vec::with_capacity(1 + entry.replicas.len());
+        candidates.push((entry.provider_idx, entry.vid));
+        candidates.extend(entry.replicas.iter().copied());
+        if self.config.resilience.reputation_ordering && candidates.len() > 1 {
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            let scores: Vec<f64> = candidates
+                .iter()
+                .map(|&(p, _)| self.reputation.score(p))
+                .collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            candidates = order.into_iter().map(|i| candidates[i]).collect();
+        }
+
+        let mut time = Duration::ZERO;
+        let mut retries = 0u64;
+        let mut attempts_made = 0u32;
+        let mut timed_out: Option<CoreError> = None;
+        for (rank, &(pidx, vid)) in candidates.iter().enumerate() {
+            let (res, t, r) = self.get_with_retry(st, pidx, vid);
+            time += t;
+            retries += r;
+            attempts_made += r as u32 + 1;
+            if let Err(e @ CoreError::Timeout { .. }) = &res {
+                timed_out = Some(e.clone());
+            }
+            if let Ok(stored) = res {
+                return Ok(ChunkFetch {
+                    logical: mislead::strip(&stored, &entry.mislead_positions),
+                    charged_provider: pidx,
+                    time,
+                    reconstructed: false,
+                    // Falling past the first-choice source is a failover;
+                    // reputation *reordering* alone is not.
+                    degraded: rank > 0,
+                    hedged: false,
+                    retries,
+                });
+            }
+        }
+
+        // Last resort: RAID reconstruction from the stripe.
+        match self.reconstruct_stored(st, chunk_idx) {
+            Ok((stored, rtime, rretries)) => Ok(ChunkFetch {
+                logical: mislead::strip(&stored, &entry.mislead_positions),
+                charged_provider: entry.provider_idx,
+                time: time + rtime,
+                reconstructed: true,
+                degraded: true,
+                hedged: false,
+                retries: retries + rretries,
+            }),
+            // No parity path exists at all: report the deadline breach if
+            // one happened, else the exhausted budget — not a meaningless
+            // erasure count.
+            Err(CoreError::Raid(fragcloud_raid::RaidError::TooManyErasures {
+                tolerable: 0,
+                ..
+            })) => Err(timed_out.unwrap_or(CoreError::RetriesExhausted {
+                attempts: attempts_made,
+            })),
+            Err(e) => Err(e),
         }
     }
 
+    /// Predicted parallel transfer time of reconstructing `chunk_idx` from
+    /// its stripe peers, or `None` when the stripe cannot absorb the loss
+    /// (no stripe, no parity, or too few live peers). Pure estimate: no
+    /// provider state is touched.
+    fn estimate_reconstruct(&self, st: &Tables, chunk_idx: usize) -> Option<Duration> {
+        let entry = &st.chunks[chunk_idx];
+        let stripe_ref = entry.stripe?;
+        let stripe = &st.stripes[stripe_ref.stripe_id];
+        if stripe.level == RaidLevel::None {
+            return None;
+        }
+        let mut live = 0usize;
+        let mut worst = Duration::ZERO;
+        for &member_idx in &stripe.members {
+            if member_idx == chunk_idx {
+                continue;
+            }
+            let member = &st.chunks[member_idx];
+            if member.removed {
+                live += 1; // tombstones contribute zero shards for free
+                continue;
+            }
+            let p = &st.providers[member.provider_idx];
+            if !p.is_online() {
+                continue;
+            }
+            live += 1;
+            worst = worst.max(p.estimate_transfer(member.stored_len));
+        }
+        (live >= stripe.k).then_some(worst)
+    }
+
     /// Reconstructs a chunk's *stored* bytes from its stripe peers.
-    fn reconstruct_stored(&self, st: &Tables, chunk_idx: usize) -> Result<Vec<u8>> {
+    /// Returns the bytes plus the simulated cost of the peer fan-out (max
+    /// across peers — they are read in parallel) and retries consumed.
+    fn reconstruct_stored(
+        &self,
+        st: &Tables,
+        chunk_idx: usize,
+    ) -> Result<(Vec<u8>, Duration, u64)> {
         let entry = &st.chunks[chunk_idx];
         let stripe_ref = entry.stripe.ok_or(CoreError::Raid(
             fragcloud_raid::RaidError::TooManyErasures {
@@ -548,6 +947,8 @@ impl CloudDataDistributor {
         let width = stripe.shard_width;
 
         let mut available: Vec<(usize, Vec<u8>)> = Vec::with_capacity(stripe.members.len());
+        let mut worst = Duration::ZERO;
+        let mut retries = 0u64;
         for (shard_index, &member_idx) in stripe.members.iter().enumerate() {
             if member_idx == chunk_idx {
                 continue;
@@ -558,7 +959,12 @@ impl CloudDataDistributor {
                 available.push((shard_index, vec![0u8; width]));
                 continue;
             }
-            match st.providers[member.provider_idx].get(member.vid) {
+            let (res, t, r) = self.get_with_retry(st, member.provider_idx, member.vid);
+            // Peers are fanned out in parallel; even a failed peer's
+            // retries sit on the critical path.
+            worst = worst.max(t);
+            retries += r;
+            match res {
                 Ok(bytes) => {
                     let mut padded = bytes.to_vec();
                     padded.resize(width, 0);
@@ -575,18 +981,14 @@ impl CloudDataDistributor {
             .collect();
         let blob = codec.decode(&refs, stripe.k * width)?;
         let start = stripe_ref.index * width;
-        Ok(blob[start..start + entry.stored_len].to_vec())
+        Ok((blob[start..start + entry.stored_len].to_vec(), worst, retries))
     }
 
     // ------------------------------------------------------------------
     // Update + snapshots
     // ------------------------------------------------------------------
 
-    /// Replaces one chunk's contents, snapshotting the pre-state to a
-    /// snapshot provider first (§IV-A: "snapshot provider stores the
-    /// pre-state and cloud provider stores the post-state of a chunk after
-    /// each modification").
-    pub fn update_chunk(
+    pub(crate) fn update_chunk_impl(
         &self,
         client: &str,
         password: &str,
@@ -645,8 +1047,7 @@ impl CloudDataDistributor {
         Ok(())
     }
 
-    /// Restores a chunk from its snapshot (undo the last update).
-    pub fn restore_snapshot(
+    pub(crate) fn restore_snapshot_impl(
         &self,
         client: &str,
         password: &str,
@@ -783,10 +1184,7 @@ impl CloudDataDistributor {
     // Removal
     // ------------------------------------------------------------------
 
-    /// Removes one chunk (§VI `remove chunk`): deletes the stored object,
-    /// tombstones the table entry and refreshes the stripe parity with the
-    /// slot zeroed.
-    pub fn remove_chunk(
+    pub(crate) fn remove_chunk_impl(
         &self,
         client: &str,
         password: &str,
@@ -833,7 +1231,12 @@ impl CloudDataDistributor {
     /// possible with external outage injection), removal still completes
     /// logically and the unreachable objects are leaked at that provider —
     /// they are addressed only by their virtual ids, which are forgotten.
-    pub fn remove_file(&self, client: &str, password: &str, filename: &str) -> Result<()> {
+    pub(crate) fn remove_file_impl(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+    ) -> Result<()> {
         let mut st = self.state.write();
         let file = st.file(client, filename)?.clone();
         access::authorize(st.client(client)?, password, file.pl)?;
@@ -882,6 +1285,294 @@ impl CloudDataDistributor {
         }
         st.client_mut(client)?.files.remove(filename);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Scrub + repair
+    // ------------------------------------------------------------------
+
+    /// Walks every stripe and verifies each live member's object is where
+    /// the Chunk Table says (provider online and holding the virtual id),
+    /// refreshing the stripes' degraded markers. Operator-side: no client
+    /// credentials involved, and no provider payloads are read.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut st = self.state.write();
+        let mut report = ScrubReport::default();
+        for sid in 0..st.stripes.len() {
+            let members = st.stripes[sid].members.clone();
+            let tolerable = st.stripes[sid].level.fault_tolerance();
+            let mut live = 0usize;
+            let mut missing = 0usize;
+            for &m in &members {
+                let e = &st.chunks[m];
+                if e.removed {
+                    continue;
+                }
+                live += 1;
+                let p = &st.providers[e.provider_idx];
+                if !(p.is_online() && p.contains(e.vid)) {
+                    missing += 1;
+                }
+            }
+            if live == 0 {
+                // Fully removed stripe: nothing left to protect.
+                st.stripes[sid].degraded = false;
+                continue;
+            }
+            report.stripes_checked += 1;
+            report.missing_shards += missing;
+            st.stripes[sid].degraded = missing > 0;
+            if missing == 0 {
+                continue;
+            }
+            if missing <= tolerable {
+                report.degraded.push(sid);
+            } else {
+                report.unreadable.push(sid);
+            }
+        }
+        report
+    }
+
+    /// Repairs every stripe a fresh [`scrub`](Self::scrub) finds unhealthy:
+    /// lost shards are rebuilt from surviving members and re-placed on
+    /// healthy eligible providers (original provider preferred when it is
+    /// back and holds no sibling shard; anti-affinity preserved otherwise).
+    /// Rebuilt objects get fresh virtual ids so they cannot be correlated
+    /// with the lost ones. Stripes beyond their fault tolerance are
+    /// reported in [`RepairReport::failed`].
+    pub fn repair(&self) -> RepairReport {
+        let scrub = self.scrub();
+        let mut st = self.state.write();
+        let mut report = RepairReport::default();
+        let mut per_provider_time: Vec<Duration> =
+            vec![Duration::ZERO; st.providers.len()];
+        for &sid in scrub.degraded.iter().chain(scrub.unreadable.iter()) {
+            match self.repair_stripe(&mut st, sid, &mut per_provider_time) {
+                Ok(n) => {
+                    report.stripes_repaired += 1;
+                    report.shards_rebuilt += n;
+                    st.stripes[sid].degraded = false;
+                }
+                Err(_) => report.failed.push(sid),
+            }
+        }
+        report.failed.sort_unstable();
+        report.sim_time = per_provider_time.into_iter().max().unwrap_or_default();
+        report
+    }
+
+    /// Rebuilds every lost shard of one stripe. Phase 1 reads survivors
+    /// (read-only), phase 2 re-encodes and re-places; an error leaves the
+    /// tables untouched for the shards not yet re-placed.
+    fn repair_stripe(
+        &self,
+        st: &mut Tables,
+        sid: usize,
+        per_provider_time: &mut [Duration],
+    ) -> Result<usize> {
+        let stripe = st.stripes[sid].clone();
+        let width = stripe.shard_width;
+
+        // Phase 1: gather surviving shards, spot the missing ones.
+        let mut available: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut missing: Vec<(usize, usize)> = Vec::new(); // (slot, member idx)
+        let mut hosting: Vec<usize> = Vec::new(); // providers of live shards
+        for (slot, &m) in stripe.members.iter().enumerate() {
+            let (removed, provider_idx, vid) = {
+                let e = &st.chunks[m];
+                (e.removed, e.provider_idx, e.vid)
+            };
+            if removed {
+                // Tombstoned member: contributes a zero shard by contract.
+                available.push((slot, vec![0u8; width]));
+                continue;
+            }
+            let reachable = {
+                let p = &st.providers[provider_idx];
+                p.is_online() && p.contains(vid)
+            };
+            if !reachable {
+                missing.push((slot, m));
+                continue;
+            }
+            let (res, t, _) = self.get_with_retry(st, provider_idx, vid);
+            per_provider_time[provider_idx] += t;
+            match res {
+                Ok(bytes) => {
+                    let mut padded = bytes.to_vec();
+                    padded.resize(width, 0);
+                    available.push((slot, padded));
+                    hosting.push(provider_idx);
+                }
+                Err(_) => missing.push((slot, m)),
+            }
+        }
+        if missing.is_empty() {
+            return Ok(0);
+        }
+
+        // Phase 2a: re-encode the lost shards from the survivors.
+        let codec = StripeCodec::new(stripe.k, stripe.level)?;
+        let refs: Vec<(usize, &[u8])> = available
+            .iter()
+            .map(|(i, b)| (*i, b.as_slice()))
+            .collect();
+        let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
+        for &(slot, m) in &missing {
+            rebuilt.push((m, codec.reconstruct_shard(&refs, slot)?));
+        }
+
+        // Phase 2b: re-place each rebuilt shard.
+        let mut count = 0usize;
+        for (m, shard) in rebuilt {
+            let (orig, pl, stored_len) = {
+                let e = &st.chunks[m];
+                (e.provider_idx, e.pl, e.stored_len)
+            };
+            let target = if st.providers[orig].is_online() && !hosting.contains(&orig) {
+                Some(orig)
+            } else {
+                policy::eligible_providers(&st.providers, pl)
+                    .into_iter()
+                    .filter(|i| !hosting.contains(i))
+                    .min_by(|&a, &b| {
+                        let cost = st.providers[a]
+                            .profile()
+                            .cost_level
+                            .cmp(&st.providers[b].profile().cost_level);
+                        let rep = self
+                            .reputation
+                            .score(b)
+                            .partial_cmp(&self.reputation.score(a))
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        cost.then(rep).then(a.cmp(&b))
+                    })
+            };
+            let Some(target) = target else {
+                return Err(CoreError::NoEligibleProvider { pl });
+            };
+            // Fresh virtual id: the rebuilt object must not be correlatable
+            // with the lost one (§IV-A identity concealment).
+            let new_vid = self.vids.allocate();
+            let payload = Bytes::from(shard[..stored_len].to_vec());
+            let (res, t, _) = self.put_with_retry(st, target, new_vid, payload);
+            per_provider_time[target] += t;
+            res?;
+            let e = &mut st.chunks[m];
+            e.provider_idx = target;
+            e.vid = new_vid;
+            hosting.push(target);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated string-triple API — prefer `session()` + `Session` ops
+    // ------------------------------------------------------------------
+
+    /// Uploads a file at the given privacy level.
+    ///
+    /// The presenting password must be privileged for `pl` (you cannot
+    /// write data you would not be allowed to read back).
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::put_file`")]
+    pub fn put_file(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        data: &[u8],
+        pl: PrivacyLevel,
+        opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        self.put_file_impl(client, password, filename, data, pl, opts)
+    }
+
+    /// Fetches one chunk by ⟨client, password, filename, serial⟩ (§VI
+    /// `get chunk`). Misleading bytes are stripped before return.
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_chunk`")]
+    pub fn get_chunk(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+    ) -> Result<Vec<u8>> {
+        self.get_chunk_impl(client, password, filename, serial)
+    }
+
+    /// Fetches and reassembles a whole file (§VI `get file`).
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_file`")]
+    pub fn get_file(&self, client: &str, password: &str, filename: &str) -> Result<GetReceipt> {
+        self.get_file_impl(client, password, filename)
+    }
+
+    /// Fetches and reassembles a whole file with a **parallel fan-out**:
+    /// one worker thread per involved provider (the §VII-E "benefit of
+    /// parallel query processing as various fragments can be accessed
+    /// simultaneously", realized with real threads rather than the
+    /// simulated clock). Chunks the fan-out misses go through the full
+    /// degraded read path afterwards.
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_file_parallel`")]
+    pub fn get_file_parallel(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+    ) -> Result<GetReceipt> {
+        self.get_file_parallel_impl(client, password, filename)
+    }
+
+    /// Replaces one chunk's contents, snapshotting the pre-state to a
+    /// snapshot provider first (§IV-A: "snapshot provider stores the
+    /// pre-state and cloud provider stores the post-state of a chunk after
+    /// each modification").
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::update_chunk`")]
+    pub fn update_chunk(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+        new_data: &[u8],
+    ) -> Result<()> {
+        self.update_chunk_impl(client, password, filename, serial, new_data)
+    }
+
+    /// Restores a chunk from its snapshot (undo the last update).
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::restore_snapshot`")]
+    pub fn restore_snapshot(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+    ) -> Result<()> {
+        self.restore_snapshot_impl(client, password, filename, serial)
+    }
+
+    /// Removes one chunk (§VI `remove chunk`): deletes the stored object,
+    /// tombstones the table entry and refreshes the stripe parity with the
+    /// slot zeroed.
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::remove_chunk`")]
+    pub fn remove_chunk(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+    ) -> Result<()> {
+        self.remove_chunk_impl(client, password, filename, serial)
+    }
+
+    /// Removes a whole file (§VI `remove file`): data chunks, parity
+    /// chunks, snapshots and all table entries. See
+    /// [`Session::remove_file`](crate::session::Session::remove_file) for
+    /// the atomicity contract.
+    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::remove_file`")]
+    pub fn remove_file(&self, client: &str, password: &str, filename: &str) -> Result<()> {
+        self.remove_file_impl(client, password, filename)
     }
 
     // ------------------------------------------------------------------
@@ -981,6 +1672,10 @@ impl CloudDataDistributor {
 }
 
 #[cfg(test)]
+// The unit tests keep driving the deprecated string-triple wrappers on
+// purpose: they are still public API and must not rot before removal.
+// New surface (Session, scrub/repair) is covered by its own tests.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, PlacementStrategy};
@@ -1556,5 +2251,269 @@ mod tests {
         assert!(t.contains("Cloud Provider"));
         assert!(t.contains("Bob"));
         assert!(t.contains("file1"));
+    }
+
+    // --- degraded-mode engine ---------------------------------------
+
+    #[test]
+    fn degraded_write_replaces_shard_on_spare_provider() {
+        // 6 providers, stripes use 4 (3 data + P): two spares. One provider
+        // passes placement but dies on its very first op — the engine must
+        // re-place that shard on a spare and keep the stripe healthy.
+        let d = distributor();
+        d.providers()[0].fail_after_ops(0);
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        let scrub = d.scrub();
+        assert!(scrub.is_healthy(), "{scrub:?}");
+        assert_eq!(s.get_file("f").unwrap().data, data(40));
+    }
+
+    #[test]
+    fn degraded_write_skips_shard_when_no_spare_exists() {
+        // Exactly 4 providers for a 3+P stripe: no spares. A mid-write
+        // death leaves the stripe degraded-but-readable; repair heals it
+        // once the provider returns.
+        let d = CloudDataDistributor::new(fleet(4, PrivacyLevel::High), small_config());
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        d.providers()[1].fail_after_ops(0);
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+
+        let scrub = d.scrub();
+        assert_eq!(scrub.degraded.len() + scrub.unreadable.len(), 1);
+        assert!(scrub.unreadable.is_empty(), "{scrub:?}");
+        assert_eq!(scrub.missing_shards, 1);
+        // Degraded ≠ unavailable: the file still reads back correctly.
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(40));
+
+        // While the provider is still down and every peer hosts a sibling,
+        // repair has nowhere to put the rebuilt shard.
+        let failed = d.repair();
+        assert!(!failed.is_complete(), "{failed:?}");
+
+        // Provider back (fail_after cleared by set_online) → full heal.
+        d.providers()[1].set_online(true);
+        let report = d.repair();
+        assert!(report.is_complete(), "{report:?}");
+        assert_eq!(report.shards_rebuilt, 1);
+        assert!(d.scrub().is_healthy());
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(40));
+        assert_eq!(receipt.reconstructed_chunks, 0);
+        assert_eq!(receipt.degraded_chunks, 0);
+    }
+
+    #[test]
+    fn repair_rebuilds_after_total_provider_loss() {
+        // A provider dies *with* its stored objects (outage keeps the
+        // store, but scrub/repair must treat it as lost while offline).
+        let d = distributor();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(96), PrivacyLevel::Low, PutOptions::new())
+            .unwrap();
+        let victim = {
+            let st = d.state_ref();
+            st.chunks[0].provider_idx
+        };
+        d.providers()[victim].set_online(false);
+
+        let scrub = d.scrub();
+        assert!(!scrub.is_healthy());
+        let report = d.repair();
+        assert!(report.is_complete(), "{report:?}");
+        assert!(report.shards_rebuilt >= 1);
+        // Rebuilt shards moved to healthy providers under fresh vids, so
+        // the fleet is whole again even with the victim still dark.
+        assert!(d.scrub().is_healthy());
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(96));
+        assert_eq!(receipt.reconstructed_chunks, 0);
+    }
+
+    #[test]
+    fn retries_surface_in_receipt_and_sim_time() {
+        let d = distributor();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        let healthy_time = s.get_file("f").unwrap().sim_time;
+        let victim = {
+            let st = d.state_ref();
+            st.chunks[0].provider_idx
+        };
+        d.providers()[victim].set_online(false);
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(40));
+        assert!(receipt.reconstructed_chunks >= 1);
+        assert!(receipt.degraded_chunks >= 1);
+        // Default policy: 3 attempts → 2 retries against the dead primary,
+        // and their backoff waits sit on the simulated clock.
+        assert!(receipt.retries >= 2, "retries={}", receipt.retries);
+        assert!(receipt.sim_time > healthy_time);
+    }
+
+    #[test]
+    fn retry_deadline_caps_the_wait() {
+        let mut config = small_config();
+        config.resilience.retry = crate::resilience::RetryPolicy {
+            max_attempts: 50,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(10),
+            jitter: 0.0,
+            op_deadline: Some(Duration::from_millis(15)),
+        };
+        config.raid_level = RaidLevel::None;
+        let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        let victim = {
+            let st = d.state_ref();
+            st.chunks[0].provider_idx
+        };
+        d.providers()[victim].set_online(false);
+        // 10ms + 10ms backoff > 15ms deadline → Timeout on the second wait,
+        // long before the 50-attempt budget.
+        let err = s.get_file("f").unwrap_err();
+        assert!(
+            matches!(err, CoreError::Timeout { .. }),
+            "expected Timeout, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unstriped_loss_reports_retries_exhausted() {
+        let mut config = small_config();
+        config.raid_level = RaidLevel::None;
+        let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        let victim = {
+            let st = d.state_ref();
+            st.chunks[0].provider_idx
+        };
+        d.providers()[victim].set_online(false);
+        let err = s.get_file("f").unwrap_err();
+        assert!(
+            matches!(err, CoreError::RetriesExhausted { attempts } if attempts >= 3),
+            "expected RetriesExhausted, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn hedged_read_beats_a_straggler() {
+        use fragcloud_sim::net::LatencyModel;
+        use fragcloud_sim::ProviderProfile;
+        // Provider 0 is a WAN-grade straggler; the rest are LAN-fast.
+        let mut providers: Vec<Arc<CloudProvider>> = Vec::new();
+        for i in 0..6 {
+            let mut profile = ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new(0),
+            );
+            if i == 0 {
+                profile.latency = LatencyModel {
+                    base: Duration::from_millis(400),
+                    bandwidth_bps: 1_000_000.0,
+                    jitter: 0.0,
+                };
+            }
+            providers.push(Arc::new(CloudProvider::new(profile)));
+        }
+        let mut config = small_config();
+        config.resilience.hedge_threshold = Some(Duration::from_millis(50));
+        let d = CloudDataDistributor::new(providers, config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+
+        let slow_holds_data = {
+            let st = d.state_ref();
+            st.chunks.iter().any(|c| {
+                c.provider_idx == 0 && matches!(c.role, ChunkRole::Data { .. })
+            })
+        };
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(40));
+        if slow_holds_data {
+            assert!(receipt.hedged_chunks >= 1, "{receipt:?}");
+            // The winner's time is charged: well under the straggler's base.
+            assert!(receipt.sim_time < Duration::from_millis(400));
+        }
+    }
+
+    #[test]
+    fn reputation_reorders_candidates_after_failures() {
+        let d = distributor();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file(
+            "f",
+            &data(8), // single chunk → one primary, one replica
+            PrivacyLevel::High,
+            PutOptions::new().replicas(1),
+        )
+        .unwrap();
+        let primary = {
+            let st = d.state_ref();
+            st.chunks[0].provider_idx
+        };
+        d.providers()[primary].set_online(false);
+        // First read with equal scores tries the primary first: retries.
+        assert!(s.get_file("f").unwrap().retries > 0);
+        // The recorded failures push the primary behind the replica; once
+        // reordered, reads go straight to the replica — no retries — even
+        // though the primary is still dark.
+        for _ in 0..6 {
+            s.get_file("f").unwrap();
+        }
+        let receipt = s.get_file("f").unwrap();
+        assert_eq!(receipt.data, data(8));
+        assert_eq!(receipt.retries, 0, "{receipt:?}");
+        assert_eq!(receipt.reconstructed_chunks, 0);
+    }
+
+    #[test]
+    fn scrub_ignores_removed_stripes_and_persist_round_trips_degraded() {
+        let d = CloudDataDistributor::new(fleet(4, PrivacyLevel::High), small_config());
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        d.providers()[1].fail_after_ops(0);
+        let s = d.session("Bob", "Ty7e").unwrap();
+        s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        assert_eq!(d.scrub().degraded.len(), 1);
+
+        // The degraded marker survives a persist round-trip.
+        let snapshot = crate::persist::export_state(&d);
+        assert!(snapshot.contains("|degraded"));
+        let d2 = crate::persist::import_state(
+            &snapshot,
+            d.providers(),
+            *d.config(),
+        )
+        .unwrap();
+        let st = d2.state_ref();
+        assert!(st.stripes.iter().any(|s| s.degraded));
+        drop(st);
+
+        // Removing the file clears the stripe from scrub's ledger.
+        d.providers()[1].set_online(true);
+        s.remove_file("f").unwrap();
+        let scrub = d.scrub();
+        assert_eq!(scrub.stripes_checked, 0);
+        assert!(scrub.is_healthy());
     }
 }

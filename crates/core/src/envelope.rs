@@ -92,14 +92,14 @@ impl<'a> EncryptedClient<'a> {
         };
         let receipt = self
             .distributor
-            .put_file(client, password, filename, &payload, pl, opts)?;
+            .put_file_impl(client, password, filename, &payload, pl, opts)?;
         self.modes.insert(filename.to_string(), (mode, range));
         Ok(receipt)
     }
 
     /// Retrieves and decrypts a file uploaded through this wrapper.
     pub fn get_file(&self, client: &str, password: &str, filename: &str) -> Result<Vec<u8>> {
-        let receipt = self.distributor.get_file(client, password, filename)?;
+        let receipt = self.distributor.get_file_impl(client, password, filename)?;
         let mut data = receipt.data;
         if let Some((_, Some(range))) = self.modes.get(filename) {
             if !range.is_empty() {
@@ -117,6 +117,10 @@ impl<'a> EncryptedClient<'a> {
 }
 
 #[cfg(test)]
+// The unit tests keep driving the deprecated string-triple wrappers on
+// purpose: they are still public API and must not rot before removal.
+// New surface (Session, scrub/repair) is covered by its own tests.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, DistributorConfig};

@@ -46,15 +46,25 @@ pub mod multi;
 pub mod persist;
 pub mod policy;
 pub mod rebalance;
+pub mod resilience;
+pub mod session;
 pub mod tables;
 pub mod vid;
 
-pub use config::DistributorConfig;
-pub use distributor::{CloudDataDistributor, PutOptions, PutReceipt};
+pub use config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
+pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
+pub use resilience::{RepairReport, ResilienceConfig, RetryPolicy, ScrubReport};
+pub use session::{Credentials, Session};
 
 /// Errors surfaced by the distributor.
+///
+/// Marked `#[non_exhaustive]`: new failure modes (like the degraded-mode
+/// engine's [`Timeout`](CoreError::Timeout) and
+/// [`RetriesExhausted`](CoreError::RetriesExhausted)) may be added without
+/// a breaking release, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// Unknown client name.
     UnknownClient(String),
@@ -107,6 +117,18 @@ pub enum CoreError {
     },
     /// The addressed distributor node is down.
     DistributorDown(String),
+    /// An operation's cumulative simulated retry wait exceeded the
+    /// [`RetryPolicy::op_deadline`](resilience::RetryPolicy::op_deadline).
+    Timeout {
+        /// Provider the operation was addressed to.
+        provider: String,
+    },
+    /// Every attempt in the per-operation retry budget failed (and no
+    /// replica or parity path could absorb the loss).
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -135,6 +157,12 @@ impl std::fmt::Display for CoreError {
                 write!(f, "not the primary distributor for {client:?} (primary: {primary})")
             }
             CoreError::DistributorDown(n) => write!(f, "distributor {n} is down"),
+            CoreError::Timeout { provider } => {
+                write!(f, "operation against {provider} exceeded its deadline")
+            }
+            CoreError::RetriesExhausted { attempts } => {
+                write!(f, "operation failed after {attempts} attempts")
+            }
         }
     }
 }

@@ -13,6 +13,7 @@
 //! enforces the primary-for-writes rule, and supports failover promotion.
 
 use crate::distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
+use crate::resilience::{RepairReport, ScrubReport};
 use crate::{CoreError, PrivacyLevel, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -129,7 +130,7 @@ impl DistributorGroup {
             });
         }
         self.shared
-            .put_file(client, password, filename, data, pl, opts)
+            .put_file_impl(client, password, filename, data, pl, opts)
     }
 
     /// Retrieval may go through **any** online node (the secondaries'
@@ -142,7 +143,7 @@ impl DistributorGroup {
         filename: &str,
     ) -> Result<GetReceipt> {
         self.check_up(via)?;
-        self.shared.get_file(client, password, filename)
+        self.shared.get_file_impl(client, password, filename)
     }
 
     /// Promotes the lowest-indexed online node to primary for a client
@@ -157,6 +158,20 @@ impl DistributorGroup {
             .ok_or_else(|| CoreError::DistributorDown("all".to_string()))?;
         self.primary_of.write().insert(client.to_string(), new);
         Ok(new)
+    }
+
+    /// Operator-side stripe audit, addressed through node `via` (any
+    /// online node may run maintenance, like retrieval in Fig. 2).
+    pub fn scrub(&self, via: usize) -> Result<ScrubReport> {
+        self.check_up(via)?;
+        Ok(self.shared.scrub())
+    }
+
+    /// Rebuilds the degraded stripes a fresh scrub finds, through node
+    /// `via`.
+    pub fn repair(&self, via: usize) -> Result<RepairReport> {
+        self.check_up(via)?;
+        Ok(self.shared.repair())
     }
 
     fn check_up(&self, idx: usize) -> Result<()> {

@@ -1,0 +1,270 @@
+//! Degraded-mode I/O policy: retry budgets with deterministic backoff,
+//! hedged-read thresholds, and scrub/repair reporting.
+//!
+//! The paper motivates multi-provider distribution with the April 2011 EC2
+//! outage (§I) and claims "greater availability of data" (§III-B), but its
+//! system design stops at *placement*. This module supplies the runtime
+//! half: what the distributor does when a provider misbehaves mid-request —
+//! how often it retries, how long it (virtually) waits, when a slow read is
+//! hedged by racing the parity path, and how an operator walks and heals
+//! the degraded stripes left behind by failures.
+//!
+//! Everything here is deterministic under a fixed seed: backoff jitter is
+//! hashed from `(seed, attempt)`, not sampled from a shared RNG, and all
+//! waiting is charged to the *simulated* clock (see `fragcloud_sim::net`),
+//! never to wall time.
+
+use std::time::Duration;
+
+/// Per-operation retry budget with capped exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per provider operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff wait.
+    pub max_backoff: Duration,
+    /// Multiplicative jitter amplitude in `[0, 1)`: each wait is scaled by
+    /// a deterministic factor in `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Budget on the *total* simulated wait per operation; exceeding it
+    /// surfaces as [`CoreError::Timeout`](crate::CoreError::Timeout)
+    /// instead of further retries. `None` = bounded by attempts only.
+    pub op_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            jitter: 0.25,
+            op_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (and never waits).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            op_deadline: None,
+        }
+    }
+
+    /// Panics on invalid settings; called via `DistributorConfig::validate`.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "max_attempts must be >= 1");
+        assert!(
+            (0.0..1.0).contains(&self.jitter),
+            "retry jitter must be in [0, 1)"
+        );
+        assert!(
+            self.max_backoff >= self.base_backoff,
+            "max_backoff must be >= base_backoff"
+        );
+    }
+
+    /// Simulated wait before retry number `attempt` (1-based: the wait
+    /// after the first failure is `backoff(1, …)`). Deterministic: the
+    /// jitter is hashed from `(seed, attempt)`, so a fixed distributor
+    /// seed replays the exact same schedule.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self.base_backoff.as_secs_f64()
+            * 2f64.powi(attempt.saturating_sub(1).min(62) as i32);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        if self.jitter == 0.0 {
+            return Duration::from_secs_f64(capped);
+        }
+        // splitmix-style finalizer over (seed, attempt) → unit in [0, 1)
+        let mut h = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + (2.0 * unit - 1.0) * self.jitter;
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+/// Degraded-mode knobs for the distributor's I/O engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry budget applied to every provider `get`/`put` the engine issues.
+    pub retry: RetryPolicy,
+    /// Hedged reads: when the primary's *estimated* transfer time exceeds
+    /// this threshold and the stripe's parity path is predicted to be
+    /// faster, the read races the reconstruction against the straggler and
+    /// the simulated clock is charged the winner. `None` disables hedging.
+    pub hedge_threshold: Option<Duration>,
+    /// Order a chunk's candidate sources (primary + replicas) by live
+    /// reputation score instead of stored order.
+    pub reputation_ordering: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            hedge_threshold: None,
+            reputation_ordering: true,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Panics on invalid settings.
+    pub fn validate(&self) {
+        self.retry.validate();
+    }
+}
+
+/// Findings of a [`scrub`](crate::CloudDataDistributor::scrub) pass over
+/// the stripe list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stripes examined (fully removed stripes are skipped).
+    pub stripes_checked: usize,
+    /// Stripe ids with at least one lost shard, still within the level's
+    /// fault tolerance (readable, but one failure closer to data loss).
+    pub degraded: Vec<usize>,
+    /// Stripe ids with more shards lost than the level tolerates.
+    pub unreadable: Vec<usize>,
+    /// Total primary shard objects found missing or unreachable.
+    pub missing_shards: usize,
+}
+
+impl ScrubReport {
+    /// Whether every stripe had all its shards where the tables said.
+    pub fn is_healthy(&self) -> bool {
+        self.degraded.is_empty() && self.unreadable.is_empty()
+    }
+}
+
+/// Outcome of a [`repair`](crate::CloudDataDistributor::repair) pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairReport {
+    /// Stripes restored to full health.
+    pub stripes_repaired: usize,
+    /// Individual shards re-encoded and re-placed.
+    pub shards_rebuilt: usize,
+    /// Stripe ids that could not be fully repaired (beyond fault tolerance,
+    /// or no eligible provider to host the rebuilt shard).
+    pub failed: Vec<usize>,
+    /// Simulated time of the repair traffic (peer reads + shard writes).
+    pub sim_time: Duration,
+}
+
+impl RepairReport {
+    /// Whether the pass left no stripe behind.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let b1 = p.backoff(1, 0);
+        let b2 = p.backoff(2, 0);
+        let b3 = p.backoff(3, 0);
+        assert_eq!(b1, Duration::from_millis(2));
+        assert_eq!(b2, Duration::from_millis(4));
+        assert_eq!(b3, Duration::from_millis(8));
+        // Far-out attempts hit the cap.
+        assert_eq!(p.backoff(30, 0), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6 {
+            for seed in [0u64, 1, 0xDEAD_BEEF] {
+                let a = p.backoff(attempt, seed);
+                let b = p.backoff(attempt, seed);
+                assert_eq!(a, b, "same (attempt, seed) must agree");
+                let nominal = RetryPolicy {
+                    jitter: 0.0,
+                    ..p
+                }
+                .backoff(attempt, seed)
+                .as_secs_f64();
+                let ratio = a.as_secs_f64() / nominal;
+                assert!(
+                    (1.0 - p.jitter - 1e-9..=1.0 + p.jitter + 1e-9).contains(&ratio),
+                    "attempt={attempt} seed={seed} ratio={ratio}"
+                );
+            }
+        }
+        // Different seeds decorrelate.
+        assert_ne!(p.backoff(1, 1), p.backoff(1, 2));
+    }
+
+    #[test]
+    fn none_policy_is_a_single_attempt() {
+        let p = RetryPolicy::none();
+        p.validate();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff(1, 7), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn zero_attempts_rejected() {
+        RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn full_jitter_rejected() {
+        RetryPolicy {
+            jitter: 1.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn reports_summarize_health() {
+        let healthy = ScrubReport {
+            stripes_checked: 4,
+            ..Default::default()
+        };
+        assert!(healthy.is_healthy());
+        let sick = ScrubReport {
+            stripes_checked: 4,
+            degraded: vec![2],
+            unreadable: vec![],
+            missing_shards: 1,
+        };
+        assert!(!sick.is_healthy());
+        assert!(RepairReport::default().is_complete());
+        assert!(!RepairReport {
+            failed: vec![1],
+            ..Default::default()
+        }
+        .is_complete());
+    }
+
+    #[test]
+    fn default_resilience_validates() {
+        ResilienceConfig::default().validate();
+    }
+}

@@ -1,0 +1,320 @@
+//! Typed client API: [`Credentials`] plus a [`Session`] handle.
+//!
+//! The original surface took ⟨client, password⟩ as loose string pairs on
+//! every call, which made it easy to swap arguments or re-authenticate on
+//! each operation. A [`Session`] is opened once through
+//! [`CloudDataDistributor::session`] — validating the client and password
+//! up front — and then exposes the per-file operations without repeating
+//! the credentials:
+//!
+//! ```
+//! use fragcloud_core::{CloudDataDistributor, DistributorConfig, PutOptions};
+//! use fragcloud_sim::{CloudProvider, CostLevel, PrivacyLevel, ProviderProfile};
+//! use std::sync::Arc;
+//!
+//! let fleet: Vec<_> = (0..6)
+//!     .map(|i| {
+//!         Arc::new(CloudProvider::new(ProviderProfile::new(
+//!             format!("cp{i}"),
+//!             PrivacyLevel::High,
+//!             CostLevel::new(i % 4),
+//!         )))
+//!     })
+//!     .collect();
+//! let d = CloudDataDistributor::new(fleet, DistributorConfig::default());
+//! d.register_client("Bob").unwrap();
+//! d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+//!
+//! let session = d.session("Bob", "Ty7e").unwrap();
+//! session
+//!     .put_file("a.txt", b"hello", PrivacyLevel::High, PutOptions::new())
+//!     .unwrap();
+//! assert_eq!(session.get_file("a.txt").unwrap().data, b"hello");
+//! ```
+//!
+//! Access control is unchanged: the password's privacy level is still
+//! checked against each chunk's level *per operation* (§V), so a `Public`
+//! session can open fine and still be denied on `High` data.
+
+use crate::access;
+use crate::distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
+use crate::Result;
+use fragcloud_sim::PrivacyLevel;
+use std::fmt;
+
+/// A validated ⟨client, password⟩ pair.
+///
+/// The password is deliberately not readable outside this crate, and the
+/// `Debug` form redacts it so credentials cannot leak through logs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Credentials {
+    client: String,
+    password: String,
+}
+
+impl Credentials {
+    /// Bundles a client name and one of its passwords.
+    pub fn new(client: impl Into<String>, password: impl Into<String>) -> Self {
+        Credentials {
+            client: client.into(),
+            password: password.into(),
+        }
+    }
+
+    /// The client name.
+    pub fn client(&self) -> &str {
+        &self.client
+    }
+
+    pub(crate) fn password(&self) -> &str {
+        &self.password
+    }
+}
+
+impl fmt::Debug for Credentials {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Credentials")
+            .field("client", &self.client)
+            .field("password", &"<redacted>")
+            .finish()
+    }
+}
+
+/// A client's authenticated handle onto a distributor.
+///
+/// Created by [`CloudDataDistributor::session`]; borrows the distributor,
+/// so it cannot outlive it.
+#[derive(Debug)]
+pub struct Session<'d> {
+    distributor: &'d CloudDataDistributor,
+    credentials: Credentials,
+    privilege: PrivacyLevel,
+}
+
+impl CloudDataDistributor {
+    /// Opens a typed session for `client`, failing fast with
+    /// [`CoreError::AccessDenied`](crate::CoreError::AccessDenied) when the
+    /// password is not one of the client's registered pairs (§V).
+    pub fn session(&self, client: &str, password: &str) -> Result<Session<'_>> {
+        self.session_with(Credentials::new(client, password))
+    }
+
+    /// [`session`](Self::session) with pre-built [`Credentials`].
+    pub fn session_with(&self, credentials: Credentials) -> Result<Session<'_>> {
+        let privilege = {
+            let st = self.state_ref();
+            access::password_level(st.client(credentials.client())?, credentials.password())?
+        };
+        Ok(Session {
+            distributor: self,
+            credentials,
+            privilege,
+        })
+    }
+}
+
+impl fmt::Debug for CloudDataDistributor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CloudDataDistributor").finish_non_exhaustive()
+    }
+}
+
+impl<'d> Session<'d> {
+    /// The credentials this session was opened with (password redacted in
+    /// `Debug`).
+    pub fn credentials(&self) -> &Credentials {
+        &self.credentials
+    }
+
+    /// The client name.
+    pub fn client(&self) -> &str {
+        self.credentials.client()
+    }
+
+    /// Highest privacy level this session's password may touch (§V) —
+    /// resolved once at session open.
+    pub fn privilege(&self) -> PrivacyLevel {
+        self.privilege
+    }
+
+    /// The distributor this session is bound to.
+    pub fn distributor(&self) -> &'d CloudDataDistributor {
+        self.distributor
+    }
+
+    /// Uploads a file at the given privacy level; see
+    /// [`PutOptions`] for per-upload knobs.
+    pub fn put_file(
+        &self,
+        filename: &str,
+        data: &[u8],
+        pl: PrivacyLevel,
+        opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        self.distributor.put_file_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            data,
+            pl,
+            opts,
+        )
+    }
+
+    /// Fetches and reassembles a whole file (§VI `get file`) through the
+    /// degraded-mode read path.
+    pub fn get_file(&self, filename: &str) -> Result<GetReceipt> {
+        self.distributor.get_file_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+        )
+    }
+
+    /// [`get_file`](Self::get_file) with a parallel per-provider fan-out.
+    pub fn get_file_parallel(&self, filename: &str) -> Result<GetReceipt> {
+        self.distributor.get_file_parallel_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+        )
+    }
+
+    /// Fetches one chunk by serial number (§VI `get chunk`).
+    pub fn get_chunk(&self, filename: &str, serial: u32) -> Result<Vec<u8>> {
+        self.distributor.get_chunk_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            serial,
+        )
+    }
+
+    /// Replaces one chunk's contents, snapshotting the pre-state first
+    /// (§IV-A).
+    pub fn update_chunk(&self, filename: &str, serial: u32, new_data: &[u8]) -> Result<()> {
+        self.distributor.update_chunk_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            serial,
+            new_data,
+        )
+    }
+
+    /// Restores a chunk from its snapshot (undo the last update).
+    pub fn restore_snapshot(&self, filename: &str, serial: u32) -> Result<()> {
+        self.distributor.restore_snapshot_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            serial,
+        )
+    }
+
+    /// Removes one chunk (§VI `remove chunk`).
+    pub fn remove_chunk(&self, filename: &str, serial: u32) -> Result<()> {
+        self.distributor.remove_chunk_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            serial,
+        )
+    }
+
+    /// Removes a whole file (§VI `remove file`): data chunks, parity
+    /// chunks, snapshots and all table entries. The involved providers are
+    /// availability-checked before any mutation, so an outage yields a
+    /// clean error with the file untouched.
+    pub fn remove_file(&self, filename: &str) -> Result<()> {
+        self.distributor.remove_file_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+        )
+    }
+
+    /// Chunk count notified for a file (valid serials `0..n`).
+    pub fn file_chunk_count(&self, filename: &str) -> Result<usize> {
+        self.distributor
+            .file_chunk_count(self.credentials.client(), filename)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DistributorConfig;
+    use crate::CoreError;
+    use fragcloud_sim::{CloudProvider, CostLevel, ProviderProfile};
+    use std::sync::Arc;
+
+    fn distributor() -> CloudDataDistributor {
+        let fleet: Vec<_> = (0..6)
+            .map(|i| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    format!("cp{i}"),
+                    PrivacyLevel::High,
+                    CostLevel::new((i % 4) as u8),
+                )))
+            })
+            .collect();
+        let d = CloudDataDistributor::new(fleet, DistributorConfig::default());
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        d.add_password("Bob", "aB1c", PrivacyLevel::Public).unwrap();
+        d
+    }
+
+    #[test]
+    fn session_validates_up_front() {
+        let d = distributor();
+        assert!(d.session("Bob", "Ty7e").is_ok());
+        assert_eq!(
+            d.session("Bob", "wrong").unwrap_err(),
+            CoreError::AccessDenied
+        );
+        assert!(matches!(
+            d.session("Eve", "Ty7e").unwrap_err(),
+            CoreError::UnknownClient(_)
+        ));
+    }
+
+    #[test]
+    fn session_round_trip_and_privilege() {
+        let d = distributor();
+        let s = d.session("Bob", "Ty7e").unwrap();
+        assert_eq!(s.client(), "Bob");
+        assert_eq!(s.privilege(), PrivacyLevel::High);
+        s.put_file("f", b"abc", PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        assert_eq!(s.get_file("f").unwrap().data, b"abc");
+        assert_eq!(s.file_chunk_count("f").unwrap(), 1);
+        s.remove_file("f").unwrap();
+        assert!(s.get_file("f").is_err());
+    }
+
+    #[test]
+    fn low_privilege_session_opens_but_is_denied_per_op() {
+        let d = distributor();
+        let high = d.session("Bob", "Ty7e").unwrap();
+        high.put_file("secret", b"xyz", PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        // A Public session opens fine (valid pair) but §V denies the read.
+        let public = d.session("Bob", "aB1c").unwrap();
+        assert_eq!(public.privilege(), PrivacyLevel::Public);
+        assert_eq!(
+            public.get_file("secret").unwrap_err(),
+            CoreError::AccessDenied
+        );
+    }
+
+    #[test]
+    fn credentials_debug_redacts_password() {
+        let c = Credentials::new("Bob", "Ty7e");
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("Bob"));
+        assert!(!dbg.contains("Ty7e"));
+        assert!(dbg.contains("<redacted>"));
+    }
+}

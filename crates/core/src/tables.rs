@@ -86,6 +86,10 @@ pub struct StripeInfo {
     pub members: Vec<usize>,
     /// Common padded shard width used for parity math.
     pub shard_width: usize,
+    /// Degraded marker: at least one member shard is known lost (write
+    /// skipped a dead provider, or a scrub found the object missing) and a
+    /// repair pass has not yet re-materialized it.
+    pub degraded: bool,
 }
 
 /// One file's metadata inside a client entry.

@@ -238,6 +238,55 @@ impl StripeCodec {
         blob.truncate(original_len);
         Ok(blob)
     }
+
+    /// Rebuilds **one** shard (data `0..k`, parity `k` = P, `k+1` = Q) from
+    /// the surviving shards — the repair path's workhorse: a scrubber that
+    /// found a single lost shard re-materializes exactly that shard instead
+    /// of decoding and re-encoding the whole stripe.
+    ///
+    /// All shards in `available` must share one width; the returned shard
+    /// has that width (parity shards always do; data shards may need the
+    /// caller to trim trailing padding using its recorded stored length).
+    pub fn reconstruct_shard(
+        &self,
+        available: &[(usize, &[u8])],
+        target: usize,
+    ) -> Result<Vec<u8>> {
+        let k = self.data_shards;
+        let total = self.total_shards();
+        if target >= total {
+            return Err(RaidError::BadGeometry {
+                detail: format!("target shard {target} out of range (total {total})"),
+            });
+        }
+        // A surviving copy of the target needs no math.
+        if let Some((_, s)) = available.iter().find(|(i, _)| *i == target) {
+            return Ok(s.to_vec());
+        }
+        let width = available.first().map_or(0, |(_, s)| s.len());
+        // Rebuild the full data section (decode already handles every
+        // erasure pattern the level tolerates), then either slice out the
+        // missing data shard or recompute the missing parity from it.
+        let others: Vec<(usize, &[u8])> = available
+            .iter()
+            .filter(|(i, _)| *i != target)
+            .copied()
+            .collect();
+        let blob = self.decode(&others, k * width)?;
+        if target < k {
+            return Ok(blob[target * width..(target + 1) * width].to_vec());
+        }
+        let data: Vec<&[u8]> = blob.chunks(width.max(1)).take(k).collect();
+        let data = if width == 0 { vec![&[] as &[u8]; k] } else { data };
+        match (self.level, target - k) {
+            (RaidLevel::Raid5, 0) => raid5::parity(&data),
+            (RaidLevel::Raid6, 0) => Ok(raid6::parity(&data)?.p),
+            (RaidLevel::Raid6, 1) => Ok(raid6::parity(&data)?.q),
+            _ => Err(RaidError::BadGeometry {
+                detail: format!("level {} has no parity shard {target}", self.level),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +421,73 @@ mod tests {
         assert_eq!(RaidLevel::Raid5.parity_shards(), 1);
         assert_eq!(RaidLevel::Raid6.parity_shards(), 2);
         assert_eq!(format!("{}", RaidLevel::Raid6), "raid6");
+    }
+
+    #[test]
+    fn reconstruct_shard_rebuilds_any_single_member() {
+        for level in [RaidLevel::Raid5, RaidLevel::Raid6] {
+            let codec = StripeCodec::new(4, level).unwrap();
+            let b = blob(97);
+            let enc = codec.encode(&b).unwrap();
+            for lost in 0..codec.total_shards() {
+                let a: Vec<(usize, &[u8])> = avail(&enc)
+                    .into_iter()
+                    .filter(|(i, _)| *i != lost)
+                    .collect();
+                let rebuilt = codec.reconstruct_shard(&a, lost).unwrap();
+                assert_eq!(rebuilt, enc.shards[lost], "level={level} lost={lost}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_shard_rebuilds_under_double_loss_raid6() {
+        let codec = StripeCodec::new(5, RaidLevel::Raid6).unwrap();
+        let b = blob(211);
+        let enc = codec.encode(&b).unwrap();
+        let t = codec.total_shards();
+        for l1 in 0..t {
+            for l2 in (l1 + 1)..t {
+                let a: Vec<(usize, &[u8])> = avail(&enc)
+                    .into_iter()
+                    .filter(|(i, _)| *i != l1 && *i != l2)
+                    .collect();
+                for lost in [l1, l2] {
+                    let rebuilt = codec.reconstruct_shard(&a, lost).unwrap();
+                    assert_eq!(rebuilt, enc.shards[lost], "lost {l1},{l2} → {lost}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_shard_returns_surviving_copy_verbatim() {
+        let codec = StripeCodec::new(3, RaidLevel::Raid5).unwrap();
+        let enc = codec.encode(&blob(40)).unwrap();
+        let a = avail(&enc);
+        for i in 0..codec.total_shards() {
+            assert_eq!(codec.reconstruct_shard(&a, i).unwrap(), enc.shards[i]);
+        }
+    }
+
+    #[test]
+    fn reconstruct_shard_rejects_bad_targets_and_excess_loss() {
+        let codec = StripeCodec::new(4, RaidLevel::Raid5).unwrap();
+        let enc = codec.encode(&blob(64)).unwrap();
+        let a = avail(&enc);
+        assert!(matches!(
+            codec.reconstruct_shard(&a, 9),
+            Err(RaidError::BadGeometry { .. })
+        ));
+        // Two losses exceed RAID-5's tolerance.
+        let short: Vec<(usize, &[u8])> = a
+            .into_iter()
+            .filter(|(i, _)| *i != 0 && *i != 1)
+            .collect();
+        assert!(matches!(
+            codec.reconstruct_shard(&short, 0),
+            Err(RaidError::TooManyErasures { .. })
+        ));
     }
 
     #[test]

@@ -6,8 +6,57 @@
 //! from per-provider availability probabilities and check whether each
 //! file's stripes remain decodable.
 
+use crate::provider::CloudProvider;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A scripted sequence of **mid-stream** provider deaths: each event kills
+/// one provider after it serves a given number of further operations, so an
+/// outage can land in the middle of a multi-chunk read exactly like the
+/// April 2011 EC2 incident landed mid-workload (§I).
+///
+/// ```
+/// # use fragcloud_sim::{CloudProvider, CostLevel, PrivacyLevel, ProviderProfile};
+/// # use fragcloud_sim::failure::OutageScript;
+/// # use std::sync::Arc;
+/// # let fleet: Vec<Arc<CloudProvider>> = (0..3).map(|i| Arc::new(CloudProvider::new(
+/// #     ProviderProfile::new(format!("cp{i}"), PrivacyLevel::High, CostLevel::new(1))))).collect();
+/// OutageScript::new().kill_after(0, 2).kill_after(2, 5).arm(&fleet);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OutageScript {
+    events: Vec<(usize, u64)>,
+}
+
+impl OutageScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event: provider `idx` dies after serving `ops` more
+    /// operations (`0` = its very next request fails).
+    pub fn kill_after(mut self, idx: usize, ops: u64) -> Self {
+        self.events.push((idx, ops));
+        self
+    }
+
+    /// Scheduled events as `(provider index, ops before death)` pairs.
+    pub fn events(&self) -> &[(usize, u64)] {
+        &self.events
+    }
+
+    /// Arms every event against a live fleet.
+    ///
+    /// # Panics
+    /// Panics when an event's provider index is out of range.
+    pub fn arm(&self, fleet: &[Arc<CloudProvider>]) {
+        for &(idx, ops) in &self.events {
+            fleet[idx].fail_after_ops(ops);
+        }
+    }
+}
 
 /// Independent per-provider availability model.
 #[derive(Debug, Clone)]
@@ -154,6 +203,30 @@ mod tests {
         assert!(k_of_n_availability(4, 5, 0.95) > k_of_n_availability(5, 5, 0.95));
         // RAID-6 style 4-of-6 beats 4-of-5.
         assert!(k_of_n_availability(4, 6, 0.95) > k_of_n_availability(4, 5, 0.95));
+    }
+
+    #[test]
+    fn outage_script_arms_fleet() {
+        use crate::store::ObjectStore;
+        use crate::types::{CostLevel, PrivacyLevel, VirtualId};
+        use crate::{CloudProvider, ProviderProfile};
+        let fleet: Vec<Arc<CloudProvider>> = (0..2)
+            .map(|i| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    format!("cp{i}"),
+                    PrivacyLevel::High,
+                    CostLevel::new(1),
+                )))
+            })
+            .collect();
+        fleet[0].put(VirtualId(1), bytes::Bytes::from_static(b"x")).unwrap();
+        let script = OutageScript::new().kill_after(0, 1);
+        assert_eq!(script.events(), &[(0, 1)]);
+        script.arm(&fleet);
+        assert!(fleet[0].get(VirtualId(1)).is_ok());
+        assert!(fleet[0].get(VirtualId(1)).is_err());
+        assert!(!fleet[0].is_online());
+        assert!(fleet[1].is_online());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Static description of a provider, mirroring one row of the paper's
@@ -71,6 +71,9 @@ pub struct CloudProvider {
     /// Probabilistic per-op failure (grey failures, as opposed to the
     /// binary outage switch). `None` = reliable.
     flakiness: Mutex<Option<(f64, StdRng)>>,
+    /// Scripted mid-stream death: number of further operations this
+    /// provider will serve before going offline (`-1` = no script).
+    fail_after: AtomicI64,
 }
 
 impl CloudProvider {
@@ -84,7 +87,17 @@ impl CloudProvider {
             stats: ProviderStats::default(),
             op_seq: AtomicU64::new(0),
             flakiness: Mutex::new(None),
+            fail_after: AtomicI64::new(-1),
         }
+    }
+
+    /// Scripts a **mid-stream death**: the provider serves `n` more
+    /// operations, then flips itself offline (as if the outage started
+    /// while a multi-chunk transfer was in flight). `set_online(true)`
+    /// clears the script along with the outage.
+    pub fn fail_after_ops(&self, n: u64) {
+        self.fail_after
+            .store(i64::try_from(n).unwrap_or(i64::MAX), Ordering::Release);
     }
 
     /// Makes every operation fail independently with probability `p`
@@ -116,8 +129,12 @@ impl CloudProvider {
         self.online.load(Ordering::Acquire)
     }
 
-    /// Injects or clears an outage.
+    /// Injects or clears an outage. Recovery also clears any pending
+    /// [`fail_after_ops`](Self::fail_after_ops) script.
     pub fn set_online(&self, online: bool) {
+        if online {
+            self.fail_after.store(-1, Ordering::Release);
+        }
         self.online.store(online, Ordering::Release);
     }
 
@@ -153,7 +170,23 @@ impl CloudProvider {
         self.profile.latency.transfer_time(size, seq)
     }
 
+    /// Predicted transfer time for `size` bytes **without** consuming an
+    /// operation slot — what a hedging read path consults before deciding
+    /// whether racing the parity reconstruction is worthwhile.
+    pub fn estimate_transfer(&self, size: usize) -> Duration {
+        let seq = self.op_seq.load(Ordering::Relaxed);
+        self.profile.latency.transfer_time(size, seq)
+    }
+
     fn check_online(&self) -> Result<(), StoreError> {
+        // A scripted mid-stream death fires before the op is served.
+        if self.fail_after.load(Ordering::Acquire) >= 0 {
+            let prev = self.fail_after.fetch_sub(1, Ordering::AcqRel);
+            if prev <= 0 {
+                self.fail_after.store(-1, Ordering::Release);
+                self.online.store(false, Ordering::Release);
+            }
+        }
         if !self.is_online() {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(StoreError::Unavailable {
@@ -332,6 +365,39 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn flaky_bad_probability_panics() {
         provider().set_flaky(1.5, 0);
+    }
+
+    #[test]
+    fn fail_after_ops_dies_mid_stream() {
+        let p = provider();
+        for i in 0..5u64 {
+            p.put(VirtualId(i), Bytes::from_static(b"x")).unwrap();
+        }
+        p.fail_after_ops(3);
+        assert!(p.get(VirtualId(0)).is_ok());
+        assert!(p.get(VirtualId(1)).is_ok());
+        assert!(p.get(VirtualId(2)).is_ok());
+        // The fourth op hits the scripted outage — and the switch sticks.
+        assert!(matches!(
+            p.get(VirtualId(3)),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(!p.is_online());
+        assert!(p.get(VirtualId(4)).is_err());
+        // Recovery clears the script.
+        p.set_online(true);
+        assert!(p.get(VirtualId(4)).is_ok());
+        assert!(p.get(VirtualId(0)).is_ok());
+    }
+
+    #[test]
+    fn estimate_transfer_does_not_consume_op_seq() {
+        let p = provider();
+        let e1 = p.estimate_transfer(1000);
+        let e2 = p.estimate_transfer(1000);
+        assert_eq!(e1, e2);
+        // The first *real* transfer still sees the untouched sequence.
+        assert_eq!(p.simulate_transfer(1000), e1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl Default for TabularConfig {
             rows: 500,
             segments: 4,
             noise: 0.15,
-            seed: 0x7AB_1E,
+            seed: 0x0007_AB1E,
         }
     }
 }
@@ -157,7 +157,7 @@ mod tests {
             let mut ds = corpus.data.clone();
             ds.standardize();
             let fit = kmeans(
-                &ds.rows().to_vec(),
+                ds.rows(),
                 KMeansConfig {
                     k: 3,
                     ..Default::default()

@@ -88,7 +88,9 @@ fn main() {
 
     // And the raw (distributor-level) view of the report hides the appendix.
     let raw = distributor
-        .get_file("alice", "pw", "report.txt")
+        .session("alice", "pw")
+        .expect("valid pair")
+        .get_file("report.txt")
         .expect("raw read")
         .data;
     let appendix_visible = raw.windows(12).any(|w| w == b"CONFIDENTIAL");

@@ -79,14 +79,9 @@ fn main() {
         .add_password("Hercules", "12labors", PrivacyLevel::High)
         .expect("client exists");
     single
-        .put_file(
-            "Hercules",
-            "12labors",
-            "bids.csv",
-            &bytes,
-            PrivacyLevel::Moderate,
-            PutOptions::default(),
-        )
+        .session("Hercules", "12labors")
+        .expect("valid pair")
+        .put_file("bids.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
         .expect("upload");
     println!("--- scenario A: single provider (all data at Titans) ---");
     match hera_attack(&providers[0]) {
@@ -111,14 +106,9 @@ fn main() {
         .add_password("Hercules", "12labors", PrivacyLevel::High)
         .expect("client exists");
     distributed
-        .put_file(
-            "Hercules",
-            "12labors",
-            "bids.csv",
-            &bytes,
-            PrivacyLevel::Moderate,
-            PutOptions::default(),
-        )
+        .session("Hercules", "12labors")
+        .expect("valid pair")
+        .put_file("bids.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
         .expect("upload");
     println!("\n--- scenario B: distributed across Titans, Spartans, Yagamis ---");
     for p in &providers {
@@ -139,7 +129,9 @@ fn main() {
 
     // Hercules can still read his own data perfectly.
     let got = distributed
-        .get_file("Hercules", "12labors", "bids.csv")
+        .session("Hercules", "12labors")
+        .expect("valid pair")
+        .get_file("bids.csv")
         .expect("owner read");
     assert_eq!(got.data, bytes);
     println!("\nHercules retrieves his ledger intact ({} bytes).", got.data.len());

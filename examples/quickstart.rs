@@ -49,54 +49,53 @@ fn main() {
         .add_password("Bob", "aB1c", PrivacyLevel::Public)
         .expect("Bob exists");
 
-    // 4. Upload a moderately sensitive file.
+    // 4. Open typed sessions — credentials are validated once, up front.
+    let session = distributor.session("Bob", "Ty7e").expect("valid pair");
+    let public_session = distributor.session("Bob", "aB1c").expect("valid pair");
+
+    // 5. Upload a moderately sensitive file.
     let document = b"quarterly ledger: revenue 1.2M, costs 0.9M, margin 0.3M".repeat(1000);
-    let receipt = distributor
-        .put_file(
-            "Bob",
-            "Ty7e",
-            "ledger.txt",
-            &document,
-            PrivacyLevel::Moderate,
-            PutOptions::default(),
-        )
+    let receipt = session
+        .put_file("ledger.txt", &document, PrivacyLevel::Moderate, PutOptions::new())
         .expect("upload succeeds");
     println!(
         "uploaded ledger.txt: {} chunks in {} stripes, {} bytes stored, sim time {:?}",
         receipt.chunk_count, receipt.stripe_count, receipt.bytes_stored, receipt.sim_time
     );
 
-    // 5. Low-privilege password cannot read it.
-    let denied = distributor.get_file("Bob", "aB1c", "ledger.txt");
-    println!("read with PL0 password: {:?}", denied.expect_err("denied"));
+    // 6. The low-privilege session cannot read it.
+    let denied = public_session.get_file("ledger.txt");
+    println!("read with PL0 session: {:?}", denied.expect_err("denied"));
 
-    // 6. Retrieve with the privileged password.
-    let got = distributor
-        .get_file("Bob", "Ty7e", "ledger.txt")
-        .expect("authorized read");
+    // 7. Retrieve through the privileged session.
+    let got = session.get_file("ledger.txt").expect("authorized read");
     assert_eq!(got.data, document);
     println!("retrieved {} bytes intact (sim time {:?})", got.data.len(), got.sim_time);
 
-    // 7. Take a provider down — RAID-5 reconstruction keeps data available.
-    fleet[1].set_online(false);
-    let got = distributor
-        .get_file("Bob", "Ty7e", "ledger.txt")
-        .expect("read under outage");
+    // 8. Take a provider down — RAID-5 reconstruction keeps data available.
+    // Pick one that actually holds data chunks (not just parity), so the
+    // read below must reconstruct.
+    let victim = distributor
+        .client_chunks_per_provider("Bob")
+        .expect("Bob exists")
+        .iter()
+        .position(|&n| n > 0)
+        .expect("chunks stored somewhere");
+    fleet[victim].set_online(false);
+    let got = session.get_file("ledger.txt").expect("read under outage");
     assert_eq!(got.data, document);
     println!(
         "retrieved during {} outage: {} chunks RAID-reconstructed",
-        fleet[1].name(),
+        fleet[victim].name(),
         got.reconstructed_chunks
     );
-    fleet[1].set_online(true);
+    fleet[victim].set_online(true);
 
-    // 8. Inspect the paper's three tables.
+    // 9. Inspect the paper's three tables.
     println!("\n{}", distributor.render_tables());
 
-    // 9. Remove the file everywhere.
-    distributor
-        .remove_file("Bob", "Ty7e", "ledger.txt")
-        .expect("removal succeeds");
+    // 10. Remove the file everywhere.
+    session.remove_file("ledger.txt").expect("removal succeeds");
     println!(
         "after removal, providers hold {} objects",
         fleet.iter().map(|p| p.chunk_count()).sum::<usize>()

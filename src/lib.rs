@@ -12,6 +12,33 @@
 //! - [`dht`] — Chord-style ring for the client-side distributor variant
 //! - [`crypto`] — ChaCha20 for the encryption-vs-fragmentation comparison
 //! - [`workloads`] / [`metrics`] — experiment inputs and privacy metrics
+//!
+//! The everyday client surface is re-exported at the root, so most programs
+//! only need `use fragcloud::{CloudDataDistributor, Session, ...}`:
+//!
+//! ```
+//! use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
+//! use fragcloud::{CloudDataDistributor, DistributorConfig, PrivacyLevel, PutOptions};
+//! use std::sync::Arc;
+//!
+//! let fleet: Vec<_> = (0..6)
+//!     .map(|i| {
+//!         Arc::new(CloudProvider::new(ProviderProfile::new(
+//!             format!("cp{i}"),
+//!             PrivacyLevel::High,
+//!             CostLevel::new(i % 4),
+//!         )))
+//!     })
+//!     .collect();
+//! let d = CloudDataDistributor::new(fleet, DistributorConfig::default());
+//! d.register_client("Bob").unwrap();
+//! d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+//! let session = d.session("Bob", "Ty7e").unwrap();
+//! session
+//!     .put_file("a.txt", b"hi", PrivacyLevel::High, PutOptions::new())
+//!     .unwrap();
+//! assert!(d.scrub().is_healthy());
+//! ```
 
 pub use fragcloud_core as core;
 pub use fragcloud_crypto as crypto;
@@ -22,3 +49,11 @@ pub use fragcloud_mining as mining;
 pub use fragcloud_raid as raid;
 pub use fragcloud_sim as sim;
 pub use fragcloud_workloads as workloads;
+
+pub use fragcloud_core::{
+    ChunkSizeSchedule, CloudDataDistributor, CoreError, Credentials, DistributorConfig,
+    GetReceipt, PlacementStrategy, PutOptions, PutReceipt, RepairReport, ResilienceConfig,
+    RetryPolicy, ScrubReport, Session,
+};
+pub use fragcloud_raid::RaidLevel;
+pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};

@@ -46,12 +46,14 @@ fn concurrent_clients_roundtrip() {
             let d = Arc::clone(&d);
             scope.spawn(move |_| {
                 let client = format!("client{c}");
+                let session = d.session(&client, "pw").unwrap();
                 for f in 0..FILES_PER_CLIENT {
                     let name = format!("file{f}");
                     let data = body(c * 100 + f, 10_000 + f * 777);
-                    d.put_file(&client, "pw", &name, &data, PrivacyLevel::Low, PutOptions::default())
+                    session
+                        .put_file(&name, &data, PrivacyLevel::Low, PutOptions::new())
                         .unwrap();
-                    let got = d.get_file(&client, "pw", &name).unwrap();
+                    let got = session.get_file(&name).unwrap();
                     assert_eq!(got.data, data, "{client}/{name}");
                 }
             });
@@ -60,11 +62,11 @@ fn concurrent_clients_roundtrip() {
     .unwrap();
     // After the storm: every file still reads back for every client.
     for c in 0..CLIENTS {
-        let client = format!("client{c}");
+        let session = d.session(&format!("client{c}"), "pw").unwrap();
         for f in 0..FILES_PER_CLIENT {
             let name = format!("file{f}");
             let data = body(c * 100 + f, 10_000 + f * 777);
-            assert_eq!(d.get_file(&client, "pw", &name).unwrap().data, data);
+            assert_eq!(session.get_file(&name).unwrap().data, data);
         }
     }
 }
@@ -75,15 +77,18 @@ fn concurrent_readers_of_one_file() {
     d.register_client("c").unwrap();
     d.add_password("c", "pw", PrivacyLevel::High).unwrap();
     let data = body(7, 200_000);
-    d.put_file("c", "pw", "shared", &data, PrivacyLevel::Moderate, PutOptions::default())
+    d.session("c", "pw")
+        .unwrap()
+        .put_file("shared", &data, PrivacyLevel::Moderate, PutOptions::new())
         .unwrap();
     crossbeam::thread::scope(|scope| {
         for _ in 0..16 {
             let d = Arc::clone(&d);
             let data = data.clone();
             scope.spawn(move |_| {
+                let session = d.session("c", "pw").unwrap();
                 for _ in 0..5 {
-                    assert_eq!(d.get_file("c", "pw", "shared").unwrap().data, data);
+                    assert_eq!(session.get_file("shared").unwrap().data, data);
                 }
             });
         }
@@ -96,19 +101,21 @@ fn update_then_read_sees_new_data_and_snapshot_restores() {
     let d = distributor(6);
     d.register_client("c").unwrap();
     d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let session = d.session("c", "pw").unwrap();
     let data = body(1, 4096); // 4 chunks of 1 KiB
-    d.put_file("c", "pw", "doc", &data, PrivacyLevel::Low, PutOptions::default())
+    session
+        .put_file("doc", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
 
     let new_chunk = vec![0xAB; 1024];
-    d.update_chunk("c", "pw", "doc", 2, &new_chunk).unwrap();
-    let got = d.get_file("c", "pw", "doc").unwrap().data;
+    session.update_chunk("doc", 2, &new_chunk).unwrap();
+    let got = session.get_file("doc").unwrap().data;
     assert_eq!(&got[..2048], &data[..2048]);
     assert_eq!(&got[2048..3072], new_chunk.as_slice());
     assert_eq!(&got[3072..], &data[3072..]);
 
-    d.restore_snapshot("c", "pw", "doc", 2).unwrap();
-    assert_eq!(d.get_file("c", "pw", "doc").unwrap().data, data);
+    session.restore_snapshot("doc", 2).unwrap();
+    assert_eq!(session.get_file("doc").unwrap().data, data);
 }
 
 #[test]
@@ -116,12 +123,14 @@ fn interleaved_put_remove_cycles_leave_no_residue() {
     let d = distributor(6);
     d.register_client("c").unwrap();
     d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let session = d.session("c", "pw").unwrap();
     for round in 0..10 {
         let data = body(round, 5000);
-        d.put_file("c", "pw", "cycle", &data, PrivacyLevel::Low, PutOptions::default())
+        session
+            .put_file("cycle", &data, PrivacyLevel::Low, PutOptions::new())
             .unwrap();
-        assert_eq!(d.get_file("c", "pw", "cycle").unwrap().data, data);
-        d.remove_file("c", "pw", "cycle").unwrap();
+        assert_eq!(session.get_file("cycle").unwrap().data, data);
+        session.remove_file("cycle").unwrap();
     }
     let residue: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
     assert_eq!(residue, 0);
@@ -134,7 +143,9 @@ fn bytes_conserved_across_providers() {
     d.add_password("c", "pw", PrivacyLevel::High).unwrap();
     let data = body(3, 64 << 10);
     let receipt = d
-        .put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+        .session("c", "pw")
+        .unwrap()
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     let stored: u64 = d.providers().iter().map(|p| p.bytes_stored()).sum();
     assert_eq!(stored, receipt.bytes_stored as u64);

@@ -49,7 +49,9 @@ fn upload(placement: PlacementStrategy, chunk: usize) -> (CloudDataDistributor, 
     );
     d.register_client("victim").unwrap();
     d.add_password("victim", "pw", PrivacyLevel::High).unwrap();
-    d.put_file("victim", "pw", "ledger", &bytes, PrivacyLevel::Moderate, PutOptions::default())
+    d.session("victim", "pw")
+        .unwrap()
+        .put_file("ledger", &bytes, PrivacyLevel::Moderate, PutOptions::new())
         .unwrap();
     (d, cfg.slopes, bytes)
 }
@@ -158,7 +160,9 @@ fn misleading_bytes_poison_the_insider_even_with_full_compromise() {
     );
     d.register_client("victim").unwrap();
     d.add_password("victim", "pw", PrivacyLevel::High).unwrap();
-    d.put_file("victim", "pw", "ledger", &bytes, PrivacyLevel::Moderate, PutOptions::default())
+    d.session("victim", "pw")
+        .unwrap()
+        .put_file("ledger", &bytes, PrivacyLevel::Moderate, PutOptions::new())
         .unwrap();
     // Attacker owns EVERY provider, yet mines the polluted stored bytes.
     let compromised = vec![true; N];
@@ -171,5 +175,5 @@ fn misleading_bytes_poison_the_insider_even_with_full_compromise() {
         "misleading bytes should poison most rows, attacker got {rows_seen}"
     );
     // The legitimate owner still reads clean data.
-    assert_eq!(d.get_file("victim", "pw", "ledger").unwrap().data, bytes);
+    assert_eq!(d.session("victim", "pw").unwrap().get_file("ledger").unwrap().data, bytes);
 }

@@ -51,16 +51,19 @@ fn fig3_world() -> (CloudDataDistributor, Vec<Arc<CloudProvider>>) {
 fn fig3_grant_and_deny() {
     let (d, _) = fig3_world();
     let file1: Vec<u8> = (0..96u8).collect();
-    d.put_file("Bob", "Ty7e", "file1", &file1, PrivacyLevel::Low, PutOptions::default())
+    d.session("Bob", "Ty7e")
+        .unwrap()
+        .put_file("file1", &file1, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
 
     // (Bob, x9pr, file1, 0): password PL 1 == chunk PL 1 → granted.
-    let chunk = d.get_chunk("Bob", "x9pr", "file1", 0).unwrap();
+    let chunk = d.session("Bob", "x9pr").unwrap().get_chunk("file1", 0).unwrap();
     assert_eq!(chunk, &file1[..32]);
 
-    // (Bob, aB1c, file1, 0): password PL 0 < chunk PL 1 → denied.
+    // (Bob, aB1c, file1, 0): password PL 0 < chunk PL 1 → denied. The
+    // session opens (the pair is valid); §V denies per chunk.
     assert_eq!(
-        d.get_chunk("Bob", "aB1c", "file1", 0).unwrap_err(),
+        d.session("Bob", "aB1c").unwrap().get_chunk("file1", 0).unwrap_err(),
         CoreError::AccessDenied
     );
 }
@@ -68,16 +71,15 @@ fn fig3_grant_and_deny() {
 #[test]
 fn clients_cannot_touch_each_others_files() {
     let (d, _) = fig3_world();
-    d.put_file("Roy", "eV2t", "file3", &[9u8; 24], PrivacyLevel::High, PutOptions::default())
+    d.session("Roy", "eV2t")
+        .unwrap()
+        .put_file("file3", &[9u8; 24], PrivacyLevel::High, PutOptions::new())
         .unwrap();
-    // Bob's top password is not listed under Roy.
-    assert_eq!(
-        d.get_file("Roy", "Ty7e", "file3").unwrap_err(),
-        CoreError::AccessDenied
-    );
+    // Bob's top password is not listed under Roy: the session never opens.
+    assert_eq!(d.session("Roy", "Ty7e").unwrap_err(), CoreError::AccessDenied);
     // And Bob has no file3 of his own.
     assert!(matches!(
-        d.get_file("Bob", "Ty7e", "file3"),
+        d.session("Bob", "Ty7e").unwrap().get_file("file3"),
         Err(CoreError::UnknownFile { .. })
     ));
 }
@@ -86,7 +88,9 @@ fn clients_cannot_touch_each_others_files() {
 fn providers_see_only_virtual_ids() {
     let (d, fleet) = fig3_world();
     let secret = b"Bob's PL3 secret".repeat(10);
-    d.put_file("Bob", "Ty7e", "vault", &secret, PrivacyLevel::High, PutOptions::default())
+    d.session("Bob", "Ty7e")
+        .unwrap()
+        .put_file("vault", &secret, PrivacyLevel::High, PutOptions::new())
         .unwrap();
     // No provider-side artifact mentions the client or filename; the only
     // handle is the opaque virtual id list.
@@ -109,12 +113,15 @@ fn chunk_count_is_notified_and_serials_addressable() {
     let (d, _) = fig3_world();
     let body = vec![1u8; 100];
     let receipt = d
-        .put_file("Bob", "Ty7e", "file2", &body, PrivacyLevel::Moderate, PutOptions::default())
+        .session("Bob", "Ty7e")
+        .unwrap()
+        .put_file("file2", &body, PrivacyLevel::Moderate, PutOptions::new())
         .unwrap();
     assert_eq!(receipt.chunk_count, 7); // ceil(100 / 16)
+    let reader = d.session("Bob", "6S4r").unwrap();
     for sl in 0..receipt.chunk_count as u32 {
-        let c = d.get_chunk("Bob", "6S4r", "file2", sl).unwrap();
+        let c = reader.get_chunk("file2", sl).unwrap();
         assert!(!c.is_empty());
     }
-    assert!(d.get_chunk("Bob", "6S4r", "file2", 7).is_err());
+    assert!(reader.get_chunk("file2", 7).is_err());
 }

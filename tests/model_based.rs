@@ -74,6 +74,7 @@ proptest! {
         );
         d.register_client("c").expect("fresh");
         d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+        let session = d.session("c", "pw").expect("valid pair");
 
         // The reference model: filename -> logical chunk list. Chunks are
         // the unit of update, and an update may change a chunk's length, so
@@ -91,9 +92,7 @@ proptest! {
                     // Need enough online providers for a 3+1 stripe.
                     let online = offline.iter().filter(|&&o| !o).count();
                     let data = payload(tag, size);
-                    let res = d.put_file(
-                        "c", "pw", &format!("f{file}"), &data, pl, PutOptions::default(),
-                    );
+                    let res = session.put_file(&format!("f{file}"), &data, pl, PutOptions::new());
                     match res {
                         Ok(_) => {
                             prop_assert!(
@@ -121,9 +120,9 @@ proptest! {
                 Op::Get { file } | Op::GetParallel { file } => {
                     let parallel = matches!(op, Op::GetParallel { .. });
                     let res = if parallel {
-                        d.get_file_parallel("c", "pw", &format!("f{file}"))
+                        session.get_file_parallel(&format!("f{file}"))
                     } else {
-                        d.get_file("c", "pw", &format!("f{file}"))
+                        session.get_file(&format!("f{file}"))
                     };
                     match (&res, model.get(&file)) {
                         (Ok(r), Some(chunks)) => {
@@ -149,7 +148,7 @@ proptest! {
                 }
                 Op::UpdateChunk { file, serial, size } => {
                     let new_data = payload(tag ^ 0xAB, size);
-                    let res = d.update_chunk("c", "pw", &format!("f{file}"), serial as u32, &new_data);
+                    let res = session.update_chunk(&format!("f{file}"), serial as u32, &new_data);
                     match res {
                         Ok(()) => {
                             let chunks = model.get_mut(&file).expect("update of known file");
@@ -176,7 +175,7 @@ proptest! {
                     }
                 }
                 Op::RemoveFile { file } => {
-                    let res = d.remove_file("c", "pw", &format!("f{file}"));
+                    let res = session.remove_file(&format!("f{file}"));
                     match res {
                         Ok(()) => {
                             prop_assert!(model.remove(&file).is_some());
@@ -212,10 +211,10 @@ proptest! {
         }
         for (file, chunks) in &model {
             let expected = flat(chunks);
-            let got = d.get_file("c", "pw", &format!("f{file}")).expect("final read");
+            let got = session.get_file(&format!("f{file}")).expect("final read");
             prop_assert_eq!(&got.data, &expected, "final state mismatch for f{}", file);
-            let got = d
-                .get_file_parallel("c", "pw", &format!("f{file}"))
+            let got = session
+                .get_file_parallel(&format!("f{file}"))
                 .expect("final parallel read");
             prop_assert_eq!(&got.data, &expected);
         }

@@ -112,8 +112,9 @@ proptest! {
         );
         d.register_client("c").expect("fresh");
         d.add_password("c", "pw", PrivacyLevel::High).expect("client");
-        d.put_file("c", "pw", "f", &data, pl, PutOptions::default()).expect("upload");
-        let got = d.get_file("c", "pw", "f").expect("read");
+        let session = d.session("c", "pw").expect("valid pair");
+        session.put_file("f", &data, pl, PutOptions::new()).expect("upload");
+        let got = session.get_file("f").expect("read");
         prop_assert_eq!(got.data, data);
         // PL rule: a provider below the file PL holds nothing.
         for p in &providers {
@@ -140,10 +141,11 @@ proptest! {
         );
         d.register_client("c").expect("fresh");
         d.add_password("c", "pw", PrivacyLevel::High).expect("client");
-        let receipt = d
-            .put_file("c", "pw", "f", &data, PrivacyLevel::High, PutOptions::default())
+        let session = d.session("c", "pw").expect("valid pair");
+        let receipt = session
+            .put_file("f", &data, PrivacyLevel::High, PutOptions::new())
             .expect("upload");
         prop_assert!(receipt.bytes_stored > data.len());
-        prop_assert_eq!(d.get_file("c", "pw", "f").expect("read").data, data);
+        prop_assert_eq!(session.get_file("f").expect("read").data, data);
     }
 }

@@ -40,12 +40,14 @@ fn body(len: usize) -> Vec<u8> {
 fn raid5_survives_every_single_provider_outage() {
     let (d, fleet) = world(8, RaidLevel::Raid5);
     let data = body(100_000);
-    d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     #[allow(clippy::needless_range_loop)] // victim IS the index under test
     for victim in 0..fleet.len() {
         fleet[victim].set_online(false);
-        let got = d.get_file("c", "pw", "f").unwrap();
+        let got = session.get_file("f").unwrap();
         assert_eq!(got.data, data, "outage of cp{victim}");
         fleet[victim].set_online(true);
     }
@@ -55,13 +57,15 @@ fn raid5_survives_every_single_provider_outage() {
 fn raid6_survives_every_pair_of_outages() {
     let (d, fleet) = world(7, RaidLevel::Raid6);
     let data = body(60_000);
-    d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     for a in 0..fleet.len() {
         for b in (a + 1)..fleet.len() {
             fleet[a].set_online(false);
             fleet[b].set_online(false);
-            let got = d.get_file("c", "pw", "f").unwrap();
+            let got = session.get_file("f").unwrap();
             assert_eq!(got.data, data, "outage of cp{a}+cp{b}");
             fleet[a].set_online(true);
             fleet[b].set_online(true);
@@ -73,7 +77,9 @@ fn raid6_survives_every_pair_of_outages() {
 fn raid5_double_outage_can_fail_but_recovers_when_one_returns() {
     let (d, fleet) = world(6, RaidLevel::Raid5);
     let data = body(50_000);
-    d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     // With 6 providers and 5-shard stripes, some double outage must break a
     // stripe (pigeonhole); find one.
@@ -82,10 +88,10 @@ fn raid5_double_outage_can_fail_but_recovers_when_one_returns() {
         for b in (a + 1)..fleet.len() {
             fleet[a].set_online(false);
             fleet[b].set_online(false);
-            if d.get_file("c", "pw", "f").is_err() {
+            if session.get_file("f").is_err() {
                 // One provider returns: readable again.
                 fleet[a].set_online(true);
-                assert_eq!(d.get_file("c", "pw", "f").unwrap().data, data);
+                assert_eq!(session.get_file("f").unwrap().data, data);
                 fleet[b].set_online(true);
                 broke = true;
                 break 'outer;
@@ -104,21 +110,24 @@ fn data_survives_outage_during_which_file_is_removed_elsewhere() {
     let (d, fleet) = world(8, RaidLevel::Raid5);
     let keep = body(30_000);
     let drop = body(10_000);
-    d.put_file("c", "pw", "keep", &keep, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("keep", &keep, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
-    d.put_file("c", "pw", "drop", &drop, PrivacyLevel::Low, PutOptions::default())
+    session
+        .put_file("drop", &drop, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     fleet[0].set_online(false);
     // Removal may fail if cp0 holds one of drop's chunks; retry online.
-    if d.remove_file("c", "pw", "drop").is_err() {
+    if session.remove_file("drop").is_err() {
         fleet[0].set_online(true);
-        d.remove_file("c", "pw", "drop").unwrap();
+        session.remove_file("drop").unwrap();
         fleet[0].set_online(false);
     }
-    let got = d.get_file("c", "pw", "keep").unwrap();
+    let got = session.get_file("keep").unwrap();
     assert_eq!(got.data, keep);
     fleet[0].set_online(true);
-    assert_eq!(d.get_file("c", "pw", "keep").unwrap().data, keep);
+    assert_eq!(session.get_file("keep").unwrap().data, keep);
 }
 
 #[test]
@@ -129,24 +138,16 @@ fn grey_failures_are_absorbed_by_replicas_and_parity() {
     // stripe peer all fail in one pass).
     let (d, fleet) = world(8, RaidLevel::Raid5);
     let data = body(40_000);
-    d.put_file(
-        "c",
-        "pw",
-        "f",
-        &data,
-        PrivacyLevel::Low,
-        fragcloud::core::PutOptions {
-            replicas: 1,
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new().replicas(1))
+        .unwrap();
     for (i, p) in fleet.iter().enumerate() {
         p.set_flaky(0.05, 1000 + i as u64);
     }
     let mut successes = 0;
     for _ in 0..10 {
-        if let Ok(got) = d.get_file("c", "pw", "f") {
+        if let Ok(got) = session.get_file("f") {
             assert_eq!(got.data, data);
             successes += 1;
         }
@@ -155,14 +156,16 @@ fn grey_failures_are_absorbed_by_replicas_and_parity() {
     for p in &fleet {
         p.set_flaky(0.0, 0);
     }
-    assert_eq!(d.get_file("c", "pw", "f").unwrap().data, data);
+    assert_eq!(session.get_file("f").unwrap().data, data);
 }
 
 #[test]
 fn reconstructed_chunk_count_reported() {
     let (d, fleet) = world(8, RaidLevel::Raid5);
     let data = body(80_000);
-    d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+    let session = d.session("c", "pw").unwrap();
+    session
+        .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
     let holdings = d.client_chunks_per_provider("c").unwrap();
     let victim = holdings
@@ -170,7 +173,7 @@ fn reconstructed_chunk_count_reported() {
         .position(|&n| n > 0)
         .expect("chunks stored somewhere");
     fleet[victim].set_online(false);
-    let got = d.get_file("c", "pw", "f").unwrap();
+    let got = session.get_file("f").unwrap();
     assert_eq!(got.data, data);
     assert_eq!(got.reconstructed_chunks, holdings[victim]);
 }

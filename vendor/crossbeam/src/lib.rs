@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam-era signature
+//! (closures receive the scope, `scope` returns a `Result` that is `Err`
+//! when a child panicked) implemented over `std::thread::scope`, which has
+//! been stable since Rust 1.63 and gives the same structured-concurrency
+//! guarantees.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked scope: the panic value of the first
+    /// child that unwound.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to spawned closures, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All threads are
+    /// joined before `scope` returns. Returns `Err` with the panic payload
+    /// if any unjoined child panicked (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,818 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses: the
+//! [`Strategy`] trait with `prop_map`/`boxed`, `any::<T>()` for scalars and
+//! byte arrays, `proptest::collection::{vec, btree_set}`, string strategies
+//! for simple `[x-y]{m,n}` patterns, weighted `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case reports the test
+//! name, case seed and assertion message. Generation is fully deterministic
+//! — the per-case RNG is derived from the test name and case index — which
+//! fits this workspace's reproducible-experiments ethos.
+
+use std::rc::Rc;
+
+/// The RNG driving all value generation.
+pub type TestRng = rand::rngs::StdRng;
+
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy for heterogeneous composition
+    /// (e.g. `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between type-erased strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        assert!(
+            options.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.options {
+            let w = *w as u64;
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / range / tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($S,)+) = self;
+                ($($S.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) {}
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy produced by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy for `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for a scalar type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_scalars {
+    ($($t:ty => $sample:expr),* $(,)?) => {$(
+        impl Strategy for AnyScalar<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let f: fn(&mut TestRng) -> $t = $sample;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyScalar<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyScalar(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_scalars! {
+    u8 => |rng| rng.gen::<u8>(),
+    u16 => |rng| rng.gen::<u16>(),
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<usize>(),
+    i64 => |rng| rng.gen::<i64>(),
+    bool => |rng| rng.gen::<bool>(),
+    f64 => |rng| rng.gen::<f64>(),
+}
+
+/// Full-domain strategy for `[u8; N]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyByteArray<const N: usize>;
+
+impl<const N: usize> Strategy for AnyByteArray<N> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill(&mut out);
+        out
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = AnyByteArray<N>;
+    fn arbitrary() -> Self::Strategy {
+        AnyByteArray
+    }
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies: the `[x-y]{m,n}` subset of proptest's regex
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct CharClassPattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize, // inclusive
+}
+
+fn unsupported_pattern(pattern: &str) -> ! {
+    panic!("string strategy shim supports only `[chars]{{m,n}}` patterns, got {pattern:?}")
+}
+
+fn parse_pattern(pattern: &str) -> CharClassPattern {
+    let bytes: Vec<char> = pattern.chars().collect();
+    if bytes.first() != Some(&'[') {
+        // Treat as a literal string.
+        return CharClassPattern {
+            alphabet: vec![],
+            min_len: 0,
+            max_len: 0,
+        };
+    }
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| unsupported_pattern(pattern));
+    let mut alphabet = Vec::new();
+    let class = &bytes[1..close];
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                unsupported_pattern(pattern);
+            }
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        unsupported_pattern(pattern);
+    }
+    let rest: String = bytes[close + 1..].iter().collect();
+    let (min_len, max_len) = if rest.is_empty() {
+        (1, 1)
+    } else if rest.starts_with('{') && rest.ends_with('}') {
+        let body = &rest[1..rest.len() - 1];
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim()
+                    .parse()
+                    .unwrap_or_else(|_| unsupported_pattern(pattern)),
+                hi.trim()
+                    .parse()
+                    .unwrap_or_else(|_| unsupported_pattern(pattern)),
+            ),
+            None => {
+                let n = body
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| unsupported_pattern(pattern));
+                (n, n)
+            }
+        }
+    } else {
+        unsupported_pattern(pattern)
+    };
+    CharClassPattern {
+        alphabet,
+        min_len,
+        max_len,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let spec = parse_pattern(self);
+        if spec.alphabet.is_empty() {
+            return (*self).to_string();
+        }
+        let len = rng.gen_range(spec.min_len..=spec.max_len);
+        (0..len)
+            .map(|_| spec.alphabet[rng.gen_range(0..spec.alphabet.len())])
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection size specification accepted by [`collection`] strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// `proptest::collection`: strategies for containers.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with element strategy `S`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates sets whose target size is drawn from `size`. If the
+    /// element domain is too small to reach the target, a smaller set
+    /// (never below one element when the minimum is positive) is produced.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 32 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Test-runner configuration and machinery.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+    use rand::SeedableRng;
+
+    /// How a single generated case failed.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case violated an assertion.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and should be retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with a message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `test` against `config.cases` generated inputs. Deterministic:
+    /// the per-case seed is derived from the test name and case index.
+    pub fn run<S, F>(config: ProptestConfig, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let max_rejects = config.cases as u64 * 64 + 1024;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        let mut stream = 0u64;
+        while passed < config.cases {
+            let seed = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            stream += 1;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match test(strategy.generate(&mut rng)) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest {name}: too many rejected cases \
+                             ({rejects} rejects for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name} failed at case {passed} \
+                         (seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Each contained `fn` becomes a `#[test]` whose
+/// arguments are generated from strategies: `name in strategy` draws from an
+/// explicit strategy, `name: Type` from `any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+/// Internal: expands each test fn inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse!(
+                ($config), (stringify!($name)), ($body), (), (); $($args)*
+            );
+        }
+        $crate::__proptest_items!(($config); $($rest)*);
+    };
+}
+
+/// Internal: munches the argument list of a `proptest!` fn into a pattern
+/// tuple and a strategy tuple, then invokes the runner.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // Done: run the collected strategies against the body.
+    (($config:expr), ($name:expr), ($body:block),
+     ($(($pat:pat))*), ($(($strat:expr))*);) => {
+        $crate::test_runner::run(
+            $config,
+            $name,
+            &($($strat,)*),
+            |($($pat,)*)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                $body
+                Ok(())
+            },
+        );
+    };
+    // `pat in strategy`, more args follow.
+    (($config:expr), ($name:expr), ($body:block),
+     ($($pats:tt)*), ($($strats:tt)*);
+     $p:pat in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse!(
+            (($config)), ($name), ($body),
+            ($($pats)* ($p)), ($($strats)* ($s)); $($rest)*
+        );
+    };
+    // `pat in strategy`, final arg.
+    (($config:expr), ($name:expr), ($body:block),
+     ($($pats:tt)*), ($($strats:tt)*);
+     $p:pat in $s:expr) => {
+        $crate::__proptest_parse!(
+            (($config)), ($name), ($body),
+            ($($pats)* ($p)), ($($strats)* ($s));
+        );
+    };
+    // `name: Type`, more args follow.
+    (($config:expr), ($name:expr), ($body:block),
+     ($($pats:tt)*), ($($strats:tt)*);
+     $i:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse!(
+            (($config)), ($name), ($body),
+            ($($pats)* ($i)), ($($strats)* ($crate::any::<$t>())); $($rest)*
+        );
+    };
+    // `name: Type`, final arg.
+    (($config:expr), ($name:expr), ($body:block),
+     ($($pats:tt)*), ($($strats:tt)*);
+     $i:ident : $t:ty) => {
+        $crate::__proptest_parse!(
+            (($config)), ($name), ($body),
+            ($($pats)* ($i)), ($($strats)* ($crate::any::<$t>()));
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Asserts two expressions differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), left
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Weighted (or uniform) choice between strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(any::<u8>(), 1..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Mixed binder forms: `in`-strategies, bare-typed args, arrays.
+        #[test]
+        fn binder_forms(xs in arb_small(), n: usize, key: [u8; 16], s in "[a-z]{3,8}") {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            let _ = n;
+            prop_assert_eq!(key.len(), 16);
+            prop_assert!(s.len() >= 3 && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        /// Ranges and tuples stay in bounds; prop_map applies.
+        #[test]
+        fn ranges_and_maps(
+            v in (0u8..4, 1usize..10).prop_map(|(a, b)| a as usize + b),
+            f in -2.0f64..2.0,
+        ) {
+            prop_assert!(v < 13);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        /// prop_oneof picks only listed options; assume rejects retry.
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![3 => 0u8..2, 1 => 10u8..12], other: u8) {
+            prop_assume!(other != 255);
+            prop_assert!(pick < 2 || (10..12).contains(&pick));
+            prop_assert_ne!(other, 255);
+        }
+
+        /// btree_set sizes respect the requested range.
+        #[test]
+        fn set_sizes(s in crate::collection::btree_set("[a-z]{3,8}", 1..20)) {
+            prop_assert!(!s.is_empty() && s.len() < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(any::<u8>(), 0..32);
+        let a = strat.generate(&mut crate::TestRng::seed_from_u64(9));
+        let b = strat.generate(&mut crate::TestRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_case_panics_with_context() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(4),
+            "always_fails",
+            &(any::<u8>(),),
+            |(_x,)| Err(TestCaseError::fail("forced")),
+        );
+    }
+}
