@@ -39,12 +39,17 @@ fn bench_degraded_read(c: &mut Criterion) {
     group.sample_size(20);
     let body = files::random_file(SIZE, 0xD16);
 
+    // One shared registry across all three geometries; drained into
+    // BENCH_criterion_degraded_read.json after the group finishes.
+    let tel = fragcloud_telemetry::TelemetryHandle::enabled();
+
     for (label, level, down) in [
         ("raid5_healthy", RaidLevel::Raid5, 0usize),
         ("raid5_one_down", RaidLevel::Raid5, 1),
         ("raid6_two_down", RaidLevel::Raid6, 2),
     ] {
         let d = make_distributor(level);
+        d.set_telemetry(tel.clone());
         let session = d.session("c", "p").expect("valid pair");
         session
             .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
@@ -62,6 +67,16 @@ fn bench_degraded_read(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    let reg = tel.registry().expect("enabled");
+    assert!(reg.counter_total("parity_reconstructions") > 0);
+    if let Ok(path) = fragcloud_bench::write_summary(
+        "criterion_degraded_read",
+        "degraded_read group registry drain",
+        Some(&reg.snapshot()),
+    ) {
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 fn bench_repair(c: &mut Criterion) {

@@ -97,6 +97,47 @@ fn bench_get_degraded(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The acceptance bar for the telemetry layer: a disabled handle (the
+    // default) must cost nothing measurable on the hot read path, and the
+    // enabled cost should stay small. Same file, same distributor shape.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let size = 1 << 20;
+    let body = files::random_file(size, 0x7E1);
+
+    let plain = make_distributor(8, RaidLevel::Raid5);
+    let session = plain.session("c", "p").expect("valid pair");
+    session
+        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
+        .expect("upload");
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("disabled/1MiB", |b| {
+        b.iter(|| session.get_file("f").expect("retrieve"))
+    });
+
+    let instrumented = make_distributor(8, RaidLevel::Raid5);
+    let tel = instrumented.enable_telemetry();
+    let session = instrumented.session("c", "p").expect("valid pair");
+    session
+        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
+        .expect("upload");
+    group.bench_function("enabled/1MiB", |b| {
+        b.iter(|| session.get_file("f").expect("retrieve"))
+    });
+    group.finish();
+
+    let reg = tel.registry().expect("enabled");
+    assert!(reg.counter_total("gets_total") > 0);
+    if let Ok(path) = fragcloud_bench::write_summary(
+        "criterion_distribution",
+        "telemetry_overhead group registry drain",
+        Some(&reg.snapshot()),
+    ) {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn bench_get_parallel(c: &mut Criterion) {
     // Serial loop vs crossbeam per-provider fan-out on the same file.
     let mut group = c.benchmark_group("get_file_serial_vs_parallel");
@@ -129,6 +170,7 @@ criterion_group! {
     targets = bench_put,
     bench_get,
     bench_get_parallel,
-    bench_get_degraded
+    bench_get_degraded,
+    bench_telemetry_overhead
 }
 criterion_main!(benches);

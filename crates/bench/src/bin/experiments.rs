@@ -5,8 +5,15 @@
 //! experiments all         run everything (the EXPERIMENTS.md input)
 //! experiments list        list experiment names
 //! ```
+//!
+//! Besides printing the human-readable report, every run writes a
+//! machine-readable `BENCH_<name>.json` summary (to `$BENCH_OUT_DIR`, or
+//! the current directory) containing the report text and — for
+//! instrumented experiments such as `degraded` — the telemetry registry
+//! snapshot, so CI can assert on counters instead of scraping tables.
 
-use fragcloud_bench::experiments as exp;
+use fragcloud_bench::{experiments as exp, write_summary};
+use fragcloud_telemetry::RegistrySnapshot;
 
 const NAMES: &[(&str, &str)] = &[
     ("fig3", "E1: Tables I-III + Fig. 3 walkthrough"),
@@ -28,27 +35,40 @@ const NAMES: &[(&str, &str)] = &[
     ("degraded", "E18: degraded-mode availability vs provider failure rate"),
 ];
 
-fn run_one(name: &str) -> Option<String> {
+fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
     Some(match name {
-        "fig3" => exp::fig3::run().1,
-        "table4" => exp::table4::run().1,
-        "fig456" => exp::fig456::run().1,
-        "disttime" => exp::disttime::run().1,
-        "chunksize" => exp::chunksize::run().1,
-        "mislead" => exp::mislead::run().1,
-        "policy" => exp::policy::run().1,
-        "availability" => exp::availability::run().1,
-        "dht" => exp::dht::run().1,
-        "encvsfrag" => exp::encvsfrag::run().1,
-        "attacker" => exp::attacker::run().1,
-        "classify" => exp::classify::run().1,
-        "cost" => exp::cost::run().1,
-        "ablation" => exp::ablation::run().1,
-        "rules" => exp::rules::run().1,
-        "segmentation" => exp::segmentation::run().1,
-        "degraded" => exp::degraded::run().1,
+        "fig3" => (exp::fig3::run().1, None),
+        "table4" => (exp::table4::run().1, None),
+        "fig456" => (exp::fig456::run().1, None),
+        "disttime" => (exp::disttime::run().1, None),
+        "chunksize" => (exp::chunksize::run().1, None),
+        "mislead" => (exp::mislead::run().1, None),
+        "policy" => (exp::policy::run().1, None),
+        "availability" => (exp::availability::run().1, None),
+        "dht" => (exp::dht::run().1, None),
+        "encvsfrag" => (exp::encvsfrag::run().1, None),
+        "attacker" => (exp::attacker::run().1, None),
+        "classify" => (exp::classify::run().1, None),
+        "cost" => (exp::cost::run().1, None),
+        "ablation" => (exp::ablation::run().1, None),
+        "rules" => (exp::rules::run().1, None),
+        "segmentation" => (exp::segmentation::run().1, None),
+        "degraded" => {
+            let (_, report, tel) = exp::degraded::run_instrumented();
+            let snap = tel.registry().map(|r| r.snapshot());
+            (report, snap)
+        }
         _ => return None,
     })
+}
+
+fn run_and_export(name: &str) -> Option<String> {
+    let (report, telemetry) = run_one(name)?;
+    match write_summary(name, &report, telemetry.as_ref()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{name}.json: {e}"),
+    }
+    Some(report)
 }
 
 fn main() {
@@ -63,12 +83,12 @@ fn main() {
         }
         "all" => {
             for (name, _) in NAMES {
-                let report = run_one(name).expect("known name");
+                let report = run_and_export(name).expect("known name");
                 println!("{}", "=".repeat(78));
                 println!("{report}");
             }
         }
-        name => match run_one(name) {
+        name => match run_and_export(name) {
             Some(report) => println!("{report}"),
             None => {
                 eprintln!("unknown experiment {name:?}; try `experiments list`");

@@ -13,6 +13,7 @@ use fragcloud_core::config::{ChunkSizeSchedule, DistributorConfig};
 use fragcloud_core::CloudDataDistributor;
 use fragcloud_raid::RaidLevel;
 use fragcloud_sim::PrivacyLevel;
+use fragcloud_telemetry::TelemetryHandle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -36,7 +37,7 @@ pub struct DegradedPoint {
     pub raid5_repaired: f64,
 }
 
-fn trial(level: RaidLevel, dead: &[bool]) -> (bool, bool) {
+fn trial(level: RaidLevel, dead: &[bool], tel: &TelemetryHandle) -> (bool, bool) {
     let fleet = uniform_fleet(FLEET);
     let d = CloudDataDistributor::new(
         fleet.clone(),
@@ -47,6 +48,7 @@ fn trial(level: RaidLevel, dead: &[bool]) -> (bool, bool) {
             ..Default::default()
         },
     );
+    d.set_telemetry(tel.clone());
     d.register_client("c").expect("fresh");
     d.add_password("c", "pw", PrivacyLevel::High).expect("client");
     let session = d.session("c", "pw").expect("valid pair");
@@ -73,6 +75,19 @@ fn trial(level: RaidLevel, dead: &[bool]) -> (bool, bool) {
 
 /// Runs the failure-rate sweep (deterministic under the fixed seed).
 pub fn run() -> (Vec<DegradedPoint>, String) {
+    run_with(&TelemetryHandle::disabled())
+}
+
+/// [`run`] with telemetry on: every trial distributor reports into one
+/// shared registry, which the returned handle exposes — the `experiments`
+/// binary embeds its snapshot in `BENCH_degraded.json`.
+pub fn run_instrumented() -> (Vec<DegradedPoint>, String, TelemetryHandle) {
+    let tel = TelemetryHandle::enabled();
+    let (points, report) = run_with(&tel);
+    (points, report, tel)
+}
+
+fn run_with(tel: &TelemetryHandle) -> (Vec<DegradedPoint>, String) {
     let rates = [0.05, 0.10, 0.20, 0.30];
     let mut points = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
@@ -87,7 +102,7 @@ pub fn run() -> (Vec<DegradedPoint>, String) {
                 .into_iter()
                 .enumerate()
             {
-                let (readable, repaired) = trial(level, &dead);
+                let (readable, repaired) = trial(level, &dead, tel);
                 if readable {
                     ok[li] += 1;
                 }
@@ -150,13 +165,20 @@ mod tests {
         }
         // Low failure rates must be near-perfect for RAID-6.
         assert!(points[0].raid6 >= 0.95, "{:?}", points[0]);
-        // Deterministic under the fixed seed.
-        let (again, _) = run();
+        // Deterministic under the fixed seed — and telemetry is an
+        // observer, not a participant: the instrumented run must land on
+        // identical numbers.
+        let (again, _, tel) = run_instrumented();
         for (a, b) in points.iter().zip(&again) {
             assert_eq!(a.raid5, b.raid5);
             assert_eq!(a.raid6, b.raid6);
             assert_eq!(a.raid5_repaired, b.raid5_repaired);
         }
         assert!(report.contains("E18"));
+        let reg = tel.registry().expect("instrumented run is enabled");
+        assert!(reg.counter_total("puts_total") > 0);
+        assert!(reg.counter_total("parity_reconstructions") > 0);
+        assert!(reg.counter_total("repairs_total") > 0);
+        assert!(reg.spans_balanced());
     }
 }

@@ -7,6 +7,48 @@
 
 pub mod experiments;
 
+use fragcloud_telemetry::export::{json, summary_json};
+use fragcloud_telemetry::RegistrySnapshot;
+use std::path::{Path, PathBuf};
+
+/// Writes the machine-readable summary of one experiment run to
+/// `BENCH_<name>.json` under `dir` and returns the path.
+///
+/// The document is a single JSON object:
+/// `{"experiment": name, "report": <full text report>, "telemetry": ...}`
+/// where `telemetry` is [`fragcloud_telemetry::export::summary_json`]
+/// output for instrumented runs and `null` otherwise.
+pub fn write_summary_to(
+    dir: &Path,
+    name: &str,
+    report: &str,
+    telemetry: Option<&RegistrySnapshot>,
+) -> std::io::Result<PathBuf> {
+    let tel = telemetry.map_or_else(|| "null".to_string(), summary_json);
+    let doc = format!(
+        "{{\"experiment\":{},\"report\":{},\"telemetry\":{}}}\n",
+        json::quote(name),
+        json::quote(report),
+        tel
+    );
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc)?;
+    Ok(path)
+}
+
+/// [`write_summary_to`] targeting `$BENCH_OUT_DIR` (falling back to the
+/// current directory) — what the `experiments` binary calls per run.
+pub fn write_summary(
+    name: &str,
+    report: &str,
+    telemetry: Option<&RegistrySnapshot>,
+) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    write_summary_to(&dir, name, report, telemetry)
+}
+
 /// Formats a float with fixed width for report tables.
 pub fn fnum(v: f64) -> String {
     if v.abs() >= 1000.0 {
@@ -77,5 +119,33 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn ragged_rows_panic() {
         render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn summary_file_roundtrips_through_the_json_parser() {
+        use fragcloud_telemetry::TelemetryHandle;
+        let tel = TelemetryHandle::enabled();
+        tel.incr("puts_total");
+        tel.add_labeled("retries_total", "cp0", 3);
+        let snap = tel.registry().unwrap().snapshot();
+
+        let dir = std::env::temp_dir().join(format!("fragcloud-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_summary_to(&dir, "smoke", "line1\n\"quoted\"\ttab", Some(&snap)).unwrap();
+        assert!(path.ends_with("BENCH_smoke.json"));
+
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = json::parse(doc.trim()).expect("valid json");
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("smoke"));
+        assert_eq!(v.get("report").unwrap().as_str(), Some("line1\n\"quoted\"\ttab"));
+        let counters = v.get("telemetry").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("puts_total").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("retries_total{cp0}").unwrap().as_u64(), Some(3));
+
+        // Uninstrumented runs carry an explicit null.
+        let path = write_summary_to(&dir, "smoke2", "r", None).unwrap();
+        let v = json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        assert_eq!(v.get("telemetry"), Some(&json::Value::Null));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -93,18 +93,34 @@ impl Default for DistributorConfig {
 }
 
 impl DistributorConfig {
-    /// Panics on invalid settings; called by the distributor constructor.
-    pub fn validate(&self) {
-        assert!(self.stripe_width >= 1, "stripe_width must be >= 1");
-        assert!(
-            (0.0..0.5).contains(&self.mislead_rate),
-            "mislead_rate must be in [0, 0.5)"
-        );
-        assert!(
-            self.chunk_sizes.sizes.iter().all(|&s| s > 0),
-            "chunk sizes must be positive"
-        );
-        self.resilience.validate();
+    /// Check the configuration's invariants; the distributor constructor
+    /// calls this and panics on `Err` (an invalid config is a programming
+    /// error at that point), but callers building configs dynamically can
+    /// inspect the [`CoreError::InvalidConfig`](crate::CoreError) instead.
+    pub fn validate(&self) -> Result<(), crate::CoreError> {
+        let fail = |detail: &str| {
+            Err(crate::CoreError::InvalidConfig {
+                detail: detail.to_string(),
+            })
+        };
+        if self.stripe_width < 1 {
+            return fail("stripe_width must be >= 1");
+        }
+        if !(0.0..0.5).contains(&self.mislead_rate) {
+            return fail("mislead_rate must be in [0, 0.5)");
+        }
+        if !self.chunk_sizes.sizes.iter().all(|&s| s > 0) {
+            return fail("chunk sizes must be positive");
+        }
+        self.resilience.validate()
+    }
+
+    /// Deprecated panicking form of [`validate`](Self::validate).
+    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -138,29 +154,47 @@ mod tests {
     #[test]
     fn default_config_is_valid_and_paper_shaped() {
         let c = DistributorConfig::default();
-        c.validate();
+        c.validate().expect("defaults are valid");
         assert_eq!(c.raid_level, RaidLevel::Raid5);
         assert_eq!(c.placement, PlacementStrategy::CheapestEligible);
         assert_eq!(c.mislead_rate, 0.0);
     }
 
     #[test]
+    fn invalid_configs_return_named_errors() {
+        let err = DistributorConfig {
+            stripe_width: 0,
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("zero stripe");
+        assert!(err.to_string().contains("stripe_width"));
+
+        let err = DistributorConfig {
+            mislead_rate: 0.9,
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("mislead too high");
+        assert!(err.to_string().contains("mislead_rate"));
+
+        let err = DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule { sizes: [1024, 512, 0, 64] },
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("zero chunk size");
+        assert!(err.to_string().contains("chunk sizes"));
+    }
+
+    #[test]
     #[should_panic(expected = "stripe_width")]
-    fn invalid_stripe_rejected() {
+    fn deprecated_assert_valid_still_panics() {
+        #[allow(deprecated)]
         DistributorConfig {
             stripe_width: 0,
             ..Default::default()
         }
-        .validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "mislead_rate")]
-    fn invalid_mislead_rejected() {
-        DistributorConfig {
-            mislead_rate: 0.9,
-            ..Default::default()
-        }
-        .validate();
+        .assert_valid();
     }
 }

@@ -22,7 +22,7 @@ use crate::chunker;
 use crate::config::DistributorConfig;
 use crate::mislead;
 use crate::policy;
-use crate::resilience::{RepairReport, ScrubReport};
+use crate::resilience::{AttemptOutcome, RepairReport, ScrubReport};
 use crate::tables::{ChunkEntry, ChunkRole, ClientEntry, FileEntry, StripeInfo, StripeRef, Tables};
 use crate::vid::VidAllocator;
 use crate::{CoreError, Result};
@@ -30,6 +30,7 @@ use bytes::Bytes;
 use fragcloud_raid::{RaidLevel, StripeCodec};
 use fragcloud_sim::reputation::{ReputationConfig, ReputationEvent, ReputationTracker};
 use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, StoreError, VirtualId};
+use fragcloud_telemetry::{span, TelemetryHandle};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -156,12 +157,17 @@ pub struct CloudDataDistributor {
     /// [`ResilienceConfig::reputation_ordering`](crate::resilience::ResilienceConfig)
     /// is on.
     reputation: ReputationTracker,
+    /// Runtime observability handle (disabled by default — see
+    /// [`Self::enable_telemetry`]). Kept outside `config` (which is
+    /// `Copy`) and behind a lock so it can be attached to a live,
+    /// shared distributor.
+    telemetry: RwLock<TelemetryHandle>,
 }
 
 impl CloudDataDistributor {
     /// Creates a distributor over a provider fleet.
     pub fn new(providers: Vec<Arc<CloudProvider>>, config: DistributorConfig) -> Self {
-        config.validate();
+        config.validate().expect("invalid DistributorConfig");
         let n = providers.len();
         CloudDataDistributor {
             state: RwLock::new(Tables::new(providers)),
@@ -169,6 +175,7 @@ impl CloudDataDistributor {
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
+            telemetry: RwLock::new(TelemetryHandle::disabled()),
         }
     }
 
@@ -185,7 +192,7 @@ impl CloudDataDistributor {
         config: DistributorConfig,
         already_allocated: u64,
     ) -> Self {
-        config.validate();
+        config.validate().expect("invalid DistributorConfig");
         let n = tables.providers.len();
         CloudDataDistributor {
             state: RwLock::new(tables),
@@ -193,7 +200,33 @@ impl CloudDataDistributor {
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed ^ already_allocated)),
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
+            telemetry: RwLock::new(TelemetryHandle::disabled()),
         }
+    }
+
+    /// The current telemetry handle (a cheap clone; disabled by default).
+    pub fn telemetry(&self) -> TelemetryHandle {
+        self.telemetry.read().clone()
+    }
+
+    /// Attach a fresh enabled telemetry registry to this distributor and
+    /// its provider fleet, returning a handle to drain it. From this
+    /// point every put/get/scrub/repair (and every provider op they
+    /// issue) records spans, counters, and histograms.
+    pub fn enable_telemetry(&self) -> TelemetryHandle {
+        let handle = TelemetryHandle::enabled();
+        self.set_telemetry(handle.clone());
+        handle
+    }
+
+    /// Install `handle` (enabled or disabled) on this distributor and
+    /// propagate it to every provider in the fleet — passing a shared
+    /// handle aggregates several distributors into one registry.
+    pub fn set_telemetry(&self, handle: TelemetryHandle) {
+        for p in &self.state.read().providers {
+            p.set_telemetry(handle.clone());
+        }
+        *self.telemetry.write() = handle;
     }
 
     /// Number of virtual ids allocated so far (persisted by `persist`).
@@ -242,6 +275,8 @@ impl CloudDataDistributor {
         pl: PrivacyLevel,
         opts: PutOptions,
     ) -> Result<PutReceipt> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "put", file = filename, pl = pl);
         let mut st = self.state.write();
         access::authorize(st.client(client)?, password, pl)?;
         if st.client(client)?.files.contains_key(filename) {
@@ -289,18 +324,21 @@ impl CloudDataDistributor {
                     p
                 })
                 .collect();
-            let parity_blobs: Vec<Vec<u8>> = match raid {
-                RaidLevel::None => Vec::new(),
+            let parity_blobs: Vec<Vec<u8>> = tel.time("stripe_encode_ns", || match raid {
+                RaidLevel::None => Ok::<_, crate::CoreError>(Vec::new()),
                 RaidLevel::Raid5 => {
                     let refs: Vec<&[u8]> = padded.iter().map(|p| p.as_slice()).collect();
-                    vec![fragcloud_raid::raid5::parity(&refs)?]
+                    Ok(vec![fragcloud_raid::raid5::parity(&refs)?])
                 }
                 RaidLevel::Raid6 => {
                     let refs: Vec<&[u8]> = padded.iter().map(|p| p.as_slice()).collect();
                     let pq = fragcloud_raid::raid6::parity(&refs)?;
-                    vec![pq.p, pq.q]
+                    Ok(vec![pq.p, pq.q])
                 }
-            };
+            })?;
+            if raid != RaidLevel::None {
+                tel.incr("stripe_encodes");
+            }
 
             let stripe_id = st.stripes.len();
             let mut members = Vec::with_capacity(total_shards);
@@ -475,11 +513,16 @@ impl CloudDataDistributor {
             },
         );
 
+        let sim_time = per_provider_time.into_iter().max().unwrap_or_default();
+        tel.incr("puts_total");
+        tel.add("put_bytes", data.len() as u64);
+        tel.add("put_chunks", chunk_count as u64);
+        tel.observe_micros("put_sim_us", sim_time);
         Ok(PutReceipt {
             chunk_count,
             stripe_count,
             bytes_stored,
-            sim_time: per_provider_time.into_iter().max().unwrap_or_default(),
+            sim_time,
         })
     }
 
@@ -487,57 +530,48 @@ impl CloudDataDistributor {
     // Degraded-mode engine: retried provider ops, resilient shard stores
     // ------------------------------------------------------------------
 
-    /// One provider read under the retry policy. Returns the outcome plus
-    /// the simulated time spent (transfer + backoff waits) and the number
-    /// of retries consumed — failures cost simulated time too.
+    /// Deterministic backoff-jitter seed for one ⟨object, provider⟩ pair.
+    fn retry_seed(&self, vid: VirtualId, provider_idx: usize) -> u64 {
+        self.config.seed ^ vid.0 ^ (provider_idx as u64).rotate_left(17)
+    }
+
+    /// One provider read under the retry policy (the shared loop lives in
+    /// [`crate::resilience::RetryPolicy::execute`]). Returns the outcome
+    /// plus the simulated time spent (transfer + backoff waits) and the
+    /// number of retries consumed — failures cost simulated time too.
     fn get_with_retry(
         &self,
         st: &Tables,
         provider_idx: usize,
         vid: VirtualId,
     ) -> (Result<Bytes>, Duration, u64) {
-        let policy = self.config.resilience.retry;
         let provider = &st.providers[provider_idx];
-        let mut time = Duration::ZERO;
-        let mut retries = 0u64;
-        let mut waited = Duration::ZERO;
-        for attempt in 1..=policy.max_attempts {
-            match provider.get(vid) {
+        let run = self.config.resilience.retry.execute(
+            self.retry_seed(vid, provider_idx),
+            provider.name(),
+            &self.telemetry(),
+            |_| match provider.get(vid) {
                 Ok(bytes) => {
                     self.reputation.record(provider_idx, ReputationEvent::Success);
-                    time += provider.simulate_transfer(bytes.len());
-                    return (Ok(bytes), time, retries);
+                    AttemptOutcome::Success(bytes)
                 }
                 Err(e @ StoreError::NotFound(_)) => {
                     // The object is gone, not the provider: retrying the
                     // same request cannot help.
                     self.reputation.record(provider_idx, ReputationEvent::Failure);
-                    return (Err(e.into()), time, retries);
+                    AttemptOutcome::Fatal(e.into())
                 }
                 Err(e) => {
                     self.reputation.record(provider_idx, ReputationEvent::Failure);
-                    if attempt == policy.max_attempts {
-                        return (Err(e.into()), time, retries);
-                    }
-                    let pause = policy.backoff(
-                        attempt,
-                        self.config.seed ^ vid.0 ^ (provider_idx as u64).rotate_left(17),
-                    );
-                    waited += pause;
-                    if let Some(deadline) = policy.op_deadline {
-                        if waited > deadline {
-                            let err = CoreError::Timeout {
-                                provider: provider.name().to_string(),
-                            };
-                            return (Err(err), time, retries);
-                        }
-                    }
-                    time += pause;
-                    retries += 1;
+                    AttemptOutcome::Transient(e.into())
                 }
-            }
+            },
+        );
+        let mut time = run.sim_time;
+        if let Ok(bytes) = &run.result {
+            time += provider.simulate_transfer(bytes.len());
         }
-        unreachable!("retry loop returns on its final attempt")
+        (run.result, time, run.retries)
     }
 
     /// One provider write under the retry policy; same accounting contract
@@ -549,43 +583,28 @@ impl CloudDataDistributor {
         vid: VirtualId,
         bytes: Bytes,
     ) -> (Result<()>, Duration, u64) {
-        let policy = self.config.resilience.retry;
         let provider = &st.providers[provider_idx];
         let len = bytes.len();
-        let mut time = Duration::ZERO;
-        let mut retries = 0u64;
-        let mut waited = Duration::ZERO;
-        for attempt in 1..=policy.max_attempts {
-            match provider.put(vid, bytes.clone()) {
+        let run = self.config.resilience.retry.execute(
+            self.retry_seed(vid, provider_idx),
+            provider.name(),
+            &self.telemetry(),
+            |_| match provider.put(vid, bytes.clone()) {
                 Ok(()) => {
                     self.reputation.record(provider_idx, ReputationEvent::Success);
-                    time += provider.simulate_transfer(len);
-                    return (Ok(()), time, retries);
+                    AttemptOutcome::Success(())
                 }
                 Err(e) => {
                     self.reputation.record(provider_idx, ReputationEvent::Failure);
-                    if attempt == policy.max_attempts {
-                        return (Err(e.into()), time, retries);
-                    }
-                    let pause = policy.backoff(
-                        attempt,
-                        self.config.seed ^ vid.0 ^ (provider_idx as u64).rotate_left(17),
-                    );
-                    waited += pause;
-                    if let Some(deadline) = policy.op_deadline {
-                        if waited > deadline {
-                            let err = CoreError::Timeout {
-                                provider: provider.name().to_string(),
-                            };
-                            return (Err(err), time, retries);
-                        }
-                    }
-                    time += pause;
-                    retries += 1;
+                    AttemptOutcome::Transient(e.into())
                 }
-            }
+            },
+        );
+        let mut time = run.sim_time;
+        if run.result.is_ok() {
+            time += provider.simulate_transfer(len);
         }
-        unreachable!("retry loop returns on its final attempt")
+        (run.result, time, run.retries)
     }
 
     /// Stores one shard with retry; on failure re-places it on an
@@ -648,9 +667,12 @@ impl CloudDataDistributor {
         filename: &str,
         serial: u32,
     ) -> Result<Vec<u8>> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "get_chunk", file = filename, serial = serial);
         let st = self.state.read();
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
+        tel.incr("chunk_gets_total");
         Ok(self.fetch_logical_chunk(&st, chunk_idx)?.logical)
     }
 
@@ -660,6 +682,8 @@ impl CloudDataDistributor {
         password: &str,
         filename: &str,
     ) -> Result<GetReceipt> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "get", file = filename);
         let st = self.state.read();
         let file = st.file(client, filename)?;
         access::authorize(st.client(client)?, password, file.pl)?;
@@ -678,14 +702,24 @@ impl CloudDataDistributor {
             retries += fetch.retries;
             out.extend_from_slice(&fetch.logical);
         }
-        Ok(GetReceipt {
+        let receipt = GetReceipt {
             data: out,
             sim_time: per_provider_time.into_iter().max().unwrap_or_default(),
             reconstructed_chunks: reconstructed,
             degraded_chunks: degraded,
             hedged_chunks: hedged,
             retries,
-        })
+        };
+        self.record_get(&tel, &receipt);
+        Ok(receipt)
+    }
+
+    /// Shared get-side accounting for the serial and parallel paths.
+    fn record_get(&self, tel: &TelemetryHandle, receipt: &GetReceipt) {
+        tel.incr("gets_total");
+        tel.add("get_bytes", receipt.data.len() as u64);
+        tel.add("degraded_chunk_reads", receipt.degraded_chunks as u64);
+        tel.observe_micros("get_sim_us", receipt.sim_time);
     }
 
     pub(crate) fn get_file_parallel_impl(
@@ -694,6 +728,8 @@ impl CloudDataDistributor {
         password: &str,
         filename: &str,
     ) -> Result<GetReceipt> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "get_parallel", file = filename);
         let st = self.state.read();
         let file = st.file(client, filename)?;
         access::authorize(st.client(client)?, password, file.pl)?;
@@ -769,14 +805,16 @@ impl CloudDataDistributor {
                 }
             }
         }
-        Ok(GetReceipt {
+        let receipt = GetReceipt {
             data: out,
             sim_time: per_provider_time.into_iter().max().unwrap_or_default(),
             reconstructed_chunks: reconstructed,
             degraded_chunks: degraded,
             hedged_chunks: hedged,
             retries,
-        })
+        };
+        self.record_get(&tel, &receipt);
+        Ok(receipt)
     }
 
     /// Fetches a logical chunk through the degraded-mode read path:
@@ -804,11 +842,13 @@ impl CloudDataDistributor {
             let direct_est =
                 st.providers[entry.provider_idx].estimate_transfer(entry.stored_len);
             if direct_est > threshold {
+                self.telemetry().incr("hedges_considered");
                 if let Some(parity_est) = self.estimate_reconstruct(st, chunk_idx) {
                     if parity_est < direct_est {
                         if let Ok((stored, time, retries)) =
                             self.reconstruct_stored(st, chunk_idx)
                         {
+                            self.telemetry().incr("reads_hedged");
                             return Ok(ChunkFetch {
                                 logical: mislead::strip(&stored, &entry.mislead_positions),
                                 charged_provider: entry.provider_idx,
@@ -858,6 +898,9 @@ impl CloudDataDistributor {
                 timed_out = Some(e.clone());
             }
             if let Ok(stored) = res {
+                if rank > 0 {
+                    self.telemetry().incr("failovers_total");
+                }
                 return Ok(ChunkFetch {
                     logical: mislead::strip(&stored, &entry.mislead_positions),
                     charged_provider: pidx,
@@ -936,6 +979,8 @@ impl CloudDataDistributor {
         st: &Tables,
         chunk_idx: usize,
     ) -> Result<(Vec<u8>, Duration, u64)> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "chunk.reconstruct", chunk = chunk_idx);
         let entry = &st.chunks[chunk_idx];
         let stripe_ref = entry.stripe.ok_or(CoreError::Raid(
             fragcloud_raid::RaidError::TooManyErasures {
@@ -979,7 +1024,8 @@ impl CloudDataDistributor {
             .iter()
             .map(|(i, b)| (*i, b.as_slice()))
             .collect();
-        let blob = codec.decode(&refs, stripe.k * width)?;
+        let blob = codec.decode_observed(&refs, stripe.k * width, &tel)?;
+        tel.incr("parity_reconstructions");
         let start = stripe_ref.index * width;
         Ok((blob[start..start + entry.stored_len].to_vec(), worst, retries))
     }
@@ -1296,6 +1342,8 @@ impl CloudDataDistributor {
     /// refreshing the stripes' degraded markers. Operator-side: no client
     /// credentials involved, and no provider payloads are read.
     pub fn scrub(&self) -> ScrubReport {
+        let tel = self.telemetry();
+        let _op = span!(tel, "scrub");
         let mut st = self.state.write();
         let mut report = ScrubReport::default();
         for sid in 0..st.stripes.len() {
@@ -1331,6 +1379,8 @@ impl CloudDataDistributor {
                 report.unreadable.push(sid);
             }
         }
+        tel.incr("scrubs_total");
+        tel.add("scrub_missing_shards", report.missing_shards as u64);
         report
     }
 
@@ -1342,6 +1392,8 @@ impl CloudDataDistributor {
     /// with the lost ones. Stripes beyond their fault tolerance are
     /// reported in [`RepairReport::failed`].
     pub fn repair(&self) -> RepairReport {
+        let tel = self.telemetry();
+        let _op = span!(tel, "repair");
         let scrub = self.scrub();
         let mut st = self.state.write();
         let mut report = RepairReport::default();
@@ -1359,6 +1411,9 @@ impl CloudDataDistributor {
         }
         report.failed.sort_unstable();
         report.sim_time = per_provider_time.into_iter().max().unwrap_or_default();
+        tel.incr("repairs_total");
+        tel.add("shards_rebuilt", report.shards_rebuilt as u64);
+        tel.add("repair_failures", report.failed.len() as u64);
         report
     }
 
@@ -1419,8 +1474,9 @@ impl CloudDataDistributor {
             .map(|(i, b)| (*i, b.as_slice()))
             .collect();
         let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
+        let tel = self.telemetry();
         for &(slot, m) in &missing {
-            rebuilt.push((m, codec.reconstruct_shard(&refs, slot)?));
+            rebuilt.push((m, codec.reconstruct_shard_observed(&refs, slot, &tel)?));
         }
 
         // Phase 2b: re-place each rebuilt shard.

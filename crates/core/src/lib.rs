@@ -54,7 +54,10 @@ pub mod vid;
 pub use config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
-pub use resilience::{RepairReport, ResilienceConfig, RetryPolicy, ScrubReport};
+pub use fragcloud_telemetry::TelemetryHandle;
+pub use resilience::{
+    AttemptOutcome, RepairReport, ResilienceConfig, RetryExecution, RetryPolicy, ScrubReport,
+};
 pub use session::{Credentials, Session};
 
 /// Errors surfaced by the distributor.
@@ -129,6 +132,12 @@ pub enum CoreError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A configuration value failed validation (see
+    /// [`DistributorConfig::validate`](config::DistributorConfig::validate)).
+    InvalidConfig {
+        /// The violated constraint, naming the offending field.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -162,6 +171,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::RetriesExhausted { attempts } => {
                 write!(f, "operation failed after {attempts} attempts")
+            }
+            CoreError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
             }
         }
     }

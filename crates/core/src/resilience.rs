@@ -14,6 +14,8 @@
 //! waiting is charged to the *simulated* clock (see `fragcloud_sim::net`),
 //! never to wall time.
 
+use crate::CoreError;
+use fragcloud_telemetry::TelemetryHandle;
 use std::time::Duration;
 
 /// Per-operation retry budget with capped exponential backoff.
@@ -29,7 +31,7 @@ pub struct RetryPolicy {
     /// a deterministic factor in `[1 − jitter, 1 + jitter]`.
     pub jitter: f64,
     /// Budget on the *total* simulated wait per operation; exceeding it
-    /// surfaces as [`CoreError::Timeout`](crate::CoreError::Timeout)
+    /// surfaces as [`crate::CoreError::Timeout`]
     /// instead of further retries. `None` = bounded by attempts only.
     pub op_deadline: Option<Duration>,
 }
@@ -58,17 +60,33 @@ impl RetryPolicy {
         }
     }
 
-    /// Panics on invalid settings; called via `DistributorConfig::validate`.
-    pub fn validate(&self) {
-        assert!(self.max_attempts >= 1, "max_attempts must be >= 1");
-        assert!(
-            (0.0..1.0).contains(&self.jitter),
-            "retry jitter must be in [0, 1)"
-        );
-        assert!(
-            self.max_backoff >= self.base_backoff,
-            "max_backoff must be >= base_backoff"
-        );
+    /// Check the policy's invariants; called via
+    /// `DistributorConfig::validate`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.max_attempts < 1 {
+            return Err(CoreError::InvalidConfig {
+                detail: "max_attempts must be >= 1".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.jitter) {
+            return Err(CoreError::InvalidConfig {
+                detail: "retry jitter must be in [0, 1)".into(),
+            });
+        }
+        if self.max_backoff < self.base_backoff {
+            return Err(CoreError::InvalidConfig {
+                detail: "max_backoff must be >= base_backoff".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Deprecated panicking form of [`validate`](Self::validate).
+    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 
     /// Simulated wait before retry number `attempt` (1-based: the wait
@@ -91,6 +109,89 @@ impl RetryPolicy {
         let factor = 1.0 + (2.0 * unit - 1.0) * self.jitter;
         Duration::from_secs_f64((capped * factor).max(0.0))
     }
+
+    /// Run `attempt` (1-based attempt number in) under this policy's
+    /// budget, charging backoff waits to the simulated clock and
+    /// recording `retries_total{provider}`, `backoff_wait_us`, and
+    /// `timeouts_total` into `telemetry`.
+    ///
+    /// This is the single retry loop shared by the distributor's
+    /// provider `get`s and `put`s: the closure decides per attempt
+    /// whether the failure is [`Fatal`](AttemptOutcome::Fatal) (e.g. the
+    /// object is simply not there) or
+    /// [`Transient`](AttemptOutcome::Transient) (worth retrying).
+    /// Exceeding [`op_deadline`](Self::op_deadline) in cumulative waits
+    /// surfaces as [`CoreError::Timeout`] naming `provider`; the wait
+    /// that breached the deadline is *not* charged.
+    pub fn execute<T>(
+        &self,
+        seed: u64,
+        provider: &str,
+        telemetry: &TelemetryHandle,
+        mut attempt: impl FnMut(u32) -> AttemptOutcome<T>,
+    ) -> RetryExecution<T> {
+        let mut sim_time = Duration::ZERO;
+        let mut waited = Duration::ZERO;
+        let mut retries = 0u64;
+        for n in 1..=self.max_attempts {
+            match attempt(n) {
+                AttemptOutcome::Success(v) => {
+                    return RetryExecution { result: Ok(v), sim_time, retries }
+                }
+                AttemptOutcome::Fatal(e) => {
+                    return RetryExecution { result: Err(e), sim_time, retries }
+                }
+                AttemptOutcome::Transient(e) => {
+                    if n == self.max_attempts {
+                        return RetryExecution { result: Err(e), sim_time, retries };
+                    }
+                    let pause = self.backoff(n, seed);
+                    waited += pause;
+                    if let Some(deadline) = self.op_deadline {
+                        if waited > deadline {
+                            telemetry.incr("timeouts_total");
+                            return RetryExecution {
+                                result: Err(CoreError::Timeout { provider: provider.to_string() }),
+                                sim_time,
+                                retries,
+                            };
+                        }
+                    }
+                    telemetry.add_labeled("retries_total", provider, 1);
+                    telemetry
+                        .observe("backoff_wait_us", pause.as_micros().min(u128::from(u64::MAX)) as u64);
+                    sim_time += pause;
+                    retries += 1;
+                }
+            }
+        }
+        unreachable!("the loop returns on its final attempt")
+    }
+}
+
+/// What a single attempt inside [`RetryPolicy::execute`] produced.
+#[derive(Debug)]
+pub enum AttemptOutcome<T> {
+    /// The attempt succeeded; stop and return the value.
+    Success(T),
+    /// The attempt failed in a way more attempts cannot fix (e.g. the
+    /// object does not exist); stop and return the error.
+    Fatal(CoreError),
+    /// The attempt failed transiently (provider offline, throttled);
+    /// retry if the budget allows.
+    Transient(CoreError),
+}
+
+/// Aggregate outcome of a [`RetryPolicy::execute`] run.
+#[derive(Debug)]
+pub struct RetryExecution<T> {
+    /// Final result: the first success, the first fatal error, the last
+    /// transient error, or [`CoreError::Timeout`].
+    pub result: crate::Result<T>,
+    /// Simulated time charged to backoff waits.
+    pub sim_time: Duration,
+    /// Retries performed (0 = first attempt settled it).
+    pub retries: u64,
 }
 
 /// Degraded-mode knobs for the distributor's I/O engine.
@@ -119,9 +220,17 @@ impl Default for ResilienceConfig {
 }
 
 impl ResilienceConfig {
-    /// Panics on invalid settings.
-    pub fn validate(&self) {
-        self.retry.validate();
+    /// Check the configuration's invariants.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.retry.validate()
+    }
+
+    /// Deprecated panicking form of [`validate`](Self::validate).
+    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -216,29 +325,107 @@ mod tests {
     #[test]
     fn none_policy_is_a_single_attempt() {
         let p = RetryPolicy::none();
-        p.validate();
+        p.validate().expect("none() is valid");
         assert_eq!(p.max_attempts, 1);
         assert_eq!(p.backoff(1, 7), Duration::ZERO);
     }
 
     #[test]
+    fn invalid_policies_return_named_errors() {
+        let err = RetryPolicy {
+            max_attempts: 0,
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("zero attempts");
+        assert!(matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_attempts")));
+
+        let err = RetryPolicy {
+            jitter: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("full jitter");
+        assert!(matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("jitter")));
+
+        let err = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(5),
+            ..Default::default()
+        }
+        .validate()
+        .expect_err("inverted bounds");
+        assert!(matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_backoff")));
+    }
+
+    #[test]
     #[should_panic(expected = "max_attempts")]
-    fn zero_attempts_rejected() {
+    fn deprecated_assert_valid_still_panics() {
+        #[allow(deprecated)]
         RetryPolicy {
             max_attempts: 0,
             ..Default::default()
         }
-        .validate();
+        .assert_valid();
     }
 
     #[test]
-    #[should_panic(expected = "jitter")]
-    fn full_jitter_rejected() {
-        RetryPolicy {
-            jitter: 1.0,
+    fn execute_retries_transient_and_stops_on_fatal() {
+        use fragcloud_telemetry::TelemetryHandle;
+        let p = RetryPolicy {
+            jitter: 0.0,
             ..Default::default()
-        }
-        .validate();
+        };
+        let tel = TelemetryHandle::enabled();
+
+        // Succeeds on the third (final) attempt: two retries charged.
+        let mut calls = 0;
+        let run = p.execute(0, "cp0", &tel, |n| {
+            calls += 1;
+            if n < 3 {
+                AttemptOutcome::Transient(CoreError::AccessDenied)
+            } else {
+                AttemptOutcome::Success(n)
+            }
+        });
+        assert_eq!(run.result.as_ref().copied().unwrap(), 3);
+        assert_eq!((calls, run.retries), (3, 2));
+        assert_eq!(run.sim_time, Duration::from_millis(2 + 4));
+
+        // Fatal on attempt one: no retries, no waits.
+        let run = p.execute(0, "cp0", &tel, |_| {
+            AttemptOutcome::Fatal::<u32>(CoreError::AccessDenied)
+        });
+        assert!(run.result.is_err());
+        assert_eq!((run.retries, run.sim_time), (0, Duration::ZERO));
+
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter_value("retries_total", "cp0"), 2);
+        assert_eq!(reg.histogram("backoff_wait_us", "").count(), 2);
+    }
+
+    #[test]
+    fn execute_deadline_surfaces_timeout() {
+        use fragcloud_telemetry::TelemetryHandle;
+        let p = RetryPolicy {
+            max_attempts: 10,
+            jitter: 0.0,
+            op_deadline: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let tel = TelemetryHandle::enabled();
+        let run = p.execute(0, "slowpoke", &tel, |_| {
+            AttemptOutcome::Transient::<()>(CoreError::AccessDenied)
+        });
+        // Waits are 2ms, 4ms… — cumulative 6ms breaches the 5ms deadline
+        // on the second pause, which must not itself be charged.
+        assert!(matches!(
+            run.result,
+            Err(CoreError::Timeout { ref provider }) if provider == "slowpoke"
+        ));
+        assert_eq!(run.retries, 1);
+        assert_eq!(run.sim_time, Duration::from_millis(2));
+        assert_eq!(tel.registry().unwrap().counter_total("timeouts_total"), 1);
     }
 
     #[test]
@@ -265,6 +452,6 @@ mod tests {
 
     #[test]
     fn default_resilience_validates() {
-        ResilienceConfig::default().validate();
+        ResilienceConfig::default().validate().expect("defaults are valid");
     }
 }

@@ -142,6 +142,14 @@ impl<'d> Session<'d> {
         self.distributor
     }
 
+    /// The distributor's runtime-telemetry handle (disabled unless
+    /// [`CloudDataDistributor::enable_telemetry`] or
+    /// [`CloudDataDistributor::set_telemetry`] was called). Every op issued
+    /// through this session is recorded against it.
+    pub fn telemetry(&self) -> fragcloud_telemetry::TelemetryHandle {
+        self.distributor.telemetry()
+    }
+
     /// Uploads a file at the given privacy level; see
     /// [`PutOptions`] for per-upload knobs.
     pub fn put_file(

@@ -19,6 +19,11 @@ pub struct Observation {
     pub key: VirtualId,
     /// The chunk payload.
     pub data: Bytes,
+    /// Global logical-clock tick at which the write was observed. Drawn
+    /// from [`fragcloud_telemetry::clock`], so attack experiments and the
+    /// runtime telemetry layer share one event ordering even across
+    /// providers.
+    pub seq: u64,
 }
 
 /// Records everything a provider stores; cheap to clone-share.
@@ -33,9 +38,11 @@ impl Observer {
         Self::default()
     }
 
-    /// Records a stored object (called by the provider on `put`).
+    /// Records a stored object (called by the provider on `put`), stamped
+    /// with the global logical clock.
     pub fn record(&self, key: VirtualId, data: Bytes) {
-        self.log.lock().push(Observation { key, data });
+        let seq = fragcloud_telemetry::clock::tick();
+        self.log.lock().push(Observation { key, data, seq });
     }
 
     /// Number of observations.
@@ -131,6 +138,21 @@ mod tests {
         b.record(VirtualId(2), Bytes::from_static(b"y"));
         let pooled = pool_observations(&[&a, &b]);
         assert_eq!(pooled.len(), 2);
+    }
+
+    #[test]
+    fn observations_carry_strictly_increasing_seq() {
+        let a = Observer::new();
+        let b = Observer::new();
+        // Interleave across observers: the shared clock still totally
+        // orders the events.
+        a.record(VirtualId(1), Bytes::from_static(b"x"));
+        b.record(VirtualId(2), Bytes::from_static(b"y"));
+        a.record(VirtualId(3), Bytes::from_static(b"z"));
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert!(sa[0].seq < sb[0].seq);
+        assert!(sb[0].seq < sa[1].seq);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::observer::Observer;
 use crate::store::{MemoryStore, ObjectStore, StoreError};
 use crate::types::{CostLevel, PrivacyLevel, VirtualId};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use fragcloud_telemetry::TelemetryHandle;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -74,6 +75,8 @@ pub struct CloudProvider {
     /// Scripted mid-stream death: number of further operations this
     /// provider will serve before going offline (`-1` = no script).
     fail_after: AtomicI64,
+    /// Runtime telemetry sink; disabled (no-op) by default.
+    telemetry: RwLock<TelemetryHandle>,
 }
 
 impl CloudProvider {
@@ -88,7 +91,20 @@ impl CloudProvider {
             op_seq: AtomicU64::new(0),
             flakiness: Mutex::new(None),
             fail_after: AtomicI64::new(-1),
+            telemetry: RwLock::new(TelemetryHandle::disabled()),
         }
+    }
+
+    /// Routes this provider's per-op telemetry (op counts, rejections,
+    /// simulated latencies — all labeled by provider name) to `handle`.
+    pub fn set_telemetry(&self, handle: TelemetryHandle) {
+        *self.telemetry.write() = handle;
+    }
+
+    /// The provider's current telemetry sink (disabled unless
+    /// [`set_telemetry`](Self::set_telemetry) was called).
+    pub fn telemetry(&self) -> TelemetryHandle {
+        self.telemetry.read().clone()
     }
 
     /// Scripts a **mid-stream death**: the provider serves `n` more
@@ -167,7 +183,12 @@ impl CloudProvider {
     /// Simulated network time for an operation of `size` bytes.
     pub fn simulate_transfer(&self, size: usize) -> Duration {
         let seq = self.op_seq.fetch_add(1, Ordering::Relaxed);
-        self.profile.latency.transfer_time(size, seq)
+        let d = self.profile.latency.transfer_time(size, seq);
+        let tel = self.telemetry.read();
+        if tel.is_enabled() {
+            tel.observe_labeled("provider_op_us", &self.profile.name, d.as_micros() as u64);
+        }
+        d
     }
 
     /// Predicted transfer time for `size` bytes **without** consuming an
@@ -188,14 +209,14 @@ impl CloudProvider {
             }
         }
         if !self.is_online() {
-            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.record_rejection();
             return Err(StoreError::Unavailable {
                 provider: self.profile.name.clone(),
             });
         }
         if let Some((p, rng)) = self.flakiness.lock().as_mut() {
             if rng.gen_bool(*p) {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.record_rejection();
                 return Err(StoreError::Unavailable {
                     provider: self.profile.name.clone(),
                 });
@@ -203,11 +224,28 @@ impl CloudProvider {
         }
         Ok(())
     }
+
+    fn record_rejection(&self) {
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let tel = self.telemetry.read();
+        if tel.is_enabled() {
+            tel.add_labeled("provider_rejected_total", &self.profile.name, 1);
+        }
+    }
+
+    fn record_op(&self, op: &str) {
+        let tel = self.telemetry.read();
+        if tel.is_enabled() {
+            tel.add_labeled("provider_ops_total", &self.profile.name, 1);
+            tel.add_labeled(op, &self.profile.name, 1);
+        }
+    }
 }
 
 impl ObjectStore for CloudProvider {
     fn put(&self, key: VirtualId, value: Bytes) -> Result<(), StoreError> {
         self.check_online()?;
+        self.record_op("provider_puts");
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_in
@@ -219,6 +257,7 @@ impl ObjectStore for CloudProvider {
     fn get(&self, key: VirtualId) -> Result<Bytes, StoreError> {
         self.check_online()?;
         let v = self.store.get(key)?;
+        self.record_op("provider_gets");
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_out
@@ -229,6 +268,7 @@ impl ObjectStore for CloudProvider {
     fn delete(&self, key: VirtualId) -> Result<(), StoreError> {
         self.check_online()?;
         self.store.delete(key)?;
+        self.record_op("provider_deletes");
         self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -398,6 +438,28 @@ mod tests {
         assert_eq!(e1, e2);
         // The first *real* transfer still sees the untouched sequence.
         assert_eq!(p.simulate_transfer(1000), e1);
+    }
+
+    #[test]
+    fn telemetry_records_labeled_provider_ops() {
+        let p = provider();
+        let tel = TelemetryHandle::enabled();
+        p.set_telemetry(tel.clone());
+        p.put(VirtualId(1), Bytes::from_static(b"hello")).unwrap();
+        p.get(VirtualId(1)).unwrap();
+        p.simulate_transfer(1024);
+        p.set_online(false);
+        let _ = p.get(VirtualId(1));
+        let reg = tel.registry().expect("enabled handle has a registry");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("provider_ops_total", "AWS"), 2);
+        assert_eq!(snap.counter("provider_puts", "AWS"), 1);
+        assert_eq!(snap.counter("provider_gets", "AWS"), 1);
+        assert_eq!(snap.counter("provider_rejected_total", "AWS"), 1);
+        let h = snap
+            .histogram("provider_op_us", "AWS")
+            .expect("latency histogram recorded");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! A process-wide logical clock.
+//!
+//! The simulator has no single wall clock: provider ops, observer
+//! records, and telemetry spans all happen on different threads and the
+//! interesting property is their *order*, not their timestamps. This
+//! module provides one monotonically increasing `u64` sequence shared by
+//! everything in the process, so attack experiments (which read the
+//! providers' [`Observer`] logs) and telemetry spans agree on a single
+//! event ordering.
+//!
+//! [`Observer`]: https://docs.rs/fragcloud-sim
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Advance the clock and return the new tick. Every observable event
+/// (a span enter, an observer record, a provider op) should call this
+/// exactly once.
+pub fn tick() -> u64 {
+    TICKS.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// The current tick without advancing. Zero means nothing has ever
+/// ticked in this process.
+pub fn now() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_strictly_increasing() {
+        let a = tick();
+        let b = tick();
+        let c = tick();
+        assert!(a < b && b < c);
+        assert!(now() >= c);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(|| (0..1000).map(|_| tick()).collect::<Vec<_>>()));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 1000, "no tick may be handed out twice");
+    }
+}

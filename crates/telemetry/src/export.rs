@@ -1,0 +1,527 @@
+//! Exporters: human-readable summary table, JSON-lines op-ledger, and a
+//! dependency-free JSON parser for asserting on exported output.
+
+use crate::registry::{Registry, RegistrySnapshot};
+
+/// Render `ns` nanoseconds as a compact human duration.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}us", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{}s", ns / 1_000_000_000),
+    }
+}
+
+fn metric_key(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+impl Registry {
+    /// Render the human-readable summary table of everything recorded.
+    pub fn render_summary(&self) -> String {
+        render_summary(&self.snapshot())
+    }
+
+    /// Export the full op-ledger as JSON lines: one `meta` line, then
+    /// one line per counter, histogram, span aggregate, and retained
+    /// span record. Each line is a standalone JSON object with a
+    /// `"type"` discriminator.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        let snap = self.snapshot();
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"span_enters\":{},\"span_exits\":{},\"span_records_dropped\":{},\"clock\":{}}}\n",
+            snap.span_enters,
+            snap.span_exits,
+            snap.span_records_dropped,
+            crate::clock::now(),
+        ));
+        for c in &snap.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"label\":{},\"value\":{}}}\n",
+                json::quote(&c.name),
+                json::quote(&c.label),
+                c.value
+            ));
+        }
+        for (name, label, h) in &snap.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}\n",
+                json::quote(name),
+                json::quote(label),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ));
+        }
+        for (name, agg) in &snap.span_aggregates {
+            out.push_str(&format!(
+                "{{\"type\":\"span_summary\",\"name\":{},\"count\":{},\"total_ns\":{},\"max_ns\":{}}}\n",
+                json::quote(name),
+                agg.count,
+                agg.total_ns,
+                agg.max_ns
+            ));
+        }
+        for r in self.span_records() {
+            let attrs: Vec<String> =
+                r.attrs.iter().map(|(k, v)| format!("{}:{}", json::quote(k), json::quote(v))).collect();
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"seq\":{},\"duration_ns\":{},\"attrs\":{{{}}}}}\n",
+                r.id,
+                r.parent.map_or("null".to_string(), |p| p.to_string()),
+                json::quote(r.name),
+                r.seq,
+                r.duration_ns,
+                attrs.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Write [`Registry::export_jsonl`] to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.export_jsonl())
+    }
+}
+
+/// Render a [`RegistrySnapshot`] as the human-readable summary table.
+pub fn render_summary(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("telemetry summary\n");
+    out.push_str(&format!(
+        "  spans (enters={} exits={}{})\n",
+        snap.span_enters,
+        snap.span_exits,
+        if snap.span_records_dropped > 0 {
+            format!(" dropped_records={}", snap.span_records_dropped)
+        } else {
+            String::new()
+        }
+    ));
+    out.push_str(&format!("    {:<32} {:>8} {:>10} {:>10}\n", "name", "count", "total", "max"));
+    for (name, agg) in &snap.span_aggregates {
+        out.push_str(&format!(
+            "    {:<32} {:>8} {:>10} {:>10}\n",
+            name,
+            agg.count,
+            fmt_ns(agg.total_ns),
+            fmt_ns(agg.max_ns)
+        ));
+    }
+    out.push_str("  counters\n");
+    for c in &snap.counters {
+        out.push_str(&format!("    {:<40} {:>12}\n", metric_key(&c.name, &c.label), c.value));
+    }
+    out.push_str("  histograms\n");
+    out.push_str(&format!(
+        "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "name", "count", "mean", "p50", "p99", "max"
+    ));
+    for (name, label, h) in &snap.histograms {
+        out.push_str(&format!(
+            "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            metric_key(name, label),
+            h.count,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max
+        ));
+    }
+    out
+}
+
+/// Render a snapshot as one embeddable JSON object:
+/// `{"counters":{...},"histograms":{...},"spans":{...}}`. Labelled
+/// metrics use `name{label}` keys; labelled counter families also get a
+/// `name` key holding the cross-label total.
+pub fn summary_json(snap: &RegistrySnapshot) -> String {
+    use std::collections::BTreeMap;
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for c in &snap.counters {
+        *counters.entry(c.name.clone()).or_default() += c.value;
+        if !c.label.is_empty() {
+            counters.insert(metric_key(&c.name, &c.label), c.value);
+        }
+    }
+    let counter_entries: Vec<String> =
+        counters.iter().map(|(k, v)| format!("{}:{}", json::quote(k), v)).collect();
+    let histogram_entries: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(name, label, h)| {
+            format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                json::quote(&metric_key(name, label)),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            )
+        })
+        .collect();
+    let span_entries: Vec<String> = snap
+        .span_aggregates
+        .iter()
+        .map(|(name, agg)| {
+            format!(
+                "{}:{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                json::quote(name),
+                agg.count,
+                agg.total_ns,
+                agg.max_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"histograms\":{{{}}},\"spans\":{{{}}},\"span_enters\":{},\"span_exits\":{}}}",
+        counter_entries.join(","),
+        histogram_entries.join(","),
+        span_entries.join(","),
+        snap.span_enters,
+        snap.span_exits
+    )
+}
+
+/// A minimal JSON reader/writer — enough to quote strings on the way
+/// out and to parse exported summaries back in tests and CI smoke runs.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number (held as `f64`).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object with sorted keys.
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Member `key` of an object, if this is an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        /// The numeric value as `u64`, if this is a number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The string value, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+    }
+
+    /// Quote and escape `s` as a JSON string literal.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Parse a complete JSON document. Errors carry a byte offset.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected byte at {}", self.pos)),
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(
+                self.peek(),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let cp = self.hex4()?;
+                                out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one full UTF-8 character.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, String> {
+            // self.pos is on 'u'; the four digits follow.
+            let start = self.pos + 1;
+            let end = start + 4;
+            if end > self.bytes.len() {
+                return Err("truncated \\u escape".into());
+            }
+            let cp = std::str::from_utf8(&self.bytes[start..end])
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| format!("bad \\u escape at byte {start}"))?;
+            self.pos = end - 1; // the shared escape advance adds the final 1
+            Ok(cp)
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut out = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(out));
+            }
+            loop {
+                self.skip_ws();
+                out.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(out));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut out = BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                out.insert(key, self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(out));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, quote, Value};
+    use crate::TelemetryHandle;
+
+    fn populated() -> TelemetryHandle {
+        let tel = TelemetryHandle::enabled();
+        {
+            let _g = crate::span!(tel, "put", file = "f");
+            tel.incr("puts_total");
+            tel.add_labeled("retries_total", "AWS", 2);
+            tel.observe("backoff_wait_us", 250);
+        }
+        tel
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let tel = populated();
+        let s = tel.registry().unwrap().render_summary();
+        for needle in ["put", "puts_total", "retries_total{AWS}", "backoff_wait_us", "enters=1 exits=1"] {
+            assert!(s.contains(needle), "summary missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse() {
+        let tel = populated();
+        let ledger = tel.registry().unwrap().export_jsonl();
+        let mut types = std::collections::BTreeSet::new();
+        for line in ledger.lines() {
+            let v = parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            types.insert(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        for t in ["meta", "counter", "histogram", "span_summary", "span"] {
+            assert!(types.contains(t), "ledger missing a {t:?} line");
+        }
+    }
+
+    #[test]
+    fn summary_json_parses_with_family_totals() {
+        let tel = populated();
+        let doc = super::summary_json(&tel.registry().unwrap().snapshot());
+        let v = parse(&doc).expect("valid json");
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("retries_total").unwrap().as_u64(), Some(2));
+        assert_eq!(counters.get("retries_total{AWS}").unwrap().as_u64(), Some(2));
+        assert_eq!(counters.get("puts_total").unwrap().as_u64(), Some(1));
+        assert!(v.get("histograms").unwrap().get("backoff_wait_us").is_some());
+        assert_eq!(v.get("spans").unwrap().get("put").unwrap().get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn parser_roundtrips_escapes_and_nesting() {
+        let src = r#"{"a":[1,2.5,-3,null,true,false],"s":"he said \"hi\"\n\tA","o":{"inner":[]}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("he said \"hi\"\n\tA"));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(parse(&quote("a\"b\\c\nd")).unwrap(), Value::Str("a\"b\\c\nd".into()));
+        assert!(parse("{\"k\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("{\"k\"").is_err());
+    }
+}

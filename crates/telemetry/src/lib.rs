@@ -1,0 +1,178 @@
+//! Runtime observability for the cloud data distributor.
+//!
+//! This crate is the *operational* counterpart to `fragcloud-metrics`
+//! (which scores privacy/attack outcomes): it answers questions like
+//! "how many reads were hedged", "how often did parity reconstruction
+//! fire", and "what did a put cost per provider" without ad-hoc
+//! printlns. It is built only on `std` plus the vendored `parking_lot`
+//! shim — no external registry access is required.
+//!
+//! Three pieces:
+//!
+//! 1. **Spans** — [`span!`] / [`TelemetryHandle::span`] return an RAII
+//!    [`SpanGuard`] that records a timed enter/exit with parent linkage
+//!    (a thread-local stack) into a bounded in-memory collector.
+//! 2. **Counters and histograms** — monotonically increasing counters
+//!    (optionally labelled, e.g. `retries_total{provider}`) and
+//!    log₂-bucketed histograms behind a thread-safe [`Registry`].
+//! 3. **Exporters** — a human-readable summary table
+//!    ([`Registry::render_summary`]) and a JSON-lines op-ledger writer
+//!    ([`Registry::export_jsonl`]), plus a dependency-free JSON
+//!    parser in [`export::json`] so tests and CI can assert on output.
+//!
+//! Everything is **off by default**: the plumbing type is
+//! [`TelemetryHandle`], which is a cheap clonable `Option<Arc<Registry>>`.
+//! A disabled handle turns every record call into a no-op branch, so
+//! instrumented hot paths cost nothing measurable until a caller opts in
+//! with [`TelemetryHandle::enabled`].
+//!
+//! ```
+//! use fragcloud_telemetry::{span, TelemetryHandle};
+//!
+//! let tel = TelemetryHandle::enabled();
+//! {
+//!     let _op = span!(tel, "get", chunk = 3, provider = "AWS");
+//!     tel.incr("gets_total");
+//!     tel.observe("backoff_wait_us", 1500);
+//! }
+//! let reg = tel.registry().unwrap();
+//! assert_eq!(reg.counter_total("gets_total"), 1);
+//! assert_eq!(reg.span_count("get"), 1);
+//! assert!(reg.spans_balanced());
+//! println!("{}", reg.render_summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Histogram, HistogramSnapshot};
+pub use registry::{CounterSnapshot, Registry, RegistrySnapshot};
+pub use span::{SpanAggregate, SpanGuard, SpanRecord};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cheap, clonable entry point for instrumentation.
+///
+/// A handle is either *disabled* (the default — every call is a no-op)
+/// or *enabled*, in which case it shares an [`Arc<Registry>`] with every
+/// clone. Hot paths hold a handle and call [`incr`](Self::incr) /
+/// [`observe`](Self::observe) / [`span`](Self::span) unconditionally;
+/// the enabled check is a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryHandle(Option<Arc<Registry>>);
+
+impl TelemetryHandle {
+    /// A disabled handle: every recording call is a no-op.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A fresh enabled handle backed by a new empty [`Registry`].
+    pub fn enabled() -> Self {
+        Self(Some(Arc::new(Registry::new())))
+    }
+
+    /// Wrap an existing registry (e.g. to share one across distributors).
+    pub fn from_registry(registry: Arc<Registry>) -> Self {
+        Self(Some(registry))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The backing registry, if enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.0.as_ref()
+    }
+
+    /// Increment the unlabelled counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Add `v` to the unlabelled counter `name`.
+    pub fn add(&self, name: &str, v: u64) {
+        if let Some(r) = &self.0 {
+            r.counter(name, "").fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Add `v` to the counter `name{label}` (and to the family total
+    /// reported by [`Registry::counter_total`]).
+    pub fn add_labeled(&self, name: &str, label: &str, v: u64) {
+        if let Some(r) = &self.0 {
+            r.counter(name, label).fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Record `value` into the unlabelled histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(r) = &self.0 {
+            r.histogram(name, "").record(value);
+        }
+    }
+
+    /// Record `value` into the histogram `name{label}`.
+    pub fn observe_labeled(&self, name: &str, label: &str, value: u64) {
+        if let Some(r) = &self.0 {
+            r.histogram(name, label).record(value);
+        }
+    }
+
+    /// Record a duration, in microseconds, into the histogram `name`.
+    pub fn observe_micros(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Run `f` and record its wall-clock duration, in nanoseconds, into
+    /// the histogram `name`. When disabled, `f` runs untimed.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        match &self.0 {
+            None => f(),
+            Some(r) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                r.histogram(name, "").record(ns);
+                out
+            }
+        }
+    }
+
+    /// Open a span named `name`. The returned guard records a timed
+    /// enter/exit (with parent linkage to any span already open on this
+    /// thread) when dropped. Prefer the [`span!`] macro, which also
+    /// attaches key/value attributes.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard::noop(),
+            Some(r) => SpanGuard::enter(Arc::clone(r), name),
+        }
+    }
+}
+
+/// Open a [`SpanGuard`] on a [`TelemetryHandle`] with optional
+/// key/value attributes:
+///
+/// ```
+/// # use fragcloud_telemetry::{span, TelemetryHandle};
+/// # let tel = TelemetryHandle::enabled();
+/// let _g = span!(tel, "get", chunk = 7, provider = "AWS");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($handle:expr, $name:expr $(,)?) => {
+        $handle.span($name)
+    };
+    ($handle:expr, $name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        $handle.span($name)$(.attr(stringify!($key), &$val))+
+    };
+}

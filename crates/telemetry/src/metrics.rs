@@ -1,0 +1,168 @@
+//! Log₂-bucketed histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
+/// holds values whose highest set bit is bit `i-1`, i.e. the range
+/// `[2^(i-1), 2^i - 1]`.
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram with power-of-two buckets.
+///
+/// Values are unitless `u64`s; by convention the distributor records
+/// microseconds for simulated waits (`*_us`) and nanoseconds for real
+/// CPU timings (`*_ns`). Recording is a handful of relaxed atomic ops,
+/// and quantile queries are approximate (bucket upper bound).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], with derived statistics.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; see [`Histogram`] for the bucket layout.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `q`-th ranked observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn stats_and_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), 221);
+        assert!(s.quantile(0.5) >= 3 && s.quantile(0.5) < 100);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max, s.mean(), s.quantile(0.99)), (0, 0, 0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,261 @@
+//! The metric registry: named counters, histograms, and the span store.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::span::{SpanAggregate, SpanCollector, SpanRecord};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One counter's point-in-time value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name, e.g. `retries_total`.
+    pub name: String,
+    /// Label value (empty for unlabelled counters), e.g. a provider name.
+    pub label: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of everything a [`Registry`] holds; the input to
+/// both exporters.
+#[derive(Clone, Debug)]
+pub struct RegistrySnapshot {
+    /// All counters, sorted by (name, label).
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by (name, label).
+    pub histograms: Vec<(String, String, HistogramSnapshot)>,
+    /// Per-name span aggregates, sorted by name.
+    pub span_aggregates: Vec<(&'static str, SpanAggregate)>,
+    /// Span enter/exit totals and the overflow-drop count.
+    pub span_enters: u64,
+    /// Completed spans.
+    pub span_exits: u64,
+    /// Completions not retained because the record cap was hit.
+    pub span_records_dropped: u64,
+}
+
+impl RegistrySnapshot {
+    /// Value of counter `name{label}` at snapshot time (0 if absent).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    /// Sum of counter `name` across all labels at snapshot time.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Histogram `name{label}` at snapshot time, if it was ever recorded.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, l, _)| n == name && l == label)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Completed-span count for `name` (0 if the span never ran).
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.span_aggregates
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| a.count)
+            .unwrap_or(0)
+    }
+}
+
+/// Thread-safe home for counters, histograms, and spans.
+///
+/// Metrics are created lazily on first touch; lookups take a short
+/// mutex, increments are relaxed atomics. Callers that care can hold the
+/// returned [`Arc`]s to skip the lookup entirely.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<(String, String), Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<(String, String), Arc<Histogram>>>,
+    spans: SpanCollector,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.lock().len())
+            .field("histograms", &self.histograms.lock().len())
+            .field("span_exits", &self.spans.exits())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// The counter `name{label}` (empty label for unlabelled), created
+    /// on first use.
+    pub fn counter(&self, name: &str, label: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock();
+        if let Some(c) = counters.get(&(name.to_string(), label.to_string())) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        counters.insert((name.to_string(), label.to_string()), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram `name{label}`, created on first use.
+    pub fn histogram(&self, name: &str, label: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock();
+        if let Some(h) = histograms.get(&(name.to_string(), label.to_string())) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        histograms.insert((name.to_string(), label.to_string()), Arc::clone(&h));
+        h
+    }
+
+    /// Current value of `name{label}` (0 if never touched).
+    pub fn counter_value(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .lock()
+            .get(&(name.to_string(), label.to_string()))
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sum of `name` across all labels (for labelled families like
+    /// `retries_total{provider}` this is the fleet-wide total).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Completed spans named `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.aggregate(name).count
+    }
+
+    /// Aggregate statistics for spans named `name`.
+    pub fn span_aggregate(&self, name: &str) -> SpanAggregate {
+        self.spans.aggregate(name)
+    }
+
+    /// All retained span completions (capped; see
+    /// [`RegistrySnapshot::span_records_dropped`]).
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.spans.records()
+    }
+
+    /// `true` when every span enter has a matching exit — i.e. no guard
+    /// is still alive and none was leaked.
+    pub fn spans_balanced(&self) -> bool {
+        self.spans.enters() == self.spans.exits()
+    }
+
+    /// Point-in-time copy of all metrics for export.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|((name, label), c)| CounterSnapshot {
+                name: name.clone(),
+                label: label.clone(),
+                value: c.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|((name, label), h)| (name.clone(), label.clone(), h.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            histograms,
+            span_aggregates: self.spans.aggregates(),
+            span_enters: self.spans.enters(),
+            span_exits: self.spans.exits(),
+            span_records_dropped: self.spans.dropped(),
+        }
+    }
+
+    /// Drop all counters, histograms, and retained span records (the
+    /// enter/exit balance totals are kept so leak detection survives).
+    pub fn clear(&self) {
+        self.counters.lock().clear();
+        self.histograms.lock().clear();
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let r = Registry::new();
+        r.counter("retries_total", "AWS").fetch_add(2, Ordering::Relaxed);
+        r.counter("retries_total", "Sky").fetch_add(3, Ordering::Relaxed);
+        r.counter("puts_total", "").fetch_add(1, Ordering::Relaxed);
+        assert_eq!(r.counter_value("retries_total", "AWS"), 2);
+        assert_eq!(r.counter_value("retries_total", "Sky"), 3);
+        assert_eq!(r.counter_total("retries_total"), 5);
+        assert_eq!(r.counter_total("puts_total"), 1);
+        assert_eq!(r.counter_value("missing", ""), 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("ops", &format!("t{i}"));
+                    for _ in 0..10_000 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        r.histogram("lat_us", "").record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter_total("ops"), 80_000);
+        assert_eq!(r.histogram("lat_us", "").count(), 80_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b", "").fetch_add(1, Ordering::Relaxed);
+        r.counter("a", "x").fetch_add(2, Ordering::Relaxed);
+        r.histogram("h", "").record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].name, "a");
+        assert_eq!(snap.counters[1].name, "b");
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].2.count, 1);
+    }
+}

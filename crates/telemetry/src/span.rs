@@ -1,0 +1,256 @@
+//! RAII spans with parent linkage and a bounded in-memory collector.
+
+use crate::clock;
+use crate::registry::Registry;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard cap on retained [`SpanRecord`]s; completions beyond it are
+/// counted in [`SpanCollector::dropped`] instead of silently lost.
+const MAX_RECORDS: usize = 65_536;
+
+thread_local! {
+    /// Stack of open span ids on this thread, innermost last.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A completed span: one timed enter/exit pair.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the span that was open on the same thread at enter time.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"get"`).
+    pub name: &'static str,
+    /// Key/value attributes attached via [`SpanGuard::attr`] / `span!`.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Logical-clock tick at enter; orders this span against observer
+    /// events and other spans process-wide.
+    pub seq: u64,
+    /// Wall-clock duration from enter to exit, in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Aggregate statistics for all spans sharing a name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanAggregate {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total duration across completions, in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single completion, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Thread-safe store of span completions; owned by a [`Registry`].
+#[derive(Default)]
+pub(crate) struct SpanCollector {
+    next_id: AtomicU64,
+    enters: AtomicU64,
+    exits: AtomicU64,
+    dropped: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+    aggregates: Mutex<std::collections::BTreeMap<&'static str, SpanAggregate>>,
+}
+
+impl SpanCollector {
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn note_enter(&self) {
+        self.enters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn finish(&self, record: SpanRecord) {
+        self.exits.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut agg = self.aggregates.lock();
+            let entry = agg.entry(record.name).or_default();
+            entry.count += 1;
+            entry.total_ns += record.duration_ns;
+            entry.max_ns = entry.max_ns.max(record.duration_ns);
+        }
+        let mut records = self.records.lock();
+        if records.len() < MAX_RECORDS {
+            records.push(record);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn enters(&self) -> u64 {
+        self.enters.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn exits(&self) -> u64 {
+        self.exits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().clone()
+    }
+
+    pub(crate) fn aggregates(&self) -> Vec<(&'static str, SpanAggregate)> {
+        self.aggregates.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub(crate) fn aggregate(&self, name: &str) -> SpanAggregate {
+        self.aggregates.lock().get(name).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.records.lock().clear();
+        self.aggregates.lock().clear();
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Registry>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    attrs: Vec<(&'static str, String)>,
+    seq: u64,
+    start: Instant,
+}
+
+/// RAII guard for an open span. Created by [`TelemetryHandle::span`]
+/// or the [`span!`] macro; the span completes when the guard drops.
+///
+/// Guards must be dropped on the thread that opened them (they maintain
+/// a thread-local parent stack); the distributor's scoped fan-outs
+/// satisfy this naturally.
+///
+/// [`TelemetryHandle::span`]: crate::TelemetryHandle::span
+/// [`span!`]: crate::span!
+#[must_use = "a span records nothing until the guard is dropped"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    pub(crate) fn enter(registry: Arc<Registry>, name: &'static str) -> Self {
+        let collector = registry.spans();
+        let id = collector.next_id();
+        collector.note_enter();
+        let parent = OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            let parent = open.last().copied();
+            open.push(id);
+            parent
+        });
+        Self {
+            inner: Some(SpanInner {
+                registry,
+                id,
+                parent,
+                name,
+                attrs: Vec::new(),
+                seq: clock::tick(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Attach a key/value attribute (no-op when telemetry is disabled).
+    pub fn attr(mut self, key: &'static str, value: &dyn std::fmt::Display) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.attrs.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// This span's id, if recording (e.g. to correlate with log lines).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        OPEN.with(|open| {
+            let mut open = open.borrow_mut();
+            // Normally a strict stack; remove by id to stay balanced even
+            // if a caller drops guards out of order.
+            if let Some(pos) = open.iter().rposition(|&id| id == inner.id) {
+                open.remove(pos);
+            }
+        });
+        let duration_ns = inner.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        inner.registry.spans().finish(SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            attrs: inner.attrs,
+            seq: inner.seq,
+            duration_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TelemetryHandle;
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let tel = TelemetryHandle::enabled();
+        {
+            let outer = crate::span!(tel, "put", file = "a.txt");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = crate::span!(tel, "raid.encode");
+                assert_ne!(inner.id().unwrap(), outer_id);
+            }
+            let _sibling = tel.span("store");
+        }
+        let reg = tel.registry().unwrap();
+        assert!(reg.spans_balanced());
+        assert_eq!(reg.span_count("put"), 1);
+        assert_eq!(reg.span_count("raid.encode"), 1);
+        let records = reg.span_records();
+        let put = records.iter().find(|r| r.name == "put").unwrap();
+        let enc = records.iter().find(|r| r.name == "raid.encode").unwrap();
+        let store = records.iter().find(|r| r.name == "store").unwrap();
+        assert_eq!(put.parent, None);
+        assert_eq!(enc.parent, Some(put.id));
+        assert_eq!(store.parent, Some(put.id));
+        assert_eq!(put.attrs, vec![("file", "a.txt".to_string())]);
+        assert!(enc.seq > put.seq, "logical clock orders enters");
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let tel = TelemetryHandle::disabled();
+        let g = crate::span!(tel, "get", chunk = 1);
+        assert_eq!(g.id(), None);
+        drop(g);
+        assert!(tel.registry().is_none());
+    }
+
+    #[test]
+    fn out_of_order_drop_stays_balanced() {
+        let tel = TelemetryHandle::enabled();
+        let a = tel.span("a");
+        let b = tel.span("b");
+        drop(a);
+        drop(b);
+        let reg = tel.registry().unwrap();
+        assert!(reg.spans_balanced());
+        assert_eq!(reg.span_count("a") + reg.span_count("b"), 2);
+    }
+}

@@ -1,5 +1,6 @@
 //! Quickstart: stand up a provider fleet, register a client, upload /
-//! retrieve / remove a file, and survive a provider outage.
+//! retrieve / remove a file, survive a provider outage, and read the
+//! telemetry summary of everything the engine did along the way.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -39,6 +40,10 @@ fn main() {
             ..Default::default()
         },
     );
+
+    // Opt in to runtime telemetry (off by default): every op below is
+    // recorded as spans + counters in the returned registry handle.
+    let telemetry = distributor.enable_telemetry();
 
     // 3. A client with two access-control passwords.
     distributor.register_client("Bob").expect("fresh system");
@@ -100,4 +105,13 @@ fn main() {
         "after removal, providers hold {} objects",
         fleet.iter().map(|p| p.chunk_count()).sum::<usize>()
     );
+
+    // 11. What did all of that cost? The telemetry registry kept score:
+    // span counts/durations for put/get, parity reconstructions, retries
+    // per provider, simulated latencies, …
+    let registry = telemetry.registry().expect("telemetry enabled above");
+    println!("\n{}", registry.render_summary());
+    assert!(registry.span_count("put") > 0);
+    assert!(registry.span_count("get") > 0);
+    assert!(registry.spans_balanced());
 }

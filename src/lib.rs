@@ -12,6 +12,8 @@
 //! - [`dht`] — Chord-style ring for the client-side distributor variant
 //! - [`crypto`] — ChaCha20 for the encryption-vs-fragmentation comparison
 //! - [`workloads`] / [`metrics`] — experiment inputs and privacy metrics
+//! - [`telemetry`] — runtime spans, counters/histograms, op-ledger export
+//!   (distinct from [`metrics`], which scores *privacy*; see DESIGN.md)
 //!
 //! The everyday client surface is re-exported at the root, so most programs
 //! only need `use fragcloud::{CloudDataDistributor, Session, ...}`:
@@ -48,6 +50,7 @@ pub use fragcloud_metrics as metrics;
 pub use fragcloud_mining as mining;
 pub use fragcloud_raid as raid;
 pub use fragcloud_sim as sim;
+pub use fragcloud_telemetry as telemetry;
 pub use fragcloud_workloads as workloads;
 
 pub use fragcloud_core::{
@@ -57,3 +60,4 @@ pub use fragcloud_core::{
 };
 pub use fragcloud_raid::RaidLevel;
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
+pub use fragcloud_telemetry::TelemetryHandle;
