@@ -1,0 +1,64 @@
+//! Criterion bench for the put path: serial vs pipelined upload over a
+//! multi-stripe file (the wall-clock companion to experiment E19).
+//!
+//! The pipelined path runs stripe encoding on the distributor's transfer
+//! pool while the caller uploads the previous stripe; on a single-core
+//! host the two modes converge, so read the ratio together with the
+//! machine's core count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fragcloud_bench::experiments::uniform_fleet;
+use fragcloud_core::config::{ChunkSizeSchedule, DistributorConfig};
+use fragcloud_core::{CloudDataDistributor, PrivacyLevel, PutOptions};
+use fragcloud_raid::RaidLevel;
+
+const FILE_LEN: usize = 1 << 20; // 1 MiB → 128 chunks → 32 RAID-6 stripes
+
+fn make_distributor(pipelined: bool) -> CloudDataDistributor {
+    let d = CloudDataDistributor::new(
+        uniform_fleet(8),
+        DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule::uniform(8 << 10),
+            stripe_width: 4,
+            raid_level: RaidLevel::Raid6,
+            mislead_rate: 0.08,
+            transfer_workers: 4,
+            pipelined_put: pipelined,
+            ..Default::default()
+        },
+    );
+    d.register_client("c").expect("fresh");
+    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d
+}
+
+fn bench_put_throughput(c: &mut Criterion) {
+    let body: Vec<u8> = (0..FILE_LEN).map(|i| ((i * 131 + 7) % 251) as u8).collect();
+    let mut group = c.benchmark_group("put_throughput");
+    group.sample_size(10);
+    for pipelined in [false, true] {
+        group.throughput(Throughput::Bytes(FILE_LEN as u64));
+        group.bench_with_input(
+            BenchmarkId::new(
+                if pipelined { "pipelined" } else { "serial" },
+                format!("{}KiB", FILE_LEN >> 10),
+            ),
+            &body,
+            |b, body| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    let d = make_distributor(pipelined);
+                    i += 1;
+                    d.session("c", "p")
+                        .expect("valid pair")
+                        .put_file(&format!("f{i}"), body, PrivacyLevel::Low, PutOptions::new())
+                        .expect("upload")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put_throughput);
+criterion_main!(benches);

@@ -78,6 +78,45 @@ fn bench_gf256(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wide kernels against the retained `*_scalar` references on 64 KiB
+/// shards — the speedup claim behind the PR that introduced the kernel
+/// dispatch layer.
+fn bench_wide_vs_scalar(c: &mut Criterion) {
+    use fragcloud_raid::gf256;
+    let mut group = c.benchmark_group("wide_vs_scalar");
+    let width = 64 << 10;
+    let k = 4;
+    let data = shards(k, width);
+    let refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+
+    group.throughput(Throughput::Bytes((k * width) as u64));
+    group.bench_function("raid5_parity_wide_64KiB", |b| {
+        b.iter(|| raid5::parity(&refs).expect("valid stripe"))
+    });
+    group.bench_function("raid5_parity_scalar_64KiB", |b| {
+        b.iter(|| raid5::parity_scalar(&refs).expect("valid stripe"))
+    });
+
+    let src: Vec<u8> = (0..width).map(|i| (i * 131 + 17) as u8).collect();
+    let mut acc = vec![0u8; width];
+    group.throughput(Throughput::Bytes(width as u64));
+    group.bench_function("mul_acc_wide_64KiB", |b| {
+        b.iter(|| gf256::mul_acc(&mut acc, &src, 0x57))
+    });
+    group.bench_function("mul_acc_scalar_64KiB", |b| {
+        b.iter(|| gf256::mul_acc_scalar(&mut acc, &src, 0x57))
+    });
+
+    let mut buf = src.clone();
+    group.bench_function("mul_slice_wide_64KiB", |b| {
+        b.iter(|| gf256::mul_slice(&mut buf, 0x57))
+    });
+    group.bench_function("mul_slice_scalar_64KiB", |b| {
+        b.iter(|| gf256::mul_slice_scalar(&mut buf, 0x57))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Short windows keep the full-workspace bench run tractable;
@@ -86,6 +125,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_parity, bench_reconstruct, bench_gf256
+    targets = bench_parity, bench_reconstruct, bench_gf256, bench_wide_vs_scalar
 }
 criterion_main!(benches);

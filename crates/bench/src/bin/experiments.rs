@@ -33,6 +33,7 @@ const NAMES: &[(&str, &str)] = &[
     ("rules", "E16: Apriori rule recall vs k compromised providers"),
     ("segmentation", "E17: customer-segmentation attack vs fragment fraction"),
     ("degraded", "E18: degraded-mode availability vs provider failure rate"),
+    ("put_throughput", "E19: put-path throughput, serial vs pipelined upload"),
 ];
 
 fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
@@ -55,6 +56,11 @@ fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
         "segmentation" => (exp::segmentation::run().1, None),
         "degraded" => {
             let (_, report, tel) = exp::degraded::run_instrumented();
+            let snap = tel.registry().map(|r| r.snapshot());
+            (report, snap)
+        }
+        "put_throughput" => {
+            let (_, report, tel) = exp::put_throughput::run_instrumented();
             let snap = tel.registry().map(|r| r.snapshot());
             (report, snap)
         }

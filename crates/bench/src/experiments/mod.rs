@@ -1,4 +1,4 @@
-//! Experiment modules (E1–E18; see DESIGN.md §4 for the index).
+//! Experiment modules (E1–E19; see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod attacker;
@@ -14,6 +14,7 @@ pub mod fig3;
 pub mod fig456;
 pub mod mislead;
 pub mod policy;
+pub mod put_throughput;
 pub mod rules;
 pub mod segmentation;
 pub mod table4;

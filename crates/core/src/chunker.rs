@@ -17,7 +17,16 @@ pub fn split(data: &[u8], pl: PrivacyLevel, schedule: &ChunkSizeSchedule) -> Vec
     if data.is_empty() {
         return vec![Vec::new()];
     }
-    data.chunks(size).map(|c| c.to_vec()).collect()
+    let mut out = Vec::with_capacity(data.len().div_ceil(size));
+    for c in data.chunks(size) {
+        // Exact-capacity allocation per chunk — the final (short) chunk
+        // gets `c.len()`, never a rounded-up full block, so downstream
+        // stages can hold many chunks without slack.
+        let mut chunk = Vec::with_capacity(c.len());
+        chunk.extend_from_slice(c);
+        out.push(chunk);
+    }
+    out
 }
 
 /// Reassembles chunks (in serial order) into the original file.
@@ -96,6 +105,30 @@ mod tests {
             for pl in PrivacyLevel::ALL {
                 assert_eq!(join(&split(&data, pl, &s)), data, "n={n} pl={pl}");
             }
+        }
+    }
+
+    #[test]
+    fn split_and_join_allocate_exactly() {
+        let s = sched();
+        // Empty file: one chunk, no heap allocation at all.
+        let chunks = split(&[], PrivacyLevel::Public, &s);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].capacity(), 0);
+        assert_eq!(join(&chunks).capacity(), 0);
+        // Exact multiple and short-tail: every chunk's capacity equals its
+        // length (no rounded-up blocks), and `join` never reallocates past
+        // the total.
+        let data: Vec<u8> = (0..32).map(|i| i as u8).collect();
+        for body in [&data[..32], &data[..30]] {
+            let chunks = split(body, PrivacyLevel::Low, &s);
+            assert_eq!(chunks.capacity(), chunks.len(), "outer vec sized exactly");
+            for c in &chunks {
+                assert_eq!(c.capacity(), c.len(), "chunk over-allocated");
+            }
+            let joined = join(&chunks);
+            assert_eq!(joined.capacity(), body.len());
+            assert_eq!(joined, body);
         }
     }
 

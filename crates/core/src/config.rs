@@ -76,6 +76,15 @@ pub struct DistributorConfig {
     /// Degraded-mode I/O engine knobs (retry, hedging, reputation
     /// ordering); see [`crate::resilience`].
     pub resilience: ResilienceConfig,
+    /// Worker threads in the distributor's persistent transfer pool
+    /// (shared by every [`Session`](crate::Session) on it); parallel gets
+    /// and pipelined-put encoding run on these. Must be in `1..=64`.
+    pub transfer_workers: usize,
+    /// Enables the pipelined put fast path that overlaps stripe encoding
+    /// (mislead injection + parity) on the transfer pool with the
+    /// caller-side provider stores of the previous stripe. Provider state
+    /// is byte-identical either way; this only changes wall-clock time.
+    pub pipelined_put: bool,
 }
 
 impl Default for DistributorConfig {
@@ -88,6 +97,8 @@ impl Default for DistributorConfig {
             placement: PlacementStrategy::CheapestEligible,
             seed: 0x0D15_7B17,
             resilience: ResilienceConfig::default(),
+            transfer_workers: 4,
+            pipelined_put: true,
         }
     }
 }
@@ -111,6 +122,9 @@ impl DistributorConfig {
         }
         if !self.chunk_sizes.sizes.iter().all(|&s| s > 0) {
             return fail("chunk sizes must be positive");
+        }
+        if !(1..=64).contains(&self.transfer_workers) {
+            return fail("transfer_workers must be in 1..=64");
         }
         self.resilience.validate()
     }
@@ -185,6 +199,23 @@ mod tests {
         .validate()
         .expect_err("zero chunk size");
         assert!(err.to_string().contains("chunk sizes"));
+
+        for workers in [0usize, 65, 1000] {
+            let err = DistributorConfig {
+                transfer_workers: workers,
+                ..Default::default()
+            }
+            .validate()
+            .expect_err("bad worker count");
+            assert!(err.to_string().contains("transfer_workers"), "{workers}");
+        }
+        DistributorConfig {
+            transfer_workers: 1,
+            pipelined_put: false,
+            ..Default::default()
+        }
+        .validate()
+        .expect("1 worker, serial put is valid");
     }
 
     #[test]

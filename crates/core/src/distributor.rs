@@ -22,6 +22,7 @@ use crate::chunker;
 use crate::config::DistributorConfig;
 use crate::mislead;
 use crate::policy;
+use crate::pool::TransferPool;
 use crate::resilience::{AttemptOutcome, RepairReport, ScrubReport};
 use crate::tables::{ChunkEntry, ChunkRole, ClientEntry, FileEntry, StripeInfo, StripeRef, Tables};
 use crate::vid::VidAllocator;
@@ -34,7 +35,8 @@ use fragcloud_telemetry::{span, TelemetryHandle};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Per-upload options, built fluently:
@@ -162,6 +164,35 @@ pub struct CloudDataDistributor {
     /// `Copy`) and behind a lock so it can be attached to a live,
     /// shared distributor.
     telemetry: RwLock<TelemetryHandle>,
+    /// Persistent transfer pool shared by every [`crate::Session`] on this
+    /// distributor, created lazily on the first parallel get or pipelined
+    /// put (so purely serial workloads never spawn a thread).
+    pool: OnceLock<TransferPool>,
+}
+
+/// One stripe's worth of encoded shards, produced by
+/// [`CloudDataDistributor::encode_stripe_group`] either inline (serial
+/// put) or on a transfer-pool worker (pipelined put).
+struct EncodedGroup {
+    /// Per data chunk: virtual id, stored bytes (mislead-injected),
+    /// mislead positions, logical length.
+    chunks: Vec<(VirtualId, Vec<u8>, Vec<usize>, usize)>,
+    /// Stripe shard width (longest stored chunk; shorter chunks are
+    /// logically zero-padded for parity).
+    width: usize,
+    /// Parity blobs: empty for `RaidLevel::None`, `[P]` for RAID-5,
+    /// `[P, Q]` for RAID-6.
+    parity: Vec<Vec<u8>>,
+}
+
+/// Mutable accumulators threaded through
+/// [`CloudDataDistributor::store_stripe`] — the pieces of the final
+/// [`PutReceipt`] and table bookkeeping that grow stripe by stripe.
+struct PutProgress {
+    chunk_indices: Vec<usize>,
+    stripe_ids: Vec<usize>,
+    bytes_stored: usize,
+    per_provider_time: Vec<Duration>,
 }
 
 impl CloudDataDistributor {
@@ -176,6 +207,7 @@ impl CloudDataDistributor {
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
+            pool: OnceLock::new(),
         }
     }
 
@@ -201,7 +233,17 @@ impl CloudDataDistributor {
             rng: Mutex::new(StdRng::seed_from_u64(config.seed ^ already_allocated)),
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// The shared transfer pool, created on first use with
+    /// [`DistributorConfig::transfer_workers`] worker threads. Parallel
+    /// gets and pipelined puts run their overlappable stages here instead
+    /// of spawning fresh threads per call.
+    pub fn transfer_pool(&self) -> &TransferPool {
+        self.pool
+            .get_or_init(|| TransferPool::new(self.config.transfer_workers))
     }
 
     /// The current telemetry handle (a cheap clone; disabled by default).
@@ -290,217 +332,130 @@ impl CloudDataDistributor {
         let logical_chunks = chunker::split(data, pl, &self.config.chunk_sizes);
         let chunk_count = logical_chunks.len();
 
-        // 2. Inject misleading bytes per chunk; allocate virtual ids.
-        let mut stored_chunks: Vec<(fragcloud_sim::VirtualId, Vec<u8>, Vec<usize>, usize)> =
-            Vec::with_capacity(chunk_count);
-        for logical in &logical_chunks {
-            let vid = self.vids.allocate();
-            let (stored, positions) = mislead::inject(logical, rate, self.config.seed ^ vid.0);
-            stored_chunks.push((vid, stored, positions, logical.len()));
+        // 2. Allocate virtual ids upfront, in chunk order — identical ids
+        // regardless of which thread later encodes the stripe, so the
+        // serial and pipelined paths write byte-identical provider state.
+        let paired: Vec<(VirtualId, Vec<u8>)> = logical_chunks
+            .into_iter()
+            .map(|logical| (self.vids.allocate(), logical))
+            .collect();
+
+        // 3. Group into stripes (owned groups so pool workers can take
+        // them), then encode + store.
+        let k_max = self.config.stripe_width.max(1);
+        let mut groups: Vec<Vec<(VirtualId, Vec<u8>)>> = Vec::new();
+        {
+            let mut it = paired.into_iter();
+            loop {
+                let g: Vec<_> = it.by_ref().take(k_max).collect();
+                if g.is_empty() {
+                    break;
+                }
+                groups.push(g);
+            }
         }
 
-        // 3. Group into stripes, compute parity, place, store.
-        let k_max = self.config.stripe_width.max(1);
-        let mut chunk_indices = Vec::with_capacity(chunk_count);
-        let mut stripe_ids = Vec::new();
-        let mut bytes_stored = 0usize;
-        let mut per_provider_time: Vec<Duration> =
-            vec![Duration::ZERO; st.providers.len()];
-
+        let mut progress = PutProgress {
+            chunk_indices: Vec::with_capacity(chunk_count),
+            stripe_ids: Vec::new(),
+            bytes_stored: 0,
+            per_provider_time: vec![Duration::ZERO; st.providers.len()],
+        };
         let mut rng = self.rng.lock();
-        for (stripe_no, group) in stored_chunks.chunks(k_max).enumerate() {
-            let k = group.len();
-            let width = group.iter().map(|(_, s, _, _)| s.len()).max().unwrap_or(0);
-            let total_shards = k + raid.parity_shards();
-            let placement =
-                policy::place_stripe(&st.providers, pl, total_shards, self.config.placement, &mut rng)?;
+        let st = &mut *st;
 
-            // Parity over zero-padded stored chunks.
-            let padded: Vec<Vec<u8>> = group
-                .iter()
-                .map(|(_, s, _, _)| {
-                    let mut p = s.clone();
-                    p.resize(width, 0);
-                    p
-                })
-                .collect();
-            let parity_blobs: Vec<Vec<u8>> = tel.time("stripe_encode_ns", || match raid {
-                RaidLevel::None => Ok::<_, crate::CoreError>(Vec::new()),
-                RaidLevel::Raid5 => {
-                    let refs: Vec<&[u8]> = padded.iter().map(|p| p.as_slice()).collect();
-                    Ok(vec![fragcloud_raid::raid5::parity(&refs)?])
-                }
-                RaidLevel::Raid6 => {
-                    let refs: Vec<&[u8]> = padded.iter().map(|p| p.as_slice()).collect();
-                    let pq = fragcloud_raid::raid6::parity(&refs)?;
-                    Ok(vec![pq.p, pq.q])
-                }
-            })?;
-            if raid != RaidLevel::None {
-                tel.incr("stripe_encodes");
-            }
-
-            let stripe_id = st.stripes.len();
-            let mut members = Vec::with_capacity(total_shards);
-
-            // Degraded-write bookkeeping: shards the engine could not land
-            // anywhere are skipped (the parity already covers them) as long
-            // as the stripe stays within its fault tolerance.
-            let tolerance = raid.fault_tolerance();
-            let mut hosting = placement.clone(); // actual provider per shard slot
-            let mut missing = 0usize;
-
-            // Replica placement pool: eligible providers not used by this
-            // stripe, cycled per chunk so copies spread out.
-            let eligible = policy::eligible_providers(&st.providers, pl);
-            let replica_pool: Vec<usize> = eligible
-                .iter()
-                .copied()
-                .filter(|i| !placement.contains(i))
-                .collect();
-
-            // Store data shards.
-            for (i, (vid, stored, positions, logical_len)) in group.iter().enumerate() {
-                let provider_idx = match self.store_shard_resilient(
-                    &st,
-                    placement[i],
-                    &hosting,
-                    pl,
-                    *vid,
-                    stored,
-                    &mut per_provider_time,
-                ) {
-                    Some(p) => {
-                        hosting[i] = p;
-                        bytes_stored += stored.len();
-                        p
-                    }
-                    None => {
-                        missing += 1;
-                        if missing > tolerance {
-                            return Err(CoreError::RetriesExhausted {
-                                attempts: self.config.resilience.retry.max_attempts,
-                            });
-                        }
-                        // Entry keeps the intended placement; the object is
-                        // simply absent until `repair` rebuilds it.
-                        placement[i]
-                    }
-                };
-
-                // Extra copies (§VI client-demanded assurance).
-                let mut replicas = Vec::with_capacity(opts.replicas);
-                for r in 0..opts.replicas {
-                    // Prefer providers outside the stripe; fall back to other
-                    // stripe members (still a distinct provider per copy).
-                    let candidates: Vec<usize> = replica_pool
-                        .iter()
-                        .chain(placement.iter().filter(|&&p| p != provider_idx))
-                        .copied()
-                        .collect();
-                    if candidates.is_empty() {
-                        return Err(CoreError::InsufficientProviders {
-                            needed: 2,
-                            available: 1,
-                        });
-                    }
-                    let rp = candidates[(i + r) % candidates.len()];
-                    let rvid = self.vids.allocate();
-                    // Replicas are best-effort extra assurance: a copy that
-                    // cannot land is dropped, not fatal.
-                    let (res, t, _) =
-                        self.put_with_retry(&st, rp, rvid, Bytes::from(stored.clone()));
-                    per_provider_time[rp] += t;
-                    if res.is_ok() {
-                        bytes_stored += stored.len();
-                        replicas.push((rp, rvid));
-                    }
-                }
-
-                let chunk_idx = st.chunks.len();
-                let serial = (stripe_no * k_max + i) as u32;
-                st.chunks.push(ChunkEntry {
-                    vid: *vid,
-                    pl,
-                    provider_idx,
-                    snapshot_provider_idx: None,
-                    snapshot_vid: None,
-                    snapshot_mislead: Vec::new(),
-                    mislead_positions: positions.clone(),
-                    stored_len: stored.len(),
-                    logical_len: *logical_len,
-                    stripe: Some(StripeRef {
-                        stripe_id,
-                        index: i,
-                    }),
-                    role: ChunkRole::Data { serial },
-                    removed: false,
-                    replicas,
+        if self.config.pipelined_put && groups.len() >= 2 {
+            // Pipelined put: stripe encoding (mislead injection + parity)
+            // runs on transfer-pool workers while the caller uploads the
+            // previous stripe, so encode of stripe N overlaps store of
+            // stripe N-1. All provider interaction and table mutation stay
+            // on this thread, in exact serial order.
+            tel.incr("puts_pipelined");
+            let pool = self.transfer_pool();
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<(
+                usize,
+                std::result::Result<EncodedGroup, fragcloud_raid::RaidError>,
+            )>();
+            // Shard-buffer recycling: stored stripes send their parity
+            // buffers back for later encode tasks to reuse.
+            let (recycle_tx, recycle_rx) = crossbeam::channel::unbounded::<Vec<Vec<u8>>>();
+            let n_groups = groups.len();
+            let seed = self.config.seed;
+            for (stripe_no, group) in groups.into_iter().enumerate() {
+                let res_tx = res_tx.clone();
+                let recycle_rx = recycle_rx.clone();
+                let wtel = tel.clone();
+                pool.submit_observed(&tel, move || {
+                    let scratch = recycle_rx.try_recv().unwrap_or_default();
+                    let enc = wtel.time("stripe_encode_ns", || {
+                        Self::encode_stripe_group(group, rate, seed, raid, scratch)
+                    });
+                    let _ = res_tx.send((stripe_no, enc));
                 });
-                members.push(chunk_idx);
-                chunk_indices.push(chunk_idx);
             }
-            // Store parity shards.
-            for (pi, blob) in parity_blobs.into_iter().enumerate() {
-                let vid = self.vids.allocate();
-                let slot = k + pi;
-                let provider_idx = match self.store_shard_resilient(
-                    &st,
-                    placement[slot],
-                    &hosting,
-                    pl,
-                    vid,
-                    &blob,
-                    &mut per_provider_time,
-                ) {
-                    Some(p) => {
-                        hosting[slot] = p;
-                        bytes_stored += blob.len();
-                        p
-                    }
-                    None => {
-                        missing += 1;
-                        if missing > tolerance {
-                            return Err(CoreError::RetriesExhausted {
-                                attempts: self.config.resilience.retry.max_attempts,
-                            });
-                        }
-                        placement[slot]
-                    }
-                };
-                let chunk_idx = st.chunks.len();
-                st.chunks.push(ChunkEntry {
-                    vid,
-                    pl,
-                    provider_idx,
-                    snapshot_provider_idx: None,
-                    snapshot_vid: None,
-                    snapshot_mislead: Vec::new(),
-                    mislead_positions: Vec::new(),
-                    stored_len: width,
-                    logical_len: width,
-                    stripe: Some(StripeRef {
-                        stripe_id,
-                        index: k + pi,
-                    }),
-                    role: ChunkRole::Parity { index: pi as u8 },
-                    removed: false,
-                    replicas: Vec::new(),
-                });
-                members.push(chunk_idx);
-            }
+            drop(res_tx);
 
-            st.stripes.push(StripeInfo {
-                k,
-                level: raid,
-                members,
-                shard_width: width,
-                degraded: missing > 0,
-            });
-            stripe_ids.push(stripe_id);
+            // Consume in stripe order; workers finish in any order, so
+            // buffer out-of-order arrivals.
+            let mut pending: BTreeMap<
+                usize,
+                std::result::Result<EncodedGroup, fragcloud_raid::RaidError>,
+            > = BTreeMap::new();
+            for next in 0..n_groups {
+                let enc = loop {
+                    if let Some(e) = pending.remove(&next) {
+                        break e;
+                    }
+                    match res_rx.recv() {
+                        Ok((no, e)) if no == next => break e,
+                        Ok((no, e)) => {
+                            pending.insert(no, e);
+                        }
+                        // Every sender gone before our stripe arrived: an
+                        // encode task panicked and was swallowed by the
+                        // pool. Surface it instead of hanging.
+                        Err(_) => panic!("pipelined-put encode task panicked"),
+                    }
+                }?;
+                if raid != RaidLevel::None {
+                    tel.incr("stripe_encodes");
+                }
+                let recycled = tel.time("stripe_store_ns", || {
+                    self.store_stripe(st, &mut rng, pl, &opts, raid, k_max, next, enc, &mut progress)
+                })?;
+                let _ = recycle_tx.send(recycled);
+            }
+        } else {
+            for (stripe_no, group) in groups.into_iter().enumerate() {
+                let enc = tel.time("stripe_encode_ns", || {
+                    Self::encode_stripe_group(group, rate, self.config.seed, raid, Vec::new())
+                })?;
+                if raid != RaidLevel::None {
+                    tel.incr("stripe_encodes");
+                }
+                tel.time("stripe_store_ns", || {
+                    self.store_stripe(
+                        st,
+                        &mut rng,
+                        pl,
+                        &opts,
+                        raid,
+                        k_max,
+                        stripe_no,
+                        enc,
+                        &mut progress,
+                    )
+                })?;
+            }
         }
         drop(rng);
 
+        let PutProgress {
+            chunk_indices,
+            stripe_ids,
+            bytes_stored,
+            per_provider_time,
+        } = progress;
         let stripe_count = stripe_ids.len();
         let entry = st.client_mut(client)?;
         entry.files.insert(
@@ -524,6 +479,247 @@ impl CloudDataDistributor {
             bytes_stored,
             sim_time,
         })
+    }
+
+    /// Encodes one stripe group: mislead-injects each logical chunk and
+    /// computes parity over the (logically zero-padded) stored chunks.
+    ///
+    /// An associated function on purpose — it borrows nothing from the
+    /// distributor, so the pipelined put can run it on a transfer-pool
+    /// worker. Determinism comes from the inputs alone: virtual ids were
+    /// allocated in chunk order by the caller, and `mislead::inject` is a
+    /// pure function of ⟨chunk, rate, seed ⊕ vid⟩.
+    ///
+    /// `scratch` recycles parity buffers from already-stored stripes
+    /// (popped as needed; missing entries just allocate).
+    fn encode_stripe_group(
+        group: Vec<(VirtualId, Vec<u8>)>,
+        rate: f64,
+        seed: u64,
+        raid: RaidLevel,
+        mut scratch: Vec<Vec<u8>>,
+    ) -> std::result::Result<EncodedGroup, fragcloud_raid::RaidError> {
+        let chunks: Vec<(VirtualId, Vec<u8>, Vec<usize>, usize)> = group
+            .into_iter()
+            .map(|(vid, logical)| {
+                let logical_len = logical.len();
+                let (stored, positions) = mislead::inject(&logical, rate, seed ^ vid.0);
+                (vid, stored, positions, logical_len)
+            })
+            .collect();
+        let width = chunks.iter().map(|(_, s, _, _)| s.len()).max().unwrap_or(0);
+        let refs: Vec<&[u8]> = chunks.iter().map(|(_, s, _, _)| s.as_slice()).collect();
+        let parity = match raid {
+            RaidLevel::None => Vec::new(),
+            RaidLevel::Raid5 => {
+                let mut p = scratch.pop().unwrap_or_default();
+                fragcloud_raid::raid5::parity_padded_into(&refs, width, &mut p)?;
+                vec![p]
+            }
+            RaidLevel::Raid6 => {
+                let mut q = scratch.pop().unwrap_or_default();
+                let mut p = scratch.pop().unwrap_or_default();
+                fragcloud_raid::raid6::parity_padded_into(&refs, width, &mut p, &mut q)?;
+                vec![p, q]
+            }
+        };
+        Ok(EncodedGroup {
+            chunks,
+            width,
+            parity,
+        })
+    }
+
+    /// Places and stores one encoded stripe: provider placement, resilient
+    /// data/replica/parity writes, and the chunk/stripe table pushes. Runs
+    /// on the caller thread only (it mutates tables and drives provider
+    /// I/O), in stripe order, for both the serial and pipelined put paths.
+    ///
+    /// Returns the stripe's parity buffers so the pipelined path can
+    /// recycle them into later encode tasks.
+    #[allow(clippy::too_many_arguments)]
+    fn store_stripe(
+        &self,
+        st: &mut Tables,
+        rng: &mut StdRng,
+        pl: PrivacyLevel,
+        opts: &PutOptions,
+        raid: RaidLevel,
+        k_max: usize,
+        stripe_no: usize,
+        enc: EncodedGroup,
+        progress: &mut PutProgress,
+    ) -> Result<Vec<Vec<u8>>> {
+        let EncodedGroup {
+            chunks: group,
+            width,
+            parity: parity_blobs,
+        } = enc;
+        let k = group.len();
+        let total_shards = k + raid.parity_shards();
+        let placement =
+            policy::place_stripe(&st.providers, pl, total_shards, self.config.placement, rng)?;
+
+        let stripe_id = st.stripes.len();
+        let mut members = Vec::with_capacity(total_shards);
+
+        // Degraded-write bookkeeping: shards the engine could not land
+        // anywhere are skipped (the parity already covers them) as long
+        // as the stripe stays within its fault tolerance.
+        let tolerance = raid.fault_tolerance();
+        let mut hosting = placement.clone(); // actual provider per shard slot
+        let mut missing = 0usize;
+
+        // Replica placement pool: eligible providers not used by this
+        // stripe, cycled per chunk so copies spread out.
+        let eligible = policy::eligible_providers(&st.providers, pl);
+        let replica_pool: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|i| !placement.contains(i))
+            .collect();
+
+        // Store data shards.
+        for (i, (vid, stored, positions, logical_len)) in group.iter().enumerate() {
+            let provider_idx = match self.store_shard_resilient(
+                st,
+                placement[i],
+                &hosting,
+                pl,
+                *vid,
+                stored,
+                &mut progress.per_provider_time,
+            ) {
+                Some(p) => {
+                    hosting[i] = p;
+                    progress.bytes_stored += stored.len();
+                    p
+                }
+                None => {
+                    missing += 1;
+                    if missing > tolerance {
+                        return Err(CoreError::RetriesExhausted {
+                            attempts: self.config.resilience.retry.max_attempts,
+                        });
+                    }
+                    // Entry keeps the intended placement; the object is
+                    // simply absent until `repair` rebuilds it.
+                    placement[i]
+                }
+            };
+
+            // Extra copies (§VI client-demanded assurance).
+            let mut replicas = Vec::with_capacity(opts.replicas);
+            for r in 0..opts.replicas {
+                // Prefer providers outside the stripe; fall back to other
+                // stripe members (still a distinct provider per copy).
+                let candidates: Vec<usize> = replica_pool
+                    .iter()
+                    .chain(placement.iter().filter(|&&p| p != provider_idx))
+                    .copied()
+                    .collect();
+                if candidates.is_empty() {
+                    return Err(CoreError::InsufficientProviders {
+                        needed: 2,
+                        available: 1,
+                    });
+                }
+                let rp = candidates[(i + r) % candidates.len()];
+                let rvid = self.vids.allocate();
+                // Replicas are best-effort extra assurance: a copy that
+                // cannot land is dropped, not fatal.
+                let (res, t, _) = self.put_with_retry(st, rp, rvid, Bytes::from(stored.clone()));
+                progress.per_provider_time[rp] += t;
+                if res.is_ok() {
+                    progress.bytes_stored += stored.len();
+                    replicas.push((rp, rvid));
+                }
+            }
+
+            let chunk_idx = st.chunks.len();
+            let serial = (stripe_no * k_max + i) as u32;
+            st.chunks.push(ChunkEntry {
+                vid: *vid,
+                pl,
+                provider_idx,
+                snapshot_provider_idx: None,
+                snapshot_vid: None,
+                snapshot_mislead: Vec::new(),
+                mislead_positions: positions.clone(),
+                stored_len: stored.len(),
+                logical_len: *logical_len,
+                stripe: Some(StripeRef {
+                    stripe_id,
+                    index: i,
+                }),
+                role: ChunkRole::Data { serial },
+                removed: false,
+                replicas,
+            });
+            members.push(chunk_idx);
+            progress.chunk_indices.push(chunk_idx);
+        }
+        // Store parity shards (buffers collected back for recycling).
+        let mut recycled = Vec::with_capacity(parity_blobs.len());
+        for (pi, blob) in parity_blobs.into_iter().enumerate() {
+            let vid = self.vids.allocate();
+            let slot = k + pi;
+            let provider_idx = match self.store_shard_resilient(
+                st,
+                placement[slot],
+                &hosting,
+                pl,
+                vid,
+                &blob,
+                &mut progress.per_provider_time,
+            ) {
+                Some(p) => {
+                    hosting[slot] = p;
+                    progress.bytes_stored += blob.len();
+                    p
+                }
+                None => {
+                    missing += 1;
+                    if missing > tolerance {
+                        return Err(CoreError::RetriesExhausted {
+                            attempts: self.config.resilience.retry.max_attempts,
+                        });
+                    }
+                    placement[slot]
+                }
+            };
+            let chunk_idx = st.chunks.len();
+            st.chunks.push(ChunkEntry {
+                vid,
+                pl,
+                provider_idx,
+                snapshot_provider_idx: None,
+                snapshot_vid: None,
+                snapshot_mislead: Vec::new(),
+                mislead_positions: Vec::new(),
+                stored_len: width,
+                logical_len: width,
+                stripe: Some(StripeRef {
+                    stripe_id,
+                    index: k + pi,
+                }),
+                role: ChunkRole::Parity { index: pi as u8 },
+                removed: false,
+                replicas: Vec::new(),
+            });
+            members.push(chunk_idx);
+            recycled.push(blob);
+        }
+
+        st.stripes.push(StripeInfo {
+            k,
+            level: raid,
+            members,
+            shard_width: width,
+            degraded: missing > 0,
+        });
+        progress.stripe_ids.push(stripe_id);
+        Ok(recycled)
     }
 
     // ------------------------------------------------------------------
@@ -748,34 +944,40 @@ impl CloudDataDistributor {
             jobs_by_provider[e.provider_idx].push(ci);
         }
 
-        // Parallel phase: each provider's worker fetches its chunks.
+        // Parallel phase: one transfer-pool task per provider fetches that
+        // provider's chunks. The pool is persistent and shared across
+        // sessions — no threads are spawned per call.
         let mut fetched: Vec<Option<Vec<u8>>> = vec![None; st.chunks.len()];
         {
-            let slots = parking_lot::Mutex::new(&mut fetched);
-            let st_ref = &st;
-            crossbeam::thread::scope(|scope| {
-                for (pidx, jobs) in jobs_by_provider.iter().enumerate() {
-                    if jobs.is_empty() {
-                        continue;
-                    }
-                    let slots = &slots;
-                    scope.spawn(move |_| {
-                        let mut local: Vec<(usize, Vec<u8>)> =
-                            Vec::with_capacity(jobs.len());
-                        for &ci in jobs {
-                            let e = &st_ref.chunks[ci];
-                            if let Ok(bytes) = st_ref.providers[pidx].get(e.vid) {
-                                local.push((ci, bytes.to_vec()));
-                            }
-                        }
-                        let mut guard = slots.lock();
-                        for (ci, bytes) in local {
-                            guard[ci] = Some(bytes);
-                        }
-                    });
+            let pool = self.transfer_pool();
+            let (tx, rx) = crossbeam::channel::unbounded::<Vec<(usize, Vec<u8>)>>();
+            for (pidx, jobs) in jobs_by_provider.iter().enumerate() {
+                if jobs.is_empty() {
+                    continue;
                 }
-            })
-            .expect("fetch worker panicked");
+                let provider = Arc::clone(&st.providers[pidx]);
+                let items: Vec<(usize, VirtualId)> =
+                    jobs.iter().map(|&ci| (ci, st.chunks[ci].vid)).collect();
+                let tx = tx.clone();
+                pool.submit_observed(&tel, move || {
+                    let mut local: Vec<(usize, Vec<u8>)> = Vec::with_capacity(items.len());
+                    for (ci, vid) in items {
+                        if let Ok(bytes) = provider.get(vid) {
+                            local.push((ci, bytes.to_vec()));
+                        }
+                    }
+                    let _ = tx.send(local);
+                });
+            }
+            drop(tx);
+            // Drain until every task's sender is gone. A panicked task just
+            // drops its sender; its chunks stay `None` and fall through to
+            // the degraded read path below.
+            while let Ok(local) = rx.recv() {
+                for (ci, bytes) in local {
+                    fetched[ci] = Some(bytes);
+                }
+            }
         }
 
         // Serial phase: strip mislead bytes; chunks the fan-out missed go
@@ -1728,13 +1930,14 @@ impl CloudDataDistributor {
 }
 
 #[cfg(test)]
-// The unit tests keep driving the deprecated string-triple wrappers on
-// purpose: they are still public API and must not rot before removal.
-// New surface (Session, scrub/repair) is covered by its own tests.
-#[allow(deprecated)]
+// The unit tests drive the typed `Session` API. The deprecated
+// string-triple wrappers are still public and must not rot before
+// removal, but they are thin `*_impl` forwarders, so one dedicated
+// compat test (`deprecated_string_api_still_works`) is enough coverage.
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, PlacementStrategy};
+    use crate::session::Session;
     use fragcloud_sim::{CostLevel, ProviderProfile};
 
     fn fleet(n: usize, pl: PrivacyLevel) -> Vec<Arc<CloudProvider>> {
@@ -1771,15 +1974,19 @@ mod tests {
         (0..n).map(|i| (i * 131 + 17) as u8).collect()
     }
 
+    fn high_session(d: &CloudDataDistributor) -> Session<'_> {
+        d.session("Bob", "Ty7e").unwrap()
+    }
+
     #[test]
     fn put_get_roundtrip_all_levels() {
         let d = distributor();
+        let s = high_session(&d);
         for (i, pl) in PrivacyLevel::ALL.into_iter().enumerate() {
             let name = format!("f{i}");
             let body = data(200);
-            d.put_file("Bob", "Ty7e", &name, &body, pl, PutOptions::default())
-                .unwrap();
-            let got = d.get_file("Bob", "Ty7e", &name).unwrap();
+            s.put_file(&name, &body, pl, PutOptions::default()).unwrap();
+            let got = s.get_file(&name).unwrap();
             assert_eq!(got.data, body, "{pl}");
             assert_eq!(got.reconstructed_chunks, 0);
         }
@@ -1788,24 +1995,26 @@ mod tests {
     #[test]
     fn receipt_counts_match_schedule() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(100); // PL High → 8-byte chunks → 13 chunks
-        let r = d
-            .put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::High, PutOptions::default())
+        let r = s
+            .put_file("f", &body, PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert_eq!(r.chunk_count, 13);
         assert_eq!(r.stripe_count, 5); // ceil(13 / 3)
         assert!(r.bytes_stored > 100, "parity adds bytes");
         assert!(r.sim_time > Duration::ZERO);
-        assert_eq!(d.file_chunk_count("Bob", "f").unwrap(), 13);
+        assert_eq!(s.file_chunk_count("f").unwrap(), 13);
     }
 
     #[test]
     fn duplicate_file_rejected() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "f", &data(10), PrivacyLevel::Public, PutOptions::default())
+        let s = high_session(&d);
+        s.put_file("f", &data(10), PrivacyLevel::Public, PutOptions::default())
             .unwrap();
         assert!(matches!(
-            d.put_file("Bob", "Ty7e", "f", &data(10), PrivacyLevel::Public, PutOptions::default()),
+            s.put_file("f", &data(10), PrivacyLevel::Public, PutOptions::default()),
             Err(CoreError::FileExists(_))
         ));
     }
@@ -1813,41 +2022,42 @@ mod tests {
     #[test]
     fn access_control_enforced_on_write_and_read() {
         let d = distributor();
+        let high = high_session(&d);
+        let public = d.session("Bob", "aB1c").unwrap();
         // Low-privilege password cannot write high data…
         assert_eq!(
-            d.put_file("Bob", "aB1c", "f", &data(10), PrivacyLevel::High, PutOptions::default())
+            public
+                .put_file("f", &data(10), PrivacyLevel::High, PutOptions::default())
                 .unwrap_err(),
             CoreError::AccessDenied
         );
         // …nor read it back.
-        d.put_file("Bob", "Ty7e", "f", &data(10), PrivacyLevel::High, PutOptions::default())
+        high.put_file("f", &data(10), PrivacyLevel::High, PutOptions::default())
             .unwrap();
+        assert_eq!(public.get_file("f").unwrap_err(), CoreError::AccessDenied);
         assert_eq!(
-            d.get_file("Bob", "aB1c", "f").unwrap_err(),
-            CoreError::AccessDenied
-        );
-        assert_eq!(
-            d.get_chunk("Bob", "aB1c", "f", 0).unwrap_err(),
+            public.get_chunk("f", 0).unwrap_err(),
             CoreError::AccessDenied
         );
         // Public file is readable by the low password.
-        d.put_file("Bob", "Ty7e", "pub", &data(10), PrivacyLevel::Public, PutOptions::default())
+        high.put_file("pub", &data(10), PrivacyLevel::Public, PutOptions::default())
             .unwrap();
-        assert!(d.get_file("Bob", "aB1c", "pub").is_ok());
+        assert!(public.get_file("pub").is_ok());
     }
 
     #[test]
     fn get_chunk_by_serial() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(70); // Public → 64-byte chunks → 2 chunks (64 + 6)
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Public, PutOptions::default())
             .unwrap();
-        let c0 = d.get_chunk("Bob", "Ty7e", "f", 0).unwrap();
-        let c1 = d.get_chunk("Bob", "Ty7e", "f", 1).unwrap();
+        let c0 = s.get_chunk("f", 0).unwrap();
+        let c1 = s.get_chunk("f", 1).unwrap();
         assert_eq!(c0, &body[..64]);
         assert_eq!(c1, &body[64..]);
         assert!(matches!(
-            d.get_chunk("Bob", "Ty7e", "f", 2),
+            s.get_chunk("f", 2),
             Err(CoreError::UnknownChunk { serial: 2, .. })
         ));
     }
@@ -1855,12 +2065,13 @@ mod tests {
     #[test]
     fn raid5_survives_one_provider_outage() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(300);
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Moderate, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Moderate, PutOptions::default())
             .unwrap();
         let providers = d.providers();
         providers[0].set_online(false);
-        let got = d.get_file("Bob", "Ty7e", "f").unwrap();
+        let got = s.get_file("f").unwrap();
         assert_eq!(got.data, body);
         providers[0].set_online(true);
     }
@@ -1868,10 +2079,9 @@ mod tests {
     #[test]
     fn raid6_survives_two_provider_outages() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(300);
-        d.put_file(
-            "Bob",
-            "Ty7e",
+        s.put_file(
             "f",
             &body,
             PrivacyLevel::Moderate,
@@ -1884,7 +2094,7 @@ mod tests {
         let providers = d.providers();
         providers[0].set_online(false);
         providers[1].set_online(false);
-        let got = d.get_file("Bob", "Ty7e", "f").unwrap();
+        let got = s.get_file("f").unwrap();
         assert_eq!(got.data, body);
         assert!(got.reconstructed_chunks > 0 || {
             // Possible the affected providers held no data chunks of this
@@ -1906,15 +2116,16 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
+        let s = d.session("c", "p").unwrap();
         let body = data(48);
-        d.put_file("c", "p", "f", &body, PrivacyLevel::Public, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Public, PutOptions::default())
             .unwrap();
         // Take down every provider that holds a chunk of the file: with 3
         // chunks on 3 distinct providers, any one outage loses data.
         let holdings = d.client_chunks_per_provider("c").unwrap();
         let victim = holdings.iter().position(|&c| c > 0).unwrap();
         d.providers()[victim].set_online(false);
-        assert!(d.get_file("c", "p", "f").is_err());
+        assert!(s.get_file("f").is_err());
     }
 
     #[test]
@@ -1929,13 +2140,14 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
+        let s = d.session("c", "p").unwrap();
         let body = data(500);
-        let r = d
-            .put_file("c", "p", "f", &body, PrivacyLevel::Moderate, PutOptions::default())
+        let r = s
+            .put_file("f", &body, PrivacyLevel::Moderate, PutOptions::default())
             .unwrap();
         // ~10% inflation on data chunks (plus parity).
         assert!(r.bytes_stored > 550, "bytes_stored={}", r.bytes_stored);
-        assert_eq!(d.get_file("c", "p", "f").unwrap().data, body);
+        assert_eq!(s.get_file("f").unwrap().data, body);
         // Attacker view: stored bytes differ from logical bytes.
         let providers = d.providers();
         let any_chunk = providers
@@ -1949,12 +2161,13 @@ mod tests {
     #[test]
     fn update_chunk_snapshots_and_parity_stays_consistent() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(96); // Public 64 → 2 chunks
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Public, PutOptions::default())
             .unwrap();
         let new_chunk = vec![0xEE; 64];
-        d.update_chunk("Bob", "Ty7e", "f", 0, &new_chunk).unwrap();
-        let got = d.get_file("Bob", "Ty7e", "f").unwrap();
+        s.update_chunk("f", 0, &new_chunk).unwrap();
+        let got = s.get_file("f").unwrap();
         assert_eq!(&got.data[..64], new_chunk.as_slice());
         assert_eq!(&got.data[64..], &body[64..]);
         // Parity still protects the updated stripe.
@@ -1962,14 +2175,14 @@ mod tests {
         #[allow(clippy::needless_range_loop)] // victim IS the index under test
         for victim in 0..providers.len() {
             providers[victim].set_online(false);
-            let r = d.get_file("Bob", "Ty7e", "f");
+            let r = s.get_file("f");
             providers[victim].set_online(true);
             let r = r.unwrap();
             assert_eq!(&r.data[..64], new_chunk.as_slice(), "victim={victim}");
         }
         // Restore brings back the original.
-        d.restore_snapshot("Bob", "Ty7e", "f", 0).unwrap();
-        let got = d.get_file("Bob", "Ty7e", "f").unwrap();
+        s.restore_snapshot("f", 0).unwrap();
+        let got = s.get_file("f").unwrap();
         assert_eq!(got.data, body);
     }
 
@@ -1989,36 +2202,39 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
+        let s = d.session("c", "p").unwrap();
         let body = data(200);
-        d.put_file("c", "p", "f", &body, PrivacyLevel::Moderate, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Moderate, PutOptions::default())
             .unwrap();
-        d.update_chunk("c", "p", "f", 1, &[7u8; 64]).unwrap();
-        let got = d.get_file("c", "p", "f").unwrap().data;
+        s.update_chunk("f", 1, &[7u8; 64]).unwrap();
+        let got = s.get_file("f").unwrap().data;
         assert_eq!(&got[..64], &body[..64]);
         assert_eq!(&got[64..128], &[7u8; 64]);
-        d.restore_snapshot("c", "p", "f", 1).unwrap();
-        assert_eq!(d.get_file("c", "p", "f").unwrap().data, body);
+        s.restore_snapshot("f", 1).unwrap();
+        assert_eq!(s.get_file("f").unwrap().data, body);
     }
 
     #[test]
     fn restore_without_snapshot_fails() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "f", &data(10), PrivacyLevel::Public, PutOptions::default())
+        let s = high_session(&d);
+        s.put_file("f", &data(10), PrivacyLevel::Public, PutOptions::default())
             .unwrap();
-        assert!(d.restore_snapshot("Bob", "Ty7e", "f", 0).is_err());
+        assert!(s.restore_snapshot("f", 0).is_err());
     }
 
     #[test]
     fn remove_chunk_tombstones_and_parity_protects_survivors() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(192); // Public 64 → 3 chunks, one stripe of 3
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Public, PutOptions::default())
             .unwrap();
-        d.remove_chunk("Bob", "Ty7e", "f", 1).unwrap();
+        s.remove_chunk("f", 1).unwrap();
         // The removed chunk is gone…
-        assert!(d.get_chunk("Bob", "Ty7e", "f", 1).is_err());
+        assert!(s.get_chunk("f", 1).is_err());
         // Removing again fails.
-        assert!(d.remove_chunk("Bob", "Ty7e", "f", 1).is_err());
+        assert!(s.remove_chunk("f", 1).is_err());
         // …but survivors are still parity-protected after the tombstone.
         let c0_provider = {
             let st = d.state.read();
@@ -2026,26 +2242,27 @@ mod tests {
             st.chunks[file.chunk_indices[0]].provider_idx
         };
         d.providers()[c0_provider].set_online(false);
-        let c0 = d.get_chunk("Bob", "Ty7e", "f", 0).unwrap();
+        let c0 = s.get_chunk("f", 0).unwrap();
         assert_eq!(c0, &body[..64]);
     }
 
     #[test]
     fn remove_file_deletes_everything() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "f", &data(200), PrivacyLevel::Moderate, PutOptions::default())
+        let s = high_session(&d);
+        s.put_file("f", &data(200), PrivacyLevel::Moderate, PutOptions::default())
             .unwrap();
         let stored_before: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
         assert!(stored_before > 0);
-        d.remove_file("Bob", "Ty7e", "f").unwrap();
+        s.remove_file("f").unwrap();
         let stored_after: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
         assert_eq!(stored_after, 0);
         assert!(matches!(
-            d.get_file("Bob", "Ty7e", "f"),
+            s.get_file("f"),
             Err(CoreError::UnknownFile { .. })
         ));
         // Name is reusable afterwards.
-        d.put_file("Bob", "Ty7e", "f", &data(10), PrivacyLevel::Public, PutOptions::default())
+        s.put_file("f", &data(10), PrivacyLevel::Public, PutOptions::default())
             .unwrap();
     }
 
@@ -2064,7 +2281,9 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
-        d.put_file("c", "p", "secret", &data(64), PrivacyLevel::High, PutOptions::default())
+        d.session("c", "p")
+            .unwrap()
+            .put_file("secret", &data(64), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         let providers = d.providers();
         for p in providers.iter() {
@@ -2092,7 +2311,9 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
-        d.put_file("c", "p", "f", &data(160), PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "p")
+            .unwrap()
+            .put_file("f", &data(160), PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         let holdings = d.client_chunks_per_provider("c").unwrap();
         let nonzero: Vec<usize> = holdings.iter().copied().filter(|&c| c > 0).collect();
@@ -2103,12 +2324,13 @@ mod tests {
     #[test]
     fn unknown_client_and_file_errors() {
         let d = distributor();
+        // An unknown client cannot even open a session.
         assert!(matches!(
-            d.put_file("Eve", "x", "f", &[], PrivacyLevel::Public, PutOptions::default()),
-            Err(CoreError::UnknownClient(_))
+            d.session("Eve", "x").unwrap_err(),
+            CoreError::UnknownClient(_)
         ));
         assert!(matches!(
-            d.get_file("Bob", "Ty7e", "missing"),
+            high_session(&d).get_file("missing"),
             Err(CoreError::UnknownFile { .. })
         ));
         assert!(d.register_client("Bob").is_err());
@@ -2117,10 +2339,11 @@ mod tests {
     #[test]
     fn empty_file_roundtrip() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "empty", &[], PrivacyLevel::High, PutOptions::default())
+        let s = high_session(&d);
+        s.put_file("empty", &[], PrivacyLevel::High, PutOptions::default())
             .unwrap();
-        assert_eq!(d.file_chunk_count("Bob", "empty").unwrap(), 1);
-        let got = d.get_file("Bob", "Ty7e", "empty").unwrap();
+        assert_eq!(s.file_chunk_count("empty").unwrap(), 1);
+        let got = s.get_file("empty").unwrap();
         assert!(got.data.is_empty());
     }
 
@@ -2128,7 +2351,8 @@ mod tests {
     fn exposure_accounting_sums_to_file() {
         let d = distributor();
         let body = data(320);
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
+        high_session(&d)
+            .put_file("f", &body, PrivacyLevel::Public, PutOptions::default())
             .unwrap();
         let chunks = d.client_chunks_per_provider("Bob").unwrap();
         assert_eq!(chunks.iter().sum::<usize>(), 5); // 320/64
@@ -2139,11 +2363,12 @@ mod tests {
     #[test]
     fn parallel_get_matches_serial_get() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(5000);
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::High, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::High, PutOptions::default())
             .unwrap();
-        let serial = d.get_file("Bob", "Ty7e", "f").unwrap();
-        let parallel = d.get_file_parallel("Bob", "Ty7e", "f").unwrap();
+        let serial = s.get_file("f").unwrap();
+        let parallel = s.get_file_parallel("f").unwrap();
         assert_eq!(serial.data, parallel.data);
         assert_eq!(parallel.data, body);
         assert_eq!(serial.sim_time, parallel.sim_time);
@@ -2152,8 +2377,9 @@ mod tests {
     #[test]
     fn parallel_get_reconstructs_under_outage() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(2000);
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Moderate, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Moderate, PutOptions::default())
             .unwrap();
         let victim = d
             .client_chunks_per_provider("Bob")
@@ -2162,7 +2388,7 @@ mod tests {
             .position(|&n| n > 0)
             .unwrap();
         d.providers()[victim].set_online(false);
-        let got = d.get_file_parallel("Bob", "Ty7e", "f").unwrap();
+        let got = s.get_file_parallel("f").unwrap();
         assert_eq!(got.data, body);
         assert!(got.reconstructed_chunks > 0);
         d.providers()[victim].set_online(true);
@@ -2171,10 +2397,14 @@ mod tests {
     #[test]
     fn parallel_get_access_control() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "f", &data(100), PrivacyLevel::High, PutOptions::default())
+        high_session(&d)
+            .put_file("f", &data(100), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert_eq!(
-            d.get_file_parallel("Bob", "aB1c", "f").unwrap_err(),
+            d.session("Bob", "aB1c")
+                .unwrap()
+                .get_file_parallel("f")
+                .unwrap_err(),
             CoreError::AccessDenied
         );
     }
@@ -2182,11 +2412,10 @@ mod tests {
     #[test]
     fn replicas_stored_and_served_on_primary_outage() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(96); // Public 64 → 2 chunks
-        let r = d
+        let r = s
             .put_file(
-                "Bob",
-                "Ty7e",
                 "f",
                 &body,
                 PrivacyLevel::Public,
@@ -2205,7 +2434,7 @@ mod tests {
         #[allow(clippy::needless_range_loop)] // victim IS the index under test
         for victim in 0..providers.len() {
             providers[victim].set_online(false);
-            let got = d.get_file("Bob", "Ty7e", "f");
+            let got = s.get_file("f");
             providers[victim].set_online(true);
             let got = got.unwrap();
             assert_eq!(got.data, body, "victim={victim}");
@@ -2216,10 +2445,9 @@ mod tests {
     #[test]
     fn replicas_follow_updates_and_removal() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(64);
-        d.put_file(
-            "Bob",
-            "Ty7e",
+        s.put_file(
             "f",
             &body,
             PrivacyLevel::Public,
@@ -2231,7 +2459,7 @@ mod tests {
         )
         .unwrap();
         let new_chunk = vec![0x11; 64];
-        d.update_chunk("Bob", "Ty7e", "f", 0, &new_chunk).unwrap();
+        s.update_chunk("f", 0, &new_chunk).unwrap();
         // Knock out the primary: the replica must serve the POST-update state.
         let primary = {
             let st = d.state.read();
@@ -2239,11 +2467,11 @@ mod tests {
             st.chunks[file.chunk_indices[0]].provider_idx
         };
         d.providers()[primary].set_online(false);
-        let got = d.get_file("Bob", "Ty7e", "f").unwrap();
+        let got = s.get_file("f").unwrap();
         assert_eq!(got.data, new_chunk);
         d.providers()[primary].set_online(true);
         // Removal wipes replicas too.
-        d.remove_file("Bob", "Ty7e", "f").unwrap();
+        s.remove_file("f").unwrap();
         let residue: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
         assert_eq!(residue, 0);
     }
@@ -2252,18 +2480,17 @@ mod tests {
     fn replica_vids_differ_from_primary() {
         // Providers must not be able to correlate copies by id.
         let d = distributor();
-        d.put_file(
-            "Bob",
-            "Ty7e",
-            "f",
-            &data(64),
-            PrivacyLevel::Public,
-            PutOptions {
-                replicas: 1,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        high_session(&d)
+            .put_file(
+                "f",
+                &data(64),
+                PrivacyLevel::Public,
+                PutOptions {
+                    replicas: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let st = d.state.read();
         for e in st.chunks.iter() {
             for (rp, rvid) in &e.replicas {
@@ -2276,12 +2503,13 @@ mod tests {
     #[test]
     fn reputation_report_flags_flaky_provider() {
         let d = distributor();
+        let s = high_session(&d);
         let body = data(2000);
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Low, PutOptions::default())
+        s.put_file("f", &body, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Exercise the providers: lots of successful reads…
         for _ in 0..20 {
-            d.get_file("Bob", "Ty7e", "f").unwrap();
+            s.get_file("f").unwrap();
         }
         // …then hammer one with rejected requests.
         let providers = d.providers();
@@ -2301,7 +2529,8 @@ mod tests {
     #[test]
     fn tables_render_after_activity() {
         let d = distributor();
-        d.put_file("Bob", "Ty7e", "file1", &data(96), PrivacyLevel::Low, PutOptions::default())
+        high_session(&d)
+            .put_file("file1", &data(96), PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         let t = d.render_tables();
         assert!(t.contains("Cloud Provider"));
@@ -2571,5 +2800,141 @@ mod tests {
         let scrub = d.scrub();
         assert_eq!(scrub.stripes_checked, 0);
         assert!(scrub.is_healthy());
+    }
+
+    // --- transfer pool / pipelined put ------------------------------
+
+    /// Every ⟨vid, payload⟩ each provider ever observed, sorted — the
+    /// attacker-visible ground truth two puts must agree on to count as
+    /// byte-identical.
+    fn provider_state(d: &CloudDataDistributor) -> Vec<Vec<(u64, Vec<u8>)>> {
+        d.providers()
+            .iter()
+            .map(|p| {
+                let mut objs: Vec<(u64, Vec<u8>)> = p
+                    .observer()
+                    .snapshot()
+                    .into_iter()
+                    .map(|o| (o.key.0, o.data.to_vec()))
+                    .collect();
+                objs.sort();
+                objs
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_put_writes_byte_identical_provider_state() {
+        let build = |pipelined: bool| {
+            let mut config = small_config();
+            config.mislead_rate = 0.1;
+            config.raid_level = RaidLevel::Raid6;
+            config.pipelined_put = pipelined;
+            let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+            d.register_client("Bob").unwrap();
+            d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+            d
+        };
+        let body = data(400); // High → 8-byte chunks → many stripes
+        let serial = build(false);
+        let pipelined = build(true);
+        let rs = high_session(&serial)
+            .put_file("f", &body, PrivacyLevel::High, PutOptions::new().replicas(1))
+            .unwrap();
+        let rp = high_session(&pipelined)
+            .put_file("f", &body, PrivacyLevel::High, PutOptions::new().replicas(1))
+            .unwrap();
+        assert_eq!(rs, rp, "receipts must match");
+        assert_eq!(
+            provider_state(&serial),
+            provider_state(&pipelined),
+            "provider state must be byte-identical"
+        );
+        // Both read back fine, and the pipelined distributor actually
+        // used its pool.
+        assert_eq!(high_session(&pipelined).get_file("f").unwrap().data, body);
+        assert!(pipelined.transfer_pool().panicked_tasks() == 0);
+    }
+
+    #[test]
+    fn pipelined_put_records_pool_telemetry() {
+        let mut config = small_config();
+        config.raid_level = RaidLevel::Raid5;
+        let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let tel = d.enable_telemetry();
+        high_session(&d)
+            .put_file("f", &data(100), PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        let reg = tel.registry().expect("enabled");
+        assert_eq!(reg.counter_total("puts_pipelined"), 1);
+        // 13 chunks / stripe_width 3 → 5 encode tasks through the pool.
+        assert_eq!(reg.counter_total("pool_tasks_total"), 5);
+        assert_eq!(reg.counter_total("stripe_encodes"), 5);
+        assert!(reg.histogram("stripe_store_ns", "").count() == 5);
+    }
+
+    #[test]
+    fn parallel_get_uses_pool_not_fresh_threads() {
+        let d = distributor();
+        let tel = d.enable_telemetry();
+        let s = high_session(&d);
+        let body = data(5000);
+        s.put_file("f", &body, PrivacyLevel::High, PutOptions::default())
+            .unwrap();
+        let tasks_before = tel
+            .registry()
+            .expect("enabled")
+            .counter_total("pool_tasks_total");
+        let got = s.get_file_parallel("f").unwrap();
+        assert_eq!(got.data, body);
+        let tasks_after = tel
+            .registry()
+            .expect("enabled")
+            .counter_total("pool_tasks_total");
+        assert!(
+            tasks_after > tasks_before,
+            "parallel get must route through the transfer pool"
+        );
+        // The pool is persistent: worker count pinned by config, reused
+        // across calls.
+        assert_eq!(
+            d.transfer_pool().worker_count(),
+            d.config().transfer_workers
+        );
+        let before_second = d.transfer_pool() as *const TransferPool;
+        s.get_file_parallel("f").unwrap();
+        assert_eq!(
+            before_second,
+            d.transfer_pool() as *const TransferPool,
+            "same pool instance across calls"
+        );
+    }
+
+    // --- deprecated string-triple compat -----------------------------
+
+    /// The deprecated ⟨client, password, …⟩ wrappers must keep working
+    /// until removal. This is the ONLY place tests may touch them; all
+    /// other coverage goes through the typed `Session` API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_string_api_still_works() {
+        let d = distributor();
+        let body = data(128); // Public 64 → 2 chunks
+        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
+            .unwrap();
+        assert_eq!(d.get_file("Bob", "Ty7e", "f").unwrap().data, body);
+        assert_eq!(d.get_file_parallel("Bob", "Ty7e", "f").unwrap().data, body);
+        assert_eq!(d.get_chunk("Bob", "Ty7e", "f", 0).unwrap(), &body[..64]);
+        d.update_chunk("Bob", "Ty7e", "f", 0, &[3u8; 64]).unwrap();
+        d.restore_snapshot("Bob", "Ty7e", "f", 0).unwrap();
+        assert_eq!(d.get_file("Bob", "Ty7e", "f").unwrap().data, body);
+        d.remove_chunk("Bob", "Ty7e", "f", 1).unwrap();
+        d.remove_file("Bob", "Ty7e", "f").unwrap();
+        assert!(matches!(
+            d.get_file("Bob", "Ty7e", "f"),
+            Err(CoreError::UnknownFile { .. })
+        ));
     }
 }

@@ -25,6 +25,8 @@
 //! - [`distributor`] — the [`distributor::CloudDataDistributor`] facade:
 //!   `put_file`, `get_file`, `get_chunk`, `remove_file`, `remove_chunk`,
 //!   `update_chunk` with snapshots (§VI);
+//! - [`pool`] — the persistent bounded transfer pool shared by sessions:
+//!   parallel gets and pipelined-put encoding run on its workers;
 //! - [`multi`] — multiple distributors, primary/secondary (§IV-C, Fig. 2);
 //! - [`client_side`] — the CHORD-based client-side distributor (§IV-C);
 //! - [`persist`] — versioned text snapshots of the table state, so a
@@ -45,6 +47,7 @@ pub mod mislead;
 pub mod multi;
 pub mod persist;
 pub mod policy;
+pub mod pool;
 pub mod rebalance;
 pub mod resilience;
 pub mod session;
@@ -55,6 +58,7 @@ pub use config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
 pub use fragcloud_telemetry::TelemetryHandle;
+pub use pool::TransferPool;
 pub use resilience::{
     AttemptOutcome, RepairReport, ResilienceConfig, RetryExecution, RetryPolicy, ScrubReport,
 };

@@ -98,11 +98,30 @@ pub fn pow(base: u8, e: u32) -> u8 {
 
 /// Multiplies every byte of `data` by `c`, XOR-accumulating into `acc`:
 /// `acc[i] ^= c · data[i]`. This is the inner loop of Reed–Solomon
-/// encode/decode.
+/// encode/decode; it dispatches to the word-parallel split-nibble kernel
+/// (see [`mul_acc_scalar`] for the byte-at-a-time reference).
 ///
 /// # Panics
 /// Panics when slice lengths differ.
 pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
+    assert_eq!(acc.len(), data.len(), "gf256::mul_acc: length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        crate::kernel::xor_acc(acc, data);
+        return;
+    }
+    crate::kernel::mul_acc_wide(acc, data, &crate::kernel::NibbleTables::new(c));
+}
+
+/// Byte-at-a-time reference implementation of [`mul_acc`]: one log/exp
+/// table walk per byte, exactly as the math reads. Kept for proptests and
+/// benches that pin the wide kernel against it.
+///
+/// # Panics
+/// Panics when slice lengths differ.
+pub fn mul_acc_scalar(acc: &mut [u8], data: &[u8], c: u8) {
     assert_eq!(acc.len(), data.len(), "gf256::mul_acc: length mismatch");
     if c == 0 {
         return;
@@ -122,8 +141,22 @@ pub fn mul_acc(acc: &mut [u8], data: &[u8], c: u8) {
     }
 }
 
-/// Multiplies every byte of `data` in place by `c`.
+/// Multiplies every byte of `data` in place by `c` through the
+/// word-parallel split-nibble kernel ([`mul_slice_scalar`] is the
+/// reference).
 pub fn mul_slice(data: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        data.fill(0);
+        return;
+    }
+    crate::kernel::mul_slice_wide(data, &crate::kernel::NibbleTables::new(c));
+}
+
+/// Byte-at-a-time reference implementation of [`mul_slice`].
+pub fn mul_slice_scalar(data: &mut [u8], c: u8) {
     if c == 1 {
         return;
     }

@@ -16,8 +16,16 @@
 //!   providers),
 //! - [`stripe`] — a level-agnostic [`stripe::StripeCodec`] facade used by the
 //!   distributor.
+//!
+//! The hot loops dispatch through an internal `kernel` module: u64
+//! word-wide SWAR XOR for parity and split-nibble lookup tables for
+//! GF(2⁸) slice multiplication. Byte-at-a-time references survive as
+//! `*_scalar` functions ([`raid5::parity_scalar`],
+//! [`gf256::mul_acc_scalar`], [`gf256::mul_slice_scalar`]) so tests and
+//! benches can pin the wide kernels against them.
 
 pub mod gf256;
+mod kernel;
 pub mod raid5;
 pub mod raid6;
 pub mod stripe;

@@ -4,9 +4,12 @@
 //! missing shard (data or parity) can be reconstructed. The paper uses this
 //! as the default assurance level for distributed chunks (§IV-A).
 
+use crate::kernel;
 use crate::{RaidError, Result};
 
-/// Computes the parity shard for a slice of equal-length data shards.
+/// Computes the parity shard for a slice of equal-length data shards
+/// through the u64 word-wide XOR kernel ([`parity_scalar`] is the
+/// byte-at-a-time reference).
 ///
 /// Returns [`RaidError::BadGeometry`] for an empty input and
 /// [`RaidError::ShardLengthMismatch`] when lengths differ.
@@ -18,13 +21,69 @@ pub fn parity(shards: &[&[u8]]) -> Result<Vec<u8>> {
     if shards.iter().any(|s| s.len() != len) {
         return Err(RaidError::ShardLengthMismatch);
     }
-    let mut p = vec![0u8; len];
-    for s in shards {
-        for (pb, &sb) in p.iter_mut().zip(*s) {
-            *pb ^= sb;
-        }
+    let mut p = first.to_vec();
+    for s in &shards[1..] {
+        kernel::xor_acc(&mut p, s);
     }
     Ok(p)
+}
+
+/// Byte-at-a-time reference implementation of [`parity`], written in
+/// definition order: parity byte `i` is the XOR of byte `i` of every
+/// shard. Kept for proptests and benches that pin the wide kernel
+/// against it.
+pub fn parity_scalar(shards: &[&[u8]]) -> Result<Vec<u8>> {
+    let first = shards.first().ok_or_else(|| RaidError::BadGeometry {
+        detail: "RAID-5 needs at least one data shard".into(),
+    })?;
+    let len = first.len();
+    if shards.iter().any(|s| s.len() != len) {
+        return Err(RaidError::ShardLengthMismatch);
+    }
+    let mut p = vec![0u8; len];
+    for idx in 0..len {
+        let mut b = 0u8;
+        for s in shards {
+            b ^= s[idx];
+        }
+        p[idx] = b;
+    }
+    Ok(p)
+}
+
+/// Parity of shards that are logically zero-padded to `width`: each shard
+/// may be shorter than `width`, and the missing suffix contributes
+/// nothing to the XOR. Lets stripe encoders skip materializing padded
+/// copies of the final (short) shard.
+///
+/// Returns [`RaidError::BadGeometry`] for an empty input or when a shard
+/// exceeds `width`.
+pub fn parity_padded(shards: &[&[u8]], width: usize) -> Result<Vec<u8>> {
+    let mut p = Vec::new();
+    parity_padded_into(shards, width, &mut p)?;
+    Ok(p)
+}
+
+/// [`parity_padded`] writing into a caller-provided buffer (cleared and
+/// resized to `width`), so pipelined encoders can recycle parity
+/// allocations across stripes.
+pub fn parity_padded_into(shards: &[&[u8]], width: usize, out: &mut Vec<u8>) -> Result<()> {
+    if shards.is_empty() {
+        return Err(RaidError::BadGeometry {
+            detail: "RAID-5 needs at least one data shard".into(),
+        });
+    }
+    if shards.iter().any(|s| s.len() > width) {
+        return Err(RaidError::BadGeometry {
+            detail: format!("shard longer than stripe width {width}"),
+        });
+    }
+    out.clear();
+    out.resize(width, 0);
+    for s in shards {
+        kernel::xor_acc(out, s);
+    }
+    Ok(())
 }
 
 /// Reconstructs one missing shard given all the others plus parity.
@@ -118,5 +177,42 @@ mod tests {
         let a: [u8; 0] = [];
         let p = parity(&[&a[..], &a[..]]).unwrap();
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn wide_parity_matches_scalar_reference() {
+        // Cover word-multiple, tail-carrying, and sub-word widths.
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let shards: Vec<Vec<u8>> = (0..5)
+                .map(|i| (0..len).map(|b| ((i * 31 + b * 7 + 3) % 251) as u8).collect())
+                .collect();
+            let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+            assert_eq!(
+                parity(&refs).unwrap(),
+                parity_scalar(&refs).unwrap(),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_parity_matches_explicit_zero_pad() {
+        let full: Vec<Vec<u8>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 0, 0]];
+        let short: Vec<Vec<u8>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10]];
+        let full_refs: Vec<&[u8]> = full.iter().map(|s| s.as_slice()).collect();
+        let short_refs: Vec<&[u8]> = short.iter().map(|s| s.as_slice()).collect();
+        assert_eq!(
+            parity_padded(&short_refs, 4).unwrap(),
+            parity(&full_refs).unwrap()
+        );
+        // Geometry errors.
+        assert!(matches!(
+            parity_padded(&[], 4),
+            Err(RaidError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            parity_padded(&short_refs, 1),
+            Err(RaidError::BadGeometry { .. })
+        ));
     }
 }

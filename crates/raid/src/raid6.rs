@@ -11,6 +11,7 @@
 //! (§IV-A).
 
 use crate::gf256;
+use crate::kernel;
 use crate::{RaidError, Result};
 
 /// Both parity shards for a stripe of equal-length data shards.
@@ -42,12 +43,59 @@ pub fn parity(shards: &[&[u8]]) -> Result<Parity> {
     let mut p = vec![0u8; len];
     let mut q = vec![0u8; len];
     for (i, s) in shards.iter().enumerate() {
-        for (pb, &sb) in p.iter_mut().zip(*s) {
-            *pb ^= sb;
-        }
+        kernel::xor_acc(&mut p, s);
         gf256::mul_acc(&mut q, s, gf256::pow(gf256::GENERATOR, i as u32));
     }
     Ok(Parity { p, q })
+}
+
+/// P and Q parity of shards that are logically zero-padded to `width`:
+/// shards may be shorter than `width` and the missing suffix contributes
+/// nothing (zero is additive identity and annihilates products), so stripe
+/// encoders can skip materializing padded copies of the final short shard.
+///
+/// Returns [`RaidError::BadGeometry`] for an empty input, too many shards,
+/// or a shard longer than `width`.
+pub fn parity_padded(shards: &[&[u8]], width: usize) -> Result<Parity> {
+    let mut p = Vec::new();
+    let mut q = Vec::new();
+    parity_padded_into(shards, width, &mut p, &mut q)?;
+    Ok(Parity { p, q })
+}
+
+/// [`parity_padded`] writing into caller-provided P and Q buffers (cleared
+/// and resized to `width`), so pipelined encoders can recycle parity
+/// allocations across stripes.
+pub fn parity_padded_into(
+    shards: &[&[u8]],
+    width: usize,
+    p: &mut Vec<u8>,
+    q: &mut Vec<u8>,
+) -> Result<()> {
+    if shards.is_empty() {
+        return Err(RaidError::BadGeometry {
+            detail: "RAID-6 needs at least one data shard".into(),
+        });
+    }
+    if shards.len() > MAX_DATA_SHARDS {
+        return Err(RaidError::BadGeometry {
+            detail: format!("RAID-6 supports at most {MAX_DATA_SHARDS} data shards"),
+        });
+    }
+    if shards.iter().any(|s| s.len() > width) {
+        return Err(RaidError::BadGeometry {
+            detail: format!("shard longer than stripe width {width}"),
+        });
+    }
+    p.clear();
+    p.resize(width, 0);
+    q.clear();
+    q.resize(width, 0);
+    for (i, s) in shards.iter().enumerate() {
+        kernel::xor_acc(p, s);
+        gf256::mul_acc(&mut q[..s.len()], s, gf256::pow(gf256::GENERATOR, i as u32));
+    }
+    Ok(())
 }
 
 /// Identifies a shard within a RAID-6 stripe.
@@ -130,9 +178,7 @@ pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
             for (j, d) in data.iter().enumerate() {
                 if j != *i {
                     let d = d.as_ref().expect("only shard i is missing");
-                    for (xb, &db) in x.iter_mut().zip(d) {
-                        *xb ^= db;
-                    }
+                    kernel::xor_acc(&mut x, d);
                 }
             }
             data[*i] = Some(x);
@@ -160,23 +206,21 @@ pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
             let mut b = qv.clone();
             for (m, d) in data.iter().enumerate() {
                 if let Some(d) = d {
-                    for (ab, &db) in a.iter_mut().zip(d) {
-                        *ab ^= db;
-                    }
+                    kernel::xor_acc(&mut a, d);
                     gf256::mul_acc(&mut b, d, gf256::pow(gf256::GENERATOR, m as u32));
                 }
             }
             // Solve d_i ⊕ d_j = A ; g^i d_i ⊕ g^j d_j = B:
-            //   d_i = (B ⊕ g^j·A) / (g^i ⊕ g^j),  d_j = A ⊕ d_i.
+            //   d_i = (B ⊕ g^j·A) / (g^i ⊕ g^j),  d_j = A ⊕ d_i,
+            // evaluated slice-at-a-time through the wide kernels.
             let gi = gf256::pow(gf256::GENERATOR, i as u32);
             let gj = gf256::pow(gf256::GENERATOR, j as u32);
             let denom_inv = gf256::inv(gi ^ gj);
-            let mut di = vec![0u8; len];
-            for idx in 0..len {
-                let num = b[idx] ^ gf256::mul(gj, a[idx]);
-                di[idx] = gf256::mul(num, denom_inv);
-            }
-            let dj: Vec<u8> = a.iter().zip(&di).map(|(ab, ib)| ab ^ ib).collect();
+            let mut di = b;
+            gf256::mul_acc(&mut di, &a, gj);
+            gf256::mul_slice(&mut di, denom_inv);
+            let mut dj = a;
+            kernel::xor_acc(&mut dj, &di);
             data[i] = Some(di);
             data[j] = Some(dj);
         }
@@ -394,6 +438,26 @@ mod tests {
         let s = [Shard { id: ShardId::Data(7), data: &d }];
         assert!(matches!(
             reconstruct(2, &s),
+            Err(RaidError::BadGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn padded_parity_matches_explicit_zero_pad() {
+        let mut data = stripe(4, 33);
+        data[3].truncate(9); // logically zero-padded final shard
+        let mut full = data.clone();
+        full[3].resize(33, 0);
+        let pq_padded = parity_padded(&refs(&data), 33).unwrap();
+        let pq_full = parity(&refs(&full)).unwrap();
+        assert_eq!(pq_padded, pq_full);
+        // Geometry errors.
+        assert!(matches!(
+            parity_padded(&[], 8),
+            Err(RaidError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            parity_padded(&refs(&data), 8),
             Err(RaidError::BadGeometry { .. })
         ));
     }

@@ -105,6 +105,95 @@ proptest! {
         }
     }
 
+    /// The wide (word/SIMD) parity kernel must agree with the
+    /// byte-at-a-time scalar reference for every geometry: zero-length
+    /// shards, 1..8-byte tails, and misaligned start addresses (sub-slicing
+    /// from `offset` shifts the base pointer off word boundaries).
+    #[test]
+    fn wide_parity_matches_scalar_reference(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..130),
+            1..6,
+        ),
+        offset in 0usize..8,
+    ) {
+        let width = data.iter().map(Vec::len).max().unwrap_or(0);
+        let shards: Vec<Vec<u8>> = data
+            .into_iter()
+            .map(|mut s| {
+                s.resize(width, 0);
+                s
+            })
+            .collect();
+        let off = offset.min(width);
+        let refs: Vec<&[u8]> = shards.iter().map(|s| &s[off..]).collect();
+        prop_assert_eq!(raid5::parity(&refs).expect("wide"), raid5::parity_scalar(&refs).expect("scalar"));
+    }
+
+    /// Wide `mul_slice` ≡ scalar reference across lengths 0..257 and
+    /// misaligned sub-slices.
+    #[test]
+    fn wide_mul_slice_matches_scalar_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..257),
+        c: u8,
+        offset in 0usize..8,
+    ) {
+        let off = offset.min(data.len());
+        let mut wide = data[off..].to_vec();
+        let mut scalar = wide.clone();
+        gf256::mul_slice(&mut wide, c);
+        gf256::mul_slice_scalar(&mut scalar, c);
+        prop_assert_eq!(wide, scalar);
+    }
+
+    /// Wide `mul_acc` ≡ scalar reference across lengths (including the
+    /// c == 0 and c == 1 special-cased dispatch arms) and misaligned
+    /// sub-slices.
+    #[test]
+    fn wide_mul_acc_matches_scalar_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..257),
+        c: u8,
+        offset in 0usize..8,
+    ) {
+        let off = offset.min(data.len());
+        let src = &data[off..];
+        let mut acc_wide: Vec<u8> = (0..src.len()).map(|i| (i * 37 + 11) as u8).collect();
+        let mut acc_scalar = acc_wide.clone();
+        gf256::mul_acc(&mut acc_wide, src, c);
+        gf256::mul_acc_scalar(&mut acc_scalar, src, c);
+        prop_assert_eq!(acc_wide, acc_scalar);
+    }
+
+    /// The padded-parity fast path (no materialized zero-pad) must match
+    /// parity over explicitly padded shards, for both RAID levels.
+    #[test]
+    fn padded_parity_matches_explicit_padding(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..5,
+        ),
+    ) {
+        let width = data.iter().map(Vec::len).max().unwrap_or(0);
+        let padded: Vec<Vec<u8>> = data
+            .iter()
+            .map(|s| {
+                let mut p = s.clone();
+                p.resize(width, 0);
+                p
+            })
+            .collect();
+        let short_refs: Vec<&[u8]> = data.iter().map(|s| s.as_slice()).collect();
+        let full_refs: Vec<&[u8]> = padded.iter().map(|s| s.as_slice()).collect();
+        prop_assert_eq!(
+            raid5::parity_padded(&short_refs, width).expect("padded"),
+            raid5::parity(&full_refs).expect("full")
+        );
+        let pq_padded = raid6::parity_padded(&short_refs, width).expect("padded");
+        let pq_full = raid6::parity(&full_refs).expect("full");
+        prop_assert_eq!(pq_padded.p, pq_full.p);
+        prop_assert_eq!(pq_padded.q, pq_full.q);
+    }
+
     /// Parity is linear: P(a ⊕ b) = P(a) ⊕ P(b) over same-width shard sets.
     #[test]
     fn raid5_parity_is_linear(

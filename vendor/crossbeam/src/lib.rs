@@ -4,7 +4,118 @@
 //! (closures receive the scope, `scope` returns a `Result` that is `Err`
 //! when a child panicked) implemented over `std::thread::scope`, which has
 //! been stable since Rust 1.63 and gives the same structured-concurrency
-//! guarantees.
+//! guarantees, plus `crossbeam::channel` MPMC channels (clonable senders
+//! *and* receivers, bounded or unbounded) implemented over `std::sync::mpsc`.
+
+/// Multi-producer multi-consumer channels with the `crossbeam-channel`
+/// surface: `unbounded()` / `bounded(cap)` constructors, clonable
+/// [`channel::Sender`] and [`channel::Receiver`] halves, and
+/// `send`/`recv`/`try_recv` with crossbeam's error types.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still exist).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Clonable; the channel disconnects
+    /// when every clone is dropped.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full. Fails
+        /// only when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel. Clonable: clones share one queue,
+    /// so each message is delivered to exactly one receiver (MPMC
+    /// work-stealing semantics, as in `crossbeam-channel`).
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails when the channel is empty
+        /// and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Drains every message currently reachable, ending when the
+        /// channel is empty or disconnected.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Creates a channel buffering at most `cap` in-flight messages;
+    /// `send` blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
