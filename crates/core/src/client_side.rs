@@ -99,7 +99,7 @@ impl ClientSideDistributor {
         for (sl, chunk) in chunks.iter().enumerate() {
             let owner = ring
                 .owner(filename, sl as u32)
-                .expect("non-empty ring has owners")
+                .ok_or(CoreError::NoEligibleProvider { pl })?
                 .clone();
             let provider = &self.providers[&owner];
             let vid = self.vids.allocate();

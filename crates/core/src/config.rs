@@ -133,6 +133,9 @@ impl DistributorConfig {
     #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
     pub fn assert_valid(&self) {
         if let Err(e) = self.validate() {
+            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
+            // panicking *by contract*; it stays until the pinned removal
+            // release. New code goes through `validate()`.
             panic!("{e}");
         }
     }
@@ -221,6 +224,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "stripe_width")]
     fn deprecated_assert_valid_still_panics() {
+        // fraglint: allow(no-deprecated-string-api) — pin test: keeps the
+        // deprecated `assert_valid` panicking until its removal release.
         #[allow(deprecated)]
         DistributorConfig {
             stripe_width: 0,

@@ -197,10 +197,25 @@ struct PutProgress {
 
 impl CloudDataDistributor {
     /// Creates a distributor over a provider fleet.
+    ///
+    /// # Panics
+    /// Panics when `config` fails [`DistributorConfig::validate`]; use
+    /// [`try_new`](Self::try_new) to handle the error instead.
     pub fn new(providers: Vec<Arc<CloudProvider>>, config: DistributorConfig) -> Self {
-        config.validate().expect("invalid DistributorConfig");
+        // fraglint: allow(no-unwrap-in-lib) — documented panicking
+        // convenience constructor; `try_new` is the fallible form.
+        Self::try_new(providers, config).expect("invalid DistributorConfig")
+    }
+
+    /// Fallible form of [`new`](Self::new): returns
+    /// [`CoreError::InvalidConfig`] instead of panicking on a bad config.
+    pub fn try_new(
+        providers: Vec<Arc<CloudProvider>>,
+        config: DistributorConfig,
+    ) -> Result<Self> {
+        config.validate()?;
         let n = providers.len();
-        CloudDataDistributor {
+        Ok(CloudDataDistributor {
             state: RwLock::new(Tables::new(providers)),
             vids: VidAllocator::new(config.seed),
             config,
@@ -208,7 +223,7 @@ impl CloudDataDistributor {
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
-        }
+        })
     }
 
     /// The active configuration.
@@ -223,10 +238,10 @@ impl CloudDataDistributor {
         tables: Tables,
         config: DistributorConfig,
         already_allocated: u64,
-    ) -> Self {
-        config.validate().expect("invalid DistributorConfig");
+    ) -> Result<Self> {
+        config.validate()?;
         let n = tables.providers.len();
-        CloudDataDistributor {
+        Ok(CloudDataDistributor {
             state: RwLock::new(tables),
             vids: VidAllocator::resume(config.seed, already_allocated),
             config,
@@ -234,7 +249,7 @@ impl CloudDataDistributor {
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
-        }
+        })
     }
 
     /// The shared transfer pool, created on first use with
@@ -414,6 +429,8 @@ impl CloudDataDistributor {
                         // Every sender gone before our stripe arrived: an
                         // encode task panicked and was swallowed by the
                         // pool. Surface it instead of hanging.
+                        // fraglint: allow(no-unwrap-in-lib) — re-raises a
+                        // worker panic; there is no Result to return it in.
                         Err(_) => panic!("pipelined-put encode task panicked"),
                     }
                 }?;
@@ -2918,6 +2935,8 @@ mod tests {
     /// until removal. This is the ONLY place tests may touch them; all
     /// other coverage goes through the typed `Session` API.
     #[test]
+    // fraglint: allow(no-deprecated-string-api) — the one designated
+    // compat test for the deprecated wrappers (see doc comment above).
     #[allow(deprecated)]
     fn deprecated_string_api_still_works() {
         let d = distributor();

@@ -117,10 +117,6 @@ impl<'a> EncryptedClient<'a> {
 }
 
 #[cfg(test)]
-// The unit tests keep driving the deprecated string-triple wrappers on
-// purpose: they are still public API and must not rot before removal.
-// New surface (Session, scrub/repair) is covered by its own tests.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, DistributorConfig};
@@ -196,7 +192,7 @@ mod tests {
         assert_eq!(ec.get_file("c", "pw", "f").unwrap(), data);
         // The raw distributor view shows the cleartext prefix but not the
         // encrypted suffix.
-        let raw = d.get_file("c", "pw", "f").unwrap().data;
+        let raw = d.session("c", "pw").unwrap().get_file("f").unwrap().data;
         assert_eq!(&raw[..300], &data[..300]);
         assert_ne!(&raw[300..], &data[300..]);
     }
@@ -210,8 +206,8 @@ mod tests {
             .unwrap();
         ec.put_file("c", "pw", "b", &data, PrivacyLevel::Low, EncryptionMode::Full, PutOptions::default())
             .unwrap();
-        let ra = d.get_file("c", "pw", "a").unwrap().data;
-        let rb = d.get_file("c", "pw", "b").unwrap().data;
+        let ra = d.session("c", "pw").unwrap().get_file("a").unwrap().data;
+        let rb = d.session("c", "pw").unwrap().get_file("b").unwrap().data;
         assert_ne!(ra, rb, "same plaintext must encrypt differently per file");
         assert_eq!(ec.get_file("c", "pw", "a").unwrap(), data);
         assert_eq!(ec.get_file("c", "pw", "b").unwrap(), data);
@@ -222,7 +218,7 @@ mod tests {
         let d = distributor();
         let ec = EncryptedClient::new(&d, [1u8; 32]);
         let data = body(64);
-        d.put_file("c", "pw", "plain", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("plain", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         assert_eq!(ec.get_file("c", "pw", "plain").unwrap(), data);
         assert_eq!(ec.mode_of("plain"), None);

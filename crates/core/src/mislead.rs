@@ -38,20 +38,23 @@ pub fn inject(chunk: &[u8], rate: f64, seed: u64) -> (Vec<u8>, Vec<usize>) {
     }
     let positions: Vec<usize> = positions.into_iter().collect();
 
+    // Splice real-byte runs around the injected positions. For the k-th
+    // (0-based) injected position p, the output prefix `..p` holds k
+    // earlier injected bytes, so exactly `p - k` real bytes precede it —
+    // copying run-by-run needs no per-byte bookkeeping and cannot run
+    // out of source bytes.
     let mut out = Vec::with_capacity(out_len);
-    let mut src = chunk.iter().copied();
-    let mut pos_iter = positions.iter().peekable();
-    for i in 0..out_len {
-        if pos_iter.peek() == Some(&&i) {
-            pos_iter.next();
-            // A misleading byte: a perturbed copy of a random real byte.
-            let base = chunk[rng.gen_range(0..chunk.len())];
-            out.push(base.wrapping_add(rng.gen_range(1..=32)));
-        } else {
-            out.push(src.next().expect("source bytes exhausted early"));
-        }
+    let mut copied = 0usize;
+    for (k, &p) in positions.iter().enumerate() {
+        let run_end = p - k;
+        out.extend_from_slice(&chunk[copied..run_end]);
+        copied = run_end;
+        // A misleading byte: a perturbed copy of a random real byte.
+        let base = chunk[rng.gen_range(0..chunk.len())];
+        out.push(base.wrapping_add(rng.gen_range(1..=32)));
     }
-    debug_assert!(src.next().is_none());
+    out.extend_from_slice(&chunk[copied..]);
+    debug_assert_eq!(out.len(), out_len);
     (out, positions)
 }
 
@@ -61,17 +64,14 @@ pub fn inject(chunk: &[u8], rate: f64, seed: u64) -> (Vec<u8>, Vec<usize>) {
 /// # Panics
 /// Panics when positions are out of bounds or unsorted.
 pub fn strip(stored: &[u8], positions: &[usize]) -> Vec<u8> {
-    if positions.is_empty() {
+    let Some(&last) = positions.last() else {
         return stored.to_vec();
-    }
+    };
     assert!(
         positions.windows(2).all(|w| w[0] < w[1]),
         "positions must be strictly ascending"
     );
-    assert!(
-        *positions.last().expect("non-empty") < stored.len(),
-        "position out of bounds"
-    );
+    assert!(last < stored.len(), "position out of bounds");
     let mut out = Vec::with_capacity(stored.len() - positions.len());
     let mut pos_iter = positions.iter().peekable();
     for (i, &b) in stored.iter().enumerate() {

@@ -356,11 +356,7 @@ pub fn import_state(
             if tables.clients.len() != n_clients {
                 return Err(bad(line_no, "client count mismatch"));
             }
-            return Ok(CloudDataDistributor::from_tables(
-                    tables,
-                    config,
-                    already_allocated,
-                ));
+            return CloudDataDistributor::from_tables(tables, config, already_allocated);
         }
         let f: Vec<&str> = line.split('|').collect();
         match f[0] {
@@ -414,10 +410,6 @@ pub fn import_state(
 }
 
 #[cfg(test)]
-// The unit tests keep driving the deprecated string-triple wrappers on
-// purpose: they are still public API and must not rot before removal.
-// New surface (Session, scrub/repair) is covered by its own tests.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, DistributorConfig};
@@ -457,20 +449,20 @@ mod tests {
         d.add_password("Bob|weird%name", "p|w%d", PrivacyLevel::High)
             .unwrap();
         let data = body(500);
-        d.put_file(
-            "Bob|weird%name",
-            "p|w%d",
-            "file|one",
-            &data,
-            PrivacyLevel::Moderate,
-            PutOptions {
-                replicas: 1,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        d.update_chunk("Bob|weird%name", "p|w%d", "file|one", 1, &[9u8; 64])
+        {
+            let s = d.session("Bob|weird%name", "p|w%d").unwrap();
+            s.put_file(
+                "file|one",
+                &data,
+                PrivacyLevel::Moderate,
+                PutOptions {
+                    replicas: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
+            s.update_chunk("file|one", 1, &[9u8; 64]).unwrap();
+        }
 
         let snapshot = export_state(&d);
         drop(d); // the distributor dies; the clouds live on
@@ -479,25 +471,19 @@ mod tests {
         let mut shuffled = providers.clone();
         shuffled.reverse();
         let d2 = import_state(&snapshot, shuffled, config()).unwrap();
-        let got = d2.get_file("Bob|weird%name", "p|w%d", "file|one").unwrap();
+        let s2 = d2.session("Bob|weird%name", "p|w%d").unwrap();
+        let got = s2.get_file("file|one").unwrap();
         let mut expected = data.clone();
         expected[64..128].copy_from_slice(&[9u8; 64]);
         assert_eq!(got.data, expected);
         // Snapshot restore still works through the imported state.
-        d2.restore_snapshot("Bob|weird%name", "p|w%d", "file|one", 1)
-            .unwrap();
-        assert_eq!(
-            d2.get_file("Bob|weird%name", "p|w%d", "file|one").unwrap().data,
-            data
-        );
+        s2.restore_snapshot("file|one", 1).unwrap();
+        assert_eq!(s2.get_file("file|one").unwrap().data, data);
         // RAID protection survives the restart.
         let holdings = d2.client_chunks_per_provider("Bob|weird%name").unwrap();
         let victim = holdings.iter().position(|&c| c > 0).unwrap();
         d2.providers()[victim].set_online(false);
-        assert_eq!(
-            d2.get_file("Bob|weird%name", "p|w%d", "file|one").unwrap().data,
-            data
-        );
+        assert_eq!(s2.get_file("file|one").unwrap().data, data);
     }
 
     #[test]
@@ -505,7 +491,9 @@ mod tests {
         let d = CloudDataDistributor::new(fleet(), config());
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
-        d.put_file("c", "p", "f", &body(64), PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "p")
+            .unwrap()
+            .put_file("f", &body(64), PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         let snapshot = export_state(&d);
         let short_fleet = fleet().into_iter().take(2).collect();
@@ -542,12 +530,14 @@ mod tests {
         d.register_client("c").unwrap();
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
         let data = body(192);
-        d.put_file("c", "p", "f", &data, PrivacyLevel::Low, PutOptions::default())
+        let s = d.session("c", "p").unwrap();
+        s.put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
-        d.remove_chunk("c", "p", "f", 1).unwrap();
+        s.remove_chunk("f", 1).unwrap();
         let snapshot = export_state(&d);
         let d2 = import_state(&snapshot, providers, config()).unwrap();
-        assert!(d2.get_chunk("c", "p", "f", 1).is_err());
-        assert_eq!(d2.get_chunk("c", "p", "f", 0).unwrap(), &data[..64]);
+        let s2 = d2.session("c", "p").unwrap();
+        assert!(s2.get_chunk("f", 1).is_err());
+        assert_eq!(s2.get_chunk("f", 0).unwrap(), &data[..64]);
     }
 }

@@ -51,7 +51,7 @@ pub fn place_stripe(
             let idx = *eligible
                 .iter()
                 .min_by_key(|&&i| providers[i].profile().cost_level)
-                .expect("non-empty eligible set");
+                .ok_or(CoreError::NoEligibleProvider { pl })?;
             Ok(vec![idx; shards])
         }
         PlacementStrategy::RandomEligible => {

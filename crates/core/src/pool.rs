@@ -55,6 +55,10 @@ impl TransferPool {
                             }
                         }
                     })
+                    // fraglint: allow(no-unwrap-in-lib) — a failed worker
+                    // spawn at pool construction leaves nothing to fall
+                    // back to, and `OnceLock::get_or_init` (the shared-pool
+                    // path) cannot thread a Result out.
                     .expect("spawn transfer-pool worker")
             })
             .collect();
@@ -74,6 +78,9 @@ impl TransferPool {
         let sent = self
             .tx
             .as_ref()
+            // fraglint: allow(no-unwrap-in-lib) — `tx` is Some from
+            // construction until Drop takes it; no caller can reach
+            // `submit` on a dropped pool.
             .expect("pool alive until drop")
             .send(Box::new(job))
             .is_ok();

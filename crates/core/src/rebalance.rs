@@ -180,10 +180,6 @@ impl CloudDataDistributor {
 }
 
 #[cfg(test)]
-// The unit tests keep driving the deprecated string-triple wrappers on
-// purpose: they are still public API and must not rot before removal.
-// New surface (Session, scrub/repair) is covered by its own tests.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, DistributorConfig};
@@ -233,7 +229,7 @@ mod tests {
     fn migrate_moves_object_and_preserves_reads() {
         let d = world();
         let data = body(1000);
-        d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Find chunk 0's provider and pick a different, stripe-safe target.
         let before = d.client_chunks_per_provider("c").unwrap();
@@ -257,7 +253,7 @@ mod tests {
             after.iter().sum::<usize>(),
             "no chunk lost"
         );
-        assert_eq!(d.get_file("c", "pw", "f").unwrap().data, data);
+        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, data);
     }
 
     #[test]
@@ -278,7 +274,7 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "pw", PrivacyLevel::High).unwrap();
-        d.put_file("c", "pw", "f", &body(500), PrivacyLevel::High, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("f", &body(500), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert!(matches!(
             d.migrate_chunk("c", "pw", "f", 0, 6),
@@ -291,7 +287,7 @@ mod tests {
     #[test]
     fn migrate_respects_stripe_anti_affinity() {
         let d = world();
-        d.put_file("c", "pw", "f", &body(700), PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("f", &body(700), PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Chunks 0..2 share a stripe (width 3); moving chunk 0 onto chunk
         // 1's provider must be vetoed.
@@ -315,18 +311,18 @@ mod tests {
             "some provider must be vetoed by anti-affinity"
         );
         // File still fully readable after the probe migrations.
-        assert_eq!(d.get_file("c", "pw", "f").unwrap().data, body(700));
+        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, body(700));
     }
 
     #[test]
     fn rebalance_moves_hot_chunks_toward_low_latency() {
         let d = world();
         let data = body(2000);
-        d.put_file("c", "pw", "f", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Heat the file up.
         for _ in 0..5 {
-            d.get_file("c", "pw", "f").unwrap();
+            d.session("c", "pw").unwrap().get_file("f").unwrap();
         }
         let gain_before = d.locality_gain("c", "f").unwrap();
         let report = d.rebalance_by_access("c", "pw", 1).unwrap();
@@ -339,7 +335,7 @@ mod tests {
             "locality must improve: {gain_before:?} -> {gain_after:?}"
         );
         // Data integrity preserved.
-        assert_eq!(d.get_file("c", "pw", "f").unwrap().data, data);
+        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, data);
         // Idempotence: a second pass moves nothing new onto cp0 beyond the
         // anti-affinity cap.
         let again = d.rebalance_by_access("c", "pw", 1).unwrap();
@@ -350,7 +346,7 @@ mod tests {
     fn rebalance_requires_authorization() {
         let d = world();
         d.add_password("c", "weak", PrivacyLevel::Public).unwrap();
-        d.put_file("c", "pw", "f", &body(300), PrivacyLevel::High, PutOptions::default())
+        d.session("c", "pw").unwrap().put_file("f", &body(300), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert_eq!(
             d.rebalance_by_access("c", "weak", 0).unwrap_err(),

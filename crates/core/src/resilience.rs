@@ -85,6 +85,9 @@ impl RetryPolicy {
     #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
     pub fn assert_valid(&self) {
         if let Err(e) = self.validate() {
+            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
+            // panicking *by contract*; it stays until the pinned removal
+            // release. New code goes through `validate()`.
             panic!("{e}");
         }
     }
@@ -229,6 +232,9 @@ impl ResilienceConfig {
     #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
     pub fn assert_valid(&self) {
         if let Err(e) = self.validate() {
+            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
+            // panicking *by contract*; it stays until the pinned removal
+            // release. New code goes through `validate()`.
             panic!("{e}");
         }
     }
@@ -361,6 +367,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_attempts")]
     fn deprecated_assert_valid_still_panics() {
+        // fraglint: allow(no-deprecated-string-api) — pin test: keeps the
+        // deprecated `assert_valid` panicking until its removal release.
         #[allow(deprecated)]
         RetryPolicy {
             max_attempts: 0,

@@ -1,0 +1,193 @@
+//! `fraglint.toml` — checked-in path-level exemptions.
+//!
+//! The registry is unreachable in this build environment, so instead of a
+//! TOML crate this module hand-rolls a parser for exactly the subset the
+//! config uses: `[[exempt]]` array-of-tables entries whose values are
+//! double-quoted strings.
+//!
+//! ```toml
+//! [[exempt]]
+//! rule = "no-wall-clock"
+//! path = "crates/bench/"
+//! reason = "benchmarks measure wall time by definition"
+//! ```
+//!
+//! `path` is a workspace-root-relative prefix: a trailing `/` exempts a
+//! whole directory, otherwise one file. `rule` may be `*` to exempt a
+//! path from every rule. `reason` is mandatory — an exemption nobody can
+//! justify should not exist.
+
+/// One path-level exemption from `fraglint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemption {
+    /// Rule id the exemption applies to, or `*` for all rules.
+    pub rule: String,
+    /// Workspace-relative path prefix (`/`-separated).
+    pub path: String,
+    /// Why the exemption exists (required).
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path-level exemptions, in file order.
+    pub exemptions: Vec<Exemption>,
+}
+
+impl Config {
+    /// True when `rule` is exempt for the file at workspace-relative
+    /// `path` (always `/`-separated, no leading `./`).
+    pub fn is_exempt(&self, rule: &str, path: &str) -> bool {
+        self.exemptions.iter().any(|e| {
+            (e.rule == "*" || e.rule == rule)
+                && (path == e.path || (e.path.ends_with('/') && path.starts_with(&e.path)))
+        })
+    }
+}
+
+/// Parses the config text. Unknown keys and malformed entries are hard
+/// errors: a lint gate with a silently ignored config is worse than no
+/// gate at all.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut exemptions = Vec::new();
+    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[exempt]]" {
+            if let Some(entry) = current.take() {
+                exemptions.push(finish(entry, lineno)?);
+            }
+            current = Some((None, None, None));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: unknown table {line:?}", lineno + 1));
+        }
+        let (key, value) = parse_kv(line).ok_or_else(|| {
+            format!("line {}: expected `key = \"value\"`, got {line:?}", lineno + 1)
+        })?;
+        let entry = current
+            .as_mut()
+            .ok_or_else(|| format!("line {}: key outside any [[exempt]] entry", lineno + 1))?;
+        let slot = match key {
+            "rule" => &mut entry.0,
+            "path" => &mut entry.1,
+            "reason" => &mut entry.2,
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        };
+        if slot.is_some() {
+            return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
+        }
+        *slot = Some(value);
+    }
+    if let Some(entry) = current.take() {
+        exemptions.push(finish(entry, text.lines().count())?);
+    }
+    Ok(Config { exemptions })
+}
+
+fn finish(
+    (rule, path, reason): (Option<String>, Option<String>, Option<String>),
+    lineno: usize,
+) -> Result<Exemption, String> {
+    Ok(Exemption {
+        rule: rule.ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?,
+        path: path.ok_or_else(|| format!("entry ending at line {lineno}: missing `path`"))?,
+        reason: reason.ok_or_else(|| format!("entry ending at line {lineno}: missing `reason`"))?,
+    })
+}
+
+/// Strips a `#` comment, respecting `#` inside a double-quoted value.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// `key = "value"` with minimal escape handling (`\"` and `\\`).
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    if !rest.starts_with('"') || !rest.ends_with('"') || rest.len() < 2 {
+        return None;
+    }
+    let mut value = String::new();
+    let mut escaped = false;
+    for c in rest[1..rest.len() - 1].chars() {
+        if escaped {
+            value.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return None; // unescaped quote mid-value: malformed
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key.trim(), value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches_prefixes() {
+        let cfg = parse(
+            r#"
+            # project exemptions
+            [[exempt]]
+            rule = "no-wall-clock"
+            path = "crates/bench/"   # whole crate
+            reason = "benchmarks measure wall time"
+
+            [[exempt]]
+            rule = "*"
+            path = "crates/core/src/client_side.rs"
+            reason = "paper sIV-C client-side variant"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exemptions.len(), 2);
+        assert!(cfg.is_exempt("no-wall-clock", "crates/bench/src/lib.rs"));
+        assert!(!cfg.is_exempt("no-wall-clock", "crates/core/src/pool.rs"));
+        assert!(!cfg.is_exempt("no-unwrap-in-lib", "crates/bench/src/lib.rs"));
+        assert!(cfg.is_exempt("anything", "crates/core/src/client_side.rs"));
+        // A file exemption is not a prefix for sibling files.
+        assert!(!cfg.is_exempt("anything", "crates/core/src/client_side_extra.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("rule = \"x\"").is_err()); // key outside entry
+        assert!(parse("[[exempt]]\nrule = \"r\"\npath = \"p\"").is_err()); // missing reason
+        assert!(parse("[[exempt]]\nbogus = \"v\"").is_err()); // unknown key
+        assert!(parse("[exempt]\n").is_err()); // wrong table syntax
+        assert!(parse("[[exempt]]\nrule = bare\n").is_err()); // unquoted value
+        assert!(parse("[[exempt]]\nrule = \"a\"\nrule = \"b\"\n").is_err()); // dup key
+    }
+
+    #[test]
+    fn empty_config_is_fine() {
+        let cfg = parse("# nothing here\n").unwrap();
+        assert!(cfg.exemptions.is_empty());
+        assert!(!cfg.is_exempt("r", "any/path.rs"));
+    }
+}

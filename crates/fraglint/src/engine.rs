@@ -1,0 +1,358 @@
+//! File walking, test-code classification, waivers, and rule dispatch.
+
+use crate::config::Config;
+use crate::rules::{self, RULES};
+use crate::tokenizer::{tokenize, Token};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One confirmed violation, after waivers and exemptions.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (see [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Explanation of the hit.
+    pub message: String,
+}
+
+/// Outcome of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All violations, sorted by path then line.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scans the workspace rooted at `root` with the given config.
+pub fn scan(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = ScanReport::default();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let rel_slash = rel.to_string_lossy().replace('\\', "/");
+        report.violations.extend(scan_source(&rel_slash, &text, config));
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Directories never scanned: build output, vendored shims, VCS metadata
+/// and the lint's own deliberately-violating fixture corpus.
+fn skip_dir(name: &str, rel: &Path) -> bool {
+    matches!(name, "target" | "vendor" | ".git" | ".github" | "node_modules")
+        || name.starts_with('.')
+        || rel.to_string_lossy().replace('\\', "/").ends_with("tests/fixtures")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        if path.is_dir() {
+            if !skip_dir(&name, &rel) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file's source text. Public so the fixture tests can drive
+/// the engine on individual files without touching the filesystem walk.
+pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Vec<Violation> {
+    let tokens = tokenize(text);
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let test_lines = test_line_spans(&tokens, &code);
+    let path_is_test = is_test_path(rel_path);
+    let waivers = collect_waivers(&tokens, &code);
+
+    let mut out = Vec::new();
+    for rule in RULES {
+        if !rules::in_scope(rule.id, rel_path) || config.is_exempt(rule.id, rel_path) {
+            continue;
+        }
+        if path_is_test && !rule.applies_to_tests {
+            continue;
+        }
+        for hit in rules::run_rule(rule.id, &tokens, &code) {
+            if !rule.applies_to_tests && test_lines.contains(&hit.line) {
+                continue;
+            }
+            if waivers.iter().any(|w| w.covers(rule.id, hit.line)) {
+                continue;
+            }
+            out.push(Violation {
+                rule: rule.id,
+                path: rel_path.to_string(),
+                line: hit.line,
+                message: hit.message,
+            });
+        }
+    }
+    out
+}
+
+/// Test-only compilation targets by path convention: integration tests,
+/// benches, examples, and generated fixture corpora.
+fn is_test_path(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples")
+}
+
+/// Lines covered by `#[cfg(test)]` items (usually `mod tests { … }`):
+/// from the attribute through the matching close of the item's brace
+/// block, or through the terminating `;` for brace-less items.
+fn test_line_spans(tokens: &[Token], code: &[usize]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, code, i) {
+            let start_line = tokens[code[i]].line;
+            if let Some(end_line) = item_end_line(tokens, code, after_attr) {
+                for l in start_line..=end_line {
+                    lines.insert(l);
+                }
+                i = after_attr;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// If code tokens at `i` begin `#[cfg(test)]`-style attribute (any
+/// `cfg(...)` whose predicate mentions `test`), returns the code index
+/// just past the attribute's closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], code: &[usize], i: usize) -> Option<usize> {
+    if !tokens[*code.get(i)?].is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    // Optional `!` for inner attributes.
+    if tokens[*code.get(j)?].is_punct('!') {
+        j += 1;
+    }
+    if !tokens[*code.get(j)?].is_punct('[') {
+        return None;
+    }
+    if !tokens[*code.get(j + 1)?].is_ident("cfg") {
+        return None;
+    }
+    // Scan to the attribute's closing `]`, noting whether `test` appears.
+    let mut depth = 1usize; // the `[` we consumed
+    let mut saw_test = false;
+    let mut k = j + 1;
+    while depth > 0 {
+        k += 1;
+        let t = &tokens[*code.get(k)?];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+    }
+    saw_test.then_some(k + 1)
+}
+
+/// Line where the item starting at code index `start` ends: the
+/// matching `}` of its first top-level brace block, or the `;` that
+/// terminates a brace-less item. Nested delimiters are tracked so `;`
+/// and `{` inside parameter lists or array types don't confuse it.
+fn item_end_line(tokens: &[Token], code: &[usize], start: usize) -> Option<u32> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = start;
+    // Find the opening `{` or terminating `;` at top level.
+    loop {
+        let t = &tokens[*code.get(j)?];
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return Some(t.line),
+            "{" if paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut depth = 0usize;
+    loop {
+        let t = &tokens[*code.get(j)?];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(t.line);
+            }
+        }
+        j += 1;
+    }
+}
+
+/// An inline waiver parsed from a `// fraglint: allow(rule-a, rule-b)`
+/// comment (an optional `— reason` tail is encouraged and ignored).
+#[derive(Debug)]
+struct Waiver {
+    rules: Vec<String>,
+    /// The comment's own line (covers trailing-comment usage).
+    comment_line: u32,
+    /// For a standalone comment line: the next line holding code.
+    applies_line: Option<u32>,
+}
+
+impl Waiver {
+    fn covers(&self, rule_id: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule_id || r == "*")
+            && (line == self.comment_line || Some(line) == self.applies_line)
+    }
+}
+
+fn collect_waivers(tokens: &[Token], code: &[usize]) -> Vec<Waiver> {
+    let mut code_lines = BTreeSet::new();
+    for &ci in code {
+        code_lines.insert(tokens[ci].line);
+    }
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(rules) = parse_waiver(&t.text) else { continue };
+        // Standalone comment (no code on its own line): the waiver
+        // covers the next code-bearing line.
+        let applies_line = if code_lines.contains(&t.line) {
+            None
+        } else {
+            code_lines.range(t.line + 1..).next().copied()
+        };
+        out.push(Waiver {
+            rules,
+            comment_line: t.line,
+            applies_line,
+        });
+    }
+    out
+}
+
+/// Extracts rule ids from `fraglint: allow(a, b)` inside comment text.
+fn parse_waiver(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("fraglint:")?;
+    let rest = &comment[at + "fraglint:".len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    let ids: Vec<String> = rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    (!ids.is_empty()).then_some(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(path: &str, src: &str) -> Vec<Violation> {
+        scan_source(path, src, &Config::default())
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_non_test_rules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(scan_str("crates/core/src/a.rs", src).is_empty());
+        // The same unwrap outside the test mod is flagged.
+        let bad = "fn lib() { x.unwrap(); }\n";
+        assert_eq!(scan_str("crates/core/src/a.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn test_paths_are_exempt_from_non_test_rules() {
+        let src = "fn t() { std::thread::spawn(|| {}); x.unwrap(); }\n";
+        assert!(scan_str("crates/core/tests/it.rs", src).is_empty());
+        assert!(scan_str("tests/e2e.rs", src).is_empty());
+        assert!(scan_str("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_rule_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { f() } }\n}\n";
+        let v = scan_str("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn waiver_trailing_and_standalone() {
+        let trailing =
+            "fn f() { x.unwrap(); } // fraglint: allow(no-unwrap-in-lib) — invariant\n";
+        assert!(scan_str("crates/core/src/a.rs", trailing).is_empty());
+        let standalone =
+            "// fraglint: allow(no-unwrap-in-lib) — invariant\nfn f() { x.unwrap(); }\n";
+        assert!(scan_str("crates/core/src/a.rs", standalone).is_empty());
+        // The waiver names a different rule: still flagged.
+        let wrong = "// fraglint: allow(no-print-in-lib)\nfn f() { x.unwrap(); }\n";
+        assert_eq!(scan_str("crates/core/src/a.rs", wrong).len(), 1);
+        // A waiver does not leak past the next code line.
+        let leaky =
+            "// fraglint: allow(no-unwrap-in-lib)\nfn f() {}\nfn g() { x.unwrap(); }\n";
+        assert_eq!(scan_str("crates/core/src/a.rs", leaky).len(), 1);
+    }
+
+    #[test]
+    fn pool_and_clock_homes_are_allowed() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(scan_str("crates/core/src/pool.rs", spawn)
+            .iter()
+            .all(|v| v.rule != "no-raw-spawn"));
+        assert_eq!(scan_str("crates/core/src/distributor.rs", spawn).len(), 1);
+        let now = "fn f() { let t = Instant::now(); }\n";
+        assert!(scan_str("crates/telemetry/src/clock.rs", now).is_empty());
+        assert_eq!(scan_str("crates/telemetry/src/span.rs", now).len(), 1);
+    }
+
+    #[test]
+    fn config_exemption_suppresses_rule_for_path() {
+        let cfg = crate::config::parse(
+            "[[exempt]]\nrule = \"no-wall-clock\"\npath = \"crates/bench/\"\nreason = \"timing\"\n",
+        )
+        .unwrap();
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(scan_source("crates/bench/src/lib.rs", src, &cfg).is_empty());
+        assert_eq!(scan_source("crates/metrics/src/lib.rs", src, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_rule_limited_to_the_four_crates() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(scan_str("crates/raid/src/a.rs", src).len(), 1);
+        assert!(scan_str("crates/mining/src/a.rs", src).is_empty());
+        assert!(scan_str("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_without_braces() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap(); }\n";
+        assert_eq!(scan_str("crates/core/src/a.rs", src).len(), 1);
+    }
+}

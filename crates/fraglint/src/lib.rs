@@ -1,0 +1,40 @@
+//! fraglint — the workspace's own static-analysis pass.
+//!
+//! PRs 1–3 introduced invariants that `rustc` and `clippy` cannot see:
+//! all thread fan-out belongs to `core::pool`, all wall-clock reads
+//! belong to `telemetry::clock`, `unsafe` always carries a written
+//! soundness argument, library crates never panic or print, the
+//! deprecated string-triple API stays quarantined, and — the paper's
+//! core guarantee — provider I/O flows only through the distributor so
+//! the PL ≥ chunk-PL placement check can never be bypassed. fraglint
+//! turns those from tribal knowledge into a CI gate.
+//!
+//! The crate is deliberately dependency-free (the build environment has
+//! no registry access): [`tokenizer`] is a small comment/string-aware
+//! Rust lexer, [`rules`] holds the seven token-pattern matchers,
+//! [`engine`] walks the workspace and applies waivers and exemptions,
+//! [`config`] reads `fraglint.toml`, and [`report`] renders the table
+//! and JSON outputs.
+//!
+//! ```text
+//! cargo run -p fraglint -- check            # human-readable table
+//! cargo run -p fraglint -- check --format json
+//! cargo run -p fraglint -- rules            # what is enforced, and why
+//! ```
+//!
+//! Waive a single line with a trailing or directly-preceding comment:
+//!
+//! ```text
+//! // fraglint: allow(no-unwrap-in-lib) — tx is Some until Drop by construction
+//! ```
+//!
+//! Waive a whole path (with a mandatory reason) in `fraglint.toml`.
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+
+pub use config::Config;
+pub use engine::{scan, scan_source, ScanReport, Violation};

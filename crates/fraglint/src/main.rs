@@ -1,0 +1,111 @@
+//! CLI for the fraglint workspace linter.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/config/IO
+//! error — so CI can distinguish "the tree is dirty" from "the gate
+//! itself is broken".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fraglint — fragcloud workspace invariant linter
+
+USAGE:
+    fraglint check [--root DIR] [--config FILE] [--format table|json] [--output FILE]
+    fraglint rules
+
+OPTIONS:
+    --root DIR       workspace root to scan (default: .)
+    --config FILE    exemption file (default: <root>/fraglint.toml if present)
+    --format FMT     stdout format: table (default) or json
+    --output FILE    additionally write the JSON report to FILE
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print!("{}", fraglint::report::render_rules());
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("fraglint: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = "table".to_string();
+    let mut output: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("fraglint: {name} needs a value")),
+        };
+        let result = match arg.as_str() {
+            "--root" => take("--root").map(|v| root = PathBuf::from(v)),
+            "--config" => take("--config").map(|v| config_path = Some(PathBuf::from(v))),
+            "--format" => take("--format").map(|v| format = v),
+            "--output" => take("--output").map(|v| output = Some(PathBuf::from(v))),
+            other => Err(format!("fraglint: unknown option {other:?}\n\n{USAGE}")),
+        };
+        if let Err(e) = result {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    if format != "table" && format != "json" {
+        eprintln!("fraglint: --format must be `table` or `json`, got {format:?}");
+        return ExitCode::from(2);
+    }
+
+    let config_file = config_path.unwrap_or_else(|| root.join("fraglint.toml"));
+    let config = if config_file.exists() {
+        match std::fs::read_to_string(&config_file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| fraglint::config::parse(&text))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fraglint: bad config {}: {e}", config_file.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        fraglint::Config::default()
+    };
+
+    let report = match fraglint::scan(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fraglint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = output {
+        if let Err(e) = std::fs::write(&path, fraglint::report::render_json(&report)) {
+            eprintln!("fraglint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match format.as_str() {
+        "json" => println!("{}", fraglint::report::render_json(&report)),
+        _ => print!("{}", fraglint::report::render_table(&report)),
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,164 @@
+//! Human-readable table and machine-readable JSON rendering.
+
+use crate::engine::ScanReport;
+use crate::rules::{self, RULES};
+
+/// Renders the violations as an aligned `file:line  rule  message`
+/// table, ending with a one-line summary.
+pub fn render_table(report: &ScanReport) -> String {
+    let mut out = String::new();
+    if !report.violations.is_empty() {
+        let loc_w = report
+            .violations
+            .iter()
+            .map(|v| v.path.len() + 1 + digits(v.line))
+            .max()
+            .unwrap_or(0);
+        let rule_w = report.violations.iter().map(|v| v.rule.len()).max().unwrap_or(0);
+        for v in &report.violations {
+            let loc = format!("{}:{}", v.path, v.line);
+            out.push_str(&format!("{loc:<loc_w$}  {:<rule_w$}  {}\n", v.rule, v.message));
+        }
+        out.push('\n');
+    }
+    let files_hit = {
+        let mut paths: Vec<&str> = report.violations.iter().map(|v| v.path.as_str()).collect();
+        paths.dedup();
+        paths.len()
+    };
+    out.push_str(&format!(
+        "fraglint: {} violation(s) in {} file(s); {} file(s) scanned, {} rule(s)\n",
+        report.violations.len(),
+        files_hit,
+        report.files_scanned,
+        RULES.len(),
+    ));
+    out
+}
+
+/// Renders the scan as a JSON document (no trailing newline).
+pub fn render_json(report: &ScanReport) -> String {
+    let mut out = String::from("{\"tool\":\"fraglint\",\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&v.path),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.message),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files_scanned\":{},\"violation_count\":{},\"rules\":[",
+        report.files_scanned,
+        report.violations.len()
+    ));
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"summary\":{},\"invariant\":{}}}",
+            json_str(r.id),
+            json_str(r.summary),
+            json_str(r.invariant),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the rule catalogue for `fraglint rules`.
+pub fn render_rules() -> String {
+    let mut out = String::new();
+    for r in RULES {
+        out.push_str(&format!("{}\n    flags:     {}\n    protects:  {}\n", r.id, r.summary, r.invariant));
+        let allowed = rules::built_in_allowed_paths(r.id);
+        if !allowed.is_empty() {
+            out.push_str(&format!("    home:      {}\n", allowed.join(", ")));
+        }
+        if r.applies_to_tests {
+            out.push_str("    scope:     library and test code\n");
+        } else {
+            out.push_str("    scope:     library code (tests exempt)\n");
+        }
+    }
+    out.push_str(
+        "\nwaive one line:   // fraglint: allow(<rule>) — <reason>\n\
+         waive a path:     [[exempt]] entry in fraglint.toml (rule/path/reason)\n",
+    );
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Violation;
+
+    fn sample() -> ScanReport {
+        ScanReport {
+            violations: vec![Violation {
+                rule: "no-unwrap-in-lib",
+                path: "crates/core/src/x.rs".into(),
+                line: 7,
+                message: "a \"quoted\" message".into(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn table_lists_location_and_summary() {
+        let t = render_table(&sample());
+        assert!(t.contains("crates/core/src/x.rs:7"));
+        assert!(t.contains("no-unwrap-in-lib"));
+        assert!(t.contains("1 violation(s) in 1 file(s); 3 file(s) scanned"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render_json(&sample());
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"violation_count\":1"));
+        assert!(j.contains("\"files_scanned\":3"));
+        assert!(j.contains("\"id\":\"provider-boundary\""));
+    }
+
+    #[test]
+    fn rules_catalogue_names_every_rule() {
+        let r = render_rules();
+        for rule in RULES {
+            assert!(r.contains(rule.id), "{} missing", rule.id);
+        }
+    }
+}

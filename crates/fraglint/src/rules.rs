@@ -1,0 +1,488 @@
+//! The project-invariant rules and their token-level matchers.
+//!
+//! Each rule guards one invariant introduced by an earlier growth PR:
+//! the transfer pool owns all fan-out, telemetry's clock owns all time,
+//! `unsafe` is always justified, panics stay out of library paths, the
+//! deprecated string-triple API stays quarantined, library crates don't
+//! write to stdio, and — the paper's core guarantee (Dev et al. 2012
+//! §III/IV-A) — provider I/O flows only through the distributor so the
+//! PL ≥ chunk-PL placement check cannot be bypassed.
+
+use crate::tokenizer::{TokKind, Token};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable id, usable in waivers and `fraglint.toml`.
+    pub id: &'static str,
+    /// One-line description of what the rule flags.
+    pub summary: &'static str,
+    /// The project invariant the rule protects.
+    pub invariant: &'static str,
+    /// Whether the rule also applies to test code (`#[cfg(test)]`
+    /// modules and `tests/`/`benches/` targets).
+    pub applies_to_tests: bool,
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-raw-spawn",
+        summary: "std::thread::spawn / thread::Builder outside core::pool",
+        invariant: "all I/O fan-out goes through the shared TransferPool so \
+                    thread counts stay bounded and pool telemetry stays complete",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "no-wall-clock",
+        summary: "Instant::now / SystemTime::now outside telemetry::clock",
+        invariant: "telemetry::clock is the single time source, keeping span \
+                    timings and the logical event order mutually consistent",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "no-unwrap-in-lib",
+        summary: "unwrap()/expect(\"…\")/panic! in core/raid/telemetry/sim library code",
+        invariant: "library failures surface as typed errors (CoreError/RaidError), \
+                    never as process aborts a caller cannot handle",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "safety-comment",
+        summary: "`unsafe` without an adjacent SAFETY justification",
+        invariant: "every unsafe block or fn records why it is sound, so kernel \
+                    reviews never re-derive soundness arguments from scratch",
+        applies_to_tests: true,
+    },
+    Rule {
+        id: "no-deprecated-string-api",
+        summary: "#[allow(deprecated)] outside the designated compat test",
+        invariant: "the deprecated string-triple distributor API stays quarantined \
+                    in one compat test until removal; everything else uses Session",
+        applies_to_tests: true,
+    },
+    Rule {
+        id: "no-print-in-lib",
+        summary: "println!/eprintln! in library crate code",
+        invariant: "library crates return data or go through telemetry exporters; \
+                    only bins, benches and examples own stdio",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "provider-boundary",
+        summary: "provider put/get/delete outside distributor/resilience/rebalance",
+        invariant: "provider I/O flows only through the distributor, so the paper's \
+                    PL >= chunk-PL placement check (Dev et al. SIII) cannot be bypassed",
+        applies_to_tests: false,
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// A raw rule hit inside one file, before waiver/exemption filtering.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation with local context.
+    pub message: String,
+}
+
+/// Paths (workspace-relative, `/`-separated) where a rule is allowed by
+/// definition — the rule's own home. Prefixes ending in `/` cover
+/// directories.
+pub fn built_in_allowed_paths(rule_id: &str) -> &'static [&'static str] {
+    match rule_id {
+        "no-raw-spawn" => &["crates/core/src/pool.rs"],
+        "no-wall-clock" => &["crates/telemetry/src/clock.rs"],
+        "provider-boundary" => &[
+            "crates/core/src/distributor.rs",
+            "crates/core/src/resilience.rs",
+            "crates/core/src/rebalance.rs",
+            // The providers' own crate: stores, failure injection and the
+            // provider implementation itself necessarily touch the ops.
+            "crates/sim/src/",
+        ],
+        _ => &[],
+    }
+}
+
+/// Whether `rule_id` scans the file at `rel_path` at all (independent of
+/// test-code classification and configured exemptions).
+pub fn in_scope(rule_id: &str, rel_path: &str) -> bool {
+    if built_in_allowed_paths(rule_id)
+        .iter()
+        .any(|p| rel_path == *p || (p.ends_with('/') && rel_path.starts_with(p)))
+    {
+        return false;
+    }
+    match rule_id {
+        "no-unwrap-in-lib" => ["core", "raid", "telemetry", "sim"]
+            .iter()
+            .any(|c| rel_path.starts_with(&format!("crates/{c}/src/"))),
+        "no-print-in-lib" => {
+            rel_path.starts_with("crates/")
+                && rel_path.contains("/src/")
+                && !rel_path.contains("/bin/")
+                && !rel_path.ends_with("/main.rs")
+        }
+        _ => true,
+    }
+}
+
+/// Runs one rule's matcher over a file's tokens. `code` holds the
+/// indices of non-comment tokens in `tokens`.
+pub fn run_rule(rule_id: &str, tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    match rule_id {
+        "no-raw-spawn" => raw_spawn(tokens, code),
+        "no-wall-clock" => wall_clock(tokens, code),
+        "no-unwrap-in-lib" => unwrap_in_lib(tokens, code),
+        "safety-comment" => safety_comment(tokens, code),
+        "no-deprecated-string-api" => deprecated_api(tokens, code),
+        "no-print-in-lib" => print_in_lib(tokens, code),
+        "provider-boundary" => provider_boundary(tokens, code),
+        _ => Vec::new(),
+    }
+}
+
+/// True when the code tokens starting at `code[at]` match `pat`, where
+/// each pattern element compares against the token text.
+fn seq(tokens: &[Token], code: &[usize], at: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, want)| {
+        code.get(at + k)
+            .map(|&ti| tokens[ti].text == *want)
+            .unwrap_or(false)
+    })
+}
+
+fn raw_spawn(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        if seq(tokens, code, i, &["thread", ":", ":", "spawn"])
+            || seq(tokens, code, i, &["thread", ":", ":", "Builder"])
+        {
+            let t = &tokens[code[i + 3]];
+            hits.push(Hit {
+                line: t.line,
+                message: format!(
+                    "raw thread creation via `thread::{}`; submit work to core::pool::TransferPool",
+                    t.text
+                ),
+            });
+        }
+    }
+    hits
+}
+
+fn wall_clock(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        for src in ["Instant", "SystemTime"] {
+            if seq(tokens, code, i, &[src, ":", ":", "now"]) {
+                hits.push(Hit {
+                    line: tokens[code[i]].line,
+                    message: format!(
+                        "`{src}::now()` outside telemetry::clock; use clock::monotonic_now() \
+                         (or the logical clock::tick()) so all time flows from one source"
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+fn unwrap_in_lib(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = &tokens[code[i]];
+        if t.is_punct('.') && seq(tokens, code, i + 1, &["unwrap", "(", ")"]) {
+            hits.push(Hit {
+                line: tokens[code[i + 1]].line,
+                message: "`.unwrap()` in library code; propagate a typed error instead".into(),
+            });
+        }
+        // `.expect(` only counts with a string-literal message: parser
+        // combinators and similar APIs legitimately name methods
+        // `expect(byte)`.
+        if t.is_punct('.')
+            && seq(tokens, code, i + 1, &["expect", "("])
+            && code
+                .get(i + 3)
+                .map(|&ti| tokens[ti].kind == TokKind::Str)
+                .unwrap_or(false)
+        {
+            hits.push(Hit {
+                line: tokens[code[i + 1]].line,
+                message: "`.expect(\"…\")` in library code; propagate a typed error instead".into(),
+            });
+        }
+        if t.is_ident("panic")
+            && code
+                .get(i + 1)
+                .map(|&ti| tokens[ti].is_punct('!'))
+                .unwrap_or(false)
+        {
+            hits.push(Hit {
+                line: t.line,
+                message: "`panic!` in library code; return a typed error the caller can handle"
+                    .into(),
+            });
+        }
+    }
+    hits
+}
+
+fn safety_comment(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for &ti in code {
+        if !tokens[ti].is_ident("unsafe") {
+            continue;
+        }
+        if !has_safety_justification(tokens, code, ti) {
+            hits.push(Hit {
+                line: tokens[ti].line,
+                message: "`unsafe` without an adjacent `// SAFETY:` (or `# Safety` doc) \
+                          justification"
+                    .into(),
+            });
+        }
+    }
+    hits
+}
+
+/// A SAFETY justification counts when a comment containing `SAFETY` or
+/// `Safety` sits on the same line as the `unsafe` token, or in the
+/// contiguous run of comment/attribute-only lines directly above it.
+fn has_safety_justification(tokens: &[Token], code: &[usize], unsafe_ti: usize) -> bool {
+    let unsafe_line = tokens[unsafe_ti].line;
+    let mentions_safety =
+        |t: &Token| t.is_comment() && (t.text.contains("SAFETY") || t.text.contains("Safety"));
+
+    // Lines with any non-comment token that is not part of an attribute.
+    // Attribute lines are approximated as "first code token on the line
+    // is `#`", which covers `#[…]` and `#![…]` (multi-line attribute
+    // bodies are rare enough not to matter for adjacency).
+    let mut first_code_on_line: std::collections::HashMap<u32, &Token> =
+        std::collections::HashMap::new();
+    for &ci in code {
+        first_code_on_line.entry(tokens[ci].line).or_insert(&tokens[ci]);
+    }
+    let blocks_run = |line: u32| match first_code_on_line.get(&line) {
+        // A code line that is not an attribute ends the comment run —
+        // unless it is the run's own `unsafe` line.
+        Some(tok) => !tok.is_punct('#') && line != unsafe_line,
+        None => false,
+    };
+
+    for t in tokens {
+        if !mentions_safety(t) {
+            continue;
+        }
+        if t.line == unsafe_line {
+            return true;
+        }
+        if t.line < unsafe_line {
+            // Accept when every line strictly between the comment and the
+            // `unsafe` is comment/attribute/blank.
+            if (t.line + 1..unsafe_line).all(|l| !blocks_run(l)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn deprecated_api(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        if seq(tokens, code, i, &["allow", "(", "deprecated", ")"]) {
+            hits.push(Hit {
+                line: tokens[code[i]].line,
+                message: "`#[allow(deprecated)]` outside the designated compat test; \
+                          migrate to the typed Session API (or waive with a reason)"
+                    .into(),
+            });
+        }
+    }
+    hits
+}
+
+fn print_in_lib(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = &tokens[code[i]];
+        if (t.is_ident("println") || t.is_ident("eprintln"))
+            && code
+                .get(i + 1)
+                .map(|&ti| tokens[ti].is_punct('!'))
+                .unwrap_or(false)
+        {
+            hits.push(Hit {
+                line: t.line,
+                message: format!(
+                    "`{}!` in library code; return the text or emit it through a \
+                     telemetry exporter",
+                    t.text
+                ),
+            });
+        }
+    }
+    hits
+}
+
+fn provider_boundary(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = &tokens[code[i]];
+        if !t.is_punct('.') {
+            continue;
+        }
+        let Some(&mi) = code.get(i + 1) else { continue };
+        let method = &tokens[mi];
+        if !(method.is_ident("put") || method.is_ident("get") || method.is_ident("delete")) {
+            continue;
+        }
+        if !code.get(i + 2).map(|&ti| tokens[ti].is_punct('(')).unwrap_or(false) {
+            continue;
+        }
+        if receiver_names_a_provider(tokens, code, i) {
+            hits.push(Hit {
+                line: method.line,
+                message: format!(
+                    "provider `.{}()` outside the distributor boundary; route through \
+                     core::distributor so the PL >= chunk-PL placement check applies",
+                    method.text
+                ),
+            });
+        }
+    }
+    hits
+}
+
+/// Walks the receiver chain left of the `.` at `code[dot]` — idents,
+/// field accesses and index expressions — and reports whether any
+/// identifier in the chain names a provider. Bracketed index contents
+/// are skipped (so `st.providers[e.provider_idx]` matches on the outer
+/// `providers`, not the index expression), and anything else (a `)`, an
+/// operator, a `,`) ends the chain: method-call results and unrelated
+/// map lookups like `self.clients.get(name)` stay unflagged unless the
+/// chain itself says "provider".
+fn receiver_names_a_provider(tokens: &[Token], code: &[usize], dot: usize) -> bool {
+    let mut i = dot;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[code[i]];
+        match t.kind {
+            TokKind::Ident => {
+                if t.text.to_ascii_lowercase().contains("provider") {
+                    return true;
+                }
+            }
+            TokKind::Punct if t.is_punct(']') => {
+                // Skip the index expression to its opening bracket.
+                let mut depth = 1usize;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    let inner = &tokens[code[i]];
+                    if inner.is_punct(']') {
+                        depth += 1;
+                    } else if inner.is_punct('[') {
+                        depth -= 1;
+                    }
+                }
+            }
+            TokKind::Punct if t.is_punct('.') || t.is_punct(':') => {}
+            _ => break,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn run(rule_id: &str, src: &str) -> Vec<Hit> {
+        let tokens = tokenize(src);
+        let code: Vec<usize> =
+            (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        run_rule(rule_id, &tokens, &code)
+    }
+
+    #[test]
+    fn spawn_and_builder_flagged_but_strings_ignored() {
+        assert_eq!(run("no-raw-spawn", "std::thread::spawn(|| {});").len(), 1);
+        assert_eq!(run("no-raw-spawn", "thread::Builder::new()").len(), 1);
+        assert!(run("no-raw-spawn", r#"let s = "thread::spawn";"#).is_empty());
+        assert!(run("no-raw-spawn", "pool.submit(work)").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        assert_eq!(run("no-wall-clock", "let t = Instant::now();").len(), 1);
+        assert_eq!(run("no-wall-clock", "std::time::SystemTime::now()").len(), 1);
+        assert!(run("no-wall-clock", "clock::monotonic_now()").is_empty());
+    }
+
+    #[test]
+    fn unwrap_expect_panic_flagged_with_method_name_immunity() {
+        assert_eq!(run("no-unwrap-in-lib", "x.unwrap();").len(), 1);
+        assert_eq!(run("no-unwrap-in-lib", r#"x.expect("boom");"#).len(), 1);
+        assert_eq!(run("no-unwrap-in-lib", r#"panic!("boom");"#).len(), 1);
+        // A parser method named `expect` taking a byte is not a hit.
+        assert!(run("no-unwrap-in-lib", "self.expect(b'\"')?;").is_empty());
+        assert!(run("no-unwrap-in-lib", "x.unwrap_or(0);").is_empty());
+        // unwrap inside a doc comment is not code.
+        assert!(run("no-unwrap-in-lib", "//! x.unwrap()\nlet a = 1;").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_adjacency() {
+        assert!(run("safety-comment", "// SAFETY: checked above\nunsafe { f() }").is_empty());
+        assert!(run(
+            "safety-comment",
+            "/// # Safety\n/// Requires SSSE3.\n#[target_feature(enable = \"ssse3\")]\nunsafe fn g() {}"
+        )
+        .is_empty());
+        assert!(run("safety-comment", "unsafe { f() } // SAFETY: same line").is_empty());
+        assert_eq!(run("safety-comment", "unsafe { f() }").len(), 1);
+        // A code line between the comment and the block breaks adjacency.
+        assert_eq!(
+            run("safety-comment", "// SAFETY: stale\nlet x = 1;\nunsafe { f() }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn deprecated_allow_flagged() {
+        assert_eq!(run("no-deprecated-string-api", "#[allow(deprecated)]").len(), 1);
+        assert!(run("no-deprecated-string-api", "#[allow(dead_code)]").is_empty());
+    }
+
+    #[test]
+    fn prints_flagged() {
+        assert_eq!(run("no-print-in-lib", r#"println!("x");"#).len(), 1);
+        assert_eq!(run("no-print-in-lib", r#"eprintln!("x");"#).len(), 1);
+        assert!(run("no-print-in-lib", r#"writeln!(f, "x");"#).is_empty());
+    }
+
+    #[test]
+    fn provider_boundary_receiver_chains() {
+        assert_eq!(run("provider-boundary", "provider.get(vid)?;").len(), 1);
+        assert_eq!(run("provider-boundary", "st.providers[idx].put(vid, b)?;").len(), 1);
+        assert_eq!(
+            run("provider-boundary", "self.providers[&c.provider].delete(c.vid)?;").len(),
+            1
+        );
+        // Plain map lookups do not trip the rule.
+        assert!(run("provider-boundary", "self.clients.get(name)").is_empty());
+        assert!(run("provider-boundary", "file.chunks.get(serial as usize)").is_empty());
+        // A method-call result receiver ends the chain scan.
+        assert!(run("provider-boundary", "self.primary_of.read().get(client)").is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! A comment/string/raw-string-aware Rust tokenizer.
+//!
+//! This is not a full lexer for the Rust grammar — it is exactly enough
+//! structure for lint rules to pattern-match on *code* without being
+//! fooled by text inside comments, string literals, raw strings, byte
+//! strings or char literals. Comments are kept as tokens (rules read
+//! them for `// SAFETY:` justifications and `// fraglint: allow(...)`
+//! waivers); literals are kept as single opaque tokens.
+//!
+//! The classic ambiguity handled here is `'` — `'a` (lifetime) versus
+//! `'a'` (char literal): a quote followed by an identifier character is
+//! a lifetime unless the character after that identifier closes the
+//! quote. Raw strings support any number of `#` guards, and block
+//! comments nest as Rust's do.
+
+/// What a token is, at the granularity lint rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `spawn`, `Instant`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `[`, …).
+    Punct,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a` (including `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// `// …` comment (doc comments included), text kept verbatim.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text kept verbatim.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`, never failing: unterminated literals or comments
+/// simply produce a final token running to end-of-input, which is the
+/// forgiving behaviour a linter wants on work-in-progress files.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<(usize, char)>,
+    src: &'s str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                'b' if self.peek(1) == Some('"') => {
+                    self.pos += 1;
+                    self.string_from(self.pos - 1);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.pos += 1;
+                    self.char_lit(self.pos - 1);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => self.raw_string(2),
+                '\'' => self.quote(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push_from(self.pos, self.pos + 1, TokKind::Punct, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of char index `i` (or end of input).
+    fn byte(&self, i: usize) -> usize {
+        self.chars.get(i).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn push_from(&mut self, start: usize, end: usize, kind: TokKind, line: u32) {
+        let text = self.src[self.byte(start)..self.byte(end)].to_string();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push_from(start, self.pos, TokKind::LineComment, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut depth = 0usize;
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push_from(start, self.pos, TokKind::BlockComment, line);
+    }
+
+    fn string(&mut self) {
+        self.string_from(self.pos);
+    }
+
+    /// Scans a `"…"` body starting at the opening quote (`start` points
+    /// at the literal's first char, which may be the `b` prefix).
+    fn string_from(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(&(_, c)) = self.chars.get(self.pos) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push_from(start, self.pos, TokKind::Str, line);
+    }
+
+    /// True when `r`/`br` at the current position begins a raw string:
+    /// the prefix is followed by zero or more `#` then a quote.
+    fn raw_string_ahead(&self, prefix: usize) -> bool {
+        let mut i = prefix;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix;
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'body: while let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            if c == '"' {
+                for g in 0..guards {
+                    if self.peek(1 + g) != Some('#') {
+                        self.pos += 1;
+                        continue 'body;
+                    }
+                }
+                self.pos += 1 + guards;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push_from(start, self.pos, TokKind::Str, line);
+    }
+
+    /// `'` — lifetime or char literal.
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            let start = self.pos;
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.pos += 1;
+            }
+            self.push_from(start, self.pos, TokKind::Lifetime, self.line);
+        } else {
+            self.char_lit(self.pos);
+        }
+    }
+
+    /// Scans `'…'` from the opening quote (`start` may point at a `b`
+    /// prefix one char earlier).
+    fn char_lit(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                self.pos += 2; // escape intro + escaped char (or u/x intro)
+                while !matches!(self.peek(0), Some('\'') | None) {
+                    self.pos += 1; // \u{…} / \x.. tails
+                }
+            }
+            Some(c) => {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.pos += 1;
+        }
+        let end = self.pos;
+        self.push_from(start, end, TokKind::Char, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        self.push_from(start, self.pos, TokKind::Ident, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else if c == '.' && !seen_dot && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+            {
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push_from(start, self.pos, TokKind::Num, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let toks = tokenize("/* one\ntwo\nthree */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r####"let s = r#"panic!(".unwrap()")"#;"####);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+        // No Ident token for the `unwrap` inside the raw string.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quote_and_guards() {
+        let src = "r##\"has \"# inside\"## after";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r#"b"bytes" br"raw bytes" tail"#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1].0, TokKind::Str);
+        assert_eq!(toks[2], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\''; b'q'; 'static");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'static"]);
+        assert_eq!(chars, vec!["'x'", "'\\''", "b'q'"]);
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak_tokens() {
+        let toks = kinds(r#"call("quote \" unsafe ", x)"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn line_comments_keep_text_for_safety_scanning() {
+        let toks = tokenize("// SAFETY: checked above\nunsafe { }");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert_eq!(toks[0].line, 1);
+        assert!(toks[1].is_ident("unsafe"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let toks = kinds("for i in 0..out_len { 1.5; 0x1F; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "out_len"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0x1F"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = tokenize("/// example: x.unwrap()\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let toks = tokenize("let s = \"one\ntwo\";\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

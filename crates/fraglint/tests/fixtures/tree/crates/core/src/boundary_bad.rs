@@ -1,0 +1,5 @@
+//! Fixture: raw provider I/O that skips the placement check.
+
+pub fn sneak_read(provider: &CloudProvider, vid: u64) -> Option<Bytes> {
+    provider.get(vid)
+}

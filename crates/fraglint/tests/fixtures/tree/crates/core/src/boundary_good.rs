@@ -1,0 +1,5 @@
+//! Fixture: ordinary map lookups are not provider I/O.
+
+pub fn chunk_len(files: &HashMap<String, FileEntry>, name: &str) -> Option<usize> {
+    files.get(name).map(|f| f.chunks.len())
+}

@@ -1,0 +1,6 @@
+//! Fixture: deprecated string-triple API pinned outside the compat test.
+
+#[allow(deprecated)]
+pub fn legacy_read(d: &CloudDataDistributor) -> Vec<u8> {
+    d.get_file("c", "pw", "f").unwrap_or_default().data
+}

@@ -1,0 +1,5 @@
+//! Fixture: typed Session API instead of the deprecated wrappers.
+
+pub fn session_read(d: &CloudDataDistributor) -> Result<Vec<u8>, CoreError> {
+    Ok(d.session("c", "pw")?.get_file("f")?.data)
+}

@@ -1,0 +1,5 @@
+//! Fixture: stray stdout in a library crate.
+
+pub fn report_progress(done: usize, total: usize) {
+    println!("{done}/{total} chunks stored");
+}

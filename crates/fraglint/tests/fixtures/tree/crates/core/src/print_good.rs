@@ -1,0 +1,5 @@
+//! Fixture: progress flows through telemetry, not stdout.
+
+pub fn report_progress(tel: &TelemetryHandle, done: usize) {
+    tel.add("chunks_stored_total", done as u64);
+}

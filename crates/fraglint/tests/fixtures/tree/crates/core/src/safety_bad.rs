@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` with no written soundness argument.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `unsafe` with an adjacent SAFETY justification.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live, aligned byte.
+    unsafe { *p }
+}

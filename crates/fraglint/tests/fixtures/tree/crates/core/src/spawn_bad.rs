@@ -1,0 +1,7 @@
+//! Fixture: raw thread fan-out outside `core::pool`.
+
+pub fn fan_out(jobs: Vec<Job>) {
+    for job in jobs {
+        std::thread::spawn(move || job.run());
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: fan-out through the shared transfer pool.
+
+pub fn fan_out(pool: &TransferPool, jobs: Vec<Job>) {
+    for job in jobs {
+        pool.submit(move || job.run());
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: panicking extraction in a library path.
+
+pub fn first_owner(owners: &[String]) -> &str {
+    owners.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: typed error propagation instead of a panic.
+
+pub fn first_owner(owners: &[String]) -> Result<&str, CoreError> {
+    owners
+        .first()
+        .map(String::as_str)
+        .ok_or(CoreError::InsufficientProviders { needed: 1, available: 0 })
+}

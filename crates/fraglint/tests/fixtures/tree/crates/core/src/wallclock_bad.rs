@@ -1,0 +1,7 @@
+//! Fixture: ad-hoc wall-clock read.
+
+pub fn measure(f: impl FnOnce()) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,9 @@
+//! Fixture: time flows from `telemetry::clock`.
+
+use fragcloud_telemetry::clock;
+
+pub fn measure(f: impl FnOnce()) -> std::time::Duration {
+    let start = clock::monotonic_now();
+    f();
+    start.elapsed()
+}

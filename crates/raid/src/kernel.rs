@@ -36,8 +36,10 @@ pub(crate) fn xor_acc(acc: &mut [u8], data: &[u8]) {
     let mut aw = acc.chunks_exact_mut(8);
     let mut dw = data.chunks_exact(8);
     for (ac, dc) in (&mut aw).zip(&mut dw) {
+        // fraglint: allow(no-unwrap-in-lib) — `chunks_exact(8)` guarantees
+        // both slices are exactly 8 bytes.
         let x = u64::from_ne_bytes((&*ac).try_into().expect("8-byte chunk"))
-            ^ u64::from_ne_bytes(dc.try_into().expect("8-byte chunk"));
+            ^ u64::from_ne_bytes(dc.try_into().expect("8-byte chunk")); // fraglint: allow(no-unwrap-in-lib)
         ac.copy_from_slice(&x.to_ne_bytes());
     }
     for (ab, &db) in aw.into_remainder().iter_mut().zip(dw.remainder()) {
@@ -108,6 +110,8 @@ fn mul_acc_portable(acc: &mut [u8], data: &[u8], t: &NibbleTables) {
         for i in 0..8 {
             prod[i] = t.mul(dc[i]);
         }
+        // fraglint: allow(no-unwrap-in-lib) — `chunks_exact(8)` guarantees
+        // an 8-byte slice.
         let x = u64::from_ne_bytes((&*ac).try_into().expect("8-byte chunk"))
             ^ u64::from_ne_bytes(prod);
         ac.copy_from_slice(&x.to_ne_bytes());

@@ -175,11 +175,10 @@ pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
         // One data shard missing, P available: XOR repair.
         ([i], Some(pv), _) => {
             let mut x = pv.clone();
-            for (j, d) in data.iter().enumerate() {
-                if j != *i {
-                    let d = d.as_ref().expect("only shard i is missing");
-                    kernel::xor_acc(&mut x, d);
-                }
+            // Shard i is the only `None`, so the surviving shards are
+            // exactly the flattened rest.
+            for d in data.iter().flatten() {
+                kernel::xor_acc(&mut x, d);
             }
             data[*i] = Some(x);
         }
@@ -187,9 +186,10 @@ pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
         ([i], None, Some(qv)) => {
             // Q = Σ g^j d_j  =>  g^i d_i = Q ⊕ Σ_{j≠i} g^j d_j
             let mut acc = qv.clone();
+            // Shard i is the only `None`; enumerate keeps each survivor's
+            // coefficient g^j while skipping the missing slot.
             for (j, d) in data.iter().enumerate() {
-                if j != *i {
-                    let d = d.as_ref().expect("only shard i is missing");
+                if let Some(d) = d {
                     gf256::mul_acc(&mut acc, d, gf256::pow(gf256::GENERATOR, j as u32));
                 }
             }
@@ -238,6 +238,9 @@ pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
 
     Ok(data
         .into_iter()
+        // fraglint: allow(no-unwrap-in-lib) — every arm above either
+        // restores the missing slots or returns an error, so all k
+        // shards are Some here.
         .map(|d| d.expect("all data reconstructed"))
         .collect())
 }

@@ -139,12 +139,19 @@ impl StripeCodec {
     ) -> Result<Vec<u8>> {
         let k = self.data_shards;
         let total = self.total_shards();
+        let mut seen = vec![false; total];
         for (idx, _) in available {
             if *idx >= total {
                 return Err(RaidError::BadGeometry {
                     detail: format!("shard index {idx} out of range (total {total})"),
                 });
             }
+            if seen[*idx] {
+                return Err(RaidError::BadGeometry {
+                    detail: format!("duplicate shard index {idx}"),
+                });
+            }
+            seen[*idx] = true;
         }
         let have_data: Vec<&(usize, &[u8])> =
             available.iter().filter(|(i, _)| *i < k).collect();
@@ -158,8 +165,13 @@ impl StripeCodec {
             }
             slots
                 .into_iter()
-                .map(|s| s.expect("all data present").to_vec())
-                .collect()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.map(<[u8]>::to_vec).ok_or_else(|| RaidError::BadGeometry {
+                        detail: format!("data shard {i} unfilled despite full count"),
+                    })
+                })
+                .collect::<Result<_>>()?
         } else {
             match self.level {
                 RaidLevel::None => {
@@ -185,7 +197,9 @@ impl StripeCodec {
                         })?;
                     let missing_idx = (0..k)
                         .find(|i| !have_data.iter().any(|(j, _)| j == i))
-                        .expect("one data shard is missing");
+                        .ok_or_else(|| RaidError::BadGeometry {
+                            detail: "no missing data index despite erasure count".into(),
+                        })?;
                     let mut present: Vec<&[u8]> =
                         have_data.iter().map(|(_, s)| *s).collect();
                     present.push(p);
@@ -197,8 +211,13 @@ impl StripeCodec {
                     slots[missing_idx] = Some(rec);
                     slots
                         .into_iter()
-                        .map(|s| s.expect("reconstructed"))
-                        .collect()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            s.ok_or_else(|| RaidError::BadGeometry {
+                                detail: format!("data shard {i} not reconstructed"),
+                            })
+                        })
+                        .collect::<Result<_>>()?
                 }
                 RaidLevel::Raid6 => {
                     let survivors: Vec<raid6::Shard<'_>> = available
@@ -356,6 +375,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn duplicate_shard_index_is_an_error_not_a_panic() {
+        // A duplicated index used to satisfy the "all data present" count
+        // while leaving another slot empty, panicking in the fast path.
+        let codec = StripeCodec::new(3, RaidLevel::Raid5).unwrap();
+        let enc = codec.encode(&blob(96)).unwrap();
+        let mut a = avail(&enc);
+        a[1] = a[0]; // shard 0 twice, shard 1 gone
+        let err = codec.decode(&a, 96).unwrap_err();
+        assert!(matches!(
+            err,
+            RaidError::BadGeometry { ref detail } if detail.contains("duplicate")
+        ));
     }
 
     #[test]

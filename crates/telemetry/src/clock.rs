@@ -27,6 +27,17 @@ pub fn now() -> u64 {
     TICKS.load(Ordering::Relaxed)
 }
 
+/// Reads the monotonic wall clock, for measuring real durations (span
+/// timings, `TelemetryHandle::time`).
+///
+/// This is the single sanctioned wall-clock read in the workspace — the
+/// `no-wall-clock` fraglint rule points every other module here — so
+/// logical order (ticks) and real durations always come from one place
+/// and cannot silently diverge across modules.
+pub fn monotonic_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -385,7 +385,10 @@ pub mod json {
                         // Consume one full UTF-8 character.
                         let rest = std::str::from_utf8(&self.bytes[self.pos..])
                             .map_err(|_| "invalid utf-8".to_string())?;
-                        let c = rest.chars().next().unwrap();
+                        let c = rest
+                            .chars()
+                            .next()
+                            .ok_or_else(|| "truncated string".to_string())?;
                         out.push(c);
                         self.pos += c.len_utf8();
                     }

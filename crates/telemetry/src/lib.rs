@@ -138,7 +138,7 @@ impl TelemetryHandle {
         match &self.0 {
             None => f(),
             Some(r) => {
-                let start = std::time::Instant::now();
+                let start = clock::monotonic_now();
                 let out = f();
                 let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 r.histogram(name, "").record(ns);

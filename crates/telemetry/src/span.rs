@@ -160,7 +160,7 @@ impl SpanGuard {
                 name,
                 attrs: Vec::new(),
                 seq: clock::tick(),
-                start: Instant::now(),
+                start: clock::monotonic_now(),
             }),
         }
     }
