@@ -34,6 +34,7 @@ const NAMES: &[(&str, &str)] = &[
     ("segmentation", "E17: customer-segmentation attack vs fragment fraction"),
     ("degraded", "E18: degraded-mode availability vs provider failure rate"),
     ("put_throughput", "E19: put-path throughput, serial vs pipelined upload"),
+    ("recovery", "E20: journaling overhead + crash/recover replay"),
 ];
 
 fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
@@ -61,6 +62,11 @@ fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
         }
         "put_throughput" => {
             let (_, report, tel) = exp::put_throughput::run_instrumented();
+            let snap = tel.registry().map(|r| r.snapshot());
+            (report, snap)
+        }
+        "recovery" => {
+            let (_, report, tel) = exp::recovery::run_instrumented();
             let snap = tel.registry().map(|r| r.snapshot());
             (report, snap)
         }

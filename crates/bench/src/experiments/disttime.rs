@@ -114,7 +114,7 @@ pub fn run() -> (Vec<DistTimePoint>, String) {
         uniform_fleet(8),
         DistributorConfig::default(),
     ));
-    let group = DistributorGroup::new(Arc::clone(&shared), 3);
+    let group = DistributorGroup::try_new(Arc::clone(&shared), 3).expect("non-empty group");
     group.register_client(0, "c").expect("fresh");
     group
         .add_password(0, "c", "p", PrivacyLevel::High)

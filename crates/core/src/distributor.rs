@@ -20,7 +20,9 @@
 use crate::access;
 use crate::chunker;
 use crate::config::DistributorConfig;
+use crate::journal::{Journal, OpId, OpKind};
 use crate::mislead;
+use crate::persist;
 use crate::policy;
 use crate::pool::TransferPool;
 use crate::resilience::{AttemptOutcome, RepairReport, ScrubReport};
@@ -30,12 +32,12 @@ use crate::{CoreError, Result};
 use bytes::Bytes;
 use fragcloud_raid::{RaidLevel, StripeCodec};
 use fragcloud_sim::reputation::{ReputationConfig, ReputationEvent, ReputationTracker};
-use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, StoreError, VirtualId};
+use fragcloud_sim::{CloudProvider, CrashPlan, ObjectStore, PrivacyLevel, StoreError, VirtualId};
 use fragcloud_telemetry::{span, TelemetryHandle};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -168,6 +170,20 @@ pub struct CloudDataDistributor {
     /// distributor, created lazily on the first parallel get or pipelined
     /// put (so purely serial workloads never spawn a thread).
     pool: OnceLock<TransferPool>,
+    /// Optional write-ahead op journal (see [`Self::attach_journal`]).
+    /// Behind its own lock, never the table lock: journal records are
+    /// appended while table mutations are in flight.
+    journal: RwLock<Option<Arc<Journal>>>,
+    /// Sim-only crash-injection plan (see [`Self::set_crash_plan`]).
+    crash: RwLock<Option<Arc<CrashPlan>>>,
+}
+
+/// An open journaled operation: the journal it lives in plus this op's id.
+/// Threaded as `&Option<JournalCtx>` through the mutation paths so a
+/// journal-less distributor pays only an `Option` check.
+pub(crate) struct JournalCtx {
+    journal: Arc<Journal>,
+    op: OpId,
 }
 
 /// One stripe's worth of encoded shards, produced by
@@ -223,6 +239,8 @@ impl CloudDataDistributor {
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
+            journal: RwLock::new(None),
+            crash: RwLock::new(None),
         })
     }
 
@@ -249,6 +267,8 @@ impl CloudDataDistributor {
             reputation: ReputationTracker::new(n, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
+            journal: RwLock::new(None),
+            crash: RwLock::new(None),
         })
     }
 
@@ -301,21 +321,209 @@ impl CloudDataDistributor {
         self.state.write()
     }
 
+    // ------------------------------------------------------------------
+    // Write-ahead journal + crash injection
+    // ------------------------------------------------------------------
+
+    /// Attaches a write-ahead op [`Journal`]: every subsequent mutating
+    /// operation (`put_file`, `remove_file`, `repair`, rebalance moves)
+    /// brackets itself with intent/commit/abort records, with virtual ids
+    /// logged *before* their provider uploads. The journal's checkpoint is
+    /// seeded with the current state snapshot, so
+    /// [`recover`](crate::recovery::recover) can rebuild this distributor
+    /// from the journal alone.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        journal.set_checkpoint(persist::export_state(self));
+        *self.journal.write() = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal.read().clone()
+    }
+
+    /// Installs (or clears) a [`CrashPlan`]. Sim-only hook for the
+    /// crash-injection harness: when the plan fires, the active mutation
+    /// path returns [`CoreError::SimulatedCrash`] *without running any
+    /// cleanup or writing an abort record* — exactly as if the distributor
+    /// process had died at that instant. Never set this outside tests,
+    /// benches, or recovery drills.
+    pub fn set_crash_plan(&self, plan: Option<Arc<CrashPlan>>) {
+        *self.crash.write() = plan;
+    }
+
+    /// One numbered crash point on a mutation path (the crash-point map
+    /// lives in DESIGN.md §"Durability & crash recovery"). A no-op unless
+    /// a [`CrashPlan`] is armed for this encounter.
+    pub(crate) fn crash_point(&self) -> Result<()> {
+        let plan = self.crash.read().clone();
+        if let Some(plan) = plan {
+            if plan.note_point() {
+                self.telemetry().incr("sim_crashes_total");
+                return Err(CoreError::SimulatedCrash {
+                    point: plan.target(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens a journaled op; `None` (a no-op context) when no journal is
+    /// attached.
+    pub(crate) fn journal_begin(
+        &self,
+        kind: OpKind,
+        client: &str,
+        target: &str,
+    ) -> Option<JournalCtx> {
+        let journal = self.journal.read().clone()?;
+        let op = journal.begin(kind, client, target);
+        self.telemetry().incr("journal_ops_total");
+        Some(JournalCtx { journal, op })
+    }
+
+    /// Logs freshly allocated vids for the open op — always *before* the
+    /// uploads that use them.
+    pub(crate) fn journal_alloc(&self, jctx: &Option<JournalCtx>, vids: &[VirtualId]) {
+        if let Some(j) = jctx {
+            j.journal.log_alloc(j.op, vids);
+        }
+    }
+
+    /// Logs vids the open op intends to delete.
+    pub(crate) fn journal_doom(&self, jctx: &Option<JournalCtx>, vids: &[VirtualId]) {
+        if let Some(j) = jctx {
+            j.journal.log_doom(j.op, vids);
+        }
+    }
+
+    /// Closes a journaled op according to `res`. On success the op
+    /// commits and a fresh state snapshot becomes the journal checkpoint.
+    /// A [`CoreError::SimulatedCrash`] passes through untouched — the
+    /// "process" is dead, so no abort record and no rollback, leaving the
+    /// op dangling for recovery. Any other error triggers an inline
+    /// rollback (this op's unreferenced uploads are garbage-collected)
+    /// followed by an abort record.
+    ///
+    /// Must be called *after* the inner operation has released the table
+    /// write lock: the checkpoint export takes its own read lock.
+    pub(crate) fn journal_finish<T>(&self, jctx: Option<JournalCtx>, res: Result<T>) -> Result<T> {
+        let Some(jctx) = jctx else { return res };
+        match res {
+            Ok(v) => {
+                jctx.journal.commit(jctx.op, persist::export_state(self));
+                self.telemetry().incr("journal_commits_total");
+                Ok(v)
+            }
+            Err(e @ CoreError::SimulatedCrash { .. }) => Err(e),
+            Err(e) => {
+                let (collected, _) = self.rollback_op(&jctx);
+                let tel = self.telemetry();
+                tel.add("journal_rollback_objects", collected);
+                jctx.journal.abort(jctx.op, persist::export_state(self));
+                tel.incr("journal_aborts_total");
+                Err(e)
+            }
+        }
+    }
+
+    /// Inline rollback of a failed (but still live — not crashed)
+    /// journaled op: strips the op's table rows where it left any (a
+    /// failed put's chunk entries and file entry), then deletes every
+    /// fresh upload the tables no longer reference. Returns
+    /// `(objects collected, delete failures)`.
+    fn rollback_op(&self, jctx: &JournalCtx) -> (u64, u64) {
+        let Some(view) = jctx.journal.ops().into_iter().find(|o| o.id == jctx.op) else {
+            return (0, 0);
+        };
+        let fresh: HashSet<VirtualId> = view.fresh.iter().copied().collect();
+        let mut st = self.state.write();
+        if view.kind == OpKind::Put {
+            for e in st.chunks.iter_mut() {
+                if fresh.contains(&e.vid) && !e.removed {
+                    e.removed = true;
+                    e.stored_len = 0;
+                    e.logical_len = 0;
+                    e.replicas.clear();
+                    e.snapshot_provider_idx = None;
+                    e.snapshot_vid = None;
+                }
+            }
+            // Drop the file entry only when it belongs to THIS put (its
+            // stripes reference the op's fresh vids): a duplicate upload
+            // aborts with FileExists while the name still maps to the
+            // earlier committed file, which must survive the rollback.
+            let owned = st
+                .client(&view.client)
+                .ok()
+                .and_then(|c| c.files.get(&view.target))
+                .is_some_and(|f| {
+                    f.stripe_ids.iter().any(|&sid| {
+                        st.stripes[sid]
+                            .members
+                            .iter()
+                            .any(|&m| fresh.contains(&st.chunks[m].vid))
+                    })
+                });
+            if owned {
+                if let Ok(entry) = st.client_mut(&view.client) {
+                    entry.files.remove(&view.target);
+                }
+            }
+        }
+        // GC uploads the tables do not reference. Referenced fresh vids
+        // (a repair's already re-placed shards, say) are live data and
+        // stay.
+        let referenced = st.referenced_vids();
+        let mut collected = 0u64;
+        let mut failed = 0u64;
+        for vid in fresh {
+            if referenced.contains(&vid) {
+                continue;
+            }
+            for p in &st.providers {
+                if p.contains(vid) {
+                    match p.delete(vid) {
+                        Ok(()) => collected += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+            }
+        }
+        (collected, failed)
+    }
+
+    /// Refreshes the journal checkpoint after a mutation that is not
+    /// journaled op-by-op (client registration, chunk updates/removals):
+    /// the change must not be lost if the next crash happens before the
+    /// next journaled commit. Call only with the table lock released.
+    pub(crate) fn refresh_journal_checkpoint(&self) {
+        if let Some(j) = self.journal.read().clone() {
+            j.set_checkpoint(persist::export_state(self));
+        }
+    }
+
     /// Registers a new client.
     pub fn register_client(&self, name: &str) -> Result<()> {
-        let mut st = self.state.write();
-        if st.clients.contains_key(name) {
-            return Err(CoreError::ClientExists(name.to_string()));
+        {
+            let mut st = self.state.write();
+            if st.clients.contains_key(name) {
+                return Err(CoreError::ClientExists(name.to_string()));
+            }
+            st.clients.insert(name.to_string(), ClientEntry::default());
         }
-        st.clients.insert(name.to_string(), ClientEntry::default());
+        self.refresh_journal_checkpoint();
         Ok(())
     }
 
     /// Adds a ⟨password, PL⟩ pair for a client (§V access control).
     pub fn add_password(&self, client: &str, password: &str, pl: PrivacyLevel) -> Result<()> {
-        let mut st = self.state.write();
-        let entry = st.client_mut(client)?;
-        entry.passwords.push((password.to_string(), pl));
+        {
+            let mut st = self.state.write();
+            let entry = st.client_mut(client)?;
+            entry.passwords.push((password.to_string(), pl));
+        }
+        self.refresh_journal_checkpoint();
         Ok(())
     }
 
@@ -331,6 +539,22 @@ impl CloudDataDistributor {
         data: &[u8],
         pl: PrivacyLevel,
         opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        let jctx = self.journal_begin(OpKind::Put, client, filename);
+        let res = self.put_file_inner(client, password, filename, data, pl, opts, &jctx);
+        self.journal_finish(jctx, res)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn put_file_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        data: &[u8],
+        pl: PrivacyLevel,
+        opts: PutOptions,
+        jctx: &Option<JournalCtx>,
     ) -> Result<PutReceipt> {
         let tel = self.telemetry();
         let _op = span!(tel, "put", file = filename, pl = pl);
@@ -354,6 +578,11 @@ impl CloudDataDistributor {
             .into_iter()
             .map(|logical| (self.vids.allocate(), logical))
             .collect();
+        // Intent is durable before any provider sees a byte: from here on
+        // a crash leaves only objects the journal can enumerate.
+        let data_vids: Vec<VirtualId> = paired.iter().map(|(v, _)| *v).collect();
+        self.journal_alloc(jctx, &data_vids);
+        self.crash_point()?;
 
         // 3. Group into stripes (owned groups so pool workers can take
         // them), then encode + store.
@@ -438,7 +667,18 @@ impl CloudDataDistributor {
                     tel.incr("stripe_encodes");
                 }
                 let recycled = tel.time("stripe_store_ns", || {
-                    self.store_stripe(st, &mut rng, pl, &opts, raid, k_max, next, enc, &mut progress)
+                    self.store_stripe(
+                        st,
+                        &mut rng,
+                        pl,
+                        &opts,
+                        raid,
+                        k_max,
+                        next,
+                        enc,
+                        jctx,
+                        &mut progress,
+                    )
                 })?;
                 let _ = recycle_tx.send(recycled);
             }
@@ -460,6 +700,7 @@ impl CloudDataDistributor {
                         k_max,
                         stripe_no,
                         enc,
+                        jctx,
                         &mut progress,
                     )
                 })?;
@@ -484,6 +725,10 @@ impl CloudDataDistributor {
                 total_len: data.len(),
             },
         );
+
+        // Last crash window: tables updated, commit record not yet
+        // written — recovery must roll the whole put back.
+        self.crash_point()?;
 
         let sim_time = per_provider_time.into_iter().max().unwrap_or_default();
         tel.incr("puts_total");
@@ -565,6 +810,7 @@ impl CloudDataDistributor {
         k_max: usize,
         stripe_no: usize,
         enc: EncodedGroup,
+        jctx: &Option<JournalCtx>,
         progress: &mut PutProgress,
     ) -> Result<Vec<Vec<u8>>> {
         let EncodedGroup {
@@ -598,6 +844,7 @@ impl CloudDataDistributor {
 
         // Store data shards.
         for (i, (vid, stored, positions, logical_len)) in group.iter().enumerate() {
+            self.crash_point()?;
             let provider_idx = match self.store_shard_resilient(
                 st,
                 placement[i],
@@ -643,6 +890,8 @@ impl CloudDataDistributor {
                 }
                 let rp = candidates[(i + r) % candidates.len()];
                 let rvid = self.vids.allocate();
+                self.journal_alloc(jctx, &[rvid]);
+                self.crash_point()?;
                 // Replicas are best-effort extra assurance: a copy that
                 // cannot land is dropped, not fatal.
                 let (res, t, _) = self.put_with_retry(st, rp, rvid, Bytes::from(stored.clone()));
@@ -680,6 +929,8 @@ impl CloudDataDistributor {
         let mut recycled = Vec::with_capacity(parity_blobs.len());
         for (pi, blob) in parity_blobs.into_iter().enumerate() {
             let vid = self.vids.allocate();
+            self.journal_alloc(jctx, &[vid]);
+            self.crash_point()?;
             let slot = k + pi;
             let provider_idx = match self.store_shard_resilient(
                 st,
@@ -1261,6 +1512,21 @@ impl CloudDataDistributor {
         serial: u32,
         new_data: &[u8],
     ) -> Result<()> {
+        let res = self.update_chunk_inner(client, password, filename, serial, new_data);
+        if res.is_ok() {
+            self.refresh_journal_checkpoint();
+        }
+        res
+    }
+
+    fn update_chunk_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+        new_data: &[u8],
+    ) -> Result<()> {
         let mut st = self.state.write();
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
@@ -1313,6 +1579,20 @@ impl CloudDataDistributor {
     }
 
     pub(crate) fn restore_snapshot_impl(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+    ) -> Result<()> {
+        let res = self.restore_snapshot_inner(client, password, filename, serial);
+        if res.is_ok() {
+            self.refresh_journal_checkpoint();
+        }
+        res
+    }
+
+    fn restore_snapshot_inner(
         &self,
         client: &str,
         password: &str,
@@ -1456,6 +1736,20 @@ impl CloudDataDistributor {
         filename: &str,
         serial: u32,
     ) -> Result<()> {
+        let res = self.remove_chunk_inner(client, password, filename, serial);
+        if res.is_ok() {
+            self.refresh_journal_checkpoint();
+        }
+        res
+    }
+
+    fn remove_chunk_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+    ) -> Result<()> {
         let mut st = self.state.write();
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
@@ -1502,6 +1796,18 @@ impl CloudDataDistributor {
         password: &str,
         filename: &str,
     ) -> Result<()> {
+        let jctx = self.journal_begin(OpKind::Remove, client, filename);
+        let res = self.remove_file_inner(client, password, filename, &jctx);
+        self.journal_finish(jctx, res)
+    }
+
+    fn remove_file_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        jctx: &Option<JournalCtx>,
+    ) -> Result<()> {
         let mut st = self.state.write();
         let file = st.file(client, filename)?.clone();
         access::authorize(st.client(client)?, password, file.pl)?;
@@ -1518,10 +1824,31 @@ impl CloudDataDistributor {
             }
         }
 
+        // Doom list: every object this removal will delete, logged before
+        // the first delete — a crash mid-removal is rolled *forward* by
+        // recovery (finish the deletes), never backward (some objects are
+        // already gone).
+        let mut doomed: Vec<VirtualId> = Vec::new();
+        for &sid in &file.stripe_ids {
+            for &m in &st.stripes[sid].members {
+                let e = &st.chunks[m];
+                if !e.removed {
+                    doomed.push(e.vid);
+                }
+                doomed.extend(e.replicas.iter().map(|&(_, rv)| rv));
+                if let Some(sv) = e.snapshot_vid {
+                    doomed.push(sv);
+                }
+            }
+        }
+        self.journal_doom(jctx, &doomed);
+        self.crash_point()?;
+
         // Phase 2: delete every member (data + parity), best-effort.
         for &sid in &file.stripe_ids {
             let members = st.stripes[sid].members.clone();
             for m in members {
+                self.crash_point()?;
                 let (vid, provider_idx, removed, sp, replicas) = {
                     let e = &st.chunks[m];
                     (
@@ -1549,6 +1876,8 @@ impl CloudDataDistributor {
             }
         }
         st.client_mut(client)?.files.remove(filename);
+        // Last crash window: tables updated, commit record pending.
+        self.crash_point()?;
         Ok(())
     }
 
@@ -1610,7 +1939,31 @@ impl CloudDataDistributor {
     /// Rebuilt objects get fresh virtual ids so they cannot be correlated
     /// with the lost ones. Stripes beyond their fault tolerance are
     /// reported in [`RepairReport::failed`].
+    ///
+    /// # Panics
+    /// Panics when an armed [`CrashPlan`] fires mid-repair — impossible
+    /// outside the crash-injection harness; harnesses use
+    /// [`try_repair`](Self::try_repair).
     pub fn repair(&self) -> RepairReport {
+        // fraglint: allow(no-unwrap-in-lib) — documented panicking
+        // convenience form; the only possible error is a simulated crash,
+        // which real deployments never see. `try_repair` is the fallible
+        // form.
+        self.try_repair().expect("simulated crash during repair")
+    }
+
+    /// Fallible form of [`repair`](Self::repair): journaled when a
+    /// journal is attached, and surfaces a fired [`CrashPlan`] as
+    /// [`CoreError::SimulatedCrash`] instead of panicking. Per-stripe
+    /// repair failures are still folded into [`RepairReport::failed`],
+    /// never returned as errors.
+    pub fn try_repair(&self) -> Result<RepairReport> {
+        let jctx = self.journal_begin(OpKind::Repair, "", "stripes");
+        let res = self.repair_inner(&jctx);
+        self.journal_finish(jctx, res)
+    }
+
+    fn repair_inner(&self, jctx: &Option<JournalCtx>) -> Result<RepairReport> {
         let tel = self.telemetry();
         let _op = span!(tel, "repair");
         let scrub = self.scrub();
@@ -1619,12 +1972,14 @@ impl CloudDataDistributor {
         let mut per_provider_time: Vec<Duration> =
             vec![Duration::ZERO; st.providers.len()];
         for &sid in scrub.degraded.iter().chain(scrub.unreadable.iter()) {
-            match self.repair_stripe(&mut st, sid, &mut per_provider_time) {
+            match self.repair_stripe(&mut st, sid, jctx, &mut per_provider_time) {
                 Ok(n) => {
                     report.stripes_repaired += 1;
                     report.shards_rebuilt += n;
                     st.stripes[sid].degraded = false;
                 }
+                // The crash plan fired: the "process" is dead, stop here.
+                Err(e @ CoreError::SimulatedCrash { .. }) => return Err(e),
                 Err(_) => report.failed.push(sid),
             }
         }
@@ -1633,7 +1988,7 @@ impl CloudDataDistributor {
         tel.incr("repairs_total");
         tel.add("shards_rebuilt", report.shards_rebuilt as u64);
         tel.add("repair_failures", report.failed.len() as u64);
-        report
+        Ok(report)
     }
 
     /// Rebuilds every lost shard of one stripe. Phase 1 reads survivors
@@ -1643,6 +1998,7 @@ impl CloudDataDistributor {
         &self,
         st: &mut Tables,
         sid: usize,
+        jctx: &Option<JournalCtx>,
         per_provider_time: &mut [Duration],
     ) -> Result<usize> {
         let stripe = st.stripes[sid].clone();
@@ -1701,9 +2057,9 @@ impl CloudDataDistributor {
         // Phase 2b: re-place each rebuilt shard.
         let mut count = 0usize;
         for (m, shard) in rebuilt {
-            let (orig, pl, stored_len) = {
+            let (orig, pl, stored_len, old_vid) = {
                 let e = &st.chunks[m];
-                (e.provider_idx, e.pl, e.stored_len)
+                (e.provider_idx, e.pl, e.stored_len, e.vid)
             };
             let target = if st.providers[orig].is_online() && !hosting.contains(&orig) {
                 Some(orig)
@@ -1728,8 +2084,13 @@ impl CloudDataDistributor {
                 return Err(CoreError::NoEligibleProvider { pl });
             };
             // Fresh virtual id: the rebuilt object must not be correlatable
-            // with the lost one (§IV-A identity concealment).
+            // with the lost one (§IV-A identity concealment). The lost id
+            // is doomed — if its object ever resurfaces (provider back
+            // online), recovery garbage-collects it.
             let new_vid = self.vids.allocate();
+            self.journal_alloc(jctx, &[new_vid]);
+            self.journal_doom(jctx, &[old_vid]);
+            self.crash_point()?;
             let payload = Bytes::from(shard[..stored_len].to_vec());
             let (res, t, _) = self.put_with_retry(st, target, new_vid, payload);
             per_provider_time[target] += t;
@@ -1740,6 +2101,8 @@ impl CloudDataDistributor {
             hosting.push(target);
             count += 1;
         }
+        // Crash window between two repaired stripes.
+        self.crash_point()?;
         Ok(count)
     }
 
@@ -1857,6 +2220,26 @@ impl CloudDataDistributor {
     /// Read access to the provider fleet.
     pub fn providers(&self) -> Vec<Arc<CloudProvider>> {
         self.state.read().providers.clone()
+    }
+
+    /// Every virtual id the tables still reference: live chunks' primary
+    /// ids, their replicas, and snapshot ids. An object held by a provider
+    /// under an id outside this set is an orphan — the crash-recovery
+    /// harness asserts there are none after recovery.
+    pub fn referenced_vids(&self) -> HashSet<VirtualId> {
+        self.state.read().referenced_vids()
+    }
+
+    /// Fast-forwards the virtual-id allocator past `n` ids a crashed
+    /// incarnation allocated without persisting a counter for them
+    /// (recovery only; over-skipping is harmless, reuse is not).
+    pub(crate) fn skip_vids(&self, n: u64) {
+        self.vids.skip(n);
+    }
+
+    /// Allocates one fresh virtual id (used by `rebalance` migrations).
+    pub(crate) fn allocate_vid(&self) -> VirtualId {
+        self.vids.allocate()
     }
 
     /// Chunk count per provider for one client (exposure accounting).

@@ -1,0 +1,554 @@
+//! Append-only write-ahead op journal for the distributor.
+//!
+//! [`persist`](crate::persist) gives durability of *quiescent* table
+//! state; this module makes the mutating operations themselves
+//! crash-consistent. Every state-mutating operation (`put_file`,
+//! `remove_file`, `repair`, rebalance moves) brackets its work with
+//! intent/commit/abort records, and — critically — logs every virtual id
+//! it allocates *before* the corresponding provider upload. A distributor
+//! that dies mid-operation therefore leaves a journal whose dangling op
+//! names exactly the objects that may exist on providers without being
+//! acknowledged in any snapshot; [`recovery`](crate::recovery) uses that
+//! to garbage-collect them.
+//!
+//! Record grammar (one record per line, `|`-separated, the same `%xx`
+//! escaping as `persist`):
+//!
+//! ```text
+//! fragcloud-journal|v1
+//! checkpoint|<escaped full persist snapshot>
+//! begin|<op>|<kind>|<client>|<target>
+//! alloc|<op>|<vid>,<vid>,...     # fresh ids, logged BEFORE upload
+//! doom|<op>|<vid>,<vid>,...      # ids this op intends to delete
+//! commit|<op>
+//! abort|<op>
+//! end
+//! ```
+//!
+//! The `checkpoint` line holds the latest committed [`persist`] snapshot
+//! (refreshed on every commit/abort, which also lets the record list be
+//! compacted): recovery = import checkpoint + resolve dangling ops. An op
+//! with a `commit` record is **committed**, with an `abort` record
+//! **aborted**, with neither **dangling** — the crash happened inside it.
+//!
+//! [`persist`]: crate::persist
+
+use crate::persist::{esc, unesc};
+use crate::{CoreError, Result};
+use fragcloud_sim::VirtualId;
+use parking_lot::Mutex;
+
+/// Journal format version.
+const VERSION: u32 = 1;
+
+/// Identifier of one journaled operation (unique per journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Which mutation path an op belongs to — determines how recovery treats
+/// a dangling instance (roll back for `Put`/`Repair`/`Migrate`, roll
+/// *forward* for `Remove`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `put_file`: new file upload.
+    Put,
+    /// `remove_file`: file deletion.
+    Remove,
+    /// `repair`: stripe re-placement after provider loss.
+    Repair,
+    /// A rebalance move (`migrate_chunk`).
+    Migrate,
+}
+
+impl OpKind {
+    fn tag(self) -> &'static str {
+        match self {
+            OpKind::Put => "put",
+            OpKind::Remove => "remove",
+            OpKind::Repair => "repair",
+            OpKind::Migrate => "migrate",
+        }
+    }
+
+    fn parse(s: &str, line_no: usize) -> Result<Self> {
+        match s {
+            "put" => Ok(OpKind::Put),
+            "remove" => Ok(OpKind::Remove),
+            "repair" => Ok(OpKind::Repair),
+            "migrate" => Ok(OpKind::Migrate),
+            other => Err(bad(line_no, &format!("unknown op kind {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Fate of a journaled op, as read back by recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpStatus {
+    /// A `commit` record exists: the op finished and its checkpoint
+    /// includes it.
+    Committed,
+    /// An `abort` record exists: the op failed and was rolled back inline
+    /// by the live distributor.
+    Aborted,
+    /// Neither record exists: the distributor died inside the op.
+    Dangling,
+}
+
+/// One op folded out of the record stream (see [`Journal::ops`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpView {
+    /// The op's journal-unique id.
+    pub id: OpId,
+    /// Mutation path.
+    pub kind: OpKind,
+    /// Client the op acted for (empty for client-less ops like `repair`).
+    pub client: String,
+    /// Target of the op — a filename, or a descriptive tag for
+    /// repair/migrate ops.
+    pub target: String,
+    /// Freshly allocated vids, in allocation order.
+    pub fresh: Vec<VirtualId>,
+    /// Vids the op intended to delete.
+    pub doomed: Vec<VirtualId>,
+    /// Committed / aborted / dangling.
+    pub status: OpStatus,
+}
+
+#[derive(Debug, Clone)]
+enum Record {
+    Begin {
+        op: OpId,
+        kind: OpKind,
+        client: String,
+        target: String,
+    },
+    Alloc {
+        op: OpId,
+        vids: Vec<VirtualId>,
+    },
+    Doom {
+        op: OpId,
+        vids: Vec<VirtualId>,
+    },
+    Commit {
+        op: OpId,
+    },
+    Abort {
+        op: OpId,
+    },
+}
+
+#[derive(Debug, Default)]
+struct JournalInner {
+    next_op: u64,
+    checkpoint: String,
+    records: Vec<Record>,
+}
+
+/// The append-only write-ahead op journal.
+///
+/// Thread-safe; attach one to a
+/// [`CloudDataDistributor`](crate::CloudDataDistributor) via
+/// [`attach_journal`](crate::CloudDataDistributor::attach_journal) and it
+/// records every mutation. [`export`](Self::export) the text form to
+/// durable storage as often as desired; after a crash,
+/// [`parse`](Self::parse) it back and hand it to
+/// [`recover`](crate::recovery::recover).
+#[derive(Debug, Default)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+}
+
+fn bad(line_no: usize, why: &str) -> CoreError {
+    CoreError::CorruptState {
+        line: line_no,
+        why: why.to_string(),
+    }
+}
+
+impl Journal {
+    /// An empty journal (no checkpoint, no records).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens an op: appends its `begin` record and returns the new id.
+    pub fn begin(&self, kind: OpKind, client: &str, target: &str) -> OpId {
+        let mut inner = self.inner.lock();
+        inner.next_op += 1;
+        let op = OpId(inner.next_op);
+        inner.records.push(Record::Begin {
+            op,
+            kind,
+            client: client.to_string(),
+            target: target.to_string(),
+        });
+        op
+    }
+
+    /// Logs freshly allocated vids for `op`. Must happen *before* the
+    /// corresponding provider uploads — that ordering is what makes
+    /// orphans enumerable after a crash.
+    pub fn log_alloc(&self, op: OpId, vids: &[VirtualId]) {
+        if vids.is_empty() {
+            return;
+        }
+        self.inner.lock().records.push(Record::Alloc {
+            op,
+            vids: vids.to_vec(),
+        });
+    }
+
+    /// Logs vids `op` intends to delete (roll-forward set for removals,
+    /// doomed source copies for migrations).
+    pub fn log_doom(&self, op: OpId, vids: &[VirtualId]) {
+        if vids.is_empty() {
+            return;
+        }
+        self.inner.lock().records.push(Record::Doom {
+            op,
+            vids: vids.to_vec(),
+        });
+    }
+
+    /// Closes `op` as committed and installs the post-op state snapshot
+    /// as the new checkpoint.
+    pub fn commit(&self, op: OpId, checkpoint: String) {
+        let mut inner = self.inner.lock();
+        inner.records.push(Record::Commit { op });
+        inner.checkpoint = checkpoint;
+    }
+
+    /// Closes `op` as aborted (the live distributor already rolled it
+    /// back) and installs the post-rollback snapshot as the checkpoint.
+    pub fn abort(&self, op: OpId, checkpoint: String) {
+        let mut inner = self.inner.lock();
+        inner.records.push(Record::Abort { op });
+        inner.checkpoint = checkpoint;
+    }
+
+    /// Replaces the checkpoint without touching the record stream — used
+    /// after mutations that are snapshot-only (e.g. client registration).
+    pub fn set_checkpoint(&self, checkpoint: String) {
+        self.inner.lock().checkpoint = checkpoint;
+    }
+
+    /// The latest committed state snapshot (empty string if none yet).
+    pub fn checkpoint(&self) -> String {
+        self.inner.lock().checkpoint.clone()
+    }
+
+    /// Drops all records whose ops are closed (committed or aborted),
+    /// installing `checkpoint` as the new baseline. Recovery calls this
+    /// once the journal has been fully resolved.
+    pub fn compact(&self, checkpoint: String) {
+        let mut inner = self.inner.lock();
+        let closed: std::collections::HashSet<OpId> = inner
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Commit { op } | Record::Abort { op } => Some(*op),
+                _ => None,
+            })
+            .collect();
+        inner.records.retain(|r| {
+            let op = match r {
+                Record::Begin { op, .. }
+                | Record::Alloc { op, .. }
+                | Record::Doom { op, .. }
+                | Record::Commit { op }
+                | Record::Abort { op } => *op,
+            };
+            !closed.contains(&op)
+        });
+        inner.checkpoint = checkpoint;
+    }
+
+    /// Folds the record stream into per-op views, in `begin` order.
+    pub fn ops(&self) -> Vec<OpView> {
+        let inner = self.inner.lock();
+        let mut views: Vec<OpView> = Vec::new();
+        for r in &inner.records {
+            match r {
+                Record::Begin {
+                    op,
+                    kind,
+                    client,
+                    target,
+                } => views.push(OpView {
+                    id: *op,
+                    kind: *kind,
+                    client: client.clone(),
+                    target: target.clone(),
+                    fresh: Vec::new(),
+                    doomed: Vec::new(),
+                    status: OpStatus::Dangling,
+                }),
+                Record::Alloc { op, vids } => {
+                    if let Some(v) = views.iter_mut().find(|v| v.id == *op) {
+                        v.fresh.extend_from_slice(vids);
+                    }
+                }
+                Record::Doom { op, vids } => {
+                    if let Some(v) = views.iter_mut().find(|v| v.id == *op) {
+                        v.doomed.extend_from_slice(vids);
+                    }
+                }
+                Record::Commit { op } => {
+                    if let Some(v) = views.iter_mut().find(|v| v.id == *op) {
+                        v.status = OpStatus::Committed;
+                    }
+                }
+                Record::Abort { op } => {
+                    if let Some(v) = views.iter_mut().find(|v| v.id == *op) {
+                        v.status = OpStatus::Aborted;
+                    }
+                }
+            }
+        }
+        views
+    }
+
+    /// Serializes the journal to its versioned text form.
+    pub fn export(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        out.push_str(&format!("fragcloud-journal|v{VERSION}\n"));
+        out.push_str(&format!("checkpoint|{}\n", esc(&inner.checkpoint)));
+        for r in &inner.records {
+            match r {
+                Record::Begin {
+                    op,
+                    kind,
+                    client,
+                    target,
+                } => out.push_str(&format!(
+                    "begin|{}|{}|{}|{}\n",
+                    op.0,
+                    kind.tag(),
+                    esc(client),
+                    esc(target)
+                )),
+                Record::Alloc { op, vids } => {
+                    out.push_str(&format!("alloc|{}|{}\n", op.0, join_vids(vids)))
+                }
+                Record::Doom { op, vids } => {
+                    out.push_str(&format!("doom|{}|{}\n", op.0, join_vids(vids)))
+                }
+                Record::Commit { op } => out.push_str(&format!("commit|{}\n", op.0)),
+                Record::Abort { op } => out.push_str(&format!("abort|{}\n", op.0)),
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a journal back from its text form. Reports malformed input
+    /// through [`CoreError::CorruptState`], like the snapshot parser.
+    pub fn parse(text: &str) -> Result<Journal> {
+        let mut lines = text.lines().enumerate();
+        let (ln, header) = lines.next().ok_or_else(|| bad(0, "empty journal"))?;
+        if header != format!("fragcloud-journal|v{VERSION}") {
+            return Err(bad(ln + 1, "bad journal header/version"));
+        }
+        let (ln, cline) = lines.next().ok_or_else(|| bad(0, "truncated journal"))?;
+        let checkpoint = unesc(
+            cline
+                .strip_prefix("checkpoint|")
+                .ok_or_else(|| bad(ln + 1, "expected checkpoint"))?,
+        );
+
+        let mut records = Vec::new();
+        let mut next_op = 0u64;
+        let mut saw_end = false;
+        for (ln, line) in lines {
+            let line_no = ln + 1;
+            if line == "end" {
+                saw_end = true;
+                break;
+            }
+            let f: Vec<&str> = line.split('|').collect();
+            let op_of = |s: &str| -> Result<OpId> {
+                s.parse::<u64>()
+                    .map(OpId)
+                    .map_err(|_| bad(line_no, "expected op id"))
+            };
+            match f[0] {
+                "begin" => {
+                    if f.len() != 5 {
+                        return Err(bad(line_no, "expected begin record"));
+                    }
+                    let op = op_of(f[1])?;
+                    next_op = next_op.max(op.0);
+                    records.push(Record::Begin {
+                        op,
+                        kind: OpKind::parse(f[2], line_no)?,
+                        client: unesc(f[3]),
+                        target: unesc(f[4]),
+                    });
+                }
+                "alloc" | "doom" => {
+                    if f.len() != 3 {
+                        return Err(bad(line_no, "expected vid-list record"));
+                    }
+                    let op = op_of(f[1])?;
+                    let vids = parse_vids(f[2], line_no)?;
+                    records.push(if f[0] == "alloc" {
+                        Record::Alloc { op, vids }
+                    } else {
+                        Record::Doom { op, vids }
+                    });
+                }
+                "commit" | "abort" => {
+                    if f.len() != 2 {
+                        return Err(bad(line_no, "expected op-close record"));
+                    }
+                    let op = op_of(f[1])?;
+                    records.push(if f[0] == "commit" {
+                        Record::Commit { op }
+                    } else {
+                        Record::Abort { op }
+                    });
+                }
+                other => return Err(bad(line_no, &format!("unexpected record {other:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err(bad(0, "missing end marker"));
+        }
+        Ok(Journal {
+            inner: Mutex::new(JournalInner {
+                next_op,
+                checkpoint,
+                records,
+            }),
+        })
+    }
+}
+
+fn join_vids(vids: &[VirtualId]) -> String {
+    vids.iter()
+        .map(|v| v.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_vids(s: &str, line_no: usize) -> Result<Vec<VirtualId>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| {
+            x.parse::<u64>()
+                .map(VirtualId)
+                .map_err(|_| bad(line_no, "expected vid"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vids(xs: &[u64]) -> Vec<VirtualId> {
+        xs.iter().map(|&x| VirtualId(x)).collect()
+    }
+
+    #[test]
+    fn export_parse_roundtrip() {
+        let j = Journal::new();
+        j.set_checkpoint("fake|snapshot\nwith lines\n".to_string());
+        let a = j.begin(OpKind::Put, "cli|ent", "fi%le");
+        j.log_alloc(a, &vids(&[10, 11]));
+        j.log_alloc(a, &vids(&[12]));
+        j.commit(a, "ckpt-after-a\n".to_string());
+        let b = j.begin(OpKind::Remove, "c", "gone");
+        j.log_doom(b, &vids(&[10]));
+        // b left dangling: the crash case.
+
+        let text = j.export();
+        assert!(text.starts_with("fragcloud-journal|v1\n"));
+        assert!(text.ends_with("end\n"));
+        let back = Journal::parse(&text).unwrap();
+        assert_eq!(back.checkpoint(), "ckpt-after-a\n");
+        let ops = back.ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].id, a);
+        assert_eq!(ops[0].kind, OpKind::Put);
+        assert_eq!(ops[0].client, "cli|ent");
+        assert_eq!(ops[0].target, "fi%le");
+        assert_eq!(ops[0].fresh, vids(&[10, 11, 12]));
+        assert_eq!(ops[0].status, OpStatus::Committed);
+        assert_eq!(ops[1].status, OpStatus::Dangling);
+        assert_eq!(ops[1].doomed, vids(&[10]));
+
+        // A re-parsed journal keeps allocating fresh op ids.
+        let c = back.begin(OpKind::Repair, "", "stripes");
+        assert!(c.0 > b.0);
+    }
+
+    #[test]
+    fn abort_marks_op_aborted() {
+        let j = Journal::new();
+        let a = j.begin(OpKind::Put, "c", "f");
+        j.log_alloc(a, &vids(&[7]));
+        j.abort(a, "rolled-back".to_string());
+        assert_eq!(j.ops()[0].status, OpStatus::Aborted);
+        assert_eq!(j.checkpoint(), "rolled-back");
+    }
+
+    #[test]
+    fn compact_drops_closed_ops_keeps_dangling() {
+        let j = Journal::new();
+        let a = j.begin(OpKind::Put, "c", "f1");
+        j.commit(a, "ck1".to_string());
+        let b = j.begin(OpKind::Put, "c", "f2");
+        j.log_alloc(b, &vids(&[5]));
+        j.compact("ck2".to_string());
+        let ops = j.ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].id, b);
+        assert_eq!(ops[0].status, OpStatus::Dangling);
+        assert_eq!(j.checkpoint(), "ck2");
+    }
+
+    #[test]
+    fn parse_errors_are_corrupt_state() {
+        for garbage in [
+            "",
+            "fragcloud-journal|v999\ncheckpoint|\nend\n",
+            "fragcloud-journal|v1\nno-checkpoint\nend\n",
+            "fragcloud-journal|v1\ncheckpoint|\nbegin|1|teleport|c|f\nend\n",
+            "fragcloud-journal|v1\ncheckpoint|\nalloc|1|notanumber\nend\n",
+            "fragcloud-journal|v1\ncheckpoint|\nbegin|1|put|c|f\n",
+        ] {
+            let err = Journal::parse(garbage).unwrap_err();
+            assert!(
+                matches!(err, CoreError::CorruptState { .. }),
+                "{garbage:?} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_vid_lists_are_not_recorded() {
+        let j = Journal::new();
+        let a = j.begin(OpKind::Put, "c", "f");
+        j.log_alloc(a, &[]);
+        j.log_doom(a, &[]);
+        // Only the begin line plus header/checkpoint/end.
+        assert_eq!(j.export().lines().count(), 4);
+    }
+}

@@ -32,6 +32,12 @@
 //! - [`persist`] — versioned text snapshots of the table state, so a
 //!   restarted (or newly promoted) distributor can rehydrate against the
 //!   same provider fleet;
+//! - [`journal`] — the append-only write-ahead op journal: intent/commit/
+//!   abort records around every state-mutating operation, with virtual ids
+//!   logged *before* their provider uploads;
+//! - [`recovery`] — replays a journal against its checkpoint snapshot on
+//!   restart, rolling dangling ops back (or forward, for removals) and
+//!   garbage-collecting orphan objects from providers;
 //! - [`rebalance`] — §VII-E locality migration of hot chunks;
 //! - [`envelope`] — client-side full/partial encryption composed with
 //!   fragmentation (§VII-E: "encryption is not an alternative to
@@ -43,12 +49,14 @@ pub mod client_side;
 pub mod config;
 pub mod distributor;
 pub mod envelope;
+pub mod journal;
 pub mod mislead;
 pub mod multi;
 pub mod persist;
 pub mod policy;
 pub mod pool;
 pub mod rebalance;
+pub mod recovery;
 pub mod resilience;
 pub mod session;
 pub mod tables;
@@ -58,7 +66,9 @@ pub use config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
 pub use fragcloud_telemetry::TelemetryHandle;
+pub use journal::{Journal, OpId, OpKind, OpStatus, OpView};
 pub use pool::TransferPool;
+pub use recovery::{recover, recover_with, RecoveryReport};
 pub use resilience::{
     AttemptOutcome, RepairReport, ResilienceConfig, RetryExecution, RetryPolicy, ScrubReport,
 };
@@ -142,6 +152,21 @@ pub enum CoreError {
         /// The violated constraint, naming the offending field.
         detail: String,
     },
+    /// A persisted artifact (a [`persist`] snapshot or a [`journal`]
+    /// export) failed to parse.
+    CorruptState {
+        /// 1-based line number inside the artifact (0 when unknown).
+        line: usize,
+        /// What was wrong with the record.
+        why: String,
+    },
+    /// A [`fragcloud_sim::CrashPlan`] fired: the distributor "died" at the
+    /// given crash point. Sim-only — never produced outside a
+    /// crash-injection harness.
+    SimulatedCrash {
+        /// Ordinal of the crash point that fired (1-based encounter count).
+        point: u64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -178,6 +203,12 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::InvalidConfig { detail } => {
                 write!(f, "invalid configuration: {detail}")
+            }
+            CoreError::CorruptState { line, why } => {
+                write!(f, "corrupt state at line {line}: {why}")
+            }
+            CoreError::SimulatedCrash { point } => {
+                write!(f, "simulated crash at point {point}")
             }
         }
     }

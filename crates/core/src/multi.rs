@@ -35,13 +35,16 @@ pub struct DistributorGroup {
 }
 
 impl DistributorGroup {
-    /// Creates a group of `n` distributor nodes over shared state.
-    ///
-    /// # Panics
-    /// Panics when `n == 0`.
-    pub fn new(shared: Arc<CloudDataDistributor>, n: usize) -> Self {
-        assert!(n >= 1, "a distributor group needs at least one node");
-        DistributorGroup {
+    /// Creates a group of `n` distributor nodes over shared state,
+    /// rejecting an empty group: with zero nodes there is no primary to
+    /// write through and no secondary to fail over to.
+    pub fn try_new(shared: Arc<CloudDataDistributor>, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "a distributor group needs at least one node".to_string(),
+            });
+        }
+        Ok(DistributorGroup {
             shared,
             nodes: (0..n)
                 .map(|i| Node {
@@ -50,7 +53,17 @@ impl DistributorGroup {
                 })
                 .collect(),
             primary_of: RwLock::new(HashMap::new()),
-        }
+        })
+    }
+
+    /// Creates a group of `n` distributor nodes over shared state.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`; [`DistributorGroup::try_new`] is the fallible
+    /// form.
+    pub fn new(shared: Arc<CloudDataDistributor>, n: usize) -> Self {
+        // fraglint: allow(no-unwrap-in-lib) — documented panicking convenience form; try_new is the fallible variant.
+        Self::try_new(shared, n).expect("a distributor group needs at least one node")
     }
 
     /// Number of nodes.
@@ -297,5 +310,82 @@ mod tests {
     fn empty_group_panics() {
         let g = group(1);
         let _ = DistributorGroup::new(Arc::clone(&g.shared), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_group() {
+        let g = group(1);
+        let Err(err) = DistributorGroup::try_new(Arc::clone(&g.shared), 0) else {
+            panic!("empty group accepted");
+        };
+        assert!(
+            matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("at least one node"))
+        );
+        assert!(DistributorGroup::try_new(Arc::clone(&g.shared), 2).is_ok());
+    }
+
+    /// Fig. 2 failover under load: the primary goes down in the middle of
+    /// a read sequence; every in-flight read completes through a
+    /// secondary, promotion picks the lowest-indexed online node, and the
+    /// write path moves with it.
+    #[test]
+    fn failover_mid_read_sequence_under_load() {
+        let g = group(4);
+        g.register_client(0, "Bob").unwrap();
+        g.add_password(0, "Bob", "pw", PrivacyLevel::High).unwrap();
+        let files: Vec<String> = (0..8).map(|i| format!("f{i}")).collect();
+        for (i, f) in files.iter().enumerate() {
+            let mut data = body();
+            data.push(i as u8);
+            g.put_file(0, "Bob", "pw", f, &data, PrivacyLevel::Low, PutOptions::default())
+                .unwrap();
+        }
+
+        // Read back through the primary until it dies mid-sequence.
+        for f in &files[..4] {
+            g.get_file(0, "Bob", "pw", f).unwrap();
+        }
+        g.set_node_online(0, false);
+        for (i, f) in files.iter().enumerate() {
+            // The dead primary refuses; any secondary serves the rest of
+            // the sequence with intact bytes.
+            assert!(matches!(
+                g.get_file(0, "Bob", "pw", f),
+                Err(CoreError::DistributorDown(_))
+            ));
+            let via = 1 + (i % 3);
+            let r = g.get_file(via, "Bob", "pw", f).unwrap();
+            let mut want = body();
+            want.push(i as u8);
+            assert_eq!(r.data, want, "file {f} via node {via}");
+        }
+
+        // Until failover runs, writes are stuck: the mapped primary is
+        // node 0, so every secondary rejects the upload.
+        for via in 1..4 {
+            assert!(matches!(
+                g.put_file(via, "Bob", "pw", "h", &body(), PrivacyLevel::Low, PutOptions::default()),
+                Err(CoreError::NotPrimary { .. })
+            ));
+        }
+        assert_eq!(g.failover("Bob").unwrap(), 1);
+
+        // Writes resume on the promoted node only.
+        g.put_file(1, "Bob", "pw", "h", &body(), PrivacyLevel::Low, PutOptions::default())
+            .unwrap();
+        assert!(matches!(
+            g.put_file(2, "Bob", "pw", "h2", &body(), PrivacyLevel::Low, PutOptions::default()),
+            Err(CoreError::NotPrimary { .. })
+        ));
+
+        // The old primary coming back does not reclaim the role: it can
+        // serve reads again but its writes are rejected.
+        g.set_node_online(0, true);
+        assert_eq!(g.get_file(0, "Bob", "pw", "h").unwrap().data, body());
+        assert!(matches!(
+            g.put_file(0, "Bob", "pw", "h3", &body(), PrivacyLevel::Low, PutOptions::default()),
+            Err(CoreError::NotPrimary { .. })
+        ));
+        assert_eq!(g.primary_of("Bob").unwrap(), 1);
     }
 }

@@ -22,17 +22,21 @@ use std::sync::Arc;
 /// Snapshot format version.
 const VERSION: u32 = 1;
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.replace('%', "%25").replace('|', "%7C").replace('\n', "%0A")
 }
 
-fn unesc(s: &str) -> String {
+pub(crate) fn unesc(s: &str) -> String {
     s.replace("%0A", "\n").replace("%7C", "|").replace("%25", "%")
 }
 
-/// Errors specific to snapshot parsing, folded into [`CoreError`].
+/// Snapshot parse failures, as the dedicated corruption variant (the
+/// journal parser in `crate::journal` reports through the same one).
 fn bad(line_no: usize, why: &str) -> CoreError {
-    CoreError::UnknownClient(format!("snapshot parse error at line {line_no}: {why}"))
+    CoreError::CorruptState {
+        line: line_no,
+        why: why.to_string(),
+    }
 }
 
 fn raid_tag(l: RaidLevel) -> &'static str {
@@ -510,6 +514,23 @@ mod tests {
             config()
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_corrupt_state_not_unknown_client() {
+        // Regression: parse failures used to be folded into
+        // CoreError::UnknownClient, which callers could not tell apart from
+        // a genuine missing-client lookup.
+        let err = import_state("", fleet(), config()).unwrap_err();
+        assert!(matches!(err, CoreError::CorruptState { .. }), "{err:?}");
+        assert!(!matches!(err, CoreError::UnknownClient(_)));
+
+        let err = import_state("fragcloud-state|v999\nend\n", fleet(), config()).unwrap_err();
+        assert!(
+            matches!(err, CoreError::CorruptState { line: 1, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("corrupt state at line 1"));
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //!   migrate it to the eligible provider with the lowest link latency,
 //!   respecting stripe anti-affinity.
 
-use crate::distributor::CloudDataDistributor;
+use crate::distributor::{CloudDataDistributor, JournalCtx};
+use crate::journal::OpKind;
 use crate::policy;
 use crate::tables::ChunkRole;
 use crate::{CoreError, Result};
-use fragcloud_sim::ObjectStore;
+use fragcloud_sim::{ObjectStore, VirtualId};
 use std::time::Duration;
 
 /// Report of one rebalancing pass.
@@ -35,6 +36,14 @@ impl CloudDataDistributor {
     /// Provider Table index). The target must be online, eligible for the
     /// chunk's PL and must not already hold another shard of the same
     /// stripe (anti-affinity).
+    ///
+    /// The moved object gets a **fresh virtual id** at the target, so the
+    /// new provider cannot correlate it with the old copy (§IV-A identity
+    /// concealment, matching `repair`). Ordering is copy → table switch →
+    /// commit → source delete, so a crash at any instant leaves at least
+    /// one live, table-referenced copy; with a journal attached, a
+    /// post-commit straggler at the source is doomed in the journal and
+    /// garbage-collected by recovery.
     pub fn migrate_chunk(
         &self,
         client: &str,
@@ -43,6 +52,33 @@ impl CloudDataDistributor {
         serial: u32,
         target_provider: usize,
     ) -> Result<()> {
+        let jctx = self.journal_begin(OpKind::Migrate, client, &format!("{filename}#{serial}"));
+        let res =
+            self.migrate_chunk_inner(client, password, filename, serial, target_provider, &jctx);
+        match self.journal_finish(jctx, res)? {
+            Some((source_provider, old_vid)) => {
+                self.crash_point()?;
+                // Best-effort: the object is already doomed in the journal.
+                let st = self.state_ref();
+                let _ = st.providers[source_provider].delete(old_vid);
+                Ok(())
+            }
+            None => Ok(()), // already at the target
+        }
+    }
+
+    /// The journaled body of [`migrate_chunk`](Self::migrate_chunk):
+    /// returns the doomed source copy to delete after commit, or `None`
+    /// for a same-provider no-op.
+    fn migrate_chunk_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        serial: u32,
+        target_provider: usize,
+        jctx: &Option<JournalCtx>,
+    ) -> Result<Option<(usize, VirtualId)>> {
         let mut st = self.state_mut();
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         crate::access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
@@ -56,7 +92,7 @@ impl CloudDataDistributor {
         }
         let source_provider = st.chunks[chunk_idx].provider_idx;
         if source_provider == target_provider {
-            return Ok(()); // already there
+            return Ok(None); // already there
         }
         // Anti-affinity within the stripe.
         if let Some(stripe_ref) = st.chunks[chunk_idx].stripe {
@@ -70,14 +106,19 @@ impl CloudDataDistributor {
                 }
             }
         }
-        // Copy, switch, delete (in that order, so a crash mid-way leaves at
-        // least one live copy).
-        let vid = st.chunks[chunk_idx].vid;
-        let bytes = st.providers[source_provider].get(vid)?;
-        st.providers[target_provider].put(vid, bytes)?;
+        // Copy (under a fresh id), switch the table, and leave the doomed
+        // source copy to the post-commit step.
+        let old_vid = st.chunks[chunk_idx].vid;
+        let new_vid = self.allocate_vid();
+        self.journal_alloc(jctx, &[new_vid]);
+        self.journal_doom(jctx, &[old_vid]);
+        self.crash_point()?;
+        let bytes = st.providers[source_provider].get(old_vid)?;
+        st.providers[target_provider].put(new_vid, bytes)?;
+        self.crash_point()?;
+        st.chunks[chunk_idx].vid = new_vid;
         st.chunks[chunk_idx].provider_idx = target_provider;
-        st.providers[source_provider].delete(vid)?;
-        Ok(())
+        Ok(Some((source_provider, old_vid)))
     }
 
     /// Greedy locality pass: migrate every data chunk of the client that

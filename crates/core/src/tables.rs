@@ -181,6 +181,26 @@ impl Tables {
             })
     }
 
+    /// Every virtual id the tables still reference: live chunks' primary
+    /// ids and replicas, plus any snapshot ids (snapshots can outlive a
+    /// chunk tombstone until `remove_file` sweeps them). The complement —
+    /// an id a provider holds that is *not* in this set — is an orphan.
+    pub fn referenced_vids(&self) -> std::collections::HashSet<VirtualId> {
+        let mut set = std::collections::HashSet::new();
+        for e in &self.chunks {
+            if !e.removed {
+                set.insert(e.vid);
+                for &(_, rv) in &e.replicas {
+                    set.insert(rv);
+                }
+            }
+            if let Some(sv) = e.snapshot_vid {
+                set.insert(sv);
+            }
+        }
+        set
+    }
+
     /// Renders the Cloud Provider Table like the paper's Table I.
     pub fn render_provider_table(&self) -> String {
         let mut out = String::from("Cloud Provider | PL | CL | Count | Virtual id list\n");

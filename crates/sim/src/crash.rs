@@ -1,0 +1,140 @@
+//! Deterministic crash injection for distributor mutation paths.
+//!
+//! §IV-C names the Cloud Data Distributor as the single point of failure.
+//! The recovery engine in `fragcloud-core` must therefore survive a
+//! distributor that dies at *any* instant inside `put_file`,
+//! `remove_file`, `repair` or a rebalance move. A [`CrashPlan`] makes
+//! those instants enumerable and reproducible: the distributor calls
+//! [`CrashPlan::note_point`] at every numbered crash point on its
+//! mutation paths, and the plan fires (returns `true`) exactly once, at
+//! the configured ordinal. The caller then aborts the operation with a
+//! simulated-crash error and never runs its cleanup — exactly what a
+//! process death would look like to the journal.
+//!
+//! Two modes:
+//!
+//! - [`CrashPlan::count_only`] never fires; a dry run of a workload
+//!   against it enumerates how many crash points the workload traverses
+//!   ([`CrashPlan::points_seen`]), which a crash-matrix test then sweeps
+//!   one ordinal at a time via [`CrashPlan::at_point`];
+//! - [`CrashPlan::seeded`] derives a pseudo-random ordinal from a seed,
+//!   for sampling-style harnesses and benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic schedule of one simulated distributor crash.
+///
+/// Thread-safe; the encounter counter is global across all operations the
+/// owning distributor executes, so the N-th crash point of a multi-op
+/// workload is well defined.
+#[derive(Debug)]
+pub struct CrashPlan {
+    /// 1-based ordinal of the crash-point encounter that fires; 0 never
+    /// fires (counting mode).
+    target: u64,
+    /// Crash-point encounters so far.
+    counter: AtomicU64,
+}
+
+impl CrashPlan {
+    /// A plan that never fires — used to dry-run a workload and count its
+    /// crash points via [`points_seen`](Self::points_seen).
+    pub fn count_only() -> Self {
+        CrashPlan {
+            target: 0,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan that fires at the `n`-th crash-point encounter (1-based).
+    /// `n == 0` never fires.
+    pub fn at_point(n: u64) -> Self {
+        CrashPlan {
+            target: n,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan whose firing ordinal is derived deterministically from
+    /// `seed`, uniform over `1..=max_points`. `max_points == 0` yields a
+    /// plan that never fires.
+    pub fn seeded(seed: u64, max_points: u64) -> Self {
+        if max_points == 0 {
+            return Self::count_only();
+        }
+        // SplitMix64 finalizer: enough mixing for a one-shot draw.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self::at_point(1 + z % max_points)
+    }
+
+    /// Records one crash-point encounter; returns `true` when this is the
+    /// encounter the plan is armed for (at most once per plan).
+    pub fn note_point(&self) -> bool {
+        let seen = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.target != 0 && seen == self.target
+    }
+
+    /// Crash-point encounters recorded so far.
+    pub fn points_seen(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// The ordinal this plan fires at (0 = never).
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_only_never_fires() {
+        let p = CrashPlan::count_only();
+        for _ in 0..100 {
+            assert!(!p.note_point());
+        }
+        assert_eq!(p.points_seen(), 100);
+    }
+
+    #[test]
+    fn fires_exactly_once_at_the_target() {
+        let p = CrashPlan::at_point(3);
+        assert!(!p.note_point());
+        assert!(!p.note_point());
+        assert!(p.note_point());
+        assert!(!p.note_point());
+        assert_eq!(p.points_seen(), 4);
+    }
+
+    #[test]
+    fn seeded_target_is_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = CrashPlan::seeded(seed, 17);
+            let b = CrashPlan::seeded(seed, 17);
+            assert_eq!(a.target(), b.target());
+            assert!((1..=17).contains(&a.target()));
+        }
+        assert_eq!(CrashPlan::seeded(9, 0).target(), 0);
+    }
+
+    #[test]
+    fn concurrent_notes_fire_once() {
+        use std::sync::Arc;
+        let p = Arc::new(CrashPlan::at_point(500));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                (0..250).filter(|_| p.note_point()).count()
+            }));
+        }
+        let fired: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(fired, 1);
+        assert_eq!(p.points_seen(), 1000);
+    }
+}

@@ -23,6 +23,7 @@
 //!   provider sees so the attack experiments (§III) can replay a malicious
 //!   employee or a compromise of `k` providers.
 
+pub mod crash;
 pub mod failure;
 pub mod net;
 pub mod observer;
@@ -31,6 +32,7 @@ pub mod reputation;
 pub mod store;
 pub mod types;
 
+pub use crash::CrashPlan;
 pub use provider::{CloudProvider, ProviderProfile};
 pub use store::{MemoryStore, ObjectStore, StoreError};
 pub use types::{CostLevel, PrivacyLevel, VirtualId};

@@ -118,16 +118,30 @@ impl CloudProvider {
 
     /// Makes every operation fail independently with probability `p`
     /// (seeded, so runs are reproducible); `p = 0` restores reliability.
-    ///
-    /// # Panics
-    /// Panics when `p` is outside `[0, 1]`.
-    pub fn set_flaky(&self, p: f64, seed: u64) {
-        assert!((0.0..=1.0).contains(&p), "failure probability out of range");
+    /// Rejects `p` outside `[0, 1]` — including NaN — with
+    /// [`StoreError::InvalidProbability`], leaving the current flakiness
+    /// untouched.
+    pub fn try_set_flaky(&self, p: f64, seed: u64) -> Result<(), StoreError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StoreError::InvalidProbability);
+        }
         *self.flakiness.lock() = if p > 0.0 {
             Some((p, StdRng::seed_from_u64(seed)))
         } else {
             None
         };
+        Ok(())
+    }
+
+    /// [`try_set_flaky`](Self::try_set_flaky) for test scripts that know
+    /// `p` is valid.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn set_flaky(&self, p: f64, seed: u64) {
+        self.try_set_flaky(p, seed)
+            // fraglint: allow(no-unwrap-in-lib) — documented panicking convenience form; try_set_flaky is the fallible variant.
+            .expect("failure probability out of range");
     }
 
     /// The provider's static profile.
@@ -405,6 +419,37 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn flaky_bad_probability_panics() {
         provider().set_flaky(1.5, 0);
+    }
+
+    #[test]
+    fn try_set_flaky_validates_probability() {
+        let p = provider();
+        p.put(VirtualId(1), Bytes::from_static(b"x")).unwrap();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                p.try_set_flaky(bad, 0).unwrap_err(),
+                StoreError::InvalidProbability,
+                "p={bad}"
+            );
+        }
+        // Rejected values leave the provider reliable.
+        for _ in 0..50 {
+            p.get(VirtualId(1)).unwrap();
+        }
+        // The bounds themselves are valid.
+        p.try_set_flaky(1.0, 7).unwrap();
+        assert!(matches!(
+            p.get(VirtualId(1)),
+            Err(StoreError::Unavailable { .. })
+        ));
+        // A rejected value does not clobber installed flakiness either.
+        assert!(p.try_set_flaky(2.0, 0).is_err());
+        assert!(matches!(
+            p.get(VirtualId(1)),
+            Err(StoreError::Unavailable { .. })
+        ));
+        p.try_set_flaky(0.0, 0).unwrap();
+        p.get(VirtualId(1)).unwrap();
     }
 
     #[test]

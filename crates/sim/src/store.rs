@@ -18,6 +18,9 @@ pub enum StoreError {
         /// Provider name, for diagnostics.
         provider: String,
     },
+    /// A fault-injection probability was outside `[0, 1]` (or not a
+    /// number at all).
+    InvalidProbability,
 }
 
 impl std::fmt::Display for StoreError {
@@ -26,6 +29,9 @@ impl std::fmt::Display for StoreError {
             StoreError::NotFound(id) => write!(f, "object {id} not found"),
             StoreError::Unavailable { provider } => {
                 write!(f, "provider {provider} is unavailable")
+            }
+            StoreError::InvalidProbability => {
+                write!(f, "failure probability out of range (want [0, 1])")
             }
         }
     }

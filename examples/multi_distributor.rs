@@ -24,7 +24,7 @@ fn main() {
         })
         .collect();
     let shared = Arc::new(CloudDataDistributor::new(fleet, DistributorConfig::default()));
-    let group = DistributorGroup::new(shared, 3);
+    let group = DistributorGroup::try_new(shared, 3).expect("non-empty group");
 
     // Alice's primary is distributor-0; Carol's is distributor-2.
     group.register_client(0, "Alice").expect("fresh");

@@ -54,10 +54,10 @@ pub use fragcloud_telemetry as telemetry;
 pub use fragcloud_workloads as workloads;
 
 pub use fragcloud_core::{
-    ChunkSizeSchedule, CloudDataDistributor, CoreError, Credentials, DistributorConfig,
-    GetReceipt, PlacementStrategy, PutOptions, PutReceipt, RepairReport, ResilienceConfig,
-    RetryPolicy, ScrubReport, Session,
+    recover, ChunkSizeSchedule, CloudDataDistributor, CoreError, Credentials, DistributorConfig,
+    GetReceipt, Journal, PlacementStrategy, PutOptions, PutReceipt, RecoveryReport, RepairReport,
+    ResilienceConfig, RetryPolicy, ScrubReport, Session,
 };
 pub use fragcloud_raid::RaidLevel;
-pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
+pub use fragcloud_sim::{CostLevel, CrashPlan, PrivacyLevel, VirtualId};
 pub use fragcloud_telemetry::TelemetryHandle;

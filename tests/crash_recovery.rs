@@ -1,0 +1,338 @@
+//! Crash-consistency matrix: for **every** deterministic crash point in a
+//! mixed workload — and for arbitrary proptest-generated workloads — kill
+//! the distributor mid-operation, rebuild it from the journal's checkpoint
+//! snapshot with [`recover`], and assert the recovery contract:
+//!
+//! 1. every acknowledged file reads back byte-identical;
+//! 2. a file whose put or remove crashed mid-flight is absent (puts roll
+//!    back, removes roll forward);
+//! 3. no provider holds an orphan object (every live key is
+//!    table-referenced);
+//! 4. the [`RecoveryReport`] totals match the journal's op statuses
+//!    exactly, with nothing unrecoverable;
+//! 5. the recovered distributor accepts new traffic.
+
+use fragcloud::core::journal::{OpKind, OpStatus};
+use fragcloud::sim::{CloudProvider, CostLevel, ObjectStore, ProviderProfile};
+use fragcloud::{
+    recover, ChunkSizeSchedule, CloudDataDistributor, CoreError, CrashPlan, DistributorConfig,
+    Journal, PrivacyLevel, PutOptions, RaidLevel, RecoveryReport,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const FLEET: usize = 8;
+
+fn config() -> DistributorConfig {
+    DistributorConfig {
+        chunk_sizes: ChunkSizeSchedule::uniform(512),
+        stripe_width: 3,
+        raid_level: RaidLevel::Raid5,
+        ..Default::default()
+    }
+}
+
+struct World {
+    fleet: Vec<Arc<CloudProvider>>,
+    journal: Arc<Journal>,
+    d: CloudDataDistributor,
+}
+
+fn world(plan: Arc<CrashPlan>) -> World {
+    let fleet: Vec<Arc<CloudProvider>> = (0..FLEET)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new((i % 4) as u8),
+            )))
+        })
+        .collect();
+    let d = CloudDataDistributor::new(fleet.clone(), config());
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let journal = Arc::new(Journal::new());
+    d.attach_journal(Arc::clone(&journal));
+    d.set_crash_plan(Some(plan));
+    World { fleet, journal, d }
+}
+
+fn body(len: usize, salt: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64).wrapping_mul(41).wrapping_add(salt * 13 + 7) % 251) as u8)
+        .collect()
+}
+
+/// Deletes the lowest-numbered live table-referenced object straight off
+/// its provider — the shard loss that makes the following repair real.
+/// Not a distributor op: it always completes (no crash points).
+fn damage(w: &World) {
+    let referenced = w.d.referenced_vids();
+    let mut pairs: Vec<_> = w
+        .fleet
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| p.virtual_id_list().into_iter().map(move |v| (v, i)))
+        .filter(|(v, _)| referenced.contains(v))
+        .collect();
+    pairs.sort();
+    if let Some(&(vid, provider)) = pairs.first() {
+        w.fleet[provider].delete(vid).unwrap();
+    }
+}
+
+/// Migrates chunk ⟨`filename`, 0⟩ to the first eligible provider. Ineligible
+/// targets (same provider is a committed no-op; anti-affinity rejections
+/// become aborted journal ops) are part of the exercise; only a simulated
+/// crash propagates.
+fn migrate_somewhere(w: &World, filename: &str) -> Result<(), CoreError> {
+    for target in 0..FLEET {
+        match w.d.migrate_chunk("c", "pw", filename, 0, target) {
+            Ok(()) => {}
+            Err(e @ CoreError::SimulatedCrash { .. }) => return Err(e),
+            Err(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// The fixed matrix workload: puts, a remove, induced shard loss + repair,
+/// migrations, and a final put. Every acknowledged mutation updates
+/// `acked`; the first simulated crash aborts the run.
+fn run_workload(w: &World, acked: &mut BTreeMap<String, Vec<u8>>) -> Result<(), CoreError> {
+    let s = w.d.session("c", "pw")?;
+
+    let f0 = body(5000, 1);
+    s.put_file("f0", &f0, PrivacyLevel::Low, PutOptions::new())?;
+    acked.insert("f0".into(), f0);
+
+    let f1 = body(3100, 2);
+    s.put_file("f1", &f1, PrivacyLevel::Moderate, PutOptions::new())?;
+    acked.insert("f1".into(), f1);
+
+    // A remove rolls FORWARD on crash: whether or not it was acknowledged,
+    // the file is gone after recovery.
+    let rm = s.remove_file("f0");
+    acked.remove("f0");
+    rm?;
+
+    let f2 = body(2048, 3);
+    s.put_file("f2", &f2, PrivacyLevel::Low, PutOptions::new())?;
+    acked.insert("f2".into(), f2);
+
+    damage(w);
+    w.d.try_repair()?;
+
+    migrate_somewhere(w, "f2")?;
+
+    let f3 = body(1300, 4);
+    s.put_file("f3", &f3, PrivacyLevel::Low, PutOptions::new())?;
+    acked.insert("f3".into(), f3);
+    Ok(())
+}
+
+/// Expected report totals, derived from the journal's op statuses *before*
+/// recovery runs: committed ops replay, dangling removes roll forward,
+/// every other dangling op rolls back (serial workloads never leave a
+/// dangling op's uploads checkpoint-referenced), aborted ops just count.
+fn expected_report(journal: &Journal) -> RecoveryReport {
+    let ops = journal.ops();
+    let mut want = RecoveryReport {
+        ops_seen: ops.len(),
+        ..Default::default()
+    };
+    for op in &ops {
+        match (op.status, op.kind) {
+            (OpStatus::Committed, _) => want.replayed += 1,
+            (OpStatus::Aborted, _) => want.aborted += 1,
+            (OpStatus::Dangling, OpKind::Remove) => want.rolled_forward += 1,
+            (OpStatus::Dangling, _) => want.rolled_back += 1,
+        }
+    }
+    want
+}
+
+/// Recovers the crashed world and asserts the full contract (see the
+/// module doc). `tag` labels assertion failures with the crash point.
+fn recover_and_check(w: &World, acked: &BTreeMap<String, Vec<u8>>, tag: &str) {
+    let want = expected_report(&w.journal);
+    let (d, report) = recover(Arc::clone(&w.journal), w.fleet.clone(), config())
+        .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+
+    assert_eq!(report.ops_seen, want.ops_seen, "{tag}: ops_seen");
+    assert_eq!(report.replayed, want.replayed, "{tag}: replayed");
+    assert_eq!(report.rolled_back, want.rolled_back, "{tag}: rolled_back");
+    assert_eq!(
+        report.rolled_forward, want.rolled_forward,
+        "{tag}: rolled_forward"
+    );
+    assert_eq!(report.aborted, want.aborted, "{tag}: aborted");
+    assert_eq!(report.unrecoverable, 0, "{tag}: unrecoverable");
+
+    // Acked files read back byte-identical; everything else is absent.
+    let s = d.session("c", "pw").unwrap();
+    for (name, data) in acked {
+        let got = s
+            .get_file(name)
+            .unwrap_or_else(|e| panic!("{tag}: acked file {name} unreadable: {e}"));
+        assert_eq!(&got.data, data, "{tag}: {name} bytes");
+    }
+    for name in ["f0", "f1", "f2", "f3"] {
+        if !acked.contains_key(name) {
+            assert!(
+                s.get_file(name).is_err(),
+                "{tag}: {name} should be absent (crashed put rolls back, crashed remove rolls forward)"
+            );
+        }
+    }
+
+    // Zero orphans: every object any provider still holds is referenced by
+    // the recovered tables (the sim observer's view of live keys).
+    let referenced = d.referenced_vids();
+    for (i, p) in w.fleet.iter().enumerate() {
+        for vid in p.virtual_id_list() {
+            assert!(
+                referenced.contains(&vid),
+                "{tag}: orphan {vid} on provider {i}"
+            );
+        }
+    }
+
+    // The journal is settled (recovery closed every dangling op and
+    // compacted) and the distributor takes new, journaled traffic.
+    assert!(w.journal.ops().is_empty(), "{tag}: journal not settled");
+    let post = body(700, 9);
+    s.put_file("post", &post, PrivacyLevel::Low, PutOptions::new())
+        .unwrap_or_else(|e| panic!("{tag}: post-recovery put failed: {e}"));
+    assert_eq!(s.get_file("post").unwrap().data, post, "{tag}: post bytes");
+    assert_eq!(w.journal.ops().len(), 1, "{tag}: post-recovery op journaled");
+}
+
+#[test]
+fn crash_matrix_every_point_recovers() {
+    // Dry run enumerates the crash surface.
+    let counter = Arc::new(CrashPlan::count_only());
+    let w = world(Arc::clone(&counter));
+    let mut acked = BTreeMap::new();
+    run_workload(&w, &mut acked).expect("dry run must not crash");
+    let points = counter.points_seen();
+    assert!(points >= 20, "crash surface too small: {points} points");
+
+    // Kill the distributor at every single point and recover.
+    for k in 1..=points {
+        let plan = Arc::new(CrashPlan::at_point(k));
+        let w = world(Arc::clone(&plan));
+        let mut acked = BTreeMap::new();
+        match run_workload(&w, &mut acked) {
+            Err(CoreError::SimulatedCrash { point }) => assert_eq!(point, k),
+            other => panic!("point {k}: expected a crash, got {other:?}"),
+        }
+        recover_and_check(&w, &acked, &format!("point {k}"));
+    }
+}
+
+#[test]
+fn journal_survives_a_quiet_workload() {
+    // No crash: every op commits, the journal compacts down to nothing at
+    // recovery, and the report is all replays/aborts.
+    let w = world(Arc::new(CrashPlan::count_only()));
+    let mut acked = BTreeMap::new();
+    run_workload(&w, &mut acked).unwrap();
+    recover_and_check(&w, &acked, "no crash");
+}
+
+/// One step of a generated workload.
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u8, usize),
+    Remove(u8),
+    /// Shard loss immediately followed by repair, so un-crashed runs never
+    /// accumulate more missing shards per stripe than RAID-5 tolerates.
+    DamageAndRepair,
+    Migrate(u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u8..4, 300usize..4000).prop_map(|(i, len)| Step::Put(i, len)),
+        2 => (0u8..4).prop_map(Step::Remove),
+        1 => Just(Step::DamageAndRepair),
+        1 => (0u8..4).prop_map(Step::Migrate),
+    ]
+}
+
+fn apply_steps(
+    w: &World,
+    steps: &[Step],
+    acked: &mut BTreeMap<String, Vec<u8>>,
+) -> Result<(), CoreError> {
+    let s = w.d.session("c", "pw")?;
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Put(idx, len) => {
+                let name = format!("f{idx}");
+                let data = body(*len, i as u64 + 1);
+                // Duplicate names abort inside the journaled body — a
+                // legitimate aborted op, not an ack.
+                match s.put_file(&name, &data, PrivacyLevel::Low, PutOptions::new()) {
+                    Ok(_) => {
+                        acked.insert(name, data);
+                    }
+                    Err(e @ CoreError::SimulatedCrash { .. }) => return Err(e),
+                    Err(_) => {}
+                }
+            }
+            Step::Remove(idx) => {
+                let name = format!("f{idx}");
+                match s.remove_file(&name) {
+                    Ok(()) => {
+                        acked.remove(&name);
+                    }
+                    // A crashed remove still rolls forward at recovery.
+                    Err(e @ CoreError::SimulatedCrash { .. }) => {
+                        acked.remove(&name);
+                        return Err(e);
+                    }
+                    Err(_) => {}
+                }
+            }
+            Step::DamageAndRepair => {
+                damage(w);
+                w.d.try_repair()?;
+            }
+            Step::Migrate(idx) => migrate_somewhere(w, &format!("f{idx}"))?,
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The recovery contract holds for arbitrary workloads crashed at an
+    /// arbitrary point of their crash surface.
+    #[test]
+    fn arbitrary_workloads_recover_at_any_point(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+        point_sel in 0u64..10_000,
+    ) {
+        // Dry run to size this workload's crash surface.
+        let counter = Arc::new(CrashPlan::count_only());
+        let dry = world(Arc::clone(&counter));
+        let mut dry_acked = BTreeMap::new();
+        apply_steps(&dry, &steps, &mut dry_acked).expect("dry run must not crash");
+        let points = counter.points_seen();
+        prop_assume!(points > 0);
+
+        let k = 1 + point_sel % points;
+        let plan = Arc::new(CrashPlan::at_point(k));
+        let w = world(Arc::clone(&plan));
+        let mut acked = BTreeMap::new();
+        match apply_steps(&w, &steps, &mut acked) {
+            Err(CoreError::SimulatedCrash { point }) => prop_assert_eq!(point, k),
+            other => prop_assert!(false, "expected a crash at {}, got {:?}", k, other),
+        }
+        recover_and_check(&w, &acked, &format!("proptest point {k}"));
+    }
+}
