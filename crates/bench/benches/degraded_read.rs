@@ -21,7 +21,8 @@ fn make_distributor(level: RaidLevel) -> CloudDataDistributor {
         },
     );
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client");
     d
 }
 

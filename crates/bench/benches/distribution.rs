@@ -19,7 +19,8 @@ fn make_distributor(n: usize, level: RaidLevel) -> CloudDataDistributor {
         },
     );
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client");
     d
 }
 
@@ -61,9 +62,10 @@ fn bench_get(c: &mut Criterion) {
             .put_file("f", &body, PrivacyLevel::Low, PutOptions::new())
             .expect("upload");
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(BenchmarkId::new("raid5", format!("{}KiB", size >> 10)), |b| {
-            b.iter(|| session.get_file("f").expect("retrieve"))
-        });
+        group.bench_function(
+            BenchmarkId::new("raid5", format!("{}KiB", size >> 10)),
+            |b| b.iter(|| session.get_file("f").expect("retrieve")),
+        );
     }
     group.finish();
 }

@@ -45,9 +45,11 @@ fn bench_mechanisms(c: &mut Criterion) {
         );
 
         // Plain fragmentation: parse + fit only.
-        group.bench_with_input(BenchmarkId::new("plaintext_query", rows), &plain, |b, pt| {
-            b.iter(|| query(pt))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("plaintext_query", rows),
+            &plain,
+            |b, pt| b.iter(|| query(pt)),
+        );
 
         // Partial encryption: decrypt a quarter, then parse + fit.
         let range = ByteRange::new(plain.len() - plain.len() / 4, plain.len());

@@ -38,8 +38,7 @@ fn bench_hclust(c: &mut Criterion) {
         let feats = gps::user_features(&corpus, 12, obs);
         group.bench_with_input(BenchmarkId::from_parameter(label), &feats, |b, f| {
             b.iter(|| {
-                let dm = DistanceMatrix::compute(f, correlation_distance)
-                    .expect("non-empty");
+                let dm = DistanceMatrix::compute(f, correlation_distance).expect("non-empty");
                 cluster(&dm, Linkage::Average).expect("clusters")
             })
         });

@@ -22,13 +22,15 @@ fn make_distributor(pipelined: bool) -> CloudDataDistributor {
             stripe_width: 4,
             raid_level: RaidLevel::Raid6,
             mislead_rate: 0.08,
-            transfer_workers: 4,
-            pipelined_put: pipelined,
+            durability: fragcloud_core::DurabilityConfig::default()
+                .with_transfer_workers(4)
+                .with_pipelined_put(pipelined),
             ..Default::default()
         },
     );
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client");
     d
 }
 

@@ -7,7 +7,11 @@ use fragcloud_raid::{raid5, raid6, RaidLevel, StripeCodec};
 
 fn shards(k: usize, width: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..width).map(|b| ((i * 37 + b * 11) % 256) as u8).collect())
+        .map(|i| {
+            (0..width)
+                .map(|b| ((i * 37 + b * 11) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -72,9 +76,7 @@ fn bench_gf256(c: &mut Criterion) {
     let data = vec![0xABu8; 1 << 20];
     let mut acc = vec![0u8; 1 << 20];
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("1MiB", |b| {
-        b.iter(|| gf256::mul_acc(&mut acc, &data, 0x57))
-    });
+    group.bench_function("1MiB", |b| b.iter(|| gf256::mul_acc(&mut acc, &data, 0x57)));
     group.finish();
 }
 

@@ -17,7 +17,10 @@ use fragcloud_telemetry::RegistrySnapshot;
 
 const NAMES: &[(&str, &str)] = &[
     ("fig3", "E1: Tables I-III + Fig. 3 walkthrough"),
-    ("table4", "E2: Table IV regression attack, full vs fragments"),
+    (
+        "table4",
+        "E2: Table IV regression attack, full vs fragments",
+    ),
     ("fig456", "E3: Figs. 4-6 GPS clustering dendrograms"),
     ("disttime", "E4: distribution/retrieval time sweep"),
     ("chunksize", "E6: chunk size vs mining success"),
@@ -30,11 +33,26 @@ const NAMES: &[(&str, &str)] = &[
     ("classify", "E13: prediction attacks vs fragment fraction"),
     ("cost", "E14: storage-cost comparison"),
     ("ablation", "E15: redundancy ablation"),
-    ("rules", "E16: Apriori rule recall vs k compromised providers"),
-    ("segmentation", "E17: customer-segmentation attack vs fragment fraction"),
-    ("degraded", "E18: degraded-mode availability vs provider failure rate"),
-    ("put_throughput", "E19: put-path throughput, serial vs pipelined upload"),
-    ("recovery", "E20: journaling overhead + crash/recover replay"),
+    (
+        "rules",
+        "E16: Apriori rule recall vs k compromised providers",
+    ),
+    (
+        "segmentation",
+        "E17: customer-segmentation attack vs fragment fraction",
+    ),
+    (
+        "degraded",
+        "E18: degraded-mode availability vs provider failure rate",
+    ),
+    (
+        "put_throughput",
+        "E19: put-path throughput, serial vs pipelined upload",
+    ),
+    (
+        "recovery",
+        "E20: journaling overhead + crash/recover replay",
+    ),
 ];
 
 fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
@@ -84,7 +102,9 @@ fn run_and_export(name: &str) -> Option<String> {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
     match arg.as_str() {
         "list" => {
             println!("available experiments:");

@@ -58,12 +58,18 @@ fn build(raid: RaidLevel, replicas: usize) -> (CloudDataDistributor, f64, Vec<u8
         },
     );
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client");
     let body = files::random_file(256 << 10, 0xAB1A);
     let receipt = d
         .session("c", "p")
         .expect("valid pair")
-        .put_file("f", &body, PrivacyLevel::Low, PutOptions::new().replicas(replicas))
+        .put_file(
+            "f",
+            &body,
+            PrivacyLevel::Low,
+            PutOptions::new().replicas(replicas),
+        )
         .expect("upload");
     let overhead = receipt.bytes_stored as f64 / body.len() as f64;
     (d, overhead, body)
@@ -129,7 +135,11 @@ pub fn run() -> (Vec<AblationPoint>, String) {
           survival = fraction of single-provider outages the file survives)\n\n",
     );
     report.push_str(&render_table(
-        &["configuration", "storage overhead", "single-outage survival"],
+        &[
+            "configuration",
+            "storage overhead",
+            "single-outage survival",
+        ],
         &rows,
     ));
     report.push_str(

@@ -64,7 +64,12 @@ fn upload(placement: PlacementStrategy) -> (CloudDataDistributor, Vec<u8>, [f64;
         .expect("client exists");
     d.session("victim", "pw")
         .expect("valid pair")
-        .put_file("ledger.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "ledger.csv",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload");
     (d, bytes, cfg.slopes)
 }
@@ -178,7 +183,14 @@ pub fn run() -> (Vec<AttackerPoint>, String) {
          (600-row ledger, 2 KiB chunks, per-chunk scavenging regression attack)\n\n",
     );
     report.push_str(&render_table(
-        &["architecture", "k", "byte exposure", "rows seen", "fit ok", "slope rel err"],
+        &[
+            "architecture",
+            "k",
+            "byte exposure",
+            "rows seen",
+            "fit ok",
+            "slope rel err",
+        ],
         &rows_render,
     ));
     report.push_str(

@@ -29,26 +29,16 @@ pub fn run() -> (Vec<AvailabilityPoint>, String) {
     let mut points = Vec::new();
     for (i, &p) in ps.iter().enumerate() {
         let seed = 0xA11 + i as u64;
-        let single = estimate_availability(
-            &AvailabilityModel::uniform(1, p),
-            TRIALS,
-            seed,
-            |up| up[0],
-        )
+        let single =
+            estimate_availability(&AvailabilityModel::uniform(1, p), TRIALS, seed, |up| up[0])
+                .availability;
+        let raid5 = estimate_availability(&AvailabilityModel::uniform(5, p), TRIALS, seed, |up| {
+            up.iter().filter(|&&u| u).count() >= 4
+        })
         .availability;
-        let raid5 = estimate_availability(
-            &AvailabilityModel::uniform(5, p),
-            TRIALS,
-            seed,
-            |up| up.iter().filter(|&&u| u).count() >= 4,
-        )
-        .availability;
-        let raid6 = estimate_availability(
-            &AvailabilityModel::uniform(6, p),
-            TRIALS,
-            seed,
-            |up| up.iter().filter(|&&u| u).count() >= 4,
-        )
+        let raid6 = estimate_availability(&AvailabilityModel::uniform(6, p), TRIALS, seed, |up| {
+            up.iter().filter(|&&u| u).count() >= 4
+        })
         .availability;
         points.push(AvailabilityPoint {
             p,
@@ -85,7 +75,13 @@ pub fn run() -> (Vec<AvailabilityPoint>, String) {
          geometries: single provider | RAID-5 4+1 | RAID-6 4+2\n\n",
     );
     report.push_str(&render_table(
-        &["prov avail", "single", "raid5(4+1)", "raid6(4+2)", "analytic s/r5/r6"],
+        &[
+            "prov avail",
+            "single",
+            "raid5(4+1)",
+            "raid6(4+2)",
+            "analytic s/r5/r6",
+        ],
         &rows,
     ));
     report.push_str(

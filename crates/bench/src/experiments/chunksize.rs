@@ -118,7 +118,13 @@ pub fn run() -> (Vec<ChunkSizePoint>, String) {
          (400-row bidding history, truth Bid = 1.4*M + 1.5*P + 3.1*Mn + 5436 + noise)\n\n",
     );
     report.push_str(&render_table(
-        &["chunk bytes", "chunks", "rows/chunk", "fit success", "slope rel err"],
+        &[
+            "chunk bytes",
+            "chunks",
+            "rows/chunk",
+            "fit success",
+            "slope rel err",
+        ],
         &rows,
     ));
     report.push_str(
@@ -138,7 +144,7 @@ mod tests {
         let (points, report) = run();
         let first = points.first().expect("sweep non-empty"); // 16 KiB
         let last = points.last().expect("sweep non-empty"); // 128 B
-        // Large chunks: attack works on nearly every chunk.
+                                                            // Large chunks: attack works on nearly every chunk.
         assert!(first.fit_success > 0.9, "{first:?}");
         assert!(first.mean_slope_err < 0.3, "{first:?}");
         // Tiny chunks: attack fails everywhere.

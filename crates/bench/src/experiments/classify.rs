@@ -105,7 +105,13 @@ pub fn run() -> (Vec<ClassifyPoint>, String) {
           tested on 500 held-out records; majority class ~0.5-0.6)\n\n",
     );
     report.push_str(&render_table(
-        &["fraction", "train rows", "naive Bayes", "decision tree", "kNN(5)"],
+        &[
+            "fraction",
+            "train rows",
+            "naive Bayes",
+            "decision tree",
+            "kNN(5)",
+        ],
         &rows_render,
     ));
     report.push_str(

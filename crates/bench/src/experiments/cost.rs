@@ -42,7 +42,8 @@ const CORPUS: [(PrivacyLevel, usize); 4] = [
 
 fn upload_corpus(d: &CloudDataDistributor) {
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client");
     let session = d.session("c", "p").expect("valid pair");
     for (i, (pl, mib)) in CORPUS.iter().enumerate() {
         let body = files::random_file(mib << 20, i as u64);

@@ -50,7 +50,8 @@ fn trial(level: RaidLevel, dead: &[bool], tel: &TelemetryHandle) -> (bool, bool)
     );
     d.set_telemetry(tel.clone());
     d.register_client("c").expect("fresh");
-    d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+    d.add_password("c", "pw", PrivacyLevel::High)
+        .expect("client");
     let session = d.session("c", "pw").expect("valid pair");
     let data: Vec<u8> = (0..FILE_LEN).map(|i| ((i * 37) % 251) as u8).collect();
     session

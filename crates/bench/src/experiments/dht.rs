@@ -72,7 +72,13 @@ pub fn run() -> (Vec<DhtPoint>, String) {
         .collect();
     let mut report = String::from("E10 / §IV-C — Chord client-side distributor\n\n");
     report.push_str(&render_table(
-        &["nodes", "mean hops", "max hops", "remap on leave", "ideal 1/n"],
+        &[
+            "nodes",
+            "mean hops",
+            "max hops",
+            "remap on leave",
+            "ideal 1/n",
+        ],
         &rows,
     ));
 

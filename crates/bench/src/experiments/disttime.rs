@@ -56,7 +56,8 @@ pub fn run() -> (Vec<DistTimePoint>, String) {
                     },
                 );
                 d.register_client("c").expect("fresh");
-                d.add_password("c", "p", PrivacyLevel::High).expect("client exists");
+                d.add_password("c", "p", PrivacyLevel::High)
+                    .expect("client exists");
                 let body = files::random_file(size, size as u64);
 
                 let t0 = Instant::now();
@@ -102,8 +103,14 @@ pub fn run() -> (Vec<DistTimePoint>, String) {
         String::from("E4 — distribution/retrieval time sweep (simulated LAN providers)\n\n");
     report.push_str(&render_table(
         &[
-            "file", "prov", "raid", "put wall(us)", "put sim(us)", "get wall(us)",
-            "get sim(us)", "overhead",
+            "file",
+            "prov",
+            "raid",
+            "put wall(us)",
+            "put sim(us)",
+            "get wall(us)",
+            "get sim(us)",
+            "overhead",
         ],
         &rows,
     ));
@@ -121,19 +128,32 @@ pub fn run() -> (Vec<DistTimePoint>, String) {
         .expect("client exists");
     let body = files::random_file(1 << 20, 42);
     group
-        .put_file(0, "c", "p", "f", &body, PrivacyLevel::Low, PutOptions::default())
+        .put_file(
+            0,
+            "c",
+            "p",
+            "f",
+            &body,
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
         .expect("upload via primary");
     let mut mrows = Vec::new();
     for via in 0..3 {
         let t = Instant::now();
-        let r = group.get_file(via, "c", "p", "f").expect("read via any node");
+        let r = group
+            .get_file(via, "c", "p", "f")
+            .expect("read via any node");
         mrows.push(vec![
             group.node_name(via).to_string(),
             t.elapsed().as_micros().to_string(),
             r.sim_time.as_micros().to_string(),
         ]);
     }
-    report.push_str(&render_table(&["node", "get wall(us)", "get sim(us)"], &mrows));
+    report.push_str(&render_table(
+        &["node", "get wall(us)", "get sim(us)"],
+        &mrows,
+    ));
 
     (points, report)
 }

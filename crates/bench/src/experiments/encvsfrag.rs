@@ -19,12 +19,12 @@
 
 use super::uniform_fleet;
 use crate::{fnum, render_table};
+use bytes::Bytes;
 use fragcloud_core::chunker;
 use fragcloud_core::config::ChunkSizeSchedule;
 use fragcloud_crypto::ChaCha20;
 use fragcloud_mining::regression::RegressionModel;
 use fragcloud_mining::Dataset;
-use bytes::Bytes;
 use fragcloud_sim::net::SimClock;
 use fragcloud_sim::{ObjectStore, PrivacyLevel, VirtualId};
 use fragcloud_workloads::bidding::{self, BiddingConfig, PREDICTORS, RESPONSE};

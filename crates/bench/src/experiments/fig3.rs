@@ -60,7 +60,12 @@ pub fn run() -> (Fig3Result, String) {
     distributor
         .session("Bob", "Ty7e")
         .expect("valid pair")
-        .put_file("file2", &[7u8; 40], PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "file2",
+            &[7u8; 40],
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload file2");
     distributor
         .session("Roy", "eV2t")
@@ -86,7 +91,9 @@ pub fn run() -> (Fig3Result, String) {
     report.push_str(&distributor.render_tables());
     report.push_str("\nrequest (Bob, x9pr, file1, 0): GRANTED, ");
     report.push_str(&format!("{} bytes returned\n", authorized_chunk.len()));
-    report.push_str(&format!("request (Bob, aB1c, file1, 0): DENIED ({denied})\n"));
+    report.push_str(&format!(
+        "request (Bob, aB1c, file1, 0): DENIED ({denied})\n"
+    ));
 
     (
         Fig3Result {

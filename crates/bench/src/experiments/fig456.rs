@@ -31,8 +31,7 @@ pub struct Fig456Result {
 }
 
 fn tree_for(features: &[Vec<f64>]) -> Dendrogram {
-    let dm = DistanceMatrix::compute(features, correlation_distance)
-        .expect("non-empty features");
+    let dm = DistanceMatrix::compute(features, correlation_distance).expect("non-empty features");
     cluster(&dm, Linkage::Average).expect("non-empty matrix")
 }
 
@@ -160,10 +159,7 @@ mod tests {
             sum_full += adjusted_rand_index(&truth, &full);
             sum_frag += adjusted_rand_index(&truth, &frag);
         }
-        let (ari_full, ari_frag) = (
-            sum_full / seeds.len() as f64,
-            sum_frag / seeds.len() as f64,
-        );
+        let (ari_full, ari_frag) = (sum_full / seeds.len() as f64, sum_frag / seeds.len() as f64);
         assert!(
             ari_full >= ari_frag - 0.05,
             "mean full {ari_full} vs mean fragment {ari_frag}"

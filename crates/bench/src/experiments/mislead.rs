@@ -50,11 +50,8 @@ pub fn run() -> (Vec<MisleadPoint>, String) {
         let rows = records::scavenge_rows(&stored, COLUMNS.len());
         let scavenged_rows = rows.len();
         let (fit_succeeded, slope_err) = if rows.len() >= 5 {
-            let ds = Dataset::from_rows(
-                COLUMNS.iter().map(|s| s.to_string()).collect(),
-                rows,
-            )
-            .expect("width checked by scavenger");
+            let ds = Dataset::from_rows(COLUMNS.iter().map(|s| s.to_string()).collect(), rows)
+                .expect("width checked by scavenger");
             match RegressionModel::fit(&ds, &PREDICTORS, RESPONSE) {
                 Ok(m) => {
                     let err = m
@@ -108,7 +105,13 @@ pub fn run() -> (Vec<MisleadPoint>, String) {
          (300-row bidding history; attacker mines stored bytes, client strips)\n\n",
     );
     report.push_str(&render_table(
-        &["rate", "rows scavenged", "fit ok", "slope rel err", "strip us/MiB"],
+        &[
+            "rate",
+            "rows scavenged",
+            "fit ok",
+            "slope rel err",
+            "strip us/MiB",
+        ],
         &rows,
     ));
     report.push_str(

@@ -33,7 +33,8 @@ pub fn run() -> (PolicyAudit, String) {
     };
     let d = CloudDataDistributor::new(fleet.clone(), config);
     d.register_client("c").expect("fresh");
-    d.add_password("c", "p", PrivacyLevel::High).expect("client exists");
+    d.add_password("c", "p", PrivacyLevel::High)
+        .expect("client exists");
 
     let mut chunks_per_pl = [0usize; 4];
     for (i, pl) in PrivacyLevel::ALL.into_iter().enumerate() {
@@ -54,7 +55,8 @@ pub fn run() -> (PolicyAudit, String) {
         let fleet = fig3_fleet();
         let d = CloudDataDistributor::new(fleet.clone(), config);
         d.register_client("c").expect("fresh");
-        d.add_password("c", "p", PrivacyLevel::High).expect("client exists");
+        d.add_password("c", "p", PrivacyLevel::High)
+            .expect("client exists");
         let body = files::random_file(64 << 10, fi as u64);
         d.session("c", "p")
             .expect("valid pair")

@@ -42,8 +42,9 @@ fn config(pipelined: bool) -> DistributorConfig {
         stripe_width: 4,
         raid_level: RaidLevel::Raid6,
         mislead_rate: 0.08,
-        transfer_workers: 4,
-        pipelined_put: pipelined,
+        durability: fragcloud_core::DurabilityConfig::default()
+            .with_transfer_workers(4)
+            .with_pipelined_put(pipelined),
         ..Default::default()
     }
 }
@@ -56,7 +57,8 @@ fn measure(pipelined: bool, body: &[u8], tel: &TelemetryHandle) -> PutThroughput
         let d = CloudDataDistributor::new(uniform_fleet(FLEET), config(pipelined));
         d.set_telemetry(tel.clone());
         d.register_client("c").expect("fresh");
-        d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+        d.add_password("c", "pw", PrivacyLevel::High)
+            .expect("client");
         let session = d.session("c", "pw").expect("valid pair");
         let start = Instant::now();
         session

@@ -1,11 +1,15 @@
 //! E20 — crash recovery: write-ahead journaling overhead on the put path,
 //! and journal-replay recovery after a deterministic mid-operation crash.
 //!
-//! Two questions the durability layer must answer with numbers:
+//! Three questions the durability layer must answer with numbers:
 //!
 //! 1. what does intent logging cost a healthy put path? (journaling-on vs
-//!    journaling-off wall clock over the same upload series), and
-//! 2. what does a restart cost? (a [`CrashPlan`] kills the distributor
+//!    journaling-off wall clock over the same upload series),
+//! 2. what does it cost under *contention*? (eight concurrent clients
+//!    hammering a sharded-table distributor whose journal flushes through
+//!    a [`SimulatedFsyncSink`] — group commit should amortize the fsync
+//!    price across the batch, keeping the ratio near 1), and
+//! 3. what does a restart cost? (a [`CrashPlan`] kills the distributor
 //!    two-thirds of the way through its crash surface — mid-upload, with
 //!    shards already on providers — and [`recover_with`] rebuilds from
 //!    the checkpoint, rolls the dangling op back and garbage-collects the
@@ -14,15 +18,37 @@
 use super::uniform_fleet;
 use crate::render_table;
 use fragcloud_core::config::{ChunkSizeSchedule, DistributorConfig};
-use fragcloud_core::{recover_with, CloudDataDistributor, CoreError, Journal};
+use fragcloud_core::{recover_with, CloudDataDistributor, CoreError, Journal, SimulatedFsyncSink};
 use fragcloud_sim::{CrashPlan, PrivacyLevel};
 use fragcloud_telemetry::TelemetryHandle;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const FLEET: usize = 8;
 const OVERHEAD_PUTS: usize = 24;
 const FILE_LEN: usize = 48_000;
+/// Threads in the concurrent-clients axis.
+const CONCURRENT_CLIENTS: usize = 8;
+/// Puts per client in the concurrent-clients axis.
+const CONCURRENT_PUTS: usize = 6;
+/// Base file length in the concurrent-clients axis — heavier than the
+/// serial pair so the commit arrival rate stays below the flush service
+/// rate (the regime group commit is built for; at saturation every put
+/// would queue behind the fsync no matter how commits are batched). Each
+/// client adds a per-client increment so the threads do not march in
+/// lockstep and convoy on the flush lock.
+const CONCURRENT_FILE_LEN: usize = 72_000;
+
+/// Per-client file-length spread in the concurrent axis.
+const CONCURRENT_FILE_STEP: usize = 6_000;
+/// Simulated cost of one journal flush (fsync) in the concurrent axis.
+/// Group commit should pay this once per *batch*, not once per put.
+const SIM_FSYNC: Duration = Duration::from_micros(150);
+/// Group-commit linger in the concurrent axis. Short on purpose: commits
+/// arriving *during* a flush pile into the next batch anyway, so a long
+/// linger only adds latency; the window exists to catch near-simultaneous
+/// commits that would otherwise each pay a full flush.
+const COMMIT_WINDOW: Duration = Duration::ZERO;
 
 /// One crash/recover measurement.
 #[derive(Debug, Clone)]
@@ -54,6 +80,15 @@ pub struct RecoveryResults {
     pub journaled_put_us: u128,
     /// `journaled / plain` (1.0 = free).
     pub overhead_ratio: f64,
+    /// Wall micros for the concurrent series without a journal attached.
+    pub concurrent_plain_put_us: u128,
+    /// Wall micros for the same concurrent series with group-commit
+    /// journaling through a priced fsync sink.
+    pub concurrent_journaled_put_us: u128,
+    /// `journaled / plain` at the concurrent point (1.0 = free).
+    pub concurrent_overhead_ratio: f64,
+    /// Threads the concurrent axis ran with.
+    pub concurrent_clients: usize,
     /// Crash/recover measurements at growing workload sizes.
     pub points: Vec<RecoveryPoint>,
 }
@@ -66,13 +101,42 @@ fn config() -> DistributorConfig {
     }
 }
 
+/// The serial config with heavier chunks (the files are 2x larger) plus
+/// the contention knobs: sharded tables and a long checkpoint interval
+/// (compaction off the hot path).
+fn concurrent_config() -> DistributorConfig {
+    let mut cfg = config();
+    cfg.chunk_sizes = ChunkSizeSchedule::uniform(4096);
+    cfg.durability = cfg
+        .durability
+        .with_table_shards(8)
+        .with_checkpoint_interval(64)
+        .with_group_commit_window(COMMIT_WINDOW);
+    cfg
+}
+
 fn world(tel: &TelemetryHandle) -> (CloudDataDistributor, Vec<Arc<fragcloud_sim::CloudProvider>>) {
     let fleet = uniform_fleet(FLEET);
     let d = CloudDataDistributor::new(fleet.clone(), config());
     d.set_telemetry(tel.clone());
     d.register_client("c").expect("fresh");
-    d.add_password("c", "pw", PrivacyLevel::High).expect("client");
+    d.add_password("c", "pw", PrivacyLevel::High)
+        .expect("client");
     (d, fleet)
+}
+
+/// A sharded-table world with one registered client per concurrent thread.
+fn concurrent_world(tel: &TelemetryHandle) -> CloudDataDistributor {
+    let fleet = uniform_fleet(FLEET);
+    let d = CloudDataDistributor::new(fleet, concurrent_config());
+    d.set_telemetry(tel.clone());
+    for c in 0..CONCURRENT_CLIENTS {
+        let name = format!("c{c}");
+        d.register_client(&name).expect("fresh");
+        d.add_password(&name, "pw", PrivacyLevel::High)
+            .expect("client");
+    }
+    d
 }
 
 fn body(len: usize, salt: u64) -> Vec<u8> {
@@ -93,6 +157,34 @@ fn put_series(d: &CloudDataDistributor, n: usize) -> Result<(), CoreError> {
         )?;
     }
     Ok(())
+}
+
+/// Eight threads (one session each) uploading in parallel; returns the
+/// wall clock for the whole fan-out.
+fn concurrent_put_series(d: &CloudDataDistributor) -> u128 {
+    let t = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for c in 0..CONCURRENT_CLIENTS {
+            scope.spawn(move |_| {
+                let name = format!("c{c}");
+                let s = d.session(&name, "pw").expect("registered");
+                for i in 0..CONCURRENT_PUTS {
+                    s.put_file(
+                        &format!("f{c}_{i}"),
+                        &body(
+                            CONCURRENT_FILE_LEN + c * CONCURRENT_FILE_STEP,
+                            (c * 100 + i) as u64,
+                        ),
+                        PrivacyLevel::Low,
+                        Default::default(),
+                    )
+                    .expect("no crash plan installed");
+                }
+            });
+        }
+    })
+    .expect("no upload thread panicked");
+    t.elapsed().as_micros()
 }
 
 /// Runs the overhead comparison and the crash/recover sweep.
@@ -123,7 +215,23 @@ fn run_with(tel: &TelemetryHandle) -> (RecoveryResults, String) {
     let journaled_put_us = t.elapsed().as_micros();
     let overhead_ratio = journaled_put_us as f64 / plain_put_us.max(1) as f64;
 
-    // 2. Crash mid-upload at two-thirds of the crash surface, recover,
+    // 2. Concurrent-clients axis: the same comparison with eight sessions
+    // putting in parallel against sharded tables, and the journal flushing
+    // through a priced fsync sink. Group commit batches the in-flight
+    // commits into one flush window, so the simulated fsync cost is paid
+    // per batch rather than per put.
+    let plain_c = concurrent_world(tel);
+    let concurrent_plain_put_us = concurrent_put_series(&plain_c);
+
+    let journaled_c = concurrent_world(tel);
+    let journal = Arc::new(Journal::new());
+    journal.set_sink(Arc::new(SimulatedFsyncSink { cost: SIM_FSYNC }));
+    journaled_c.attach_journal(journal);
+    let concurrent_journaled_put_us = concurrent_put_series(&journaled_c);
+    let concurrent_overhead_ratio =
+        concurrent_journaled_put_us as f64 / concurrent_plain_put_us.max(1) as f64;
+
+    // 3. Crash mid-upload at two-thirds of the crash surface, recover,
     // and time the rebuild. Deterministic: same workload, same point.
     let mut points = Vec::new();
     for files in [2usize, 4, 8] {
@@ -180,16 +288,30 @@ fn run_with(tel: &TelemetryHandle) -> (RecoveryResults, String) {
          ({FLEET} providers, {OVERHEAD_PUTS} x {FILE_LEN}-byte puts for the overhead pair;\n\
          crash at 2/3 of the workload's deterministic crash surface)\n\n\
          put series wall clock: plain {plain_put_us} us, journaled {journaled_put_us} us\n\
-         journaling overhead: {overhead_ratio:.2}x\n\n"
+         journaling overhead: {overhead_ratio:.2}x\n\n\
+         concurrent axis: {CONCURRENT_CLIENTS} clients x {CONCURRENT_PUTS} puts of {CONCURRENT_FILE_LEN}+ bytes, sharded tables,\n\
+         group-commit window {} us, simulated fsync {} us per flush\n\
+         concurrent wall clock: plain {concurrent_plain_put_us} us, journaled {concurrent_journaled_put_us} us\n\
+         concurrent journaling overhead: {concurrent_overhead_ratio:.2}x\n\n",
+        COMMIT_WINDOW.as_micros(),
+        SIM_FSYNC.as_micros()
     );
     report.push_str(&render_table(
         &[
-            "files", "crash@", "ops", "replayed", "rolled back", "orphans GC'd", "recover(us)",
+            "files",
+            "crash@",
+            "ops",
+            "replayed",
+            "rolled back",
+            "orphans GC'd",
+            "recover(us)",
         ],
         &rows,
     ));
     report.push_str(
-        "\nconclusion: intent logging prices each put at one table snapshot;\n\
+        "\nconclusion: intent logging prices each put at one close delta;\n\
+         under concurrency, group commit amortizes the fsync across the\n\
+         batch while sharded tables keep the stripes independently locked;\n\
          recovery replays the committed prefix, rolls the crashed upload\n\
          back and leaves zero orphan objects on any provider.\n",
     );
@@ -198,6 +320,10 @@ fn run_with(tel: &TelemetryHandle) -> (RecoveryResults, String) {
             plain_put_us,
             journaled_put_us,
             overhead_ratio,
+            concurrent_plain_put_us,
+            concurrent_journaled_put_us,
+            concurrent_overhead_ratio,
+            concurrent_clients: CONCURRENT_CLIENTS,
             points,
         },
         report,
@@ -213,6 +339,13 @@ mod tests {
         let (results, report, tel) = run_instrumented();
         assert!(report.contains("E20"));
         assert!(results.overhead_ratio > 0.0);
+        // The concurrent axis completed on every thread. The *ratio* is a
+        // release-mode CI gate (wall clocks are too noisy in debug tests).
+        assert!(report.contains("concurrent journaling overhead"));
+        assert_eq!(results.concurrent_clients, CONCURRENT_CLIENTS);
+        assert!(results.concurrent_plain_put_us > 0);
+        assert!(results.concurrent_journaled_put_us > 0);
+        assert!(results.concurrent_overhead_ratio > 0.0);
         assert_eq!(results.points.len(), 3);
         for p in &results.points {
             // The committed prefix replays, the crashed put rolls back.

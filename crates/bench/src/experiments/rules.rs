@@ -58,10 +58,16 @@ pub fn run() -> (Vec<RulesPoint>, String) {
         },
     );
     d.register_client("shop").expect("fresh");
-    d.add_password("shop", "pw", PrivacyLevel::High).expect("client");
+    d.add_password("shop", "pw", PrivacyLevel::High)
+        .expect("client");
     d.session("shop", "pw")
         .expect("valid pair")
-        .put_file("baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "baskets.log",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload");
 
     let providers = d.providers();
@@ -148,10 +154,16 @@ pub fn run() -> (Vec<RulesPoint>, String) {
             },
         );
         d.register_client("shop").expect("fresh");
-        d.add_password("shop", "pw", PrivacyLevel::High).expect("client");
+        d.add_password("shop", "pw", PrivacyLevel::High)
+            .expect("client");
         d.session("shop", "pw")
             .expect("valid pair")
-            .put_file("baskets.log", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+            .put_file(
+                "baskets.log",
+                &bytes,
+                PrivacyLevel::Moderate,
+                PutOptions::new(),
+            )
             .expect("upload");
         let mut seen: Vec<Transaction> = Vec::new();
         for p in d.providers().iter() {
@@ -176,7 +188,13 @@ pub fn run() -> (Vec<RulesPoint>, String) {
         ]);
     }
     report.push_str(&render_table(
-        &["chunk bytes", "mislead rate", "baskets seen", "rules mined", "recall"],
+        &[
+            "chunk bytes",
+            "mislead rate",
+            "baskets seen",
+            "rules mined",
+            "recall",
+        ],
         &defence_rows,
     ));
     report.push_str(
@@ -238,7 +256,8 @@ mod tests {
                 },
             );
             d.register_client("s").expect("fresh");
-            d.add_password("s", "p", PrivacyLevel::High).expect("client");
+            d.add_password("s", "p", PrivacyLevel::High)
+                .expect("client");
             d.session("s", "p")
                 .expect("valid pair")
                 .put_file("f", &bytes, PrivacyLevel::Moderate, PutOptions::new())

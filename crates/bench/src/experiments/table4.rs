@@ -28,8 +28,7 @@ pub struct Table4Result {
 /// Runs the attack on the verbatim Table IV.
 pub fn run() -> (Table4Result, String) {
     let data = bidding::hercules_table();
-    let full = RegressionModel::fit(&data, &PREDICTORS, RESPONSE)
-        .expect("12 rows fit 4 unknowns");
+    let full = RegressionModel::fit(&data, &PREDICTORS, RESPONSE).expect("12 rows fit 4 unknowns");
     let full_error = full.mean_abs_error(&data).expect("same columns");
 
     let frags = data.fragment(3);
@@ -48,7 +47,9 @@ pub fn run() -> (Table4Result, String) {
         data.len(),
         full.equation()
     ));
-    report.push_str("paper reports:      (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n\n");
+    report.push_str(
+        "paper reports:      (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n\n",
+    );
 
     let mut rows = Vec::new();
     let (paper_slopes, paper_icept) = bidding::PAPER_FULL_FIT;
@@ -71,7 +72,12 @@ pub fn run() -> (Table4Result, String) {
         ]);
     }
     report.push_str(&render_table(
-        &["model", "measured equation", "paper equation", "MAE on truth ($)"],
+        &[
+            "model",
+            "measured equation",
+            "paper equation",
+            "MAE on truth ($)",
+        ],
         &rows,
     ));
 

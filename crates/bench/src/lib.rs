@@ -105,10 +105,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -137,10 +134,16 @@ mod tests {
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = json::parse(doc.trim()).expect("valid json");
         assert_eq!(v.get("experiment").unwrap().as_str(), Some("smoke"));
-        assert_eq!(v.get("report").unwrap().as_str(), Some("line1\n\"quoted\"\ttab"));
+        assert_eq!(
+            v.get("report").unwrap().as_str(),
+            Some("line1\n\"quoted\"\ttab")
+        );
         let counters = v.get("telemetry").unwrap().get("counters").unwrap();
         assert_eq!(counters.get("puts_total").unwrap().as_u64(), Some(1));
-        assert_eq!(counters.get("retries_total{cp0}").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            counters.get("retries_total{cp0}").unwrap().as_u64(),
+            Some(3)
+        );
 
         // Uninstrumented runs carry an explicit null.
         let path = write_summary_to(&dir, "smoke2", "r", None).unwrap();

@@ -252,7 +252,8 @@ mod tests {
     #[test]
     fn eligibility_respected_without_central_table() {
         let mut d = dist();
-        d.put_file("secret", &body(320), PrivacyLevel::High).unwrap();
+        d.put_file("secret", &body(320), PrivacyLevel::High)
+            .unwrap();
         // Only AWS/Google (PL High) may hold chunks.
         let file = &d.files["secret"];
         for c in &file.chunks {
@@ -267,7 +268,8 @@ mod tests {
     #[test]
     fn chunks_spread_across_eligible_providers() {
         let mut d = dist();
-        d.put_file("pub", &body(32 * 40), PrivacyLevel::Public).unwrap();
+        d.put_file("pub", &body(32 * 40), PrivacyLevel::Public)
+            .unwrap();
         let mut used = std::collections::HashSet::new();
         for c in &d.files["pub"].chunks {
             used.insert(c.provider.clone());
@@ -323,8 +325,7 @@ mod tests {
         let low_fleet: Vec<Arc<CloudProvider>> = vec![Arc::new(CloudProvider::new(
             ProviderProfile::new("Sea", PrivacyLevel::Low, CostLevel::new(0)),
         ))];
-        let mut d2 =
-            ClientSideDistributor::new(low_fleet, ChunkSizeSchedule::uniform(8), 1);
+        let mut d2 = ClientSideDistributor::new(low_fleet, ChunkSizeSchedule::uniform(8), 1);
         assert!(matches!(
             d2.put_file("s", &body(8), PrivacyLevel::High),
             Err(CoreError::NoEligibleProvider { .. })

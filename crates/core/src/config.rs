@@ -3,6 +3,7 @@
 use crate::resilience::ResilienceConfig;
 use fragcloud_raid::RaidLevel;
 use fragcloud_sim::PrivacyLevel;
+use std::time::Duration;
 
 /// Chunk-placement strategy among eligible providers.
 ///
@@ -56,6 +57,106 @@ impl ChunkSizeSchedule {
     }
 }
 
+/// Durability and concurrency knobs, grouped: how the write-ahead journal
+/// batches its flushes, how often the checkpoint is compacted, how wide the
+/// table sharding and the transfer pool are.
+///
+/// `#[non_exhaustive]`: build it from [`DurabilityConfig::default`] and the
+/// `with_*` builders so later releases can add knobs without breaking
+/// callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct DurabilityConfig {
+    /// How long a group-commit leader lingers before flushing, letting
+    /// concurrent operations pile into the same fsync window.
+    /// `Duration::ZERO` (the default) flushes immediately and still
+    /// piggybacks any commit that arrived while the previous flush ran.
+    pub group_commit_window: Duration,
+    /// Commits between checkpoint compactions: every N-th journal commit
+    /// folds the accumulated delta records into a fresh checkpoint
+    /// snapshot. Must be >= 1.
+    pub checkpoint_interval: u32,
+    /// Independently locked table stripes the chunk/client tables are
+    /// sharded into, routed by a hash of ⟨client, filename⟩. Must be in
+    /// `1..=64`. Applies to freshly constructed distributors; a
+    /// distributor imported from a persisted snapshot keeps the
+    /// snapshot's shard layout.
+    pub table_shards: usize,
+    /// Worker threads in the distributor's persistent transfer pool
+    /// (shared by every [`Session`](crate::Session) on it); parallel gets
+    /// and pipelined-put encoding run on these. Must be in `1..=64`.
+    pub transfer_workers: usize,
+    /// Enables the pipelined put fast path: stripe encoding (mislead
+    /// injection + parity) runs on the transfer pool *before* the table
+    /// shard is locked, overlapping encodes across stripes and across
+    /// concurrent operations. Provider state is byte-identical either
+    /// way; this only changes wall-clock time.
+    pub pipelined_put: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            group_commit_window: Duration::ZERO,
+            checkpoint_interval: 16,
+            table_shards: 4,
+            transfer_workers: 4,
+            pipelined_put: true,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Sets the group-commit linger window.
+    pub fn with_group_commit_window(mut self, window: Duration) -> Self {
+        self.group_commit_window = window;
+        self
+    }
+
+    /// Sets the checkpoint compaction interval (commits per checkpoint).
+    pub fn with_checkpoint_interval(mut self, interval: u32) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the table shard count.
+    pub fn with_table_shards(mut self, shards: usize) -> Self {
+        self.table_shards = shards;
+        self
+    }
+
+    /// Sets the transfer-pool worker count.
+    pub fn with_transfer_workers(mut self, workers: usize) -> Self {
+        self.transfer_workers = workers;
+        self
+    }
+
+    /// Enables or disables the pipelined put fast path.
+    pub fn with_pipelined_put(mut self, pipelined: bool) -> Self {
+        self.pipelined_put = pipelined;
+        self
+    }
+
+    /// Check the configuration's invariants.
+    pub fn validate(&self) -> Result<(), crate::CoreError> {
+        let fail = |detail: &str| {
+            Err(crate::CoreError::InvalidConfig {
+                detail: detail.to_string(),
+            })
+        };
+        if self.checkpoint_interval < 1 {
+            return fail("durability.checkpoint_interval must be >= 1");
+        }
+        if !(1..=64).contains(&self.table_shards) {
+            return fail("durability.table_shards must be in 1..=64");
+        }
+        if !(1..=64).contains(&self.transfer_workers) {
+            return fail("durability.transfer_workers must be in 1..=64");
+        }
+        Ok(())
+    }
+}
+
 /// Full distributor configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistributorConfig {
@@ -76,19 +177,26 @@ pub struct DistributorConfig {
     /// Degraded-mode I/O engine knobs (retry, hedging, reputation
     /// ordering); see [`crate::resilience`].
     pub resilience: ResilienceConfig,
-    /// Worker threads in the distributor's persistent transfer pool
-    /// (shared by every [`Session`](crate::Session) on it); parallel gets
-    /// and pipelined-put encoding run on these. Must be in `1..=64`.
+    /// Durability and concurrency knobs: journal group commit, checkpoint
+    /// interval, table sharding, transfer pool; see [`DurabilityConfig`].
+    pub durability: DurabilityConfig,
+    /// Deprecated alias for
+    /// [`durability.transfer_workers`](DurabilityConfig::transfer_workers);
+    /// when set to a non-default value it still wins for one release.
+    #[deprecated(since = "0.6.0", note = "use `durability.transfer_workers`")]
     pub transfer_workers: usize,
-    /// Enables the pipelined put fast path that overlaps stripe encoding
-    /// (mislead injection + parity) on the transfer pool with the
-    /// caller-side provider stores of the previous stripe. Provider state
-    /// is byte-identical either way; this only changes wall-clock time.
+    /// Deprecated alias for
+    /// [`durability.pipelined_put`](DurabilityConfig::pipelined_put); when
+    /// set to a non-default value it still wins for one release.
+    #[deprecated(since = "0.6.0", note = "use `durability.pipelined_put`")]
     pub pipelined_put: bool,
 }
 
 impl Default for DistributorConfig {
     fn default() -> Self {
+        // fraglint: allow(no-deprecated-string-api) — the one-release
+        // compat shim must still initialize its own deprecated fields.
+        #[allow(deprecated)]
         DistributorConfig {
             chunk_sizes: ChunkSizeSchedule::paper_default(),
             stripe_width: 4,
@@ -97,6 +205,7 @@ impl Default for DistributorConfig {
             placement: PlacementStrategy::CheapestEligible,
             seed: 0x0D15_7B17,
             resilience: ResilienceConfig::default(),
+            durability: DurabilityConfig::default(),
             transfer_workers: 4,
             pipelined_put: true,
         }
@@ -104,6 +213,34 @@ impl Default for DistributorConfig {
 }
 
 impl DistributorConfig {
+    /// Transfer-pool width after resolving the one-release compat shim: a
+    /// deprecated `transfer_workers` set away from its old default (4)
+    /// wins; otherwise [`DurabilityConfig::transfer_workers`] applies.
+    pub fn effective_transfer_workers(&self) -> usize {
+        // fraglint: allow(no-deprecated-string-api) — reads the deprecated
+        // field to honor old callers during the one-release shim window.
+        #[allow(deprecated)]
+        if self.transfer_workers != 4 {
+            self.transfer_workers
+        } else {
+            self.durability.transfer_workers
+        }
+    }
+
+    /// Pipelined-put switch after resolving the one-release compat shim: a
+    /// deprecated `pipelined_put` set away from its old default (true)
+    /// wins; otherwise [`DurabilityConfig::pipelined_put`] applies.
+    pub fn effective_pipelined_put(&self) -> bool {
+        // fraglint: allow(no-deprecated-string-api) — reads the deprecated
+        // field to honor old callers during the one-release shim window.
+        #[allow(deprecated)]
+        if !self.pipelined_put {
+            false
+        } else {
+            self.durability.pipelined_put
+        }
+    }
+
     /// Check the configuration's invariants; the distributor constructor
     /// calls this and panics on `Err` (an invalid config is a programming
     /// error at that point), but callers building configs dynamically can
@@ -123,21 +260,11 @@ impl DistributorConfig {
         if !self.chunk_sizes.sizes.iter().all(|&s| s > 0) {
             return fail("chunk sizes must be positive");
         }
-        if !(1..=64).contains(&self.transfer_workers) {
+        if !(1..=64).contains(&self.effective_transfer_workers()) {
             return fail("transfer_workers must be in 1..=64");
         }
+        self.durability.validate()?;
         self.resilience.validate()
-    }
-
-    /// Deprecated panicking form of [`validate`](Self::validate).
-    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
-    pub fn assert_valid(&self) {
-        if let Err(e) = self.validate() {
-            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
-            // panicking *by contract*; it stays until the pinned removal
-            // release. New code goes through `validate()`.
-            panic!("{e}");
-        }
     }
 }
 
@@ -196,7 +323,9 @@ mod tests {
         assert!(err.to_string().contains("mislead_rate"));
 
         let err = DistributorConfig {
-            chunk_sizes: ChunkSizeSchedule { sizes: [1024, 512, 0, 64] },
+            chunk_sizes: ChunkSizeSchedule {
+                sizes: [1024, 512, 0, 64],
+            },
             ..Default::default()
         }
         .validate()
@@ -205,32 +334,69 @@ mod tests {
 
         for workers in [0usize, 65, 1000] {
             let err = DistributorConfig {
-                transfer_workers: workers,
+                durability: DurabilityConfig::default().with_transfer_workers(workers),
                 ..Default::default()
             }
             .validate()
             .expect_err("bad worker count");
             assert!(err.to_string().contains("transfer_workers"), "{workers}");
         }
-        DistributorConfig {
-            transfer_workers: 1,
-            pipelined_put: false,
+        for shards in [0usize, 65] {
+            let err = DistributorConfig {
+                durability: DurabilityConfig::default().with_table_shards(shards),
+                ..Default::default()
+            }
+            .validate()
+            .expect_err("bad shard count");
+            assert!(err.to_string().contains("table_shards"), "{shards}");
+        }
+        let err = DistributorConfig {
+            durability: DurabilityConfig::default().with_checkpoint_interval(0),
             ..Default::default()
         }
         .validate()
-        .expect("1 worker, serial put is valid");
+        .expect_err("zero interval");
+        assert!(err.to_string().contains("checkpoint_interval"));
+
+        DistributorConfig {
+            durability: DurabilityConfig::default()
+                .with_transfer_workers(1)
+                .with_pipelined_put(false)
+                .with_table_shards(1),
+            ..Default::default()
+        }
+        .validate()
+        .expect("1 worker, 1 shard, serial put is valid");
     }
 
     #[test]
-    #[should_panic(expected = "stripe_width")]
-    fn deprecated_assert_valid_still_panics() {
-        // fraglint: allow(no-deprecated-string-api) — pin test: keeps the
-        // deprecated `assert_valid` panicking until its removal release.
+    fn deprecated_knobs_still_win_when_explicitly_set() {
+        // One-release shim: an old caller writing the loose fields gets the
+        // old behavior; new callers drive everything through `durability`.
+        // fraglint: allow(no-deprecated-string-api) — shim regression test.
         #[allow(deprecated)]
-        DistributorConfig {
-            stripe_width: 0,
+        let old_style = DistributorConfig {
+            transfer_workers: 2,
+            pipelined_put: false,
             ..Default::default()
-        }
-        .assert_valid();
+        };
+        assert_eq!(old_style.effective_transfer_workers(), 2);
+        assert!(!old_style.effective_pipelined_put());
+
+        let new_style = DistributorConfig {
+            durability: DurabilityConfig::default()
+                .with_transfer_workers(8)
+                .with_pipelined_put(false),
+            ..Default::default()
+        };
+        assert_eq!(new_style.effective_transfer_workers(), 8);
+        assert!(!new_style.effective_pipelined_put());
+
+        let defaults = DistributorConfig::default();
+        assert_eq!(defaults.effective_transfer_workers(), 4);
+        assert!(defaults.effective_pipelined_put());
+        assert_eq!(defaults.durability.checkpoint_interval, 16);
+        assert_eq!(defaults.durability.table_shards, 4);
+        assert_eq!(defaults.durability.group_commit_window, Duration::ZERO);
     }
 }

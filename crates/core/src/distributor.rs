@@ -13,9 +13,12 @@
 //! shards lost to dead providers within the stripe's fault tolerance, and
 //! [`scrub`](CloudDataDistributor::scrub) /
 //! [`repair`](CloudDataDistributor::repair) walk and heal what's left.
-//! The preferred client surface is the typed [`crate::session::Session`]
-//! API; the ⟨client, password, …⟩ string methods remain as deprecated
-//! wrappers.
+//! The client surface is the typed [`crate::session::Session`] API (the
+//! old ⟨client, password, …⟩ string wrappers have been removed).
+//!
+//! Concurrency: the chunk/client tables are sharded by file-hash into
+//! independently locked stripes, and journaled commits ride a cross-
+//! operation group-commit window — see DESIGN.md §5d.
 
 use crate::access;
 use crate::chunker;
@@ -151,7 +154,15 @@ struct ParityPlan {
 
 /// The Cloud Data Distributor (Fig. 1's central entity).
 pub struct CloudDataDistributor {
-    state: RwLock<Tables>,
+    /// The chunk/client tables, sharded by file-hash into independently
+    /// locked stripes (see [`DurabilityConfig::table_shards`]): concurrent
+    /// puts from different clients never contend on a table lock. The
+    /// provider fleet and the client directory (names + passwords) are
+    /// replicated across shards; chunk/stripe arenas and file entries are
+    /// partitioned — a file lives wholly in one shard.
+    ///
+    /// [`DurabilityConfig::table_shards`]: crate::config::DurabilityConfig::table_shards
+    state: Vec<RwLock<Tables>>,
     vids: VidAllocator,
     config: DistributorConfig,
     rng: Mutex<StdRng>,
@@ -178,12 +189,30 @@ pub struct CloudDataDistributor {
     crash: RwLock<Option<Arc<CrashPlan>>>,
 }
 
-/// An open journaled operation: the journal it lives in plus this op's id.
-/// Threaded as `&Option<JournalCtx>` through the mutation paths so a
-/// journal-less distributor pays only an `Option` check.
+/// An open journaled operation: the journal it lives in, this op's id, and
+/// the set of table rows the op has dirtied (the commit/abort record's
+/// delta is serialized from exactly these rows). Threaded as
+/// `&Option<JournalCtx>` through the mutation paths so a journal-less
+/// distributor pays only an `Option` check.
 pub(crate) struct JournalCtx {
     journal: Arc<Journal>,
     op: OpId,
+    dirty: Mutex<DirtyRows>,
+}
+
+/// Rows an op touched, keyed by (shard, arena index) — ordered sets so the
+/// captured delta is deterministic and shard locks are taken ascending.
+#[derive(Default)]
+struct DirtyRows {
+    chunks: std::collections::BTreeSet<(usize, usize)>,
+    stripes: std::collections::BTreeSet<(usize, usize)>,
+    /// File entries touched: (shard, client, filename). Capture emits a
+    /// `file` row when the entry exists and a `filedel` tombstone when it
+    /// does not (removed, or rolled back).
+    files: std::collections::BTreeSet<(usize, String, String)>,
+    /// Escape hatch for structure-wide ops (repair): the delta degrades to
+    /// an inline full snapshot instead of row tracking.
+    full: bool,
 }
 
 /// One stripe's worth of encoded shards, produced by
@@ -225,23 +254,12 @@ impl CloudDataDistributor {
 
     /// Fallible form of [`new`](Self::new): returns
     /// [`CoreError::InvalidConfig`] instead of panicking on a bad config.
-    pub fn try_new(
-        providers: Vec<Arc<CloudProvider>>,
-        config: DistributorConfig,
-    ) -> Result<Self> {
+    pub fn try_new(providers: Vec<Arc<CloudProvider>>, config: DistributorConfig) -> Result<Self> {
         config.validate()?;
-        let n = providers.len();
-        Ok(CloudDataDistributor {
-            state: RwLock::new(Tables::new(providers)),
-            vids: VidAllocator::new(config.seed),
-            config,
-            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
-            reputation: ReputationTracker::new(n, ReputationConfig::default()),
-            telemetry: RwLock::new(TelemetryHandle::disabled()),
-            pool: OnceLock::new(),
-            journal: RwLock::new(None),
-            crash: RwLock::new(None),
-        })
+        let shards = (0..config.durability.table_shards)
+            .map(|_| RwLock::new(Tables::new(providers.clone())))
+            .collect();
+        Ok(Self::assemble(shards, providers.len(), config, 0))
     }
 
     /// The active configuration.
@@ -249,36 +267,121 @@ impl CloudDataDistributor {
         &self.config
     }
 
-    /// Rehydrates a distributor from imported table state (see
-    /// `crate::persist`). `already_allocated` fast-forwards the virtual-id
-    /// allocator past the previous incarnation's ids.
-    pub(crate) fn from_tables(
-        tables: Tables,
+    /// Rehydrates a distributor from imported per-shard table state (see
+    /// `crate::persist`). The snapshot's shard layout is preserved as-is —
+    /// `config.durability.table_shards` only governs fresh construction.
+    /// `already_allocated` fast-forwards the virtual-id allocator past the
+    /// previous incarnation's ids.
+    pub(crate) fn from_shards(
+        shards: Vec<Tables>,
         config: DistributorConfig,
         already_allocated: u64,
     ) -> Result<Self> {
         config.validate()?;
-        let n = tables.providers.len();
-        Ok(CloudDataDistributor {
-            state: RwLock::new(tables),
+        let n = shards.first().map_or(0, |s| s.providers.len());
+        let shards = shards.into_iter().map(RwLock::new).collect();
+        Ok(Self::assemble(shards, n, config, already_allocated))
+    }
+
+    fn assemble(
+        shards: Vec<RwLock<Tables>>,
+        fleet_size: usize,
+        config: DistributorConfig,
+        already_allocated: u64,
+    ) -> Self {
+        CloudDataDistributor {
+            state: shards,
             vids: VidAllocator::resume(config.seed, already_allocated),
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed ^ already_allocated)),
-            reputation: ReputationTracker::new(n, ReputationConfig::default()),
+            reputation: ReputationTracker::new(fleet_size, ReputationConfig::default()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
             journal: RwLock::new(None),
             crash: RwLock::new(None),
-        })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shard routing & locking
+    // ------------------------------------------------------------------
+
+    /// Number of table shards (fixed at construction / import).
+    pub fn shard_count(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Routes a ⟨client, filename⟩ pair to its owning table shard via a
+    /// self-contained FNV-1a hash (stable across platforms and releases,
+    /// unlike `DefaultHasher`). A file's chunks, stripes, and file entry
+    /// all live in this one shard.
+    pub(crate) fn shard_for(&self, client: &str, filename: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in client
+            .as_bytes()
+            .iter()
+            .chain(&[0xffu8])
+            .chain(filename.as_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.state.len() as u64) as usize
+    }
+
+    /// Read-locks one shard, counting `shard_contention_total` when the
+    /// lock was not immediately available.
+    pub(crate) fn shard_read(&self, shard: usize) -> parking_lot::RwLockReadGuard<'_, Tables> {
+        match self.state[shard].try_read() {
+            Some(g) => g,
+            None => {
+                self.telemetry().incr("shard_contention_total");
+                self.state[shard].read()
+            }
+        }
+    }
+
+    /// Write-locks one shard, counting `shard_contention_total` when the
+    /// lock was not immediately available.
+    pub(crate) fn shard_write(&self, shard: usize) -> parking_lot::RwLockWriteGuard<'_, Tables> {
+        match self.state[shard].try_write() {
+            Some(g) => g,
+            None => {
+                self.telemetry().incr("shard_contention_total");
+                self.state[shard].write()
+            }
+        }
+    }
+
+    /// Read-locks the shard owning ⟨client, filename⟩.
+    pub(crate) fn read_shard_for(
+        &self,
+        client: &str,
+        filename: &str,
+    ) -> parking_lot::RwLockReadGuard<'_, Tables> {
+        self.shard_read(self.shard_for(client, filename))
+    }
+
+    /// Read-locks every shard in ascending order (the global lock order —
+    /// all multi-shard paths must acquire ascending to stay deadlock-free).
+    pub(crate) fn lock_all_read(&self) -> Vec<parking_lot::RwLockReadGuard<'_, Tables>> {
+        (0..self.state.len()).map(|i| self.shard_read(i)).collect()
+    }
+
+    /// Write-locks every shard in ascending order.
+    pub(crate) fn lock_all_write(&self) -> Vec<parking_lot::RwLockWriteGuard<'_, Tables>> {
+        (0..self.state.len()).map(|i| self.shard_write(i)).collect()
     }
 
     /// The shared transfer pool, created on first use with
-    /// [`DistributorConfig::transfer_workers`] worker threads. Parallel
+    /// [`DurabilityConfig::transfer_workers`] worker threads. Parallel
     /// gets and pipelined puts run their overlappable stages here instead
     /// of spawning fresh threads per call.
+    ///
+    /// [`DurabilityConfig::transfer_workers`]: crate::config::DurabilityConfig::transfer_workers
     pub fn transfer_pool(&self) -> &TransferPool {
         self.pool
-            .get_or_init(|| TransferPool::new(self.config.transfer_workers))
+            .get_or_init(|| TransferPool::new(self.config.effective_transfer_workers()))
     }
 
     /// The current telemetry handle (a cheap clone; disabled by default).
@@ -297,11 +400,17 @@ impl CloudDataDistributor {
     }
 
     /// Install `handle` (enabled or disabled) on this distributor and
-    /// propagate it to every provider in the fleet — passing a shared
-    /// handle aggregates several distributors into one registry.
+    /// propagate it to every provider in the fleet and any attached
+    /// journal — passing a shared handle aggregates several distributors
+    /// into one registry.
     pub fn set_telemetry(&self, handle: TelemetryHandle) {
-        for p in &self.state.read().providers {
+        // The fleet is replicated across shards as shared `Arc`s, so
+        // installing through shard 0 reaches every provider.
+        for p in &self.shard_read(0).providers {
             p.set_telemetry(handle.clone());
+        }
+        if let Some(j) = self.journal.read().clone() {
+            j.set_telemetry(handle.clone());
         }
         *self.telemetry.write() = handle;
     }
@@ -311,16 +420,6 @@ impl CloudDataDistributor {
         self.vids.allocated()
     }
 
-    /// Crate-internal read access to the tables (used by `rebalance`).
-    pub(crate) fn state_ref(&self) -> parking_lot::RwLockReadGuard<'_, Tables> {
-        self.state.read()
-    }
-
-    /// Crate-internal write access to the tables (used by `rebalance`).
-    pub(crate) fn state_mut(&self) -> parking_lot::RwLockWriteGuard<'_, Tables> {
-        self.state.write()
-    }
-
     // ------------------------------------------------------------------
     // Write-ahead journal + crash injection
     // ------------------------------------------------------------------
@@ -328,11 +427,22 @@ impl CloudDataDistributor {
     /// Attaches a write-ahead op [`Journal`]: every subsequent mutating
     /// operation (`put_file`, `remove_file`, `repair`, rebalance moves)
     /// brackets itself with intent/commit/abort records, with virtual ids
-    /// logged *before* their provider uploads. The journal's checkpoint is
+    /// logged *before* their provider uploads. Commit records carry a
+    /// *delta* (just the rows the op touched) instead of a full snapshot;
+    /// the journal is periodically compacted back onto a fresh checkpoint
+    /// (see [`DurabilityConfig::checkpoint_interval`]). The checkpoint is
     /// seeded with the current state snapshot, so
     /// [`recover`](crate::recovery::recover) can rebuild this distributor
     /// from the journal alone.
+    ///
+    /// The journal inherits this distributor's
+    /// [`DurabilityConfig`](crate::config::DurabilityConfig) (group-commit
+    /// window, checkpoint interval) and telemetry handle.
+    ///
+    /// [`DurabilityConfig::checkpoint_interval`]: crate::config::DurabilityConfig::checkpoint_interval
     pub fn attach_journal(&self, journal: Arc<Journal>) {
+        journal.configure(&self.config.durability);
+        journal.set_telemetry(self.telemetry());
         journal.set_checkpoint(persist::export_state(self));
         *self.journal.write() = Some(journal);
     }
@@ -379,7 +489,117 @@ impl CloudDataDistributor {
         let journal = self.journal.read().clone()?;
         let op = journal.begin(kind, client, target);
         self.telemetry().incr("journal_ops_total");
-        Some(JournalCtx { journal, op })
+        Some(JournalCtx {
+            journal,
+            op,
+            dirty: Mutex::new(DirtyRows::default()),
+        })
+    }
+
+    /// Marks one chunk-arena row dirty for the open op's delta.
+    pub(crate) fn touch_chunk(&self, jctx: &Option<JournalCtx>, shard: usize, idx: usize) {
+        if let Some(j) = jctx {
+            j.dirty.lock().chunks.insert((shard, idx));
+        }
+    }
+
+    /// Marks one stripe-arena row dirty for the open op's delta.
+    pub(crate) fn touch_stripe(&self, jctx: &Option<JournalCtx>, shard: usize, idx: usize) {
+        if let Some(j) = jctx {
+            j.dirty.lock().stripes.insert((shard, idx));
+        }
+    }
+
+    /// Marks one file entry dirty for the open op's delta (present at
+    /// capture time → `file` row; absent → `filedel` tombstone).
+    pub(crate) fn touch_file(
+        &self,
+        jctx: &Option<JournalCtx>,
+        shard: usize,
+        client: &str,
+        name: &str,
+    ) {
+        if let Some(j) = jctx {
+            j.dirty
+                .lock()
+                .files
+                .insert((shard, client.to_string(), name.to_string()));
+        }
+    }
+
+    /// Degrades the open op's delta to an inline full snapshot — used by
+    /// structure-wide ops (repair) where row tracking isn't worth it.
+    pub(crate) fn touch_full(&self, jctx: &Option<JournalCtx>) {
+        if let Some(j) = jctx {
+            j.dirty.lock().full = true;
+        }
+    }
+
+    /// Serializes the open op's delta from the *current* state of its
+    /// dirty rows. Called at op close with all table locks released
+    /// (capture takes shard read locks, ascending). The same routine
+    /// serves commits (post-op state) and aborts (post-rollback state:
+    /// tombstoned chunks serialize as removed, a stripped file entry as
+    /// `filedel`), because deltas describe *state*, not intent.
+    fn capture_delta(&self, jctx: &JournalCtx) -> String {
+        use std::fmt::Write as _;
+        let dirty = jctx.dirty.lock();
+        let mut out = format!("vids|{}\n", self.vids.allocated());
+        if dirty.full {
+            let _ = writeln!(out, "full|{}", persist::esc(&persist::export_state(self)));
+            return out;
+        }
+        for shard in 0..self.state.len() {
+            let has = dirty.chunks.range((shard, 0)..=(shard, usize::MAX)).count() > 0
+                || dirty
+                    .stripes
+                    .range((shard, 0)..=(shard, usize::MAX))
+                    .count()
+                    > 0
+                || dirty.files.iter().any(|(s, _, _)| *s == shard);
+            if !has {
+                continue;
+            }
+            let st = self.shard_read(shard);
+            for &(_, idx) in dirty.chunks.range((shard, 0)..=(shard, usize::MAX)) {
+                let _ = write!(out, "chunk|{shard}|{idx}|");
+                persist::chunk_row_into(&mut out, &st.chunks[idx]);
+                out.push('\n');
+            }
+            for &(_, idx) in dirty.stripes.range((shard, 0)..=(shard, usize::MAX)) {
+                let _ = write!(out, "stripe|{shard}|{idx}|");
+                persist::stripe_row_into(&mut out, &st.stripes[idx]);
+                out.push('\n');
+            }
+            for (s, client, name) in dirty.files.iter().filter(|(s, _, _)| *s == shard) {
+                let _ = s;
+                let entry = st
+                    .clients
+                    .get(client)
+                    .and_then(|c| c.files.get(name.as_str()));
+                match entry {
+                    Some(fe) => {
+                        let _ = write!(
+                            out,
+                            "file|{shard}|{}|{}|",
+                            persist::esc(client),
+                            persist::esc(name)
+                        );
+                        persist::file_row_into(&mut out, fe);
+                        out.push('\n');
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "filedel|{shard}|{}|{}",
+                            persist::esc(client),
+                            persist::esc(name)
+                        );
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Logs freshly allocated vids for the open op — always *before* the
@@ -398,21 +618,49 @@ impl CloudDataDistributor {
     }
 
     /// Closes a journaled op according to `res`. On success the op
-    /// commits and a fresh state snapshot becomes the journal checkpoint.
-    /// A [`CoreError::SimulatedCrash`] passes through untouched — the
-    /// "process" is dead, so no abort record and no rollback, leaving the
-    /// op dangling for recovery. Any other error triggers an inline
+    /// commits with a *delta record* (just the rows it dirtied) and joins
+    /// the journal's group-commit flush; when the checkpoint interval has
+    /// elapsed, a fresh snapshot is exported and the journal compacted
+    /// onto it. A [`CoreError::SimulatedCrash`] passes through untouched —
+    /// the "process" is dead, so no abort record and no rollback, leaving
+    /// the op dangling for recovery. Any other error triggers an inline
     /// rollback (this op's unreferenced uploads are garbage-collected)
-    /// followed by an abort record.
+    /// followed by an abort record carrying the post-rollback delta.
     ///
-    /// Must be called *after* the inner operation has released the table
-    /// write lock: the checkpoint export takes its own read lock.
+    /// Three crash windows bracket the commit (numbered crash points, see
+    /// DESIGN.md §5d): before the commit record exists (op dangles, rolls
+    /// back), after the record is appended but before the group fsync (op
+    /// is *not* durable — recovery discards the unflushed close and rolls
+    /// back), and after the fsync but before checkpoint compaction (op is
+    /// durable though never acked — recovery replays it).
+    ///
+    /// Must be called *after* the inner operation has released its shard
+    /// locks: delta capture and checkpoint export take their own locks.
     pub(crate) fn journal_finish<T>(&self, jctx: Option<JournalCtx>, res: Result<T>) -> Result<T> {
         let Some(jctx) = jctx else { return res };
         match res {
             Ok(v) => {
-                jctx.journal.commit(jctx.op, persist::export_state(self));
+                // Window: tables mutated, commit record not yet written.
+                self.crash_point()?;
+                let delta = self.capture_delta(&jctx);
+                let (seq, checkpoint_due) = jctx.journal.commit_prepare(jctx.op, delta);
+                // Window: commit record appended but unflushed — the op
+                // must NOT survive a crash here (ack ⟺ flushed).
+                self.crash_point()?;
+                jctx.journal.sync(seq);
                 self.telemetry().incr("journal_commits_total");
+                // Window: durable but not yet compacted/acked.
+                self.crash_point()?;
+                if checkpoint_due {
+                    // Snapshot the record watermark BEFORE exporting: ops
+                    // that close between the export and the compaction
+                    // keep their delta records (compact_upto only drops
+                    // closes below the watermark), so nothing newer than
+                    // the snapshot is ever lost.
+                    let upto = jctx.journal.record_len();
+                    let snapshot = persist::export_state(self);
+                    jctx.journal.compact_upto(snapshot, upto);
+                }
                 Ok(v)
             }
             Err(e @ CoreError::SimulatedCrash { .. }) => Err(e),
@@ -420,7 +668,8 @@ impl CloudDataDistributor {
                 let (collected, _) = self.rollback_op(&jctx);
                 let tel = self.telemetry();
                 tel.add("journal_rollback_objects", collected);
-                jctx.journal.abort(jctx.op, persist::export_state(self));
+                let delta = self.capture_delta(&jctx);
+                jctx.journal.abort(jctx.op, delta);
                 tel.incr("journal_aborts_total");
                 Err(e)
             }
@@ -437,22 +686,28 @@ impl CloudDataDistributor {
             return (0, 0);
         };
         let fresh: HashSet<VirtualId> = view.fresh.iter().copied().collect();
-        let mut st = self.state.write();
+        // Rollback is a rare path; take every shard (ascending) rather
+        // than tracking which shards the op reached before failing.
+        let mut shards = self.lock_all_write();
         if view.kind == OpKind::Put {
-            for e in st.chunks.iter_mut() {
-                if fresh.contains(&e.vid) && !e.removed {
-                    e.removed = true;
-                    e.stored_len = 0;
-                    e.logical_len = 0;
-                    e.replicas.clear();
-                    e.snapshot_provider_idx = None;
-                    e.snapshot_vid = None;
+            for st in shards.iter_mut() {
+                for e in st.chunks.iter_mut() {
+                    if fresh.contains(&e.vid) && !e.removed {
+                        e.removed = true;
+                        e.stored_len = 0;
+                        e.logical_len = 0;
+                        e.replicas.clear();
+                        e.snapshot_provider_idx = None;
+                        e.snapshot_vid = None;
+                    }
                 }
             }
             // Drop the file entry only when it belongs to THIS put (its
             // stripes reference the op's fresh vids): a duplicate upload
             // aborts with FileExists while the name still maps to the
             // earlier committed file, which must survive the rollback.
+            let home = self.shard_for(&view.client, &view.target);
+            let st = &mut shards[home];
             let owned = st
                 .client(&view.client)
                 .ok()
@@ -473,15 +728,18 @@ impl CloudDataDistributor {
         }
         // GC uploads the tables do not reference. Referenced fresh vids
         // (a repair's already re-placed shards, say) are live data and
-        // stay.
-        let referenced = st.referenced_vids();
+        // stay. Reference sets are unioned across shards.
+        let mut referenced: HashSet<VirtualId> = HashSet::new();
+        for st in shards.iter() {
+            referenced.extend(st.referenced_vids());
+        }
         let mut collected = 0u64;
         let mut failed = 0u64;
         for vid in fresh {
             if referenced.contains(&vid) {
                 continue;
             }
-            for p in &st.providers {
+            for p in &shards[0].providers {
                 if p.contains(vid) {
                     match p.delete(vid) {
                         Ok(()) => collected += 1,
@@ -503,25 +761,32 @@ impl CloudDataDistributor {
         }
     }
 
-    /// Registers a new client.
+    /// Registers a new client. The client directory (names + passwords)
+    /// is replicated into every table shard, so any shard can authorize
+    /// any op without cross-shard locking.
     pub fn register_client(&self, name: &str) -> Result<()> {
         {
-            let mut st = self.state.write();
-            if st.clients.contains_key(name) {
+            let mut shards = self.lock_all_write();
+            if shards[0].clients.contains_key(name) {
                 return Err(CoreError::ClientExists(name.to_string()));
             }
-            st.clients.insert(name.to_string(), ClientEntry::default());
+            for st in shards.iter_mut() {
+                st.clients.insert(name.to_string(), ClientEntry::default());
+            }
         }
         self.refresh_journal_checkpoint();
         Ok(())
     }
 
-    /// Adds a ⟨password, PL⟩ pair for a client (§V access control).
+    /// Adds a ⟨password, PL⟩ pair for a client (§V access control),
+    /// replicated into every shard's client directory.
     pub fn add_password(&self, client: &str, password: &str, pl: PrivacyLevel) -> Result<()> {
         {
-            let mut st = self.state.write();
-            let entry = st.client_mut(client)?;
-            entry.passwords.push((password.to_string(), pl));
+            let mut shards = self.lock_all_write();
+            for st in shards.iter_mut() {
+                let entry = st.client_mut(client)?;
+                entry.passwords.push((password.to_string(), pl));
+            }
         }
         self.refresh_journal_checkpoint();
         Ok(())
@@ -558,15 +823,24 @@ impl CloudDataDistributor {
     ) -> Result<PutReceipt> {
         let tel = self.telemetry();
         let _op = span!(tel, "put", file = filename, pl = pl);
-        let mut st = self.state.write();
-        access::authorize(st.client(client)?, password, pl)?;
-        if st.client(client)?.files.contains_key(filename) {
-            return Err(CoreError::FileExists(filename.to_string()));
-        }
+        let shard = self.shard_for(client, filename);
+
+        // Phase A (shard read lock): authorize + duplicate pre-check.
+        // Released before the CPU-heavy fragment/encode phase so
+        // concurrent operations on this shard keep flowing.
+        let fleet_size = {
+            let st = self.shard_read(shard);
+            access::authorize(st.client(client)?, password, pl)?;
+            if st.client(client)?.files.contains_key(filename) {
+                return Err(CoreError::FileExists(filename.to_string()));
+            }
+            st.providers.len()
+        };
 
         let raid = opts.raid_level.unwrap_or(self.config.raid_level);
         let rate = opts.mislead_rate.unwrap_or(self.config.mislead_rate);
 
+        // Phase B (no lock): fragment, allocate ids, encode.
         // 1. Fragment.
         let logical_chunks = chunker::split(data, pl, &self.config.chunk_sizes);
         let chunk_count = logical_chunks.len();
@@ -603,12 +877,23 @@ impl CloudDataDistributor {
             chunk_indices: Vec::with_capacity(chunk_count),
             stripe_ids: Vec::new(),
             bytes_stored: 0,
-            per_provider_time: vec![Duration::ZERO; st.providers.len()],
+            per_provider_time: vec![Duration::ZERO; fleet_size],
         };
-        let mut rng = self.rng.lock();
+
+        // Phase C (shard write lock): provider stores + table pushes, in
+        // stripe order. Only this file's shard is locked — puts routed to
+        // other shards proceed concurrently, and encode work (pipelined
+        // path) runs on pool workers without any lock.
+        let mut st = self.shard_write(shard);
+        // Re-check under the write lock: a racing put may have created
+        // the file between phase A and now. Losing the race wastes only
+        // encode work — nothing has been uploaded yet.
+        if st.client(client)?.files.contains_key(filename) {
+            return Err(CoreError::FileExists(filename.to_string()));
+        }
         let st = &mut *st;
 
-        if self.config.pipelined_put && groups.len() >= 2 {
+        if self.config.effective_pipelined_put() && groups.len() >= 2 {
             // Pipelined put: stripe encoding (mislead injection + parity)
             // runs on transfer-pool workers while the caller uploads the
             // previous stripe, so encode of stripe N overlaps store of
@@ -669,7 +954,7 @@ impl CloudDataDistributor {
                 let recycled = tel.time("stripe_store_ns", || {
                     self.store_stripe(
                         st,
-                        &mut rng,
+                        shard,
                         pl,
                         &opts,
                         raid,
@@ -693,7 +978,7 @@ impl CloudDataDistributor {
                 tel.time("stripe_store_ns", || {
                     self.store_stripe(
                         st,
-                        &mut rng,
+                        shard,
                         pl,
                         &opts,
                         raid,
@@ -706,7 +991,6 @@ impl CloudDataDistributor {
                 })?;
             }
         }
-        drop(rng);
 
         let PutProgress {
             chunk_indices,
@@ -725,6 +1009,7 @@ impl CloudDataDistributor {
                 total_len: data.len(),
             },
         );
+        self.touch_file(jctx, shard, client, filename);
 
         // Last crash window: tables updated, commit record not yet
         // written — recovery must roll the whole put back.
@@ -803,7 +1088,7 @@ impl CloudDataDistributor {
     fn store_stripe(
         &self,
         st: &mut Tables,
-        rng: &mut StdRng,
+        shard: usize,
         pl: PrivacyLevel,
         opts: &PutOptions,
         raid: RaidLevel,
@@ -820,8 +1105,19 @@ impl CloudDataDistributor {
         } = enc;
         let k = group.len();
         let total_shards = k + raid.parity_shards();
-        let placement =
-            policy::place_stripe(&st.providers, pl, total_shards, self.config.placement, rng)?;
+        // The placement rng is global (deterministic stream across the
+        // whole distributor); hold its lock only for the draw itself so
+        // concurrent puts on other table shards never serialize on it.
+        let placement = {
+            let mut rng = self.rng.lock();
+            policy::place_stripe(
+                &st.providers,
+                pl,
+                total_shards,
+                self.config.placement,
+                &mut rng,
+            )?
+        };
 
         let stripe_id = st.stripes.len();
         let mut members = Vec::with_capacity(total_shards);
@@ -924,6 +1220,7 @@ impl CloudDataDistributor {
             });
             members.push(chunk_idx);
             progress.chunk_indices.push(chunk_idx);
+            self.touch_chunk(jctx, shard, chunk_idx);
         }
         // Store parity shards (buffers collected back for recycling).
         let mut recycled = Vec::with_capacity(parity_blobs.len());
@@ -977,6 +1274,7 @@ impl CloudDataDistributor {
             });
             members.push(chunk_idx);
             recycled.push(blob);
+            self.touch_chunk(jctx, shard, chunk_idx);
         }
 
         st.stripes.push(StripeInfo {
@@ -986,6 +1284,7 @@ impl CloudDataDistributor {
             shard_width: width,
             degraded: missing > 0,
         });
+        self.touch_stripe(jctx, shard, stripe_id);
         progress.stripe_ids.push(stripe_id);
         Ok(recycled)
     }
@@ -1016,17 +1315,20 @@ impl CloudDataDistributor {
             &self.telemetry(),
             |_| match provider.get(vid) {
                 Ok(bytes) => {
-                    self.reputation.record(provider_idx, ReputationEvent::Success);
+                    self.reputation
+                        .record(provider_idx, ReputationEvent::Success);
                     AttemptOutcome::Success(bytes)
                 }
                 Err(e @ StoreError::NotFound(_)) => {
                     // The object is gone, not the provider: retrying the
                     // same request cannot help.
-                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    self.reputation
+                        .record(provider_idx, ReputationEvent::Failure);
                     AttemptOutcome::Fatal(e.into())
                 }
                 Err(e) => {
-                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    self.reputation
+                        .record(provider_idx, ReputationEvent::Failure);
                     AttemptOutcome::Transient(e.into())
                 }
             },
@@ -1055,11 +1357,13 @@ impl CloudDataDistributor {
             &self.telemetry(),
             |_| match provider.put(vid, bytes.clone()) {
                 Ok(()) => {
-                    self.reputation.record(provider_idx, ReputationEvent::Success);
+                    self.reputation
+                        .record(provider_idx, ReputationEvent::Success);
                     AttemptOutcome::Success(())
                 }
                 Err(e) => {
-                    self.reputation.record(provider_idx, ReputationEvent::Failure);
+                    self.reputation
+                        .record(provider_idx, ReputationEvent::Failure);
                     AttemptOutcome::Transient(e.into())
                 }
             },
@@ -1133,7 +1437,7 @@ impl CloudDataDistributor {
     ) -> Result<Vec<u8>> {
         let tel = self.telemetry();
         let _op = span!(tel, "get_chunk", file = filename, serial = serial);
-        let st = self.state.read();
+        let st = self.read_shard_for(client, filename);
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
         tel.incr("chunk_gets_total");
@@ -1148,13 +1452,12 @@ impl CloudDataDistributor {
     ) -> Result<GetReceipt> {
         let tel = self.telemetry();
         let _op = span!(tel, "get", file = filename);
-        let st = self.state.read();
+        let st = self.read_shard_for(client, filename);
         let file = st.file(client, filename)?;
         access::authorize(st.client(client)?, password, file.pl)?;
 
         let mut out = Vec::with_capacity(file.total_len);
-        let mut per_provider_time: Vec<Duration> =
-            vec![Duration::ZERO; st.providers.len()];
+        let mut per_provider_time: Vec<Duration> = vec![Duration::ZERO; st.providers.len()];
         let (mut reconstructed, mut degraded, mut hedged) = (0usize, 0usize, 0usize);
         let mut retries = 0u64;
         for &chunk_idx in &file.chunk_indices {
@@ -1194,7 +1497,7 @@ impl CloudDataDistributor {
     ) -> Result<GetReceipt> {
         let tel = self.telemetry();
         let _op = span!(tel, "get_parallel", file = filename);
-        let st = self.state.read();
+        let st = self.read_shard_for(client, filename);
         let file = st.file(client, filename)?;
         access::authorize(st.client(client)?, password, file.pl)?;
         let chunk_indices = file.chunk_indices.clone();
@@ -1253,13 +1556,13 @@ impl CloudDataDistributor {
         let mut out = Vec::with_capacity(file.total_len);
         let (mut reconstructed, mut degraded, mut hedged) = (0usize, 0usize, 0usize);
         let mut retries = 0u64;
-        let mut per_provider_time: Vec<Duration> =
-            vec![Duration::ZERO; st.providers.len()];
+        let mut per_provider_time: Vec<Duration> = vec![Duration::ZERO; st.providers.len()];
         for &ci in &chunk_indices {
             let e = &st.chunks[ci];
             match fetched[ci].take() {
                 Some(bytes) => {
-                    self.reputation.record(e.provider_idx, ReputationEvent::Success);
+                    self.reputation
+                        .record(e.provider_idx, ReputationEvent::Success);
                     per_provider_time[e.provider_idx] +=
                         st.providers[e.provider_idx].simulate_transfer(e.stored_len);
                     out.extend_from_slice(&mislead::strip(&bytes, &e.mislead_positions));
@@ -1309,14 +1612,12 @@ impl CloudDataDistributor {
         // waiting out the slow link — the winner of the race is the only
         // branch the simulated clock charges.
         if let Some(threshold) = self.config.resilience.hedge_threshold {
-            let direct_est =
-                st.providers[entry.provider_idx].estimate_transfer(entry.stored_len);
+            let direct_est = st.providers[entry.provider_idx].estimate_transfer(entry.stored_len);
             if direct_est > threshold {
                 self.telemetry().incr("hedges_considered");
                 if let Some(parity_est) = self.estimate_reconstruct(st, chunk_idx) {
                     if parity_est < direct_est {
-                        if let Ok((stored, time, retries)) =
-                            self.reconstruct_stored(st, chunk_idx)
+                        if let Ok((stored, time, retries)) = self.reconstruct_stored(st, chunk_idx)
                         {
                             self.telemetry().incr("reads_hedged");
                             return Ok(ChunkFetch {
@@ -1336,8 +1637,7 @@ impl CloudDataDistributor {
 
         // Candidate sources: primary then replicas, optionally ordered by
         // live reputation (stable sort, so ties keep stored order).
-        let mut candidates: Vec<(usize, VirtualId)> =
-            Vec::with_capacity(1 + entry.replicas.len());
+        let mut candidates: Vec<(usize, VirtualId)> = Vec::with_capacity(1 + entry.replicas.len());
         candidates.push((entry.provider_idx, entry.vid));
         candidates.extend(entry.replicas.iter().copied());
         if self.config.resilience.reputation_ordering && candidates.len() > 1 {
@@ -1490,14 +1790,15 @@ impl CloudDataDistributor {
         }
 
         let codec = StripeCodec::new(stripe.k, stripe.level)?;
-        let refs: Vec<(usize, &[u8])> = available
-            .iter()
-            .map(|(i, b)| (*i, b.as_slice()))
-            .collect();
+        let refs: Vec<(usize, &[u8])> = available.iter().map(|(i, b)| (*i, b.as_slice())).collect();
         let blob = codec.decode_observed(&refs, stripe.k * width, &tel)?;
         tel.incr("parity_reconstructions");
         let start = stripe_ref.index * width;
-        Ok((blob[start..start + entry.stored_len].to_vec(), worst, retries))
+        Ok((
+            blob[start..start + entry.stored_len].to_vec(),
+            worst,
+            retries,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -1527,7 +1828,7 @@ impl CloudDataDistributor {
         serial: u32,
         new_data: &[u8],
     ) -> Result<()> {
-        let mut st = self.state.write();
+        let mut st = self.shard_write(self.shard_for(client, filename));
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
         let pl = st.chunks[chunk_idx].pl;
@@ -1535,8 +1836,8 @@ impl CloudDataDistributor {
         // 1. Read the pre-state and compute everything BEFORE mutating, so
         //    an unavailable peer/parity provider aborts cleanly (no torn
         //    stripe: data and parity always change together).
-        let current = st.providers[st.chunks[chunk_idx].provider_idx]
-            .get(st.chunks[chunk_idx].vid)?;
+        let current =
+            st.providers[st.chunks[chunk_idx].provider_idx].get(st.chunks[chunk_idx].vid)?;
         let eligible = policy::eligible_providers(&st.providers, pl);
         let snapshot_idx = eligible
             .iter()
@@ -1599,7 +1900,7 @@ impl CloudDataDistributor {
         filename: &str,
         serial: u32,
     ) -> Result<()> {
-        let mut st = self.state.write();
+        let mut st = self.shard_write(self.shard_for(client, filename));
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
         let (sp, svid) = match (
@@ -1750,7 +2051,7 @@ impl CloudDataDistributor {
         filename: &str,
         serial: u32,
     ) -> Result<()> {
-        let mut st = self.state.write();
+        let mut st = self.shard_write(self.shard_for(client, filename));
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
         if st.chunks[chunk_idx].removed {
@@ -1808,7 +2109,8 @@ impl CloudDataDistributor {
         filename: &str,
         jctx: &Option<JournalCtx>,
     ) -> Result<()> {
-        let mut st = self.state.write();
+        let shard = self.shard_for(client, filename);
+        let mut st = self.shard_write(shard);
         let file = st.file(client, filename)?.clone();
         access::authorize(st.client(client)?, password, file.pl)?;
 
@@ -1873,9 +2175,11 @@ impl CloudDataDistributor {
                 st.chunks[m].removed = true;
                 st.chunks[m].stored_len = 0;
                 st.chunks[m].logical_len = 0;
+                self.touch_chunk(jctx, shard, m);
             }
         }
         st.client_mut(client)?.files.remove(filename);
+        self.touch_file(jctx, shard, client, filename);
         // Last crash window: tables updated, commit record pending.
         self.crash_point()?;
         Ok(())
@@ -1892,40 +2196,48 @@ impl CloudDataDistributor {
     pub fn scrub(&self) -> ScrubReport {
         let tel = self.telemetry();
         let _op = span!(tel, "scrub");
-        let mut st = self.state.write();
         let mut report = ScrubReport::default();
-        for sid in 0..st.stripes.len() {
-            let members = st.stripes[sid].members.clone();
-            let tolerable = st.stripes[sid].level.fault_tolerance();
-            let mut live = 0usize;
-            let mut missing = 0usize;
-            for &m in &members {
-                let e = &st.chunks[m];
-                if e.removed {
+        // Shard by shard, one write lock at a time: scrub is advisory, so
+        // it does not need a cross-shard atomic view. Reported stripe ids
+        // are globally offset-encoded (shard arenas concatenated in shard
+        // order) so they stay unique in operator output.
+        let mut offset = 0usize;
+        for shard in 0..self.state.len() {
+            let mut st = self.shard_write(shard);
+            for sid in 0..st.stripes.len() {
+                let members = st.stripes[sid].members.clone();
+                let tolerable = st.stripes[sid].level.fault_tolerance();
+                let mut live = 0usize;
+                let mut missing = 0usize;
+                for &m in &members {
+                    let e = &st.chunks[m];
+                    if e.removed {
+                        continue;
+                    }
+                    live += 1;
+                    let p = &st.providers[e.provider_idx];
+                    if !(p.is_online() && p.contains(e.vid)) {
+                        missing += 1;
+                    }
+                }
+                if live == 0 {
+                    // Fully removed stripe: nothing left to protect.
+                    st.stripes[sid].degraded = false;
                     continue;
                 }
-                live += 1;
-                let p = &st.providers[e.provider_idx];
-                if !(p.is_online() && p.contains(e.vid)) {
-                    missing += 1;
+                report.stripes_checked += 1;
+                report.missing_shards += missing;
+                st.stripes[sid].degraded = missing > 0;
+                if missing == 0 {
+                    continue;
+                }
+                if missing <= tolerable {
+                    report.degraded.push(offset + sid);
+                } else {
+                    report.unreadable.push(offset + sid);
                 }
             }
-            if live == 0 {
-                // Fully removed stripe: nothing left to protect.
-                st.stripes[sid].degraded = false;
-                continue;
-            }
-            report.stripes_checked += 1;
-            report.missing_shards += missing;
-            st.stripes[sid].degraded = missing > 0;
-            if missing == 0 {
-                continue;
-            }
-            if missing <= tolerable {
-                report.degraded.push(sid);
-            } else {
-                report.unreadable.push(sid);
-            }
+            offset += st.stripes.len();
         }
         tel.incr("scrubs_total");
         tel.add("scrub_missing_shards", report.missing_shards as u64);
@@ -1966,22 +2278,36 @@ impl CloudDataDistributor {
     fn repair_inner(&self, jctx: &Option<JournalCtx>) -> Result<RepairReport> {
         let tel = self.telemetry();
         let _op = span!(tel, "repair");
-        let scrub = self.scrub();
-        let mut st = self.state.write();
+        // Repair rewrites structure across every shard; its journal delta
+        // degrades to an inline full snapshot rather than row tracking.
+        self.touch_full(jctx);
+        // Refresh every stripe's degraded marker (and the scrub counters).
+        let _ = self.scrub();
         let mut report = RepairReport::default();
-        let mut per_provider_time: Vec<Duration> =
-            vec![Duration::ZERO; st.providers.len()];
-        for &sid in scrub.degraded.iter().chain(scrub.unreadable.iter()) {
-            match self.repair_stripe(&mut st, sid, jctx, &mut per_provider_time) {
-                Ok(n) => {
-                    report.stripes_repaired += 1;
-                    report.shards_rebuilt += n;
-                    st.stripes[sid].degraded = false;
+        let fleet_size = self.shard_read(0).providers.len();
+        let mut per_provider_time: Vec<Duration> = vec![Duration::ZERO; fleet_size];
+        // Then heal shard by shard, scanning each shard's own stripe arena
+        // for the markers scrub just set (report ids offset-encoded to
+        // match `scrub`).
+        let mut offset = 0usize;
+        for shard in 0..self.state.len() {
+            let mut st = self.shard_write(shard);
+            for sid in 0..st.stripes.len() {
+                if !st.stripes[sid].degraded {
+                    continue;
                 }
-                // The crash plan fired: the "process" is dead, stop here.
-                Err(e @ CoreError::SimulatedCrash { .. }) => return Err(e),
-                Err(_) => report.failed.push(sid),
+                match self.repair_stripe(&mut st, sid, jctx, &mut per_provider_time) {
+                    Ok(n) => {
+                        report.stripes_repaired += 1;
+                        report.shards_rebuilt += n;
+                        st.stripes[sid].degraded = false;
+                    }
+                    // The crash plan fired: the "process" is dead, stop here.
+                    Err(e @ CoreError::SimulatedCrash { .. }) => return Err(e),
+                    Err(_) => report.failed.push(offset + sid),
+                }
             }
+            offset += st.stripes.len();
         }
         report.failed.sort_unstable();
         report.sim_time = per_provider_time.into_iter().max().unwrap_or_default();
@@ -2044,10 +2370,7 @@ impl CloudDataDistributor {
 
         // Phase 2a: re-encode the lost shards from the survivors.
         let codec = StripeCodec::new(stripe.k, stripe.level)?;
-        let refs: Vec<(usize, &[u8])> = available
-            .iter()
-            .map(|(i, b)| (*i, b.as_slice()))
-            .collect();
+        let refs: Vec<(usize, &[u8])> = available.iter().map(|(i, b)| (*i, b.as_slice())).collect();
         let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing.len());
         let tel = self.telemetry();
         for &(slot, m) in &missing {
@@ -2107,127 +2430,26 @@ impl CloudDataDistributor {
     }
 
     // ------------------------------------------------------------------
-    // Deprecated string-triple API — prefer `session()` + `Session` ops
-    // ------------------------------------------------------------------
-
-    /// Uploads a file at the given privacy level.
-    ///
-    /// The presenting password must be privileged for `pl` (you cannot
-    /// write data you would not be allowed to read back).
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::put_file`")]
-    pub fn put_file(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-        data: &[u8],
-        pl: PrivacyLevel,
-        opts: PutOptions,
-    ) -> Result<PutReceipt> {
-        self.put_file_impl(client, password, filename, data, pl, opts)
-    }
-
-    /// Fetches one chunk by ⟨client, password, filename, serial⟩ (§VI
-    /// `get chunk`). Misleading bytes are stripped before return.
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_chunk`")]
-    pub fn get_chunk(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-        serial: u32,
-    ) -> Result<Vec<u8>> {
-        self.get_chunk_impl(client, password, filename, serial)
-    }
-
-    /// Fetches and reassembles a whole file (§VI `get file`).
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_file`")]
-    pub fn get_file(&self, client: &str, password: &str, filename: &str) -> Result<GetReceipt> {
-        self.get_file_impl(client, password, filename)
-    }
-
-    /// Fetches and reassembles a whole file with a **parallel fan-out**:
-    /// one worker thread per involved provider (the §VII-E "benefit of
-    /// parallel query processing as various fragments can be accessed
-    /// simultaneously", realized with real threads rather than the
-    /// simulated clock). Chunks the fan-out misses go through the full
-    /// degraded read path afterwards.
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::get_file_parallel`")]
-    pub fn get_file_parallel(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-    ) -> Result<GetReceipt> {
-        self.get_file_parallel_impl(client, password, filename)
-    }
-
-    /// Replaces one chunk's contents, snapshotting the pre-state to a
-    /// snapshot provider first (§IV-A: "snapshot provider stores the
-    /// pre-state and cloud provider stores the post-state of a chunk after
-    /// each modification").
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::update_chunk`")]
-    pub fn update_chunk(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-        serial: u32,
-        new_data: &[u8],
-    ) -> Result<()> {
-        self.update_chunk_impl(client, password, filename, serial, new_data)
-    }
-
-    /// Restores a chunk from its snapshot (undo the last update).
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::restore_snapshot`")]
-    pub fn restore_snapshot(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-        serial: u32,
-    ) -> Result<()> {
-        self.restore_snapshot_impl(client, password, filename, serial)
-    }
-
-    /// Removes one chunk (§VI `remove chunk`): deletes the stored object,
-    /// tombstones the table entry and refreshes the stripe parity with the
-    /// slot zeroed.
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::remove_chunk`")]
-    pub fn remove_chunk(
-        &self,
-        client: &str,
-        password: &str,
-        filename: &str,
-        serial: u32,
-    ) -> Result<()> {
-        self.remove_chunk_impl(client, password, filename, serial)
-    }
-
-    /// Removes a whole file (§VI `remove file`): data chunks, parity
-    /// chunks, snapshots and all table entries. See
-    /// [`Session::remove_file`](crate::session::Session::remove_file) for
-    /// the atomicity contract.
-    #[deprecated(note = "open a typed handle with `session(client, password)` and use `Session::remove_file`")]
-    pub fn remove_file(&self, client: &str, password: &str, filename: &str) -> Result<()> {
-        self.remove_file_impl(client, password, filename)
-    }
-
-    // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Read access to the provider fleet.
+    /// Read access to the provider fleet (shared `Arc`s, identical in
+    /// every shard).
     pub fn providers(&self) -> Vec<Arc<CloudProvider>> {
-        self.state.read().providers.clone()
+        self.shard_read(0).providers.clone()
     }
 
     /// Every virtual id the tables still reference: live chunks' primary
-    /// ids, their replicas, and snapshot ids. An object held by a provider
-    /// under an id outside this set is an orphan — the crash-recovery
-    /// harness asserts there are none after recovery.
+    /// ids, their replicas, and snapshot ids, unioned across all table
+    /// shards. An object held by a provider under an id outside this set
+    /// is an orphan — the crash-recovery harness asserts there are none
+    /// after recovery.
     pub fn referenced_vids(&self) -> HashSet<VirtualId> {
-        self.state.read().referenced_vids()
+        let mut all = HashSet::new();
+        for st in self.lock_all_read() {
+            all.extend(st.referenced_vids());
+        }
+        all
     }
 
     /// Fast-forwards the virtual-id allocator past `n` ids a crashed
@@ -2243,31 +2465,40 @@ impl CloudDataDistributor {
     }
 
     /// Chunk count per provider for one client (exposure accounting).
+    /// A client's files are spread across shards, so counts accumulate
+    /// over every shard's slice of the directory.
     pub fn client_chunks_per_provider(&self, client: &str) -> Result<Vec<usize>> {
-        let st = self.state.read();
-        let entry = st.client(client)?;
-        let mut counts = vec![0usize; st.providers.len()];
-        for file in entry.files.values() {
-            for &ci in &file.chunk_indices {
-                let e = &st.chunks[ci];
-                if !e.removed {
-                    counts[e.provider_idx] += 1;
+        let shards = self.lock_all_read();
+        let mut counts = vec![0usize; shards[0].providers.len()];
+        shards[0].client(client)?;
+        for st in &shards {
+            let entry = st.client(client)?;
+            for file in entry.files.values() {
+                for &ci in &file.chunk_indices {
+                    let e = &st.chunks[ci];
+                    if !e.removed {
+                        counts[e.provider_idx] += 1;
+                    }
                 }
             }
         }
         Ok(counts)
     }
 
-    /// Stored bytes per provider for one client.
+    /// Stored bytes per provider for one client, accumulated across every
+    /// table shard.
     pub fn client_bytes_per_provider(&self, client: &str) -> Result<Vec<u64>> {
-        let st = self.state.read();
-        let entry = st.client(client)?;
-        let mut bytes = vec![0u64; st.providers.len()];
-        for file in entry.files.values() {
-            for &ci in &file.chunk_indices {
-                let e = &st.chunks[ci];
-                if !e.removed {
-                    bytes[e.provider_idx] += e.stored_len as u64;
+        let shards = self.lock_all_read();
+        let mut bytes = vec![0u64; shards[0].providers.len()];
+        shards[0].client(client)?;
+        for st in &shards {
+            let entry = st.client(client)?;
+            for file in entry.files.values() {
+                for &ci in &file.chunk_indices {
+                    let e = &st.chunks[ci];
+                    if !e.removed {
+                        bytes[e.provider_idx] += e.stored_len as u64;
+                    }
                 }
             }
         }
@@ -2276,19 +2507,79 @@ impl CloudDataDistributor {
 
     /// Chunk count notified for a file (valid serials `0..n`).
     pub fn file_chunk_count(&self, client: &str, filename: &str) -> Result<usize> {
-        Ok(self.state.read().file(client, filename)?.chunk_indices.len())
+        Ok(self
+            .read_shard_for(client, filename)
+            .file(client, filename)?
+            .chunk_indices
+            .len())
     }
 
     /// Renders the three tables (Tables I–III) for demos and the Fig. 3
-    /// walkthrough.
+    /// walkthrough. Shard arenas are flattened into one global view
+    /// (indices offset by shard, matching `scrub`'s id encoding) so the
+    /// rendering is independent of the shard count.
     pub fn render_tables(&self) -> String {
-        let st = self.state.read();
+        let st = self.merged_tables();
         format!(
             "{}\n{}\n{}",
             st.render_provider_table(),
             st.render_client_table(),
             st.render_chunk_table()
         )
+    }
+
+    /// Flattens the per-shard arenas into one `Tables` value: chunk and
+    /// stripe indices are offset by the cumulative sizes of earlier
+    /// shards, and each client's file map is unioned. Display/introspection
+    /// only — the live distributor never operates on the merged view.
+    fn merged_tables(&self) -> Tables {
+        let shards = self.lock_all_read();
+        let mut merged = Tables::new(shards[0].providers.clone());
+        // Client directory: names + passwords are replicated, take shard 0.
+        for (name, entry) in &shards[0].clients {
+            merged.clients.insert(
+                name.clone(),
+                ClientEntry {
+                    passwords: entry.passwords.clone(),
+                    files: Default::default(),
+                },
+            );
+        }
+        let mut chunk_off = 0usize;
+        let mut stripe_off = 0usize;
+        for st in &shards {
+            for c in &st.chunks {
+                let mut c = c.clone();
+                if let Some(sref) = &mut c.stripe {
+                    sref.stripe_id += stripe_off;
+                }
+                merged.chunks.push(c);
+            }
+            for s in &st.stripes {
+                let mut s = s.clone();
+                for m in &mut s.members {
+                    *m += chunk_off;
+                }
+                merged.stripes.push(s);
+            }
+            for (name, entry) in &st.clients {
+                for (file, fe) in &entry.files {
+                    let mut fe = fe.clone();
+                    for ci in &mut fe.chunk_indices {
+                        *ci += chunk_off;
+                    }
+                    for sid in &mut fe.stripe_ids {
+                        *sid += stripe_off;
+                    }
+                    if let Some(target) = merged.clients.get_mut(name) {
+                        target.files.insert(file.clone(), fe);
+                    }
+                }
+            }
+            chunk_off += st.chunks.len();
+            stripe_off += st.stripes.len();
+        }
+        merged
     }
 
     /// Derives a reputation report from the providers' lifetime operation
@@ -2299,7 +2590,7 @@ impl CloudDataDistributor {
     pub fn reputation_report(&self) -> (Vec<f64>, Vec<usize>) {
         use fragcloud_sim::reputation::{ReputationConfig, ReputationEvent, ReputationTracker};
         use std::sync::atomic::Ordering;
-        let st = self.state.read();
+        let st = self.shard_read(0);
         let tracker = ReputationTracker::new(
             st.providers.len(),
             ReputationConfig {
@@ -2330,10 +2621,8 @@ impl CloudDataDistributor {
 }
 
 #[cfg(test)]
-// The unit tests drive the typed `Session` API. The deprecated
-// string-triple wrappers are still public and must not rot before
-// removal, but they are thin `*_impl` forwarders, so one dedicated
-// compat test (`deprecated_string_api_still_works`) is enough coverage.
+// The unit tests drive the typed `Session` API exclusively — the
+// deprecated string-triple wrappers are gone.
 mod tests {
     use super::*;
     use crate::config::{ChunkSizeSchedule, PlacementStrategy};
@@ -2440,8 +2729,13 @@ mod tests {
             CoreError::AccessDenied
         );
         // Public file is readable by the low password.
-        high.put_file("pub", &data(10), PrivacyLevel::Public, PutOptions::default())
-            .unwrap();
+        high.put_file(
+            "pub",
+            &data(10),
+            PrivacyLevel::Public,
+            PutOptions::default(),
+        )
+        .unwrap();
         assert!(public.get_file("pub").is_ok());
     }
 
@@ -2496,11 +2790,13 @@ mod tests {
         providers[1].set_online(false);
         let got = s.get_file("f").unwrap();
         assert_eq!(got.data, body);
-        assert!(got.reconstructed_chunks > 0 || {
-            // Possible the affected providers held no data chunks of this
-            // file; force by checking exposure instead.
-            true
-        });
+        assert!(
+            got.reconstructed_chunks > 0 || {
+                // Possible the affected providers held no data chunks of this
+                // file; force by checking exposure instead.
+                true
+            }
+        );
     }
 
     #[test]
@@ -2637,7 +2933,7 @@ mod tests {
         assert!(s.remove_chunk("f", 1).is_err());
         // …but survivors are still parity-protected after the tombstone.
         let c0_provider = {
-            let st = d.state.read();
+            let st = d.read_shard_for("Bob", "f");
             let file = st.file("Bob", "f").unwrap();
             st.chunks[file.chunk_indices[0]].provider_idx
         };
@@ -2650,8 +2946,13 @@ mod tests {
     fn remove_file_deletes_everything() {
         let d = distributor();
         let s = high_session(&d);
-        s.put_file("f", &data(200), PrivacyLevel::Moderate, PutOptions::default())
-            .unwrap();
+        s.put_file(
+            "f",
+            &data(200),
+            PrivacyLevel::Moderate,
+            PutOptions::default(),
+        )
+        .unwrap();
         let stored_before: usize = d.providers().iter().map(|p| p.chunk_count()).sum();
         assert!(stored_before > 0);
         s.remove_file("f").unwrap();
@@ -2683,7 +2984,12 @@ mod tests {
         d.add_password("c", "p", PrivacyLevel::High).unwrap();
         d.session("c", "p")
             .unwrap()
-            .put_file("secret", &data(64), PrivacyLevel::High, PutOptions::default())
+            .put_file(
+                "secret",
+                &data(64),
+                PrivacyLevel::High,
+                PutOptions::default(),
+            )
             .unwrap();
         let providers = d.providers();
         for p in providers.iter() {
@@ -2862,7 +3168,7 @@ mod tests {
         s.update_chunk("f", 0, &new_chunk).unwrap();
         // Knock out the primary: the replica must serve the POST-update state.
         let primary = {
-            let st = d.state.read();
+            let st = d.read_shard_for("Bob", "f");
             let file = st.file("Bob", "f").unwrap();
             st.chunks[file.chunk_indices[0]].provider_idx
         };
@@ -2891,7 +3197,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let st = d.state.read();
+        let st = d.read_shard_for("Bob", "f");
         for e in st.chunks.iter() {
             for (rp, rvid) in &e.replicas {
                 assert_ne!(*rvid, e.vid);
@@ -2920,7 +3226,10 @@ mod tests {
         providers[2].set_online(true);
         let (scores, downgrades) = d.reputation_report();
         assert_eq!(scores.len(), providers.len());
-        assert!(downgrades.contains(&2), "scores={scores:?} downgrades={downgrades:?}");
+        assert!(
+            downgrades.contains(&2),
+            "scores={scores:?} downgrades={downgrades:?}"
+        );
         // A provider with clean stats is not flagged.
         let healthy = (0..providers.len()).find(|i| !downgrades.contains(i));
         assert!(healthy.is_some());
@@ -3002,7 +3311,7 @@ mod tests {
         s.put_file("f", &data(96), PrivacyLevel::Low, PutOptions::new())
             .unwrap();
         let victim = {
-            let st = d.state_ref();
+            let st = d.read_shard_for("Bob", "f");
             st.chunks[0].provider_idx
         };
         d.providers()[victim].set_online(false);
@@ -3028,7 +3337,7 @@ mod tests {
             .unwrap();
         let healthy_time = s.get_file("f").unwrap().sim_time;
         let victim = {
-            let st = d.state_ref();
+            let st = d.read_shard_for("Bob", "f");
             st.chunks[0].provider_idx
         };
         d.providers()[victim].set_online(false);
@@ -3060,7 +3369,7 @@ mod tests {
         s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
             .unwrap();
         let victim = {
-            let st = d.state_ref();
+            let st = d.read_shard_for("Bob", "f");
             st.chunks[0].provider_idx
         };
         d.providers()[victim].set_online(false);
@@ -3084,7 +3393,7 @@ mod tests {
         s.put_file("f", &data(40), PrivacyLevel::High, PutOptions::new())
             .unwrap();
         let victim = {
-            let st = d.state_ref();
+            let st = d.read_shard_for("Bob", "f");
             st.chunks[0].provider_idx
         };
         d.providers()[victim].set_online(false);
@@ -3102,11 +3411,8 @@ mod tests {
         // Provider 0 is a WAN-grade straggler; the rest are LAN-fast.
         let mut providers: Vec<Arc<CloudProvider>> = Vec::new();
         for i in 0..6 {
-            let mut profile = ProviderProfile::new(
-                format!("cp{i}"),
-                PrivacyLevel::High,
-                CostLevel::new(0),
-            );
+            let mut profile =
+                ProviderProfile::new(format!("cp{i}"), PrivacyLevel::High, CostLevel::new(0));
             if i == 0 {
                 profile.latency = LatencyModel {
                     base: Duration::from_millis(400),
@@ -3126,10 +3432,10 @@ mod tests {
             .unwrap();
 
         let slow_holds_data = {
-            let st = d.state_ref();
-            st.chunks.iter().any(|c| {
-                c.provider_idx == 0 && matches!(c.role, ChunkRole::Data { .. })
-            })
+            let st = d.read_shard_for("Bob", "f");
+            st.chunks
+                .iter()
+                .any(|c| c.provider_idx == 0 && matches!(c.role, ChunkRole::Data { .. }))
         };
         let receipt = s.get_file("f").unwrap();
         assert_eq!(receipt.data, data(40));
@@ -3152,7 +3458,7 @@ mod tests {
         )
         .unwrap();
         let primary = {
-            let st = d.state_ref();
+            let st = d.read_shard_for("Bob", "f");
             st.chunks[0].provider_idx
         };
         d.providers()[primary].set_online(false);
@@ -3184,15 +3490,11 @@ mod tests {
         // The degraded marker survives a persist round-trip.
         let snapshot = crate::persist::export_state(&d);
         assert!(snapshot.contains("|degraded"));
-        let d2 = crate::persist::import_state(
-            &snapshot,
-            d.providers(),
-            *d.config(),
-        )
-        .unwrap();
-        let st = d2.state_ref();
-        assert!(st.stripes.iter().any(|s| s.degraded));
-        drop(st);
+        let d2 = crate::persist::import_state(&snapshot, d.providers(), *d.config()).unwrap();
+        assert!(d2
+            .lock_all_read()
+            .iter()
+            .any(|st| st.stripes.iter().any(|s| s.degraded)));
 
         // Removing the file clears the stripe from scrub's ledger.
         d.providers()[1].set_online(true);
@@ -3229,7 +3531,7 @@ mod tests {
             let mut config = small_config();
             config.mislead_rate = 0.1;
             config.raid_level = RaidLevel::Raid6;
-            config.pipelined_put = pipelined;
+            config.durability = config.durability.with_pipelined_put(pipelined);
             let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
             d.register_client("Bob").unwrap();
             d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
@@ -3239,10 +3541,20 @@ mod tests {
         let serial = build(false);
         let pipelined = build(true);
         let rs = high_session(&serial)
-            .put_file("f", &body, PrivacyLevel::High, PutOptions::new().replicas(1))
+            .put_file(
+                "f",
+                &body,
+                PrivacyLevel::High,
+                PutOptions::new().replicas(1),
+            )
             .unwrap();
         let rp = high_session(&pipelined)
-            .put_file("f", &body, PrivacyLevel::High, PutOptions::new().replicas(1))
+            .put_file(
+                "f",
+                &body,
+                PrivacyLevel::High,
+                PutOptions::new().replicas(1),
+            )
             .unwrap();
         assert_eq!(rs, rp, "receipts must match");
         assert_eq!(
@@ -3301,7 +3613,7 @@ mod tests {
         // across calls.
         assert_eq!(
             d.transfer_pool().worker_count(),
-            d.config().transfer_workers
+            d.config().durability.transfer_workers
         );
         let before_second = d.transfer_pool() as *const TransferPool;
         s.get_file_parallel("f").unwrap();
@@ -3312,31 +3624,120 @@ mod tests {
         );
     }
 
-    // --- deprecated string-triple compat -----------------------------
+    // --- sharded tables + group commit -------------------------------
 
-    /// The deprecated ⟨client, password, …⟩ wrappers must keep working
-    /// until removal. This is the ONLY place tests may touch them; all
-    /// other coverage goes through the typed `Session` API.
     #[test]
-    // fraglint: allow(no-deprecated-string-api) — the one designated
-    // compat test for the deprecated wrappers (see doc comment above).
-    #[allow(deprecated)]
-    fn deprecated_string_api_still_works() {
-        let d = distributor();
-        let body = data(128); // Public 64 → 2 chunks
-        d.put_file("Bob", "Ty7e", "f", &body, PrivacyLevel::Public, PutOptions::default())
-            .unwrap();
-        assert_eq!(d.get_file("Bob", "Ty7e", "f").unwrap().data, body);
-        assert_eq!(d.get_file_parallel("Bob", "Ty7e", "f").unwrap().data, body);
-        assert_eq!(d.get_chunk("Bob", "Ty7e", "f", 0).unwrap(), &body[..64]);
-        d.update_chunk("Bob", "Ty7e", "f", 0, &[3u8; 64]).unwrap();
-        d.restore_snapshot("Bob", "Ty7e", "f", 0).unwrap();
-        assert_eq!(d.get_file("Bob", "Ty7e", "f").unwrap().data, body);
-        d.remove_chunk("Bob", "Ty7e", "f", 1).unwrap();
-        d.remove_file("Bob", "Ty7e", "f").unwrap();
-        assert!(matches!(
-            d.get_file("Bob", "Ty7e", "f"),
-            Err(CoreError::UnknownFile { .. })
-        ));
+    fn shard_routing_is_stable_and_in_range() {
+        let mut config = small_config();
+        config.durability = config.durability.with_table_shards(8);
+        let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+        assert_eq!(d.shard_count(), 8);
+        let a = d.shard_for("Bob", "f0");
+        assert_eq!(a, d.shard_for("Bob", "f0"), "routing is deterministic");
+        assert!(a < 8);
+        // Distinct files spread: with 32 names, at least two shards get hit.
+        let shards: std::collections::HashSet<usize> = (0..32)
+            .map(|i| d.shard_for("Bob", &format!("f{i}")))
+            .collect();
+        assert!(shards.len() >= 2, "{shards:?}");
+    }
+
+    #[test]
+    fn concurrent_puts_group_commit_and_stay_readable() {
+        use crate::journal::{Journal, SimulatedFsyncSink};
+        let mut config = small_config();
+        config.durability = config
+            .durability
+            .with_table_shards(8)
+            .with_group_commit_window(Duration::from_millis(2))
+            .with_checkpoint_interval(64);
+        let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let tel = d.enable_telemetry();
+        let journal = Arc::new(Journal::new());
+        journal.set_sink(Arc::new(SimulatedFsyncSink {
+            cost: Duration::from_millis(2),
+        }));
+        d.attach_journal(Arc::clone(&journal));
+
+        let n = 8usize;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..n {
+                let d = &d;
+                scope.spawn(move |_| {
+                    let s = d.session("Bob", "Ty7e").unwrap();
+                    s.put_file(
+                        &format!("f{t}"),
+                        &data(96),
+                        PrivacyLevel::High,
+                        PutOptions::new(),
+                    )
+                    .unwrap();
+                });
+            }
+        })
+        .unwrap();
+
+        // Every put committed durably and reads back.
+        let s = d.session("Bob", "Ty7e").unwrap();
+        for t in 0..n {
+            assert_eq!(s.get_file(&format!("f{t}")).unwrap().data, data(96));
+        }
+        let reg = tel.registry().expect("enabled");
+        assert_eq!(reg.counter_total("journal_commits_total"), n as u64);
+        let fsyncs = reg.counter_total("fsync_total");
+        assert!(fsyncs >= 1, "at least one group flush");
+        // Group commit can only merge flushes, never multiply them.
+        assert!(fsyncs <= n as u64, "fsyncs={fsyncs}");
+        // All ops closed committed and survive a recovery replay.
+        assert!(journal
+            .ops()
+            .iter()
+            .all(|o| o.status == crate::journal::OpStatus::Committed));
+        let providers = d.providers();
+        let config = *d.config();
+        drop(d);
+        let (recovered, _) = crate::recovery::recover(journal, providers, config).unwrap();
+        for t in 0..n {
+            let s2 = recovered.session("Bob", "Ty7e").unwrap();
+            assert_eq!(s2.get_file(&format!("f{t}")).unwrap().data, data(96));
+        }
+    }
+
+    #[test]
+    fn sharded_tables_match_single_lock_reference() {
+        // The same serial workload against 1 shard and 8 shards must leave
+        // byte-identical provider state: the placement rng stream, vid
+        // allocation order, and upload order are all shard-independent.
+        let build = |shards: usize| {
+            let mut config = small_config();
+            config.raid_level = RaidLevel::Raid5;
+            config.durability = config.durability.with_table_shards(shards);
+            let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+            d.register_client("Bob").unwrap();
+            d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+            let s = d.session("Bob", "Ty7e").unwrap();
+            for i in 0..6 {
+                s.put_file(
+                    &format!("f{i}"),
+                    &data(100 + i),
+                    PrivacyLevel::High,
+                    PutOptions::new(),
+                )
+                .unwrap();
+            }
+            s.remove_file("f2").unwrap();
+            d
+        };
+        let reference = build(1);
+        let sharded = build(8);
+        assert_eq!(reference.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 8);
+        assert_eq!(provider_state(&reference), provider_state(&sharded));
+        let s = sharded.session("Bob", "Ty7e").unwrap();
+        for i in [0usize, 1, 3, 4, 5] {
+            assert_eq!(s.get_file(&format!("f{i}")).unwrap().data, data(100 + i));
+        }
     }
 }

@@ -155,8 +155,16 @@ mod tests {
         let d = distributor();
         let mut ec = EncryptedClient::new(&d, [7u8; 32]);
         let data = body(500);
-        ec.put_file("c", "pw", "f", &data, PrivacyLevel::High, EncryptionMode::Full, PutOptions::default())
-            .unwrap();
+        ec.put_file(
+            "c",
+            "pw",
+            "f",
+            &data,
+            PrivacyLevel::High,
+            EncryptionMode::Full,
+            PutOptions::default(),
+        )
+        .unwrap();
         assert_eq!(ec.get_file("c", "pw", "f").unwrap(), data);
         assert_eq!(ec.mode_of("f"), Some(EncryptionMode::Full));
         // No provider-stored object contains any 32-byte window of the
@@ -202,10 +210,26 @@ mod tests {
         let d = distributor();
         let mut ec = EncryptedClient::new(&d, [1u8; 32]);
         let data = body(128);
-        ec.put_file("c", "pw", "a", &data, PrivacyLevel::Low, EncryptionMode::Full, PutOptions::default())
-            .unwrap();
-        ec.put_file("c", "pw", "b", &data, PrivacyLevel::Low, EncryptionMode::Full, PutOptions::default())
-            .unwrap();
+        ec.put_file(
+            "c",
+            "pw",
+            "a",
+            &data,
+            PrivacyLevel::Low,
+            EncryptionMode::Full,
+            PutOptions::default(),
+        )
+        .unwrap();
+        ec.put_file(
+            "c",
+            "pw",
+            "b",
+            &data,
+            PrivacyLevel::Low,
+            EncryptionMode::Full,
+            PutOptions::default(),
+        )
+        .unwrap();
         let ra = d.session("c", "pw").unwrap().get_file("a").unwrap().data;
         let rb = d.session("c", "pw").unwrap().get_file("b").unwrap().data;
         assert_ne!(ra, rb, "same plaintext must encrypt differently per file");
@@ -218,7 +242,9 @@ mod tests {
         let d = distributor();
         let ec = EncryptedClient::new(&d, [1u8; 32]);
         let data = body(64);
-        d.session("c", "pw").unwrap().put_file("plain", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("plain", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         assert_eq!(ec.get_file("c", "pw", "plain").unwrap(), data);
         assert_eq!(ec.mode_of("plain"), None);

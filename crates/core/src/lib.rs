@@ -32,10 +32,12 @@
 //! - [`persist`] — versioned text snapshots of the table state, so a
 //!   restarted (or newly promoted) distributor can rehydrate against the
 //!   same provider fleet;
-//! - [`journal`] — the append-only write-ahead op journal: intent/commit/
-//!   abort records around every state-mutating operation, with virtual ids
-//!   logged *before* their provider uploads;
-//! - [`recovery`] — replays a journal against its checkpoint snapshot on
+//! - [`journal`] — the append-only write-ahead op journal: intent records
+//!   around every state-mutating operation (virtual ids logged *before*
+//!   their provider uploads), commit/abort **delta records** against the
+//!   last checkpoint, cross-operation group commit, and periodic
+//!   checkpoint compaction;
+//! - [`recovery`] — replays a journal (checkpoint + close deltas) on
 //!   restart, rolling dangling ops back (or forward, for removals) and
 //!   garbage-collecting orphan objects from providers;
 //! - [`rebalance`] — §VII-E locality migration of hot chunks;
@@ -62,11 +64,13 @@ pub mod session;
 pub mod tables;
 pub mod vid;
 
-pub use config::{ChunkSizeSchedule, DistributorConfig, PlacementStrategy};
+pub use config::{ChunkSizeSchedule, DistributorConfig, DurabilityConfig, PlacementStrategy};
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
 pub use fragcloud_telemetry::TelemetryHandle;
-pub use journal::{Journal, OpId, OpKind, OpStatus, OpView};
+pub use journal::{
+    Journal, JournalSink, NoopSink, OpId, OpKind, OpStatus, OpView, SimulatedFsyncSink,
+};
 pub use pool::TransferPool;
 pub use recovery::{recover, recover_with, RecoveryReport};
 pub use resilience::{
@@ -192,7 +196,10 @@ impl std::fmt::Display for CoreError {
             CoreError::Raid(e) => write!(f, "reconstruction error: {e}"),
             CoreError::ClientExists(c) => write!(f, "client {c:?} already registered"),
             CoreError::NotPrimary { client, primary } => {
-                write!(f, "not the primary distributor for {client:?} (primary: {primary})")
+                write!(
+                    f,
+                    "not the primary distributor for {client:?} (primary: {primary})"
+                )
             }
             CoreError::DistributorDown(n) => write!(f, "distributor {n} is down"),
             CoreError::Timeout { provider } => {

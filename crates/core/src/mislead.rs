@@ -23,7 +23,10 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 /// Panics when `rate` is not in `[0, 0.5)`.
 pub fn inject(chunk: &[u8], rate: f64, seed: u64) -> (Vec<u8>, Vec<usize>) {
-    assert!((0.0..0.5).contains(&rate), "mislead rate must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&rate),
+        "mislead rate must be in [0, 0.5)"
+    );
     if rate == 0.0 || chunk.is_empty() {
         return (chunk.to_vec(), Vec::new());
     }

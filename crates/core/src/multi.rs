@@ -232,8 +232,16 @@ mod tests {
         let g = group(3);
         g.register_client(0, "Bob").unwrap();
         g.add_password(1, "Bob", "pw", PrivacyLevel::High).unwrap();
-        g.put_file(0, "Bob", "pw", "f", &body(), PrivacyLevel::Low, PutOptions::default())
-            .unwrap();
+        g.put_file(
+            0,
+            "Bob",
+            "pw",
+            "f",
+            &body(),
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
+        .unwrap();
         // Every node can serve the read.
         for via in 0..3 {
             let r = g.get_file(via, "Bob", "pw", "f").unwrap();
@@ -247,7 +255,15 @@ mod tests {
         g.register_client(1, "Bob").unwrap();
         g.add_password(1, "Bob", "pw", PrivacyLevel::High).unwrap();
         let err = g
-            .put_file(0, "Bob", "pw", "f", &body(), PrivacyLevel::Low, PutOptions::default())
+            .put_file(
+                0,
+                "Bob",
+                "pw",
+                "f",
+                &body(),
+                PrivacyLevel::Low,
+                PutOptions::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, CoreError::NotPrimary { .. }));
         assert_eq!(g.primary_of("Bob").unwrap(), 1);
@@ -258,8 +274,16 @@ mod tests {
         let g = group(3);
         g.register_client(0, "Bob").unwrap();
         g.add_password(0, "Bob", "pw", PrivacyLevel::High).unwrap();
-        g.put_file(0, "Bob", "pw", "f", &body(), PrivacyLevel::Low, PutOptions::default())
-            .unwrap();
+        g.put_file(
+            0,
+            "Bob",
+            "pw",
+            "f",
+            &body(),
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
+        .unwrap();
         g.set_node_online(0, false);
         assert!(matches!(
             g.get_file(0, "Bob", "pw", "f"),
@@ -270,8 +294,16 @@ mod tests {
         // Failover promotes node 1, writes resume there.
         let new_primary = g.failover("Bob").unwrap();
         assert_eq!(new_primary, 1);
-        g.put_file(1, "Bob", "pw", "g", &body(), PrivacyLevel::Low, PutOptions::default())
-            .unwrap();
+        g.put_file(
+            1,
+            "Bob",
+            "pw",
+            "g",
+            &body(),
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -337,8 +369,16 @@ mod tests {
         for (i, f) in files.iter().enumerate() {
             let mut data = body();
             data.push(i as u8);
-            g.put_file(0, "Bob", "pw", f, &data, PrivacyLevel::Low, PutOptions::default())
-                .unwrap();
+            g.put_file(
+                0,
+                "Bob",
+                "pw",
+                f,
+                &data,
+                PrivacyLevel::Low,
+                PutOptions::default(),
+            )
+            .unwrap();
         }
 
         // Read back through the primary until it dies mid-sequence.
@@ -364,17 +404,41 @@ mod tests {
         // node 0, so every secondary rejects the upload.
         for via in 1..4 {
             assert!(matches!(
-                g.put_file(via, "Bob", "pw", "h", &body(), PrivacyLevel::Low, PutOptions::default()),
+                g.put_file(
+                    via,
+                    "Bob",
+                    "pw",
+                    "h",
+                    &body(),
+                    PrivacyLevel::Low,
+                    PutOptions::default()
+                ),
                 Err(CoreError::NotPrimary { .. })
             ));
         }
         assert_eq!(g.failover("Bob").unwrap(), 1);
 
         // Writes resume on the promoted node only.
-        g.put_file(1, "Bob", "pw", "h", &body(), PrivacyLevel::Low, PutOptions::default())
-            .unwrap();
+        g.put_file(
+            1,
+            "Bob",
+            "pw",
+            "h",
+            &body(),
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
+        .unwrap();
         assert!(matches!(
-            g.put_file(2, "Bob", "pw", "h2", &body(), PrivacyLevel::Low, PutOptions::default()),
+            g.put_file(
+                2,
+                "Bob",
+                "pw",
+                "h2",
+                &body(),
+                PrivacyLevel::Low,
+                PutOptions::default()
+            ),
             Err(CoreError::NotPrimary { .. })
         ));
 
@@ -383,7 +447,15 @@ mod tests {
         g.set_node_online(0, true);
         assert_eq!(g.get_file(0, "Bob", "pw", "h").unwrap().data, body());
         assert!(matches!(
-            g.put_file(0, "Bob", "pw", "h3", &body(), PrivacyLevel::Low, PutOptions::default()),
+            g.put_file(
+                0,
+                "Bob",
+                "pw",
+                "h3",
+                &body(),
+                PrivacyLevel::Low,
+                PutOptions::default()
+            ),
             Err(CoreError::NotPrimary { .. })
         ));
         assert_eq!(g.primary_of("Bob").unwrap(), 1);

@@ -11,6 +11,34 @@
 //! The format is versioned, self-delimiting and deliberately boring:
 //! one record per line, `|`-separated fields, `%xx` escaping for the two
 //! structural characters inside names.
+//!
+//! ## v2: sharded sections
+//!
+//! Since the chunk/client tables split into independently locked shards,
+//! the snapshot records them shard by shard — chunk and stripe indices
+//! are *shard-local*, and a file's row names its owning client because
+//! the client directory itself is global (names and passwords are
+//! replicated across shards; only files are partitioned):
+//!
+//! ```text
+//! fragcloud-state|v2
+//! vids|<allocated>
+//! shards|<S>
+//! providers|<P>            provider|<name> ×P
+//! clients|<C>              client|<name> / password|<pw>|<pl> …
+//! shard|0
+//!   chunks|<n>             chunk|<row> ×n
+//!   stripes|<n>            stripe|<row> ×n
+//!   files|<n>              file|<client>|<name>|<row> ×n
+//! shard|1 …
+//! end
+//! ```
+//!
+//! Import preserves the recorded shard layout verbatim (no re-sharding):
+//! `durability.table_shards` only governs *freshly constructed*
+//! distributors. The per-row serializers (`chunk_row` and friends) are
+//! shared with `core::journal`'s delta records, so a delta line and a
+//! snapshot line never drift apart.
 
 use crate::distributor::CloudDataDistributor;
 use crate::tables::{ChunkEntry, ChunkRole, ClientEntry, FileEntry, StripeInfo, StripeRef, Tables};
@@ -20,14 +48,30 @@ use fragcloud_sim::{CloudProvider, VirtualId};
 use std::sync::Arc;
 
 /// Snapshot format version.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 pub(crate) fn esc(s: &str) -> String {
-    s.replace('%', "%25").replace('|', "%7C").replace('\n', "%0A")
+    // Single pass; escaping '%' inline cannot double-escape because the
+    // replacement is emitted, never rescanned.
+    if !s.contains(['%', '|', '\n']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 16);
+    for ch in s.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            '|' => out.push_str("%7C"),
+            '\n' => out.push_str("%0A"),
+            _ => out.push(ch),
+        }
+    }
+    out
 }
 
 pub(crate) fn unesc(s: &str) -> String {
-    s.replace("%0A", "\n").replace("%7C", "|").replace("%25", "%")
+    s.replace("%0A", "\n")
+        .replace("%7C", "|")
+        .replace("%25", "%")
 }
 
 /// Snapshot parse failures, as the dedicated corruption variant (the
@@ -56,97 +100,255 @@ fn parse_raid(s: &str, line_no: usize) -> Result<RaidLevel> {
     }
 }
 
+/// Writes a `,`-joined list of `Display` items without intermediate
+/// allocations.
+fn push_list<T: std::fmt::Display>(out: &mut String, items: impl Iterator<Item = T>) {
+    use std::fmt::Write as _;
+    for (k, item) in items.enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{item}");
+    }
+}
+
+/// Appends one chunk entry's 11 `|`-joined payload fields to `out`:
+/// `vid|pl|provider|sp|snap_mislead|mislead|stored|logical|stripe|role|liveness`.
+/// Shared between snapshot export and journal delta records; written
+/// in-place because delta capture runs on the commit hot path.
+pub(crate) fn chunk_row_into(out: &mut String, c: &ChunkEntry) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}|{}|{}|", c.vid.0, c.pl.as_u8(), c.provider_idx);
+    match c.snapshot_provider_idx.zip(c.snapshot_vid) {
+        Some((i, v)) => {
+            let _ = write!(out, "{}:{}", i, v.0);
+        }
+        None => out.push('-'),
+    }
+    out.push('|');
+    push_list(out, c.snapshot_mislead.iter());
+    out.push('|');
+    push_list(out, c.mislead_positions.iter());
+    let _ = write!(out, "|{}|{}|", c.stored_len, c.logical_len);
+    match c.stripe {
+        Some(s) => {
+            let _ = write!(out, "{}:{}", s.stripe_id, s.index);
+        }
+        None => out.push('-'),
+    }
+    out.push('|');
+    match c.role {
+        ChunkRole::Data { serial } => {
+            let _ = write!(out, "d{serial}");
+        }
+        ChunkRole::Parity { index } => {
+            let _ = write!(out, "p{index}");
+        }
+    }
+    out.push('|');
+    if c.removed {
+        out.push_str("removed");
+    } else {
+        out.push_str("live");
+        for (k, (i, v)) in c.replicas.iter().enumerate() {
+            out.push(if k == 0 { ';' } else { ',' });
+            let _ = write!(out, "{}:{}", i, v.0);
+        }
+    }
+}
+
+/// [`chunk_row_into`] as an owned string (snapshot export convenience).
+pub(crate) fn chunk_row(c: &ChunkEntry) -> String {
+    let mut out = String::with_capacity(64);
+    chunk_row_into(&mut out, c);
+    out
+}
+
+/// Parses the 11 payload fields produced by [`chunk_row`]. Provider-index
+/// range checks are the caller's job (delta replay may legitimately see
+/// placeholders filled later).
+pub(crate) fn parse_chunk_fields(f: &[&str], line_no: usize) -> Result<ChunkEntry> {
+    if f.len() != 11 {
+        return Err(bad(line_no, "expected 11 chunk fields"));
+    }
+    let vid = VirtualId(parse_u64(f[0], line_no)?);
+    let pl = parse_pl(f[1], line_no)?;
+    let provider_idx = parse_usize(f[2], line_no)?;
+    let (snapshot_provider_idx, snapshot_vid) = if f[3] == "-" {
+        (None, None)
+    } else {
+        let (i, v) = parse_idx_vid(f[3], line_no)?;
+        (Some(i), Some(v))
+    };
+    let snapshot_mislead = parse_list(f[4], line_no, parse_usize)?;
+    let mislead_positions = parse_list(f[5], line_no, parse_usize)?;
+    let stored_len = parse_usize(f[6], line_no)?;
+    let logical_len = parse_usize(f[7], line_no)?;
+    let stripe = if f[8] == "-" {
+        None
+    } else {
+        let (sid, idx) = f[8]
+            .split_once(':')
+            .ok_or_else(|| bad(line_no, "expected stripe id:index"))?;
+        Some(StripeRef {
+            stripe_id: parse_usize(sid, line_no)?,
+            index: parse_usize(idx, line_no)?,
+        })
+    };
+    let role = match f[9].split_at(1) {
+        ("d", serial) => ChunkRole::Data {
+            serial: serial
+                .parse()
+                .map_err(|_| bad(line_no, "bad data serial"))?,
+        },
+        ("p", index) => ChunkRole::Parity {
+            index: index
+                .parse()
+                .map_err(|_| bad(line_no, "bad parity index"))?,
+        },
+        _ => return Err(bad(line_no, "bad role tag")),
+    };
+    let (removed, replicas) = match f[10].split_once(';') {
+        Some(("live", reps)) => (false, parse_list(reps, line_no, parse_idx_vid)?),
+        None if f[10] == "live" => (false, Vec::new()),
+        None if f[10] == "removed" => (true, Vec::new()),
+        _ => return Err(bad(line_no, "bad liveness tag")),
+    };
+    Ok(ChunkEntry {
+        vid,
+        pl,
+        provider_idx,
+        snapshot_provider_idx,
+        snapshot_vid,
+        snapshot_mislead,
+        mislead_positions,
+        stored_len,
+        logical_len,
+        stripe,
+        role,
+        removed,
+        replicas,
+    })
+}
+
+/// Appends one stripe's 5 payload fields to `out`:
+/// `k|level|width|members|health`.
+pub(crate) fn stripe_row_into(out: &mut String, s: &StripeInfo) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}|{}|{}|", s.k, raid_tag(s.level), s.shard_width);
+    push_list(out, s.members.iter());
+    out.push('|');
+    out.push_str(if s.degraded { "degraded" } else { "healthy" });
+}
+
+/// [`stripe_row_into`] as an owned string (snapshot export convenience).
+pub(crate) fn stripe_row(s: &StripeInfo) -> String {
+    let mut out = String::with_capacity(32);
+    stripe_row_into(&mut out, s);
+    out
+}
+
+/// Parses the 5 payload fields produced by [`stripe_row`]. Member range
+/// checks are the caller's job.
+pub(crate) fn parse_stripe_fields(f: &[&str], line_no: usize) -> Result<StripeInfo> {
+    if f.len() != 5 {
+        return Err(bad(line_no, "expected 5 stripe fields"));
+    }
+    let degraded = match f[4] {
+        "healthy" => false,
+        "degraded" => true,
+        _ => return Err(bad(line_no, "expected stripe health tag")),
+    };
+    Ok(StripeInfo {
+        k: parse_usize(f[0], line_no)?,
+        level: parse_raid(f[1], line_no)?,
+        members: parse_list(f[3], line_no, parse_usize)?,
+        shard_width: parse_usize(f[2], line_no)?,
+        degraded,
+    })
+}
+
+/// Appends one file entry's 4 payload fields to `out`:
+/// `pl|total_len|chunks|stripes`.
+pub(crate) fn file_row_into(out: &mut String, fe: &FileEntry) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{}|{}|", fe.pl.as_u8(), fe.total_len);
+    push_list(out, fe.chunk_indices.iter());
+    out.push('|');
+    push_list(out, fe.stripe_ids.iter());
+}
+
+/// [`file_row_into`] as an owned string (snapshot export convenience).
+pub(crate) fn file_row(fe: &FileEntry) -> String {
+    let mut out = String::with_capacity(32);
+    file_row_into(&mut out, fe);
+    out
+}
+
+/// Parses the 4 payload fields produced by [`file_row`]. Chunk-index
+/// range checks are the caller's job.
+pub(crate) fn parse_file_fields(f: &[&str], line_no: usize) -> Result<FileEntry> {
+    if f.len() != 4 {
+        return Err(bad(line_no, "expected 4 file fields"));
+    }
+    Ok(FileEntry {
+        pl: parse_pl(f[0], line_no)?,
+        total_len: parse_usize(f[1], line_no)?,
+        chunk_indices: parse_list(f[2], line_no, parse_usize)?,
+        stripe_ids: parse_list(f[3], line_no, parse_usize)?,
+    })
+}
+
 /// Serializes the distributor's table state to the snapshot text format.
 pub fn export_state(d: &CloudDataDistributor) -> String {
-    let st = d.state_ref();
+    let shards = d.lock_all_read();
     let mut out = String::new();
     out.push_str(&format!("fragcloud-state|v{VERSION}\n"));
     out.push_str(&format!("vids|{}\n", d.vids_allocated()));
+    out.push_str(&format!("shards|{}\n", shards.len()));
     // Providers are referenced by name so import can re-bind live handles.
-    out.push_str(&format!("providers|{}\n", st.providers.len()));
-    for p in &st.providers {
+    // Every shard carries the same fleet; shard 0 speaks for all.
+    let fleet = &shards[0].providers;
+    out.push_str(&format!("providers|{}\n", fleet.len()));
+    for p in fleet {
         out.push_str(&format!("provider|{}\n", esc(p.name())));
     }
-    // Chunk table.
-    out.push_str(&format!("chunks|{}\n", st.chunks.len()));
-    for c in &st.chunks {
-        let stripe = c
-            .stripe
-            .map(|s| format!("{}:{}", s.stripe_id, s.index))
-            .unwrap_or_else(|| "-".to_string());
-        let role = match c.role {
-            ChunkRole::Data { serial } => format!("d{serial}"),
-            ChunkRole::Parity { index } => format!("p{index}"),
-        };
-        let sp = c
-            .snapshot_provider_idx
-            .zip(c.snapshot_vid)
-            .map(|(i, v)| format!("{}:{}", i, v.0))
-            .unwrap_or_else(|| "-".to_string());
-        let mislead: Vec<String> = c.mislead_positions.iter().map(|p| p.to_string()).collect();
-        let snap_mislead: Vec<String> =
-            c.snapshot_mislead.iter().map(|p| p.to_string()).collect();
-        let replicas: Vec<String> = c
-            .replicas
-            .iter()
-            .map(|(i, v)| format!("{}:{}", i, v.0))
-            .collect();
-        out.push_str(&format!(
-            "chunk|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
-            c.vid.0,
-            c.pl.as_u8(),
-            c.provider_idx,
-            sp,
-            snap_mislead.join(","),
-            mislead.join(","),
-            c.stored_len,
-            c.logical_len,
-            stripe,
-            role,
-            if c.removed {
-                "removed".to_string()
-            } else if replicas.is_empty() {
-                "live".to_string()
-            } else {
-                format!("live;{}", replicas.join(","))
-            },
-        ));
-    }
-    // Stripes.
-    out.push_str(&format!("stripes|{}\n", st.stripes.len()));
-    for s in &st.stripes {
-        let members: Vec<String> = s.members.iter().map(|m| m.to_string()).collect();
-        out.push_str(&format!(
-            "stripe|{}|{}|{}|{}|{}\n",
-            s.k,
-            raid_tag(s.level),
-            s.shard_width,
-            members.join(","),
-            if s.degraded { "degraded" } else { "healthy" }
-        ));
-    }
-    // Clients.
-    let mut names: Vec<&String> = st.clients.keys().collect();
+    // Global client directory: names + passwords (replicated identically
+    // across shards; shard 0 speaks for all). Files follow per shard.
+    let mut names: Vec<&String> = shards[0].clients.keys().collect();
     names.sort();
     out.push_str(&format!("clients|{}\n", names.len()));
-    for name in names {
-        let c = &st.clients[name];
+    for name in &names {
         out.push_str(&format!("client|{}\n", esc(name)));
-        for (pass, pl) in &c.passwords {
+        for (pass, pl) in &shards[0].clients[*name].passwords {
             out.push_str(&format!("password|{}|{}\n", esc(pass), pl.as_u8()));
         }
-        let mut files: Vec<(&String, &FileEntry)> = c.files.iter().collect();
-        files.sort_by_key(|(n, _)| (*n).clone());
-        for (fname, fe) in files {
-            let chunks: Vec<String> = fe.chunk_indices.iter().map(|i| i.to_string()).collect();
-            let stripes: Vec<String> = fe.stripe_ids.iter().map(|i| i.to_string()).collect();
+    }
+    // Per-shard tables.
+    for (si, st) in shards.iter().enumerate() {
+        out.push_str(&format!("shard|{si}\n"));
+        out.push_str(&format!("chunks|{}\n", st.chunks.len()));
+        for c in &st.chunks {
+            out.push_str(&format!("chunk|{}\n", chunk_row(c)));
+        }
+        out.push_str(&format!("stripes|{}\n", st.stripes.len()));
+        for s in &st.stripes {
+            out.push_str(&format!("stripe|{}\n", stripe_row(s)));
+        }
+        let mut files: Vec<(&String, &String, &FileEntry)> = Vec::new();
+        for name in &names {
+            for (fname, fe) in &st.clients[*name].files {
+                files.push((name, fname, fe));
+            }
+        }
+        files.sort_by_key(|(c, f, _)| ((*c).clone(), (*f).clone()));
+        out.push_str(&format!("files|{}\n", files.len()));
+        for (cname, fname, fe) in files {
             out.push_str(&format!(
-                "file|{}|{}|{}|{}|{}\n",
+                "file|{}|{}|{}\n",
+                esc(cname),
                 esc(fname),
-                fe.pl.as_u8(),
-                fe.total_len,
-                chunks.join(","),
-                stripes.join(",")
+                file_row(fe)
             ));
         }
     }
@@ -176,11 +378,7 @@ fn parse_idx_vid(s: &str, line_no: usize) -> Result<(usize, VirtualId)> {
     Ok((parse_usize(i, line_no)?, VirtualId(parse_u64(v, line_no)?)))
 }
 
-fn parse_list<T>(
-    s: &str,
-    line_no: usize,
-    f: impl Fn(&str, usize) -> Result<T>,
-) -> Result<Vec<T>> {
+fn parse_list<T>(s: &str, line_no: usize, f: impl Fn(&str, usize) -> Result<T>) -> Result<Vec<T>> {
     if s.is_empty() {
         return Ok(Vec::new());
     }
@@ -189,35 +387,52 @@ fn parse_list<T>(
 
 /// Reconstructs table state from a snapshot, re-binding live provider
 /// handles **by name**. The fleet must contain every provider the snapshot
-/// references, in any order.
+/// references, in any order. The snapshot's shard layout is preserved
+/// verbatim; `config.durability.table_shards` does not re-shard imports.
 pub fn import_state(
     snapshot: &str,
     providers: Vec<Arc<CloudProvider>>,
     config: crate::DistributorConfig,
 ) -> Result<CloudDataDistributor> {
-    let mut lines = snapshot.lines().enumerate();
-    let mut next = || lines.next().ok_or_else(|| bad(0, "truncated snapshot"));
+    let mut lines = snapshot.lines().enumerate().peekable();
+    macro_rules! next {
+        () => {
+            lines.next().ok_or_else(|| bad(0, "truncated snapshot"))
+        };
+    }
+    macro_rules! counted {
+        ($prefix:literal) => {{
+            let (ln, line) = next!()?;
+            parse_usize(
+                line.strip_prefix($prefix)
+                    .ok_or_else(|| bad(ln + 1, concat!("expected ", $prefix, "count")))?,
+                ln + 1,
+            )?
+        }};
+    }
 
     // Header.
-    let (ln, header) = next()?;
+    let (ln, header) = next!()?;
     if header != format!("fragcloud-state|v{VERSION}") {
         return Err(bad(ln + 1, "bad header/version"));
     }
-    let (ln, vline) = next()?;
+    let (ln, vline) = next!()?;
     let already_allocated = parse_u64(
-        vline.strip_prefix("vids|").ok_or_else(|| bad(ln + 1, "expected vids"))?,
+        vline
+            .strip_prefix("vids|")
+            .ok_or_else(|| bad(ln + 1, "expected vids"))?,
         ln + 1,
     )?;
+    let n_shards = counted!("shards|");
+    if n_shards == 0 {
+        return Err(bad(0, "snapshot must have at least one shard"));
+    }
 
     // Provider name order → handle re-binding.
-    let (ln, pline) = next()?;
-    let n_providers = parse_usize(
-        pline.strip_prefix("providers|").ok_or_else(|| bad(ln + 1, "expected providers"))?,
-        ln + 1,
-    )?;
+    let n_providers = counted!("providers|");
     let mut ordered: Vec<Arc<CloudProvider>> = Vec::with_capacity(n_providers);
     for _ in 0..n_providers {
-        let (ln, line) = next()?;
+        let (ln, line) = next!()?;
         let name = unesc(
             line.strip_prefix("provider|")
                 .ok_or_else(|| bad(ln + 1, "expected provider"))?,
@@ -229,188 +444,110 @@ pub fn import_state(
         ordered.push(Arc::clone(handle));
     }
 
-    let mut tables = Tables::new(ordered);
-
-    // Chunks. Record layout (12 `|`-fields):
-    // chunk|vid|pl|provider|sp|snap_mislead|mislead|stored|logical|stripe|role|liveness
-    let (ln, cline) = next()?;
-    let n_chunks = parse_usize(
-        cline.strip_prefix("chunks|").ok_or_else(|| bad(ln + 1, "expected chunks"))?,
-        ln + 1,
-    )?;
-    for _ in 0..n_chunks {
-        let (ln, line) = next()?;
+    // Global client directory (names + passwords; files come per shard).
+    let n_clients = counted!("clients|");
+    let mut directory: Vec<(String, ClientEntry)> = Vec::with_capacity(n_clients);
+    while let Some((_, line)) = lines.peek() {
+        if line.starts_with("shard|") || *line == "end" {
+            break;
+        }
+        let (ln, line) = next!()?;
         let line_no = ln + 1;
-        let f: Vec<&str> = line.split('|').collect();
-        if f.len() != 12 || f[0] != "chunk" {
-            return Err(bad(line_no, "expected chunk record"));
-        }
-        let vid = VirtualId(parse_u64(f[1], line_no)?);
-        let pl = parse_pl(f[2], line_no)?;
-        let provider_idx = parse_usize(f[3], line_no)?;
-        if provider_idx >= tables.providers.len() {
-            return Err(bad(line_no, "provider index out of range"));
-        }
-        let (snapshot_provider_idx, snapshot_vid) = if f[4] == "-" {
-            (None, None)
-        } else {
-            let (i, v) = parse_idx_vid(f[4], line_no)?;
-            (Some(i), Some(v))
-        };
-        let snapshot_mislead = parse_list(f[5], line_no, parse_usize)?;
-        let mislead_positions = parse_list(f[6], line_no, parse_usize)?;
-        let stored_len = parse_usize(f[7], line_no)?;
-        let logical_len = parse_usize(f[8], line_no)?;
-        let stripe = if f[9] == "-" {
-            None
-        } else {
-            let (sid, idx) = f[9]
-                .split_once(':')
-                .ok_or_else(|| bad(line_no, "expected stripe id:index"))?;
-            Some(StripeRef {
-                stripe_id: parse_usize(sid, line_no)?,
-                index: parse_usize(idx, line_no)?,
-            })
-        };
-        let role = match f[10].split_at(1) {
-            ("d", serial) => ChunkRole::Data {
-                serial: serial
-                    .parse()
-                    .map_err(|_| bad(line_no, "bad data serial"))?,
-            },
-            ("p", index) => ChunkRole::Parity {
-                index: index
-                    .parse()
-                    .map_err(|_| bad(line_no, "bad parity index"))?,
-            },
-            _ => return Err(bad(line_no, "bad role tag")),
-        };
-        let (removed, replicas) = match f[11].split_once(';') {
-            Some(("live", reps)) => (false, parse_list(reps, line_no, parse_idx_vid)?),
-            None if f[11] == "live" => (false, Vec::new()),
-            None if f[11] == "removed" => (true, Vec::new()),
-            _ => return Err(bad(line_no, "bad liveness tag")),
-        };
-        tables.chunks.push(ChunkEntry {
-            vid,
-            pl,
-            provider_idx,
-            snapshot_provider_idx,
-            snapshot_vid,
-            snapshot_mislead,
-            mislead_positions,
-            stored_len,
-            logical_len,
-            stripe,
-            role,
-            removed,
-            replicas,
-        });
-    }
-
-    // Stripes: stripe|k|level|width|members[|health] — the health tag was
-    // added with the degraded-mode engine; 5-field records (older exports)
-    // read back as healthy.
-    let (ln, sline) = next()?;
-    let n_stripes = parse_usize(
-        sline.strip_prefix("stripes|").ok_or_else(|| bad(ln + 1, "expected stripes"))?,
-        ln + 1,
-    )?;
-    for _ in 0..n_stripes {
-        let (ln, line) = next()?;
-        let line_no = ln + 1;
-        let f: Vec<&str> = line.split('|').collect();
-        if !(f.len() == 5 || f.len() == 6) || f[0] != "stripe" {
-            return Err(bad(line_no, "expected stripe record"));
-        }
-        let members = parse_list(f[4], line_no, parse_usize)?;
-        if members.iter().any(|&m| m >= tables.chunks.len()) {
-            return Err(bad(line_no, "stripe member out of range"));
-        }
-        let degraded = match f.get(5) {
-            None => false,
-            Some(&"healthy") => false,
-            Some(&"degraded") => true,
-            Some(_) => return Err(bad(line_no, "expected stripe health tag")),
-        };
-        tables.stripes.push(StripeInfo {
-            k: parse_usize(f[1], line_no)?,
-            level: parse_raid(f[2], line_no)?,
-            members,
-            shard_width: parse_usize(f[3], line_no)?,
-            degraded,
-        });
-    }
-
-    // Clients: client|name, then password|p|pl and file|... until the next
-    // client or "end".
-    let (ln, clline) = next()?;
-    let n_clients = parse_usize(
-        clline.strip_prefix("clients|").ok_or_else(|| bad(ln + 1, "expected clients"))?,
-        ln + 1,
-    )?;
-    let mut current: Option<(String, ClientEntry)> = None;
-    let mut seen_clients = 0usize;
-    for (ln, line) in lines {
-        let line_no = ln + 1;
-        if line == "end" {
-            if let Some((name, entry)) = current.take() {
-                tables.clients.insert(name, entry);
-            }
-            if tables.clients.len() != n_clients {
-                return Err(bad(line_no, "client count mismatch"));
-            }
-            return CloudDataDistributor::from_tables(tables, config, already_allocated);
-        }
         let f: Vec<&str> = line.split('|').collect();
         match f[0] {
             "client" => {
                 if f.len() != 2 {
                     return Err(bad(line_no, "expected client record"));
                 }
-                if let Some((name, entry)) = current.take() {
-                    tables.clients.insert(name, entry);
-                }
-                seen_clients += 1;
-                current = Some((unesc(f[1]), ClientEntry::default()));
+                directory.push((unesc(f[1]), ClientEntry::default()));
             }
             "password" => {
                 if f.len() != 3 {
                     return Err(bad(line_no, "expected password record"));
                 }
-                let (_, entry) = current
-                    .as_mut()
+                let (_, entry) = directory
+                    .last_mut()
                     .ok_or_else(|| bad(line_no, "password outside client"))?;
                 entry
                     .passwords
                     .push((unesc(f[1]), parse_pl(f[2], line_no)?));
             }
-            "file" => {
-                if f.len() != 6 {
-                    return Err(bad(line_no, "expected file record"));
-                }
-                let (_, entry) = current
-                    .as_mut()
-                    .ok_or_else(|| bad(line_no, "file outside client"))?;
-                let chunk_indices = parse_list(f[4], line_no, parse_usize)?;
-                if chunk_indices.iter().any(|&c| c >= tables.chunks.len()) {
-                    return Err(bad(line_no, "file chunk index out of range"));
-                }
-                entry.files.insert(
-                    unesc(f[1]),
-                    FileEntry {
-                        pl: parse_pl(f[2], line_no)?,
-                        total_len: parse_usize(f[3], line_no)?,
-                        chunk_indices,
-                        stripe_ids: parse_list(f[5], line_no, parse_usize)?,
-                    },
-                );
-            }
             other => return Err(bad(line_no, &format!("unexpected record {other:?}"))),
         }
-        let _ = seen_clients;
     }
-    Err(bad(0, "missing end marker"))
+    if directory.len() != n_clients {
+        return Err(bad(0, "client count mismatch"));
+    }
+
+    // Per-shard tables; every shard replicates the directory.
+    let mut shards: Vec<Tables> = Vec::with_capacity(n_shards);
+    for expect_si in 0..n_shards {
+        let (ln, line) = next!()?;
+        if line != format!("shard|{expect_si}") {
+            return Err(bad(ln + 1, "expected shard header"));
+        }
+        let mut tables = Tables::new(ordered.clone());
+        for (name, entry) in &directory {
+            tables.clients.insert(name.clone(), entry.clone());
+        }
+
+        let n_chunks = counted!("chunks|");
+        for _ in 0..n_chunks {
+            let (ln, line) = next!()?;
+            let line_no = ln + 1;
+            let f: Vec<&str> = line.split('|').collect();
+            if f.first() != Some(&"chunk") {
+                return Err(bad(line_no, "expected chunk record"));
+            }
+            let c = parse_chunk_fields(&f[1..], line_no)?;
+            if c.provider_idx >= tables.providers.len() {
+                return Err(bad(line_no, "provider index out of range"));
+            }
+            tables.chunks.push(c);
+        }
+
+        let n_stripes = counted!("stripes|");
+        for _ in 0..n_stripes {
+            let (ln, line) = next!()?;
+            let line_no = ln + 1;
+            let f: Vec<&str> = line.split('|').collect();
+            if f.first() != Some(&"stripe") {
+                return Err(bad(line_no, "expected stripe record"));
+            }
+            let s = parse_stripe_fields(&f[1..], line_no)?;
+            if s.members.iter().any(|&m| m >= tables.chunks.len()) {
+                return Err(bad(line_no, "stripe member out of range"));
+            }
+            tables.stripes.push(s);
+        }
+
+        let n_files = counted!("files|");
+        for _ in 0..n_files {
+            let (ln, line) = next!()?;
+            let line_no = ln + 1;
+            let f: Vec<&str> = line.split('|').collect();
+            if f.first() != Some(&"file") || f.len() != 7 {
+                return Err(bad(line_no, "expected file record"));
+            }
+            let fe = parse_file_fields(&f[3..], line_no)?;
+            if fe.chunk_indices.iter().any(|&c| c >= tables.chunks.len()) {
+                return Err(bad(line_no, "file chunk index out of range"));
+            }
+            let cname = unesc(f[1]);
+            let entry = tables
+                .clients
+                .get_mut(&cname)
+                .ok_or_else(|| bad(line_no, "file for unknown client"))?;
+            entry.files.insert(unesc(f[2]), fe);
+        }
+        shards.push(tables);
+    }
+
+    let (ln, line) = next!()?;
+    if line != "end" {
+        return Err(bad(ln + 1, "missing end marker"));
+    }
+    CloudDataDistributor::from_shards(shards, config, already_allocated)
 }
 
 #[cfg(test)]
@@ -491,6 +628,36 @@ mod tests {
     }
 
     #[test]
+    fn import_preserves_shard_layout() {
+        // A 4-shard export re-imported under a 2-shard config keeps its
+        // 4 shards: table_shards only governs fresh construction.
+        let providers = fleet();
+        let d = CloudDataDistributor::new(providers.clone(), config());
+        d.register_client("c").unwrap();
+        d.add_password("c", "p", PrivacyLevel::High).unwrap();
+        let s = d.session("c", "p").unwrap();
+        for i in 0..4 {
+            s.put_file(
+                &format!("f{i}"),
+                &body(200),
+                PrivacyLevel::Low,
+                PutOptions::default(),
+            )
+            .unwrap();
+        }
+        assert_eq!(d.shard_count(), 4);
+        let snapshot = export_state(&d);
+        let mut cfg2 = config();
+        cfg2.durability = cfg2.durability.with_table_shards(2);
+        let d2 = import_state(&snapshot, providers, cfg2).unwrap();
+        assert_eq!(d2.shard_count(), 4);
+        let s2 = d2.session("c", "p").unwrap();
+        for i in 0..4 {
+            assert_eq!(s2.get_file(&format!("f{i}")).unwrap().data, body(200));
+        }
+    }
+
+    #[test]
     fn import_rejects_missing_provider() {
         let d = CloudDataDistributor::new(fleet(), config());
         d.register_client("c").unwrap();
@@ -509,7 +676,7 @@ mod tests {
         assert!(import_state("", fleet(), config()).is_err());
         assert!(import_state("fragcloud-state|v999\nend\n", fleet(), config()).is_err());
         assert!(import_state(
-            "fragcloud-state|v1\nproviders|0\nchunks|1\nchunk|garbage\n",
+            "fragcloud-state|v2\nvids|0\nshards|1\nproviders|0\nclients|0\nshard|0\nchunks|1\nchunk|garbage\n",
             fleet(),
             config()
         )
@@ -540,7 +707,7 @@ mod tests {
         let s1 = export_state(&d);
         let s2 = export_state(&d);
         assert_eq!(s1, s2);
-        assert!(s1.starts_with("fragcloud-state|v1\n"));
+        assert!(s1.starts_with("fragcloud-state|v2\n"));
         assert!(s1.ends_with("end\n"));
     }
 

@@ -75,13 +75,7 @@ pub fn place_stripe(
             // equal-cost providers share load across stripes.
             let mut keyed: Vec<(u8, u64, usize)> = eligible
                 .iter()
-                .map(|&i| {
-                    (
-                        providers[i].profile().cost_level.0,
-                        rng.gen::<u64>(),
-                        i,
-                    )
-                })
+                .map(|&i| (providers[i].profile().cost_level.0, rng.gen::<u64>(), i))
                 .collect();
             keyed.sort_unstable();
             Ok(keyed.into_iter().take(shards).map(|(_, _, i)| i).collect())
@@ -137,8 +131,7 @@ mod tests {
             PlacementStrategy::RandomEligible,
         ] {
             for _ in 0..50 {
-                let placed =
-                    place_stripe(&f, PrivacyLevel::Moderate, 4, strat, &mut rng).unwrap();
+                let placed = place_stripe(&f, PrivacyLevel::Moderate, 4, strat, &mut rng).unwrap();
                 assert_eq!(placed.len(), 4);
                 let mut uniq = placed.clone();
                 uniq.sort_unstable();
@@ -220,7 +213,10 @@ mod tests {
                 PlacementStrategy::CheapestEligible,
                 &mut rng
             ),
-            Err(CoreError::InsufficientProviders { needed: 6, available: 4 })
+            Err(CoreError::InsufficientProviders {
+                needed: 6,
+                available: 4
+            })
         ));
         // No providers at all for a level when all are offline.
         for p in &f {

@@ -178,7 +178,8 @@ mod tests {
         // And the worker still accepts more work.
         pool.submit(move || tx.send("still alive").expect("receiver alive"));
         assert_eq!(
-            rx.recv_timeout(std::time::Duration::from_secs(10)).expect("worker alive"),
+            rx.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("worker alive"),
             "still alive"
         );
     }

@@ -59,8 +59,8 @@ impl CloudDataDistributor {
             Some((source_provider, old_vid)) => {
                 self.crash_point()?;
                 // Best-effort: the object is already doomed in the journal.
-                let st = self.state_ref();
-                let _ = st.providers[source_provider].delete(old_vid);
+                let providers = self.providers();
+                let _ = providers[source_provider].delete(old_vid);
                 Ok(())
             }
             None => Ok(()), // already at the target
@@ -79,7 +79,8 @@ impl CloudDataDistributor {
         target_provider: usize,
         jctx: &Option<JournalCtx>,
     ) -> Result<Option<(usize, VirtualId)>> {
-        let mut st = self.state_mut();
+        let shard = self.shard_for(client, filename);
+        let mut st = self.shard_write(shard);
         let chunk_idx = st.chunk_index(client, filename, serial)?;
         crate::access::authorize(st.client(client)?, password, st.chunks[chunk_idx].pl)?;
         let pl = st.chunks[chunk_idx].pl;
@@ -118,6 +119,7 @@ impl CloudDataDistributor {
         self.crash_point()?;
         st.chunks[chunk_idx].vid = new_vid;
         st.chunks[chunk_idx].provider_idx = target_provider;
+        self.touch_chunk(jctx, shard, chunk_idx);
         Ok(Some((source_provider, old_vid)))
     }
 
@@ -134,42 +136,46 @@ impl CloudDataDistributor {
         password: &str,
         hot_threshold: u64,
     ) -> Result<RebalanceReport> {
-        // Collect candidate moves under the read lock, then apply.
+        // Collect candidate moves under the read locks (every shard: the
+        // client's files are spread by file-hash), then apply lock-free.
         let moves: Vec<(String, u32, usize)> = {
-            let st = self.state_ref();
-            let entry = st.client(client)?;
+            let shards = self.lock_all_read();
+            shards[0].client(client)?;
             // Eligible providers per PL, sorted by base latency.
             let mut moves = Vec::new();
-            for (filename, file) in &entry.files {
-                crate::access::authorize(entry, password, file.pl)?;
-                let mut candidates = policy::eligible_providers(&st.providers, file.pl);
-                candidates.sort_by_key(|&i| {
-                    st.providers[i].profile().latency.base
-                });
-                let Some(&best) = candidates.first() else { continue };
-                for &ci in &file.chunk_indices {
-                    let e = &st.chunks[ci];
-                    if e.removed || e.provider_idx == best {
+            for st in shards.iter() {
+                let entry = st.client(client)?;
+                for (filename, file) in &entry.files {
+                    crate::access::authorize(entry, password, file.pl)?;
+                    let mut candidates = policy::eligible_providers(&st.providers, file.pl);
+                    candidates.sort_by_key(|&i| st.providers[i].profile().latency.base);
+                    let Some(&best) = candidates.first() else {
                         continue;
-                    }
-                    // Hotness: total gets at the current provider is our
-                    // proxy (per-object stats would need provider support).
-                    let gets = st.providers[e.provider_idx]
-                        .stats()
-                        .gets
-                        .load(std::sync::atomic::Ordering::Relaxed);
-                    if gets <= hot_threshold {
-                        continue;
-                    }
-                    let serial = match e.role {
-                        ChunkRole::Data { serial } => serial,
-                        ChunkRole::Parity { .. } => continue,
                     };
-                    // Only better-latency targets.
-                    if st.providers[best].profile().latency.base
-                        < st.providers[e.provider_idx].profile().latency.base
-                    {
-                        moves.push((filename.clone(), serial, best));
+                    for &ci in &file.chunk_indices {
+                        let e = &st.chunks[ci];
+                        if e.removed || e.provider_idx == best {
+                            continue;
+                        }
+                        // Hotness: total gets at the current provider is our
+                        // proxy (per-object stats would need provider support).
+                        let gets = st.providers[e.provider_idx]
+                            .stats()
+                            .gets
+                            .load(std::sync::atomic::Ordering::Relaxed);
+                        if gets <= hot_threshold {
+                            continue;
+                        }
+                        let serial = match e.role {
+                            ChunkRole::Data { serial } => serial,
+                            ChunkRole::Parity { .. } => continue,
+                        };
+                        // Only better-latency targets.
+                        if st.providers[best].profile().latency.base
+                            < st.providers[e.provider_idx].profile().latency.base
+                        {
+                            moves.push((filename.clone(), serial, best));
+                        }
                     }
                 }
             }
@@ -195,7 +201,7 @@ impl CloudDataDistributor {
     /// this client versus placing everything at the worst eligible
     /// provider — a locality score for tests/experiments.
     pub fn locality_gain(&self, client: &str, filename: &str) -> Result<Duration> {
-        let st = self.state_ref();
+        let st = self.read_shard_for(client, filename);
         let file = st.file(client, filename)?;
         let mut current = Duration::ZERO;
         let mut worst_case = Duration::ZERO;
@@ -233,11 +239,8 @@ mod tests {
     fn fleet() -> Vec<Arc<CloudProvider>> {
         (0..6)
             .map(|i| {
-                let mut profile = ProviderProfile::new(
-                    format!("cp{i}"),
-                    PrivacyLevel::High,
-                    CostLevel::new(1),
-                );
+                let mut profile =
+                    ProviderProfile::new(format!("cp{i}"), PrivacyLevel::High, CostLevel::new(1));
                 profile.latency = if i == 0 {
                     LatencyModel::lan()
                 } else {
@@ -270,7 +273,9 @@ mod tests {
     fn migrate_moves_object_and_preserves_reads() {
         let d = world();
         let data = body(1000);
-        d.session("c", "pw").unwrap().put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Find chunk 0's provider and pick a different, stripe-safe target.
         let before = d.client_chunks_per_provider("c").unwrap();
@@ -294,7 +299,10 @@ mod tests {
             after.iter().sum::<usize>(),
             "no chunk lost"
         );
-        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, data);
+        assert_eq!(
+            d.session("c", "pw").unwrap().get_file("f").unwrap().data,
+            data
+        );
     }
 
     #[test]
@@ -315,7 +323,9 @@ mod tests {
         );
         d.register_client("c").unwrap();
         d.add_password("c", "pw", PrivacyLevel::High).unwrap();
-        d.session("c", "pw").unwrap().put_file("f", &body(500), PrivacyLevel::High, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("f", &body(500), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert!(matches!(
             d.migrate_chunk("c", "pw", "f", 0, 6),
@@ -328,7 +338,9 @@ mod tests {
     #[test]
     fn migrate_respects_stripe_anti_affinity() {
         let d = world();
-        d.session("c", "pw").unwrap().put_file("f", &body(700), PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("f", &body(700), PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Chunks 0..2 share a stripe (width 3); moving chunk 0 onto chunk
         // 1's provider must be vetoed.
@@ -352,14 +364,19 @@ mod tests {
             "some provider must be vetoed by anti-affinity"
         );
         // File still fully readable after the probe migrations.
-        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, body(700));
+        assert_eq!(
+            d.session("c", "pw").unwrap().get_file("f").unwrap().data,
+            body(700)
+        );
     }
 
     #[test]
     fn rebalance_moves_hot_chunks_toward_low_latency() {
         let d = world();
         let data = body(2000);
-        d.session("c", "pw").unwrap().put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("f", &data, PrivacyLevel::Low, PutOptions::default())
             .unwrap();
         // Heat the file up.
         for _ in 0..5 {
@@ -376,7 +393,10 @@ mod tests {
             "locality must improve: {gain_before:?} -> {gain_after:?}"
         );
         // Data integrity preserved.
-        assert_eq!(d.session("c", "pw").unwrap().get_file("f").unwrap().data, data);
+        assert_eq!(
+            d.session("c", "pw").unwrap().get_file("f").unwrap().data,
+            data
+        );
         // Idempotence: a second pass moves nothing new onto cp0 beyond the
         // anti-affinity cap.
         let again = d.rebalance_by_access("c", "pw", 1).unwrap();
@@ -387,7 +407,9 @@ mod tests {
     fn rebalance_requires_authorization() {
         let d = world();
         d.add_password("c", "weak", PrivacyLevel::Public).unwrap();
-        d.session("c", "pw").unwrap().put_file("f", &body(300), PrivacyLevel::High, PutOptions::default())
+        d.session("c", "pw")
+            .unwrap()
+            .put_file("f", &body(300), PrivacyLevel::High, PutOptions::default())
             .unwrap();
         assert_eq!(
             d.rebalance_by_access("c", "weak", 0).unwrap_err(),

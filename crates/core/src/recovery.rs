@@ -1,36 +1,47 @@
-//! Crash recovery: replay a write-ahead [`Journal`] against its
-//! checkpoint snapshot.
+//! Crash recovery: replay a write-ahead [`Journal`] — checkpoint plus
+//! per-op delta records — against a live provider fleet.
 //!
 //! §IV-C names the Cloud Data Distributor as the single point of failure.
 //! [`persist`] makes *quiescent* state durable; this
 //! module makes a distributor that died **mid-operation** recoverable.
-//! The journal's checkpoint is the last committed snapshot; every op
-//! after it is either committed, aborted, or — when the crash hit inside
-//! it — dangling. Recovery resolves the dangling ops:
+//! The journal's checkpoint is the last compacted snapshot; every op
+//! after it closed with a **delta record** (the table rows it touched) or
+//! — when the crash hit inside it — is dangling. Recovery proceeds in two
+//! passes:
 //!
-//! - dangling `put` / `repair` / `migrate` ops **roll back**: their
-//!   freshly allocated virtual ids (logged *before* the uploads) are
-//!   garbage-collected from every provider still holding them, so no
-//!   orphan objects survive;
-//! - dangling `remove` ops **roll forward**: some doomed objects are
-//!   already gone, so the only consistent direction is to finish the
-//!   deletes and complete the table removal;
-//! - committed ops are verified present (their files must still be
-//!   readable within RAID fault tolerance) and their doomed stragglers —
-//!   e.g. a migration's source copy whose post-commit delete never ran —
-//!   are collected.
+//! 1. **Delta replay.** Unflushed close records are discarded (what never
+//!    reached the sink does not exist), the checkpoint is imported — or
+//!    the last inline `full|` snapshot delta, if one postdates it — and
+//!    every durable close delta after the base is applied row-by-row:
+//!    chunk/stripe arena upserts, file upserts and deletions, and a
+//!    virtual-id watermark fast-forward so the recovered allocator can
+//!    never re-issue a journaled id.
+//! 2. **Dangling resolution.**
+//!    - dangling `put` / `repair` / `migrate` ops **roll back**: their
+//!      freshly allocated virtual ids (logged *before* the uploads) are
+//!      garbage-collected from every provider still holding them, so no
+//!      orphan objects survive;
+//!    - dangling `remove` ops **roll forward**: some doomed objects are
+//!      already gone, so the only consistent direction is to finish the
+//!      deletes and complete the table removal;
+//!    - committed ops are verified present (their files must still be
+//!      readable within RAID fault tolerance) and their doomed
+//!      stragglers — e.g. a migration's source copy whose post-commit
+//!      delete never ran — are collected.
 //!
 //! Everything is best-effort and telemetry-counted; what cannot be fixed
 //! (an orphan on an offline provider, a committed file that does not
-//! verify) lands in [`RecoveryReport::unrecoverable`] instead of aborting
-//! the recovery.
+//! verify, a corrupt delta row) lands in
+//! [`RecoveryReport::unrecoverable`] instead of aborting the recovery.
 
 use crate::config::DistributorConfig;
 use crate::distributor::CloudDataDistributor;
 use crate::journal::{Journal, OpKind, OpStatus, OpView};
 use crate::persist;
+use crate::tables::{ChunkEntry, ChunkRole, StripeInfo};
 use crate::Result;
-use fragcloud_sim::{CloudProvider, ObjectStore, VirtualId};
+use fragcloud_raid::RaidLevel;
+use fragcloud_sim::{CloudProvider, ObjectStore, PrivacyLevel, VirtualId};
 use fragcloud_telemetry::{span, TelemetryHandle};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -53,7 +64,8 @@ pub struct RecoveryReport {
     /// Orphan objects garbage-collected from providers.
     pub orphans_collected: usize,
     /// Failures recovery could not repair: orphan deletes that failed
-    /// (offline provider) and committed files that no longer verify.
+    /// (offline provider), committed files that no longer verify, and
+    /// delta rows that would not parse or apply.
     pub unrecoverable: usize,
 }
 
@@ -67,14 +79,15 @@ enum Resolution {
     Aborted,
 }
 
-/// Rebuilds a distributor from `journal` (checkpoint + op records) over a
-/// live provider fleet, resolving every dangling op. On success the
-/// journal is compacted to the post-recovery snapshot and re-attached to
-/// the returned distributor, so operation — and journaling — can resume.
+/// Rebuilds a distributor from `journal` (checkpoint + delta records)
+/// over a live provider fleet, resolving every dangling op. On success
+/// the journal is compacted to the post-recovery snapshot and re-attached
+/// to the returned distributor, so operation — and journaling — can
+/// resume.
 ///
-/// Fails only when the checkpoint itself cannot be imported (corrupt
-/// snapshot, missing provider, invalid config); per-op trouble is
-/// reported, not raised.
+/// Fails only when the base snapshot itself cannot be imported (corrupt
+/// snapshot, missing provider, invalid config); per-op and per-row
+/// trouble is reported, not raised.
 pub fn recover(
     journal: Arc<Journal>,
     providers: Vec<Arc<CloudProvider>>,
@@ -93,22 +106,62 @@ pub fn recover_with(
     tel: &TelemetryHandle,
 ) -> Result<(CloudDataDistributor, RecoveryReport)> {
     let _op = span!(tel, "recover");
-    let checkpoint = journal.checkpoint();
-    let d = if checkpoint.is_empty() {
+
+    // Close records appended but never covered by a group flush are gone:
+    // the distributor never acked those ops, and they must read as
+    // dangling so they resolve below.
+    journal.discard_unflushed();
+
+    // Pick the replay base: the compacted checkpoint, unless a later
+    // close carried an inline `full|` snapshot (the repair escape hatch),
+    // which supersedes both the checkpoint and every delta row before it.
+    let mut base = journal.checkpoint();
+    let mut pending: Vec<String> = Vec::new();
+    let mut watermark: u64 = 0;
+    for (_, _, delta) in journal.closed_deltas() {
+        for line in delta.lines() {
+            if let Some(rest) = line.strip_prefix("full|") {
+                base = persist::unesc(rest);
+                pending.clear();
+            } else if let Some(w) = line.strip_prefix("vids|") {
+                watermark = watermark.max(w.parse().unwrap_or(0));
+            } else if !line.is_empty() {
+                pending.push(line.to_string());
+            }
+        }
+    }
+
+    let d = if base.is_empty() {
         CloudDataDistributor::try_new(providers, config)?
     } else {
-        persist::import_state(&checkpoint, providers, config)?
+        persist::import_state(&base, providers, config)?
     };
+
+    let mut report = RecoveryReport::default();
+
+    // Delta replay: idempotent row upserts in close order. A row that
+    // fails to parse or lands out of range is counted, not fatal — the
+    // op-level verification below catches any file it leaves broken.
+    for line in &pending {
+        if apply_delta_line(&d, line).is_none() {
+            report.unrecoverable += 1;
+        }
+    }
+
+    // The allocator must move past every id any closed op journaled, even
+    // when the base snapshot predates the allocation. Over-skipping is
+    // harmless; re-issuing is not.
+    let allocated = d.vids_allocated();
+    if watermark > allocated {
+        d.skip_vids(watermark - allocated);
+    }
 
     let ops = journal.ops();
-    let mut report = RecoveryReport {
-        ops_seen: ops.len(),
-        ..Default::default()
-    };
+    report.ops_seen = ops.len();
 
-    // The crashed incarnation allocated (and journaled) ids the
-    // checkpoint's counter never saw; skip past them so the recovered
-    // allocator can never re-issue one. Over-skipping is harmless.
+    // The crashed incarnation allocated (and journaled) ids that no close
+    // delta's watermark covers — dangling ops never committed. Skip past
+    // them too so the recovered allocator can never re-issue one.
     let dangling_allocs: u64 = ops
         .iter()
         .filter(|o| o.status == OpStatus::Dangling)
@@ -140,8 +193,9 @@ pub fn recover_with(
                     let referenced = d.referenced_vids();
                     if !op.fresh.is_empty() && op.fresh.iter().all(|v| referenced.contains(v)) {
                         // Every upload is table-referenced: a concurrent
-                        // later commit checkpointed this op's effects, so
-                        // it is effectively committed.
+                        // later commit's delta (or full snapshot) captured
+                        // this op's effects, so it is effectively
+                        // committed.
                         Resolution::Replayed
                     } else {
                         if op.kind == OpKind::Put {
@@ -164,21 +218,21 @@ pub fn recover_with(
 
     verify_expectations(&d, &resolutions, &mut report);
 
-    // Close out the dangling ops and compact: the journal's new baseline
-    // is the post-recovery snapshot, and journaling resumes on the
-    // recovered distributor.
-    let final_checkpoint = persist::export_state(&d);
+    // Close out the dangling ops (with empty deltas — their effects are
+    // already in the compaction snapshot below) and compact: the
+    // journal's new baseline is the post-recovery snapshot, and
+    // journaling resumes on the recovered distributor.
     for (op, resolution) in &resolutions {
         if op.status == OpStatus::Dangling {
             match resolution {
                 Resolution::RolledForward | Resolution::Replayed => {
-                    journal.commit(op.id, final_checkpoint.clone())
+                    journal.commit(op.id, String::new());
                 }
-                _ => journal.abort(op.id, final_checkpoint.clone()),
+                _ => journal.abort(op.id, String::new()),
             }
         }
     }
-    journal.compact(final_checkpoint);
+    journal.compact(persist::export_state(&d));
     d.attach_journal(Arc::clone(&journal));
 
     tel.incr("recovery_runs_total");
@@ -187,6 +241,119 @@ pub fn recover_with(
     tel.add("recovery_ops_rolled_forward", report.rolled_forward as u64);
     tel.add("recovery_unrecoverable", report.unrecoverable as u64);
     Ok((d, report))
+}
+
+/// Arena filler for a chunk slot a delta skipped over (the op that wrote
+/// the lower index closed later, or its delta was compacted into the
+/// base). Reads as a tombstone until a row claims the slot.
+fn placeholder_chunk() -> ChunkEntry {
+    ChunkEntry {
+        vid: VirtualId(u64::MAX),
+        pl: PrivacyLevel::Public,
+        provider_idx: 0,
+        snapshot_provider_idx: None,
+        snapshot_vid: None,
+        snapshot_mislead: Vec::new(),
+        mislead_positions: Vec::new(),
+        stored_len: 0,
+        logical_len: 0,
+        stripe: None,
+        role: ChunkRole::Data { serial: 0 },
+        removed: true,
+        replicas: Vec::new(),
+    }
+}
+
+/// Arena filler for a stripe slot a delta skipped over. Empty membership:
+/// nothing references it until a row claims the slot.
+fn placeholder_stripe() -> StripeInfo {
+    StripeInfo {
+        k: 0,
+        level: RaidLevel::None,
+        members: Vec::new(),
+        shard_width: 0,
+        degraded: false,
+    }
+}
+
+/// Applies one delta row to the recovered tables. Rows address arena
+/// slots by ⟨shard, index⟩; gaps are filled with tombstone placeholders
+/// so replay order never matters. Returns `None` on a malformed or
+/// out-of-range row.
+fn apply_delta_line(d: &CloudDataDistributor, line: &str) -> Option<()> {
+    let f: Vec<&str> = line.split('|').collect();
+    match f[0] {
+        "chunk" => {
+            if f.len() != 14 {
+                return None;
+            }
+            let shard: usize = f[1].parse().ok()?;
+            let idx: usize = f[2].parse().ok()?;
+            let entry = persist::parse_chunk_fields(&f[3..], 0).ok()?;
+            if shard >= d.shard_count() {
+                return None;
+            }
+            let mut st = d.shard_write(shard);
+            if entry.provider_idx >= st.providers.len() {
+                return None;
+            }
+            while st.chunks.len() <= idx {
+                st.chunks.push(placeholder_chunk());
+            }
+            st.chunks[idx] = entry;
+        }
+        "stripe" => {
+            if f.len() != 8 {
+                return None;
+            }
+            let shard: usize = f[1].parse().ok()?;
+            let idx: usize = f[2].parse().ok()?;
+            let entry = persist::parse_stripe_fields(&f[3..], 0).ok()?;
+            if shard >= d.shard_count() {
+                return None;
+            }
+            let mut st = d.shard_write(shard);
+            while st.stripes.len() <= idx {
+                st.stripes.push(placeholder_stripe());
+            }
+            st.stripes[idx] = entry;
+        }
+        "file" => {
+            if f.len() != 8 {
+                return None;
+            }
+            let shard: usize = f[1].parse().ok()?;
+            let client = persist::unesc(f[2]);
+            let name = persist::unesc(f[3]);
+            let entry = persist::parse_file_fields(&f[4..], 0).ok()?;
+            if shard >= d.shard_count() {
+                return None;
+            }
+            let mut st = d.shard_write(shard);
+            st.clients
+                .entry(client)
+                .or_default()
+                .files
+                .insert(name, entry);
+        }
+        "filedel" => {
+            if f.len() != 4 {
+                return None;
+            }
+            let shard: usize = f[1].parse().ok()?;
+            let client = persist::unesc(f[2]);
+            let name = persist::unesc(f[3]);
+            if shard >= d.shard_count() {
+                return None;
+            }
+            let mut st = d.shard_write(shard);
+            if let Some(entry) = st.clients.get_mut(&client) {
+                entry.files.remove(&name);
+            }
+        }
+        _ => return None,
+    }
+    Some(())
 }
 
 /// Deletes `vids` from every provider still holding them, skipping any
@@ -202,14 +369,14 @@ fn gc_vids(
     if vids.is_empty() {
         return;
     }
-    let st = d.state_ref();
-    let referenced = st.referenced_vids();
+    let referenced = d.referenced_vids();
+    let providers = d.providers();
     let mut seen = HashSet::new();
     for &vid in vids {
         if referenced.contains(&vid) || !seen.insert(vid) {
             continue;
         }
-        for p in &st.providers {
+        for p in &providers {
             if p.contains(vid) {
                 match p.delete(vid) {
                     Ok(()) => {
@@ -226,9 +393,12 @@ fn gc_vids(
 /// Rolls a dangling removal forward at the table level: tombstones every
 /// member of the file's stripes and drops the file entry (the objects
 /// themselves were handled by [`gc_vids`] on the doom list). A no-op when
-/// the crash already passed the table update.
+/// the crash already passed the table update. The file — and all its
+/// stripes and chunks — live wholly in one shard, so one shard lock
+/// suffices.
 fn complete_remove(d: &CloudDataDistributor, client: &str, target: &str) {
-    let mut st = d.state_mut();
+    let shard = d.shard_for(client, target);
+    let mut st = d.shard_write(shard);
     let Ok(file) = st.file(client, target).cloned() else {
         return;
     };
@@ -249,12 +419,14 @@ fn complete_remove(d: &CloudDataDistributor, client: &str, target: &str) {
     }
 }
 
-/// Strips whatever table rows a dangling put left in the checkpoint (only
-/// possible when a concurrent op's commit exported mid-put state):
-/// tombstones its chunk entries and drops its file entry.
+/// Strips whatever table rows a dangling put left in the replayed state
+/// (only possible when a concurrent op's close delta captured mid-put
+/// rows): tombstones its chunk entries and drops its file entry. A put's
+/// rows land wholly in its file's shard, so one shard lock suffices.
 fn strip_put(d: &CloudDataDistributor, op: &OpView) {
     let fresh: HashSet<VirtualId> = op.fresh.iter().copied().collect();
-    let mut st = d.state_mut();
+    let shard = d.shard_for(&op.client, &op.target);
+    let mut st = d.shard_write(shard);
     for e in st.chunks.iter_mut() {
         if fresh.contains(&e.vid) && !e.removed {
             e.removed = true;
@@ -316,8 +488,8 @@ fn verify_expectations(
         }
     }
 
-    let st = d.state_ref();
     for ((client, target), present) in expect {
+        let st = d.read_shard_for(client, target);
         let file = st.file(client, target);
         if !present {
             if file.is_ok() {

@@ -81,24 +81,13 @@ impl RetryPolicy {
         Ok(())
     }
 
-    /// Deprecated panicking form of [`validate`](Self::validate).
-    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
-    pub fn assert_valid(&self) {
-        if let Err(e) = self.validate() {
-            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
-            // panicking *by contract*; it stays until the pinned removal
-            // release. New code goes through `validate()`.
-            panic!("{e}");
-        }
-    }
-
     /// Simulated wait before retry number `attempt` (1-based: the wait
     /// after the first failure is `backoff(1, …)`). Deterministic: the
     /// jitter is hashed from `(seed, attempt)`, so a fixed distributor
     /// seed replays the exact same schedule.
     pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
-        let exp = self.base_backoff.as_secs_f64()
-            * 2f64.powi(attempt.saturating_sub(1).min(62) as i32);
+        let exp =
+            self.base_backoff.as_secs_f64() * 2f64.powi(attempt.saturating_sub(1).min(62) as i32);
         let capped = exp.min(self.max_backoff.as_secs_f64());
         if self.jitter == 0.0 {
             return Duration::from_secs_f64(capped);
@@ -139,14 +128,26 @@ impl RetryPolicy {
         for n in 1..=self.max_attempts {
             match attempt(n) {
                 AttemptOutcome::Success(v) => {
-                    return RetryExecution { result: Ok(v), sim_time, retries }
+                    return RetryExecution {
+                        result: Ok(v),
+                        sim_time,
+                        retries,
+                    }
                 }
                 AttemptOutcome::Fatal(e) => {
-                    return RetryExecution { result: Err(e), sim_time, retries }
+                    return RetryExecution {
+                        result: Err(e),
+                        sim_time,
+                        retries,
+                    }
                 }
                 AttemptOutcome::Transient(e) => {
                     if n == self.max_attempts {
-                        return RetryExecution { result: Err(e), sim_time, retries };
+                        return RetryExecution {
+                            result: Err(e),
+                            sim_time,
+                            retries,
+                        };
                     }
                     let pause = self.backoff(n, seed);
                     waited += pause;
@@ -154,15 +155,19 @@ impl RetryPolicy {
                         if waited > deadline {
                             telemetry.incr("timeouts_total");
                             return RetryExecution {
-                                result: Err(CoreError::Timeout { provider: provider.to_string() }),
+                                result: Err(CoreError::Timeout {
+                                    provider: provider.to_string(),
+                                }),
                                 sim_time,
                                 retries,
                             };
                         }
                     }
                     telemetry.add_labeled("retries_total", provider, 1);
-                    telemetry
-                        .observe("backoff_wait_us", pause.as_micros().min(u128::from(u64::MAX)) as u64);
+                    telemetry.observe(
+                        "backoff_wait_us",
+                        pause.as_micros().min(u128::from(u64::MAX)) as u64,
+                    );
                     sim_time += pause;
                     retries += 1;
                 }
@@ -226,17 +231,6 @@ impl ResilienceConfig {
     /// Check the configuration's invariants.
     pub fn validate(&self) -> Result<(), CoreError> {
         self.retry.validate()
-    }
-
-    /// Deprecated panicking form of [`validate`](Self::validate).
-    #[deprecated(since = "0.2.0", note = "use `validate()` and handle the Result")]
-    pub fn assert_valid(&self) {
-        if let Err(e) = self.validate() {
-            // fraglint: allow(no-unwrap-in-lib) — this deprecated API is
-            // panicking *by contract*; it stays until the pinned removal
-            // release. New code goes through `validate()`.
-            panic!("{e}");
-        }
     }
 }
 
@@ -311,12 +305,9 @@ mod tests {
                 let a = p.backoff(attempt, seed);
                 let b = p.backoff(attempt, seed);
                 assert_eq!(a, b, "same (attempt, seed) must agree");
-                let nominal = RetryPolicy {
-                    jitter: 0.0,
-                    ..p
-                }
-                .backoff(attempt, seed)
-                .as_secs_f64();
+                let nominal = RetryPolicy { jitter: 0.0, ..p }
+                    .backoff(attempt, seed)
+                    .as_secs_f64();
                 let ratio = a.as_secs_f64() / nominal;
                 assert!(
                     (1.0 - p.jitter - 1e-9..=1.0 + p.jitter + 1e-9).contains(&ratio),
@@ -344,7 +335,9 @@ mod tests {
         }
         .validate()
         .expect_err("zero attempts");
-        assert!(matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_attempts")));
+        assert!(
+            matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_attempts"))
+        );
 
         let err = RetryPolicy {
             jitter: 1.0,
@@ -361,20 +354,9 @@ mod tests {
         }
         .validate()
         .expect_err("inverted bounds");
-        assert!(matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_backoff")));
-    }
-
-    #[test]
-    #[should_panic(expected = "max_attempts")]
-    fn deprecated_assert_valid_still_panics() {
-        // fraglint: allow(no-deprecated-string-api) — pin test: keeps the
-        // deprecated `assert_valid` panicking until its removal release.
-        #[allow(deprecated)]
-        RetryPolicy {
-            max_attempts: 0,
-            ..Default::default()
-        }
-        .assert_valid();
+        assert!(
+            matches!(&err, CoreError::InvalidConfig { detail } if detail.contains("max_backoff"))
+        );
     }
 
     #[test]
@@ -460,6 +442,8 @@ mod tests {
 
     #[test]
     fn default_resilience_validates() {
-        ResilienceConfig::default().validate().expect("defaults are valid");
+        ResilienceConfig::default()
+            .validate()
+            .expect("defaults are valid");
     }
 }

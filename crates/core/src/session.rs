@@ -21,7 +21,7 @@
 //!         )))
 //!     })
 //!     .collect();
-//! let d = CloudDataDistributor::new(fleet, DistributorConfig::default());
+//! let d = CloudDataDistributor::try_new(fleet, DistributorConfig::default()).unwrap();
 //! d.register_client("Bob").unwrap();
 //! d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
 //!
@@ -102,7 +102,9 @@ impl CloudDataDistributor {
     /// [`session`](Self::session) with pre-built [`Credentials`].
     pub fn session_with(&self, credentials: Credentials) -> Result<Session<'_>> {
         let privilege = {
-            let st = self.state_ref();
+            // The client directory (names + passwords) is replicated into
+            // every shard; shard 0 speaks for all.
+            let st = self.shard_read(0);
             access::password_level(st.client(credentials.client())?, credentials.password())?
         };
         Ok(Session {
@@ -115,7 +117,8 @@ impl CloudDataDistributor {
 
 impl fmt::Debug for CloudDataDistributor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CloudDataDistributor").finish_non_exhaustive()
+        f.debug_struct("CloudDataDistributor")
+            .finish_non_exhaustive()
     }
 }
 

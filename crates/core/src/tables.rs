@@ -223,8 +223,7 @@ impl Tables {
 
     /// Renders the Client Table like the paper's Table II.
     pub fn render_client_table(&self) -> String {
-        let mut out =
-            String::from("Client | (pass, PL) | Count | (filename, sl, PL, idx)\n");
+        let mut out = String::from("Client | (pass, PL) | Count | (filename, sl, PL, idx)\n");
         let mut names: Vec<&String> = self.clients.keys().collect();
         names.sort();
         for name in names {
@@ -306,10 +305,7 @@ mod tests {
     #[test]
     fn lookups_fail_cleanly() {
         let t = Tables::new(fleet());
-        assert!(matches!(
-            t.client("Bob"),
-            Err(CoreError::UnknownClient(_))
-        ));
+        assert!(matches!(t.client("Bob"), Err(CoreError::UnknownClient(_))));
         let mut t = t;
         t.clients.insert("Bob".into(), ClientEntry::default());
         assert!(t.client("Bob").is_ok());

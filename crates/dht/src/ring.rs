@@ -128,10 +128,10 @@ impl ChordRing {
         // Forwarding between two virtual nodes of the same physical member
         // is a local operation, so only name-changing forwards count as hops.
         let forward = |to_id: u64,
-                           to_name: &NodeName,
-                           current_name: &mut String,
-                           hops: &mut usize,
-                           path: &mut Vec<u64>| {
+                       to_name: &NodeName,
+                       current_name: &mut String,
+                       hops: &mut usize,
+                       path: &mut Vec<u64>| {
             if to_name != current_name {
                 *hops += 1;
                 *current_name = to_name.clone();
@@ -181,10 +181,7 @@ impl ChordRing {
 
     /// Assigns every key in `keys` to its owner — used to measure how many
     /// chunks remap when a provider joins or leaves.
-    pub fn assign_all<'a>(
-        &self,
-        keys: impl IntoIterator<Item = (&'a str, u32)>,
-    ) -> Vec<NodeName> {
+    pub fn assign_all<'a>(&self, keys: impl IntoIterator<Item = (&'a str, u32)>) -> Vec<NodeName> {
         keys.into_iter()
             .map(|(f, s)| {
                 self.owner(f, s)
@@ -311,10 +308,8 @@ mod tests {
     #[test]
     fn leave_remaps_only_lost_nodes_keys() {
         let mut r = ring_of(10);
-        let keys: Vec<(String, u32)> =
-            (0..1000).map(|s| ("remap".to_string(), s)).collect();
-        let key_refs: Vec<(&str, u32)> =
-            keys.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+        let keys: Vec<(String, u32)> = (0..1000).map(|s| ("remap".to_string(), s)).collect();
+        let key_refs: Vec<(&str, u32)> = keys.iter().map(|(f, s)| (f.as_str(), *s)).collect();
         let before = r.assign_all(key_refs.iter().copied());
         r.leave("provider-3");
         let after = r.assign_all(key_refs.iter().copied());
@@ -333,10 +328,8 @@ mod tests {
     #[test]
     fn join_remaps_bounded_fraction() {
         let mut r = ring_of(10);
-        let keys: Vec<(String, u32)> =
-            (0..1000).map(|s| ("grow".to_string(), s)).collect();
-        let key_refs: Vec<(&str, u32)> =
-            keys.iter().map(|(f, s)| (f.as_str(), *s)).collect();
+        let keys: Vec<(String, u32)> = (0..1000).map(|s| ("grow".to_string(), s)).collect();
+        let key_refs: Vec<(&str, u32)> = keys.iter().map(|(f, s)| (f.as_str(), *s)).collect();
         let before = r.assign_all(key_refs.iter().copied());
         r.join("provider-new");
         let after = r.assign_all(key_refs.iter().copied());

@@ -12,8 +12,7 @@ fn ring_of(names: &[String]) -> ChordRing {
 }
 
 fn arb_names() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::btree_set("[a-z]{3,8}", 1..20)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set("[a-z]{3,8}", 1..20).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

@@ -68,7 +68,10 @@ pub fn parse(text: &str) -> Result<Config, String> {
             return Err(format!("line {}: unknown table {line:?}", lineno + 1));
         }
         let (key, value) = parse_kv(line).ok_or_else(|| {
-            format!("line {}: expected `key = \"value\"`, got {line:?}", lineno + 1)
+            format!(
+                "line {}: expected `key = \"value\"`, got {line:?}",
+                lineno + 1
+            )
         })?;
         let entry = current
             .as_mut()

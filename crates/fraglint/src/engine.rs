@@ -37,7 +37,9 @@ pub fn scan(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
     for rel in files {
         let text = std::fs::read_to_string(root.join(&rel))?;
         let rel_slash = rel.to_string_lossy().replace('\\', "/");
-        report.violations.extend(scan_source(&rel_slash, &text, config));
+        report
+            .violations
+            .extend(scan_source(&rel_slash, &text, config));
         report.files_scanned += 1;
     }
     report
@@ -49,9 +51,14 @@ pub fn scan(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
 /// Directories never scanned: build output, vendored shims, VCS metadata
 /// and the lint's own deliberately-violating fixture corpus.
 fn skip_dir(name: &str, rel: &Path) -> bool {
-    matches!(name, "target" | "vendor" | ".git" | ".github" | "node_modules")
-        || name.starts_with('.')
-        || rel.to_string_lossy().replace('\\', "/").ends_with("tests/fixtures")
+    matches!(
+        name,
+        "target" | "vendor" | ".git" | ".github" | "node_modules"
+    ) || name.starts_with('.')
+        || rel
+            .to_string_lossy()
+            .replace('\\', "/")
+            .ends_with("tests/fixtures")
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -75,7 +82,9 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
 /// the engine on individual files without touching the filesystem walk.
 pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Vec<Violation> {
     let tokens = tokenize(text);
-    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
     let test_lines = test_line_spans(&tokens, &code);
     let path_is_test = is_test_path(rel_path);
     let waivers = collect_waivers(&tokens, &code);
@@ -236,7 +245,9 @@ fn collect_waivers(tokens: &[Token], code: &[usize]) -> Vec<Waiver> {
         if !t.is_comment() {
             continue;
         }
-        let Some(rules) = parse_waiver(&t.text) else { continue };
+        let Some(rules) = parse_waiver(&t.text) else {
+            continue;
+        };
         // Standalone comment (no code on its own line): the waiver
         // covers the next code-bearing line.
         let applies_line = if code_lines.contains(&t.line) {
@@ -304,8 +315,7 @@ mod tests {
 
     #[test]
     fn waiver_trailing_and_standalone() {
-        let trailing =
-            "fn f() { x.unwrap(); } // fraglint: allow(no-unwrap-in-lib) — invariant\n";
+        let trailing = "fn f() { x.unwrap(); } // fraglint: allow(no-unwrap-in-lib) — invariant\n";
         assert!(scan_str("crates/core/src/a.rs", trailing).is_empty());
         let standalone =
             "// fraglint: allow(no-unwrap-in-lib) — invariant\nfn f() { x.unwrap(); }\n";
@@ -314,8 +324,7 @@ mod tests {
         let wrong = "// fraglint: allow(no-print-in-lib)\nfn f() { x.unwrap(); }\n";
         assert_eq!(scan_str("crates/core/src/a.rs", wrong).len(), 1);
         // A waiver does not leak past the next code line.
-        let leaky =
-            "// fraglint: allow(no-unwrap-in-lib)\nfn f() {}\nfn g() { x.unwrap(); }\n";
+        let leaky = "// fraglint: allow(no-unwrap-in-lib)\nfn f() {}\nfn g() { x.unwrap(); }\n";
         assert_eq!(scan_str("crates/core/src/a.rs", leaky).len(), 1);
     }
 

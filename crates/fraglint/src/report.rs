@@ -14,10 +14,18 @@ pub fn render_table(report: &ScanReport) -> String {
             .map(|v| v.path.len() + 1 + digits(v.line))
             .max()
             .unwrap_or(0);
-        let rule_w = report.violations.iter().map(|v| v.rule.len()).max().unwrap_or(0);
+        let rule_w = report
+            .violations
+            .iter()
+            .map(|v| v.rule.len())
+            .max()
+            .unwrap_or(0);
         for v in &report.violations {
             let loc = format!("{}:{}", v.path, v.line);
-            out.push_str(&format!("{loc:<loc_w$}  {:<rule_w$}  {}\n", v.rule, v.message));
+            out.push_str(&format!(
+                "{loc:<loc_w$}  {:<rule_w$}  {}\n",
+                v.rule, v.message
+            ));
         }
         out.push('\n');
     }
@@ -75,7 +83,10 @@ pub fn render_json(report: &ScanReport) -> String {
 pub fn render_rules() -> String {
     let mut out = String::new();
     for r in RULES {
-        out.push_str(&format!("{}\n    flags:     {}\n    protects:  {}\n", r.id, r.summary, r.invariant));
+        out.push_str(&format!(
+            "{}\n    flags:     {}\n    protects:  {}\n",
+            r.id, r.summary, r.invariant
+        ));
         let allowed = rules::built_in_allowed_paths(r.id);
         if !allowed.is_empty() {
             out.push_str(&format!("    home:      {}\n", allowed.join(", ")));

@@ -3,7 +3,7 @@
 //! Each rule guards one invariant introduced by an earlier growth PR:
 //! the transfer pool owns all fan-out, telemetry's clock owns all time,
 //! `unsafe` is always justified, panics stay out of library paths, the
-//! deprecated string-triple API stays quarantined, library crates don't
+//! removed string-triple API stays removed, library crates don't
 //! write to stdio, and — the paper's core guarantee (Dev et al. 2012
 //! §III/IV-A) — provider I/O flows only through the distributor so the
 //! PL ≥ chunk-PL placement check cannot be bypassed.
@@ -56,9 +56,10 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "no-deprecated-string-api",
-        summary: "#[allow(deprecated)] outside the designated compat test",
-        invariant: "the deprecated string-triple distributor API stays quarantined \
-                    in one compat test until removal; everything else uses Session",
+        summary: "#[allow(deprecated)] in workspace code",
+        invariant: "the string-triple distributor API is gone; an \
+                    #[allow(deprecated)] would let a resurrected copy hide, so \
+                    every caller goes through the typed Session/Credentials API",
         applies_to_tests: true,
     },
     Rule {
@@ -269,7 +270,9 @@ fn has_safety_justification(tokens: &[Token], code: &[usize], unsafe_ti: usize) 
     let mut first_code_on_line: std::collections::HashMap<u32, &Token> =
         std::collections::HashMap::new();
     for &ci in code {
-        first_code_on_line.entry(tokens[ci].line).or_insert(&tokens[ci]);
+        first_code_on_line
+            .entry(tokens[ci].line)
+            .or_insert(&tokens[ci]);
     }
     let blocks_run = |line: u32| match first_code_on_line.get(&line) {
         // A code line that is not an attribute ends the comment run —
@@ -302,8 +305,9 @@ fn deprecated_api(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
         if seq(tokens, code, i, &["allow", "(", "deprecated", ")"]) {
             hits.push(Hit {
                 line: tokens[code[i]].line,
-                message: "`#[allow(deprecated)]` outside the designated compat test; \
-                          migrate to the typed Session API (or waive with a reason)"
+                message: "`#[allow(deprecated)]`: the string-triple distributor API \
+                          was removed; use the typed Session API (or waive with a \
+                          reason)"
                     .into(),
             });
         }
@@ -346,7 +350,11 @@ fn provider_boundary(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
         if !(method.is_ident("put") || method.is_ident("get") || method.is_ident("delete")) {
             continue;
         }
-        if !code.get(i + 2).map(|&ti| tokens[ti].is_punct('(')).unwrap_or(false) {
+        if !code
+            .get(i + 2)
+            .map(|&ti| tokens[ti].is_punct('('))
+            .unwrap_or(false)
+        {
             continue;
         }
         if receiver_names_a_provider(tokens, code, i) {
@@ -409,8 +417,9 @@ mod tests {
 
     fn run(rule_id: &str, src: &str) -> Vec<Hit> {
         let tokens = tokenize(src);
-        let code: Vec<usize> =
-            (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect();
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
         run_rule(rule_id, &tokens, &code)
     }
 
@@ -425,7 +434,10 @@ mod tests {
     #[test]
     fn wall_clock_flagged() {
         assert_eq!(run("no-wall-clock", "let t = Instant::now();").len(), 1);
-        assert_eq!(run("no-wall-clock", "std::time::SystemTime::now()").len(), 1);
+        assert_eq!(
+            run("no-wall-clock", "std::time::SystemTime::now()").len(),
+            1
+        );
         assert!(run("no-wall-clock", "clock::monotonic_now()").is_empty());
     }
 
@@ -453,14 +465,21 @@ mod tests {
         assert_eq!(run("safety-comment", "unsafe { f() }").len(), 1);
         // A code line between the comment and the block breaks adjacency.
         assert_eq!(
-            run("safety-comment", "// SAFETY: stale\nlet x = 1;\nunsafe { f() }").len(),
+            run(
+                "safety-comment",
+                "// SAFETY: stale\nlet x = 1;\nunsafe { f() }"
+            )
+            .len(),
             1
         );
     }
 
     #[test]
     fn deprecated_allow_flagged() {
-        assert_eq!(run("no-deprecated-string-api", "#[allow(deprecated)]").len(), 1);
+        assert_eq!(
+            run("no-deprecated-string-api", "#[allow(deprecated)]").len(),
+            1
+        );
         assert!(run("no-deprecated-string-api", "#[allow(dead_code)]").is_empty());
     }
 
@@ -474,9 +493,16 @@ mod tests {
     #[test]
     fn provider_boundary_receiver_chains() {
         assert_eq!(run("provider-boundary", "provider.get(vid)?;").len(), 1);
-        assert_eq!(run("provider-boundary", "st.providers[idx].put(vid, b)?;").len(), 1);
         assert_eq!(
-            run("provider-boundary", "self.providers[&c.provider].delete(c.vid)?;").len(),
+            run("provider-boundary", "st.providers[idx].put(vid, b)?;").len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "provider-boundary",
+                "self.providers[&c.provider].delete(c.vid)?;"
+            )
+            .len(),
             1
         );
         // Plain map lookups do not trip the rule.

@@ -309,7 +309,10 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<(TokKind, String)> {
-        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
     }
 
     #[test]
@@ -337,7 +340,9 @@ mod tests {
         assert_eq!(strs.len(), 1);
         assert!(strs[0].1.contains("unwrap"));
         // No Ident token for the `unwrap` inside the raw string.
-        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
     }
 
     #[test]
@@ -359,10 +364,16 @@ mod tests {
     #[test]
     fn lifetimes_vs_char_literals() {
         let toks = kinds("&'a str; 'x'; '\\''; b'q'; 'static");
-        let lifetimes: Vec<_> =
-            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
-        let chars: Vec<_> =
-            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.clone()).collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
         assert_eq!(lifetimes, vec!["'a", "'static"]);
         assert_eq!(chars, vec!["'x'", "'\\''", "b'q'"]);
     }
@@ -370,7 +381,9 @@ mod tests {
     #[test]
     fn strings_with_escapes_do_not_leak_tokens() {
         let toks = kinds(r#"call("quote \" unsafe ", x)"#);
-        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
         assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
     }
 
@@ -388,7 +401,9 @@ mod tests {
     fn numbers_do_not_eat_range_operators() {
         let toks = kinds("for i in 0..out_len { 1.5; 0x1F; }");
         assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
-        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "out_len"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "out_len"));
         assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
         assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0x1F"));
     }
@@ -397,7 +412,9 @@ mod tests {
     fn doc_comments_are_comments() {
         let toks = tokenize("/// example: x.unwrap()\nfn f() {}");
         assert_eq!(toks[0].kind, TokKind::LineComment);
-        assert!(!toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
     }
 
     #[test]

@@ -15,7 +15,11 @@ const CASES: &[(&str, &str, &str)] = &[
     ("no-wall-clock", "wallclock_bad.rs", "wallclock_good.rs"),
     ("no-unwrap-in-lib", "unwrap_bad.rs", "unwrap_good.rs"),
     ("safety-comment", "safety_bad.rs", "safety_good.rs"),
-    ("no-deprecated-string-api", "deprecated_bad.rs", "deprecated_good.rs"),
+    (
+        "no-deprecated-string-api",
+        "deprecated_bad.rs",
+        "deprecated_good.rs",
+    ),
     ("no-print-in-lib", "print_bad.rs", "print_good.rs"),
     ("provider-boundary", "boundary_bad.rs", "boundary_good.rs"),
 ];
@@ -103,7 +107,11 @@ fn config_exemption_silences_a_seeded_violation() {
          reason = \"fixture exemption\"\n",
     )
     .unwrap();
-    let hits = scan_source("crates/core/src/unwrap_bad.rs", &read_fixture("unwrap_bad.rs"), &config);
+    let hits = scan_source(
+        "crates/core/src/unwrap_bad.rs",
+        &read_fixture("unwrap_bad.rs"),
+        &config,
+    );
     assert!(hits.is_empty(), "exempted path must be clean: {hits:?}");
 }
 

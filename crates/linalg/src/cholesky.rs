@@ -23,7 +23,11 @@ impl Cholesky {
         let n = a.rows();
         if a.cols() != n {
             return Err(LinalgError::ShapeMismatch {
-                detail: format!("Cholesky requires square matrix, got {}x{}", a.rows(), a.cols()),
+                detail: format!(
+                    "Cholesky requires square matrix, got {}x{}",
+                    a.rows(),
+                    a.cols()
+                ),
             });
         }
         let mut l = Matrix::zeros(n, n);
@@ -82,10 +86,7 @@ impl Cholesky {
 
     /// Log-determinant of `A` (numerically robust product of squares).
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 }
 

@@ -214,8 +214,8 @@ mod tests {
             5,
             5,
             vec![
-                2., -1., 0., 3., 1., 4., 2., 1., 0., -2., 0., 5., 3., 1., 1., 1., 1., -1., 2.,
-                0., 3., 0., 2., -1., 4.,
+                2., -1., 0., 3., 1., 4., 2., 1., 0., -2., 0., 5., 3., 1., 1., 1., 1., -1., 2., 0.,
+                3., 0., 2., -1., 4.,
             ],
         )
         .unwrap();

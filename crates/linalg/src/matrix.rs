@@ -40,10 +40,7 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(LinalgError::ShapeMismatch {
-                detail: format!(
-                    "data length {} does not match {rows}x{cols}",
-                    data.len()
-                ),
+                detail: format!("data length {} does not match {rows}x{cols}", data.len()),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -147,10 +144,7 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
-                detail: format!(
-                    "{}x{} * {}x{}",
-                    self.rows, self.cols, rhs.rows, rhs.cols
-                ),
+                detail: format!("{}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols),
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);

@@ -184,7 +184,10 @@ mod tests {
         // Second column is a multiple of the first.
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
         let qr = Qr::new(&a).unwrap();
-        assert_eq!(qr.solve_lstsq(&[1.0, 2.0, 3.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            qr.solve_lstsq(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

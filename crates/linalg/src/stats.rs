@@ -110,7 +110,9 @@ mod tests {
         // Known: var([2,4,4,4,5,5,7,9]) sample = 32/7
         let v = variance(&[2., 4., 4., 4., 5., 5., 7., 9.]);
         assert!((v - 32.0 / 7.0).abs() < 1e-12);
-        assert!((std_dev(&[2., 4., 4., 4., 5., 5., 7., 9.]) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(
+            (std_dev(&[2., 4., 4., 4., 5., 5., 7., 9.]) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
     if (max_index - expected).abs() < 1e-15 {
         // Degenerate partitions (e.g. both all-in-one): define as 1.0 when
         // identical agreement, else 0.
-        return if (index - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (index - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (index - expected) / (max_index - expected)
 }

@@ -90,9 +90,10 @@ impl Dataset {
         let idxs: Vec<usize> = predictors
             .iter()
             .map(|p| {
-                self.column_index(p).ok_or_else(|| MiningError::InvalidParameter {
-                    detail: format!("no column named {p:?}"),
-                })
+                self.column_index(p)
+                    .ok_or_else(|| MiningError::InvalidParameter {
+                        detail: format!("no column named {p:?}"),
+                    })
             })
             .collect::<Result<_>>()?;
         let mut data = Vec::with_capacity(self.rows.len() * idxs.len());
@@ -354,8 +355,7 @@ mod tests {
 
     #[test]
     fn standardize_constant_column_safe() {
-        let mut d =
-            Dataset::from_rows(vec!["c".into()], vec![vec![5.0], vec![5.0]]).unwrap();
+        let mut d = Dataset::from_rows(vec!["c".into()], vec![vec![5.0], vec![5.0]]).unwrap();
         d.standardize();
         assert_eq!(d.column("c").unwrap(), vec![0.0, 0.0]);
     }

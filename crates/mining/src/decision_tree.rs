@@ -117,9 +117,8 @@ impl DecisionTree {
     ) -> usize {
         let labels: Vec<u32> = idx.iter().map(|&i| y[i]).collect();
         let parent_gini = gini(&labels);
-        let stop = depth >= config.max_depth
-            || idx.len() < config.min_samples_split
-            || parent_gini == 0.0;
+        let stop =
+            depth >= config.max_depth || idx.len() < config.min_samples_split || parent_gini == 0.0;
         if !stop {
             // Split whenever the node is impure and a valid split exists —
             // even a zero-gain split (e.g. the first level of XOR) makes
@@ -195,7 +194,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -333,8 +336,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality mismatch")]
     fn predict_wrong_dim_panics() {
-        let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], TreeConfig::default())
-            .unwrap();
+        let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], TreeConfig::default()).unwrap();
         t.predict(&[1.0, 2.0]);
     }
 }

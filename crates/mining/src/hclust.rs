@@ -225,8 +225,7 @@ impl Dendrogram {
     /// rank, listing the leaves each merge joins. `labels` supplies leaf
     /// names (defaults to 1-based indices like the paper's user ids).
     pub fn render_ascii(&self, labels: Option<&[String]>) -> String {
-        let default_labels: Vec<String> =
-            (1..=self.n).map(|i| i.to_string()).collect();
+        let default_labels: Vec<String> = (1..=self.n).map(|i| i.to_string()).collect();
         let labels = labels.unwrap_or(&default_labels);
         let mut members: Vec<Vec<usize>> = (0..self.n).map(|i| vec![i]).collect();
         let mut out = String::new();
@@ -249,8 +248,14 @@ impl Dendrogram {
             out.push_str(&format!(
                 "h={:>8.4}  [{}] + [{}]\n",
                 m.height,
-                la.iter().map(|&l| labels[l].as_str()).collect::<Vec<_>>().join(","),
-                lb.iter().map(|&l| labels[l].as_str()).collect::<Vec<_>>().join(","),
+                la.iter()
+                    .map(|&l| labels[l].as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                lb.iter()
+                    .map(|&l| labels[l].as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
             ));
             members.push(joined);
         }
@@ -296,7 +301,12 @@ mod tests {
     #[test]
     fn all_linkages_recover_two_blobs() {
         let d = dm(&two_blobs());
-        for lk in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for lk in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let t = cluster(&d, lk).unwrap();
             let labels = t.cut(2).unwrap();
             assert_eq!(labels[0], labels[1]);
@@ -311,7 +321,12 @@ mod tests {
     fn heights_nondecreasing_for_reducible_linkages() {
         // Single/complete/average are reducible: merge heights are monotone.
         let pts: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![(i as f64 * 0.618).fract() * 10.0, (i as f64 * 0.33).fract() * 7.0])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.618).fract() * 10.0,
+                    (i as f64 * 0.33).fract() * 7.0,
+                ]
+            })
             .collect();
         let d = dm(&pts);
         for lk in [Linkage::Single, Linkage::Complete, Linkage::Average] {
@@ -405,6 +420,9 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let d = dm(&pts);
         let t = cluster(&d, Linkage::Ward).unwrap();
-        assert!(t.merges().iter().all(|m| m.height.is_finite() && m.height >= 0.0));
+        assert!(t
+            .merges()
+            .iter()
+            .all(|m| m.height.is_finite() && m.height >= 0.0));
     }
 }

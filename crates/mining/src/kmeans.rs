@@ -177,7 +177,14 @@ mod tests {
 
     #[test]
     fn separates_two_blobs() {
-        let fit = kmeans(&blobs(), KMeansConfig { k: 2, ..Default::default() }).unwrap();
+        let fit = kmeans(
+            &blobs(),
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Even indices are blob A, odd are blob B.
         let a = fit.labels[0];
         let b = fit.labels[1];
@@ -191,7 +198,14 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let pts = vec![vec![1.0], vec![5.0], vec![9.0]];
-        let fit = kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let fit = kmeans(
+            &pts,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(fit.inertia < 1e-12);
         let mut ls = fit.labels.clone();
         ls.sort_unstable();
@@ -202,7 +216,11 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let pts = blobs();
-        let cfg = KMeansConfig { k: 2, seed: 42, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 42,
+            ..Default::default()
+        };
         let f1 = kmeans(&pts, cfg).unwrap();
         let f2 = kmeans(&pts, cfg).unwrap();
         assert_eq!(f1.labels, f2.labels);
@@ -212,34 +230,74 @@ mod tests {
     fn parameter_errors() {
         let pts = vec![vec![1.0], vec![2.0]];
         assert!(matches!(
-            kmeans(&pts, KMeansConfig { k: 0, ..Default::default() }),
+            kmeans(
+                &pts,
+                KMeansConfig {
+                    k: 0,
+                    ..Default::default()
+                }
+            ),
             Err(MiningError::InvalidParameter { .. })
         ));
         assert!(matches!(
-            kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }),
+            kmeans(
+                &pts,
+                KMeansConfig {
+                    k: 3,
+                    ..Default::default()
+                }
+            ),
             Err(MiningError::InsufficientData { have: 2, need: 3 })
         ));
         let ragged = vec![vec![1.0], vec![2.0, 3.0]];
-        assert!(kmeans(&ragged, KMeansConfig { k: 1, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &ragged,
+            KMeansConfig {
+                k: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn identical_points_dont_loop_forever() {
         let pts = vec![vec![3.0, 3.0]; 8];
-        let fit = kmeans(&pts, KMeansConfig { k: 3, ..Default::default() }).unwrap();
+        let fit = kmeans(
+            &pts,
+            KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(fit.inertia < 1e-12);
         assert!(fit.iterations <= 100);
     }
 
     #[test]
     fn inertia_decreases_with_more_clusters() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i as f64 * 1.7).sin() * 10.0]).collect();
-        let i2 = kmeans(&pts, KMeansConfig { k: 2, ..Default::default() })
-            .unwrap()
-            .inertia;
-        let i5 = kmeans(&pts, KMeansConfig { k: 5, ..Default::default() })
-            .unwrap()
-            .inertia;
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 1.7).sin() * 10.0])
+            .collect();
+        let i2 = kmeans(
+            &pts,
+            KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
+        let i5 = kmeans(
+            &pts,
+            KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .inertia;
         assert!(i5 <= i2 + 1e-9, "i2={i2} i5={i5}");
     }
 }

@@ -60,8 +60,7 @@ impl Knn {
                 .expect("finite distances")
                 .then(a.1.cmp(&b.1))
         });
-        let mut counts: std::collections::BTreeMap<u32, usize> =
-            std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
         for (_, l) in dist.iter().take(self.k) {
             *counts.entry(*l).or_insert(0) += 1;
         }

@@ -69,7 +69,10 @@ impl std::fmt::Display for MiningError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MiningError::InsufficientData { have, need } => {
-                write!(f, "insufficient data: have {have} observations, need {need}")
+                write!(
+                    f,
+                    "insufficient data: have {have} observations, need {need}"
+                )
             }
             MiningError::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
             MiningError::Numeric(e) => write!(f, "numeric failure: {e}"),
@@ -83,7 +86,10 @@ impl From<fragcloud_linalg::LinalgError> for MiningError {
     fn from(e: fragcloud_linalg::LinalgError) -> Self {
         match e {
             fragcloud_linalg::LinalgError::Underdetermined { rows, cols } => {
-                MiningError::InsufficientData { have: rows, need: cols }
+                MiningError::InsufficientData {
+                    have: rows,
+                    need: cols,
+                }
             }
             other => MiningError::Numeric(other),
         }

@@ -69,7 +69,11 @@ impl RegressionModel {
     /// attacker's (possibly fragment-trained) model explains held-out truth.
     pub fn mean_abs_error(&self, data: &Dataset) -> Result<f64> {
         let x = data.design_matrix(
-            &self.predictors.iter().map(String::as_str).collect::<Vec<_>>(),
+            &self
+                .predictors
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
         )?;
         let y = data.column(&self.response)?;
         let mut total = 0.0;

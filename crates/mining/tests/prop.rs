@@ -8,17 +8,11 @@ use fragcloud_mining::Dataset;
 use proptest::prelude::*;
 
 fn arb_transactions() -> impl Strategy<Value = Vec<Transaction>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..20, 1..8),
-        1..40,
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..20, 1..8), 1..40)
 }
 
 fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f64..100.0, 2),
-        2..25,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 2), 2..25)
 }
 
 proptest! {

@@ -112,8 +112,8 @@ fn mul_acc_portable(acc: &mut [u8], data: &[u8], t: &NibbleTables) {
         }
         // fraglint: allow(no-unwrap-in-lib) — `chunks_exact(8)` guarantees
         // an 8-byte slice.
-        let x = u64::from_ne_bytes((&*ac).try_into().expect("8-byte chunk"))
-            ^ u64::from_ne_bytes(prod);
+        let a = u64::from_ne_bytes((&*ac).try_into().expect("8-byte chunk"));
+        let x = a ^ u64::from_ne_bytes(prod);
         ac.copy_from_slice(&x.to_ne_bytes());
     }
     for (ab, &db) in aw.into_remainder().iter_mut().zip(dw.remainder()) {
@@ -154,8 +154,8 @@ fn mul_slice_portable(data: &mut [u8], t: &NibbleTables) {
 mod x86 {
     use super::NibbleTables;
     use std::arch::x86_64::{
-        __m128i, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
-        _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+        __m128i, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8, _mm_srli_epi64,
+        _mm_storeu_si128, _mm_xor_si128,
     };
 
     /// Product of 16 data lanes with the table coefficient.

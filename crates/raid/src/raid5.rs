@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(matches!(
-            parity(&[]),
-            Err(RaidError::BadGeometry { .. })
-        ));
+        assert!(matches!(parity(&[]), Err(RaidError::BadGeometry { .. })));
         let a = [1u8, 2];
         let b = [3u8];
         assert_eq!(
@@ -184,7 +181,11 @@ mod tests {
         // Cover word-multiple, tail-carrying, and sub-word widths.
         for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 1000] {
             let shards: Vec<Vec<u8>> = (0..5)
-                .map(|i| (0..len).map(|b| ((i * 31 + b * 7 + 3) % 251) as u8).collect())
+                .map(|i| {
+                    (0..len)
+                        .map(|b| ((i * 31 + b * 7 + 3) % 251) as u8)
+                        .collect()
+                })
                 .collect();
             let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
             assert_eq!(

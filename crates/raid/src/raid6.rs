@@ -257,7 +257,11 @@ mod tests {
 
     fn stripe(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|b| ((i * 37 + b * 11 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 37 + b * 11 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -285,8 +289,14 @@ mod tests {
                 data: d,
             })
             .chain([
-                Shard { id: ShardId::P, data: &pq.p },
-                Shard { id: ShardId::Q, data: &pq.q },
+                Shard {
+                    id: ShardId::P,
+                    data: &pq.p,
+                },
+                Shard {
+                    id: ShardId::Q,
+                    data: &pq.q,
+                },
             ])
             .collect();
         assert_eq!(reconstruct(3, &survivors).unwrap(), data);
@@ -306,8 +316,14 @@ mod tests {
                     data: d,
                 })
                 .chain([
-                    Shard { id: ShardId::P, data: &pq.p },
-                    Shard { id: ShardId::Q, data: &pq.q },
+                    Shard {
+                        id: ShardId::P,
+                        data: &pq.p,
+                    },
+                    Shard {
+                        id: ShardId::Q,
+                        data: &pq.q,
+                    },
                 ])
                 .collect();
             assert_eq!(reconstruct(5, &survivors).unwrap(), data, "lost={lost}");
@@ -329,8 +345,14 @@ mod tests {
                         data: d,
                     })
                     .chain([
-                        Shard { id: ShardId::P, data: &pq.p },
-                        Shard { id: ShardId::Q, data: &pq.q },
+                        Shard {
+                            id: ShardId::P,
+                            data: &pq.p,
+                        },
+                        Shard {
+                            id: ShardId::Q,
+                            data: &pq.q,
+                        },
                     ])
                     .collect();
                 assert_eq!(reconstruct(6, &survivors).unwrap(), data, "lost {a},{b}");
@@ -351,7 +373,10 @@ mod tests {
                     id: ShardId::Data(i),
                     data: d,
                 })
-                .chain([Shard { id: ShardId::Q, data: &pq.q }])
+                .chain([Shard {
+                    id: ShardId::Q,
+                    data: &pq.q,
+                }])
                 .collect();
             assert_eq!(reconstruct(4, &survivors).unwrap(), data, "lost={lost}+P");
         }
@@ -370,7 +395,10 @@ mod tests {
                     id: ShardId::Data(i),
                     data: d,
                 })
-                .chain([Shard { id: ShardId::P, data: &pq.p }])
+                .chain([Shard {
+                    id: ShardId::P,
+                    data: &pq.p,
+                }])
                 .collect();
             assert_eq!(reconstruct(4, &survivors).unwrap(), data, "lost={lost}+Q");
         }
@@ -403,8 +431,14 @@ mod tests {
                 data: d,
             })
             .chain([
-                Shard { id: ShardId::P, data: &pq.p },
-                Shard { id: ShardId::Q, data: &pq.q },
+                Shard {
+                    id: ShardId::P,
+                    data: &pq.p,
+                },
+                Shard {
+                    id: ShardId::Q,
+                    data: &pq.q,
+                },
             ])
             .collect();
         assert!(matches!(
@@ -438,7 +472,10 @@ mod tests {
         ));
         // Data index out of range.
         let d = [1u8];
-        let s = [Shard { id: ShardId::Data(7), data: &d }];
+        let s = [Shard {
+            id: ShardId::Data(7),
+            data: &d,
+        }];
         assert!(matches!(
             reconstruct(2, &s),
             Err(RaidError::BadGeometry { .. })
@@ -478,8 +515,14 @@ mod tests {
                 data: d,
             })
             .chain([
-                Shard { id: ShardId::P, data: &pq.p },
-                Shard { id: ShardId::Q, data: &pq.q },
+                Shard {
+                    id: ShardId::P,
+                    data: &pq.p,
+                },
+                Shard {
+                    id: ShardId::Q,
+                    data: &pq.q,
+                },
             ])
             .collect();
         assert_eq!(reconstruct(32, &survivors).unwrap(), data);

@@ -79,7 +79,10 @@ impl StripeCodec {
         }
         if level == RaidLevel::Raid6 && data_shards > raid6::MAX_DATA_SHARDS {
             return Err(RaidError::BadGeometry {
-                detail: format!("RAID-6 supports at most {} data shards", raid6::MAX_DATA_SHARDS),
+                detail: format!(
+                    "RAID-6 supports at most {} data shards",
+                    raid6::MAX_DATA_SHARDS
+                ),
             });
         }
         Ok(StripeCodec { data_shards, level })
@@ -132,11 +135,7 @@ impl StripeCodec {
     /// `available` pairs each surviving shard with its stripe index
     /// (`0..k` = data, `k` = P, `k+1` = Q). `original_len` is the
     /// pre-padding blob length recorded at encode time.
-    pub fn decode(
-        &self,
-        available: &[(usize, &[u8])],
-        original_len: usize,
-    ) -> Result<Vec<u8>> {
+    pub fn decode(&self, available: &[(usize, &[u8])], original_len: usize) -> Result<Vec<u8>> {
         let k = self.data_shards;
         let total = self.total_shards();
         let mut seen = vec![false; total];
@@ -153,8 +152,7 @@ impl StripeCodec {
             }
             seen[*idx] = true;
         }
-        let have_data: Vec<&(usize, &[u8])> =
-            available.iter().filter(|(i, _)| *i < k).collect();
+        let have_data: Vec<&(usize, &[u8])> = available.iter().filter(|(i, _)| *i < k).collect();
         let missing_data = k - have_data.len();
 
         let data: Vec<Vec<u8>> = if missing_data == 0 {
@@ -200,8 +198,7 @@ impl StripeCodec {
                         .ok_or_else(|| RaidError::BadGeometry {
                             detail: "no missing data index despite erasure count".into(),
                         })?;
-                    let mut present: Vec<&[u8]> =
-                        have_data.iter().map(|(_, s)| *s).collect();
+                    let mut present: Vec<&[u8]> = have_data.iter().map(|(_, s)| *s).collect();
                     present.push(p);
                     let rec = raid5::reconstruct(&present)?;
                     let mut slots: Vec<Option<Vec<u8>>> = vec![None; k];
@@ -297,7 +294,11 @@ impl StripeCodec {
             return Ok(blob[target * width..(target + 1) * width].to_vec());
         }
         let data: Vec<&[u8]> = blob.chunks(width.max(1)).take(k).collect();
-        let data = if width == 0 { vec![&[] as &[u8]; k] } else { data };
+        let data = if width == 0 {
+            vec![&[] as &[u8]; k]
+        } else {
+            data
+        };
         match (self.level, target - k) {
             (RaidLevel::Raid5, 0) => raid5::parity(&data),
             (RaidLevel::Raid6, 0) => Ok(raid6::parity(&data)?.p),
@@ -340,7 +341,9 @@ impl StripeCodec {
         tel: &TelemetryHandle,
     ) -> Result<Vec<u8>> {
         tel.incr("raid_shard_rebuilds");
-        tel.time("raid_reconstruct_ns", || self.reconstruct_shard(available, target))
+        tel.time("raid_reconstruct_ns", || {
+            self.reconstruct_shard(available, target)
+        })
     }
 }
 
@@ -441,10 +444,7 @@ mod tests {
     fn raid6_three_losses_fail() {
         let codec = StripeCodec::new(5, RaidLevel::Raid6).unwrap();
         let enc = codec.encode(&blob(100)).unwrap();
-        let a: Vec<(usize, &[u8])> = avail(&enc)
-            .into_iter()
-            .filter(|(i, _)| *i > 2)
-            .collect();
+        let a: Vec<(usize, &[u8])> = avail(&enc).into_iter().filter(|(i, _)| *i > 2).collect();
         assert!(matches!(
             codec.decode(&a, 100),
             Err(RaidError::TooManyErasures { .. })
@@ -460,7 +460,10 @@ mod tests {
         let a: Vec<(usize, &[u8])> = avail(&enc).into_iter().skip(1).collect();
         assert!(matches!(
             codec.decode(&a, 30),
-            Err(RaidError::TooManyErasures { missing: 1, tolerable: 0 })
+            Err(RaidError::TooManyErasures {
+                missing: 1,
+                tolerable: 0
+            })
         ));
     }
 
@@ -550,10 +553,8 @@ mod tests {
             Err(RaidError::BadGeometry { .. })
         ));
         // Two losses exceed RAID-5's tolerance.
-        let short: Vec<(usize, &[u8])> = a
-            .into_iter()
-            .filter(|(i, _)| *i != 0 && *i != 1)
-            .collect();
+        let short: Vec<(usize, &[u8])> =
+            a.into_iter().filter(|(i, _)| *i != 0 && *i != 1).collect();
         assert!(matches!(
             codec.reconstruct_shard(&short, 0),
             Err(RaidError::TooManyErasures { .. })
@@ -567,10 +568,7 @@ mod tests {
         let b = blob(77);
         let enc = codec.encode_observed(&b, &tel).unwrap();
         assert_eq!(enc, codec.encode(&b).unwrap());
-        let a: Vec<(usize, &[u8])> = avail(&enc)
-            .into_iter()
-            .filter(|(i, _)| *i != 1)
-            .collect();
+        let a: Vec<(usize, &[u8])> = avail(&enc).into_iter().filter(|(i, _)| *i != 1).collect();
         assert_eq!(codec.decode_observed(&a, 77, &tel).unwrap(), b);
         assert_eq!(
             codec.reconstruct_shard_observed(&a, 1, &tel).unwrap(),

@@ -180,9 +180,8 @@ mod tests {
     fn monte_carlo_matches_analytic_k_of_n() {
         // 3-of-5 at p=0.9
         let m = AvailabilityModel::uniform(5, 0.9);
-        let est = estimate_availability(&m, 200_000, 42, |up| {
-            up.iter().filter(|&&u| u).count() >= 3
-        });
+        let est =
+            estimate_availability(&m, 200_000, 42, |up| up.iter().filter(|&&u| u).count() >= 3);
         let analytic = k_of_n_availability(3, 5, 0.9);
         assert!(
             (est.availability - analytic).abs() < 0.005,
@@ -219,7 +218,9 @@ mod tests {
                 )))
             })
             .collect();
-        fleet[0].put(VirtualId(1), bytes::Bytes::from_static(b"x")).unwrap();
+        fleet[0]
+            .put(VirtualId(1), bytes::Bytes::from_static(b"x"))
+            .unwrap();
         let script = OutageScript::new().kill_after(0, 1);
         assert_eq!(script.events(), &[(0, 1)]);
         script.arm(&fleet);

@@ -127,8 +127,7 @@ mod tests {
     fn wan_slower_than_lan() {
         let size = 1 << 20;
         assert!(
-            LatencyModel::wan().transfer_time(size, 0)
-                > LatencyModel::lan().transfer_time(size, 0)
+            LatencyModel::wan().transfer_time(size, 0) > LatencyModel::lan().transfer_time(size, 0)
         );
     }
 

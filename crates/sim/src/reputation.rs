@@ -89,9 +89,7 @@ impl ReputationTracker {
         match event {
             ReputationEvent::Success => slot.successes += 1.0,
             ReputationEvent::Failure => slot.failures += 1.0,
-            ReputationEvent::IntegrityViolation => {
-                slot.failures += self.config.integrity_weight
-            }
+            ReputationEvent::IntegrityViolation => slot.failures += self.config.integrity_weight,
         }
     }
 
@@ -129,10 +127,7 @@ impl ReputationTracker {
 
     /// Providers whose suggested level fell below their assigned level —
     /// the audit the distributor's operator would run periodically.
-    pub fn downgrade_candidates(
-        &self,
-        assigned: &[crate::types::PrivacyLevel],
-    ) -> Vec<usize> {
+    pub fn downgrade_candidates(&self, assigned: &[crate::types::PrivacyLevel]) -> Vec<usize> {
         assigned
             .iter()
             .enumerate()

@@ -55,9 +55,14 @@ mod tests {
     fn concurrent_ticks_are_unique() {
         let mut handles = Vec::new();
         for _ in 0..8 {
-            handles.push(std::thread::spawn(|| (0..1000).map(|_| tick()).collect::<Vec<_>>()));
+            handles.push(std::thread::spawn(|| {
+                (0..1000).map(|_| tick()).collect::<Vec<_>>()
+            }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8 * 1000, "no tick may be handed out twice");

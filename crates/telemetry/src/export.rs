@@ -73,8 +73,11 @@ impl Registry {
             ));
         }
         for r in self.span_records() {
-            let attrs: Vec<String> =
-                r.attrs.iter().map(|(k, v)| format!("{}:{}", json::quote(k), json::quote(v))).collect();
+            let attrs: Vec<String> = r
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json::quote(k), json::quote(v)))
+                .collect();
             out.push_str(&format!(
                 "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"seq\":{},\"duration_ns\":{},\"attrs\":{{{}}}}}\n",
                 r.id,
@@ -107,7 +110,10 @@ pub fn render_summary(snap: &RegistrySnapshot) -> String {
             String::new()
         }
     ));
-    out.push_str(&format!("    {:<32} {:>8} {:>10} {:>10}\n", "name", "count", "total", "max"));
+    out.push_str(&format!(
+        "    {:<32} {:>8} {:>10} {:>10}\n",
+        "name", "count", "total", "max"
+    ));
     for (name, agg) in &snap.span_aggregates {
         out.push_str(&format!(
             "    {:<32} {:>8} {:>10} {:>10}\n",
@@ -119,7 +125,11 @@ pub fn render_summary(snap: &RegistrySnapshot) -> String {
     }
     out.push_str("  counters\n");
     for c in &snap.counters {
-        out.push_str(&format!("    {:<40} {:>12}\n", metric_key(&c.name, &c.label), c.value));
+        out.push_str(&format!(
+            "    {:<40} {:>12}\n",
+            metric_key(&c.name, &c.label),
+            c.value
+        ));
     }
     out.push_str("  histograms\n");
     out.push_str(&format!(
@@ -153,8 +163,10 @@ pub fn summary_json(snap: &RegistrySnapshot) -> String {
             counters.insert(metric_key(&c.name, &c.label), c.value);
         }
     }
-    let counter_entries: Vec<String> =
-        counters.iter().map(|(k, v)| format!("{}:{}", json::quote(k), v)).collect();
+    let counter_entries: Vec<String> = counters
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json::quote(k), v))
+        .collect();
     let histogram_entries: Vec<String> = snap
         .histograms
         .iter()
@@ -280,7 +292,10 @@ pub mod json {
 
     /// Parse a complete JSON document. Errors carry a byte offset.
     pub fn parse(input: &str) -> Result<Value, String> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -483,7 +498,13 @@ mod tests {
     fn summary_mentions_everything() {
         let tel = populated();
         let s = tel.registry().unwrap().render_summary();
-        for needle in ["put", "puts_total", "retries_total{AWS}", "backoff_wait_us", "enters=1 exits=1"] {
+        for needle in [
+            "put",
+            "puts_total",
+            "retries_total{AWS}",
+            "backoff_wait_us",
+            "enters=1 exits=1",
+        ] {
             assert!(s.contains(needle), "summary missing {needle:?} in:\n{s}");
         }
     }
@@ -509,10 +530,26 @@ mod tests {
         let v = parse(&doc).expect("valid json");
         let counters = v.get("counters").unwrap();
         assert_eq!(counters.get("retries_total").unwrap().as_u64(), Some(2));
-        assert_eq!(counters.get("retries_total{AWS}").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            counters.get("retries_total{AWS}").unwrap().as_u64(),
+            Some(2)
+        );
         assert_eq!(counters.get("puts_total").unwrap().as_u64(), Some(1));
-        assert!(v.get("histograms").unwrap().get("backoff_wait_us").is_some());
-        assert_eq!(v.get("spans").unwrap().get("put").unwrap().get("count").unwrap().as_u64(), Some(1));
+        assert!(v
+            .get("histograms")
+            .unwrap()
+            .get("backoff_wait_us")
+            .is_some());
+        assert_eq!(
+            v.get("spans")
+                .unwrap()
+                .get("put")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -522,7 +559,10 @@ mod tests {
         assert_eq!(v.get("s").unwrap().as_str(), Some("he said \"hi\"\n\tA"));
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 6);
         assert_eq!(quote("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
-        assert_eq!(parse(&quote("a\"b\\c\nd")).unwrap(), Value::Str("a\"b\\c\nd".into()));
+        assert_eq!(
+            parse(&quote("a\"b\\c\nd")).unwrap(),
+            Value::Str("a\"b\\c\nd".into())
+        );
         assert!(parse("{\"k\":1,}").is_err());
         assert!(parse("[1 2]").is_err());
         assert!(parse("{\"k\"").is_err());

@@ -101,7 +101,8 @@ impl TelemetryHandle {
     /// Add `v` to the unlabelled counter `name`.
     pub fn add(&self, name: &str, v: u64) {
         if let Some(r) = &self.0 {
-            r.counter(name, "").fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            r.counter(name, "")
+                .fetch_add(v, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -109,7 +110,8 @@ impl TelemetryHandle {
     /// reported by [`Registry::counter_total`]).
     pub fn add_labeled(&self, name: &str, label: &str, v: u64) {
         if let Some(r) = &self.0 {
-            r.counter(name, label).fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+            r.counter(name, label)
+                .fetch_add(v, std::sync::atomic::Ordering::Relaxed);
         }
     }
 

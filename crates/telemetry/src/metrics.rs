@@ -81,7 +81,11 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum: self.sum(),
-            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
             max: self.max.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
@@ -163,6 +167,9 @@ mod tests {
     #[test]
     fn empty_snapshot_is_zeroed() {
         let s = Histogram::new().snapshot();
-        assert_eq!((s.count, s.sum, s.min, s.max, s.mean(), s.quantile(0.99)), (0, 0, 0, 0, 0, 0));
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.mean(), s.quantile(0.99)),
+            (0, 0, 0, 0, 0, 0)
+        );
     }
 }

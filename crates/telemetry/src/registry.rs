@@ -214,8 +214,10 @@ mod tests {
     #[test]
     fn counters_accumulate_per_label() {
         let r = Registry::new();
-        r.counter("retries_total", "AWS").fetch_add(2, Ordering::Relaxed);
-        r.counter("retries_total", "Sky").fetch_add(3, Ordering::Relaxed);
+        r.counter("retries_total", "AWS")
+            .fetch_add(2, Ordering::Relaxed);
+        r.counter("retries_total", "Sky")
+            .fetch_add(3, Ordering::Relaxed);
         r.counter("puts_total", "").fetch_add(1, Ordering::Relaxed);
         assert_eq!(r.counter_value("retries_total", "AWS"), 2);
         assert_eq!(r.counter_value("retries_total", "Sky"), 3);

@@ -100,11 +100,19 @@ impl SpanCollector {
     }
 
     pub(crate) fn aggregates(&self) -> Vec<(&'static str, SpanAggregate)> {
-        self.aggregates.lock().iter().map(|(k, v)| (*k, *v)).collect()
+        self.aggregates
+            .lock()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     pub(crate) fn aggregate(&self, name: &str) -> SpanAggregate {
-        self.aggregates.lock().get(name).copied().unwrap_or_default()
+        self.aggregates
+            .lock()
+            .get(name)
+            .copied()
+            .unwrap_or_default()
     }
 
     pub(crate) fn clear(&self) {
@@ -181,7 +189,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(inner) = self.inner.take() else { return };
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
         OPEN.with(|open| {
             let mut open = open.borrow_mut();
             // Normally a strict stack; remove by id to stay balanced even

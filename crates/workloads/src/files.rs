@@ -30,12 +30,7 @@ pub struct ClientFile {
 
 /// Generates a mixed client corpus: `count` files with sizes uniformly
 /// drawn from `[min_size, max_size]`.
-pub fn client_corpus(
-    count: usize,
-    min_size: usize,
-    max_size: usize,
-    seed: u64,
-) -> Vec<ClientFile> {
+pub fn client_corpus(count: usize, min_size: usize, max_size: usize, seed: u64) -> Vec<ClientFile> {
     assert!(min_size <= max_size);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)

@@ -91,8 +91,7 @@ pub fn generate(config: GpsConfig) -> GpsCorpus {
         .collect();
     let group_templates: Vec<Vec<Anchor>> = (0..config.groups)
         .map(|_| {
-            let mut weights: Vec<f64> =
-                (0..n_landmarks).map(|_| rng.gen_range(0.2..1.0)).collect();
+            let mut weights: Vec<f64> = (0..n_landmarks).map(|_| rng.gen_range(0.2..1.0)).collect();
             let total: f64 = weights.iter().sum();
             for w in &mut weights {
                 *w /= total;
@@ -145,10 +144,8 @@ pub fn generate(config: GpsConfig) -> GpsCorpus {
             }
             let a = &anchors[pick];
             trace.push(GpsPoint {
-                x: (a.center.x + gaussian(&mut rng) * a.spread)
-                    .clamp(0.0, config.city_size),
-                y: (a.center.y + gaussian(&mut rng) * a.spread)
-                    .clamp(0.0, config.city_size),
+                x: (a.center.x + gaussian(&mut rng) * a.spread).clamp(0.0, config.city_size),
+                y: (a.center.y + gaussian(&mut rng) * a.spread).clamp(0.0, config.city_size),
             });
         }
         traces.push(trace);
@@ -281,9 +278,8 @@ mod tests {
             ..Default::default()
         });
         let feats = user_features(&c, 8, None);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let mut within = (0.0, 0usize);
         let mut between = (0.0, 0usize);
         for i in 0..20 {

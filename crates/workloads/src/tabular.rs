@@ -104,10 +104,7 @@ mod tests {
         assert_eq!(a.data.columns(), &COLUMNS.map(String::from));
         assert_eq!(a.data.rows(), b.data.rows());
         assert_eq!(a.segments.len(), 500);
-        let c = generate(TabularConfig {
-            seed: 9,
-            ..cfg
-        });
+        let c = generate(TabularConfig { seed: 9, ..cfg });
         assert_ne!(a.data.rows(), c.data.rows());
     }
 

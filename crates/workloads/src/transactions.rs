@@ -110,8 +110,7 @@ pub fn scavenge(fragment: &[u8]) -> Vec<Transaction> {
         if i == 0 || i + 1 == lines.len() || line.is_empty() {
             continue; // boundary pieces may be cut mid-line
         }
-        let parsed: Result<Vec<Item>, _> =
-            line.split(' ').map(|f| f.parse::<Item>()).collect();
+        let parsed: Result<Vec<Item>, _> = line.split(' ').map(|f| f.parse::<Item>()).collect();
         if let Ok(mut t) = parsed {
             t.sort_unstable();
             t.dedup();
@@ -159,7 +158,11 @@ mod tests {
             .find(|r| r.antecedent == vec![100, 101] && r.consequent == vec![102])
             .unwrap();
         assert!((r.support - 0.27).abs() < 0.06, "support {}", r.support);
-        assert!((r.confidence - 0.9).abs() < 0.08, "confidence {}", r.confidence);
+        assert!(
+            (r.confidence - 0.9).abs() < 0.08,
+            "confidence {}",
+            r.confidence
+        );
     }
 
     #[test]

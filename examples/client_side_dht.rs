@@ -53,7 +53,12 @@ fn main() {
 
     // PL3 chunks only ever land on PL3 providers.
     for p in &provider_list {
-        println!("  {:<7} ({}) holds {} chunks", p.name(), p.profile().privacy_level, p.chunk_count());
+        println!(
+            "  {:<7} ({}) holds {} chunks",
+            p.name(),
+            p.profile().privacy_level,
+            p.chunk_count()
+        );
     }
 
     let got = client.get_file("diary.txt").expect("read back");

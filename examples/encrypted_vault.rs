@@ -24,7 +24,8 @@ fn main() {
             )))
         })
         .collect();
-    let distributor = CloudDataDistributor::new(fleet.clone(), DistributorConfig::default());
+    let distributor = CloudDataDistributor::try_new(fleet.clone(), DistributorConfig::default())
+        .expect("valid config");
     distributor.register_client("alice").expect("fresh");
     distributor
         .add_password("alice", "pw", PrivacyLevel::High)
@@ -46,7 +47,10 @@ fn main() {
             PutOptions::default(),
         )
         .expect("upload");
-    println!("vault.bin uploaded fully encrypted ({} bytes)", secrets.len());
+    println!(
+        "vault.bin uploaded fully encrypted ({} bytes)",
+        secrets.len()
+    );
 
     // 2. Partially encrypted report: public summary + confidential appendix.
     let mut report = b"PUBLIC SUMMARY: output grew 14% year over year. ".repeat(100);
@@ -82,8 +86,14 @@ fn main() {
     println!("chunks showing the public summary:  {leaked_summary} (by design — it's public)");
 
     // The owner reads both files back perfectly.
-    assert_eq!(vault.get_file("alice", "pw", "vault.bin").expect("read"), secrets);
-    assert_eq!(vault.get_file("alice", "pw", "report.txt").expect("read"), report);
+    assert_eq!(
+        vault.get_file("alice", "pw", "vault.bin").expect("read"),
+        secrets
+    );
+    assert_eq!(
+        vault.get_file("alice", "pw", "report.txt").expect("read"),
+        report
+    );
     println!("owner reads both files back intact");
 
     // And the raw (distributor-level) view of the report hides the appendix.

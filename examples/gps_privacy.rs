@@ -21,8 +21,8 @@ const GRID: usize = 12;
 const K: usize = 5;
 
 fn tree(features: &[Vec<f64>]) -> Dendrogram {
-    let dm = DistanceMatrix::compute(features, correlation_distance)
-        .expect("non-empty feature set");
+    let dm =
+        DistanceMatrix::compute(features, correlation_distance).expect("non-empty feature set");
     cluster(&dm, Linkage::Average).expect("non-empty matrix")
 }
 
@@ -44,7 +44,10 @@ fn main() {
     // Figs. 5 & 6: two 500-observation fragments.
     for (fig, start) in [(5, 0usize), (6, 500usize)] {
         let frag = tree(&gps::user_features_window(&corpus, GRID, start, 500));
-        println!("=== Fig. {fig} analogue: clustering fragment at obs {start}..{} ===", start + 500);
+        println!(
+            "=== Fig. {fig} analogue: clustering fragment at obs {start}..{} ===",
+            start + 500
+        );
         println!("{}", frag.render_ascii(None));
         let frag_cut = frag.cut(K).expect("k <= users");
         let ari = adjusted_rand_index(&full_cut, &frag_cut);

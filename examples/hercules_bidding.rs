@@ -61,11 +61,13 @@ fn main() {
     // Ground truth (what Hera wants): the full-data fit.
     let truth = RegressionModel::fit(&table, &PREDICTORS, RESPONSE).expect("12 rows");
     println!("true pricing model:       {}", truth.equation());
-    println!("paper's reported model:   (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n");
+    println!(
+        "paper's reported model:   (1.4*Materials + 1.5*Production + 3.1*Maintenance) + 5436\n"
+    );
 
     // ---- Scenario A: everything at Titans --------------------------------
     let providers = fleet();
-    let single = CloudDataDistributor::new(
+    let single = CloudDataDistributor::try_new(
         providers.clone(),
         DistributorConfig {
             chunk_sizes: ChunkSizeSchedule::uniform(4096),
@@ -73,7 +75,8 @@ fn main() {
             raid_level: RaidLevel::None,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid config");
     single.register_client("Hercules").expect("fresh");
     single
         .add_password("Hercules", "12labors", PrivacyLevel::High)
@@ -81,7 +84,12 @@ fn main() {
     single
         .session("Hercules", "12labors")
         .expect("valid pair")
-        .put_file("bids.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "bids.csv",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload");
     println!("--- scenario A: single provider (all data at Titans) ---");
     match hera_attack(&providers[0]) {
@@ -91,7 +99,7 @@ fn main() {
 
     // ---- Scenario B: fragmented across three providers -------------------
     let providers = fleet();
-    let distributed = CloudDataDistributor::new(
+    let distributed = CloudDataDistributor::try_new(
         providers.clone(),
         DistributorConfig {
             // ~4 rows of CSV per chunk, mirroring the paper's 3-way split.
@@ -100,7 +108,8 @@ fn main() {
             raid_level: RaidLevel::None,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid config");
     distributed.register_client("Hercules").expect("fresh");
     distributed
         .add_password("Hercules", "12labors", PrivacyLevel::High)
@@ -108,7 +117,12 @@ fn main() {
     distributed
         .session("Hercules", "12labors")
         .expect("valid pair")
-        .put_file("bids.csv", &bytes, PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "bids.csv",
+            &bytes,
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload");
     println!("\n--- scenario B: distributed across Titans, Spartans, Yagamis ---");
     for p in &providers {
@@ -134,5 +148,8 @@ fn main() {
         .get_file("bids.csv")
         .expect("owner read");
     assert_eq!(got.data, bytes);
-    println!("\nHercules retrieves his ledger intact ({} bytes).", got.data.len());
+    println!(
+        "\nHercules retrieves his ledger intact ({} bytes).",
+        got.data.len()
+    );
 }

@@ -23,7 +23,9 @@ fn main() {
             )))
         })
         .collect();
-    let shared = Arc::new(CloudDataDistributor::new(fleet, DistributorConfig::default()));
+    let shared = Arc::new(
+        CloudDataDistributor::try_new(fleet, DistributorConfig::default()).expect("valid config"),
+    );
     let group = DistributorGroup::try_new(shared, 3).expect("non-empty group");
 
     // Alice's primary is distributor-0; Carol's is distributor-2.
@@ -38,13 +40,29 @@ fn main() {
 
     let report = b"annual report: growth 14%".repeat(500);
     group
-        .put_file(0, "Alice", "pw-a", "report.txt", &report, PrivacyLevel::Moderate, PutOptions::default())
+        .put_file(
+            0,
+            "Alice",
+            "pw-a",
+            "report.txt",
+            &report,
+            PrivacyLevel::Moderate,
+            PutOptions::default(),
+        )
         .expect("primary upload");
     println!("Alice uploaded report.txt via {}", group.node_name(0));
 
     // A non-primary upload is redirected.
     let err = group
-        .put_file(1, "Carol", "pw-c", "notes.txt", b"hello", PrivacyLevel::Low, PutOptions::default())
+        .put_file(
+            1,
+            "Carol",
+            "pw-c",
+            "notes.txt",
+            b"hello",
+            PrivacyLevel::Low,
+            PutOptions::default(),
+        )
         .expect_err("node 1 is not Carol's primary");
     println!("Carol uploading via {}: {err}", group.node_name(1));
 
@@ -67,7 +85,11 @@ fn main() {
     let got = group
         .get_file(1, "Alice", "pw-a", "report.txt")
         .expect("secondaries still serve reads");
-    println!("read via {} still works ({} bytes)", group.node_name(1), got.data.len());
+    println!(
+        "read via {} still works ({} bytes)",
+        group.node_name(1),
+        got.data.len()
+    );
     let new_primary = group.failover("Alice").expect("a node is alive");
     println!("Alice failed over to {}", group.node_name(new_primary));
     group
@@ -81,5 +103,8 @@ fn main() {
             PutOptions::default(),
         )
         .expect("upload via new primary");
-    println!("Alice uploaded report-v2.txt via {}", group.node_name(new_primary));
+    println!(
+        "Alice uploaded report-v2.txt via {}",
+        group.node_name(new_primary)
+    );
 }

@@ -33,13 +33,14 @@ fn main() {
     .collect();
 
     // 2. The Cloud Data Distributor (paper defaults: RAID-5, PL-sized chunks).
-    let distributor = CloudDataDistributor::new(
+    let distributor = CloudDataDistributor::try_new(
         fleet.clone(),
         DistributorConfig {
             stripe_width: 3,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid config");
 
     // Opt in to runtime telemetry (off by default): every op below is
     // recorded as spans + counters in the returned registry handle.
@@ -61,7 +62,12 @@ fn main() {
     // 5. Upload a moderately sensitive file.
     let document = b"quarterly ledger: revenue 1.2M, costs 0.9M, margin 0.3M".repeat(1000);
     let receipt = session
-        .put_file("ledger.txt", &document, PrivacyLevel::Moderate, PutOptions::new())
+        .put_file(
+            "ledger.txt",
+            &document,
+            PrivacyLevel::Moderate,
+            PutOptions::new(),
+        )
         .expect("upload succeeds");
     println!(
         "uploaded ledger.txt: {} chunks in {} stripes, {} bytes stored, sim time {:?}",
@@ -75,7 +81,11 @@ fn main() {
     // 7. Retrieve through the privileged session.
     let got = session.get_file("ledger.txt").expect("authorized read");
     assert_eq!(got.data, document);
-    println!("retrieved {} bytes intact (sim time {:?})", got.data.len(), got.sim_time);
+    println!(
+        "retrieved {} bytes intact (sim time {:?})",
+        got.data.len(),
+        got.sim_time
+    );
 
     // 8. Take a provider down — RAID-5 reconstruction keeps data available.
     // Pick one that actually holds data chunks (not just parity), so the

@@ -32,7 +32,7 @@
 //!         )))
 //!     })
 //!     .collect();
-//! let d = CloudDataDistributor::new(fleet, DistributorConfig::default());
+//! let d = CloudDataDistributor::try_new(fleet, DistributorConfig::default()).unwrap();
 //! d.register_client("Bob").unwrap();
 //! d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
 //! let session = d.session("Bob", "Ty7e").unwrap();
@@ -55,8 +55,8 @@ pub use fragcloud_workloads as workloads;
 
 pub use fragcloud_core::{
     recover, ChunkSizeSchedule, CloudDataDistributor, CoreError, Credentials, DistributorConfig,
-    GetReceipt, Journal, PlacementStrategy, PutOptions, PutReceipt, RecoveryReport, RepairReport,
-    ResilienceConfig, RetryPolicy, ScrubReport, Session,
+    DurabilityConfig, GetReceipt, Journal, PlacementStrategy, PutOptions, PutReceipt,
+    RecoveryReport, RepairReport, ResilienceConfig, RetryPolicy, ScrubReport, Session,
 };
 pub use fragcloud_raid::RaidLevel;
 pub use fragcloud_sim::{CostLevel, CrashPlan, PrivacyLevel, VirtualId};

@@ -28,7 +28,9 @@ fn distributor(n_providers: usize) -> CloudDataDistributor {
 }
 
 fn body(seed: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i * 31 + seed * 131) % 256) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 31 + seed * 131) % 256) as u8)
+        .collect()
 }
 
 #[test]

@@ -6,8 +6,7 @@
 use fragcloud::sim::failure::OutageScript;
 use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
 use fragcloud::{
-    CloudDataDistributor, ChunkSizeSchedule, DistributorConfig, PrivacyLevel, PutOptions,
-    RaidLevel,
+    ChunkSizeSchedule, CloudDataDistributor, DistributorConfig, PrivacyLevel, PutOptions, RaidLevel,
 };
 use proptest::prelude::*;
 use std::sync::Arc;

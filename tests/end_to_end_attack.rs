@@ -68,7 +68,16 @@ fn mine(d: &CloudDataDistributor, compromised: &[bool]) -> Option<(usize, f64)> 
     let n = rows.len();
     let ds = Dataset::from_rows(COLUMNS.iter().map(|s| s.to_string()).collect(), rows).ok()?;
     let m = RegressionModel::fit(&ds, &PREDICTORS, RESPONSE).ok()?;
-    Some((n, m.slopes().to_vec().iter().zip([1.4, 1.5, 3.1]).map(|(g, w)| (g - w).abs() / w).sum::<f64>() / 3.0))
+    Some((
+        n,
+        m.slopes()
+            .to_vec()
+            .iter()
+            .zip([1.4, 1.5, 3.1])
+            .map(|(g, w)| (g - w).abs() / w)
+            .sum::<f64>()
+            / 3.0,
+    ))
 }
 
 #[test]
@@ -175,5 +184,12 @@ fn misleading_bytes_poison_the_insider_even_with_full_compromise() {
         "misleading bytes should poison most rows, attacker got {rows_seen}"
     );
     // The legitimate owner still reads clean data.
-    assert_eq!(d.session("victim", "pw").unwrap().get_file("ledger").unwrap().data, bytes);
+    assert_eq!(
+        d.session("victim", "pw")
+            .unwrap()
+            .get_file("ledger")
+            .unwrap()
+            .data,
+        bytes
+    );
 }

@@ -39,7 +39,8 @@ fn fig3_world() -> (CloudDataDistributor, Vec<Arc<CloudProvider>>) {
     d.register_client("Bob").unwrap();
     d.add_password("Bob", "aB1c", PrivacyLevel::Public).unwrap();
     d.add_password("Bob", "x9pr", PrivacyLevel::Low).unwrap();
-    d.add_password("Bob", "6S4r", PrivacyLevel::Moderate).unwrap();
+    d.add_password("Bob", "6S4r", PrivacyLevel::Moderate)
+        .unwrap();
     d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
     // Roy's row.
     d.register_client("Roy").unwrap();
@@ -57,13 +58,20 @@ fn fig3_grant_and_deny() {
         .unwrap();
 
     // (Bob, x9pr, file1, 0): password PL 1 == chunk PL 1 → granted.
-    let chunk = d.session("Bob", "x9pr").unwrap().get_chunk("file1", 0).unwrap();
+    let chunk = d
+        .session("Bob", "x9pr")
+        .unwrap()
+        .get_chunk("file1", 0)
+        .unwrap();
     assert_eq!(chunk, &file1[..32]);
 
     // (Bob, aB1c, file1, 0): password PL 0 < chunk PL 1 → denied. The
     // session opens (the pair is valid); §V denies per chunk.
     assert_eq!(
-        d.session("Bob", "aB1c").unwrap().get_chunk("file1", 0).unwrap_err(),
+        d.session("Bob", "aB1c")
+            .unwrap()
+            .get_chunk("file1", 0)
+            .unwrap_err(),
         CoreError::AccessDenied
     );
 }
@@ -76,7 +84,10 @@ fn clients_cannot_touch_each_others_files() {
         .put_file("file3", &[9u8; 24], PrivacyLevel::High, PutOptions::new())
         .unwrap();
     // Bob's top password is not listed under Roy: the session never opens.
-    assert_eq!(d.session("Roy", "Ty7e").unwrap_err(), CoreError::AccessDenied);
+    assert_eq!(
+        d.session("Roy", "Ty7e").unwrap_err(),
+        CoreError::AccessDenied
+    );
     // And Bob has no file3 of his own.
     assert!(matches!(
         d.session("Bob", "Ty7e").unwrap().get_file("file3"),

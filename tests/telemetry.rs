@@ -7,8 +7,7 @@ use fragcloud::sim::failure::OutageScript;
 use fragcloud::sim::{CloudProvider, CostLevel, ProviderProfile};
 use fragcloud::telemetry::export::json;
 use fragcloud::{
-    ChunkSizeSchedule, CloudDataDistributor, DistributorConfig, PrivacyLevel, PutOptions,
-    RaidLevel,
+    ChunkSizeSchedule, CloudDataDistributor, DistributorConfig, PrivacyLevel, PutOptions, RaidLevel,
 };
 use std::sync::Arc;
 
@@ -78,7 +77,10 @@ fn quickstart_summary_reports_put_and_get_spans() {
 
     let summary = reg.render_summary();
     for needle in ["put", "get", "puts_total", "gets_total", "stripe_encode_ns"] {
-        assert!(summary.contains(needle), "summary missing {needle:?}:\n{summary}");
+        assert!(
+            summary.contains(needle),
+            "summary missing {needle:?}:\n{summary}"
+        );
     }
     // Provider-level metrics flowed into the same registry.
     assert!(reg.counter_total("provider_puts") > 0);
@@ -194,7 +196,10 @@ fn parallel_sessions_keep_counters_exact_and_spans_balanced() {
     assert_eq!(reg.counter_total("gets_total"), n);
     assert_eq!(reg.span_count("put"), n);
     assert_eq!(reg.span_count("get"), n);
-    assert!(reg.spans_balanced(), "span enter/exit imbalance under concurrency");
+    assert!(
+        reg.spans_balanced(),
+        "span enter/exit imbalance under concurrency"
+    );
 
     let snap = reg.snapshot();
     assert_eq!(snap.span_enters, snap.span_exits);

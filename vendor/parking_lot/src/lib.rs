@@ -91,6 +91,24 @@ impl<T: ?Sized> RwLock<T> {
             .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner
@@ -116,5 +134,19 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_try_paths() {
+        let l = RwLock::new(0);
+        {
+            let _r = l.try_read().expect("uncontended read");
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer blocked by reader");
+        }
+        {
+            let _w = l.try_write().expect("uncontended write");
+            assert!(l.try_read().is_none(), "reader blocked by writer");
+        }
     }
 }
