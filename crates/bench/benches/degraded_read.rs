@@ -75,6 +75,7 @@ fn bench_degraded_read(c: &mut Criterion) {
         "criterion_degraded_read",
         "degraded_read group registry drain",
         Some(&reg.snapshot()),
+        &[],
     ) {
         eprintln!("wrote {}", path.display());
     }

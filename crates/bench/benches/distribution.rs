@@ -135,6 +135,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         "criterion_distribution",
         "telemetry_overhead group registry drain",
         Some(&reg.snapshot()),
+        &[],
     ) {
         eprintln!("wrote {}", path.display());
     }

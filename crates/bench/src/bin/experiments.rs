@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <name>      run one experiment
 //! experiments all         run everything (the EXPERIMENTS.md input)
+//! experiments trace       run the trace workload, write a Chrome trace
 //! experiments list        list experiment names
 //! ```
 //!
@@ -11,8 +12,15 @@
 //! the current directory) containing the report text and — for
 //! instrumented experiments such as `degraded` — the telemetry registry
 //! snapshot, so CI can assert on counters instead of scraping tables.
+//!
+//! Experiments that declare SLO gates ([`exp::degraded::slos`],
+//! [`exp::recovery::slos`]) have them evaluated against the run's
+//! registry snapshot: the outcomes are appended to the report, embedded
+//! in the JSON summary, and a failing gate makes the process exit 3 —
+//! CI gates on the exit code rather than re-deriving thresholds in jq.
 
 use fragcloud_bench::{experiments as exp, write_summary};
+use fragcloud_telemetry::slo::{self, SloSpec};
 use fragcloud_telemetry::RegistrySnapshot;
 
 const NAMES: &[(&str, &str)] = &[
@@ -55,77 +63,141 @@ const NAMES: &[(&str, &str)] = &[
     ),
 ];
 
-fn run_one(name: &str) -> Option<(String, Option<RegistrySnapshot>)> {
+/// One experiment's output: report text, optional registry snapshot, and
+/// the SLO specs (if any) to evaluate against that snapshot.
+struct RunOutput {
+    report: String,
+    telemetry: Option<RegistrySnapshot>,
+    slos: Vec<SloSpec>,
+}
+
+impl RunOutput {
+    fn plain(report: String) -> Self {
+        RunOutput {
+            report,
+            telemetry: None,
+            slos: Vec::new(),
+        }
+    }
+}
+
+fn run_one(name: &str) -> Option<RunOutput> {
     Some(match name {
-        "fig3" => (exp::fig3::run().1, None),
-        "table4" => (exp::table4::run().1, None),
-        "fig456" => (exp::fig456::run().1, None),
-        "disttime" => (exp::disttime::run().1, None),
-        "chunksize" => (exp::chunksize::run().1, None),
-        "mislead" => (exp::mislead::run().1, None),
-        "policy" => (exp::policy::run().1, None),
-        "availability" => (exp::availability::run().1, None),
-        "dht" => (exp::dht::run().1, None),
-        "encvsfrag" => (exp::encvsfrag::run().1, None),
-        "attacker" => (exp::attacker::run().1, None),
-        "classify" => (exp::classify::run().1, None),
-        "cost" => (exp::cost::run().1, None),
-        "ablation" => (exp::ablation::run().1, None),
-        "rules" => (exp::rules::run().1, None),
-        "segmentation" => (exp::segmentation::run().1, None),
+        "fig3" => RunOutput::plain(exp::fig3::run().1),
+        "table4" => RunOutput::plain(exp::table4::run().1),
+        "fig456" => RunOutput::plain(exp::fig456::run().1),
+        "disttime" => RunOutput::plain(exp::disttime::run().1),
+        "chunksize" => RunOutput::plain(exp::chunksize::run().1),
+        "mislead" => RunOutput::plain(exp::mislead::run().1),
+        "policy" => RunOutput::plain(exp::policy::run().1),
+        "availability" => RunOutput::plain(exp::availability::run().1),
+        "dht" => RunOutput::plain(exp::dht::run().1),
+        "encvsfrag" => RunOutput::plain(exp::encvsfrag::run().1),
+        "attacker" => RunOutput::plain(exp::attacker::run().1),
+        "classify" => RunOutput::plain(exp::classify::run().1),
+        "cost" => RunOutput::plain(exp::cost::run().1),
+        "ablation" => RunOutput::plain(exp::ablation::run().1),
+        "rules" => RunOutput::plain(exp::rules::run().1),
+        "segmentation" => RunOutput::plain(exp::segmentation::run().1),
         "degraded" => {
             let (_, report, tel) = exp::degraded::run_instrumented();
-            let snap = tel.registry().map(|r| r.snapshot());
-            (report, snap)
+            RunOutput {
+                report,
+                telemetry: tel.registry().map(|r| r.snapshot()),
+                slos: exp::degraded::slos(),
+            }
         }
         "put_throughput" => {
             let (_, report, tel) = exp::put_throughput::run_instrumented();
-            let snap = tel.registry().map(|r| r.snapshot());
-            (report, snap)
+            RunOutput {
+                report,
+                telemetry: tel.registry().map(|r| r.snapshot()),
+                slos: Vec::new(),
+            }
         }
         "recovery" => {
             let (_, report, tel) = exp::recovery::run_instrumented();
-            let snap = tel.registry().map(|r| r.snapshot());
-            (report, snap)
+            RunOutput {
+                report,
+                telemetry: tel.registry().map(|r| r.snapshot()),
+                slos: exp::recovery::slos(),
+            }
         }
         _ => return None,
     })
 }
 
-fn run_and_export(name: &str) -> Option<String> {
-    let (report, telemetry) = run_one(name)?;
-    match write_summary(name, &report, telemetry.as_ref()) {
+/// Runs one experiment, writes its JSON summary, and returns the report
+/// plus whether every declared SLO gate passed.
+fn run_and_export(name: &str) -> Option<(String, bool)> {
+    let out = run_one(name)?;
+    let mut report = out.report;
+    let outcomes = match (&out.telemetry, out.slos.is_empty()) {
+        (Some(snap), false) => slo::evaluate(&out.slos, snap),
+        _ => Vec::new(),
+    };
+    if !outcomes.is_empty() {
+        report.push('\n');
+        report.push_str(&slo::render(&outcomes));
+    }
+    match write_summary(name, &report, out.telemetry.as_ref(), &outcomes) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_{name}.json: {e}"),
     }
-    Some(report)
+    Some((report, slo::all_pass(&outcomes)))
+}
+
+/// Runs the trace workload, writes the Chrome trace next to the BENCH
+/// summaries, and prints the span rollup.
+fn run_trace() {
+    let (trace, report) = exp::trace::run();
+    let dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join("TRACE_workload.json");
+    match std::fs::write(&path, &trace) {
+        Ok(()) => eprintln!("wrote {} (load it in Perfetto)", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!("{report}");
 }
 
 fn main() {
     let arg = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "list".to_string());
+    let mut gates_ok = true;
     match arg.as_str() {
         "list" => {
             println!("available experiments:");
             for (name, desc) in NAMES {
                 println!("  {name:<14} {desc}");
             }
+            println!("  trace          span-timeline workload -> Chrome trace JSON");
             println!("  all            run every experiment");
         }
+        "trace" => run_trace(),
         "all" => {
             for (name, _) in NAMES {
-                let report = run_and_export(name).expect("known name");
+                let (report, ok) = run_and_export(name).expect("known name");
+                gates_ok &= ok;
                 println!("{}", "=".repeat(78));
                 println!("{report}");
             }
         }
         name => match run_and_export(name) {
-            Some(report) => println!("{report}"),
+            Some((report, ok)) => {
+                gates_ok = ok;
+                println!("{report}");
+            }
             None => {
                 eprintln!("unknown experiment {name:?}; try `experiments list`");
                 std::process::exit(2);
             }
         },
+    }
+    if !gates_ok {
+        eprintln!("one or more SLO gates failed");
+        std::process::exit(3);
     }
 }

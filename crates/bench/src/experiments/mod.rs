@@ -19,6 +19,7 @@ pub mod recovery;
 pub mod rules;
 pub mod segmentation;
 pub mod table4;
+pub mod trace;
 
 /// Standard test fleet mirroring Fig. 3's Cloud Provider Table: four
 /// trusted premium providers and three cheap lower-trust ones.

@@ -8,6 +8,7 @@
 pub mod experiments;
 
 use fragcloud_telemetry::export::{json, summary_json};
+use fragcloud_telemetry::slo::SloOutcome;
 use fragcloud_telemetry::RegistrySnapshot;
 use std::path::{Path, PathBuf};
 
@@ -15,21 +16,31 @@ use std::path::{Path, PathBuf};
 /// `BENCH_<name>.json` under `dir` and returns the path.
 ///
 /// The document is a single JSON object:
-/// `{"experiment": name, "report": <full text report>, "telemetry": ...}`
+/// `{"experiment": name, "report": <text>, "telemetry": ..., "slo": ...}`
 /// where `telemetry` is [`fragcloud_telemetry::export::summary_json`]
-/// output for instrumented runs and `null` otherwise.
+/// output for instrumented runs (every histogram entry carries an
+/// interpolated `percentiles` block) and `null` otherwise, and `slo` is
+/// the [`fragcloud_telemetry::slo::to_json`] outcome array for
+/// experiments that declare gates (`null` when none do).
 pub fn write_summary_to(
     dir: &Path,
     name: &str,
     report: &str,
     telemetry: Option<&RegistrySnapshot>,
+    slo: &[SloOutcome],
 ) -> std::io::Result<PathBuf> {
     let tel = telemetry.map_or_else(|| "null".to_string(), summary_json);
+    let slo = if slo.is_empty() {
+        "null".to_string()
+    } else {
+        fragcloud_telemetry::slo::to_json(slo)
+    };
     let doc = format!(
-        "{{\"experiment\":{},\"report\":{},\"telemetry\":{}}}\n",
+        "{{\"experiment\":{},\"report\":{},\"telemetry\":{},\"slo\":{}}}\n",
         json::quote(name),
         json::quote(report),
-        tel
+        tel,
+        slo
     );
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, doc)?;
@@ -42,11 +53,12 @@ pub fn write_summary(
     name: &str,
     report: &str,
     telemetry: Option<&RegistrySnapshot>,
+    slo: &[SloOutcome],
 ) -> std::io::Result<PathBuf> {
     let dir = std::env::var_os("BENCH_OUT_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
-    write_summary_to(&dir, name, report, telemetry)
+    write_summary_to(&dir, name, report, telemetry, slo)
 }
 
 /// Formats a float with fixed width for report tables.
@@ -128,7 +140,8 @@ mod tests {
 
         let dir = std::env::temp_dir().join(format!("fragcloud-bench-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = write_summary_to(&dir, "smoke", "line1\n\"quoted\"\ttab", Some(&snap)).unwrap();
+        let path =
+            write_summary_to(&dir, "smoke", "line1\n\"quoted\"\ttab", Some(&snap), &[]).unwrap();
         assert!(path.ends_with("BENCH_smoke.json"));
 
         let doc = std::fs::read_to_string(&path).unwrap();
@@ -144,11 +157,23 @@ mod tests {
             counters.get("retries_total{cp0}").unwrap().as_u64(),
             Some(3)
         );
+        assert_eq!(v.get("slo"), Some(&json::Value::Null));
 
         // Uninstrumented runs carry an explicit null.
-        let path = write_summary_to(&dir, "smoke2", "r", None).unwrap();
+        let path = write_summary_to(&dir, "smoke2", "r", None, &[]).unwrap();
         let v = json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
         assert_eq!(v.get("telemetry"), Some(&json::Value::Null));
+
+        // Declared gates land as a parseable outcome array.
+        use fragcloud_telemetry::slo::{evaluate, SloSpec};
+        tel.observe("gate_us", 40);
+        let snap = tel.registry().unwrap().snapshot();
+        let outcomes = evaluate(&[SloSpec::p99_max("g", "gate_us", "", 100)], &snap);
+        let path = write_summary_to(&dir, "smoke3", "r", Some(&snap), &outcomes).unwrap();
+        let v = json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        let gates = v.get("slo").unwrap().as_array().expect("slo array");
+        assert_eq!(gates.len(), 1);
+        assert_eq!(gates[0].get("pass"), Some(&json::Value::Bool(true)));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

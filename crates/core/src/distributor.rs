@@ -36,7 +36,7 @@ use bytes::Bytes;
 use fragcloud_raid::{RaidLevel, StripeCodec};
 use fragcloud_sim::reputation::{ReputationConfig, ReputationEvent, ReputationTracker};
 use fragcloud_sim::{CloudProvider, CrashPlan, ObjectStore, PrivacyLevel, StoreError, VirtualId};
-use fragcloud_telemetry::{span, TelemetryHandle};
+use fragcloud_telemetry::{clock, span, TelemetryHandle};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -2196,6 +2196,7 @@ impl CloudDataDistributor {
     pub fn scrub(&self) -> ScrubReport {
         let tel = self.telemetry();
         let _op = span!(tel, "scrub");
+        let wall = clock::monotonic_now();
         let mut report = ScrubReport::default();
         // Shard by shard, one write lock at a time: scrub is advisory, so
         // it does not need a cross-shard atomic view. Reported stripe ids
@@ -2241,6 +2242,7 @@ impl CloudDataDistributor {
         }
         tel.incr("scrubs_total");
         tel.add("scrub_missing_shards", report.missing_shards as u64);
+        tel.observe_micros("scrub_wall_us", wall.elapsed());
         report
     }
 
@@ -2278,6 +2280,7 @@ impl CloudDataDistributor {
     fn repair_inner(&self, jctx: &Option<JournalCtx>) -> Result<RepairReport> {
         let tel = self.telemetry();
         let _op = span!(tel, "repair");
+        let wall = clock::monotonic_now();
         // Repair rewrites structure across every shard; its journal delta
         // degrades to an inline full snapshot rather than row tracking.
         self.touch_full(jctx);
@@ -2314,6 +2317,7 @@ impl CloudDataDistributor {
         tel.incr("repairs_total");
         tel.add("shards_rebuilt", report.shards_rebuilt as u64);
         tel.add("repair_failures", report.failed.len() as u64);
+        tel.observe_micros("repair_wall_us", wall.elapsed());
         Ok(report)
     }
 

@@ -49,7 +49,8 @@
 //! [`JournalSink::persist`] call — the modeled fsync — so N concurrent
 //! operations pay ~1 flush instead of N.
 //! Followers that arrive while a flush is in flight piggyback on it
-//! (`fsync_waits` counts them; `journal_batch_size` observes the drain).
+//! (`fsync_waits` counts them, `journal_fsync_wait_us` observes how long
+//! they blocked; `journal_batch_ops_count` observes the drain size).
 //!
 //! A close record that was appended but **not yet flushed** is not
 //! durable: [`ops`](Journal::ops) reports its op as dangling,
@@ -67,7 +68,7 @@ use crate::config::DurabilityConfig;
 use crate::persist::{esc, unesc};
 use crate::{CoreError, Result};
 use fragcloud_sim::VirtualId;
-use fragcloud_telemetry::TelemetryHandle;
+use fragcloud_telemetry::{clock, TelemetryHandle};
 use parking_lot::Mutex;
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
@@ -326,7 +327,8 @@ impl Journal {
     }
 
     /// Routes the journal's `fsync_total` / `fsync_waits` /
-    /// `journal_batch_size` telemetry to `tel`.
+    /// `journal_batch_ops_count` / `journal_fsync_wait_us` telemetry to
+    /// `tel`.
     pub fn set_telemetry(&self, tel: TelemetryHandle) {
         *self.tel.lock() = tel;
     }
@@ -414,21 +416,23 @@ impl Journal {
     /// The first caller to find no flush in flight becomes the leader: it
     /// lingers for the configured group-commit window (default zero),
     /// drains **every** pending close record in one [`JournalSink`] call,
-    /// and wakes the followers. Followers count into `fsync_waits`; the
-    /// drain size lands in the `journal_batch_size` histogram.
+    /// and wakes the followers. Followers count into `fsync_waits` and
+    /// observe their blocked time into `journal_fsync_wait_us`; the
+    /// drain size lands in the `journal_batch_ops_count` histogram.
     pub fn sync(&self, seq: u64) {
         let tel = self.tel.lock().clone();
-        let mut waited = false;
+        let mut waited: Option<std::time::Instant> = None;
         let mut g = self.flush.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if g.flushed >= seq {
-                if waited {
+                if let Some(since) = waited {
                     tel.incr("fsync_waits");
+                    tel.observe_micros("journal_fsync_wait_us", since.elapsed());
                 }
                 return;
             }
             if g.leader {
-                waited = true;
+                waited.get_or_insert_with(clock::monotonic_now);
                 g = self
                     .flush_cv
                     .wait(g)
@@ -472,7 +476,7 @@ impl Journal {
             if n > 0 {
                 let sink = Arc::clone(&self.sink.lock());
                 sink.persist(&batch);
-                tel.observe("journal_batch_size", n);
+                tel.observe("journal_batch_ops_count", n);
             }
             tel.incr("fsync_total");
 
@@ -480,8 +484,9 @@ impl Journal {
             g2.flushed = g2.flushed.max(upto);
             g2.leader = false;
             self.flush_cv.notify_all();
-            if waited {
+            if let Some(since) = waited {
                 tel.incr("fsync_waits");
+                tel.observe_micros("journal_fsync_wait_us", since.elapsed());
             }
             return;
         }
@@ -986,8 +991,13 @@ mod tests {
         );
         let reg = tel.registry().expect("enabled");
         assert_eq!(reg.counter_total("fsync_total"), flushes);
-        let batched: u64 = reg.histogram("journal_batch_size", "").count();
+        let batched: u64 = reg.histogram("journal_batch_ops_count", "").count();
         assert!(batched >= 1);
+        // Every follower that counted a wait also observed its duration.
+        assert_eq!(
+            reg.histogram("journal_fsync_wait_us", "").count(),
+            reg.counter_total("fsync_waits")
+        );
     }
 
     #[test]

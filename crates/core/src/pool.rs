@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{self, Sender};
-use fragcloud_telemetry::TelemetryHandle;
+use fragcloud_telemetry::{clock, TelemetryHandle};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -87,13 +87,20 @@ impl TransferPool {
         assert!(sent, "workers outlive the sender");
     }
 
-    /// [`submit`](Self::submit) plus telemetry: bumps `pool_tasks_total`
-    /// and records the post-submit queue depth into the `pool_queue_depth`
-    /// histogram (a gauge-style sample of backlog at submission time).
+    /// [`submit`](Self::submit) plus telemetry: bumps `pool_tasks_total`,
+    /// records the post-submit queue depth into the
+    /// `pool_queue_depth_count` histogram (a gauge-style sample of
+    /// backlog at submission time), and observes how long the task sat
+    /// queued before a worker picked it up into `pool_queue_dwell_us`.
     pub fn submit_observed(&self, tel: &TelemetryHandle, job: impl FnOnce() + Send + 'static) {
-        self.submit(job);
+        let enqueued = clock::monotonic_now();
+        let dwell_tel = tel.clone();
+        self.submit(move || {
+            dwell_tel.observe_micros("pool_queue_dwell_us", enqueued.elapsed());
+            job();
+        });
         tel.incr("pool_tasks_total");
-        tel.observe("pool_queue_depth", self.queue_depth() as u64);
+        tel.observe("pool_queue_depth_count", self.queue_depth() as u64);
     }
 
     /// Tasks submitted but not yet started (snapshot; racy by nature).
@@ -197,6 +204,8 @@ mod tests {
         assert_eq!(rx.iter().count(), 5);
         let reg = tel.registry().expect("enabled");
         assert_eq!(reg.counter_total("pool_tasks_total"), 5);
-        assert_eq!(reg.histogram("pool_queue_depth", "").count(), 5);
+        assert_eq!(reg.histogram("pool_queue_depth_count", "").count(), 5);
+        // Every task that ran also reported how long it sat queued.
+        assert_eq!(reg.histogram("pool_queue_dwell_us", "").count(), 5);
     }
 }

@@ -153,6 +153,15 @@ impl<'d> Session<'d> {
         self.distributor.telemetry()
     }
 
+    /// Exports every span this session's distributor retained as Chrome
+    /// `trace_event` JSON — loadable in Perfetto / `chrome://tracing` —
+    /// or `None` when telemetry is disabled. Spans from *all* sessions
+    /// bound to the same distributor share the registry, so the trace
+    /// shows the whole process's put/get/scrub/repair timeline.
+    pub fn export_trace(&self) -> Option<String> {
+        self.telemetry().registry().map(|r| r.export_trace())
+    }
+
     /// Uploads a file at the given privacy level; see
     /// [`PutOptions`] for per-upload knobs.
     pub fn put_file(

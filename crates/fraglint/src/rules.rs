@@ -70,6 +70,14 @@ pub const RULES: &[Rule] = &[
         applies_to_tests: false,
     },
     Rule {
+        id: "histogram-units",
+        summary: "histogram metric name without a unit suffix",
+        invariant: "histogram names end in _us/_ns/_bytes/_count so every \
+                    exported distribution (and its interpolated percentiles) \
+                    is readable without chasing the recording site for units",
+        applies_to_tests: false,
+    },
+    Rule {
         id: "provider-boundary",
         summary: "provider put/get/delete outside distributor/resilience/rebalance",
         invariant: "provider I/O flows only through the distributor, so the paper's \
@@ -144,6 +152,7 @@ pub fn run_rule(rule_id: &str, tokens: &[Token], code: &[usize]) -> Vec<Hit> {
         "safety-comment" => safety_comment(tokens, code),
         "no-deprecated-string-api" => deprecated_api(tokens, code),
         "no-print-in-lib" => print_in_lib(tokens, code),
+        "histogram-units" => histogram_units(tokens, code),
         "provider-boundary" => provider_boundary(tokens, code),
         _ => Vec::new(),
     }
@@ -338,6 +347,51 @@ fn print_in_lib(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
     hits
 }
 
+/// Accepted histogram-name endings; one per exported unit.
+const UNIT_SUFFIXES: &[&str] = &["_us", "_ns", "_bytes", "_count"];
+
+/// Methods whose string-literal first argument names a histogram.
+const HISTOGRAM_METHODS: &[&str] = &["observe", "observe_labeled", "observe_micros", "histogram"];
+
+fn histogram_units(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        if !tokens[code[i]].is_punct('.') {
+            continue;
+        }
+        let Some(&mi) = code.get(i + 1) else { continue };
+        let method = &tokens[mi];
+        if !HISTOGRAM_METHODS.iter().any(|m| method.is_ident(m)) {
+            continue;
+        }
+        if !code
+            .get(i + 2)
+            .map(|&ti| tokens[ti].is_punct('('))
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        // Only string-literal names are checkable; computed names pass.
+        let Some(&ai) = code.get(i + 3) else { continue };
+        let arg = &tokens[ai];
+        if arg.kind != TokKind::Str {
+            continue;
+        }
+        let name = arg.text.trim_matches('"');
+        if UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        hits.push(Hit {
+            line: arg.line,
+            message: format!(
+                "histogram name {name:?} has no unit suffix; end it in one of \
+                 _us/_ns/_bytes/_count so exported percentiles carry their unit"
+            ),
+        });
+    }
+    hits
+}
+
 fn provider_boundary(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
     let mut hits = Vec::new();
     for i in 0..code.len() {
@@ -488,6 +542,38 @@ mod tests {
         assert_eq!(run("no-print-in-lib", r#"println!("x");"#).len(), 1);
         assert_eq!(run("no-print-in-lib", r#"eprintln!("x");"#).len(), 1);
         assert!(run("no-print-in-lib", r#"writeln!(f, "x");"#).is_empty());
+    }
+
+    #[test]
+    fn histogram_units_suffix_required() {
+        assert_eq!(
+            run("histogram-units", r#"tel.observe("queue_depth", 3);"#).len(),
+            1
+        );
+        assert_eq!(
+            run("histogram-units", r#"tel.observe_micros("fsync_wait", d);"#).len(),
+            1
+        );
+        assert_eq!(
+            run(
+                "histogram-units",
+                r#"tel.observe_labeled("put_wall", "plain", v);"#
+            )
+            .len(),
+            1
+        );
+        for ok in [
+            r#"tel.observe("journal_batch_ops_count", n);"#,
+            r#"tel.observe_micros("journal_fsync_wait_us", d);"#,
+            r#"tel.observe_labeled("put_wall_us", "plain", v);"#,
+            r#"snap.histogram("shard_bytes", "")"#,
+            // Computed names cannot be checked statically.
+            "tel.observe(name, v);",
+            // Counters are a different namespace; incr/add are not covered.
+            r#"tel.incr("puts_total");"#,
+        ] {
+            assert!(run("histogram-units", ok).is_empty(), "{ok}");
+        }
     }
 
     #[test]

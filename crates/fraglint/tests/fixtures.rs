@@ -21,6 +21,7 @@ const CASES: &[(&str, &str, &str)] = &[
         "deprecated_good.rs",
     ),
     ("no-print-in-lib", "print_bad.rs", "print_good.rs"),
+    ("histogram-units", "histogram_bad.rs", "histogram_good.rs"),
     ("provider-boundary", "boundary_bad.rs", "boundary_good.rs"),
 ];
 

@@ -1,0 +1,5 @@
+//! Fixture: histogram recorded under a unit-less name.
+
+pub fn record(tel: &fragcloud_telemetry::TelemetryHandle, depth: u64) {
+    tel.observe("queue_depth", depth);
+}

@@ -1,0 +1,6 @@
+//! Fixture: histogram names carry their unit.
+
+pub fn record(tel: &fragcloud_telemetry::TelemetryHandle, depth: u64) {
+    tel.observe("queue_depth_count", depth);
+    tel.observe_micros("enqueue_wait_us", std::time::Duration::from_micros(depth));
+}

@@ -504,7 +504,7 @@ mod tests {
         let h = snap
             .histogram("provider_op_us", "AWS")
             .expect("latency histogram recorded");
-        assert_eq!(h.count, 1);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -11,8 +11,19 @@
 //! [`Observer`]: https://docs.rs/fragcloud-sim
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Epoch for trace timestamps: pinned the first time anyone asks.
+static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+
+/// Monotonic ordinal handed to each thread on its first span.
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) + 1;
+}
 
 /// Advance the clock and return the new tick. Every observable event
 /// (a span enter, an observer record, a provider op) should call this
@@ -38,6 +49,25 @@ pub fn monotonic_now() -> std::time::Instant {
     std::time::Instant::now()
 }
 
+/// Nanoseconds of wall time since the process's *trace epoch* — the
+/// moment this function was first called. Span records carry it as
+/// their start timestamp so the Chrome-trace exporter can place spans
+/// on one shared timeline; the first caller reads 0.
+pub fn since_epoch() -> u64 {
+    EPOCH
+        .get_or_init(monotonic_now)
+        .elapsed()
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+/// A small stable ordinal for the calling thread (1-based, assigned on
+/// first use). The trace exporter uses it as the `tid` lane so spans
+/// from different pool workers land on different tracks.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,6 +79,17 @@ mod tests {
         let c = tick();
         assert!(a < b && b < c);
         assert!(now() >= c);
+    }
+
+    #[test]
+    fn epoch_is_monotonic_and_ordinals_distinct() {
+        let a = since_epoch();
+        let b = since_epoch();
+        assert!(b >= a);
+        let here = thread_ordinal();
+        assert_eq!(here, thread_ordinal(), "stable per thread");
+        let there = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(here, there, "each thread gets its own ordinal");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::registry::{Registry, RegistrySnapshot};
 
 /// Render `ns` nanoseconds as a compact human duration.
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     match ns {
         0..=9_999 => format!("{ns}ns"),
         10_000..=9_999_999 => format!("{}us", ns / 1_000),
@@ -50,17 +50,20 @@ impl Registry {
             ));
         }
         for (name, label, h) in &snap.histograms {
+            let p = h.percentiles();
             out.push_str(&format!(
-                "{{\"type\":\"histogram\",\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}\n",
+                "{{\"type\":\"histogram\",\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}\n",
                 json::quote(name),
                 json::quote(label),
-                h.count,
-                h.sum,
-                h.min,
-                h.max,
+                h.count(),
+                h.sum(),
+                h.min_observed(),
+                h.max_observed(),
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99)
+                p.p50,
+                p.p90,
+                p.p99,
+                p.p999
             ));
         }
         for (name, agg) in &snap.span_aggregates {
@@ -133,18 +136,21 @@ pub fn render_summary(snap: &RegistrySnapshot) -> String {
     }
     out.push_str("  histograms\n");
     out.push_str(&format!(
-        "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
-        "name", "count", "mean", "p50", "p99", "max"
+        "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+        "name", "count", "mean", "p50", "p90", "p99", "p999", "max"
     ));
     for (name, label, h) in &snap.histograms {
+        let p = h.percentiles();
         out.push_str(&format!(
-            "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            "    {:<32} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
             metric_key(name, label),
-            h.count,
+            h.count(),
             h.mean(),
-            h.quantile(0.5),
-            h.quantile(0.99),
-            h.max
+            p.p50,
+            p.p90,
+            p.p99,
+            p.p999,
+            h.max_observed()
         ));
     }
     out
@@ -171,16 +177,21 @@ pub fn summary_json(snap: &RegistrySnapshot) -> String {
         .histograms
         .iter()
         .map(|(name, label, h)| {
+            let p = h.percentiles();
             format!(
-                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"percentiles\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}}}",
                 json::quote(&metric_key(name, label)),
-                h.count,
-                h.sum,
-                h.min,
-                h.max,
+                h.count(),
+                h.sum(),
+                h.min_observed(),
+                h.max_observed(),
                 h.mean(),
-                h.quantile(0.5),
-                h.quantile(0.99)
+                p.p50,
+                p.p99,
+                p.p50,
+                p.p90,
+                p.p99,
+                p.p999
             )
         })
         .collect();
@@ -535,11 +546,18 @@ mod tests {
             Some(2)
         );
         assert_eq!(counters.get("puts_total").unwrap().as_u64(), Some(1));
-        assert!(v
+        let h = v
             .get("histograms")
             .unwrap()
             .get("backoff_wait_us")
-            .is_some());
+            .expect("histogram entry");
+        let p = h.get("percentiles").expect("percentiles block");
+        for q in ["p50", "p90", "p99", "p999"] {
+            assert!(
+                p.get(q).and_then(Value::as_u64).is_some(),
+                "percentiles missing {q}"
+            );
+        }
         assert_eq!(
             v.get("spans")
                 .unwrap()

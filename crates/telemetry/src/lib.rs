@@ -16,9 +16,16 @@
 //!    (optionally labelled, e.g. `retries_total{provider}`) and
 //!    log₂-bucketed histograms behind a thread-safe [`Registry`].
 //! 3. **Exporters** — a human-readable summary table
-//!    ([`Registry::render_summary`]) and a JSON-lines op-ledger writer
-//!    ([`Registry::export_jsonl`]), plus a dependency-free JSON
+//!    ([`Registry::render_summary`]), a JSON-lines op-ledger writer
+//!    ([`Registry::export_jsonl`]), and a Chrome trace-event exporter
+//!    ([`Registry::export_trace`]), plus a dependency-free JSON
 //!    parser in [`export::json`] so tests and CI can assert on output.
+//!
+//! On top of those sit the SLO-facing layers: interpolated quantiles on
+//! every [`HistogramSnapshot`] ([`HistogramSnapshot::quantile`] and the
+//! [`Percentiles`] bundle), time-resolved percentiles via
+//! [`RollingHistogram`], span latency rollups with self-vs-child
+//! attribution ([`rollup`]), and declarative SLO gates ([`slo`]).
 //!
 //! Everything is **off by default**: the plumbing type is
 //! [`TelemetryHandle`], which is a cheap clonable `Option<Arc<Registry>>`.
@@ -48,11 +55,19 @@ pub mod clock;
 pub mod export;
 mod metrics;
 mod registry;
+mod rollup;
+pub mod slo;
 mod span;
+mod trace;
+mod window;
 
-pub use metrics::{Histogram, HistogramSnapshot};
+pub use metrics::{Histogram, HistogramSnapshot, Percentiles};
 pub use registry::{CounterSnapshot, Registry, RegistrySnapshot};
+pub use rollup::{render_rollup, rollup, RollupEdge, RollupReport, SpanRollup};
+pub use slo::{SloBound, SloOutcome, SloSpec};
 pub use span::{SpanAggregate, SpanGuard, SpanRecord};
+pub use trace::chrome_trace;
+pub use window::{RollingHistogram, WindowSnapshot, WindowedSnapshot};
 
 use std::sync::Arc;
 use std::time::Duration;

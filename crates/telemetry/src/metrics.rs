@@ -1,18 +1,20 @@
-//! Log₂-bucketed histograms.
+//! Log₂-bucketed histograms with interpolated quantiles.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of buckets: bucket 0 holds the value 0, bucket `i` (1..=64)
 /// holds values whose highest set bit is bit `i-1`, i.e. the range
 /// `[2^(i-1), 2^i - 1]`.
-const BUCKETS: usize = 65;
+pub(crate) const BUCKETS: usize = 65;
 
 /// A lock-free histogram with power-of-two buckets.
 ///
 /// Values are unitless `u64`s; by convention the distributor records
 /// microseconds for simulated waits (`*_us`) and nanoseconds for real
-/// CPU timings (`*_ns`). Recording is a handful of relaxed atomic ops,
-/// and quantile queries are approximate (bucket upper bound).
+/// CPU timings (`*_ns`) — the fraglint `histogram-units` rule enforces
+/// the suffix. Recording is a handful of relaxed atomic ops; quantile
+/// queries interpolate log-linearly inside the matched bucket (see
+/// [`HistogramSnapshot::quantile`]).
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
@@ -39,7 +41,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: u64) -> usize {
+    pub(crate) fn bucket_index(value: u64) -> usize {
         if value == 0 {
             0
         } else {
@@ -47,8 +49,16 @@ impl Histogram {
         }
     }
 
+    /// Inclusive lower bound of bucket `i`.
+    pub(crate) fn bucket_lower(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
     /// Inclusive upper bound of bucket `i`.
-    fn bucket_upper(i: usize) -> u64 {
+    pub(crate) fn bucket_upper(i: usize) -> u64 {
         match i {
             0 => 0,
             64 => u64::MAX,
@@ -92,42 +102,170 @@ impl Histogram {
     }
 }
 
+/// The four SLO percentiles every latency histogram reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (interpolated).
+    pub p50: u64,
+    /// 90th percentile (interpolated).
+    pub p90: u64,
+    /// 99th percentile (interpolated).
+    pub p99: u64,
+    /// 99.9th percentile (interpolated).
+    pub p999: u64,
+}
+
 /// Point-in-time copy of a [`Histogram`], with derived statistics.
+///
+/// Construction happens only through [`Histogram::snapshot`] (or
+/// [`merge`](Self::merge)); consumers read through the accessors so the
+/// bucket layout stays an implementation detail.
 #[derive(Clone, Debug)]
 pub struct HistogramSnapshot {
-    /// Number of observations.
-    pub count: u64,
-    /// Sum of observed values.
-    pub sum: u64,
-    /// Smallest observed value (0 when empty).
-    pub min: u64,
-    /// Largest observed value (0 when empty).
-    pub max: u64,
-    /// Per-bucket counts; see [`Histogram`] for the bucket layout.
-    pub buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
 }
 
 impl HistogramSnapshot {
+    /// An empty snapshot (what a never-recorded histogram would yield).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min_observed(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max_observed(&self) -> u64 {
+        self.max
+    }
+
     /// Mean of observed values (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
-    /// bucket containing the `q`-th ranked observation.
+    /// Per-bucket (inclusive-upper-bound, count) pairs for non-empty
+    /// buckets, in value order — the exporter-facing view of the raw
+    /// log₂ layout.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_upper(i), c))
+            .collect()
+    }
+
+    /// Merge another snapshot into this one (used by
+    /// [`RollingHistogram`](crate::RollingHistogram) to produce
+    /// whole-lifetime views from per-window snapshots).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+        } else {
+            self.min = self.min.min(other.min);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]` with log-linear interpolation: the rank
+    /// is located in its log₂ bucket, then the estimate interpolates
+    /// linearly between the bucket's bounds at the rank's midpoint
+    /// position inside the bucket. The result is clamped to the observed
+    /// `[min, max]`, so `quantile(0.0)` is the minimum and
+    /// `quantile(1.0)` the maximum; the error is bounded by one bucket
+    /// width (the bucket containing the true sample value).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Histogram::bucket_upper(i).min(self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lo = Histogram::bucket_lower(i);
+                let hi = Histogram::bucket_upper(i).min(self.max);
+                let lo = lo.max(self.min).min(hi);
+                // Midpoint-rank position of the target inside the bucket:
+                // with one sample the estimate sits mid-bucket, with many
+                // it slides linearly from the lower to the upper bound.
+                let frac = ((rank - seen) as f64 - 0.5) / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
+    }
+
+    /// Interpolated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Interpolated 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The standard SLO percentile block (p50/p90/p99/p999).
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            p999: self.p999(),
+        }
     }
 }
 
@@ -146,6 +284,10 @@ mod tests {
         assert_eq!(Histogram::bucket_upper(0), 0);
         assert_eq!(Histogram::bucket_upper(2), 3);
         assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+        assert_eq!(Histogram::bucket_lower(0), 0);
+        assert_eq!(Histogram::bucket_lower(1), 1);
+        assert_eq!(Histogram::bucket_lower(2), 2);
+        assert_eq!(Histogram::bucket_lower(64), 1u64 << 63);
     }
 
     #[test]
@@ -155,21 +297,85 @@ mod tests {
             h.record(v);
         }
         let s = h.snapshot();
-        assert_eq!(s.count, 5);
-        assert_eq!(s.sum, 1106);
-        assert_eq!(s.min, 1);
-        assert_eq!(s.max, 1000);
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 1106);
+        assert_eq!(s.min_observed(), 1);
+        assert_eq!(s.max_observed(), 1000);
         assert_eq!(s.mean(), 221);
-        assert!(s.quantile(0.5) >= 3 && s.quantile(0.5) < 100);
+        // The true median (3) lives in bucket [2,3]; the interpolated
+        // estimate must stay inside that bucket.
+        let p50 = s.quantile(0.5);
+        assert!((2..=3).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(0.0), 1);
         assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn interpolation_slides_within_a_bucket() {
+        // 100 samples spread over [64, 127] — one bucket. Low quantiles
+        // must land near the bottom of the bucket, high near the top.
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(64 + (v * 63) / 99);
+        }
+        let s = h.snapshot();
+        let p10 = s.quantile(0.10);
+        let p90 = s.quantile(0.90);
+        assert!(p10 < p90, "interpolation must order quantiles: {p10} {p90}");
+        assert!((64..=80).contains(&p10), "p10 = {p10}");
+        assert!((110..=127).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let h = Histogram::new();
+        h.record(500);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 500, "q = {q}");
+        }
+        let p = s.percentiles();
+        assert_eq!((p.p50, p.p90, p.p99, p.p999), (500, 500, 500, 500));
     }
 
     #[test]
     fn empty_snapshot_is_zeroed() {
         let s = Histogram::new().snapshot();
         assert_eq!(
-            (s.count, s.sum, s.min, s.max, s.mean(), s.quantile(0.99)),
+            (
+                s.count(),
+                s.sum(),
+                s.min_observed(),
+                s.max_observed(),
+                s.mean(),
+                s.quantile(0.99)
+            ),
             (0, 0, 0, 0, 0, 0)
         );
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates_and_tracks_extremes() {
+        let a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let b = Histogram::new();
+        b.record(5);
+        b.record(4000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.sum(), 4035);
+        assert_eq!(m.min_observed(), 5);
+        assert_eq!(m.max_observed(), 4000);
+        // Merging an empty snapshot is a no-op.
+        let before = m.count();
+        m.merge(&HistogramSnapshot::empty());
+        assert_eq!(m.count(), before);
+        // Merging into an empty snapshot copies the extremes.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&a.snapshot());
+        assert_eq!(e.min_observed(), 10);
     }
 }

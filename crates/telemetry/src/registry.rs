@@ -76,20 +76,34 @@ impl RegistrySnapshot {
 /// Thread-safe home for counters, histograms, and spans.
 ///
 /// Metrics are created lazily on first touch; lookups take a short
-/// mutex, increments are relaxed atomics. Callers that care can hold the
-/// returned [`Arc`]s to skip the lookup entirely.
+/// mutex, increments are relaxed atomics. The maps are nested
+/// name → label → metric so the lookup hit path borrows the caller's
+/// `&str`s directly — no per-call key allocation; the two `to_string`s
+/// happen only on the first touch of a given series. Callers that care
+/// can hold the returned [`Arc`]s to skip the lookup entirely.
 #[derive(Default)]
 pub struct Registry {
-    counters: Mutex<BTreeMap<(String, String), Arc<AtomicU64>>>,
-    histograms: Mutex<BTreeMap<(String, String), Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<String, BTreeMap<String, Arc<AtomicU64>>>>,
+    histograms: Mutex<BTreeMap<String, BTreeMap<String, Arc<Histogram>>>>,
     spans: SpanCollector,
 }
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("counters", &self.counters.lock().len())
-            .field("histograms", &self.histograms.lock().len())
+            .field(
+                "counters",
+                &self.counters.lock().values().map(BTreeMap::len).sum::<usize>(),
+            )
+            .field(
+                "histograms",
+                &self
+                    .histograms
+                    .lock()
+                    .values()
+                    .map(BTreeMap::len)
+                    .sum::<usize>(),
+            )
             .field("span_exits", &self.spans.exits())
             .finish()
     }
@@ -106,25 +120,32 @@ impl Registry {
     }
 
     /// The counter `name{label}` (empty label for unlabelled), created
-    /// on first use.
+    /// on first use. Lookups of an existing series allocate nothing.
     pub fn counter(&self, name: &str, label: &str) -> Arc<AtomicU64> {
         let mut counters = self.counters.lock();
-        if let Some(c) = counters.get(&(name.to_string(), label.to_string())) {
+        if let Some(c) = counters.get(name).and_then(|m| m.get(label)) {
             return Arc::clone(c);
         }
         let c = Arc::new(AtomicU64::new(0));
-        counters.insert((name.to_string(), label.to_string()), Arc::clone(&c));
+        counters
+            .entry(name.to_string())
+            .or_default()
+            .insert(label.to_string(), Arc::clone(&c));
         c
     }
 
-    /// The histogram `name{label}`, created on first use.
+    /// The histogram `name{label}`, created on first use. Lookups of an
+    /// existing series allocate nothing.
     pub fn histogram(&self, name: &str, label: &str) -> Arc<Histogram> {
         let mut histograms = self.histograms.lock();
-        if let Some(h) = histograms.get(&(name.to_string(), label.to_string())) {
+        if let Some(h) = histograms.get(name).and_then(|m| m.get(label)) {
             return Arc::clone(h);
         }
         let h = Arc::new(Histogram::new());
-        histograms.insert((name.to_string(), label.to_string()), Arc::clone(&h));
+        histograms
+            .entry(name.to_string())
+            .or_default()
+            .insert(label.to_string(), Arc::clone(&h));
         h
     }
 
@@ -132,7 +153,8 @@ impl Registry {
     pub fn counter_value(&self, name: &str, label: &str) -> u64 {
         self.counters
             .lock()
-            .get(&(name.to_string(), label.to_string()))
+            .get(name)
+            .and_then(|m| m.get(label))
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
@@ -142,10 +164,9 @@ impl Registry {
     pub fn counter_total(&self, name: &str) -> u64 {
         self.counters
             .lock()
-            .iter()
-            .filter(|((n, _), _)| n == name)
-            .map(|(_, c)| c.load(Ordering::Relaxed))
-            .sum()
+            .get(name)
+            .map(|m| m.values().map(|c| c.load(Ordering::Relaxed)).sum())
+            .unwrap_or(0)
     }
 
     /// Completed spans named `name`.
@@ -176,17 +197,23 @@ impl Registry {
             .counters
             .lock()
             .iter()
-            .map(|((name, label), c)| CounterSnapshot {
-                name: name.clone(),
-                label: label.clone(),
-                value: c.load(Ordering::Relaxed),
+            .flat_map(|(name, by_label)| {
+                by_label.iter().map(move |(label, c)| CounterSnapshot {
+                    name: name.clone(),
+                    label: label.clone(),
+                    value: c.load(Ordering::Relaxed),
+                })
             })
             .collect();
         let histograms = self
             .histograms
             .lock()
             .iter()
-            .map(|((name, label), h)| (name.clone(), label.clone(), h.snapshot()))
+            .flat_map(|(name, by_label)| {
+                by_label
+                    .iter()
+                    .map(move |(label, h)| (name.clone(), label.clone(), h.snapshot()))
+            })
             .collect();
         RegistrySnapshot {
             counters,
@@ -258,6 +285,17 @@ mod tests {
         assert_eq!(snap.counters[0].name, "a");
         assert_eq!(snap.counters[1].name, "b");
         assert_eq!(snap.histograms.len(), 1);
-        assert_eq!(snap.histograms[0].2.count, 1);
+        assert_eq!(snap.histograms[0].2.count(), 1);
+    }
+
+    #[test]
+    fn lookup_hit_returns_the_same_metric() {
+        let r = Registry::new();
+        let first = r.counter("hits", "a");
+        let again = r.counter("hits", "a");
+        assert!(Arc::ptr_eq(&first, &again));
+        let h1 = r.histogram("lat_us", "");
+        let h2 = r.histogram("lat_us", "");
+        assert!(Arc::ptr_eq(&h1, &h2));
     }
 }

@@ -1,0 +1,247 @@
+//! Span latency rollups: per-operation histograms with parent-edge
+//! attribution — a poor-man's critical-path profile.
+//!
+//! The span collector retains individual [`SpanRecord`]s with parent
+//! linkage. A [`rollup`] pass aggregates them by name into per-operation
+//! latency histograms and splits every operation's inclusive time into
+//! *self time* (spent in the operation's own code) and *child time*
+//! (spent inside named sub-spans), plus the parent→child edge totals.
+//! `put` spending 90% of its time under `raid.encode` vs under `store`
+//! is exactly the question this answers without loading a full trace.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Aggregated view of every span sharing a name.
+#[derive(Clone, Debug)]
+pub struct SpanRollup {
+    /// Span name (e.g. `"put"`).
+    pub name: &'static str,
+    /// Completions.
+    pub count: u64,
+    /// Total inclusive wall time, in nanoseconds.
+    pub total_ns: u64,
+    /// Inclusive time minus direct children's inclusive time.
+    pub self_ns: u64,
+    /// Direct children's inclusive time attributed to this name.
+    pub child_ns: u64,
+    /// Longest single completion, in nanoseconds.
+    pub max_ns: u64,
+    /// Per-completion inclusive latency histogram (nanoseconds).
+    pub latency: HistogramSnapshot,
+}
+
+/// One parent→child attribution edge.
+#[derive(Clone, Debug)]
+pub struct RollupEdge {
+    /// Parent span name.
+    pub parent: &'static str,
+    /// Child span name.
+    pub child: &'static str,
+    /// Child completions under this parent name.
+    pub count: u64,
+    /// Child inclusive time under this parent name, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Output of [`rollup`]: per-name aggregates plus the edge list.
+#[derive(Clone, Debug, Default)]
+pub struct RollupReport {
+    /// Per-name rollups, sorted by descending self time.
+    pub rollups: Vec<SpanRollup>,
+    /// Parent→child edges, sorted by descending attributed time.
+    pub edges: Vec<RollupEdge>,
+}
+
+impl RollupReport {
+    /// The rollup for `name`, if that span ever completed.
+    pub fn get(&self, name: &str) -> Option<&SpanRollup> {
+        self.rollups.iter().find(|r| r.name == name)
+    }
+}
+
+/// Aggregates retained span records by name.
+///
+/// Children whose parent record was dropped by the collector's retention
+/// cap attribute nothing (their parent's identity is unknown); their own
+/// rollup still counts them. Self time is clamped at zero per record, so
+/// timer jitter between a parent and its children cannot produce
+/// negative attributions.
+pub fn rollup(records: &[SpanRecord]) -> RollupReport {
+    struct Acc {
+        count: u64,
+        total_ns: u64,
+        child_ns: u64,
+        max_ns: u64,
+        latency: Histogram,
+    }
+    let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut names: BTreeMap<&'static str, Acc> = BTreeMap::new();
+    let mut edges: BTreeMap<(&'static str, &'static str), (u64, u64)> = BTreeMap::new();
+
+    for r in records {
+        let acc = names.entry(r.name).or_insert_with(|| Acc {
+            count: 0,
+            total_ns: 0,
+            child_ns: 0,
+            max_ns: 0,
+            latency: Histogram::new(),
+        });
+        acc.count += 1;
+        acc.total_ns += r.duration_ns;
+        acc.max_ns = acc.max_ns.max(r.duration_ns);
+        acc.latency.record(r.duration_ns);
+    }
+    for r in records {
+        let Some(parent) = r.parent.and_then(|p| by_id.get(&p)) else {
+            continue;
+        };
+        if let Some(acc) = names.get_mut(parent.name) {
+            acc.child_ns += r.duration_ns;
+        }
+        let e = edges.entry((parent.name, r.name)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.duration_ns;
+    }
+
+    let mut rollups: Vec<SpanRollup> = names
+        .into_iter()
+        .map(|(name, acc)| SpanRollup {
+            name,
+            count: acc.count,
+            total_ns: acc.total_ns,
+            self_ns: acc.total_ns.saturating_sub(acc.child_ns),
+            child_ns: acc.child_ns.min(acc.total_ns),
+            max_ns: acc.max_ns,
+            latency: acc.latency.snapshot(),
+        })
+        .collect();
+    rollups.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+
+    let mut edges: Vec<RollupEdge> = edges
+        .into_iter()
+        .map(|((parent, child), (count, total_ns))| RollupEdge {
+            parent,
+            child,
+            count,
+            total_ns,
+        })
+        .collect();
+    edges.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+    RollupReport { rollups, edges }
+}
+
+/// Renders a [`RollupReport`] as an aligned text profile: per-name
+/// self/child split with interpolated latency percentiles, then the
+/// heaviest attribution edges.
+pub fn render_rollup(report: &RollupReport) -> String {
+    use crate::export::fmt_ns;
+    let mut out = String::from("span rollup (self vs child time)\n");
+    out.push_str(&format!(
+        "  {:<24} {:>7} {:>10} {:>10} {:>10} {:>6} {:>10} {:>10}\n",
+        "name", "count", "total", "self", "child", "self%", "p50", "p99"
+    ));
+    for r in &report.rollups {
+        let self_pct = if r.total_ns == 0 {
+            100.0
+        } else {
+            100.0 * r.self_ns as f64 / r.total_ns as f64
+        };
+        out.push_str(&format!(
+            "  {:<24} {:>7} {:>10} {:>10} {:>10} {:>5.1}% {:>10} {:>10}\n",
+            r.name,
+            r.count,
+            fmt_ns(r.total_ns),
+            fmt_ns(r.self_ns),
+            fmt_ns(r.child_ns),
+            self_pct,
+            fmt_ns(r.latency.p50()),
+            fmt_ns(r.latency.p99()),
+        ));
+    }
+    if !report.edges.is_empty() {
+        out.push_str("  edges (parent -> child)\n");
+        for e in &report.edges {
+            out.push_str(&format!(
+                "    {:<32} {:>7} {:>10}\n",
+                format!("{} -> {}", e.parent, e.child),
+                e.count,
+                fmt_ns(e.total_ns),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetryHandle;
+
+    #[test]
+    fn self_time_excludes_children_and_edges_attribute() {
+        let tel = TelemetryHandle::enabled();
+        {
+            let _put = tel.span("put");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _enc = tel.span("raid.encode");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+            {
+                let _store = tel.span("store");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let records = tel.registry().unwrap().span_records();
+        let report = rollup(&records);
+
+        let put = report.get("put").expect("put rolled up");
+        let enc = report.get("raid.encode").expect("encode rolled up");
+        assert_eq!(put.count, 1);
+        assert_eq!(put.child_ns + put.self_ns, put.total_ns);
+        assert!(
+            put.child_ns >= enc.total_ns,
+            "children attribute into the parent: {put:?}"
+        );
+        assert!(put.self_ns < put.total_ns, "put has real child time");
+        assert_eq!(enc.self_ns, enc.total_ns, "leaf spans are all self time");
+
+        let edge = report
+            .edges
+            .iter()
+            .find(|e| e.parent == "put" && e.child == "raid.encode")
+            .expect("put->encode edge");
+        assert_eq!(edge.count, 1);
+        assert_eq!(edge.total_ns, enc.total_ns);
+
+        let text = render_rollup(&report);
+        for needle in ["span rollup", "put", "raid.encode", "self%", "edges"] {
+            assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn orphaned_children_still_count_themselves() {
+        let tel = TelemetryHandle::enabled();
+        {
+            let _a = tel.span("a");
+            let _b = tel.span("b");
+        }
+        let mut records = tel.registry().unwrap().span_records();
+        // Simulate the parent record having been dropped by the cap.
+        records.retain(|r| r.name != "a");
+        let report = rollup(&records);
+        assert!(report.get("b").is_some());
+        assert!(report.edges.is_empty());
+    }
+
+    #[test]
+    fn empty_records_roll_up_empty() {
+        let report = rollup(&[]);
+        assert!(report.rollups.is_empty());
+        assert!(report.edges.is_empty());
+        assert!(render_rollup(&report).contains("span rollup"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Declarative SLO gates over registry snapshots.
+//!
+//! A [`SloSpec`] names a histogram quantile and a bound — absolute
+//! (`p99 of journal_fsync_wait_us ≤ 5000`) or relative to another
+//! histogram (`p99 of put_wall_us{journaled} ≤ 1.3× p99 of
+//! put_wall_us{plain}`). [`evaluate`] checks a batch of specs against a
+//! [`RegistrySnapshot`] and returns per-spec outcomes the experiments
+//! binary renders, embeds in `BENCH_*.json`, and turns into its exit
+//! code — so CI gates run inside the binary that owns the numbers
+//! instead of as shell-side jq arithmetic.
+
+use crate::registry::RegistrySnapshot;
+
+/// The bound side of an [`SloSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloBound {
+    /// The quantile must not exceed this absolute value (in the
+    /// histogram's own unit).
+    Max(u64),
+    /// The quantile must not exceed `factor` times the *same* quantile
+    /// of a baseline histogram — e.g. journaled puts vs plain puts.
+    MaxRatio {
+        /// Baseline histogram name.
+        metric: String,
+        /// Baseline histogram label (empty for unlabelled).
+        label: String,
+        /// Maximum allowed ratio of observed quantile to baseline
+        /// quantile.
+        factor: f64,
+    },
+}
+
+/// One service-level objective: a quantile of a histogram, bounded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Stable human-readable gate id, e.g. `"degraded_get_p99"`.
+    pub name: String,
+    /// Histogram to read.
+    pub metric: String,
+    /// Histogram label (empty for unlabelled).
+    pub label: String,
+    /// Quantile in `(0, 1]`, e.g. `0.99`.
+    pub quantile: f64,
+    /// The bound to enforce.
+    pub bound: SloBound,
+}
+
+impl SloSpec {
+    /// An absolute p99 bound on `metric{label}`.
+    pub fn p99_max(name: &str, metric: &str, label: &str, max: u64) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            label: label.to_string(),
+            quantile: 0.99,
+            bound: SloBound::Max(max),
+        }
+    }
+
+    /// A relative p99 bound: `metric{label}` vs `factor` times the p99
+    /// of `base_metric{base_label}`.
+    pub fn p99_ratio(
+        name: &str,
+        metric: &str,
+        label: &str,
+        base_metric: &str,
+        base_label: &str,
+        factor: f64,
+    ) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            label: label.to_string(),
+            quantile: 0.99,
+            bound: SloBound::MaxRatio {
+                metric: base_metric.to_string(),
+                label: base_label.to_string(),
+                factor,
+            },
+        }
+    }
+}
+
+/// The result of checking one [`SloSpec`] against a snapshot.
+#[derive(Clone, Debug)]
+pub struct SloOutcome {
+    /// The spec that was checked.
+    pub spec: SloSpec,
+    /// The observed quantile value (0 when the metric was absent).
+    pub observed: u64,
+    /// The effective limit after resolving any ratio baseline.
+    pub limit: f64,
+    /// Whether the objective held. Missing metrics fail closed.
+    pub pass: bool,
+    /// Human-readable explanation rendered into reports.
+    pub detail: String,
+}
+
+fn fmt_q(q: f64) -> String {
+    // 0.5 -> "p50", 0.99 -> "p99", 0.999 -> "p999"
+    let pct = format!("{:.1}", q * 100.0);
+    let pct = pct.strip_suffix(".0").unwrap_or(&pct);
+    format!("p{}", pct.replace('.', ""))
+}
+
+fn key(metric: &str, label: &str) -> String {
+    if label.is_empty() {
+        metric.to_string()
+    } else {
+        format!("{metric}{{{label}}}")
+    }
+}
+
+/// Check each spec against `snap`. A spec whose metric (or ratio
+/// baseline) was never recorded fails closed with an explanatory
+/// detail — a gate that silently passes because instrumentation was
+/// dropped is worse than a flaky one.
+pub fn evaluate(specs: &[SloSpec], snap: &RegistrySnapshot) -> Vec<SloOutcome> {
+    specs
+        .iter()
+        .map(|spec| {
+            let q = fmt_q(spec.quantile);
+            let Some(h) = snap.histogram(&spec.metric, &spec.label) else {
+                return SloOutcome {
+                    spec: spec.clone(),
+                    observed: 0,
+                    limit: 0.0,
+                    pass: false,
+                    detail: format!(
+                        "{} of {} — metric never recorded",
+                        q,
+                        key(&spec.metric, &spec.label)
+                    ),
+                };
+            };
+            let observed = h.quantile(spec.quantile);
+            match &spec.bound {
+                SloBound::Max(max) => SloOutcome {
+                    spec: spec.clone(),
+                    observed,
+                    limit: *max as f64,
+                    pass: observed <= *max,
+                    detail: format!(
+                        "{} of {} = {} (limit {})",
+                        q,
+                        key(&spec.metric, &spec.label),
+                        observed,
+                        max
+                    ),
+                },
+                SloBound::MaxRatio {
+                    metric,
+                    label,
+                    factor,
+                } => {
+                    let Some(base) = snap.histogram(metric, label) else {
+                        return SloOutcome {
+                            spec: spec.clone(),
+                            observed,
+                            limit: 0.0,
+                            pass: false,
+                            detail: format!(
+                                "baseline {} never recorded",
+                                key(metric, label)
+                            ),
+                        };
+                    };
+                    let base_q = base.quantile(spec.quantile);
+                    let limit = base_q as f64 * factor;
+                    let ratio = if base_q == 0 {
+                        f64::INFINITY
+                    } else {
+                        observed as f64 / base_q as f64
+                    };
+                    SloOutcome {
+                        spec: spec.clone(),
+                        observed,
+                        limit,
+                        pass: observed as f64 <= limit,
+                        detail: format!(
+                            "{} of {} = {} vs {:.2}x {} of {} = {} (ratio {:.3}, limit {:.0})",
+                            q,
+                            key(&spec.metric, &spec.label),
+                            observed,
+                            factor,
+                            q,
+                            key(metric, label),
+                            base_q,
+                            ratio,
+                            limit
+                        ),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// `true` when every outcome passed (vacuously true for no specs).
+pub fn all_pass(outcomes: &[SloOutcome]) -> bool {
+    outcomes.iter().all(|o| o.pass)
+}
+
+/// Render outcomes as an aligned PASS/FAIL text section.
+pub fn render(outcomes: &[SloOutcome]) -> String {
+    let mut out = String::from("slo gates\n");
+    if outcomes.is_empty() {
+        out.push_str("  (none declared)\n");
+    }
+    for o in outcomes {
+        out.push_str(&format!(
+            "  {} {:<36} {}\n",
+            if o.pass { "PASS" } else { "FAIL" },
+            o.spec.name,
+            o.detail
+        ));
+    }
+    out
+}
+
+/// Render outcomes as a JSON array for embedding in `BENCH_*.json`.
+pub fn to_json(outcomes: &[SloOutcome]) -> String {
+    use crate::export::json::quote;
+    let entries: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"name\":{},\"metric\":{},\"label\":{},\"quantile\":{},\"observed\":{},\"limit\":{:.3},\"pass\":{},\"detail\":{}}}",
+                quote(&o.spec.name),
+                quote(&o.spec.metric),
+                quote(&o.spec.label),
+                o.spec.quantile,
+                o.observed,
+                o.limit,
+                o.pass,
+                quote(&o.detail)
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::json::parse;
+    use crate::TelemetryHandle;
+
+    fn snap_with(values: &[(&str, &str, &[u64])]) -> RegistrySnapshot {
+        let tel = TelemetryHandle::enabled();
+        for (name, label, vs) in values {
+            for v in *vs {
+                tel.observe_labeled(name, label, *v);
+            }
+        }
+        tel.registry().unwrap().snapshot()
+    }
+
+    #[test]
+    fn absolute_bound_passes_and_fails() {
+        let snap = snap_with(&[("get_us", "", &[10, 20, 30, 40, 1000])]);
+        let specs = vec![
+            SloSpec::p99_max("loose", "get_us", "", 10_000),
+            SloSpec::p99_max("tight", "get_us", "", 5),
+        ];
+        let out = evaluate(&specs, &snap);
+        assert!(out[0].pass, "{:?}", out[0]);
+        assert!(!out[1].pass, "{:?}", out[1]);
+        assert!(!all_pass(&out));
+        let text = render(&out);
+        assert!(text.contains("PASS loose"), "{text}");
+        assert!(text.contains("FAIL tight"), "{text}");
+    }
+
+    #[test]
+    fn ratio_bound_compares_to_baseline() {
+        let same: &[u64] = &[100, 110, 120, 130];
+        let slow: &[u64] = &[1000, 1100, 1200, 1300];
+        let snap = snap_with(&[("put_us", "plain", same), ("put_us", "journaled", slow)]);
+        let pass = SloSpec::p99_ratio("gen", "put_us", "journaled", "put_us", "plain", 20.0);
+        let fail = SloSpec::p99_ratio("gen", "put_us", "journaled", "put_us", "plain", 1.5);
+        let out = evaluate(&[pass, fail], &snap);
+        assert!(out[0].pass, "{:?}", out[0]);
+        assert!(!out[1].pass, "{:?}", out[1]);
+        assert!(out[1].detail.contains("ratio"), "{}", out[1].detail);
+    }
+
+    #[test]
+    fn missing_metrics_fail_closed() {
+        let snap = snap_with(&[("present_us", "", &[1])]);
+        let out = evaluate(
+            &[
+                SloSpec::p99_max("absent", "absent_us", "", 1),
+                SloSpec::p99_ratio("no_base", "present_us", "", "absent_us", "", 1.0),
+            ],
+            &snap,
+        );
+        assert!(!out[0].pass);
+        assert!(out[0].detail.contains("never recorded"));
+        assert!(!out[1].pass);
+        assert!(out[1].detail.contains("baseline"));
+    }
+
+    #[test]
+    fn json_form_parses() {
+        let snap = snap_with(&[("get_us", "", &[10, 20])]);
+        let out = evaluate(&[SloSpec::p99_max("g", "get_us", "", 100)], &snap);
+        let doc = to_json(&out);
+        let v = parse(&doc).expect("valid json");
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("g"));
+        assert_eq!(arr[0].get("pass"), Some(&crate::export::json::Value::Bool(true)));
+        assert!(arr[0].get("observed").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn quantile_labels_render() {
+        assert_eq!(fmt_q(0.5), "p50");
+        assert_eq!(fmt_q(0.9), "p90");
+        assert_eq!(fmt_q(0.99), "p99");
+        assert_eq!(fmt_q(0.999), "p999");
+    }
+}

@@ -31,6 +31,13 @@ pub struct SpanRecord {
     /// Logical-clock tick at enter; orders this span against observer
     /// events and other spans process-wide.
     pub seq: u64,
+    /// Wall-clock nanoseconds from the process trace epoch
+    /// ([`clock::since_epoch`]) to this span's enter — the timestamp the
+    /// Chrome-trace exporter places the span at.
+    pub start_ns: u64,
+    /// Ordinal of the thread the span ran on ([`clock::thread_ordinal`]);
+    /// the trace exporter's `tid` lane.
+    pub tid: u64,
     /// Wall-clock duration from enter to exit, in nanoseconds.
     pub duration_ns: u64,
 }
@@ -128,6 +135,7 @@ struct SpanInner {
     name: &'static str,
     attrs: Vec<(&'static str, String)>,
     seq: u64,
+    start_ns: u64,
     start: Instant,
 }
 
@@ -168,6 +176,7 @@ impl SpanGuard {
                 name,
                 attrs: Vec::new(),
                 seq: clock::tick(),
+                start_ns: clock::since_epoch(),
                 start: clock::monotonic_now(),
             }),
         }
@@ -207,6 +216,8 @@ impl Drop for SpanGuard {
             name: inner.name,
             attrs: inner.attrs,
             seq: inner.seq,
+            start_ns: inner.start_ns,
+            tid: clock::thread_ordinal(),
             duration_ns,
         });
     }

@@ -1,0 +1,143 @@
+//! Chrome `trace_event` export: retained spans as a JSON document that
+//! `chrome://tracing` and Perfetto load directly.
+//!
+//! Each completed span becomes one complete ("ph":"X") event with its
+//! wall-clock offset from the process trace epoch as `ts` and its
+//! duration as `dur` (both in fractional microseconds, per the trace
+//! format). The span's thread ordinal becomes the `tid` lane, so pool
+//! workers render as separate tracks, and attributes plus ids land in
+//! `args` for correlation with the JSON-lines ledger.
+
+use crate::export::json;
+use crate::registry::Registry;
+use crate::span::SpanRecord;
+
+/// Formats nanoseconds as fractional microseconds (3 decimal places),
+/// the trace format's native unit.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Renders span records as a Chrome trace-event JSON document
+/// (object-form, `{"traceEvents":[...]}`) loadable by Perfetto.
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(records.len());
+    for r in records {
+        let mut args = vec![
+            format!("\"id\":{}", r.id),
+            format!(
+                "\"parent\":{}",
+                r.parent.map_or("null".to_string(), |p| p.to_string())
+            ),
+            format!("\"seq\":{}", r.seq),
+        ];
+        for (k, v) in &r.attrs {
+            args.push(format!("{}:{}", json::quote(k), json::quote(v)));
+        }
+        events.push(format!(
+            "{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            json::quote(r.name),
+            us(r.start_ns),
+            us(r.duration_ns),
+            r.tid,
+            args.join(",")
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",")
+    )
+}
+
+impl Registry {
+    /// Export every retained span as Chrome trace-event JSON (see
+    /// [`chrome_trace`]). Spans beyond the retention cap are absent —
+    /// check [`RegistrySnapshot::span_records_dropped`] when the trace
+    /// looks truncated.
+    ///
+    /// [`RegistrySnapshot::span_records_dropped`]: crate::RegistrySnapshot::span_records_dropped
+    pub fn export_trace(&self) -> String {
+        chrome_trace(&self.span_records())
+    }
+
+    /// Write [`Registry::export_trace`] to `path`.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.export_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::json::parse;
+    use crate::TelemetryHandle;
+
+    #[test]
+    fn trace_is_structurally_valid_and_nested_in_time() {
+        let tel = TelemetryHandle::enabled();
+        {
+            let _put = crate::span!(tel, "put", file = "a.txt");
+            let _enc = tel.span("raid.encode");
+        }
+        let doc = tel.registry().unwrap().export_trace();
+        let v = parse(doc.trim()).expect("valid trace json");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert_eq!(e.get("cat").unwrap().as_str(), Some("span"));
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+            assert!(e.get("tid").unwrap().as_u64().is_some());
+            assert!(e.get("args").unwrap().as_object().is_some());
+        }
+        // The child's [ts, ts+dur] interval sits inside the parent's.
+        let ts = |e: &json::Value| match e.get("ts").unwrap() {
+            json::Value::Num(n) => *n,
+            _ => panic!("ts must be a number"),
+        };
+        let dur = |e: &json::Value| match e.get("dur").unwrap() {
+            json::Value::Num(n) => *n,
+            _ => panic!("dur must be a number"),
+        };
+        let put = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("put"))
+            .unwrap();
+        let enc = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("raid.encode"))
+            .unwrap();
+        assert!(ts(enc) >= ts(put), "child starts after parent");
+        assert!(
+            ts(enc) + dur(enc) <= ts(put) + dur(put) + 0.01,
+            "child ends before parent (within rounding)"
+        );
+        // The attr flowed into args.
+        assert_eq!(
+            put.get("args").unwrap().get("file").unwrap().as_str(),
+            Some("a.txt")
+        );
+    }
+
+    #[test]
+    fn empty_registry_exports_an_empty_event_list() {
+        let tel = TelemetryHandle::enabled();
+        let doc = tel.registry().unwrap().export_trace();
+        let v = parse(doc.trim()).expect("valid json");
+        assert_eq!(
+            v.get("traceEvents").unwrap().as_array().map(|a| a.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn fractional_microseconds_format() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1_500), "1.500");
+        assert_eq!(us(12_345_678), "12345.678");
+    }
+}

@@ -1,0 +1,235 @@
+//! Windowed histograms: percentiles-over-time instead of one lifetime blur.
+//!
+//! A [`RollingHistogram`] is a ring of `N` fixed-width windows keyed off a
+//! monotonically increasing tick — by default the process-wide logical
+//! clock ([`clock::now`](crate::clock::now)), but experiments that want
+//! deterministic phase boundaries can feed their own tick (a trial index,
+//! a request number) through [`record_at`](RollingHistogram::record_at).
+//!
+//! Each window is a full log₂ histogram, so a run can report p50/p99/p999
+//! *per phase* (warmup vs steady-state vs churn) rather than one blended
+//! distribution. When the tick advances past the ring's capacity the
+//! oldest windows are retired; [`WindowedSnapshot`] exposes the retained
+//! windows oldest-first plus a merged whole-retained-range view.
+
+use crate::clock;
+use crate::metrics::{Histogram, HistogramSnapshot};
+use parking_lot::Mutex;
+
+/// One retained window of a [`RollingHistogram`].
+#[derive(Clone, Debug)]
+pub struct WindowSnapshot {
+    /// First tick this window covers (inclusive); the window spans
+    /// `[start_tick, start_tick + window_ticks)`.
+    pub start_tick: u64,
+    /// The window's histogram.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Point-in-time copy of a [`RollingHistogram`].
+#[derive(Clone, Debug)]
+pub struct WindowedSnapshot {
+    /// Width of each window in ticks.
+    pub window_ticks: u64,
+    /// Retained windows, oldest first. Empty windows inside the retained
+    /// range are included (zero-count histograms) so time stays linear.
+    pub windows: Vec<WindowSnapshot>,
+}
+
+impl WindowedSnapshot {
+    /// All retained windows merged into one histogram.
+    pub fn merged(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for w in &self.windows {
+            out.merge(&w.histogram);
+        }
+        out
+    }
+}
+
+struct Ring {
+    /// Slot i holds the window whose ordinal (tick / width) is stored in
+    /// `ordinals[i]`; `u64::MAX` marks a never-used slot.
+    windows: Vec<Histogram>,
+    ordinals: Vec<u64>,
+    /// Highest window ordinal seen so far (drives retirement).
+    newest: u64,
+    any: bool,
+}
+
+/// A ring of `N` fixed-width histogram windows keyed off a logical tick.
+///
+/// Thread-safe; recording takes a short mutex (the ring must atomically
+/// retire stale windows), which is fine for the per-operation rates the
+/// distributor produces. For lifetime aggregates use a plain
+/// [`Histogram`] — this type exists for *time-resolved* percentiles.
+pub struct RollingHistogram {
+    window_ticks: u64,
+    ring: Mutex<Ring>,
+}
+
+impl RollingHistogram {
+    /// A ring of `windows` windows, each `window_ticks` ticks wide (both
+    /// clamped to at least 1).
+    pub fn new(windows: usize, window_ticks: u64) -> Self {
+        let n = windows.max(1);
+        RollingHistogram {
+            window_ticks: window_ticks.max(1),
+            ring: Mutex::new(Ring {
+                windows: (0..n).map(|_| Histogram::new()).collect(),
+                ordinals: vec![u64::MAX; n],
+                newest: 0,
+                any: false,
+            }),
+        }
+    }
+
+    /// Width of each window in ticks.
+    pub fn window_ticks(&self) -> u64 {
+        self.window_ticks
+    }
+
+    /// Number of windows the ring retains.
+    pub fn window_count(&self) -> usize {
+        self.ring.lock().windows.len()
+    }
+
+    /// Record `value` in the window covering the current logical-clock
+    /// tick ([`clock::now`](crate::clock::now)).
+    pub fn record(&self, value: u64) {
+        self.record_at(clock::now(), value);
+    }
+
+    /// Record `value` in the window covering `tick`. Ticks may arrive
+    /// slightly out of order; a tick older than the retained ring is
+    /// dropped (it belongs to a retired window).
+    pub fn record_at(&self, tick: u64, value: u64) {
+        let ordinal = tick / self.window_ticks;
+        let mut ring = self.ring.lock();
+        let n = ring.windows.len() as u64;
+        if ring.any && ordinal + n <= ring.newest {
+            return; // retired window; too old to retain
+        }
+        if !ring.any || ordinal > ring.newest {
+            ring.newest = ring.newest.max(ordinal);
+            ring.any = true;
+        }
+        let slot = (ordinal % n) as usize;
+        if ring.ordinals[slot] != ordinal {
+            // The slot last held a retired window: recycle it.
+            ring.windows[slot] = Histogram::new();
+            ring.ordinals[slot] = ordinal;
+        }
+        ring.windows[slot].record(value);
+    }
+
+    /// Snapshot the retained windows, oldest first. Windows inside the
+    /// retained range that never saw a record appear as empty histograms,
+    /// so consumers can treat the result as a linear timeline.
+    pub fn snapshot(&self) -> WindowedSnapshot {
+        let ring = self.ring.lock();
+        let mut windows = Vec::new();
+        if ring.any {
+            let n = ring.windows.len() as u64;
+            let oldest = ring.newest.saturating_sub(n - 1);
+            for ordinal in oldest..=ring.newest {
+                let slot = (ordinal % n) as usize;
+                let histogram = if ring.ordinals[slot] == ordinal {
+                    ring.windows[slot].snapshot()
+                } else {
+                    HistogramSnapshot::empty()
+                };
+                windows.push(WindowSnapshot {
+                    start_tick: ordinal * self.window_ticks,
+                    histogram,
+                });
+            }
+            // Leading never-recorded windows carry no information.
+            while windows
+                .first()
+                .is_some_and(|w| w.histogram.count() == 0)
+            {
+                windows.remove(0);
+            }
+        }
+        WindowedSnapshot {
+            window_ticks: self.window_ticks,
+            windows,
+        }
+    }
+}
+
+impl std::fmt::Debug for RollingHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingHistogram")
+            .field("window_ticks", &self.window_ticks)
+            .field("windows", &self.ring.lock().windows.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_partition_by_tick() {
+        let r = RollingHistogram::new(4, 10);
+        for t in 0..40u64 {
+            r.record_at(t, t); // window k holds values 10k..10k+9
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.windows.len(), 4);
+        for (k, w) in snap.windows.iter().enumerate() {
+            assert_eq!(w.start_tick, 10 * k as u64);
+            assert_eq!(w.histogram.count(), 10);
+            assert_eq!(w.histogram.min_observed(), 10 * k as u64);
+            assert_eq!(w.histogram.max_observed(), 10 * k as u64 + 9);
+        }
+        assert_eq!(snap.merged().count(), 40);
+    }
+
+    #[test]
+    fn old_windows_retire_as_the_clock_advances() {
+        let r = RollingHistogram::new(2, 10);
+        r.record_at(5, 1); // window 0
+        r.record_at(15, 2); // window 1
+        r.record_at(25, 3); // window 2 — retires window 0
+        let snap = r.snapshot();
+        assert_eq!(snap.windows.len(), 2);
+        assert_eq!(snap.windows[0].start_tick, 10);
+        assert_eq!(snap.windows[1].start_tick, 20);
+        // A record for the retired window is dropped, not misfiled.
+        r.record_at(5, 9);
+        assert_eq!(r.snapshot().merged().count(), 2);
+    }
+
+    #[test]
+    fn gaps_surface_as_empty_windows() {
+        let r = RollingHistogram::new(4, 10);
+        r.record_at(0, 1);
+        r.record_at(35, 2); // windows 1 and 2 never recorded
+        let snap = r.snapshot();
+        assert_eq!(snap.windows.len(), 4);
+        assert_eq!(snap.windows[1].histogram.count(), 0);
+        assert_eq!(snap.windows[2].histogram.count(), 0);
+        assert_eq!(snap.merged().count(), 2);
+    }
+
+    #[test]
+    fn default_record_uses_the_logical_clock() {
+        let r = RollingHistogram::new(4, 1_000_000_000);
+        crate::clock::tick();
+        r.record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.merged().count(), 1);
+        assert_eq!(snap.merged().max_observed(), 7);
+    }
+
+    #[test]
+    fn empty_ring_snapshots_empty() {
+        let snap = RollingHistogram::new(3, 5).snapshot();
+        assert!(snap.windows.is_empty());
+        assert_eq!(snap.merged().count(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for interpolated histogram quantiles.
+//!
+//! The contract under test ([`HistogramSnapshot::quantile`]): the
+//! estimate for any `q` lands inside the log₂ bucket that contains the
+//! *exact* sample quantile (clamped to the observed `[min, max]`), i.e.
+//! the interpolation error is bounded by one bucket width.
+
+use fragcloud_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Inclusive bounds of the log₂ bucket holding `v`, mirroring the
+/// histogram's layout: bucket 0 is the value 0, bucket `i` covers
+/// `[2^(i-1), 2^i - 1]`.
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let bits = 64 - v.leading_zeros();
+    let lo = 1u64 << (bits - 1);
+    let hi = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    (lo, hi)
+}
+
+/// Exact sample quantile using the same ceil-rank convention as the
+/// histogram: the rank-th smallest value, rank = ceil(q·n) clamped to
+/// [1, n].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interpolated quantile stays inside the exact quantile's
+    /// bucket (intersected with the observed range).
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..2_000_000, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        for &q in &qs {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            let (blo, bhi) = bucket_bounds(exact);
+            let lo = blo.max(min);
+            let hi = bhi.min(max);
+            prop_assert!(
+                (lo..=hi).contains(&est),
+                "q={q}: est {est} outside [{lo}, {hi}] around exact {exact} (n={})",
+                sorted.len()
+            );
+        }
+    }
+
+    /// Extremes are exact, not interpolated: q=0 is the minimum and
+    /// q=1 the maximum, and every quantile stays inside [min, max].
+    #[test]
+    fn quantile_edges_are_exact(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(snap.quantile(0.0), min);
+        prop_assert_eq!(snap.quantile(1.0), max);
+        let mid = snap.quantile(q);
+        prop_assert!((min..=max).contains(&mid), "q={q}: {mid} outside [{min}, {max}]");
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantile_is_monotone(
+        values in proptest::collection::vec(0u64..1_000_000, 1..100),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (lo_q, hi_q) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(snap.quantile(lo_q) <= snap.quantile(hi_q));
+    }
+}
+
+#[test]
+fn degenerate_cases() {
+    // Empty histogram: everything is zero.
+    let empty = Histogram::new().snapshot();
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(empty.quantile(q), 0);
+    }
+    // A single value answers every quantile.
+    let h = Histogram::new();
+    h.record(12345);
+    let one = h.snapshot();
+    for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+        assert_eq!(one.quantile(q), 12345, "q = {q}");
+    }
+    // Out-of-range q clamps instead of panicking.
+    assert_eq!(one.quantile(-3.0), 12345);
+    assert_eq!(one.quantile(7.0), 12345);
+}

@@ -204,5 +204,5 @@ fn parallel_sessions_keep_counters_exact_and_spans_balanced() {
     let snap = reg.snapshot();
     assert_eq!(snap.span_enters, snap.span_exits);
     // Every put records its simulated latency exactly once.
-    assert_eq!(snap.histogram("put_sim_us", "").unwrap().count, n);
+    assert_eq!(snap.histogram("put_sim_us", "").unwrap().count(), n);
 }
