@@ -61,6 +61,10 @@ const NAMES: &[(&str, &str)] = &[
         "recovery",
         "E20: journaling overhead + crash/recover replay",
     ),
+    (
+        "rs_geometry",
+        "E21: RS(k,m) geometry sweep + streaming bounded-memory ingest",
+    ),
 ];
 
 /// One experiment's output: report text, optional registry snapshot, and
@@ -121,6 +125,14 @@ fn run_one(name: &str) -> Option<RunOutput> {
                 report,
                 telemetry: tel.registry().map(|r| r.snapshot()),
                 slos: exp::recovery::slos(),
+            }
+        }
+        "rs_geometry" => {
+            let (_, report, tel) = exp::rs_geometry::run_instrumented();
+            RunOutput {
+                report,
+                telemetry: tel.registry().map(|r| r.snapshot()),
+                slos: Vec::new(),
             }
         }
         _ => return None,

@@ -1,4 +1,4 @@
-//! Experiment modules (E1–E20; see DESIGN.md §4 for the index).
+//! Experiment modules (E1–E21; see DESIGN.md §4 for the index).
 
 pub mod ablation;
 pub mod attacker;
@@ -16,6 +16,7 @@ pub mod mislead;
 pub mod policy;
 pub mod put_throughput;
 pub mod recovery;
+pub mod rs_geometry;
 pub mod rules;
 pub mod segmentation;
 pub mod table4;

@@ -6,7 +6,9 @@
 //! (§VII-C).
 
 use crate::config::ChunkSizeSchedule;
+use bytes::Bytes;
 use fragcloud_sim::PrivacyLevel;
+use std::io::Read;
 
 /// Splits a file into chunks sized by the schedule for its privacy level.
 ///
@@ -27,6 +29,131 @@ pub fn split(data: &[u8], pl: PrivacyLevel, schedule: &ChunkSizeSchedule) -> Vec
         out.push(chunk);
     }
     out
+}
+
+/// Borrowed variant of [`split`]: the same chunk boundaries, but as slices
+/// into `data` with **no per-chunk copies or allocations** beyond the outer
+/// vector. This is what the serial put path routes through — the mislead
+/// injector reads straight from the caller's buffer.
+///
+/// An empty file yields one empty slice, mirroring [`split`].
+pub fn split_borrowed<'a>(
+    data: &'a [u8],
+    pl: PrivacyLevel,
+    schedule: &ChunkSizeSchedule,
+) -> Vec<&'a [u8]> {
+    if data.is_empty() {
+        return vec![data];
+    }
+    // `chunks` is an exact-size iterator, so `collect` sizes the outer
+    // vector exactly — the only allocation this function performs.
+    data.chunks(schedule.size_for(pl)).collect()
+}
+
+/// Shared-buffer variant of [`split`] for the pipelined put: each chunk is
+/// a cheap ref-counted [`Bytes`] slice of the one shared file buffer, so
+/// stripe groups can move onto transfer-pool workers (`'static`) without
+/// copying any chunk bytes.
+///
+/// An empty file yields one empty chunk, mirroring [`split`].
+pub fn split_shared(data: &Bytes, pl: PrivacyLevel, schedule: &ChunkSizeSchedule) -> Vec<Bytes> {
+    let size = schedule.size_for(pl);
+    if data.is_empty() {
+        return vec![Bytes::new()];
+    }
+    let mut out = Vec::with_capacity(data.len().div_ceil(size));
+    let mut off = 0;
+    while off < data.len() {
+        let end = (off + size).min(data.len());
+        out.push(data.slice(off..end));
+        off = end;
+    }
+    out
+}
+
+/// Incremental striper over a [`Read`]-like source: yields one stripe of up
+/// to `stripe_k` chunks (each `chunk_size` bytes, the final chunk possibly
+/// short) per call, so the put path can encode and upload multi-GB files
+/// while holding only a bounded number of stripes in memory.
+///
+/// Chunk boundaries are **identical** to [`split`] over the concatenated
+/// source bytes — including the empty-source case, which yields exactly one
+/// stripe containing one empty chunk so every file keeps at least one
+/// addressable serial.
+pub struct StripeFeeder<R> {
+    reader: R,
+    chunk_size: usize,
+    stripe_k: usize,
+    bytes_read: u64,
+    yielded_any: bool,
+    eof: bool,
+}
+
+impl<R: Read> StripeFeeder<R> {
+    /// Wraps `reader`; `chunk_size` and `stripe_k` are clamped to ≥ 1.
+    pub fn new(reader: R, chunk_size: usize, stripe_k: usize) -> Self {
+        StripeFeeder {
+            reader,
+            chunk_size: chunk_size.max(1),
+            stripe_k: stripe_k.max(1),
+            bytes_read: 0,
+            yielded_any: false,
+            eof: false,
+        }
+    }
+
+    /// Total source bytes consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads one chunk, filling up to `chunk_size` bytes (short reads are
+    /// retried until the chunk is full or the source ends).
+    fn next_chunk(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        let mut chunk = vec![0u8; self.chunk_size];
+        let mut filled = 0;
+        while filled < chunk.len() {
+            let n = self.reader.read(&mut chunk[filled..])?;
+            if n == 0 {
+                self.eof = true;
+                break;
+            }
+            filled += n;
+        }
+        self.bytes_read += filled as u64;
+        if filled == 0 {
+            return Ok(None);
+        }
+        chunk.truncate(filled);
+        // Short tail: release the rounded-up slack so held stripes cost
+        // exactly their byte length (same invariant as `split`).
+        chunk.shrink_to_fit();
+        Ok(Some(chunk))
+    }
+
+    /// Yields the next stripe, or `None` once the source is exhausted.
+    pub fn next_stripe(&mut self) -> std::io::Result<Option<Vec<Vec<u8>>>> {
+        if self.eof {
+            return Ok(None);
+        }
+        let mut stripe = Vec::with_capacity(self.stripe_k);
+        while stripe.len() < self.stripe_k {
+            match self.next_chunk()? {
+                Some(c) => stripe.push(c),
+                None => break,
+            }
+        }
+        if stripe.is_empty() {
+            // Empty source: one empty chunk, exactly once.
+            if !self.yielded_any {
+                self.yielded_any = true;
+                return Ok(Some(vec![Vec::new()]));
+            }
+            return Ok(None);
+        }
+        self.yielded_any = true;
+        Ok(Some(stripe))
+    }
 }
 
 /// Reassembles chunks (in serial order) into the original file.
@@ -129,6 +256,102 @@ mod tests {
             let joined = join(&chunks);
             assert_eq!(joined.capacity(), body.len());
             assert_eq!(joined, body);
+        }
+    }
+
+    #[test]
+    fn borrowed_and_shared_variants_are_zero_copy() {
+        let s = sched();
+        let data: Vec<u8> = (0..37).map(|i| i as u8).collect();
+        let owned = split(&data, PrivacyLevel::Low, &s);
+
+        // Borrowed: same boundaries, every slice points INTO the caller's
+        // buffer (pointer identity proves zero-copy), outer vec exact.
+        let borrowed = split_borrowed(&data, PrivacyLevel::Low, &s);
+        assert_eq!(borrowed.len(), owned.len());
+        assert_eq!(borrowed.capacity(), borrowed.len());
+        let range = data.as_ptr() as usize..data.as_ptr() as usize + data.len();
+        for (b, o) in borrowed.iter().zip(&owned) {
+            assert_eq!(*b, o.as_slice());
+            assert!(range.contains(&(b.as_ptr() as usize)), "slice escaped buffer");
+        }
+
+        // Shared: ref-counted slices of ONE buffer — again pointer
+        // identity, no per-chunk copies.
+        let shared_buf = Bytes::from(data.clone());
+        let base = shared_buf.as_ptr() as usize;
+        let shared = split_shared(&shared_buf, PrivacyLevel::Low, &s);
+        assert_eq!(shared.len(), owned.len());
+        for (sh, o) in shared.iter().zip(&owned) {
+            assert_eq!(sh.as_ref(), o.as_slice());
+            let p = sh.as_ptr() as usize;
+            assert!((base..base + data.len()).contains(&p), "chunk was copied");
+        }
+
+        // Empty-file semantics match `split` for both variants.
+        assert_eq!(split_borrowed(&[], PrivacyLevel::Low, &s).len(), 1);
+        assert!(split_borrowed(&[], PrivacyLevel::Low, &s)[0].is_empty());
+        let e = split_shared(&Bytes::new(), PrivacyLevel::Low, &s);
+        assert_eq!(e.len(), 1);
+        assert!(e[0].is_empty());
+    }
+
+    #[test]
+    fn feeder_matches_split_boundaries() {
+        let s = sched();
+        for n in [0usize, 1, 7, 8, 9, 16, 17, 40, 100] {
+            let data: Vec<u8> = (0..n).map(|i| (i * 13) as u8).collect();
+            for pl in PrivacyLevel::ALL {
+                for k in [1usize, 2, 3, 5] {
+                    let expect = split(&data, pl, &s);
+                    let mut feeder = StripeFeeder::new(&data[..], s.size_for(pl), k);
+                    let mut got: Vec<Vec<u8>> = Vec::new();
+                    while let Some(stripe) = feeder.next_stripe().expect("in-memory read") {
+                        assert!(stripe.len() <= k, "stripe overfilled");
+                        got.extend(stripe);
+                    }
+                    assert_eq!(got, expect, "n={n} pl={pl} k={k}");
+                    assert_eq!(feeder.bytes_read(), n as u64);
+                    // Exhausted feeder stays exhausted.
+                    assert!(feeder.next_stripe().expect("eof").is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feeder_survives_short_reads() {
+        // A reader that returns one byte at a time exercises the
+        // fill-until-full loop.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() || buf.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let s = sched();
+        let data: Vec<u8> = (0..25).map(|i| i as u8).collect();
+        let mut feeder = StripeFeeder::new(OneByte(&data), s.size_for(PrivacyLevel::Low), 2);
+        let mut got = Vec::new();
+        while let Some(stripe) = feeder.next_stripe().expect("read") {
+            got.extend(stripe);
+        }
+        assert_eq!(got, split(&data, PrivacyLevel::Low, &s));
+    }
+
+    #[test]
+    fn feeder_holds_exact_capacity_chunks() {
+        let s = sched();
+        let data = [9u8; 21]; // Low → 8-byte chunks, 5-byte tail
+        let mut feeder = StripeFeeder::new(&data[..], s.size_for(PrivacyLevel::Low), 4);
+        let stripe = feeder.next_stripe().expect("read").expect("stripe");
+        for c in &stripe {
+            assert_eq!(c.capacity(), c.len(), "feeder chunk over-allocated");
         }
     }
 

@@ -57,6 +57,79 @@ impl ChunkSizeSchedule {
     }
 }
 
+/// A stripe geometry: `data` data shards plus `parity` parity shards.
+///
+/// Generalizes the old ⟨`stripe_width`, `raid_level`⟩ pair to arbitrary
+/// RS(k, m): `parity = 0` is plain striping, `1` ≡ RAID-5, `2` ≡ RAID-6,
+/// and `m ≥ 3` engages the general Reed–Solomon matrix codec. Validation
+/// delegates to the coding layer's shared
+/// [`check_geometry`](fragcloud_raid::check_geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Data shards per stripe (`k`), ≥ 1.
+    pub data: usize,
+    /// Parity shards per stripe (`m`); the stripe tolerates `m` losses.
+    pub parity: usize,
+}
+
+impl Geometry {
+    /// Builds a geometry; validation happens in
+    /// [`validate`](Self::validate) / [`DistributorConfig::validate`].
+    pub fn new(data: usize, parity: usize) -> Self {
+        Geometry { data, parity }
+    }
+
+    /// Total shards per stripe (data + parity).
+    pub fn total(self) -> usize {
+        self.data + self.parity
+    }
+
+    /// The [`RaidLevel`] realizing this geometry's parity count,
+    /// canonicalized onto the dedicated codes for m ≤ 2 so default
+    /// configurations keep today's RAID-5/6 table and journal encodings.
+    pub fn level(self) -> RaidLevel {
+        RaidLevel::for_parity_shards(self.parity)
+    }
+
+    /// Check the geometry against the coding layer's shared rules.
+    pub fn validate(self) -> Result<(), crate::CoreError> {
+        fragcloud_raid::check_geometry(self.data, self.parity).map_err(|e| {
+            crate::CoreError::InvalidConfig {
+                detail: format!("geometry: {e}"),
+            }
+        })
+    }
+}
+
+/// Per-privacy-level stripe geometries — geometry as *policy*: higher
+/// privacy levels can buy wider fan-out or deeper parity without touching
+/// the code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeometrySchedule {
+    /// Geometry for each PL 0..=3.
+    pub per_pl: [Geometry; 4],
+}
+
+impl GeometrySchedule {
+    /// One geometry for every privacy level.
+    pub fn uniform(g: Geometry) -> Self {
+        GeometrySchedule { per_pl: [g; 4] }
+    }
+
+    /// Geometry for a privacy level.
+    pub fn for_pl(&self, pl: PrivacyLevel) -> Geometry {
+        self.per_pl[pl.as_u8() as usize]
+    }
+
+    /// Validates every per-PL geometry.
+    pub fn validate(&self) -> Result<(), crate::CoreError> {
+        for g in &self.per_pl {
+            g.validate()?;
+        }
+        Ok(())
+    }
+}
+
 /// Durability and concurrency knobs, grouped: how the write-ahead journal
 /// batches its flushes, how often the checkpoint is compacted, how wide the
 /// table sharding and the transfer pool are.
@@ -167,6 +240,13 @@ pub struct DistributorConfig {
     /// Default assurance level; `Raid5` per §IV-A, `Raid6` for "higher
     /// assurance", `None` to disable parity.
     pub raid_level: RaidLevel,
+    /// Per-PL stripe geometries. `None` (the default) derives every PL's
+    /// geometry from ⟨[`stripe_width`](Self::stripe_width),
+    /// [`raid_level`](Self::raid_level)⟩, preserving the old behavior;
+    /// `Some` makes geometry policy and takes precedence (a per-put
+    /// [`PutOptions::geometry`](crate::PutOptions::geometry) still
+    /// overrides both).
+    pub geometry: Option<GeometrySchedule>,
     /// Fraction of misleading bytes injected per chunk (0.0 disables; the
     /// paper's §VII-D option).
     pub mislead_rate: f64,
@@ -201,6 +281,7 @@ impl Default for DistributorConfig {
             chunk_sizes: ChunkSizeSchedule::paper_default(),
             stripe_width: 4,
             raid_level: RaidLevel::Raid5,
+            geometry: None,
             mislead_rate: 0.0,
             placement: PlacementStrategy::CheapestEligible,
             seed: 0x0D15_7B17,
@@ -213,6 +294,17 @@ impl Default for DistributorConfig {
 }
 
 impl DistributorConfig {
+    /// The stripe geometry uploads at privacy level `pl` get by default:
+    /// the [`geometry`](Self::geometry) schedule when set, else the
+    /// ⟨[`stripe_width`](Self::stripe_width),
+    /// [`raid_level`](Self::raid_level)⟩ pair.
+    pub fn geometry_for(&self, pl: PrivacyLevel) -> Geometry {
+        match &self.geometry {
+            Some(s) => s.for_pl(pl),
+            None => Geometry::new(self.stripe_width, self.raid_level.parity_shards()),
+        }
+    }
+
     /// Transfer-pool width after resolving the one-release compat shim: a
     /// deprecated `transfer_workers` set away from its old default (4)
     /// wins; otherwise [`DurabilityConfig::transfer_workers`] applies.
@@ -262,6 +354,9 @@ impl DistributorConfig {
         }
         if !(1..=64).contains(&self.effective_transfer_workers()) {
             return fail("transfer_workers must be in 1..=64");
+        }
+        if let Some(schedule) = &self.geometry {
+            schedule.validate()?;
         }
         self.durability.validate()?;
         self.resilience.validate()
@@ -367,6 +462,47 @@ mod tests {
         }
         .validate()
         .expect("1 worker, 1 shard, serial put is valid");
+    }
+
+    #[test]
+    fn geometry_levels_and_defaults() {
+        assert_eq!(Geometry::new(4, 0).level(), RaidLevel::None);
+        assert_eq!(Geometry::new(4, 1).level(), RaidLevel::Raid5);
+        assert_eq!(Geometry::new(4, 2).level(), RaidLevel::Raid6);
+        assert_eq!(
+            Geometry::new(8, 3).level(),
+            RaidLevel::Rs { parity: 3 }
+        );
+        assert_eq!(Geometry::new(8, 3).total(), 11);
+
+        // Default config: geometry derives from stripe_width + raid_level.
+        let c = DistributorConfig::default();
+        for pl in PrivacyLevel::ALL {
+            assert_eq!(c.geometry_for(pl), Geometry::new(4, 1));
+        }
+        // Schedule takes precedence and can vary per PL.
+        let mut sched = GeometrySchedule::uniform(Geometry::new(8, 3));
+        sched.per_pl[3] = Geometry::new(12, 4);
+        let c = DistributorConfig {
+            geometry: Some(sched),
+            ..Default::default()
+        };
+        c.validate().expect("valid schedule");
+        assert_eq!(c.geometry_for(PrivacyLevel::Public), Geometry::new(8, 3));
+        assert_eq!(c.geometry_for(PrivacyLevel::High), Geometry::new(12, 4));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected_via_shared_check() {
+        assert!(Geometry::new(0, 2).validate().is_err());
+        assert!(Geometry::new(1, 0).validate().is_ok());
+        assert!(Geometry::new(254, 3).validate().is_err()); // 257 points
+        let c = DistributorConfig {
+            geometry: Some(GeometrySchedule::uniform(Geometry::new(0, 1))),
+            ..Default::default()
+        };
+        let err = c.validate().expect_err("zero data shards");
+        assert!(err.to_string().contains("geometry"));
     }
 
     #[test]

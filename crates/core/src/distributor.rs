@@ -22,7 +22,7 @@
 
 use crate::access;
 use crate::chunker;
-use crate::config::DistributorConfig;
+use crate::config::{DistributorConfig, Geometry};
 use crate::journal::{Journal, OpId, OpKind};
 use crate::mislead;
 use crate::persist;
@@ -60,6 +60,10 @@ use std::time::Duration;
 pub struct PutOptions {
     /// Override the distributor's default RAID level for this file.
     pub raid_level: Option<RaidLevel>,
+    /// Override the full erasure geometry (data + parity shard counts) for
+    /// this file. Takes precedence over both [`PutOptions::raid_level`] and
+    /// the distributor's [`GeometrySchedule`](crate::GeometrySchedule).
+    pub geometry: Option<Geometry>,
     /// Override the misleading-byte rate for this file (§VII-D: "depending
     /// on the demand of clients").
     pub mislead_rate: Option<f64>,
@@ -80,6 +84,14 @@ impl PutOptions {
     /// Overrides the RAID level for this file.
     pub fn raid(mut self, level: RaidLevel) -> Self {
         self.raid_level = Some(level);
+        self
+    }
+
+    /// Overrides the erasure geometry — `data` data shards plus `parity`
+    /// parity shards per stripe — for this file. Validated against the
+    /// GF(2⁸) field limits when the put runs.
+    pub fn geometry(mut self, data: usize, parity: usize) -> Self {
+        self.geometry = Some(Geometry::new(data, parity));
         self
     }
 
@@ -110,6 +122,11 @@ pub struct PutReceipt {
     /// Simulated distribution time (per-provider serialization, cross-
     /// provider parallelism).
     pub sim_time: Duration,
+    /// Peak bytes of logical-chunk buffers the distributor held at once.
+    /// The buffered path reports the file length (the caller's buffer is
+    /// resident throughout); the streaming path reports the measured
+    /// in-flight window — bounded regardless of file size.
+    pub peak_buffer_bytes: usize,
 }
 
 /// Retrieval result with its simulated transfer time.
@@ -143,6 +160,25 @@ struct ChunkFetch {
     degraded: bool,
     hedged: bool,
     retries: u64,
+}
+
+/// Pairs pre-allocated virtual ids with their logical chunks (any byte
+/// container) and packs them into stripe groups of `k_max`, preserving
+/// chunk order. The vid sequence is fixed by the caller, so the grouping
+/// itself cannot perturb provider state.
+fn group_chunks<B>(vids: &[VirtualId], chunks: Vec<B>, k_max: usize) -> Vec<Vec<(VirtualId, B)>> {
+    debug_assert_eq!(vids.len(), chunks.len());
+    let k_max = k_max.max(1);
+    let mut groups = Vec::with_capacity(chunks.len().div_ceil(k_max));
+    let mut it = vids.iter().copied().zip(chunks);
+    loop {
+        let g: Vec<_> = it.by_ref().take(k_max).collect();
+        if g.is_empty() {
+            break;
+        }
+        groups.push(g);
+    }
+    groups
 }
 
 /// Deferred parity writes computed by `plan_parity`.
@@ -837,41 +873,42 @@ impl CloudDataDistributor {
             st.providers.len()
         };
 
-        let raid = opts.raid_level.unwrap_or(self.config.raid_level);
+        // Effective erasure geometry, resolved once per put: an explicit
+        // per-put geometry wins; a per-put RAID-level override keeps the
+        // configured data-shard count but swaps the parity count; otherwise
+        // the distributor's per-PL schedule (or its (stripe_width,
+        // raid_level) defaults) applies.
+        let geo = match (opts.geometry, opts.raid_level) {
+            (Some(g), _) => g,
+            (None, Some(level)) => {
+                Geometry::new(self.config.geometry_for(pl).data, level.parity_shards())
+            }
+            (None, None) => self.config.geometry_for(pl),
+        };
+        geo.validate()?;
+        let raid = geo.level();
         let rate = opts.mislead_rate.unwrap_or(self.config.mislead_rate);
 
         // Phase B (no lock): fragment, allocate ids, encode.
-        // 1. Fragment.
-        let logical_chunks = chunker::split(data, pl, &self.config.chunk_sizes);
-        let chunk_count = logical_chunks.len();
+        // 1. Chunk geometry only — no chunk bytes are materialized here.
+        //    Both put paths below walk the caller's buffer zero-copy: the
+        //    serial path through borrowed slices, the pipelined path
+        //    through ref-counted `Bytes` slices of one shared buffer.
+        let chunk_count = chunker::chunk_count(data.len(), pl, &self.config.chunk_sizes);
 
         // 2. Allocate virtual ids upfront, in chunk order — identical ids
         // regardless of which thread later encodes the stripe, so the
-        // serial and pipelined paths write byte-identical provider state.
-        let paired: Vec<(VirtualId, Vec<u8>)> = logical_chunks
-            .into_iter()
-            .map(|logical| (self.vids.allocate(), logical))
-            .collect();
+        // serial, pipelined, and streaming paths write byte-identical
+        // provider state.
+        let data_vids: Vec<VirtualId> = (0..chunk_count).map(|_| self.vids.allocate()).collect();
         // Intent is durable before any provider sees a byte: from here on
         // a crash leaves only objects the journal can enumerate.
-        let data_vids: Vec<VirtualId> = paired.iter().map(|(v, _)| *v).collect();
         self.journal_alloc(jctx, &data_vids);
         self.crash_point()?;
 
-        // 3. Group into stripes (owned groups so pool workers can take
-        // them), then encode + store.
-        let k_max = self.config.stripe_width.max(1);
-        let mut groups: Vec<Vec<(VirtualId, Vec<u8>)>> = Vec::new();
-        {
-            let mut it = paired.into_iter();
-            loop {
-                let g: Vec<_> = it.by_ref().take(k_max).collect();
-                if g.is_empty() {
-                    break;
-                }
-                groups.push(g);
-            }
-        }
+        // 3. Stripe shape.
+        let k_max = geo.data.max(1);
+        let n_groups = chunk_count.div_ceil(k_max);
 
         let mut progress = PutProgress {
             chunk_indices: Vec::with_capacity(chunk_count),
@@ -893,13 +930,19 @@ impl CloudDataDistributor {
         }
         let st = &mut *st;
 
-        if self.config.effective_pipelined_put() && groups.len() >= 2 {
+        if self.config.effective_pipelined_put() && n_groups >= 2 {
             // Pipelined put: stripe encoding (mislead injection + parity)
             // runs on transfer-pool workers while the caller uploads the
             // previous stripe, so encode of stripe N overlaps store of
             // stripe N-1. All provider interaction and table mutation stay
             // on this thread, in exact serial order.
+            //
+            // Chunks cross to the workers as ref-counted `Bytes` slices of
+            // one shared copy of the file — no per-chunk copies.
             tel.incr("puts_pipelined");
+            let file_bytes = Bytes::copy_from_slice(data);
+            let logical = chunker::split_shared(&file_bytes, pl, &self.config.chunk_sizes);
+            let groups = group_chunks(&data_vids, logical, k_max);
             let pool = self.transfer_pool();
             let (res_tx, res_rx) = crossbeam::channel::unbounded::<(
                 usize,
@@ -908,7 +951,6 @@ impl CloudDataDistributor {
             // Shard-buffer recycling: stored stripes send their parity
             // buffers back for later encode tasks to reuse.
             let (recycle_tx, recycle_rx) = crossbeam::channel::unbounded::<Vec<Vec<u8>>>();
-            let n_groups = groups.len();
             let seed = self.config.seed;
             for (stripe_no, group) in groups.into_iter().enumerate() {
                 let res_tx = res_tx.clone();
@@ -968,6 +1010,10 @@ impl CloudDataDistributor {
                 let _ = recycle_tx.send(recycled);
             }
         } else {
+            // Serial put: encode on the caller thread, reading chunk bytes
+            // straight out of the caller's buffer (borrowed, zero-copy).
+            let logical = chunker::split_borrowed(data, pl, &self.config.chunk_sizes);
+            let groups = group_chunks(&data_vids, logical, k_max);
             for (stripe_no, group) in groups.into_iter().enumerate() {
                 let enc = tel.time("stripe_encode_ns", || {
                     Self::encode_stripe_group(group, rate, self.config.seed, raid, Vec::new())
@@ -1025,6 +1071,300 @@ impl CloudDataDistributor {
             stripe_count,
             bytes_stored,
             sim_time,
+            peak_buffer_bytes: data.len(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn put_stream_impl(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        reader: &mut dyn std::io::Read,
+        len: usize,
+        pl: PrivacyLevel,
+        opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        let jctx = self.journal_begin(OpKind::Put, client, filename);
+        let res = self.put_stream_inner(client, password, filename, reader, len, pl, opts, &jctx);
+        self.journal_finish(jctx, res)
+    }
+
+    /// Streaming upload: identical provider state to the buffered
+    /// [`put_file`](crate::session::Session::put_file), but the source is a
+    /// [`Read`](std::io::Read) of declared length `len` and peak memory is
+    /// bounded by the pipeline window instead of the file size.
+    ///
+    /// Byte-identity with the buffered path holds because every input to
+    /// provider state is position-determined, not path-determined: virtual
+    /// ids are allocated upfront from the declared chunk count (same
+    /// sequence as the buffered path), [`chunker::StripeFeeder`] reproduces
+    /// [`chunker::split`]'s chunk boundaries exactly, stripe encode is a
+    /// pure function of ⟨chunk, rate, seed ⊕ vid⟩, and stores run in
+    /// stripe order on this thread (placement rng draws and parity/replica
+    /// vid allocations therefore interleave identically).
+    ///
+    /// A source that produces more or fewer bytes than `len` fails the put
+    /// with [`CoreError::StreamLengthMismatch`]; the journal rolls the
+    /// partial upload back like any other failed operation.
+    #[allow(clippy::too_many_arguments)]
+    fn put_stream_inner(
+        &self,
+        client: &str,
+        password: &str,
+        filename: &str,
+        reader: &mut dyn std::io::Read,
+        len: usize,
+        pl: PrivacyLevel,
+        opts: PutOptions,
+        jctx: &Option<JournalCtx>,
+    ) -> Result<PutReceipt> {
+        let tel = self.telemetry();
+        let _op = span!(tel, "put_stream", file = filename, pl = pl);
+        let shard = self.shard_for(client, filename);
+
+        // Phase A (shard read lock): authorize + duplicate pre-check.
+        let fleet_size = {
+            let st = self.shard_read(shard);
+            access::authorize(st.client(client)?, password, pl)?;
+            if st.client(client)?.files.contains_key(filename) {
+                return Err(CoreError::FileExists(filename.to_string()));
+            }
+            st.providers.len()
+        };
+
+        // Geometry resolution: same precedence as the buffered path.
+        let geo = match (opts.geometry, opts.raid_level) {
+            (Some(g), _) => g,
+            (None, Some(level)) => {
+                Geometry::new(self.config.geometry_for(pl).data, level.parity_shards())
+            }
+            (None, None) => self.config.geometry_for(pl),
+        };
+        geo.validate()?;
+        let raid = geo.level();
+        let rate = opts.mislead_rate.unwrap_or(self.config.mislead_rate);
+
+        // Phase B (no lock): derive the chunk plan from the *declared*
+        // length and allocate every data vid upfront — the exact sequence
+        // the buffered path would allocate. No chunk bytes are read yet.
+        let chunk_size = self.config.chunk_sizes.size_for(pl);
+        let chunk_count = chunker::chunk_count(len, pl, &self.config.chunk_sizes);
+        let data_vids: Vec<VirtualId> = (0..chunk_count).map(|_| self.vids.allocate()).collect();
+        self.journal_alloc(jctx, &data_vids);
+        self.crash_point()?;
+
+        let k_max = geo.data.max(1);
+        let n_groups = chunk_count.div_ceil(k_max);
+        let io_err = |e: std::io::Error| CoreError::StreamIo { why: e.to_string() };
+
+        let mut feeder = chunker::StripeFeeder::new(reader, chunk_size, k_max);
+        let mut progress = PutProgress {
+            chunk_indices: Vec::with_capacity(chunk_count),
+            stripe_ids: Vec::new(),
+            bytes_stored: 0,
+            per_provider_time: vec![Duration::ZERO; fleet_size],
+        };
+        // Explicit buffer accounting: logical bytes of every stripe group
+        // between its read-from-source and the completion of its store.
+        // This brackets the lifetime of both the raw chunk buffers and the
+        // encoded copies derived from them.
+        let mut in_flight_bytes = 0usize;
+        let mut peak_buffer_bytes = 0usize;
+        let mut chunk_cursor = 0usize;
+
+        // Phase C (shard write lock): encode + store, stripe order.
+        let mut st = self.shard_write(shard);
+        if st.client(client)?.files.contains_key(filename) {
+            return Err(CoreError::FileExists(filename.to_string()));
+        }
+        let st = &mut *st;
+
+        if self.config.effective_pipelined_put() && n_groups >= 2 {
+            // Windowed pipeline: at most `window` stripes are in flight
+            // (read but not yet stored), so peak memory is bounded by the
+            // window — not the file. Reads and submissions happen on this
+            // thread, interleaved with the in-order stores.
+            tel.incr("puts_pipelined");
+            tel.incr("puts_streaming");
+            let pool = self.transfer_pool();
+            let window = self.config.effective_transfer_workers().max(1);
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<(
+                usize,
+                std::result::Result<EncodedGroup, fragcloud_raid::RaidError>,
+            )>();
+            let (recycle_tx, recycle_rx) = crossbeam::channel::unbounded::<Vec<Vec<u8>>>();
+            let seed = self.config.seed;
+            let mut res_tx = Some(res_tx);
+            let mut submitted = 0usize;
+            let mut group_bytes: BTreeMap<usize, usize> = BTreeMap::new();
+            let mut pending: BTreeMap<
+                usize,
+                std::result::Result<EncodedGroup, fragcloud_raid::RaidError>,
+            > = BTreeMap::new();
+
+            for next in 0..n_groups {
+                // Refill the window (primes it on the first iteration).
+                while submitted < n_groups && submitted < next + window {
+                    let Some(stripe) = feeder.next_stripe().map_err(io_err)? else {
+                        return Err(CoreError::StreamLengthMismatch {
+                            declared: len as u64,
+                            read: feeder.bytes_read(),
+                        });
+                    };
+                    let sbytes: usize = stripe.iter().map(Vec::len).sum();
+                    in_flight_bytes += sbytes;
+                    peak_buffer_bytes = peak_buffer_bytes.max(in_flight_bytes);
+                    group_bytes.insert(submitted, sbytes);
+                    let vids = &data_vids[chunk_cursor..chunk_cursor + stripe.len()];
+                    chunk_cursor += stripe.len();
+                    let group: Vec<(VirtualId, Vec<u8>)> =
+                        vids.iter().copied().zip(stripe).collect();
+                    let tx = res_tx.clone().expect("sender alive while submitting"); // fraglint: allow(no-unwrap-in-lib)
+                    let recycle_rx = recycle_rx.clone();
+                    let wtel = tel.clone();
+                    let stripe_no = submitted;
+                    pool.submit_observed(&tel, move || {
+                        // A panicking encode must still send — the caller
+                        // holds a sender of its own while the stream is
+                        // live, so channel disconnect cannot signal it.
+                        let enc = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let scratch = recycle_rx.try_recv().unwrap_or_default();
+                            wtel.time("stripe_encode_ns", || {
+                                Self::encode_stripe_group(group, rate, seed, raid, scratch)
+                            })
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(fragcloud_raid::RaidError::BadGeometry {
+                                detail: "stripe encode task panicked".to_string(),
+                            })
+                        });
+                        let _ = tx.send((stripe_no, enc));
+                    });
+                    submitted += 1;
+                }
+                if submitted == n_groups {
+                    res_tx = None; // all submissions done; allow disconnect
+                }
+
+                // Consume stripe `next`, buffering out-of-order arrivals.
+                let enc = loop {
+                    if let Some(e) = pending.remove(&next) {
+                        break e;
+                    }
+                    match res_rx.recv() {
+                        Ok((no, e)) if no == next => break e,
+                        Ok((no, e)) => {
+                            pending.insert(no, e);
+                        }
+                        // fraglint: allow(no-unwrap-in-lib) — re-raises a
+                        // worker panic; there is no Result to return it in.
+                        Err(_) => panic!("streaming-put encode task panicked"),
+                    }
+                }?;
+                if raid != RaidLevel::None {
+                    tel.incr("stripe_encodes");
+                }
+                let recycled = tel.time("stripe_store_ns", || {
+                    self.store_stripe(
+                        st,
+                        shard,
+                        pl,
+                        &opts,
+                        raid,
+                        k_max,
+                        next,
+                        enc,
+                        jctx,
+                        &mut progress,
+                    )
+                })?;
+                let _ = recycle_tx.send(recycled);
+                in_flight_bytes -= group_bytes.remove(&next).unwrap_or(0);
+            }
+        } else {
+            // Serial streaming: one stripe resident at a time.
+            tel.incr("puts_streaming");
+            for stripe_no in 0..n_groups {
+                let Some(stripe) = feeder.next_stripe().map_err(io_err)? else {
+                    return Err(CoreError::StreamLengthMismatch {
+                        declared: len as u64,
+                        read: feeder.bytes_read(),
+                    });
+                };
+                let sbytes: usize = stripe.iter().map(Vec::len).sum();
+                peak_buffer_bytes = peak_buffer_bytes.max(sbytes);
+                let vids = &data_vids[chunk_cursor..chunk_cursor + stripe.len()];
+                chunk_cursor += stripe.len();
+                let group: Vec<(VirtualId, Vec<u8>)> = vids.iter().copied().zip(stripe).collect();
+                let enc = tel.time("stripe_encode_ns", || {
+                    Self::encode_stripe_group(group, rate, self.config.seed, raid, Vec::new())
+                })?;
+                if raid != RaidLevel::None {
+                    tel.incr("stripe_encodes");
+                }
+                tel.time("stripe_store_ns", || {
+                    self.store_stripe(
+                        st,
+                        shard,
+                        pl,
+                        &opts,
+                        raid,
+                        k_max,
+                        stripe_no,
+                        enc,
+                        jctx,
+                        &mut progress,
+                    )
+                })?;
+            }
+        }
+
+        // The source must be exactly `len` bytes: drained in full (no
+        // trailing stripe) and chunk-complete.
+        if feeder.bytes_read() != len as u64
+            || chunk_cursor != chunk_count
+            || feeder.next_stripe().map_err(io_err)?.is_some()
+        {
+            return Err(CoreError::StreamLengthMismatch {
+                declared: len as u64,
+                read: feeder.bytes_read(),
+            });
+        }
+
+        let PutProgress {
+            chunk_indices,
+            stripe_ids,
+            bytes_stored,
+            per_provider_time,
+        } = progress;
+        let stripe_count = stripe_ids.len();
+        let entry = st.client_mut(client)?;
+        entry.files.insert(
+            filename.to_string(),
+            FileEntry {
+                pl,
+                chunk_indices,
+                stripe_ids,
+                total_len: len,
+            },
+        );
+        self.touch_file(jctx, shard, client, filename);
+        self.crash_point()?;
+
+        let sim_time = per_provider_time.into_iter().max().unwrap_or_default();
+        tel.incr("puts_total");
+        tel.add("put_bytes", len as u64);
+        tel.add("put_chunks", chunk_count as u64);
+        tel.observe_micros("put_sim_us", sim_time);
+        tel.observe("put_stream_peak_buffer_bytes", peak_buffer_bytes as u64);
+        Ok(PutReceipt {
+            chunk_count,
+            stripe_count,
+            bytes_stored,
+            sim_time,
+            peak_buffer_bytes,
         })
     }
 
@@ -1039,8 +1379,8 @@ impl CloudDataDistributor {
     ///
     /// `scratch` recycles parity buffers from already-stored stripes
     /// (popped as needed; missing entries just allocate).
-    fn encode_stripe_group(
-        group: Vec<(VirtualId, Vec<u8>)>,
+    fn encode_stripe_group<B: AsRef<[u8]>>(
+        group: Vec<(VirtualId, B)>,
         rate: f64,
         seed: u64,
         raid: RaidLevel,
@@ -1049,8 +1389,9 @@ impl CloudDataDistributor {
         let chunks: Vec<(VirtualId, Vec<u8>, Vec<usize>, usize)> = group
             .into_iter()
             .map(|(vid, logical)| {
+                let logical = logical.as_ref();
                 let logical_len = logical.len();
-                let (stored, positions) = mislead::inject(&logical, rate, seed ^ vid.0);
+                let (stored, positions) = mislead::inject(logical, rate, seed ^ vid.0);
                 (vid, stored, positions, logical_len)
             })
             .collect();
@@ -1068,6 +1409,16 @@ impl CloudDataDistributor {
                 let mut p = scratch.pop().unwrap_or_default();
                 fragcloud_raid::raid6::parity_padded_into(&refs, width, &mut p, &mut q)?;
                 vec![p, q]
+            }
+            RaidLevel::Rs { parity } => {
+                let m = parity as usize;
+                let codec = fragcloud_raid::RsCodec::new(refs.len(), m)?;
+                let mut rows: Vec<Vec<u8>> = Vec::with_capacity(m);
+                for _ in 0..m {
+                    rows.push(scratch.pop().unwrap_or_default());
+                }
+                codec.parity_padded_into(&refs, width, &mut rows)?;
+                rows
             }
         };
         Ok(EncodedGroup {
@@ -1987,6 +2338,10 @@ impl CloudDataDistributor {
             RaidLevel::Raid6 => {
                 let pq = fragcloud_raid::raid6::parity(&refs)?;
                 vec![pq.p, pq.q]
+            }
+            RaidLevel::Rs { parity } => {
+                let codec = fragcloud_raid::RsCodec::new(refs.len(), parity as usize)?;
+                codec.parity(&refs)?
             }
         };
         let writes: Vec<(usize, Vec<u8>)> = blobs
@@ -3570,6 +3925,234 @@ mod tests {
         // used its pool.
         assert_eq!(high_session(&pipelined).get_file("f").unwrap().data, body);
         assert!(pipelined.transfer_pool().panicked_tasks() == 0);
+    }
+
+    #[test]
+    fn streaming_put_matches_buffered_provider_state() {
+        // Same invariant as the serial/pipelined identity test, extended
+        // to the bounded-memory streaming path — in both pool modes.
+        for pipelined in [false, true] {
+            let build = || {
+                let mut config = small_config();
+                config.mislead_rate = 0.1;
+                config.raid_level = RaidLevel::Raid6;
+                config.durability = config.durability.with_pipelined_put(pipelined);
+                let d = CloudDataDistributor::new(fleet(6, PrivacyLevel::High), config);
+                d.register_client("Bob").unwrap();
+                d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+                d
+            };
+            let body = data(4096); // High → 8-byte chunks → many stripes
+            let buffered = build();
+            let streaming = build();
+            let rb = high_session(&buffered)
+                .put_file("f", &body, PrivacyLevel::High, PutOptions::new().replicas(1))
+                .unwrap();
+            let rs = high_session(&streaming)
+                .put_stream(
+                    "f",
+                    &mut &body[..],
+                    body.len(),
+                    PrivacyLevel::High,
+                    PutOptions::new().replicas(1),
+                )
+                .unwrap();
+            assert_eq!(rb.chunk_count, rs.chunk_count);
+            assert_eq!(rb.stripe_count, rs.stripe_count);
+            assert_eq!(rb.bytes_stored, rs.bytes_stored);
+            assert_eq!(rb.sim_time, rs.sim_time);
+            assert_eq!(
+                provider_state(&buffered),
+                provider_state(&streaming),
+                "streaming put must write byte-identical provider state (pipelined={pipelined})"
+            );
+            // Peak memory: the buffered path holds the whole file; the
+            // streaming path holds at most ~2 pipeline windows of chunks.
+            let cfg = small_config();
+            let window_stripes = cfg.effective_transfer_workers().max(1);
+            let stripe_bytes = cfg.stripe_width * cfg.chunk_sizes.size_for(PrivacyLevel::High);
+            assert_eq!(rb.peak_buffer_bytes, body.len());
+            assert!(
+                rs.peak_buffer_bytes <= 2 * window_stripes * stripe_bytes,
+                "streaming peak {} exceeds 2 windows ({})",
+                rs.peak_buffer_bytes,
+                2 * window_stripes * stripe_bytes
+            );
+            assert!(rs.peak_buffer_bytes < body.len());
+            assert_eq!(high_session(&streaming).get_file("f").unwrap().data, body);
+        }
+    }
+
+    #[test]
+    fn streaming_put_rejects_length_mismatch() {
+        let d = distributor();
+        let body = data(100);
+        // Source longer than declared.
+        let err = high_session(&d)
+            .put_stream(
+                "f",
+                &mut &body[..],
+                90,
+                PrivacyLevel::High,
+                PutOptions::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::StreamLengthMismatch { declared: 90, .. }));
+        // Source shorter than declared.
+        let err = high_session(&d)
+            .put_stream(
+                "f",
+                &mut &body[..],
+                120,
+                PrivacyLevel::High,
+                PutOptions::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::StreamLengthMismatch { declared: 120, .. }));
+        // The failed puts left no file behind; an exact-length retry works.
+        assert!(high_session(&d).get_file("f").is_err());
+        high_session(&d)
+            .put_stream(
+                "f",
+                &mut &body[..],
+                body.len(),
+                PrivacyLevel::High,
+                PutOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(high_session(&d).get_file("f").unwrap().data, body);
+    }
+
+    #[test]
+    fn rs_geometry_put_survives_m_provider_losses() {
+        // RS(4,3): any three lost stripe members must be reconstructable —
+        // beyond what RAID-6 could ever deliver.
+        let mut config = small_config();
+        config.mislead_rate = 0.05;
+        let d = CloudDataDistributor::new(fleet(9, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let body = data(300);
+        let receipt = high_session(&d)
+            .put_file(
+                "f",
+                &body,
+                PrivacyLevel::High,
+                PutOptions::new().geometry(4, 3),
+            )
+            .unwrap();
+        assert!(receipt.stripe_count >= 2);
+        {
+            let st = d.lock_all_read();
+            for shard in st.iter() {
+                for s in &shard.stripes {
+                    assert_eq!(s.level, RaidLevel::Rs { parity: 3 });
+                    assert!(s.k <= 4);
+                    assert_eq!(s.members.len(), s.k + 3);
+                }
+            }
+        }
+        // Kill three providers hosting shards of the first stripe.
+        let victims: Vec<usize> = {
+            let st = d.lock_all_read();
+            let shard = st
+                .iter()
+                .find(|s| !s.stripes.is_empty())
+                .expect("stripes exist");
+            shard.stripes[0].members[..3]
+                .iter()
+                .map(|&m| shard.chunks[m].provider_idx)
+                .collect()
+        };
+        for v in &victims {
+            d.providers()[*v].set_online(false);
+        }
+        let got = high_session(&d).get_file("f").unwrap();
+        assert_eq!(got.data, body);
+        assert!(got.reconstructed_chunks > 0 || got.degraded_chunks > 0);
+    }
+
+    #[test]
+    fn geometry_resolution_precedence() {
+        // Config-level schedule applies when options are silent; a per-put
+        // raid override keeps the schedule's data count; a per-put geometry
+        // wins outright.
+        let mut config = small_config();
+        config.geometry = Some(crate::GeometrySchedule::uniform(crate::Geometry::new(4, 2)));
+        let d = CloudDataDistributor::new(fleet(8, PrivacyLevel::High), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let s = high_session(&d);
+        let body = data(200);
+        s.put_file("schedule", &body, PrivacyLevel::High, PutOptions::new())
+            .unwrap();
+        s.put_file(
+            "raid-override",
+            &body,
+            PrivacyLevel::High,
+            PutOptions::new().raid(RaidLevel::Raid5),
+        )
+        .unwrap();
+        s.put_file(
+            "geometry-override",
+            &body,
+            PrivacyLevel::High,
+            PutOptions::new().geometry(2, 3),
+        )
+        .unwrap();
+        let st = d.lock_all_read();
+        let stripe_levels = |file: &str| -> Vec<(usize, RaidLevel)> {
+            st.iter()
+                .flat_map(|sh| {
+                    sh.clients.get("Bob").into_iter().flat_map(|c| {
+                        c.files.get(file).into_iter().flat_map(|f| {
+                            f.stripe_ids
+                                .iter()
+                                .map(|&sid| (sh.stripes[sid].k, sh.stripes[sid].level))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                })
+                .collect()
+        };
+        let sched = stripe_levels("schedule");
+        assert!(!sched.is_empty());
+        assert!(sched.iter().all(|&(k, l)| k <= 4 && l == RaidLevel::Raid6));
+        let raid_over = stripe_levels("raid-override");
+        assert!(raid_over.iter().all(|&(k, l)| k <= 4 && l == RaidLevel::Raid5));
+        let geo_over = stripe_levels("geometry-override");
+        assert!(geo_over
+            .iter()
+            .all(|&(k, l)| k <= 2 && l == RaidLevel::Rs { parity: 3 }));
+    }
+
+    #[test]
+    fn rs_stripes_survive_persist_roundtrip() {
+        let mut config = small_config();
+        config.mislead_rate = 0.0;
+        let providers = fleet(9, PrivacyLevel::High);
+        let d = CloudDataDistributor::new(providers.clone(), config);
+        d.register_client("Bob").unwrap();
+        d.add_password("Bob", "Ty7e", PrivacyLevel::High).unwrap();
+        let body = data(150);
+        high_session(&d)
+            .put_file(
+                "f",
+                &body,
+                PrivacyLevel::High,
+                PutOptions::new().geometry(3, 3),
+            )
+            .unwrap();
+        let snapshot = persist::export_state(&d);
+        assert!(snapshot.contains("|rs3|"), "rs level tag persisted");
+        let d2 = persist::import_state(&snapshot, providers, config).unwrap();
+        let st = d2.lock_all_read();
+        assert!(st
+            .iter()
+            .flat_map(|sh| sh.stripes.iter())
+            .all(|s| s.level == RaidLevel::Rs { parity: 3 }));
+        drop(st);
+        assert_eq!(high_session(&d2).get_file("f").unwrap().data, body);
     }
 
     #[test]

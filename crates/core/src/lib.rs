@@ -64,7 +64,10 @@ pub mod session;
 pub mod tables;
 pub mod vid;
 
-pub use config::{ChunkSizeSchedule, DistributorConfig, DurabilityConfig, PlacementStrategy};
+pub use config::{
+    ChunkSizeSchedule, DistributorConfig, DurabilityConfig, Geometry, GeometrySchedule,
+    PlacementStrategy,
+};
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
 pub use fragcloud_telemetry::TelemetryHandle;
@@ -171,6 +174,22 @@ pub enum CoreError {
         /// Ordinal of the crash point that fired (1-based encounter count).
         point: u64,
     },
+    /// A streaming put's source yielded a different number of bytes than
+    /// the declared length. The put is rolled back by the journal like any
+    /// other failed operation.
+    StreamLengthMismatch {
+        /// Length the caller declared.
+        declared: u64,
+        /// Bytes the source actually produced (may be a lower bound when
+        /// the mismatch was detected before draining the source).
+        read: u64,
+    },
+    /// Reading from a streaming put's source failed.
+    StreamIo {
+        /// The underlying I/O error, stringified (keeps `CoreError`
+        /// `Clone + PartialEq`).
+        why: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -216,6 +235,12 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::SimulatedCrash { point } => {
                 write!(f, "simulated crash at point {point}")
+            }
+            CoreError::StreamLengthMismatch { declared, read } => {
+                write!(f, "stream declared {declared} bytes but produced {read}")
+            }
+            CoreError::StreamIo { why } => {
+                write!(f, "stream read failed: {why}")
             }
         }
     }

@@ -83,20 +83,21 @@ fn bad(line_no: usize, why: &str) -> CoreError {
     }
 }
 
-fn raid_tag(l: RaidLevel) -> &'static str {
-    match l {
-        RaidLevel::None => "none",
-        RaidLevel::Raid5 => "raid5",
-        RaidLevel::Raid6 => "raid6",
-    }
-}
-
+// The stripe-row level tag is `RaidLevel`'s `Display` form: `none`,
+// `raid5`, `raid6`, or `rs<m>` for general RS(k,m) geometries. The default
+// levels keep their historical tags, so snapshots written before RS landed
+// parse unchanged (and vice versa for parity ≤ 2).
 fn parse_raid(s: &str, line_no: usize) -> Result<RaidLevel> {
     match s {
         "none" => Ok(RaidLevel::None),
         "raid5" => Ok(RaidLevel::Raid5),
         "raid6" => Ok(RaidLevel::Raid6),
-        other => Err(bad(line_no, &format!("unknown raid level {other:?}"))),
+        other => match other.strip_prefix("rs").and_then(|m| m.parse::<u8>().ok()) {
+            // Canonicalize: `rs1`/`rs2` written by hand map back onto the
+            // dedicated codes, matching `RaidLevel::for_parity_shards`.
+            Some(m) if m > 0 => Ok(RaidLevel::for_parity_shards(m as usize)),
+            _ => Err(bad(line_no, &format!("unknown raid level {other:?}"))),
+        },
     }
 }
 
@@ -235,7 +236,7 @@ pub(crate) fn parse_chunk_fields(f: &[&str], line_no: usize) -> Result<ChunkEntr
 /// `k|level|width|members|health`.
 pub(crate) fn stripe_row_into(out: &mut String, s: &StripeInfo) {
     use std::fmt::Write as _;
-    let _ = write!(out, "{}|{}|{}|", s.k, raid_tag(s.level), s.shard_width);
+    let _ = write!(out, "{}|{}|{}|", s.k, s.level, s.shard_width);
     push_list(out, s.members.iter());
     out.push('|');
     out.push_str(if s.degraded { "degraded" } else { "healthy" });

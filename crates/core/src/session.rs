@@ -181,6 +181,31 @@ impl<'d> Session<'d> {
         )
     }
 
+    /// Uploads a file from a [`Read`](std::io::Read) source of declared
+    /// length without ever buffering it whole: peak memory is bounded by
+    /// the pipeline window, and the resulting provider state is
+    /// byte-identical to [`put_file`](Self::put_file) with the same bytes.
+    /// A source that yields more or fewer bytes than `len` fails the put
+    /// with [`crate::CoreError::StreamLengthMismatch`].
+    pub fn put_stream(
+        &self,
+        filename: &str,
+        reader: &mut dyn std::io::Read,
+        len: usize,
+        pl: PrivacyLevel,
+        opts: PutOptions,
+    ) -> Result<PutReceipt> {
+        self.distributor.put_stream_impl(
+            self.credentials.client(),
+            self.credentials.password(),
+            filename,
+            reader,
+            len,
+            pl,
+            opts,
+        )
+    }
+
     /// Fetches and reassembles a whole file (§VI `get file`) through the
     /// degraded-mode read path.
     pub fn get_file(&self, filename: &str) -> Result<GetReceipt> {

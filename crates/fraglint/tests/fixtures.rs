@@ -23,6 +23,18 @@ const CASES: &[(&str, &str, &str)] = &[
     ("no-print-in-lib", "print_bad.rs", "print_good.rs"),
     ("histogram-units", "histogram_bad.rs", "histogram_good.rs"),
     ("provider-boundary", "boundary_bad.rs", "boundary_good.rs"),
+    // The rs/streaming put path: the same two boundaries hold for the
+    // general-geometry store loop and the streaming buffer metrics.
+    (
+        "histogram-units",
+        "histogram_stream_bad.rs",
+        "histogram_stream_good.rs",
+    ),
+    (
+        "provider-boundary",
+        "boundary_stream_bad.rs",
+        "boundary_stream_good.rs",
+    ),
 ];
 
 fn tree_root() -> std::path::PathBuf {

@@ -1,0 +1,6 @@
+//! Fixture: a streaming-put store path writing an RS shard straight to
+//! a provider, skipping the distributor's placement check.
+
+pub fn store_rs_shard(providers: &[CloudProvider], idx: usize, vid: u64, shard: Bytes) {
+    providers[idx].put(vid, shard);
+}

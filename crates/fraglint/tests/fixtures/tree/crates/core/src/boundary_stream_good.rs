@@ -1,0 +1,6 @@
+//! Fixture: the streaming put hands each encoded stripe to the
+//! distributor, which owns placement and the PL >= chunk-PL check.
+
+pub fn store_rs_stripe(d: &CloudDataDistributor, stripe: Vec<(u64, Bytes)>) -> Result<()> {
+    d.store_stripe(stripe)
+}

@@ -1,0 +1,5 @@
+//! Fixture: streaming-put peak-buffer gauge recorded without a unit.
+
+pub fn record_stream(tel: &fragcloud_telemetry::TelemetryHandle, peak: u64) {
+    tel.observe("put_stream_peak_buffer", peak);
+}

@@ -1,0 +1,7 @@
+//! Fixture: the rs/streaming metrics carry their units — bytes for the
+//! buffer high-water mark, microseconds for the per-geometry put walls.
+
+pub fn record_stream(tel: &fragcloud_telemetry::TelemetryHandle, peak: u64, wall: u64) {
+    tel.observe("put_stream_peak_buffer_bytes", peak);
+    tel.observe_labeled("rs_put_wall_us", "k8m3", wall);
+}

@@ -1,0 +1,259 @@
+//! Exact LU decomposition over an arbitrary [`Field`].
+//!
+//! The f64 [`Lu`](crate::lu::Lu) uses scaled partial pivoting and an
+//! epsilon singularity test — both meaningless in a finite field, where
+//! every nonzero element is a perfectly good pivot and "numerically
+//! singular" does not exist. This module provides the algebraic twin:
+//! Doolittle LU with first-nonzero pivoting and an exact zero-pivot
+//! singularity test, generic over any type implementing [`Field`].
+//!
+//! The erasure-coding crate uses it to invert the surviving-row submatrix
+//! of a systematic Reed–Solomon generator over GF(2⁸); the tests here pin
+//! the algorithm on small prime fields where the arithmetic can be checked
+//! by hand.
+
+use crate::{LinalgError, Result};
+
+/// A (commutative) field: the operations exact LU needs, nothing more.
+///
+/// Implementations must be exact — `add`/`mul` are closed and associative,
+/// every element has an additive inverse, every *nonzero* element a
+/// multiplicative one. Floating point does **not** qualify (rounding
+/// breaks exactness); use [`crate::lu::Lu`] for f64 work.
+pub trait Field: Copy + PartialEq {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Field addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Field subtraction (`self + (-rhs)`; equals [`add`](Field::add) in
+    /// characteristic 2).
+    fn sub(self, rhs: Self) -> Self;
+    /// Field multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Multiplicative inverse of a nonzero element; `None` for zero.
+    fn inv(self) -> Option<Self>;
+}
+
+/// Exact LU decomposition `P·A = L·U` of a square matrix over a field.
+///
+/// Row-major storage; `n` may be zero (the empty system solves trivially).
+#[derive(Debug, Clone)]
+pub struct FieldLu<F: Field> {
+    /// Packed L (unit diagonal, below) and U (diagonal and above).
+    lu: Vec<F>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    n: usize,
+}
+
+impl<F: Field> FieldLu<F> {
+    /// Factorizes a square row-major matrix (`rows` of equal length `n`).
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for ragged input and
+    /// [`LinalgError::Singular`] when no nonzero pivot exists in some
+    /// column — an *exact* test, not an epsilon.
+    pub fn decompose(rows: &[Vec<F>]) -> Result<Self> {
+        let n = rows.len();
+        if rows.iter().any(|r| r.len() != n) {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("FieldLu needs an n x n matrix, n={n}"),
+            });
+        }
+        let mut lu: Vec<F> = Vec::with_capacity(n * n);
+        for r in rows {
+            lu.extend_from_slice(r);
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // First nonzero entry on or below the diagonal is the pivot —
+            // in an exact field any nonzero element works equally well.
+            let pivot_row = (col..n)
+                .find(|&r| lu[r * n + col] != F::ZERO)
+                .ok_or(LinalgError::Singular)?;
+            if pivot_row != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, pivot_row * n + j);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let pivot = lu[col * n + col];
+            // fraglint: allow(no-unwrap-in-lib) — pivot was selected nonzero.
+            let pivot_inv = pivot.inv().expect("pivot is nonzero");
+            for r in (col + 1)..n {
+                let factor = lu[r * n + col].mul(pivot_inv);
+                lu[r * n + col] = factor;
+                for j in (col + 1)..n {
+                    let sub = factor.mul(lu[col * n + j]);
+                    lu[r * n + j] = lu[r * n + j].sub(sub);
+                }
+            }
+        }
+        Ok(FieldLu { lu, perm, n })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` for one right-hand side.
+    pub fn solve(&self, b: &[F]) -> Result<Vec<F>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs length {} != n {}", b.len(), n),
+            });
+        }
+        // Forward: L·y = P·b (unit diagonal).
+        let mut x: Vec<F> = self.perm.iter().map(|&p| b[p]).collect();
+        for r in 1..n {
+            for c in 0..r {
+                let sub = self.lu[r * n + c].mul(x[c]);
+                x[r] = x[r].sub(sub);
+            }
+        }
+        // Backward: U·x = y.
+        for r in (0..n).rev() {
+            for c in (r + 1)..n {
+                let sub = self.lu[r * n + c].mul(x[c]);
+                x[r] = x[r].sub(sub);
+            }
+            let d = self.lu[r * n + r];
+            // fraglint: allow(no-unwrap-in-lib) — decompose rejected zero pivots.
+            x[r] = x[r].mul(d.inv().expect("diagonal is nonzero"));
+        }
+        Ok(x)
+    }
+
+    /// The full inverse `A⁻¹`, row-major, via `n` unit-vector solves.
+    pub fn inverse(&self) -> Result<Vec<Vec<F>>> {
+        let n = self.n;
+        let mut cols: Vec<Vec<F>> = Vec::with_capacity(n);
+        let mut e = vec![F::ZERO; n];
+        for i in 0..n {
+            e[i] = F::ONE;
+            cols.push(self.solve(&e)?);
+            e[i] = F::ZERO;
+        }
+        // cols[i] is the i-th *column* of the inverse; transpose into rows.
+        let mut out = vec![vec![F::ZERO; n]; n];
+        for (i, col) in cols.iter().enumerate() {
+            for (r, &v) in col.iter().enumerate() {
+                out[r][i] = v;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// GF(7): small enough to check against hand arithmetic, prime so
+    /// every nonzero element is invertible.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct F7(u8);
+
+    impl Field for F7 {
+        const ZERO: Self = F7(0);
+        const ONE: Self = F7(1);
+        fn add(self, rhs: Self) -> Self {
+            F7((self.0 + rhs.0) % 7)
+        }
+        fn sub(self, rhs: Self) -> Self {
+            F7((self.0 + 7 - rhs.0) % 7)
+        }
+        fn mul(self, rhs: Self) -> Self {
+            F7((self.0 * rhs.0) % 7)
+        }
+        fn inv(self) -> Option<Self> {
+            (1..7).map(F7).find(|&x| self.mul(x) == Self::ONE)
+        }
+    }
+
+    fn mat(rows: &[&[u8]]) -> Vec<Vec<F7>> {
+        rows.iter()
+            .map(|r| r.iter().map(|&v| F7(v)).collect())
+            .collect()
+    }
+
+    fn matmul(a: &[Vec<F7>], b: &[Vec<F7>]) -> Vec<Vec<F7>> {
+        let n = a.len();
+        let mut out = vec![vec![F7::ZERO; n]; n];
+        for r in 0..n {
+            for c in 0..n {
+                for i in 0..n {
+                    out[r][c] = out[r][c].add(a[r][i].mul(b[i][c]));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn solve_known_system_mod_7() {
+        // [2 1; 1 3] x = [5; 4]  (mod 7) → x = (2·3−1)⁻¹ … check by mult.
+        let a = mat(&[&[2, 1], &[1, 3]]);
+        let lu = FieldLu::decompose(&a).unwrap();
+        let x = lu.solve(&[F7(5), F7(4)]).unwrap();
+        // Verify A·x = b exactly.
+        for (r, &want) in [F7(5), F7(4)].iter().enumerate() {
+            let got = a[r][0].mul(x[0]).add(a[r][1].mul(x[1]));
+            assert_eq!(got, want, "row {r}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
+    fn inverse_times_matrix_is_identity() {
+        let a = mat(&[&[1, 2, 3], &[4, 5, 6], &[6, 6, 1]]);
+        let lu = FieldLu::decompose(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let prod = matmul(&inv, &a);
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = if r == c { F7::ONE } else { F7::ZERO };
+                assert_eq!(prod[r][c], want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // a[0][0] = 0 forces a row swap; the matrix is still invertible.
+        let a = mat(&[&[0, 1], &[1, 0]]);
+        let lu = FieldLu::decompose(&a).unwrap();
+        let x = lu.solve(&[F7(3), F7(5)]).unwrap();
+        assert_eq!(x, vec![F7(5), F7(3)]);
+    }
+
+    #[test]
+    fn singular_matrix_rejected_exactly() {
+        // Row 1 = 2 × row 0 (mod 7) — rank 1.
+        let a = mat(&[&[1, 3], &[2, 6]]);
+        assert_eq!(FieldLu::decompose(&a).unwrap_err(), LinalgError::Singular);
+        // The all-zero matrix too.
+        let z = mat(&[&[0, 0], &[0, 0]]);
+        assert_eq!(FieldLu::decompose(&z).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn ragged_input_rejected() {
+        let a = vec![vec![F7(1), F7(2)], vec![F7(3)]];
+        assert!(matches!(
+            FieldLu::decompose(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        let a: Vec<Vec<F7>> = vec![];
+        let lu = FieldLu::decompose(&a).unwrap();
+        assert_eq!(lu.solve(&[]).unwrap(), vec![]);
+        assert!(lu.inverse().unwrap().is_empty());
+    }
+}

@@ -8,6 +8,8 @@
 //! attack experiments:
 //!
 //! - LU with partial pivoting ([`lu::Lu`]) — general linear solves,
+//! - exact LU over arbitrary fields ([`field::FieldLu`]) — used by the
+//!   erasure-coding layer to invert Reed–Solomon submatrices in GF(2⁸),
 //! - Householder QR ([`qr::Qr`]) — numerically stable least squares,
 //! - Cholesky ([`cholesky::Cholesky`]) — SPD solves (normal equations),
 //! - ordinary least squares ([`lstsq::ols`]) with fit diagnostics (R²),
@@ -19,12 +21,14 @@
 //! (see `fragcloud-bench`, experiment E2).
 
 pub mod cholesky;
+pub mod field;
 pub mod lstsq;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod stats;
 
+pub use field::{Field, FieldLu};
 pub use lstsq::{ols, OlsFit};
 pub use matrix::Matrix;
 

@@ -53,6 +53,7 @@ pub(crate) fn xor_acc(acc: &mut [u8], data: &[u8]) {
 /// the field over GF(2), `c·b = lo[b & 0xF] ⊕ hi[b » 4]` for every byte
 /// `b`. Thirty-two bytes total, so both tables stay resident in L1 for the
 /// whole slice walk.
+#[derive(Debug)]
 pub(crate) struct NibbleTables {
     lo: [u8; 16],
     hi: [u8; 16],

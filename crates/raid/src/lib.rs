@@ -14,6 +14,11 @@
 //! - [`raid5`] — single-parity XOR striping (tolerates one lost provider),
 //! - [`raid6`] — P+Q Reed–Solomon striping (tolerates any two lost
 //!   providers),
+//! - [`rs`] — general RS(k, m) striping with a systematic
+//!   Vandermonde/Cauchy matrix and cached split-nibble kernel tables
+//!   (tolerates any `m` lost providers),
+//! - [`geometry`] — the shared [`geometry::check_geometry`] validation all
+//!   codecs funnel through,
 //! - [`stripe`] — a level-agnostic [`stripe::StripeCodec`] facade used by the
 //!   distributor.
 //!
@@ -24,12 +29,16 @@
 //! [`gf256::mul_acc_scalar`], [`gf256::mul_slice_scalar`]) so tests and
 //! benches can pin the wide kernels against them.
 
+pub mod geometry;
 pub mod gf256;
 mod kernel;
 pub mod raid5;
 pub mod raid6;
+pub mod rs;
 pub mod stripe;
 
+pub use geometry::check_geometry;
+pub use rs::RsCodec;
 pub use stripe::{RaidLevel, StripeCodec};
 
 /// Errors produced by the erasure-coding layer.

@@ -4,24 +4,22 @@
 //! missing shard (data or parity) can be reconstructed. The paper uses this
 //! as the default assurance level for distributed chunks (§IV-A).
 
+use crate::geometry::{check_equal_lengths, check_geometry, check_within_width};
 use crate::kernel;
-use crate::{RaidError, Result};
+use crate::Result;
 
 /// Computes the parity shard for a slice of equal-length data shards
 /// through the u64 word-wide XOR kernel ([`parity_scalar`] is the
 /// byte-at-a-time reference).
 ///
-/// Returns [`RaidError::BadGeometry`] for an empty input and
-/// [`RaidError::ShardLengthMismatch`] when lengths differ.
+/// Returns [`RaidError::BadGeometry`](crate::RaidError::BadGeometry) for an
+/// empty input and
+/// [`RaidError::ShardLengthMismatch`](crate::RaidError::ShardLengthMismatch)
+/// when lengths differ.
 pub fn parity(shards: &[&[u8]]) -> Result<Vec<u8>> {
-    let first = shards.first().ok_or_else(|| RaidError::BadGeometry {
-        detail: "RAID-5 needs at least one data shard".into(),
-    })?;
-    let len = first.len();
-    if shards.iter().any(|s| s.len() != len) {
-        return Err(RaidError::ShardLengthMismatch);
-    }
-    let mut p = first.to_vec();
+    check_geometry(shards.len(), 1)?;
+    check_equal_lengths(shards)?;
+    let mut p = shards[0].to_vec();
     for s in &shards[1..] {
         kernel::xor_acc(&mut p, s);
     }
@@ -33,13 +31,8 @@ pub fn parity(shards: &[&[u8]]) -> Result<Vec<u8>> {
 /// shard. Kept for proptests and benches that pin the wide kernel
 /// against it.
 pub fn parity_scalar(shards: &[&[u8]]) -> Result<Vec<u8>> {
-    let first = shards.first().ok_or_else(|| RaidError::BadGeometry {
-        detail: "RAID-5 needs at least one data shard".into(),
-    })?;
-    let len = first.len();
-    if shards.iter().any(|s| s.len() != len) {
-        return Err(RaidError::ShardLengthMismatch);
-    }
+    check_geometry(shards.len(), 1)?;
+    let len = check_equal_lengths(shards)?;
     let mut p = vec![0u8; len];
     for idx in 0..len {
         let mut b = 0u8;
@@ -56,8 +49,8 @@ pub fn parity_scalar(shards: &[&[u8]]) -> Result<Vec<u8>> {
 /// nothing to the XOR. Lets stripe encoders skip materializing padded
 /// copies of the final (short) shard.
 ///
-/// Returns [`RaidError::BadGeometry`] for an empty input or when a shard
-/// exceeds `width`.
+/// Returns [`RaidError::BadGeometry`](crate::RaidError::BadGeometry) for an
+/// empty input or when a shard exceeds `width`.
 pub fn parity_padded(shards: &[&[u8]], width: usize) -> Result<Vec<u8>> {
     let mut p = Vec::new();
     parity_padded_into(shards, width, &mut p)?;
@@ -68,16 +61,8 @@ pub fn parity_padded(shards: &[&[u8]], width: usize) -> Result<Vec<u8>> {
 /// resized to `width`), so pipelined encoders can recycle parity
 /// allocations across stripes.
 pub fn parity_padded_into(shards: &[&[u8]], width: usize, out: &mut Vec<u8>) -> Result<()> {
-    if shards.is_empty() {
-        return Err(RaidError::BadGeometry {
-            detail: "RAID-5 needs at least one data shard".into(),
-        });
-    }
-    if shards.iter().any(|s| s.len() > width) {
-        return Err(RaidError::BadGeometry {
-            detail: format!("shard longer than stripe width {width}"),
-        });
-    }
+    check_geometry(shards.len(), 1)?;
+    check_within_width(shards, width)?;
     out.clear();
     out.resize(width, 0);
     for s in shards {
@@ -105,6 +90,7 @@ pub fn verify(shards: &[&[u8]], parity_shard: &[u8]) -> Result<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RaidError;
 
     #[test]
     fn parity_of_single_shard_is_shard() {

@@ -10,6 +10,7 @@
 //! in GF(2⁸). The paper selects this level "in case of higher assurance"
 //! (§IV-A).
 
+use crate::geometry::{check_equal_lengths, check_geometry, check_within_width};
 use crate::gf256;
 use crate::kernel;
 use crate::{RaidError, Result};
@@ -24,22 +25,12 @@ pub struct Parity {
 }
 
 /// Maximum number of data shards (coefficients `gⁱ` must stay distinct).
-pub const MAX_DATA_SHARDS: usize = 255;
+pub const MAX_DATA_SHARDS: usize = crate::geometry::MAX_POWER_DATA_SHARDS;
 
 /// Computes P and Q parity for the given data shards.
 pub fn parity(shards: &[&[u8]]) -> Result<Parity> {
-    let first = shards.first().ok_or_else(|| RaidError::BadGeometry {
-        detail: "RAID-6 needs at least one data shard".into(),
-    })?;
-    if shards.len() > MAX_DATA_SHARDS {
-        return Err(RaidError::BadGeometry {
-            detail: format!("RAID-6 supports at most {MAX_DATA_SHARDS} data shards"),
-        });
-    }
-    let len = first.len();
-    if shards.iter().any(|s| s.len() != len) {
-        return Err(RaidError::ShardLengthMismatch);
-    }
+    check_geometry(shards.len(), 2)?;
+    let len = check_equal_lengths(shards)?;
     let mut p = vec![0u8; len];
     let mut q = vec![0u8; len];
     for (i, s) in shards.iter().enumerate() {
@@ -72,21 +63,8 @@ pub fn parity_padded_into(
     p: &mut Vec<u8>,
     q: &mut Vec<u8>,
 ) -> Result<()> {
-    if shards.is_empty() {
-        return Err(RaidError::BadGeometry {
-            detail: "RAID-6 needs at least one data shard".into(),
-        });
-    }
-    if shards.len() > MAX_DATA_SHARDS {
-        return Err(RaidError::BadGeometry {
-            detail: format!("RAID-6 supports at most {MAX_DATA_SHARDS} data shards"),
-        });
-    }
-    if shards.iter().any(|s| s.len() > width) {
-        return Err(RaidError::BadGeometry {
-            detail: format!("shard longer than stripe width {width}"),
-        });
-    }
+    check_geometry(shards.len(), 2)?;
+    check_within_width(shards, width)?;
     p.clear();
     p.resize(width, 0);
     q.clear();
@@ -124,23 +102,14 @@ pub struct Shard<'a> {
 /// `k` is the stripe's data-shard count; `survivors` may contain data
 /// shards, P and Q in any order. At most two members may be missing.
 pub fn reconstruct(k: usize, survivors: &[Shard<'_>]) -> Result<Vec<Vec<u8>>> {
-    if k == 0 || k > MAX_DATA_SHARDS {
-        return Err(RaidError::BadGeometry {
-            detail: format!("invalid data shard count {k}"),
+    check_geometry(k, 2)?;
+    if survivors.is_empty() {
+        return Err(RaidError::TooManyErasures {
+            missing: k + 2,
+            tolerable: 2,
         });
     }
-    let len = match survivors.first() {
-        Some(s) => s.data.len(),
-        None => {
-            return Err(RaidError::TooManyErasures {
-                missing: k + 2,
-                tolerable: 2,
-            })
-        }
-    };
-    if survivors.iter().any(|s| s.data.len() != len) {
-        return Err(RaidError::ShardLengthMismatch);
-    }
+    check_equal_lengths(&survivors.iter().map(|s| s.data).collect::<Vec<_>>())?;
 
     let mut data: Vec<Option<Vec<u8>>> = vec![None; k];
     let mut p: Option<Vec<u8>> = None;

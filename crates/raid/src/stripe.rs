@@ -5,10 +5,12 @@
 //! [`RaidLevel`], and can rebuild the original blob from any sufficient
 //! subset of shards.
 
-use crate::{raid5, raid6, RaidError, Result};
+use crate::geometry::check_geometry;
+use crate::{raid5, raid6, rs, RaidError, Result};
 use fragcloud_telemetry::TelemetryHandle;
 
-/// Assurance level for a stripe, mirroring the paper's §IV-A choices.
+/// Assurance level for a stripe, mirroring the paper's §IV-A choices plus
+/// the general RS(k, m) geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RaidLevel {
     /// No parity: all shards are required to read (maximum fragmentation,
@@ -19,6 +21,14 @@ pub enum RaidLevel {
     /// P+Q Reed–Solomon parity; tolerates two lost providers. Paper's
     /// "higher assurance" choice.
     Raid6,
+    /// General Reed–Solomon with `parity` parity shards; tolerates any
+    /// `parity` lost providers. `Rs { parity: 1 }` produces byte-identical
+    /// parity to [`Raid5`](RaidLevel::Raid5), `Rs { parity: 2 }` to
+    /// [`Raid6`](RaidLevel::Raid6).
+    Rs {
+        /// Number of parity shards (`m`).
+        parity: u8,
+    },
 }
 
 impl RaidLevel {
@@ -28,12 +38,25 @@ impl RaidLevel {
             RaidLevel::None => 0,
             RaidLevel::Raid5 => 1,
             RaidLevel::Raid6 => 2,
+            RaidLevel::Rs { parity } => parity as usize,
         }
     }
 
     /// Number of shard losses the level tolerates.
     pub fn fault_tolerance(self) -> usize {
         self.parity_shards()
+    }
+
+    /// The level for a given parity-shard count, canonicalizing the small
+    /// geometries onto the dedicated codes: 0 → `None`, 1 → `Raid5`,
+    /// 2 → `Raid6`, m ≥ 3 → `Rs { parity: m }`.
+    pub fn for_parity_shards(m: usize) -> Self {
+        match m {
+            0 => RaidLevel::None,
+            1 => RaidLevel::Raid5,
+            2 => RaidLevel::Raid6,
+            m => RaidLevel::Rs { parity: m as u8 },
+        }
     }
 }
 
@@ -43,6 +66,7 @@ impl std::fmt::Display for RaidLevel {
             RaidLevel::None => write!(f, "none"),
             RaidLevel::Raid5 => write!(f, "raid5"),
             RaidLevel::Raid6 => write!(f, "raid6"),
+            RaidLevel::Rs { parity } => write!(f, "rs{parity}"),
         }
     }
 }
@@ -70,21 +94,11 @@ pub struct StripeCodec {
 }
 
 impl StripeCodec {
-    /// Creates a codec; `data_shards` must be ≥ 1 (and ≤ 255 for RAID-6).
+    /// Creates a codec; the `(data_shards, parity_shards)` pair must pass
+    /// the shared [`check_geometry`] validation (`data_shards ≥ 1`,
+    /// field-size caps per parity count).
     pub fn new(data_shards: usize, level: RaidLevel) -> Result<Self> {
-        if data_shards == 0 {
-            return Err(RaidError::BadGeometry {
-                detail: "data_shards must be >= 1".into(),
-            });
-        }
-        if level == RaidLevel::Raid6 && data_shards > raid6::MAX_DATA_SHARDS {
-            return Err(RaidError::BadGeometry {
-                detail: format!(
-                    "RAID-6 supports at most {} data shards",
-                    raid6::MAX_DATA_SHARDS
-                ),
-            });
-        }
+        check_geometry(data_shards, level.parity_shards())?;
         Ok(StripeCodec { data_shards, level })
     }
 
@@ -120,6 +134,10 @@ impl StripeCodec {
                 let pq = raid6::parity(&data_refs)?;
                 shards.push(pq.p);
                 shards.push(pq.q);
+            }
+            RaidLevel::Rs { parity } => {
+                let codec = rs::RsCodec::new(k, parity as usize)?;
+                shards.extend(codec.parity(&data_refs)?);
             }
         }
         Ok(EncodedStripe {
@@ -232,6 +250,10 @@ impl StripeCodec {
                         .collect();
                     raid6::reconstruct(k, &survivors)?
                 }
+                RaidLevel::Rs { parity } => {
+                    let codec = rs::RsCodec::new(k, parity as usize)?;
+                    codec.reconstruct(available)?
+                }
             }
         };
 
@@ -303,6 +325,10 @@ impl StripeCodec {
             (RaidLevel::Raid5, 0) => raid5::parity(&data),
             (RaidLevel::Raid6, 0) => Ok(raid6::parity(&data)?.p),
             (RaidLevel::Raid6, 1) => Ok(raid6::parity(&data)?.q),
+            (RaidLevel::Rs { parity }, r) if r < parity as usize => {
+                let codec = rs::RsCodec::new(k, parity as usize)?;
+                Ok(codec.parity(&data)?.swap_remove(r))
+            }
             _ => Err(RaidError::BadGeometry {
                 detail: format!("level {} has no parity shard {target}", self.level),
             }),
@@ -493,7 +519,57 @@ mod tests {
         assert_eq!(RaidLevel::None.parity_shards(), 0);
         assert_eq!(RaidLevel::Raid5.parity_shards(), 1);
         assert_eq!(RaidLevel::Raid6.parity_shards(), 2);
+        assert_eq!(RaidLevel::Rs { parity: 4 }.parity_shards(), 4);
         assert_eq!(format!("{}", RaidLevel::Raid6), "raid6");
+        assert_eq!(format!("{}", RaidLevel::Rs { parity: 3 }), "rs3");
+    }
+
+    #[test]
+    fn for_parity_shards_canonicalizes_small_geometries() {
+        assert_eq!(RaidLevel::for_parity_shards(0), RaidLevel::None);
+        assert_eq!(RaidLevel::for_parity_shards(1), RaidLevel::Raid5);
+        assert_eq!(RaidLevel::for_parity_shards(2), RaidLevel::Raid6);
+        assert_eq!(
+            RaidLevel::for_parity_shards(3),
+            RaidLevel::Rs { parity: 3 }
+        );
+    }
+
+    #[test]
+    fn rs_level_roundtrip_and_loss_tolerance() {
+        let level = RaidLevel::Rs { parity: 3 };
+        let codec = StripeCodec::new(4, level).unwrap();
+        assert_eq!(codec.total_shards(), 7);
+        let b = blob(123);
+        let enc = codec.encode(&b).unwrap();
+        assert_eq!(enc.shards.len(), 7);
+        // Any 3 losses decode; shown here by dropping 3 spread-out shards.
+        let a: Vec<(usize, &[u8])> = avail(&enc)
+            .into_iter()
+            .filter(|(i, _)| *i != 0 && *i != 3 && *i != 5)
+            .collect();
+        assert_eq!(codec.decode(&a, 123).unwrap(), b);
+        // Four losses do not.
+        let short: Vec<(usize, &[u8])> = avail(&enc)
+            .into_iter()
+            .filter(|(i, _)| *i > 3)
+            .collect();
+        assert!(matches!(
+            codec.decode(&short, 123),
+            Err(RaidError::TooManyErasures { .. })
+        ));
+        // reconstruct_shard covers data and every parity row.
+        for lost in 0..codec.total_shards() {
+            let a: Vec<(usize, &[u8])> = avail(&enc)
+                .into_iter()
+                .filter(|(i, _)| *i != lost)
+                .collect();
+            assert_eq!(
+                codec.reconstruct_shard(&a, lost).unwrap(),
+                enc.shards[lost],
+                "lost={lost}"
+            );
+        }
     }
 
     #[test]

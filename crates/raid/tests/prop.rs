@@ -1,6 +1,6 @@
 //! Property tests for the erasure-coding layer.
 
-use fragcloud_raid::{gf256, raid5, raid6, RaidLevel, StripeCodec};
+use fragcloud_raid::{gf256, raid5, raid6, RaidLevel, RsCodec, StripeCodec};
 use proptest::prelude::*;
 
 proptest! {
@@ -192,6 +192,104 @@ proptest! {
         let pq_full = raid6::parity(&full_refs).expect("full");
         prop_assert_eq!(pq_padded.p, pq_full.p);
         prop_assert_eq!(pq_padded.q, pq_full.q);
+    }
+
+    /// RS(k, m) round-trip under an arbitrary erasure pattern of up to m
+    /// losses: shard widths are arbitrary (including zero and sub-word
+    /// tails) and the shards are viewed through a misaligned sub-slice so
+    /// the SIMD kernels cross word boundaries off-base.
+    #[test]
+    fn rs_roundtrips_any_erasure_pattern_up_to_m(
+        k in 1usize..10,
+        m in 1usize..5,
+        width in 0usize..130,
+        offset in 0usize..8,
+        loss_seed in any::<u64>(),
+        fill in any::<u8>(),
+    ) {
+        let shards: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                (0..width)
+                    .map(|b| (b as u8).wrapping_mul(31).wrapping_add(i as u8) ^ fill)
+                    .collect()
+            })
+            .collect();
+        let off = offset.min(width);
+        let refs: Vec<&[u8]> = shards.iter().map(|s| &s[off..]).collect();
+        let codec = RsCodec::new(k, m).expect("valid geometry");
+        let parity = codec.parity(&refs).expect("encode");
+        prop_assert_eq!(&parity, &codec.parity_scalar(&refs).expect("scalar"));
+
+        // Erase up to m members chosen by the seed (possibly fewer when
+        // the seed picks duplicates — any pattern ≤ m must decode).
+        let total = k + m;
+        let mut lost = std::collections::HashSet::new();
+        let mut s = loss_seed;
+        for _ in 0..m {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lost.insert((s >> 33) as usize % total);
+        }
+        let avail: Vec<(usize, &[u8])> = refs
+            .iter()
+            .copied()
+            .chain(parity.iter().map(|p| p.as_slice()))
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .collect();
+        let rec = codec.reconstruct(&avail).expect("within tolerance");
+        prop_assert_eq!(rec, refs.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+    }
+
+    /// Equivalence: RS(k, 1) parity is byte-identical to RAID-5, and
+    /// RS(k, 2) to RAID-6's P and Q — so a stripe written under the
+    /// dedicated levels decodes under the matrix codec and vice versa.
+    #[test]
+    fn rs_small_m_matches_dedicated_codes(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..100),
+            1..8,
+        ),
+    ) {
+        let width = data.iter().map(Vec::len).max().unwrap_or(0);
+        let shards: Vec<Vec<u8>> = data
+            .into_iter()
+            .map(|mut s| {
+                s.resize(width, 0);
+                s
+            })
+            .collect();
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let k = refs.len();
+
+        let rs1 = RsCodec::new(k, 1).expect("geometry").parity(&refs).expect("rs1");
+        prop_assert_eq!(&rs1[0], &raid5::parity(&refs).expect("raid5"));
+
+        let rs2 = RsCodec::new(k, 2).expect("geometry").parity(&refs).expect("rs2");
+        let pq = raid6::parity(&refs).expect("raid6");
+        prop_assert_eq!(&rs2[0], &pq.p);
+        prop_assert_eq!(&rs2[1], &pq.q);
+    }
+
+    /// The stripe facade's Rs level round-trips arbitrary blobs like the
+    /// dedicated levels do.
+    #[test]
+    fn codec_roundtrip_rs_levels(
+        blob in proptest::collection::vec(any::<u8>(), 0..1024),
+        k in 1usize..8,
+        m in 3usize..6,
+    ) {
+        let codec = StripeCodec::new(k, RaidLevel::Rs { parity: m as u8 })
+            .expect("valid geometry");
+        let enc = codec.encode(&blob).expect("encode");
+        prop_assert_eq!(enc.shards.len(), k + m);
+        let avail: Vec<(usize, &[u8])> = enc
+            .shards
+            .iter()
+            .enumerate()
+            .skip(m) // lose the first m members — worst case for data loss
+            .map(|(i, s)| (i, s.as_slice()))
+            .collect();
+        prop_assert_eq!(codec.decode(&avail, blob.len()).expect("decode"), blob.clone());
     }
 
     /// Parity is linear: P(a ⊕ b) = P(a) ⊕ P(b) over same-width shard sets.

@@ -9,13 +9,22 @@
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply clonable, immutable contiguous byte buffer.
+/// A cheaply clonable, immutable contiguous byte buffer — a shared
+/// storage block plus an `(off, len)` window into it, so [`Bytes::slice`]
+/// can hand out zero-copy sub-views exactly like the real crate.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn whole(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes { data, off: 0, len }
+    }
+
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Bytes::default()
@@ -24,56 +33,78 @@ impl Bytes {
     /// Wraps a static slice without copying ownership semantics the caller
     /// can observe (the shim copies once into shared storage).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::whole(Arc::from(bytes))
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::whole(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The contents as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Zero-copy sub-view: shares the same storage, no bytes move.
+    ///
+    /// # Panics
+    /// Panics when the range falls outside `0..=self.len()` (matching the
+    /// real crate).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "Bytes::slice: start {start} > end {end}");
+        assert!(end <= self.len, "Bytes::slice: end {end} > len {}", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes::whole(v.into())
     }
 }
 
@@ -85,21 +116,19 @@ impl From<&[u8]> for Bytes {
 
 impl From<Bytes> for Vec<u8> {
     fn from(b: Bytes) -> Self {
-        b.data.to_vec()
+        b.as_slice().to_vec()
     }
 }
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
-        Bytes {
-            data: iter.into_iter().collect::<Vec<u8>>().into(),
-        }
+        Bytes::whole(iter.into_iter().collect::<Vec<u8>>().into())
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -107,37 +136,37 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self.as_slice() == *other
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter().take(32) {
+        for &b in self.as_slice().iter().take(32) {
             for c in std::ascii::escape_default(b) {
                 write!(f, "{}", c as char)?;
             }
         }
-        if self.data.len() > 32 {
+        if self.len() > 32 {
             write!(f, "…")?;
         }
         write!(f, "\"")
@@ -165,5 +194,31 @@ mod tests {
         let b = Bytes::from_static(b"hello");
         assert_eq!(b, b"hello"[..]);
         assert_eq!(b.to_vec(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(s.as_slice(), &[2, 3, 4, 5]);
+        assert_eq!(s.len(), 4);
+        // Pointer identity: the view reads the parent's storage.
+        assert_eq!(s.as_ptr() as usize, b.as_ptr() as usize + 2);
+        // Nested slices compose offsets.
+        let n = s.slice(1..=2);
+        assert_eq!(n.as_slice(), &[3, 4]);
+        assert_eq!(n.as_ptr() as usize, b.as_ptr() as usize + 3);
+        // Full/empty ranges behave.
+        assert_eq!(b.slice(..), b);
+        assert!(b.slice(4..4).is_empty());
+        let v: Vec<u8> = s.into();
+        assert_eq!(v, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bytes::slice")]
+    fn slice_out_of_range_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
     }
 }
