@@ -103,6 +103,11 @@ impl ClientSideDistributor {
                 .clone();
             let provider = &self.providers[&owner];
             let vid = self.vids.allocate();
+            // Paper §IV-C client-side variant: privacy comes from
+            // fragmentation + per-PL Chord dispersal alone (one chunk per
+            // provider); mislead injection is the server-side
+            // distributor's defense, deliberately absent here.
+            // fraglint: allow(plaintext-escape) — §IV-C dispersal-only design, no mislead layer by construction
             provider.put(vid, Bytes::from(chunk.clone()))?;
             local.push(LocalChunk {
                 vid,

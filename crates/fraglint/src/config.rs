@@ -1,21 +1,31 @@
-//! `fraglint.toml` — checked-in path-level exemptions.
+//! `fraglint.toml` — checked-in exemptions and the taint lattice.
 //!
 //! The registry is unreachable in this build environment, so instead of a
 //! TOML crate this module hand-rolls a parser for exactly the subset the
-//! config uses: `[[exempt]]` array-of-tables entries whose values are
-//! double-quoted strings.
+//! config uses: array-of-tables entries whose values are double-quoted
+//! strings.
 //!
 //! ```toml
 //! [[exempt]]
 //! rule = "no-wall-clock"
 //! path = "crates/bench/"
 //! reason = "benchmarks measure wall time by definition"
+//!
+//! [[sanitizer]]
+//! fn = "crypto::ChaCha20::encrypt"
+//! note = "keystream confidentiality (ROADMAP item 3)"
 //! ```
 //!
 //! `path` is a workspace-root-relative prefix: a trailing `/` exempts a
 //! whole directory, otherwise one file. `rule` may be `*` to exempt a
 //! path from every rule. `reason` is mandatory — an exemption nobody can
 //! justify should not exist.
+//!
+//! `[[source]]`, `[[sanitizer]]` and `[[sink]]` entries extend the
+//! built-in lattice of the `plaintext-escape` analysis (see
+//! [`crate::taint`]): `fn` is a `::`-separated path suffix matched
+//! against call sites and fn definitions; `note` records why the entry
+//! belongs in the lattice.
 
 /// One path-level exemption from `fraglint.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,40 +38,102 @@ pub struct Exemption {
     pub reason: String,
 }
 
+/// Role a declared function plays in the plaintext-escape lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintRole {
+    /// Client payload enters here.
+    Source,
+    /// Passing through renders the bytes safe for providers.
+    Sanitizer,
+    /// Bytes handed here reach a provider.
+    Sink,
+}
+
+/// One `[[source]]`/`[[sanitizer]]`/`[[sink]]` lattice entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintDecl {
+    pub role: TaintRole,
+    /// `::`-separated fn path suffix, e.g. `mislead::inject`.
+    pub fn_path: String,
+    /// Why this entry is in the lattice (optional but encouraged).
+    pub note: String,
+}
+
 /// Parsed configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Path-level exemptions, in file order.
     pub exemptions: Vec<Exemption>,
+    /// Declared taint-lattice extensions, in file order.
+    pub taint: Vec<TaintDecl>,
 }
 
 impl Config {
     /// True when `rule` is exempt for the file at workspace-relative
     /// `path` (always `/`-separated, no leading `./`).
     pub fn is_exempt(&self, rule: &str, path: &str) -> bool {
-        self.exemptions.iter().any(|e| {
+        self.exemption_for(rule, path).is_some()
+    }
+
+    /// Index of the first exemption covering `(rule, path)`, so the
+    /// engine can track which entries actually matched a finding.
+    pub fn exemption_for(&self, rule: &str, path: &str) -> Option<usize> {
+        self.exemptions.iter().position(|e| {
             (e.rule == "*" || e.rule == rule)
                 && (path == e.path || (e.path.ends_with('/') && path.starts_with(&e.path)))
         })
     }
+
+    /// Declared fn paths for one lattice role.
+    pub fn taint_paths(&self, role: TaintRole) -> impl Iterator<Item = &str> {
+        self.taint
+            .iter()
+            .filter(move |d| d.role == role)
+            .map(|d| d.fn_path.as_str())
+    }
+}
+
+/// Pending entry while parsing: which table it is, plus its keys.
+enum Entry {
+    Exempt {
+        rule: Option<String>,
+        path: Option<String>,
+        reason: Option<String>,
+    },
+    Taint {
+        role: TaintRole,
+        fn_path: Option<String>,
+        note: Option<String>,
+    },
 }
 
 /// Parses the config text. Unknown keys and malformed entries are hard
 /// errors: a lint gate with a silently ignored config is worse than no
 /// gate at all.
 pub fn parse(text: &str) -> Result<Config, String> {
-    let mut exemptions = Vec::new();
-    let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+    let mut cfg = Config::default();
+    let mut current: Option<Entry> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
-        if line == "[[exempt]]" {
+        let table = match line {
+            "[[exempt]]" => Some(Entry::Exempt {
+                rule: None,
+                path: None,
+                reason: None,
+            }),
+            "[[source]]" => Some(taint_entry(TaintRole::Source)),
+            "[[sanitizer]]" => Some(taint_entry(TaintRole::Sanitizer)),
+            "[[sink]]" => Some(taint_entry(TaintRole::Sink)),
+            _ => None,
+        };
+        if let Some(next) = table {
             if let Some(entry) = current.take() {
-                exemptions.push(finish(entry, lineno)?);
+                finish(entry, lineno, &mut cfg)?;
             }
-            current = Some((None, None, None));
+            current = Some(next);
             continue;
         }
         if line.starts_with('[') {
@@ -75,12 +147,14 @@ pub fn parse(text: &str) -> Result<Config, String> {
         })?;
         let entry = current
             .as_mut()
-            .ok_or_else(|| format!("line {}: key outside any [[exempt]] entry", lineno + 1))?;
-        let slot = match key {
-            "rule" => &mut entry.0,
-            "path" => &mut entry.1,
-            "reason" => &mut entry.2,
-            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            .ok_or_else(|| format!("line {}: key outside any [[...]] entry", lineno + 1))?;
+        let slot = match (entry, key) {
+            (Entry::Exempt { rule, .. }, "rule") => rule,
+            (Entry::Exempt { path, .. }, "path") => path,
+            (Entry::Exempt { reason, .. }, "reason") => reason,
+            (Entry::Taint { fn_path, .. }, "fn") => fn_path,
+            (Entry::Taint { note, .. }, "note") => note,
+            _ => return Err(format!("line {}: unknown key {key:?}", lineno + 1)),
         };
         if slot.is_some() {
             return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
@@ -88,20 +162,39 @@ pub fn parse(text: &str) -> Result<Config, String> {
         *slot = Some(value);
     }
     if let Some(entry) = current.take() {
-        exemptions.push(finish(entry, text.lines().count())?);
+        finish(entry, text.lines().count(), &mut cfg)?;
     }
-    Ok(Config { exemptions })
+    Ok(cfg)
 }
 
-fn finish(
-    (rule, path, reason): (Option<String>, Option<String>, Option<String>),
-    lineno: usize,
-) -> Result<Exemption, String> {
-    Ok(Exemption {
-        rule: rule.ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?,
-        path: path.ok_or_else(|| format!("entry ending at line {lineno}: missing `path`"))?,
-        reason: reason.ok_or_else(|| format!("entry ending at line {lineno}: missing `reason`"))?,
-    })
+fn taint_entry(role: TaintRole) -> Entry {
+    Entry::Taint {
+        role,
+        fn_path: None,
+        note: None,
+    }
+}
+
+fn finish(entry: Entry, lineno: usize, cfg: &mut Config) -> Result<(), String> {
+    match entry {
+        Entry::Exempt { rule, path, reason } => cfg.exemptions.push(Exemption {
+            rule: rule.ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?,
+            path: path.ok_or_else(|| format!("entry ending at line {lineno}: missing `path`"))?,
+            reason: reason
+                .ok_or_else(|| format!("entry ending at line {lineno}: missing `reason`"))?,
+        }),
+        Entry::Taint {
+            role,
+            fn_path,
+            note,
+        } => cfg.taint.push(TaintDecl {
+            role,
+            fn_path: fn_path
+                .ok_or_else(|| format!("entry ending at line {lineno}: missing `fn`"))?,
+            note: note.unwrap_or_default(),
+        }),
+    }
+    Ok(())
 }
 
 /// Strips a `#` comment, respecting `#` inside a double-quoted value.
@@ -175,6 +268,38 @@ mod tests {
         assert!(cfg.is_exempt("anything", "crates/core/src/client_side.rs"));
         // A file exemption is not a prefix for sibling files.
         assert!(!cfg.is_exempt("anything", "crates/core/src/client_side_extra.rs"));
+        // Index lookup reports which entry matched.
+        assert_eq!(
+            cfg.exemption_for("no-wall-clock", "crates/bench/src/lib.rs"),
+            Some(0)
+        );
+        assert_eq!(cfg.exemption_for("x", "crates/core/src/client_side.rs"), Some(1));
+    }
+
+    #[test]
+    fn parses_taint_lattice_entries() {
+        let cfg = parse(
+            r#"
+            [[sanitizer]]
+            fn = "crypto::ChaCha20::encrypt"
+            note = "keystream confidentiality"
+
+            [[source]]
+            fn = "ingest::slurp"
+
+            [[sink]]
+            fn = "uplink::post"
+            note = "future HTTP provider"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.taint.len(), 3);
+        let sans: Vec<&str> = cfg.taint_paths(TaintRole::Sanitizer).collect();
+        assert_eq!(sans, vec!["crypto::ChaCha20::encrypt"]);
+        let sources: Vec<&str> = cfg.taint_paths(TaintRole::Source).collect();
+        assert_eq!(sources, vec!["ingest::slurp"]);
+        let sinks: Vec<&str> = cfg.taint_paths(TaintRole::Sink).collect();
+        assert_eq!(sinks, vec!["uplink::post"]);
     }
 
     #[test]
@@ -185,12 +310,15 @@ mod tests {
         assert!(parse("[exempt]\n").is_err()); // wrong table syntax
         assert!(parse("[[exempt]]\nrule = bare\n").is_err()); // unquoted value
         assert!(parse("[[exempt]]\nrule = \"a\"\nrule = \"b\"\n").is_err()); // dup key
+        assert!(parse("[[sanitizer]]\nnote = \"n\"\n").is_err()); // missing fn
+        assert!(parse("[[source]]\nrule = \"r\"\n").is_err()); // wrong key for table
     }
 
     #[test]
     fn empty_config_is_fine() {
         let cfg = parse("# nothing here\n").unwrap();
         assert!(cfg.exemptions.is_empty());
+        assert!(cfg.taint.is_empty());
         assert!(!cfg.is_exempt("r", "any/path.rs"));
     }
 }

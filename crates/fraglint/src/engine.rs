@@ -1,8 +1,19 @@
-//! File walking, test-code classification, waivers, and rule dispatch.
+//! File walking, rule dispatch, the workspace semantic pass, and
+//! suppression bookkeeping.
+//!
+//! A scan has two layers. Token rules run per file, exactly as before.
+//! The semantic analyses ([`crate::taint`]) run once over the whole
+//! workspace — they need every file's call graph at once — and their
+//! findings are filtered through the same waiver/exemption machinery.
+//! Every waiver and `[[exempt]]` entry is usage-tracked: one that
+//! matched zero findings becomes a [`Warning`] (exit 0 by default,
+//! gating under `--strict-waivers`), so dead suppressions can't
+//! accumulate and silently widen the holes in the gate.
 
 use crate::config::Config;
 use crate::rules::{self, RULES};
-use crate::tokenizer::{tokenize, Token};
+use crate::symbols::{FileModel, Workspace};
+use crate::taint;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -19,11 +30,27 @@ pub struct Violation {
     pub message: String,
 }
 
+/// A non-gating observation about the scan itself — today, suppressions
+/// that no longer suppress anything.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    /// File the warning is about (`fraglint.toml` for config entries).
+    pub path: String,
+    /// Line for inline waivers; `None` for config-level warnings.
+    pub line: Option<u32>,
+    pub message: String,
+}
+
 /// Outcome of a full workspace scan.
 #[derive(Debug, Default)]
 pub struct ScanReport {
     /// All violations, sorted by path then line.
     pub violations: Vec<Violation>,
+    /// Violations matched by a `--baseline` file: reported, not gating.
+    /// Empty unless the caller applied a baseline (see `main`).
+    pub baselined: Vec<Violation>,
+    /// Unused-suppression (and similar) warnings.
+    pub warnings: Vec<Warning>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
@@ -33,19 +60,176 @@ pub fn scan(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = ScanReport::default();
+    let mut models = Vec::with_capacity(files.len());
     for rel in files {
         let text = std::fs::read_to_string(root.join(&rel))?;
         let rel_slash = rel.to_string_lossy().replace('\\', "/");
-        report
-            .violations
-            .extend(scan_source(&rel_slash, &text, config));
-        report.files_scanned += 1;
+        models.push(FileModel::build(&rel_slash, &text));
     }
+    let mut report = scan_models(&models, config);
+    // Exemptions pointing at paths that no longer exist can never match
+    // a finding again; surface them even before the unused check.
+    for e in &config.exemptions {
+        let on_disk = root.join(e.path.trim_end_matches('/'));
+        if !on_disk.exists() {
+            report.warnings.push(Warning {
+                path: "fraglint.toml".into(),
+                line: None,
+                message: format!(
+                    "[[exempt]] rule = {:?}, path = {:?}: path does not exist on disk; \
+                     delete the stale entry",
+                    e.rule, e.path
+                ),
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Scans an in-memory file set (paths workspace-relative). This is the
+/// core everything else wraps; tests use it to scan file subsets and
+/// deliberate mutations without touching the filesystem walk.
+pub fn scan_files(files: &[(String, String)], config: &Config) -> ScanReport {
+    let models: Vec<FileModel> = files
+        .iter()
+        .map(|(rel, text)| FileModel::build(rel, text))
+        .collect();
+    scan_models(&models, config)
+}
+
+/// Scans one file's source text. Public so the fixture tests can drive
+/// the engine on individual files without touching the filesystem walk.
+/// The file is treated as a one-file workspace: interprocedural
+/// analyses still run, with resolution confined to the file itself.
+pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Vec<Violation> {
+    let models = vec![FileModel::build(rel_path, text)];
+    scan_models(&models, config).violations
+}
+
+fn scan_models(models: &[FileModel], config: &Config) -> ScanReport {
+    let mut report = ScanReport {
+        files_scanned: models.len(),
+        ..ScanReport::default()
+    };
+    // Usage tracking: waivers per (file, waiver index), exemptions by
+    // config index.
+    let mut used_waivers: Vec<BTreeSet<usize>> = models.iter().map(|_| BTreeSet::new()).collect();
+    let mut used_exemptions: BTreeSet<usize> = BTreeSet::new();
+
+    // Layer 1: token rules, per file.
+    for (fi, m) in models.iter().enumerate() {
+        for rule in RULES {
+            if !rules::in_scope(rule.id, &m.rel_path) {
+                continue;
+            }
+            if m.is_test_path && !rule.applies_to_tests {
+                continue;
+            }
+            for hit in rules::run_rule(rule.id, &m.tokens, &m.code) {
+                if !rule.applies_to_tests && m.test_lines.contains(&hit.line) {
+                    continue;
+                }
+                file_violation(
+                    &mut report,
+                    &mut used_waivers[fi],
+                    &mut used_exemptions,
+                    config,
+                    m,
+                    rule.id,
+                    hit.line,
+                    hit.message,
+                );
+            }
+        }
+    }
+
+    // Layer 2: the interprocedural analyses, once per workspace.
+    let ws = Workspace::new(models);
+    for hit in taint::analyze(&ws, &taint::specs(config)) {
+        let m = &models[hit.file];
+        if m.is_test_path || m.test_lines.contains(&hit.line) {
+            continue;
+        }
+        if !rules::in_scope(hit.rule, &m.rel_path) {
+            continue;
+        }
+        file_violation(
+            &mut report,
+            &mut used_waivers[hit.file],
+            &mut used_exemptions,
+            config,
+            m,
+            hit.rule,
+            hit.line,
+            hit.message,
+        );
+    }
+
+    // Unused suppressions become warnings.
+    for (fi, m) in models.iter().enumerate() {
+        for (wi, w) in m.waivers.iter().enumerate() {
+            if !used_waivers[fi].contains(&wi) {
+                report.warnings.push(Warning {
+                    path: m.rel_path.clone(),
+                    line: Some(w.comment_line),
+                    message: format!(
+                        "unused waiver `fraglint: allow({})`: it matched no finding \
+                         this run; delete it or fix the rule list",
+                        w.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    for (ei, e) in config.exemptions.iter().enumerate() {
+        if !used_exemptions.contains(&ei) {
+            report.warnings.push(Warning {
+                path: "fraglint.toml".into(),
+                line: None,
+                message: format!(
+                    "unused [[exempt]] entry (rule = {:?}, path = {:?}): it matched \
+                     no finding this run; delete it or narrow it",
+                    e.rule, e.path
+                ),
+            });
+        }
+    }
+
     report
         .violations
         .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    report
+        .warnings
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+}
+
+/// Routes one raw hit through waivers and exemptions, recording usage.
+#[allow(clippy::too_many_arguments)]
+fn file_violation(
+    report: &mut ScanReport,
+    used_waivers: &mut BTreeSet<usize>,
+    used_exemptions: &mut BTreeSet<usize>,
+    config: &Config,
+    m: &FileModel,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if let Some(wi) = m.waiver_covering(rule, line) {
+        used_waivers.insert(wi);
+        return;
+    }
+    if let Some(ei) = config.exemption_for(rule, &m.rel_path) {
+        used_exemptions.insert(ei);
+        return;
+    }
+    report.violations.push(Violation {
+        rule,
+        path: m.rel_path.clone(),
+        line,
+        message,
+    });
 }
 
 /// Directories never scanned: build output, vendored shims, VCS metadata
@@ -76,208 +260,6 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
         }
     }
     Ok(())
-}
-
-/// Scans one file's source text. Public so the fixture tests can drive
-/// the engine on individual files without touching the filesystem walk.
-pub fn scan_source(rel_path: &str, text: &str, config: &Config) -> Vec<Violation> {
-    let tokens = tokenize(text);
-    let code: Vec<usize> = (0..tokens.len())
-        .filter(|&i| !tokens[i].is_comment())
-        .collect();
-    let test_lines = test_line_spans(&tokens, &code);
-    let path_is_test = is_test_path(rel_path);
-    let waivers = collect_waivers(&tokens, &code);
-
-    let mut out = Vec::new();
-    for rule in RULES {
-        if !rules::in_scope(rule.id, rel_path) || config.is_exempt(rule.id, rel_path) {
-            continue;
-        }
-        if path_is_test && !rule.applies_to_tests {
-            continue;
-        }
-        for hit in rules::run_rule(rule.id, &tokens, &code) {
-            if !rule.applies_to_tests && test_lines.contains(&hit.line) {
-                continue;
-            }
-            if waivers.iter().any(|w| w.covers(rule.id, hit.line)) {
-                continue;
-            }
-            out.push(Violation {
-                rule: rule.id,
-                path: rel_path.to_string(),
-                line: hit.line,
-                message: hit.message,
-            });
-        }
-    }
-    out
-}
-
-/// Test-only compilation targets by path convention: integration tests,
-/// benches, examples, and generated fixture corpora.
-fn is_test_path(rel_path: &str) -> bool {
-    let parts: Vec<&str> = rel_path.split('/').collect();
-    parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples")
-}
-
-/// Lines covered by `#[cfg(test)]` items (usually `mod tests { … }`):
-/// from the attribute through the matching close of the item's brace
-/// block, or through the terminating `;` for brace-less items.
-fn test_line_spans(tokens: &[Token], code: &[usize]) -> BTreeSet<u32> {
-    let mut lines = BTreeSet::new();
-    let mut i = 0usize;
-    while i < code.len() {
-        if let Some(after_attr) = match_cfg_test_attr(tokens, code, i) {
-            let start_line = tokens[code[i]].line;
-            if let Some(end_line) = item_end_line(tokens, code, after_attr) {
-                for l in start_line..=end_line {
-                    lines.insert(l);
-                }
-                i = after_attr;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    lines
-}
-
-/// If code tokens at `i` begin `#[cfg(test)]`-style attribute (any
-/// `cfg(...)` whose predicate mentions `test`), returns the code index
-/// just past the attribute's closing `]`.
-fn match_cfg_test_attr(tokens: &[Token], code: &[usize], i: usize) -> Option<usize> {
-    if !tokens[*code.get(i)?].is_punct('#') {
-        return None;
-    }
-    let mut j = i + 1;
-    // Optional `!` for inner attributes.
-    if tokens[*code.get(j)?].is_punct('!') {
-        j += 1;
-    }
-    if !tokens[*code.get(j)?].is_punct('[') {
-        return None;
-    }
-    if !tokens[*code.get(j + 1)?].is_ident("cfg") {
-        return None;
-    }
-    // Scan to the attribute's closing `]`, noting whether `test` appears.
-    let mut depth = 1usize; // the `[` we consumed
-    let mut saw_test = false;
-    let mut k = j + 1;
-    while depth > 0 {
-        k += 1;
-        let t = &tokens[*code.get(k)?];
-        if t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(']') {
-            depth -= 1;
-        } else if t.is_ident("test") {
-            saw_test = true;
-        }
-    }
-    saw_test.then_some(k + 1)
-}
-
-/// Line where the item starting at code index `start` ends: the
-/// matching `}` of its first top-level brace block, or the `;` that
-/// terminates a brace-less item. Nested delimiters are tracked so `;`
-/// and `{` inside parameter lists or array types don't confuse it.
-fn item_end_line(tokens: &[Token], code: &[usize], start: usize) -> Option<u32> {
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    let mut j = start;
-    // Find the opening `{` or terminating `;` at top level.
-    loop {
-        let t = &tokens[*code.get(j)?];
-        match t.text.as_str() {
-            "(" => paren += 1,
-            ")" => paren -= 1,
-            "[" => bracket += 1,
-            "]" => bracket -= 1,
-            ";" if paren == 0 && bracket == 0 => return Some(t.line),
-            "{" if paren == 0 && bracket == 0 => break,
-            _ => {}
-        }
-        j += 1;
-    }
-    let mut depth = 0usize;
-    loop {
-        let t = &tokens[*code.get(j)?];
-        if t.is_punct('{') {
-            depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return Some(t.line);
-            }
-        }
-        j += 1;
-    }
-}
-
-/// An inline waiver parsed from a `// fraglint: allow(rule-a, rule-b)`
-/// comment (an optional `— reason` tail is encouraged and ignored).
-#[derive(Debug)]
-struct Waiver {
-    rules: Vec<String>,
-    /// The comment's own line (covers trailing-comment usage).
-    comment_line: u32,
-    /// For a standalone comment line: the next line holding code.
-    applies_line: Option<u32>,
-}
-
-impl Waiver {
-    fn covers(&self, rule_id: &str, line: u32) -> bool {
-        self.rules.iter().any(|r| r == rule_id || r == "*")
-            && (line == self.comment_line || Some(line) == self.applies_line)
-    }
-}
-
-fn collect_waivers(tokens: &[Token], code: &[usize]) -> Vec<Waiver> {
-    let mut code_lines = BTreeSet::new();
-    for &ci in code {
-        code_lines.insert(tokens[ci].line);
-    }
-    let mut out = Vec::new();
-    for t in tokens {
-        if !t.is_comment() {
-            continue;
-        }
-        let Some(rules) = parse_waiver(&t.text) else {
-            continue;
-        };
-        // Standalone comment (no code on its own line): the waiver
-        // covers the next code-bearing line.
-        let applies_line = if code_lines.contains(&t.line) {
-            None
-        } else {
-            code_lines.range(t.line + 1..).next().copied()
-        };
-        out.push(Waiver {
-            rules,
-            comment_line: t.line,
-            applies_line,
-        });
-    }
-    out
-}
-
-/// Extracts rule ids from `fraglint: allow(a, b)` inside comment text.
-fn parse_waiver(comment: &str) -> Option<Vec<String>> {
-    let at = comment.find("fraglint:")?;
-    let rest = &comment[at + "fraglint:".len()..];
-    let rest = rest.trim_start();
-    let rest = rest.strip_prefix("allow")?.trim_start();
-    let rest = rest.strip_prefix('(')?;
-    let end = rest.find(')')?;
-    let ids: Vec<String> = rest[..end]
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
-    (!ids.is_empty()).then_some(ids)
 }
 
 #[cfg(test)]
@@ -363,5 +345,61 @@ mod tests {
     fn cfg_test_on_single_item_without_braces() {
         let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap(); }\n";
         assert_eq!(scan_str("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn semantic_analyses_run_through_scan_source() {
+        let src = "impl D {\n    fn put_file_impl(&self, d: &[u8]) {\n        \
+                   self.put_with_retry(st, 0, vid, d);\n    }\n}\n";
+        let v = scan_str("crates/core/src/d.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "plaintext-escape");
+        // A waiver silences the semantic finding like any token finding.
+        let waived = src.replace(
+            "        self.put_with_retry",
+            "        // fraglint: allow(plaintext-escape) — fixture\n        self.put_with_retry",
+        );
+        assert!(scan_str("crates/core/src/d.rs", &waived).is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_and_exemption_warn() {
+        let cfg = crate::config::parse(
+            "[[exempt]]\nrule = \"no-print-in-lib\"\npath = \"crates/core/src/quiet.rs\"\n\
+             reason = \"never fires\"\n",
+        )
+        .unwrap();
+        let files = vec![(
+            "crates/core/src/a.rs".to_string(),
+            "// fraglint: allow(no-unwrap-in-lib) — stale\nfn f() {}\n".to_string(),
+        )];
+        let report = scan_files(&files, &cfg);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+        assert!(report.warnings[0].message.contains("unused waiver"));
+        assert_eq!(report.warnings[0].line, Some(1));
+        assert!(report.warnings[1].message.contains("unused [[exempt]]"));
+    }
+
+    #[test]
+    fn used_suppressions_do_not_warn() {
+        let cfg = crate::config::parse(
+            "[[exempt]]\nrule = \"no-wall-clock\"\npath = \"crates/core/src/t.rs\"\n\
+             reason = \"timing\"\n",
+        )
+        .unwrap();
+        let files = vec![
+            (
+                "crates/core/src/t.rs".to_string(),
+                "fn f() { let t = Instant::now(); }\n".to_string(),
+            ),
+            (
+                "crates/core/src/a.rs".to_string(),
+                "fn f() { x.unwrap(); } // fraglint: allow(no-unwrap-in-lib) — held\n".to_string(),
+            ),
+        ];
+        let report = scan_files(&files, &cfg);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
     }
 }

@@ -9,16 +9,30 @@
 //! the PL ≥ chunk-PL placement check can never be bypassed. fraglint
 //! turns those from tribal knowledge into a CI gate.
 //!
+//! Since this PR, fraglint is a semantic analysis engine, not just a
+//! token matcher. On top of the tokenizer sit an item-level parser
+//! ([`parse`]), a workspace symbol table ([`symbols`]), a call graph
+//! with token-order call sites ([`callgraph`]), and an interprocedural
+//! flow engine ([`taint`]) that powers three analyses: the
+//! `plaintext-escape` taint proof (client bytes must cross
+//! `mislead::inject` or a declared sanitizer before any provider sink), the
+//! `lock-order` shard-lock discipline, and the `journal-ordering`
+//! alloc/doom-before-I/O crash-consistency check.
+//!
 //! The crate is deliberately dependency-free (the build environment has
 //! no registry access): [`tokenizer`] is a small comment/string-aware
-//! Rust lexer, [`rules`] holds the seven token-pattern matchers,
-//! [`engine`] walks the workspace and applies waivers and exemptions,
-//! [`config`] reads `fraglint.toml`, and [`report`] renders the table
-//! and JSON outputs.
+//! Rust lexer, [`rules`] holds the token-pattern matchers, [`engine`]
+//! walks the workspace, runs both layers, and applies waivers and
+//! exemptions (tracking which suppressions still earn their keep),
+//! [`config`] reads `fraglint.toml` including the declared
+//! source/sanitizer/sink lattice, and [`report`] renders the table and
+//! JSON outputs plus the committed-baseline format.
 //!
 //! ```text
 //! cargo run -p fraglint -- check            # human-readable table
 //! cargo run -p fraglint -- check --format json
+//! cargo run -p fraglint -- check --baseline fraglint-baseline.json --strict-waivers
+//! cargo run -p fraglint -- selftest         # fixture corpus, both polarities
 //! cargo run -p fraglint -- rules            # what is enforced, and why
 //! ```
 //!
@@ -29,12 +43,19 @@
 //! ```
 //!
 //! Waive a whole path (with a mandatory reason) in `fraglint.toml`.
+//! Unused waivers and exemptions are reported as warnings — and fail
+//! the run under `--strict-waivers` — so suppressions cannot outlive
+//! the findings that justified them.
 
+pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod tokenizer;
 
 pub use config::Config;
-pub use engine::{scan, scan_source, ScanReport, Violation};
+pub use engine::{scan, scan_files, scan_source, ScanReport, Violation, Warning};

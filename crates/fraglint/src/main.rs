@@ -12,19 +12,29 @@ fraglint — fragcloud workspace invariant linter
 
 USAGE:
     fraglint check [--root DIR] [--config FILE] [--format table|json] [--output FILE]
+                   [--baseline FILE] [--write-baseline FILE] [--strict-waivers]
+    fraglint selftest [--fixtures DIR]
     fraglint rules
 
 OPTIONS:
-    --root DIR       workspace root to scan (default: .)
-    --config FILE    exemption file (default: <root>/fraglint.toml if present)
-    --format FMT     stdout format: table (default) or json
-    --output FILE    additionally write the JSON report to FILE
+    --root DIR             workspace root to scan (default: .)
+    --config FILE          exemption file (default: <root>/fraglint.toml if present)
+    --format FMT           stdout format: table (default) or json
+    --output FILE          additionally write the JSON report to FILE
+    --baseline FILE        known findings (rule+file pairs); matches are reported
+                           but do not gate, so only *new* findings fail CI
+    --write-baseline FILE  write the current findings as a baseline and exit 0
+    --strict-waivers       exit 1 when any waiver or [[exempt]] entry matched
+                           no finding (default: warn only)
+    --fixtures DIR         fixture tree for selftest
+                           (default: crates/fraglint/tests/fixtures/tree)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("selftest") => selftest(&args[1..]),
         Some("rules") => {
             print!("{}", fraglint::report::render_rules());
             ExitCode::SUCCESS
@@ -45,6 +55,9 @@ fn check(args: &[String]) -> ExitCode {
     let mut config_path: Option<PathBuf> = None;
     let mut format = "table".to_string();
     let mut output: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut strict_waivers = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -57,6 +70,14 @@ fn check(args: &[String]) -> ExitCode {
             "--config" => take("--config").map(|v| config_path = Some(PathBuf::from(v))),
             "--format" => take("--format").map(|v| format = v),
             "--output" => take("--output").map(|v| output = Some(PathBuf::from(v))),
+            "--baseline" => take("--baseline").map(|v| baseline = Some(PathBuf::from(v))),
+            "--write-baseline" => {
+                take("--write-baseline").map(|v| write_baseline = Some(PathBuf::from(v)))
+            }
+            "--strict-waivers" => {
+                strict_waivers = true;
+                Ok(())
+            }
             other => Err(format!("fraglint: unknown option {other:?}\n\n{USAGE}")),
         };
         if let Err(e) = result {
@@ -85,13 +106,42 @@ fn check(args: &[String]) -> ExitCode {
         fraglint::Config::default()
     };
 
-    let report = match fraglint::scan(&root, &config) {
+    let mut report = match fraglint::scan(&root, &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fraglint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = write_baseline {
+        let text = fraglint::report::render_baseline(&report);
+        let n = report.violations.len();
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("fraglint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "fraglint: wrote baseline {} ({n} finding(s)); commit it and future \
+             runs gate only on new findings",
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &baseline {
+        let entries = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| fraglint::report::parse_baseline(&text))
+        {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("fraglint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        apply_baseline(&mut report, &entries);
+    }
 
     if let Some(path) = output {
         if let Err(e) = std::fs::write(&path, fraglint::report::render_json(&report)) {
@@ -103,9 +153,159 @@ fn check(args: &[String]) -> ExitCode {
         "json" => println!("{}", fraglint::report::render_json(&report)),
         _ => print!("{}", fraglint::report::render_table(&report)),
     }
-    if report.violations.is_empty() {
+    if !report.violations.is_empty() {
+        return ExitCode::from(1);
+    }
+    if strict_waivers && !report.warnings.is_empty() {
+        eprintln!(
+            "fraglint: --strict-waivers: {} unused-suppression warning(s) gate the run",
+            report.warnings.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Moves violations matching a baseline `(rule, file)` entry into the
+/// report's non-gating `baselined` list. Entries that matched nothing
+/// become warnings — a healed baseline should shrink, not linger.
+fn apply_baseline(report: &mut fraglint::ScanReport, entries: &[(String, String)]) {
+    let mut used = vec![false; entries.len()];
+    let mut gating = Vec::new();
+    for v in report.violations.drain(..) {
+        match entries
+            .iter()
+            .position(|(rule, file)| *rule == v.rule && *file == v.path)
+        {
+            Some(i) => {
+                used[i] = true;
+                report.baselined.push(v);
+            }
+            None => gating.push(v),
+        }
+    }
+    report.violations = gating;
+    for (i, (rule, file)) in entries.iter().enumerate() {
+        if !used[i] {
+            report.warnings.push(fraglint::engine::Warning {
+                path: "fraglint-baseline.json".into(),
+                line: None,
+                message: format!(
+                    "baseline entry (rule = {rule:?}, file = {file:?}) matched no \
+                     finding; the debt is paid — delete the entry"
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the engine against its own fixture corpus in both polarities:
+/// every `*_bad.rs` fixture must fire (only the rule named by its
+/// `// fraglint-fixture: <rule>` header), every `*_good.rs` fixture
+/// must stay clean. This catches engine regressions even when the main
+/// tree is clean.
+fn selftest(args: &[String]) -> ExitCode {
+    let mut fixtures = PathBuf::from("crates/fraglint/tests/fixtures/tree");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fixtures" => match it.next() {
+                Some(v) => fixtures = PathBuf::from(v),
+                None => {
+                    eprintln!("fraglint: --fixtures needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("fraglint: unknown option {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match fraglint::scan(&fixtures, &fraglint::Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fraglint: scan failed under {}: {e}", fixtures.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut bad = 0usize;
+    let mut good = 0usize;
+    let mut failures = Vec::new();
+    let src_dir = fixtures.join("crates/core/src");
+    let entries = match std::fs::read_dir(&src_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("fraglint: cannot read {}: {e}", src_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let hits: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.path.ends_with(&name))
+            .collect();
+        if name.ends_with("_bad.rs") {
+            bad += 1;
+            let text = std::fs::read_to_string(entry.path()).unwrap_or_default();
+            let Some(expected) = fixture_rule(&text) else {
+                failures.push(format!(
+                    "{name}: bad fixture lacks a `// fraglint-fixture: <rule>` header"
+                ));
+                continue;
+            };
+            if hits.is_empty() {
+                failures.push(format!("{name}: expected {expected} to fire, got nothing"));
+            }
+            for v in &hits {
+                if v.rule != expected {
+                    failures.push(format!(
+                        "{name}: unexpected rule {} at line {} (expected only {expected})",
+                        v.rule, v.line
+                    ));
+                }
+            }
+        } else if name.ends_with("_good.rs") {
+            good += 1;
+            for v in &hits {
+                failures.push(format!(
+                    "{name}: good fixture fired {} at line {}: {}",
+                    v.rule, v.line, v.message
+                ));
+            }
+        }
+    }
+
+    if bad == 0 || good == 0 {
+        failures.push(format!(
+            "fixture corpus too small: {bad} bad / {good} good fixtures under {}",
+            src_dir.display()
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "fraglint selftest OK: {bad} bad fixture(s) fired, {good} good fixture(s) clean"
+        );
         ExitCode::SUCCESS
     } else {
+        for f in &failures {
+            eprintln!("fraglint selftest: {f}");
+        }
+        eprintln!("fraglint selftest: {} failure(s)", failures.len());
         ExitCode::from(1)
     }
+}
+
+/// Extracts the rule id from a `// fraglint-fixture: <rule>` header.
+fn fixture_rule(text: &str) -> Option<&str> {
+    for line in text.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// fraglint-fixture:") {
+            return Some(rest.trim());
+        }
+    }
+    None
 }

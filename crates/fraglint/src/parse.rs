@@ -1,0 +1,373 @@
+//! Item-level parsing on top of the tokenizer.
+//!
+//! fraglint's semantic analyses need to know *which function* a token
+//! belongs to and what that function is called, workspace-wide. This
+//! module extracts exactly that: `fn` items with their qualified paths
+//! (file module path + inline `mod` nesting + surrounding `impl` type)
+//! and the code-token range of their bodies. It is deliberately not a
+//! full Rust parser — generics, where-clauses, and attributes are
+//! skipped over, not modeled — which is all the call-graph layer needs.
+
+use crate::tokenizer::{TokKind, Token};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Qualified path segments: file module path, inline `mod`s, the
+    /// `impl` type (if any), then the name. E.g. the buffered put in
+    /// `crates/core/src/distributor.rs` parses as
+    /// `["core", "distributor", "CloudDataDistributor", "put_file_impl"]`.
+    pub qual: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-index range (half-open, into the file's `code` slice) of the
+    /// body between its braces. `None` for body-less declarations
+    /// (trait method signatures, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Module path segments derived from a workspace-relative file path:
+/// `crates/core/src/mislead.rs` → `["core", "mislead"]`;
+/// `src/lib.rs` → `[]`; `tests/it.rs` → `["it"]`.
+pub fn module_segments(rel_path: &str) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    // Crate name from `crates/<name>/...`.
+    if parts.len() >= 2 && parts[0] == "crates" {
+        segs.push(parts[1].to_string());
+    }
+    // Everything after a `src` component is module structure.
+    let after_src = parts
+        .iter()
+        .position(|p| *p == "src")
+        .map(|i| &parts[i + 1..])
+        .unwrap_or_else(|| {
+            // tests/benches/examples: keep only the stem.
+            parts.last().map(std::slice::from_ref).unwrap_or(&[])
+        });
+    for p in after_src {
+        let stem = p.strip_suffix(".rs").unwrap_or(p);
+        if !matches!(stem, "lib" | "mod" | "main") && !stem.is_empty() {
+            segs.push(stem.to_string());
+        }
+    }
+    segs
+}
+
+/// Scope-stack frame: every `{` pushes one; named frames (inline mods,
+/// impl blocks) also pushed a path segment that pops with them.
+#[derive(Debug)]
+struct Frame {
+    named: bool,
+}
+
+/// Parses all `fn` items in a file. `code` holds the indices of
+/// non-comment tokens, exactly as the rule engine computes them.
+pub fn parse_items(rel_path: &str, tokens: &[Token], code: &[usize]) -> Vec<FnItem> {
+    let mut names = module_segments(rel_path);
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &tokens[code[i]];
+        match t.text.as_str() {
+            "{" => {
+                frames.push(Frame { named: false });
+                i += 1;
+            }
+            "}" => {
+                if let Some(f) = frames.pop() {
+                    if f.named {
+                        names.pop();
+                    }
+                }
+                i += 1;
+            }
+            "mod" if is_kw(tokens, code, i, "mod") => {
+                // `mod name {` opens a named scope; `mod name;` does not.
+                match (code.get(i + 1), code.get(i + 2)) {
+                    (Some(&n), Some(&b))
+                        if tokens[n].kind == TokKind::Ident && tokens[b].is_punct('{') =>
+                    {
+                        names.push(tokens[n].text.clone());
+                        frames.push(Frame { named: true });
+                        i += 3;
+                    }
+                    _ => i += 1,
+                }
+            }
+            "impl" if is_kw(tokens, code, i, "impl") => {
+                match impl_header(tokens, code, i) {
+                    Some((ty, open)) => {
+                        names.push(ty);
+                        frames.push(Frame { named: true });
+                        i = open + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            "fn" if is_kw(tokens, code, i, "fn") => {
+                match fn_item(tokens, code, i, &names) {
+                    Some((item, resume)) => {
+                        out.push(item);
+                        i = resume;
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// True when the ident at `code[i]` is the keyword itself, not a path
+/// segment or a macro fragment (e.g. `Fn` traits never lowercase, but
+/// `r#fn` raw idents and `some::fn` cannot occur; the practical filter
+/// is "not preceded by `.` or `::`").
+fn is_kw(tokens: &[Token], code: &[usize], i: usize, kw: &str) -> bool {
+    if !tokens[code[i]].is_ident(kw) {
+        return false;
+    }
+    if i == 0 {
+        return true;
+    }
+    let prev = &tokens[code[i - 1]];
+    !(prev.is_punct('.') || prev.is_punct(':'))
+}
+
+/// Parses an `impl` header starting at `code[at]`. Returns the
+/// implemented type's name and the code index of the opening `{`.
+/// `impl Trait for Type {` yields `Type`; `impl Type {` yields `Type`.
+fn impl_header(tokens: &[Token], code: &[usize], at: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut j = at + 1;
+    loop {
+        let &ti = code.get(j)?;
+        let t = &tokens[ti];
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => {
+                // Not an arrow's `>`: arrows never appear before the body.
+                angle -= 1;
+            }
+            "{" if angle <= 0 => {
+                let ty = after_for
+                    .or(first_ident)
+                    .unwrap_or_else(|| "impl".to_string());
+                return Some((ty, j));
+            }
+            ";" if angle <= 0 => return None,
+            "for" if angle <= 0 && t.kind == TokKind::Ident => saw_for = true,
+            "where" if angle <= 0 && t.kind == TokKind::Ident => {
+                // Type name is settled by now; skip to the `{`.
+            }
+            _ if t.kind == TokKind::Ident && angle <= 0 => {
+                if saw_for {
+                    if after_for.is_none() {
+                        after_for = Some(t.text.clone());
+                    }
+                } else {
+                    // Remember the *last* ident of the first path: for
+                    // `fmt::Debug for X`, the pre-`for` idents are the
+                    // trait; post-`for` wins anyway.
+                    if first_ident.is_none() || (j >= 1 && tokens[code[j - 1]].is_punct(':')) {
+                        first_ident = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns the item
+/// and the code index to resume scanning from (the body's opening `{`
+/// so nested items still parse, or just past the `;`).
+fn fn_item(
+    tokens: &[Token],
+    code: &[usize],
+    at: usize,
+    names: &[String],
+) -> Option<(FnItem, usize)> {
+    let &name_ti = code.get(at + 1)?;
+    let name_tok = &tokens[name_ti];
+    if name_tok.kind != TokKind::Ident {
+        return None; // `fn(...)` pointer type
+    }
+    let name = name_tok.text.clone();
+    let line = tokens[code[at]].line;
+    let mut qual: Vec<String> = names.to_vec();
+    qual.push(name.clone());
+
+    // Scan the signature for the body `{` or terminating `;`. Parens and
+    // brackets nest; `<`/`>` are not tracked because braces never appear
+    // inside generics in a signature (const-generic defaults excepted,
+    // which this lightweight parser accepts missing).
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = at + 2;
+    let open = loop {
+        let &ti = code.get(j)?;
+        match tokens[ti].text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => {
+                let item = FnItem {
+                    name,
+                    qual,
+                    line,
+                    body: None,
+                };
+                return Some((item, j + 1));
+            }
+            "{" if paren == 0 && bracket == 0 => break j,
+            _ => {}
+        }
+        j += 1;
+    };
+
+    // Match the body's closing brace.
+    let mut depth = 0i32;
+    let mut k = open;
+    let close = loop {
+        let &ti = code.get(k)?;
+        if tokens[ti].is_punct('{') {
+            depth += 1;
+        } else if tokens[ti].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break k;
+            }
+        }
+        k += 1;
+    };
+    let item = FnItem {
+        name,
+        qual,
+        line,
+        body: Some((open + 1, close)),
+    };
+    // Resume at the opening brace so the main walk balances frames and
+    // still sees nested `mod`/`fn` items inside the body.
+    Some((item, open))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parse(path: &str, src: &str) -> Vec<FnItem> {
+        let tokens = tokenize(src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        parse_items(path, &tokens, &code)
+    }
+
+    #[test]
+    fn module_segments_from_paths() {
+        assert_eq!(
+            module_segments("crates/core/src/mislead.rs"),
+            vec!["core", "mislead"]
+        );
+        assert_eq!(module_segments("crates/core/src/lib.rs"), vec!["core"]);
+        assert_eq!(module_segments("src/lib.rs"), Vec::<String>::new());
+        assert_eq!(
+            module_segments("crates/sim/src/net/latency.rs"),
+            vec!["sim", "net", "latency"]
+        );
+    }
+
+    #[test]
+    fn free_and_impl_fns_get_qualified_paths() {
+        let src = "
+            pub fn inject(c: &[u8]) -> Vec<u8> { c.to_vec() }
+            impl<'d> Session<'d> {
+                pub fn put_file(&self, data: &[u8]) -> Result<()> { self.inner(data) }
+            }
+            impl fmt::Debug for Distributor {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }
+            }
+        ";
+        let items = parse("crates/core/src/mislead.rs", src);
+        let quals: Vec<String> = items.iter().map(|i| i.qual.join("::")).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "core::mislead::inject",
+                "core::mislead::Session::put_file",
+                "core::mislead::Distributor::fmt",
+            ]
+        );
+        assert!(items.iter().all(|i| i.body.is_some()));
+    }
+
+    #[test]
+    fn inline_mods_nest_and_pop() {
+        let src = "
+            mod outer {
+                fn a() {}
+                mod inner { fn b() {} }
+                fn c() {}
+            }
+            fn d() {}
+        ";
+        let items = parse("crates/core/src/x.rs", src);
+        let quals: Vec<String> = items.iter().map(|i| i.qual.join("::")).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "core::x::outer::a",
+                "core::x::outer::inner::b",
+                "core::x::outer::c",
+                "core::x::d",
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let src = "pub trait Sink { fn persist(&self, batch: &str); }";
+        let items = parse("crates/core/src/j.rs", src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "persist");
+        assert!(items[0].body.is_none());
+    }
+
+    #[test]
+    fn body_ranges_cover_calls_and_nested_fns_are_found() {
+        let src = "fn outer() { helper(); fn nested() { inner(); } tail(); }";
+        let items = parse("crates/core/src/x.rs", src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[1].name, "nested");
+        let (s, e) = items[0].body.unwrap();
+        assert!(e > s);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real(cb: fn(u8) -> u8) -> u8 { cb(1) }";
+        let items = parse("crates/core/src/x.rs", src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn where_clause_and_generics_do_not_confuse_body_detection() {
+        let src = "fn g<T: Into<Vec<u8>>>(x: T) -> Vec<u8> where T: Clone { x.into() }";
+        let items = parse("crates/core/src/x.rs", src);
+        assert_eq!(items.len(), 1);
+        assert!(items[0].body.is_some());
+    }
+}

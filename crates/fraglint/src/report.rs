@@ -1,31 +1,26 @@
-//! Human-readable table and machine-readable JSON rendering.
+//! Human-readable table and machine-readable JSON rendering, plus the
+//! committed-baseline file format.
 
-use crate::engine::ScanReport;
+use crate::engine::{ScanReport, Violation};
 use crate::rules::{self, RULES};
 
 /// Renders the violations as an aligned `file:line  rule  message`
-/// table, ending with a one-line summary.
+/// table, then baselined findings and warnings, ending with a one-line
+/// summary.
 pub fn render_table(report: &ScanReport) -> String {
     let mut out = String::new();
-    if !report.violations.is_empty() {
-        let loc_w = report
-            .violations
-            .iter()
-            .map(|v| v.path.len() + 1 + digits(v.line))
-            .max()
-            .unwrap_or(0);
-        let rule_w = report
-            .violations
-            .iter()
-            .map(|v| v.rule.len())
-            .max()
-            .unwrap_or(0);
-        for v in &report.violations {
-            let loc = format!("{}:{}", v.path, v.line);
-            out.push_str(&format!(
-                "{loc:<loc_w$}  {:<rule_w$}  {}\n",
-                v.rule, v.message
-            ));
+    render_rows(&mut out, &report.violations);
+    if !report.baselined.is_empty() {
+        out.push_str("baselined (reported, not gating):\n");
+        render_rows(&mut out, &report.baselined);
+    }
+    if !report.warnings.is_empty() {
+        for w in &report.warnings {
+            let loc = match w.line {
+                Some(l) => format!("{}:{l}", w.path),
+                None => w.path.clone(),
+            };
+            out.push_str(&format!("warning  {loc}  {}\n", w.message));
         }
         out.push('\n');
     }
@@ -35,34 +30,66 @@ pub fn render_table(report: &ScanReport) -> String {
         paths.len()
     };
     out.push_str(&format!(
-        "fraglint: {} violation(s) in {} file(s); {} file(s) scanned, {} rule(s)\n",
+        "fraglint: {} violation(s) in {} file(s); {} baselined, {} warning(s); \
+         {} file(s) scanned, {} rule(s)\n",
         report.violations.len(),
         files_hit,
+        report.baselined.len(),
+        report.warnings.len(),
         report.files_scanned,
         RULES.len(),
     ));
     out
 }
 
+fn render_rows(out: &mut String, violations: &[Violation]) {
+    if violations.is_empty() {
+        return;
+    }
+    let loc_w = violations
+        .iter()
+        .map(|v| v.path.len() + 1 + digits(v.line))
+        .max()
+        .unwrap_or(0);
+    let rule_w = violations.iter().map(|v| v.rule.len()).max().unwrap_or(0);
+    for v in violations {
+        let loc = format!("{}:{}", v.path, v.line);
+        out.push_str(&format!(
+            "{loc:<loc_w$}  {:<rule_w$}  {}\n",
+            v.rule, v.message
+        ));
+    }
+    out.push('\n');
+}
+
 /// Renders the scan as a JSON document (no trailing newline).
 pub fn render_json(report: &ScanReport) -> String {
     let mut out = String::from("{\"tool\":\"fraglint\",\"violations\":[");
-    for (i, v) in report.violations.iter().enumerate() {
+    push_violations(&mut out, &report.violations);
+    out.push_str("],\"baselined\":[");
+    push_violations(&mut out, &report.baselined);
+    out.push_str("],\"warnings\":[");
+    for (i, w) in report.warnings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let line = w
+            .line
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "null".into());
         out.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
-            json_str(&v.path),
-            v.line,
-            json_str(v.rule),
-            json_str(&v.message),
+            "{{\"file\":{},\"line\":{line},\"message\":{}}}",
+            json_str(&w.path),
+            json_str(&w.message),
         ));
     }
     out.push_str(&format!(
-        "],\"files_scanned\":{},\"violation_count\":{},\"rules\":[",
+        "],\"files_scanned\":{},\"violation_count\":{},\"baselined_count\":{},\
+         \"warning_count\":{},\"rules\":[",
         report.files_scanned,
-        report.violations.len()
+        report.violations.len(),
+        report.baselined.len(),
+        report.warnings.len()
     ));
     for (i, r) in RULES.iter().enumerate() {
         if i > 0 {
@@ -77,6 +104,21 @@ pub fn render_json(report: &ScanReport) -> String {
     }
     out.push_str("]}");
     out
+}
+
+fn push_violations(out: &mut String, violations: &[Violation]) {
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&v.path),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.message),
+        ));
+    }
 }
 
 /// Renders the rule catalogue for `fraglint rules`.
@@ -99,9 +141,96 @@ pub fn render_rules() -> String {
     }
     out.push_str(
         "\nwaive one line:   // fraglint: allow(<rule>) — <reason>\n\
-         waive a path:     [[exempt]] entry in fraglint.toml (rule/path/reason)\n",
+         waive a path:     [[exempt]] entry in fraglint.toml (rule/path/reason)\n\
+         accept a debt:    check --write-baseline fraglint-baseline.json, commit it;\n\
+         \x20                 later runs gate only on findings not in the baseline\n",
     );
     out
+}
+
+/// Renders a baseline file from the report's (gating) violations:
+/// `(rule, file)` pairs, deduplicated — line numbers deliberately left
+/// out so unrelated edits above a known finding don't churn the file.
+pub fn render_baseline(report: &ScanReport) -> String {
+    let mut entries: Vec<(&str, &str)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.path.as_str()))
+        .collect();
+    entries.sort();
+    entries.dedup();
+    let mut out = String::from("{\"tool\":\"fraglint-baseline\",\"entries\":[");
+    for (i, (rule, file)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{}}}",
+            json_str(rule),
+            json_str(file)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Parses a baseline file into `(rule, file)` pairs. The parser accepts
+/// exactly the structure [`render_baseline`] writes (objects holding
+/// `"rule"` and `"file"` string values, in either order); anything else
+/// is a hard error so a corrupted baseline can't silently un-gate CI.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, String)>, String> {
+    if !text.contains("\"fraglint-baseline\"") {
+        return Err("not a fraglint baseline (missing tool tag)".into());
+    }
+    let mut entries = Vec::new();
+    let mut rule: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut pending_key: Option<String> = None;
+    let mut chars = text.char_indices().peekable();
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '"' => {
+                let mut s = String::new();
+                let mut escaped = false;
+                loop {
+                    let Some((_, c)) = chars.next() else {
+                        return Err("unterminated string".into());
+                    };
+                    if escaped {
+                        s.push(match c {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        break;
+                    } else {
+                        s.push(c);
+                    }
+                }
+                match pending_key.take() {
+                    Some(k) if k == "rule" => rule = Some(s),
+                    Some(k) if k == "file" => file = Some(s),
+                    Some(_) | None => pending_key = Some(s),
+                }
+            }
+            ':' => {} // key/value separator; pending_key already holds the key
+            '}' => {
+                if let (Some(r), Some(f)) = (rule.take(), file.take()) {
+                    entries.push((r, f));
+                }
+                pending_key = None;
+            }
+            '{' | '[' | ']' | ',' => pending_key = None,
+            c if c.is_whitespace() => {}
+            _ => {} // numbers/null never appear in baselines; ignore
+        }
+    }
+    Ok(entries)
 }
 
 fn digits(mut n: u32) -> usize {
@@ -134,7 +263,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Violation;
+    use crate::engine::{Violation, Warning};
 
     fn sample() -> ScanReport {
         ScanReport {
@@ -144,6 +273,8 @@ mod tests {
                 line: 7,
                 message: "a \"quoted\" message".into(),
             }],
+            baselined: Vec::new(),
+            warnings: Vec::new(),
             files_scanned: 3,
         }
     }
@@ -153,7 +284,29 @@ mod tests {
         let t = render_table(&sample());
         assert!(t.contains("crates/core/src/x.rs:7"));
         assert!(t.contains("no-unwrap-in-lib"));
-        assert!(t.contains("1 violation(s) in 1 file(s); 3 file(s) scanned"));
+        assert!(t.contains("1 violation(s) in 1 file(s)"));
+        assert!(t.contains("3 file(s) scanned"));
+    }
+
+    #[test]
+    fn table_shows_baselined_and_warnings() {
+        let mut r = sample();
+        r.baselined.push(Violation {
+            rule: "lock-order",
+            path: "crates/core/src/d.rs".into(),
+            line: 9,
+            message: "held across".into(),
+        });
+        r.warnings.push(Warning {
+            path: "fraglint.toml".into(),
+            line: None,
+            message: "unused [[exempt]] entry".into(),
+        });
+        let t = render_table(&r);
+        assert!(t.contains("baselined (reported, not gating):"));
+        assert!(t.contains("crates/core/src/d.rs:9"));
+        assert!(t.contains("warning  fraglint.toml  unused"));
+        assert!(t.contains("1 baselined, 1 warning(s)"));
     }
 
     #[test]
@@ -161,8 +314,39 @@ mod tests {
         let j = render_json(&sample());
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"violation_count\":1"));
+        assert!(j.contains("\"baselined_count\":0"));
+        assert!(j.contains("\"warning_count\":0"));
         assert!(j.contains("\"files_scanned\":3"));
         assert!(j.contains("\"id\":\"provider-boundary\""));
+        assert!(j.contains("\"id\":\"plaintext-escape\""));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut r = sample();
+        r.violations.push(Violation {
+            rule: "lock-order",
+            path: "crates/core/src/d.rs".into(),
+            line: 11,
+            message: "m".into(),
+        });
+        let text = render_baseline(&r);
+        let entries = parse_baseline(&text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("lock-order".to_string(), "crates/core/src/d.rs".to_string()),
+                (
+                    "no-unwrap-in-lib".to_string(),
+                    "crates/core/src/x.rs".to_string()
+                ),
+            ]
+        );
+        // An empty baseline parses to no entries.
+        let empty = render_baseline(&ScanReport::default());
+        assert!(parse_baseline(&empty).unwrap().is_empty());
+        // Garbage is rejected.
+        assert!(parse_baseline("{}").is_err());
     }
 
     #[test]
@@ -171,5 +355,6 @@ mod tests {
         for rule in RULES {
             assert!(r.contains(rule.id), "{} missing", rule.id);
         }
+        assert!(r.contains("--write-baseline"));
     }
 }

@@ -84,6 +84,30 @@ pub const RULES: &[Rule] = &[
                     PL >= chunk-PL placement check (Dev et al. SIII) cannot be bypassed",
         applies_to_tests: false,
     },
+    Rule {
+        id: "lock-order",
+        summary: "shard locks out of ascending order, or held across provider/journal I/O",
+        invariant: "the sharded tables' deadlock freedom rests on ascending-index \
+                    acquisition, and a shard lock held across provider I/O or a \
+                    journal fsync stalls every op routed to that shard",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "plaintext-escape",
+        summary: "source-tainted bytes reach a provider sink with no sanitizer on the path",
+        invariant: "the paper's core guarantee (Dev et al. SIV): client plaintext is \
+                    fragmented and mislead-injected before any single provider \
+                    stores it, so no provider-side miner sees reconstructable data",
+        applies_to_tests: false,
+    },
+    Rule {
+        id: "journal-ordering",
+        summary: "provider upload/delete not dominated by its journal alloc/doom intent",
+        invariant: "crash consistency: the intent record reaches the journal before \
+                    the provider op, so recovery can enumerate orphans and roll \
+                    half-done ops forward or back",
+        applies_to_tests: false,
+    },
 ];
 
 /// Looks a rule up by id.
@@ -154,6 +178,10 @@ pub fn run_rule(rule_id: &str, tokens: &[Token], code: &[usize]) -> Vec<Hit> {
         "no-print-in-lib" => print_in_lib(tokens, code),
         "histogram-units" => histogram_units(tokens, code),
         "provider-boundary" => provider_boundary(tokens, code),
+        "lock-order" => lock_order(tokens, code),
+        // plaintext-escape and journal-ordering are interprocedural; the
+        // engine runs them through `taint::analyze` over the whole
+        // workspace, not through the per-file matcher dispatch.
         _ => Vec::new(),
     }
 }
@@ -425,6 +453,237 @@ fn provider_boundary(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
     hits
 }
 
+/// Names that acquire a shard-table lock. `shard_read`/`shard_write`
+/// take a shard index; the `lock_all_*` pair takes none (they already
+/// lock in ascending order internally, but what they return is still a
+/// full set of held guards).
+const SHARD_LOCK_FNS: &[&str] = &["shard_read", "shard_write"];
+const LOCK_ALL_FNS: &[&str] = &["lock_all_read", "lock_all_write"];
+
+/// Provider methods that count as I/O for the held-across check.
+const PROVIDER_IO_METHODS: &[&str] = &["put", "get", "delete", "store"];
+
+/// A shard-lock guard believed live at the current token.
+struct LockGuard {
+    /// Binding name, when the acquisition was `let name = …` — enables
+    /// explicit `drop(name)` tracking.
+    name: Option<String>,
+    /// Shard index when written as an integer literal.
+    index: Option<u64>,
+    line: u32,
+    /// Brace depth at acquisition (for `let` bindings: guard lives to
+    /// the end of the enclosing block). `None` for temporaries, which
+    /// die at the end of the statement.
+    block_depth: Option<i32>,
+}
+
+/// Within each function body (approximated by brace scoping), flags
+/// (a) a second shard acquisition with a smaller-or-equal literal index
+/// than one already held — the ascending-order deadlock convention —
+/// and (b) any provider I/O or `JournalSink::persist` call made while a
+/// shard guard is live.
+fn lock_order(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let mut guards: Vec<LockGuard> = Vec::new();
+    let mut depth = 0i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    // Code index where the current statement began, for `let` detection.
+    let mut stmt_start = 0usize;
+
+    for i in 0..code.len() {
+        let t = &tokens[code[i]];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_start = i + 1;
+                continue;
+            }
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.block_depth.map(|d| d <= depth).unwrap_or(true));
+                stmt_start = i + 1;
+                continue;
+            }
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => {
+                // Temporaries (non-`let` acquisitions) die with their
+                // statement.
+                guards.retain(|g| g.block_depth.is_some());
+                stmt_start = i + 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is_paren = code
+            .get(i + 1)
+            .map(|&ti| tokens[ti].is_punct('('))
+            .unwrap_or(false);
+        if !next_is_paren {
+            continue;
+        }
+        let prev_is_fn_kw = i
+            .checked_sub(1)
+            .map(|p| tokens[code[p]].is_ident("fn"))
+            .unwrap_or(false);
+        let name = t.text.as_str();
+
+        // Explicit release: `drop(guard)` / `mem::drop(guard)`.
+        if name == "drop" {
+            if let (Some(&ai), Some(&ci)) = (code.get(i + 2), code.get(i + 3)) {
+                if tokens[ai].kind == TokKind::Ident && tokens[ci].is_punct(')') {
+                    let dropped = &tokens[ai].text;
+                    guards.retain(|g| g.name.as_deref() != Some(dropped));
+                }
+            }
+            continue;
+        }
+
+        // Acquisitions.
+        if !prev_is_fn_kw
+            && (SHARD_LOCK_FNS.contains(&name) || LOCK_ALL_FNS.contains(&name))
+        {
+            let index = if SHARD_LOCK_FNS.contains(&name) {
+                literal_arg(tokens, code, i)
+            } else {
+                None
+            };
+            if let Some(new_idx) = index {
+                for g in &guards {
+                    if let Some(held) = g.index {
+                        if new_idx <= held {
+                            hits.push(Hit {
+                                line: t.line,
+                                message: format!(
+                                    "shard {new_idx} locked while shard {held} (line {}) is \
+                                     still held; shard locks must be acquired in strictly \
+                                     ascending index order to stay deadlock-free",
+                                    g.line
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+            // The guard is a block-scoped binding only when the statement
+            // is `let … = name(…);` with the call as the whole initializer
+            // — a trailing `.field`/`.method()` chain means the guard is a
+            // temporary that dies at the statement's `;`.
+            let binding = match let_binding(tokens, code, stmt_start) {
+                Some(name) if call_ends_statement(tokens, code, i) => Some(name),
+                _ => None,
+            };
+            guards.push(LockGuard {
+                block_depth: binding.is_some().then_some(depth),
+                name: binding.flatten(),
+                index,
+                line: t.line,
+            });
+            continue;
+        }
+
+        // Held-across: provider I/O or a journal persist while locked.
+        if guards.is_empty() {
+            continue;
+        }
+        let prev_is_dot = i
+            .checked_sub(1)
+            .map(|p| tokens[code[p]].is_punct('.'))
+            .unwrap_or(false);
+        if !prev_is_dot {
+            continue;
+        }
+        let held = &guards[0];
+        if name == "persist" {
+            hits.push(Hit {
+                line: t.line,
+                message: format!(
+                    "journal `persist` (group-commit fsync) called while a shard lock \
+                     (line {}) is held; release the guard first or the fsync stalls \
+                     every op on that shard",
+                    held.line
+                ),
+            });
+        } else if PROVIDER_IO_METHODS.contains(&name)
+            && receiver_names_a_provider(tokens, code, i - 1)
+        {
+            hits.push(Hit {
+                line: t.line,
+                message: format!(
+                    "provider `.{name}()` called while a shard lock (line {}) is held; \
+                     provider I/O under a table lock serializes the shard for the \
+                     whole round-trip",
+                    held.line
+                ),
+            });
+        }
+    }
+    hits
+}
+
+/// Integer literal shard index when the call at `code[i]` is written
+/// `name(<int-literal>)`, e.g. `self.shard_write(0)`.
+fn literal_arg(tokens: &[Token], code: &[usize], i: usize) -> Option<u64> {
+    let arg = &tokens[*code.get(i + 2)?];
+    let close = &tokens[*code.get(i + 3)?];
+    if arg.kind != TokKind::Num || !close.is_punct(')') {
+        return None;
+    }
+    let digits: String = arg.text.chars().filter(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Whether the call whose name sits at `code[i]` is the end of its
+/// statement: the token after the call's matching `)` is `;`.
+fn call_ends_statement(tokens: &[Token], code: &[usize], i: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    loop {
+        let Some(&ti) = code.get(j) else { return false };
+        if tokens[ti].is_punct('(') {
+            depth += 1;
+        } else if tokens[ti].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    code.get(j + 1)
+        .map(|&ti| tokens[ti].is_punct(';'))
+        .unwrap_or(false)
+}
+
+/// When the statement starting at `code[stmt_start]` is a `let`, returns
+/// `Some(binding_name)` (or `Some(None)` for destructuring patterns);
+/// `None` when it is not a binding at all.
+#[allow(clippy::option_option)]
+fn let_binding(tokens: &[Token], code: &[usize], stmt_start: usize) -> Option<Option<String>> {
+    if !tokens[*code.get(stmt_start)?].is_ident("let") {
+        return None;
+    }
+    let mut j = stmt_start + 1;
+    if code
+        .get(j)
+        .map(|&ti| tokens[ti].is_ident("mut"))
+        .unwrap_or(false)
+    {
+        j += 1;
+    }
+    let name = code.get(j).and_then(|&ti| {
+        (tokens[ti].kind == TokKind::Ident).then(|| tokens[ti].text.clone())
+    });
+    Some(name)
+}
+
 /// Walks the receiver chain left of the `.` at `code[dot]` — idents,
 /// field accesses and index expressions — and reports whether any
 /// identifier in the chain names a provider. Bracketed index contents
@@ -433,7 +692,7 @@ fn provider_boundary(tokens: &[Token], code: &[usize]) -> Vec<Hit> {
 /// operator, a `,`) ends the chain: method-call results and unrelated
 /// map lookups like `self.clients.get(name)` stay unflagged unless the
 /// chain itself says "provider".
-fn receiver_names_a_provider(tokens: &[Token], code: &[usize], dot: usize) -> bool {
+pub(crate) fn receiver_names_a_provider(tokens: &[Token], code: &[usize], dot: usize) -> bool {
     let mut i = dot;
     while i > 0 {
         i -= 1;
@@ -574,6 +833,98 @@ mod tests {
         ] {
             assert!(run("histogram-units", ok).is_empty(), "{ok}");
         }
+    }
+
+    #[test]
+    fn lock_order_non_ascending_flagged() {
+        let src = "fn f(&self) {
+            let hi = self.shard_write(2);
+            let lo = self.shard_write(1);
+        }";
+        let hits = run("lock-order", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("ascending"));
+        // Ascending order is the convention — clean.
+        let ok = "fn f(&self) {
+            let lo = self.shard_read(1);
+            let hi = self.shard_read(2);
+        }";
+        assert!(run("lock-order", ok).is_empty());
+        // Re-acquiring the same literal index is also a deadlock.
+        let dup = "fn f(&self) {
+            let a = self.shard_read(0);
+            let b = self.shard_write(0);
+        }";
+        assert_eq!(run("lock-order", dup).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_guard_lifetimes() {
+        // Block scope ends the guard: sibling fns don't interact.
+        let src = "fn a(&self) { let g = self.shard_write(3); }
+                   fn b(&self) { let g = self.shard_write(1); }";
+        assert!(run("lock-order", src).is_empty());
+        // A temporary (no `let`) dies at its statement's `;`.
+        let tmp = "fn f(&self) {
+            let n = self.shard_read(2).chunks.len();
+            let g = self.shard_read(1);
+        }";
+        assert!(run("lock-order", tmp).is_empty());
+        // An explicit drop releases the named guard.
+        let dropped = "fn f(&self) {
+            let hi = self.shard_write(2);
+            std::mem::drop(hi);
+            let lo = self.shard_write(1);
+        }";
+        assert!(run("lock-order", dropped).is_empty());
+    }
+
+    #[test]
+    fn lock_order_held_across_io() {
+        let src = "fn f(&self) {
+            let st = self.shard_write(0);
+            st.providers[i].put(vid, b);
+        }";
+        let hits = run("lock-order", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("provider `.put()`"));
+        // Same for the journal's group-commit fsync.
+        let fsync = "fn f(&self) {
+            let st = self.shard_read(0);
+            self.sink.persist(batch);
+        }";
+        assert_eq!(run("lock-order", fsync).len(), 1);
+        // Non-provider receivers under a lock are fine.
+        let ok = "fn f(&self) {
+            let st = self.shard_read(0);
+            let c = st.chunks.get(serial);
+        }";
+        assert!(run("lock-order", ok).is_empty());
+        // I/O after the guard's block is fine.
+        let after = "fn f(&self) {
+            { let st = self.shard_write(0); st.touch(); }
+            provider.put(vid, b);
+        }";
+        assert!(run("lock-order", after).is_empty());
+        // lock_all guards count as held even without an index.
+        let all = "fn f(&self) {
+            let guards = self.lock_all_read();
+            provider.get(vid);
+        }";
+        assert_eq!(run("lock-order", all).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_ignores_definitions_and_variable_indices() {
+        // The lock helpers' own definitions are not acquisitions.
+        let defs = "impl T { fn shard_read(&self, i: usize) -> G { self.locks[i].read() } }";
+        assert!(run("lock-order", defs).is_empty());
+        // Variable indices can't be order-checked, but still guard I/O.
+        let var = "fn f(&self, shard: usize) {
+            let a = self.shard_read(shard);
+            let b = self.shard_read(shard2);
+        }";
+        assert!(run("lock-order", var).is_empty());
     }
 
     #[test]

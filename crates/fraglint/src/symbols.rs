@@ -1,0 +1,325 @@
+//! Per-file models and the workspace-wide symbol table.
+//!
+//! A [`FileModel`] bundles everything the engine knows about one file:
+//! its tokens, the non-comment token indices, `#[cfg(test)]` line spans,
+//! inline waivers, and the `fn` items the parser found. A [`Workspace`]
+//! owns the models for every scanned file plus a name index so the call
+//! graph can resolve `foo(…)` / `.foo(…)` sites to candidate
+//! definitions across crates.
+
+use crate::parse::{self, FnItem};
+use crate::tokenizer::{tokenize, Token};
+use std::collections::{BTreeSet, HashMap};
+
+/// Everything the engine derives from one file's source text.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// All tokens including comments.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Lines covered by `#[cfg(test)]` items.
+    pub test_lines: BTreeSet<u32>,
+    /// Whether the path itself is a test-only target (tests/benches/…).
+    pub is_test_path: bool,
+    /// Inline `// fraglint: allow(...)` waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// `fn` items with qualified paths and body ranges.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileModel {
+    /// Tokenizes and parses one file.
+    pub fn build(rel_path: &str, text: &str) -> Self {
+        let tokens = tokenize(text);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let test_lines = test_line_spans(&tokens, &code);
+        let waivers = collect_waivers(&tokens, &code);
+        let fns = parse::parse_items(rel_path, &tokens, &code);
+        FileModel {
+            rel_path: rel_path.to_string(),
+            is_test_path: is_test_path(rel_path),
+            tokens,
+            code,
+            test_lines,
+            waivers,
+            fns,
+        }
+    }
+
+    /// Whether the fn at index `fi` is test-only code (either the file
+    /// is a test target or the item sits under `#[cfg(test)]`).
+    pub fn fn_is_test(&self, fi: usize) -> bool {
+        self.is_test_path || self.test_lines.contains(&self.fns[fi].line)
+    }
+
+    /// Index of the first waiver covering `(rule, line)`, if any.
+    pub fn waiver_covering(&self, rule_id: &str, line: u32) -> Option<usize> {
+        self.waivers.iter().position(|w| w.covers(rule_id, line))
+    }
+}
+
+/// All scanned files plus a bare-name index over non-test `fn` items.
+#[derive(Debug)]
+pub struct Workspace<'m> {
+    pub files: &'m [FileModel],
+    /// fn name → (file index, fn index) for every non-test definition.
+    by_name: HashMap<&'m str, Vec<(usize, usize)>>,
+}
+
+impl<'m> Workspace<'m> {
+    pub fn new(files: &'m [FileModel]) -> Self {
+        let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+        for (file_idx, m) in files.iter().enumerate() {
+            for (fn_idx, f) in m.fns.iter().enumerate() {
+                if m.fn_is_test(fn_idx) {
+                    continue;
+                }
+                by_name.entry(&f.name).or_default().push((file_idx, fn_idx));
+            }
+        }
+        Workspace { files, by_name }
+    }
+
+    /// All non-test definitions of `name`, workspace-wide.
+    pub fn defs_named(&self, name: &str) -> &[(usize, usize)] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn item(&self, id: (usize, usize)) -> &FnItem {
+        &self.files[id.0].fns[id.1]
+    }
+}
+
+/// Test-only compilation targets by path convention: integration tests,
+/// benches, examples, and generated fixture corpora.
+pub fn is_test_path(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples")
+}
+
+/// Lines covered by `#[cfg(test)]` items (usually `mod tests { … }`):
+/// from the attribute through the matching close of the item's brace
+/// block, or through the terminating `;` for brace-less items.
+pub fn test_line_spans(tokens: &[Token], code: &[usize]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, code, i) {
+            let start_line = tokens[code[i]].line;
+            if let Some(end_line) = item_end_line(tokens, code, after_attr) {
+                for l in start_line..=end_line {
+                    lines.insert(l);
+                }
+                i = after_attr;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// If code tokens at `i` begin a `#[cfg(test)]`-style attribute (any
+/// `cfg(...)` whose predicate mentions `test`), returns the code index
+/// just past the attribute's closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], code: &[usize], i: usize) -> Option<usize> {
+    if !tokens[*code.get(i)?].is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    // Optional `!` for inner attributes.
+    if tokens[*code.get(j)?].is_punct('!') {
+        j += 1;
+    }
+    if !tokens[*code.get(j)?].is_punct('[') {
+        return None;
+    }
+    if !tokens[*code.get(j + 1)?].is_ident("cfg") {
+        return None;
+    }
+    // Scan to the attribute's closing `]`, noting whether `test` appears.
+    let mut depth = 1usize; // the `[` we consumed
+    let mut saw_test = false;
+    let mut k = j + 1;
+    while depth > 0 {
+        k += 1;
+        let t = &tokens[*code.get(k)?];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_ident("test") {
+            saw_test = true;
+        }
+    }
+    saw_test.then_some(k + 1)
+}
+
+/// Line where the item starting at code index `start` ends: the
+/// matching `}` of its first top-level brace block, or the `;` that
+/// terminates a brace-less item. Nested delimiters are tracked so `;`
+/// and `{` inside parameter lists or array types don't confuse it.
+fn item_end_line(tokens: &[Token], code: &[usize], start: usize) -> Option<u32> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = start;
+    // Find the opening `{` or terminating `;` at top level.
+    loop {
+        let t = &tokens[*code.get(j)?];
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            ";" if paren == 0 && bracket == 0 => return Some(t.line),
+            "{" if paren == 0 && bracket == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut depth = 0usize;
+    loop {
+        let t = &tokens[*code.get(j)?];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(t.line);
+            }
+        }
+        j += 1;
+    }
+}
+
+/// An inline waiver parsed from a `// fraglint: allow(rule-a, rule-b)`
+/// comment (an optional `— reason` tail is encouraged and ignored).
+#[derive(Debug)]
+pub struct Waiver {
+    pub rules: Vec<String>,
+    /// The comment's own line (covers trailing-comment usage).
+    pub comment_line: u32,
+    /// For a standalone comment line: the next line holding code.
+    pub applies_line: Option<u32>,
+}
+
+impl Waiver {
+    pub fn covers(&self, rule_id: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule_id || r == "*")
+            && (line == self.comment_line || Some(line) == self.applies_line)
+    }
+}
+
+fn collect_waivers(tokens: &[Token], code: &[usize]) -> Vec<Waiver> {
+    let mut code_lines = BTreeSet::new();
+    for &ci in code {
+        code_lines.insert(tokens[ci].line);
+    }
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        // Doc comments are prose, not directives: `/// // fraglint:
+        // allow(...)` in an example must not waive anything.
+        let text = t.text.trim_start();
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(rules) = parse_waiver(&t.text) else {
+            continue;
+        };
+        // Standalone comment (no code on its own line): the waiver
+        // covers the next code-bearing line.
+        let applies_line = if code_lines.contains(&t.line) {
+            None
+        } else {
+            code_lines.range(t.line + 1..).next().copied()
+        };
+        out.push(Waiver {
+            rules,
+            comment_line: t.line,
+            applies_line,
+        });
+    }
+    out
+}
+
+/// Extracts rule ids from `fraglint: allow(a, b)` inside comment text.
+fn parse_waiver(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("fraglint:")?;
+    let rest = &comment[at + "fraglint:".len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let end = rest.find(')')?;
+    let ids: Vec<String> = rest[..end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    (!ids.is_empty()).then_some(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_model_classifies_test_fns() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let m = FileModel::build("crates/core/src/a.rs", src);
+        assert_eq!(m.fns.len(), 2);
+        assert!(!m.fn_is_test(0));
+        assert!(m.fn_is_test(1));
+    }
+
+    #[test]
+    fn workspace_index_skips_test_definitions() {
+        let files = vec![
+            FileModel::build("crates/core/src/a.rs", "fn shared() {}"),
+            FileModel::build(
+                "crates/core/src/b.rs",
+                "#[cfg(test)]\nmod tests { fn shared() {} }",
+            ),
+            FileModel::build("crates/core/tests/it.rs", "fn shared() {}"),
+        ];
+        let ws = Workspace::new(&files);
+        assert_eq!(ws.defs_named("shared"), &[(0, 0)]);
+        assert!(ws.defs_named("missing").is_empty());
+    }
+
+    #[test]
+    fn fixture_directive_comments_are_not_waivers() {
+        let m = FileModel::build(
+            "crates/core/src/x.rs",
+            "// fraglint-fixture: plaintext-escape\nfn f() {}\n",
+        );
+        assert!(m.waivers.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_do_not_waive() {
+        // Documentation that *shows* the waiver syntax (as fraglint's own
+        // lib.rs does) must not register as a live suppression.
+        let src = "\
+/// Waive with `// fraglint: allow(no-unwrap-in-lib)`.\n\
+//! // fraglint: allow(no-print-in-lib)\n\
+/** // fraglint: allow(lock-order) */\n\
+fn f() {}\n\
+// fraglint: allow(no-wall-clock) — a real waiver, still parsed\n\
+fn g() {}\n";
+        let m = FileModel::build("crates/core/src/x.rs", src);
+        assert_eq!(m.waivers.len(), 1);
+        assert_eq!(m.waivers[0].rules, vec!["no-wall-clock".to_string()]);
+    }
+}

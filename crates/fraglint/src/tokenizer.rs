@@ -97,6 +97,19 @@ impl Lexer<'_> {
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 '"' => self.string(),
                 'r' if self.raw_string_ahead(1) => self.raw_string(1),
+                // Raw identifier `r#name`: one Ident token with the
+                // `r#` kept, so keyword checks never mistake `r#fn`
+                // for the `fn` keyword.
+                'r' if self.peek(1) == Some('#')
+                    && matches!(self.peek(2), Some(c) if c.is_alphabetic() || c == '_') =>
+                {
+                    let start = self.pos;
+                    self.pos += 2;
+                    while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                        self.pos += 1;
+                    }
+                    self.push_from(start, self.pos, TokKind::Ident, self.line);
+                }
                 'b' if self.peek(1) == Some('"') => {
                     self.pos += 1;
                     self.string_from(self.pos - 1);
@@ -422,5 +435,65 @@ mod tests {
         let toks = tokenize("let s = \"one\ntwo\";\nafter");
         let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
         assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let toks = kinds("x /* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */ y");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2], (TokKind::Ident, "y".into()));
+        // A sibling nested pair after the first close must not end the
+        // outer comment early.
+        let toks = kinds("/* a /* b */ mid /* c */ end */ tail");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].1.ends_with("end */"));
+        assert_eq!(toks[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn triple_hash_raw_strings() {
+        // The body holds a `"##` that must NOT close an r### literal.
+        let src = "r###\"quote \"## still inside\"### done";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.contains("still inside"));
+        assert_eq!(toks[1], (TokKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn underscore_lifetime_and_char() {
+        let toks = kinds("&'_ str; '_'");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'_"]);
+        assert_eq!(chars, vec!["'_'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let toks = kinds("let r#fn = r#match + other;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+        // Crucially, no bare `fn` keyword token leaks out of `r#fn` —
+        // the item parser would otherwise see a function definition.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+        // `r#"…"#` is still a raw string, `r # x` is still three tokens.
+        let toks = kinds("r#\"s\"# r # x");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "r".into()));
+        assert_eq!(toks[2].0, TokKind::Punct);
+        assert_eq!(toks[3], (TokKind::Ident, "x".into()));
     }
 }

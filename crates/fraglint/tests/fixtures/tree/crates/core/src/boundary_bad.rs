@@ -1,3 +1,4 @@
+// fraglint-fixture: provider-boundary
 //! Fixture: raw provider I/O that skips the placement check.
 
 pub fn sneak_read(provider: &CloudProvider, vid: u64) -> Option<Bytes> {

@@ -1,3 +1,4 @@
+// fraglint-fixture: provider-boundary
 //! Fixture: a streaming-put store path writing an RS shard straight to
 //! a provider, skipping the distributor's placement check.
 

@@ -1,3 +1,4 @@
+// fraglint-fixture: no-deprecated-string-api
 //! Fixture: deprecated string-triple API pinned outside the compat test.
 
 #[allow(deprecated)]

@@ -1,3 +1,4 @@
+// fraglint-fixture: histogram-units
 //! Fixture: histogram recorded under a unit-less name.
 
 pub fn record(tel: &fragcloud_telemetry::TelemetryHandle, depth: u64) {

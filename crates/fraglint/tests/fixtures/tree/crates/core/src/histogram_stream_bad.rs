@@ -1,3 +1,4 @@
+// fraglint-fixture: histogram-units
 //! Fixture: streaming-put peak-buffer gauge recorded without a unit.
 
 pub fn record_stream(tel: &fragcloud_telemetry::TelemetryHandle, peak: u64) {

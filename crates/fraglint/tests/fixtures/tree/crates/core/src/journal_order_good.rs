@@ -1,0 +1,11 @@
+//! Fixture: the same migration with the intents in crash-consistent
+//! order — alloc is durable before the upload, so recovery can always
+//! enumerate (and if needed collect) the new vid.
+
+pub fn migrate_chunk(tables: &mut Tables, jctx: &mut JournalCtx) -> Result<()> {
+    let new_vid = tables.vids.allocate();
+    journal_begin(jctx, "migrate");
+    journal_alloc(jctx, &[new_vid]);
+    put_with_retry(tables, new_vid, tables.staged_bytes(new_vid))?;
+    Ok(())
+}

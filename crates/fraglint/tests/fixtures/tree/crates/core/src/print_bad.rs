@@ -1,3 +1,4 @@
+// fraglint-fixture: no-print-in-lib
 //! Fixture: stray stdout in a library crate.
 
 pub fn report_progress(done: usize, total: usize) {

@@ -1,3 +1,4 @@
+// fraglint-fixture: safety-comment
 //! Fixture: `unsafe` with no written soundness argument.
 
 pub fn read_raw(p: *const u8) -> u8 {

@@ -1,3 +1,4 @@
+// fraglint-fixture: no-raw-spawn
 //! Fixture: raw thread fan-out outside `core::pool`.
 
 pub fn fan_out(jobs: Vec<Job>) {

@@ -1,0 +1,11 @@
+// fraglint-fixture: plaintext-escape
+//! Fixture: a put path that hands client bytes to the resilient store
+//! helper without ever crossing `mislead::inject` or a parity encode —
+//! the stored object is byte-identical to the client's plaintext.
+
+pub fn put_file(tables: &mut Tables, filename: &str, data: &[u8]) -> Result<()> {
+    let stored = data.to_vec();
+    let vid = tables.vids.allocate();
+    tables.index_filename(filename, vid);
+    put_with_retry(tables, vid, stored)
+}

@@ -1,0 +1,10 @@
+//! Fixture: the same put path, but the payload crosses the mislead
+//! sanitizer before any sink — the provider stores decoy-laced bytes.
+
+pub fn put_file(tables: &mut Tables, filename: &str, data: &[u8]) -> Result<()> {
+    let vid = tables.vids.allocate();
+    let (stored, positions) = mislead::inject(data, tables.mislead_rate, vid);
+    tables.index_filename(filename, vid);
+    tables.record_positions(vid, positions);
+    put_with_retry(tables, vid, stored)
+}

@@ -1,3 +1,4 @@
+// fraglint-fixture: no-unwrap-in-lib
 //! Fixture: panicking extraction in a library path.
 
 pub fn first_owner(owners: &[String]) -> &str {

@@ -1,3 +1,4 @@
+// fraglint-fixture: no-wall-clock
 //! Fixture: ad-hoc wall-clock read.
 
 pub fn measure(f: impl FnOnce()) -> std::time::Duration {

@@ -1,0 +1,85 @@
+//! Mutation test for the plaintext-escape analysis against the *real*
+//! distributor sources (not fixtures): the unmodified put path must
+//! scan clean, and surgically bypassing the mislead sanitizer must make
+//! the taint engine fire. This is the acceptance proof that the
+//! analysis tracks the actual tree, not just hand-built examples.
+
+use fraglint::{scan_files, Config};
+use std::path::Path;
+
+fn real_source(rel: &str) -> String {
+    // CARGO_MANIFEST_DIR = crates/fraglint; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn workspace_config() -> Config {
+    fraglint::config::parse(&real_source("fraglint.toml")).expect("fraglint.toml parses")
+}
+
+const DISTRIBUTOR: &str = "crates/core/src/distributor.rs";
+const MISLEAD: &str = "crates/core/src/mislead.rs";
+
+#[test]
+fn real_put_path_is_sanitized() {
+    let report = scan_files(
+        &[
+            (DISTRIBUTOR.into(), real_source(DISTRIBUTOR)),
+            (MISLEAD.into(), real_source(MISLEAD)),
+        ],
+        &workspace_config(),
+    );
+    let escapes: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "plaintext-escape")
+        .collect();
+    assert!(
+        escapes.is_empty(),
+        "unmodified put path must sanitize through mislead::inject: {escapes:?}"
+    );
+}
+
+#[test]
+fn bypassing_the_mislead_sanitizer_is_caught() {
+    // Mutate the batch-encode path: swap the sanitizer call for an
+    // identity shim, exactly the "refactor quietly dropped the decoy
+    // layer" bug this analysis exists to catch. Everything else —
+    // signatures, control flow, the provider sinks — stays untouched.
+    let original = real_source(DISTRIBUTOR);
+    let mutated = original.replace(
+        "let (stored, positions) = mislead::inject(logical, rate, seed ^ vid.0);",
+        "let (stored, positions) = identity_pass(logical, rate, seed ^ vid.0);",
+    );
+    assert_ne!(original, mutated, "mutation site moved; update this test");
+
+    let report = scan_files(
+        &[
+            (DISTRIBUTOR.into(), mutated),
+            (MISLEAD.into(), real_source(MISLEAD)),
+        ],
+        &workspace_config(),
+    );
+    let escapes: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "plaintext-escape")
+        .collect();
+    assert!(
+        !escapes.is_empty(),
+        "bypassed sanitizer must surface as plaintext-escape; got only {:?}",
+        report.violations
+    );
+    for v in &escapes {
+        assert_eq!(v.path, DISTRIBUTOR);
+        assert!(
+            v.message.contains("plaintext may reach provider storage"),
+            "message should explain the flow: {}",
+            v.message
+        );
+    }
+}

@@ -79,7 +79,6 @@ impl<F: Field> FieldLu<F> {
                 perm.swap(col, pivot_row);
             }
             let pivot = lu[col * n + col];
-            // fraglint: allow(no-unwrap-in-lib) — pivot was selected nonzero.
             let pivot_inv = pivot.inv().expect("pivot is nonzero");
             for r in (col + 1)..n {
                 let factor = lu[r * n + col].mul(pivot_inv);
@@ -121,7 +120,6 @@ impl<F: Field> FieldLu<F> {
                 x[r] = x[r].sub(sub);
             }
             let d = self.lu[r * n + r];
-            // fraglint: allow(no-unwrap-in-lib) — decompose rejected zero pivots.
             x[r] = x[r].mul(d.inv().expect("diagonal is nonzero"));
         }
         Ok(x)
