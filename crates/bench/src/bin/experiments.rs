@@ -65,6 +65,10 @@ const NAMES: &[(&str, &str)] = &[
         "rs_geometry",
         "E21: RS(k,m) geometry sweep + streaming bounded-memory ingest",
     ),
+    (
+        "chaos",
+        "E22: Byzantine chaos matrix - integrity, read-repair, breakers",
+    ),
 ];
 
 /// One experiment's output: report text, optional registry snapshot, and
@@ -133,6 +137,14 @@ fn run_one(name: &str) -> Option<RunOutput> {
                 report,
                 telemetry: tel.registry().map(|r| r.snapshot()),
                 slos: Vec::new(),
+            }
+        }
+        "chaos" => {
+            let (_, report, tel) = exp::chaos::run_instrumented();
+            RunOutput {
+                report,
+                telemetry: tel.registry().map(|r| r.snapshot()),
+                slos: exp::chaos::slos(),
             }
         }
         _ => return None,

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod attacker;
 pub mod availability;
+pub mod chaos;
 pub mod chunksize;
 pub mod classify;
 pub mod cost;

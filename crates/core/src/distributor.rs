@@ -23,6 +23,8 @@
 use crate::access;
 use crate::chunker;
 use crate::config::{DistributorConfig, Geometry};
+use crate::health::{BreakerState, FailureKind, HealthTracker};
+use crate::integrity;
 use crate::journal::{Journal, OpId, OpKind};
 use crate::mislead;
 use crate::persist;
@@ -208,6 +210,11 @@ pub struct CloudDataDistributor {
     /// [`ResilienceConfig::reputation_ordering`](crate::resilience::ResilienceConfig)
     /// is on.
     reputation: ReputationTracker,
+    /// Per-provider EWMA health scores and circuit breakers (see
+    /// [`crate::health`]), fed by every engine-issued operation: detected
+    /// corruptions and timeouts trip a provider's breaker, which placement
+    /// then sheds and read ordering deprioritizes.
+    health: HealthTracker,
     /// Runtime observability handle (disabled by default — see
     /// [`Self::enable_telemetry`]). Kept outside `config` (which is
     /// `Copy`) and behind a lock so it can be attached to a live,
@@ -331,6 +338,7 @@ impl CloudDataDistributor {
             config,
             rng: Mutex::new(StdRng::seed_from_u64(config.seed ^ already_allocated)),
             reputation: ReputationTracker::new(fleet_size, ReputationConfig::default()),
+            health: HealthTracker::new(fleet_size, config.resilience.breaker),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
             pool: OnceLock::new(),
             journal: RwLock::new(None),
@@ -1459,14 +1467,24 @@ impl CloudDataDistributor {
         // The placement rng is global (deterministic stream across the
         // whole distributor); hold its lock only for the draw itself so
         // concurrent puts on other table shards never serialize on it.
+        // Quarantined providers (breaker Open) are shed from placement;
+        // `place_stripe_avoiding` ignores the list when the fleet is too
+        // small to route around them, so writes never brick.
+        let quarantined: Vec<usize> = self
+            .health
+            .open_providers()
+            .into_iter()
+            .filter(|&i| self.health.should_shed(i, &self.telemetry()))
+            .collect();
         let placement = {
             let mut rng = self.rng.lock();
-            policy::place_stripe(
+            policy::place_stripe_avoiding(
                 &st.providers,
                 pl,
                 total_shards,
                 self.config.placement,
                 &mut rng,
+                &quarantined,
             )?
         };
 
@@ -1658,33 +1676,68 @@ impl CloudDataDistributor {
         st: &Tables,
         provider_idx: usize,
         vid: VirtualId,
+        expected_len: usize,
     ) -> (Result<Bytes>, Duration, u64) {
         let provider = &st.providers[provider_idx];
+        let tel = self.telemetry();
         let run = self.config.resilience.retry.execute(
             self.retry_seed(vid, provider_idx),
             provider.name(),
-            &self.telemetry(),
+            &tel,
             |_| match provider.get(vid) {
-                Ok(bytes) => {
-                    self.reputation
-                        .record(provider_idx, ReputationEvent::Success);
-                    AttemptOutcome::Success(bytes)
-                }
+                // Every read crosses the integrity check before its bytes
+                // reach any caller (decode included): a frame that fails
+                // verification is an erasure, never payload. The table's
+                // stored length backstops legacy-looking blobs, closing
+                // the corrupted-magic hole.
+                Ok(bytes) => match integrity::unframe_expecting(vid, bytes, expected_len) {
+                    Ok((payload, framed)) => {
+                        if !framed {
+                            // Pre-framing ("v1") object: verified by
+                            // reconstruction-time length checks only.
+                            tel.incr("unframed_reads_total");
+                        }
+                        self.reputation
+                            .record(provider_idx, ReputationEvent::Success);
+                        self.health.record_success(provider_idx, &tel);
+                        AttemptOutcome::Success(payload)
+                    }
+                    Err(e) => {
+                        // The provider answered with damaged or swapped
+                        // bytes — Byzantine, not transient: retrying the
+                        // same stored object cannot un-corrupt it. The
+                        // caller routes to replicas/parity instead.
+                        tel.incr("corruption_detected_total");
+                        self.reputation
+                            .record(provider_idx, ReputationEvent::Failure);
+                        self.health
+                            .record_failure(provider_idx, FailureKind::Corruption, &tel);
+                        AttemptOutcome::Fatal(e)
+                    }
+                },
                 Err(e @ StoreError::NotFound(_)) => {
                     // The object is gone, not the provider: retrying the
                     // same request cannot help.
                     self.reputation
                         .record(provider_idx, ReputationEvent::Failure);
+                    self.health
+                        .record_failure(provider_idx, FailureKind::Error, &tel);
                     AttemptOutcome::Fatal(e.into())
                 }
                 Err(e) => {
                     self.reputation
                         .record(provider_idx, ReputationEvent::Failure);
+                    self.health
+                        .record_failure(provider_idx, FailureKind::Error, &tel);
                     AttemptOutcome::Transient(e.into())
                 }
             },
         );
         let mut time = run.sim_time;
+        if let Err(CoreError::Timeout { .. }) = &run.result {
+            self.health
+                .record_failure(provider_idx, FailureKind::Timeout, &tel);
+        }
         if let Ok(bytes) = &run.result {
             time += provider.simulate_transfer(bytes.len());
         }
@@ -1701,25 +1754,37 @@ impl CloudDataDistributor {
         bytes: Bytes,
     ) -> (Result<()>, Duration, u64) {
         let provider = &st.providers[provider_idx];
-        let len = bytes.len();
+        let tel = self.telemetry();
+        // Stamp the integrity frame at the write chokepoint: every object
+        // the engine stores carries a vid-seeded checksum (`bytes` stays
+        // the payload — table `stored_len` never includes framing).
+        let framed = integrity::frame(vid, &bytes);
+        let len = framed.len();
         let run = self.config.resilience.retry.execute(
             self.retry_seed(vid, provider_idx),
             provider.name(),
-            &self.telemetry(),
-            |_| match provider.put(vid, bytes.clone()) {
+            &tel,
+            |_| match provider.put(vid, framed.clone()) {
                 Ok(()) => {
                     self.reputation
                         .record(provider_idx, ReputationEvent::Success);
+                    self.health.record_success(provider_idx, &tel);
                     AttemptOutcome::Success(())
                 }
                 Err(e) => {
                     self.reputation
                         .record(provider_idx, ReputationEvent::Failure);
+                    self.health
+                        .record_failure(provider_idx, FailureKind::Error, &tel);
                     AttemptOutcome::Transient(e.into())
                 }
             },
         );
         let mut time = run.sim_time;
+        if let Err(CoreError::Timeout { .. }) = &run.result {
+            self.health
+                .record_failure(provider_idx, FailureKind::Timeout, &tel);
+        }
         if run.result.is_ok() {
             time += provider.simulate_transfer(len);
         }
@@ -1742,18 +1807,30 @@ impl CloudDataDistributor {
         bytes: &[u8],
         per_provider_time: &mut [Duration],
     ) -> Option<usize> {
-        let (res, t, _) = self.put_with_retry(st, preferred, vid, Bytes::from(bytes.to_vec()));
-        per_provider_time[preferred] += t;
-        if res.is_ok() {
-            return Some(preferred);
+        // A preferred provider whose breaker is Open is shed up front (the
+        // shard goes straight to an alternative); if no alternative can
+        // take it, the quarantined preferred is still tried last — a
+        // suspect provider beats a lost shard.
+        let shed_preferred = self.health.should_shed(preferred, &self.telemetry());
+        if !shed_preferred {
+            let (res, t, _) = self.put_with_retry(st, preferred, vid, Bytes::from(bytes.to_vec()));
+            per_provider_time[preferred] += t;
+            if res.is_ok() {
+                return Some(preferred);
+            }
         }
-        // Alternatives: eligible, not already hosting this stripe; cheapest
-        // first with reputation as tiebreak.
+        // Alternatives: eligible, not already hosting this stripe; healthy
+        // breakers first, then cheapest, with reputation as tiebreak.
         let mut alts: Vec<usize> = policy::eligible_providers(&st.providers, pl)
             .into_iter()
             .filter(|i| !stripe_providers.contains(i))
             .collect();
         alts.sort_by(|&a, &b| {
+            let breaker = self
+                .health
+                .penalty(a)
+                .partial_cmp(&self.health.penalty(b))
+                .unwrap_or(std::cmp::Ordering::Equal);
             let cost = st.providers[a]
                 .profile()
                 .cost_level
@@ -1763,13 +1840,20 @@ impl CloudDataDistributor {
                 .score(b)
                 .partial_cmp(&self.reputation.score(a))
                 .unwrap_or(std::cmp::Ordering::Equal);
-            cost.then(rep).then(a.cmp(&b))
+            breaker.then(cost).then(rep).then(a.cmp(&b))
         });
         for alt in alts {
             let (res, t, _) = self.put_with_retry(st, alt, vid, Bytes::from(bytes.to_vec()));
             per_provider_time[alt] += t;
             if res.is_ok() {
                 return Some(alt);
+            }
+        }
+        if shed_preferred {
+            let (res, t, _) = self.put_with_retry(st, preferred, vid, Bytes::from(bytes.to_vec()));
+            per_provider_time[preferred] += t;
+            if res.is_ok() {
+                return Some(preferred);
             }
         }
         None
@@ -1878,14 +1962,28 @@ impl CloudDataDistributor {
                     continue;
                 }
                 let provider = Arc::clone(&st.providers[pidx]);
-                let items: Vec<(usize, VirtualId)> =
-                    jobs.iter().map(|&ci| (ci, st.chunks[ci].vid)).collect();
+                let items: Vec<(usize, VirtualId, usize)> = jobs
+                    .iter()
+                    .map(|&ci| (ci, st.chunks[ci].vid, st.chunks[ci].stored_len))
+                    .collect();
                 let tx = tx.clone();
+                let task_tel = tel.clone();
                 pool.submit_observed(&tel, move || {
                     let mut local: Vec<(usize, Vec<u8>)> = Vec::with_capacity(items.len());
-                    for (ci, vid) in items {
+                    for (ci, vid, stored_len) in items {
+                        // Verify-before-use even on the fan-out fast path:
+                        // a chunk whose frame fails stays `None` and falls
+                        // through to the degraded read (which re-detects
+                        // the corruption and feeds the breaker).
                         if let Ok(bytes) = provider.get(vid) {
-                            local.push((ci, bytes.to_vec()));
+                            if let Ok((payload, framed)) =
+                                integrity::unframe_expecting(vid, bytes, stored_len)
+                            {
+                                if !framed {
+                                    task_tel.incr("unframed_reads_total");
+                                }
+                                local.push((ci, payload.to_vec()));
+                            }
                         }
                     }
                     let _ = tx.send(local);
@@ -1986,21 +2084,39 @@ impl CloudDataDistributor {
             }
         }
 
-        // Candidate sources: primary then replicas, optionally ordered by
-        // live reputation (stable sort, so ties keep stored order).
+        // Candidate sources: primary then replicas. Quarantined providers
+        // (breaker HalfOpen/Open) are deprioritized — never dropped: an
+        // Open provider holding the only live copy must still be readable
+        // — then optionally ordered by live reputation within the same
+        // breaker tier (stable sort, so ties keep stored order).
         let mut candidates: Vec<(usize, VirtualId)> = Vec::with_capacity(1 + entry.replicas.len());
         candidates.push((entry.provider_idx, entry.vid));
         candidates.extend(entry.replicas.iter().copied());
-        if self.config.resilience.reputation_ordering && candidates.len() > 1 {
+        if candidates.len() > 1 {
             let mut order: Vec<usize> = (0..candidates.len()).collect();
+            let penalties: Vec<f64> = candidates
+                .iter()
+                .map(|&(p, _)| self.health.penalty(p))
+                .collect();
             let scores: Vec<f64> = candidates
                 .iter()
-                .map(|&(p, _)| self.reputation.score(p))
+                .map(|&(p, _)| {
+                    if self.config.resilience.reputation_ordering {
+                        self.reputation.score(p)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             order.sort_by(|&a, &b| {
-                scores[b]
-                    .partial_cmp(&scores[a])
+                penalties[a]
+                    .partial_cmp(&penalties[b])
                     .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(
+                        scores[b]
+                            .partial_cmp(&scores[a])
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
                     .then(a.cmp(&b))
             });
             candidates = order.into_iter().map(|i| candidates[i]).collect();
@@ -2011,7 +2127,7 @@ impl CloudDataDistributor {
         let mut attempts_made = 0u32;
         let mut timed_out: Option<CoreError> = None;
         for (rank, &(pidx, vid)) in candidates.iter().enumerate() {
-            let (res, t, r) = self.get_with_retry(st, pidx, vid);
+            let (res, t, r) = self.get_with_retry(st, pidx, vid, entry.stored_len);
             time += t;
             retries += r;
             attempts_made += r as u32 + 1;
@@ -2038,15 +2154,24 @@ impl CloudDataDistributor {
 
         // Last resort: RAID reconstruction from the stripe.
         match self.reconstruct_stored(st, chunk_idx) {
-            Ok((stored, rtime, rretries)) => Ok(ChunkFetch {
-                logical: mislead::strip(&stored, &entry.mislead_positions),
-                charged_provider: entry.provider_idx,
-                time: time + rtime,
-                reconstructed: true,
-                degraded: true,
-                hedged: false,
-                retries: retries + rretries,
-            }),
+            Ok((stored, rtime, rretries)) => {
+                // Read-repair: every candidate failed (missing or corrupt)
+                // but parity could rebuild the shard — re-upload the
+                // healed bytes under the primary's vid so the next read
+                // is clean again. Best-effort and off the read's critical
+                // path (repair traffic is charged to telemetry, not to
+                // this fetch's simulated time).
+                self.read_repair(st, entry.provider_idx, entry.vid, &stored);
+                Ok(ChunkFetch {
+                    logical: mislead::strip(&stored, &entry.mislead_positions),
+                    charged_provider: entry.provider_idx,
+                    time: time + rtime,
+                    reconstructed: true,
+                    degraded: true,
+                    hedged: false,
+                    retries: retries + rretries,
+                })
+            }
             // No parity path exists at all: report the deadline breach if
             // one happened, else the exhausted budget — not a meaningless
             // erasure count.
@@ -2125,7 +2250,8 @@ impl CloudDataDistributor {
                 available.push((shard_index, vec![0u8; width]));
                 continue;
             }
-            let (res, t, r) = self.get_with_retry(st, member.provider_idx, member.vid);
+            let (res, t, r) =
+                self.get_with_retry(st, member.provider_idx, member.vid, member.stored_len);
             // Peers are fanned out in parallel; even a failed peer's
             // retries sit on the critical path.
             worst = worst.max(t);
@@ -2150,6 +2276,25 @@ impl CloudDataDistributor {
             worst,
             retries,
         ))
+    }
+
+    /// Re-uploads a parity-reconstructed shard to its primary provider
+    /// under its original virtual id (freshly framed), so a corrupted or
+    /// lost object is healed by the very read that detected it instead of
+    /// waiting for an operator [`repair`](Self::repair) pass. Best-effort:
+    /// an offline primary or failed write leaves the stripe degraded, and
+    /// the tables are untouched either way (same vid, same provider — no
+    /// journal entry needed: the id is already referenced).
+    fn read_repair(&self, st: &Tables, provider_idx: usize, vid: VirtualId, stored: &[u8]) {
+        let provider = &st.providers[provider_idx];
+        if !provider.is_online() {
+            return;
+        }
+        let tel = self.telemetry();
+        match provider.put(vid, integrity::frame(vid, stored)) {
+            Ok(()) => tel.incr("read_repair_total"),
+            Err(_) => tel.incr("read_repair_failed_total"),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2189,6 +2334,13 @@ impl CloudDataDistributor {
         //    stripe: data and parity always change together).
         let current = st.providers[st.chunks[chunk_idx].provider_idx]
             .get(st.chunks[chunk_idx].vid)?; // fraglint: allow(lock-order) — read under the guard: vid must match the locked table entry
+        // Verify the pre-state before snapshotting it (its frame is seeded
+        // by the data vid; the snapshot gets its own frame below).
+        let (current, _) = integrity::unframe_expecting(
+            st.chunks[chunk_idx].vid,
+            current,
+            st.chunks[chunk_idx].stored_len,
+        )?;
         let eligible = policy::eligible_providers(&st.providers, pl);
         let snapshot_idx = eligible
             .iter()
@@ -2210,11 +2362,14 @@ impl CloudDataDistributor {
         // The provider stores below stay under the shard's write lock on
         // purpose: objects and table rows must change as one atomic step,
         // and the in-process sim providers never re-enter the tables.
-        st.providers[snapshot_idx].put(snapshot_vid, current)?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
-        st.providers[st.chunks[chunk_idx].provider_idx]
-            .put(st.chunks[chunk_idx].vid, Bytes::from(stored.clone()))?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+        st.providers[snapshot_idx].put(snapshot_vid, integrity::frame(snapshot_vid, &current))?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+        // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+        st.providers[st.chunks[chunk_idx].provider_idx].put(
+            st.chunks[chunk_idx].vid,
+            integrity::frame(st.chunks[chunk_idx].vid, &stored),
+        )?;
         for (rp, rvid) in st.chunks[chunk_idx].replicas.clone() {
-            st.providers[rp].put(rvid, Bytes::from(stored.clone()))?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+            st.providers[rp].put(rvid, integrity::frame(rvid, &stored))?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
         }
         {
             let entry = &mut st.chunks[chunk_idx];
@@ -2270,16 +2425,20 @@ impl CloudDataDistributor {
             }
         };
         let pre_state = st.providers[sp].get(svid)?; // fraglint: allow(lock-order) — read under the guard: vid must match the locked table entry
+        let (pre_state, _) = integrity::unframe(svid, pre_state)?;
         // The snapshot holds the pre-state's *stored* bytes; the matching
         // mislead positions were preserved in `snapshot_mislead` at update
         // time and are reinstated below so reads strip correctly.
         let len = pre_state.len();
         // Plan parity first (clean abort on unavailable peers), then mutate.
         let plan = self.plan_parity(&st, chunk_idx, &pre_state)?;
-        st.providers[st.chunks[chunk_idx].provider_idx]
-            .put(st.chunks[chunk_idx].vid, pre_state.clone())?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+        // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+        st.providers[st.chunks[chunk_idx].provider_idx].put(
+            st.chunks[chunk_idx].vid,
+            integrity::frame(st.chunks[chunk_idx].vid, &pre_state),
+        )?;
         for (rp, rvid) in st.chunks[chunk_idx].replicas.clone() {
-            st.providers[rp].put(rvid, pre_state.clone())?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
+            st.providers[rp].put(rvid, integrity::frame(rvid, &pre_state))?; // fraglint: allow(lock-order) — atomic object+table commit under the shard guard
         }
         {
             let entry = &mut st.chunks[chunk_idx];
@@ -2326,7 +2485,10 @@ impl CloudDataDistributor {
             } else if e.removed {
                 Vec::new()
             } else {
-                st.providers[e.provider_idx].get(e.vid)?.to_vec()
+                let raw = st.providers[e.provider_idx].get(e.vid)?;
+                // Verify before the parity math: corrupt peer bytes would
+                // otherwise be folded into the new parity permanently.
+                integrity::unframe_expecting(e.vid, raw, e.stored_len)?.0.to_vec()
             };
             width = width.max(bytes.len());
             datas.push(bytes);
@@ -2375,7 +2537,7 @@ impl CloudDataDistributor {
                 let e = &st.chunks[member_idx];
                 (e.vid, e.provider_idx)
             };
-            st.providers[provider_idx].put(vid, Bytes::from(blob))?;
+            st.providers[provider_idx].put(vid, integrity::frame(vid, &blob))?;
             let e = &mut st.chunks[member_idx];
             e.stored_len = plan.width;
             e.logical_len = plan.width;
@@ -2552,6 +2714,20 @@ impl CloudDataDistributor {
     /// refreshing the stripes' degraded markers. Operator-side: no client
     /// credentials involved, and no provider payloads are read.
     pub fn scrub(&self) -> ScrubReport {
+        self.scrub_impl(false)
+    }
+
+    /// Deep scrub: like [`scrub`](Self::scrub), but additionally *reads*
+    /// every live shard and verifies its integrity frame, so bit-rot at
+    /// rest is caught before a client read trips over it. Shards that fail
+    /// verification are counted in [`ScrubReport::corrupt_shards`], their
+    /// stripes marked degraded, and the providers' breakers fed — a
+    /// following [`repair`](Self::repair) rebuilds them from parity.
+    pub fn scrub_verify(&self) -> ScrubReport {
+        self.scrub_impl(true)
+    }
+
+    fn scrub_impl(&self, verify: bool) -> ScrubReport {
         let tel = self.telemetry();
         let _op = span!(tel, "scrub");
         let wall = clock::monotonic_now();
@@ -2568,6 +2744,7 @@ impl CloudDataDistributor {
                 let tolerable = st.stripes[sid].level.fault_tolerance();
                 let mut live = 0usize;
                 let mut missing = 0usize;
+                let mut corrupt = 0usize;
                 for &m in &members {
                     let e = &st.chunks[m];
                     if e.removed {
@@ -2577,6 +2754,23 @@ impl CloudDataDistributor {
                     let p = &st.providers[e.provider_idx];
                     if !(p.is_online() && p.contains(e.vid)) {
                         missing += 1;
+                        continue;
+                    }
+                    if verify {
+                        match p.get(e.vid) {
+                            Ok(raw) => {
+                                if integrity::unframe_expecting(e.vid, raw, e.stored_len).is_err() {
+                                    corrupt += 1;
+                                    tel.incr("corruption_detected_total");
+                                    self.health.record_failure(
+                                        e.provider_idx,
+                                        FailureKind::Corruption,
+                                        &tel,
+                                    );
+                                }
+                            }
+                            Err(_) => missing += 1,
+                        }
                     }
                 }
                 if live == 0 {
@@ -2586,11 +2780,15 @@ impl CloudDataDistributor {
                 }
                 report.stripes_checked += 1;
                 report.missing_shards += missing;
-                st.stripes[sid].degraded = missing > 0;
-                if missing == 0 {
+                report.corrupt_shards += corrupt;
+                // A corrupt shard is an erasure like a missing one: the
+                // degraded marker routes it into `repair`.
+                let bad = missing + corrupt;
+                st.stripes[sid].degraded = bad > 0;
+                if bad == 0 {
                     continue;
                 }
-                if missing <= tolerable {
+                if bad <= tolerable {
                     report.degraded.push(offset + sid);
                 } else {
                     report.unreadable.push(offset + sid);
@@ -2600,6 +2798,7 @@ impl CloudDataDistributor {
         }
         tel.incr("scrubs_total");
         tel.add("scrub_missing_shards", report.missing_shards as u64);
+        tel.add("scrub_corrupt_shards", report.corrupt_shards as u64);
         tel.observe_micros("scrub_wall_us", wall.elapsed());
         report
     }
@@ -2631,19 +2830,31 @@ impl CloudDataDistributor {
     /// never returned as errors.
     pub fn try_repair(&self) -> Result<RepairReport> {
         let jctx = self.journal_begin(OpKind::Repair, "", "stripes");
-        let res = self.repair_inner(&jctx);
+        let res = self.repair_inner(&jctx, false);
         self.journal_finish(jctx, res)
     }
 
-    fn repair_inner(&self, jctx: &Option<JournalCtx>) -> Result<RepairReport> {
+    /// [`try_repair`](Self::try_repair) preceded by a *deep* scrub
+    /// ([`scrub_verify`](Self::scrub_verify)): shards that exist but fail
+    /// integrity verification are treated as erasures and rebuilt from
+    /// parity alongside the missing ones. This is the heal half of the
+    /// bit-rot story — `scrub_verify` finds rot at rest, this rebuilds it.
+    pub fn try_repair_verify(&self) -> Result<RepairReport> {
+        let jctx = self.journal_begin(OpKind::Repair, "", "stripes");
+        let res = self.repair_inner(&jctx, true);
+        self.journal_finish(jctx, res)
+    }
+
+    fn repair_inner(&self, jctx: &Option<JournalCtx>, verify: bool) -> Result<RepairReport> {
         let tel = self.telemetry();
         let _op = span!(tel, "repair");
         let wall = clock::monotonic_now();
         // Repair rewrites structure across every shard; its journal delta
         // degrades to an inline full snapshot rather than row tracking.
         self.touch_full(jctx);
-        // Refresh every stripe's degraded marker (and the scrub counters).
-        let _ = self.scrub();
+        // Refresh every stripe's degraded marker (and the scrub counters);
+        // the deep form also flags shards whose frames fail verification.
+        let _ = self.scrub_impl(verify);
         let mut report = RepairReport::default();
         let fleet_size = self.shard_read(0).providers.len();
         let mut per_provider_time: Vec<Duration> = vec![Duration::ZERO; fleet_size];
@@ -2697,9 +2908,9 @@ impl CloudDataDistributor {
         let mut missing: Vec<(usize, usize)> = Vec::new(); // (slot, member idx)
         let mut hosting: Vec<usize> = Vec::new(); // providers of live shards
         for (slot, &m) in stripe.members.iter().enumerate() {
-            let (removed, provider_idx, vid) = {
+            let (removed, provider_idx, vid, stored_len) = {
                 let e = &st.chunks[m];
-                (e.removed, e.provider_idx, e.vid)
+                (e.removed, e.provider_idx, e.vid, e.stored_len)
             };
             if removed {
                 // Tombstoned member: contributes a zero shard by contract.
@@ -2714,7 +2925,7 @@ impl CloudDataDistributor {
                 missing.push((slot, m));
                 continue;
             }
-            let (res, t, _) = self.get_with_retry(st, provider_idx, vid);
+            let (res, t, _) = self.get_with_retry(st, provider_idx, vid, stored_len);
             per_provider_time[provider_idx] += t;
             match res {
                 Ok(bytes) => {
@@ -2799,6 +3010,17 @@ impl CloudDataDistributor {
     /// every shard).
     pub fn providers(&self) -> Vec<Arc<CloudProvider>> {
         self.shard_read(0).providers.clone()
+    }
+
+    /// The live per-provider health tracker (EWMA scores + breaker
+    /// states), for operator dashboards and harness assertions.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Current breaker state of provider `idx` (see [`crate::health`]).
+    pub fn breaker_state(&self, idx: usize) -> BreakerState {
+        self.health.state(idx)
     }
 
     /// Every virtual id the tables still reference: live chunks' primary

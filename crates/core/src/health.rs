@@ -1,0 +1,474 @@
+//! Per-provider health tracking and circuit breaking.
+//!
+//! The paper grades providers by *declared* trust (privacy level) and
+//! price; this module grades them by *observed behavior*. Every provider
+//! operation the distributor issues feeds an EWMA failure score — weighted
+//! so a detected corruption (a Byzantine act) counts far more than a slow
+//! response (a gray failure) — and the score drives a classic three-state
+//! circuit breaker:
+//!
+//! ```text
+//!            score > trip_threshold
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ probe_after_ops sheds
+//!     │ score ≤ recover_threshold       ▼
+//!     └────────────────────────────  HalfOpen
+//!                (probe succeeds)       │ probe fails (score trips again)
+//!                                       └──────▶ Open
+//! ```
+//!
+//! - **Closed**: healthy — no effect on placement or read ordering.
+//! - **Open**: quarantined — placement sheds it when enough other
+//!   providers remain, and read-candidate ordering deprioritizes it (it is
+//!   *never* skipped outright for reads: a limping provider still beats a
+//!   reconstruction that cannot find `k` shards).
+//! - **HalfOpen**: one probe operation is allowed through; a success
+//!   recovers the provider, another failure re-opens the breaker.
+//!
+//! Everything is counted in *operations*, never wall-clock time, so runs
+//! stay deterministic under the simulated clock.
+
+use crate::CoreError;
+use fragcloud_telemetry::TelemetryHandle;
+use parking_lot::Mutex;
+
+/// Circuit-breaker tunables, [`Default`]-enabled with conservative
+/// thresholds. Marked `#[non_exhaustive]` with `with_*` builders so later
+/// releases can add knobs without breaking construction sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct BreakerConfig {
+    /// Master switch; `false` makes the tracker a no-op (no shedding, no
+    /// penalties) while still recording scores for observability.
+    pub enabled: bool,
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest
+    /// observation. Higher = faster to trip *and* faster to recover.
+    pub ewma_alpha: f64,
+    /// Failure score above which a Closed breaker opens.
+    pub trip_threshold: f64,
+    /// Operations shed while Open before the breaker moves to HalfOpen
+    /// and lets one probe through.
+    pub probe_after_ops: u64,
+    /// Failure score at or below which a non-Closed breaker closes again.
+    pub recover_threshold: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            ewma_alpha: 0.3,
+            trip_threshold: 0.5,
+            probe_after_ops: 16,
+            recover_threshold: 0.1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A configuration with breaking disabled entirely.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Returns `self` with the master switch set.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Returns `self` with the EWMA smoothing factor set.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// Returns `self` with the trip threshold set.
+    pub fn with_trip_threshold(mut self, threshold: f64) -> Self {
+        self.trip_threshold = threshold;
+        self
+    }
+
+    /// Returns `self` with the Open→HalfOpen probe interval set.
+    pub fn with_probe_after_ops(mut self, ops: u64) -> Self {
+        self.probe_after_ops = ops;
+        self
+    }
+
+    /// Returns `self` with the recovery threshold set.
+    pub fn with_recover_threshold(mut self, threshold: f64) -> Self {
+        self.recover_threshold = threshold;
+        self
+    }
+
+    /// Check the configuration's invariants; called via
+    /// `DistributorConfig::validate`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                detail: "breaker ewma_alpha must be in (0, 1]".into(),
+            });
+        }
+        if !(self.trip_threshold > 0.0 && self.trip_threshold <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                detail: "breaker trip_threshold must be in (0, 1]".into(),
+            });
+        }
+        if !(self.recover_threshold >= 0.0 && self.recover_threshold < self.trip_threshold) {
+            return Err(CoreError::InvalidConfig {
+                detail: "breaker recover_threshold must be in [0, trip_threshold)".into(),
+            });
+        }
+        if self.probe_after_ops == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "breaker probe_after_ops must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Position of one provider's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Quarantined: placement sheds this provider, reads deprioritize it.
+    Open,
+    /// Probing: one operation is allowed through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// How a provider operation failed, ordered by how strongly it indicts the
+/// provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The provider returned bytes that failed integrity verification —
+    /// Byzantine behavior, the strongest possible signal.
+    Corruption,
+    /// The operation breached its deadline.
+    Timeout,
+    /// The provider returned an error (offline, flaky, missing object on
+    /// a path where it was expected).
+    Error,
+    /// The operation succeeded but the provider was anomalously slow
+    /// (a "limping" gray failure).
+    Slow,
+}
+
+impl FailureKind {
+    fn weight(self) -> f64 {
+        match self {
+            FailureKind::Corruption => 1.0,
+            FailureKind::Timeout => 1.0,
+            FailureKind::Error => 0.6,
+            FailureKind::Slow => 0.3,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProviderHealth {
+    /// EWMA of failure weights in `[0, 1]`; 0 = flawless.
+    score: f64,
+    state: BreakerState,
+    /// Operations shed since the breaker opened (resets on transitions).
+    sheds: u64,
+}
+
+impl ProviderHealth {
+    fn new() -> Self {
+        ProviderHealth {
+            score: 0.0,
+            state: BreakerState::Closed,
+            sheds: 0,
+        }
+    }
+}
+
+/// EWMA health scores and circuit breakers for a provider fleet, indexed
+/// by the distributor's provider index.
+///
+/// Interior-mutable (per-provider mutexes) so the distributor can feed it
+/// from concurrent transfer-pool workers without serializing reads.
+#[derive(Debug)]
+pub struct HealthTracker {
+    config: BreakerConfig,
+    cells: Vec<Mutex<ProviderHealth>>,
+}
+
+impl HealthTracker {
+    /// A tracker for `fleet` providers, all starting Closed with score 0.
+    pub fn new(fleet: usize, config: BreakerConfig) -> Self {
+        HealthTracker {
+            config,
+            cells: (0..fleet).map(|_| Mutex::new(ProviderHealth::new())).collect(),
+        }
+    }
+
+    /// The configuration this tracker was built with.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Current breaker state for provider `idx` (Closed for indexes the
+    /// tracker does not know, so callers never have to range-check).
+    pub fn state(&self, idx: usize) -> BreakerState {
+        match self.cells.get(idx) {
+            Some(p) => p.lock().state,
+            None => BreakerState::Closed,
+        }
+    }
+
+    /// Current EWMA failure score for provider `idx` (0 when unknown).
+    pub fn score(&self, idx: usize) -> f64 {
+        match self.cells.get(idx) {
+            Some(p) => p.lock().score,
+            None => 0.0,
+        }
+    }
+
+    /// Records a successful operation against provider `idx`: the score
+    /// decays toward 0, and a non-Closed breaker whose score falls to the
+    /// recovery threshold closes (a HalfOpen probe succeeding is the
+    /// canonical path here).
+    pub fn record_success(&self, idx: usize, tel: &TelemetryHandle) {
+        let Some(cell) = self.cells.get(idx) else {
+            return;
+        };
+        let mut p = cell.lock();
+        p.score *= 1.0 - self.config.ewma_alpha;
+        if p.state != BreakerState::Closed && p.score <= self.config.recover_threshold {
+            self.transition(&mut p, BreakerState::Closed, tel);
+        }
+    }
+
+    /// Records a failed operation against provider `idx`, weighted by
+    /// `kind`. A Closed (or probing HalfOpen) breaker whose score crosses
+    /// the trip threshold opens.
+    pub fn record_failure(&self, idx: usize, kind: FailureKind, tel: &TelemetryHandle) {
+        let Some(cell) = self.cells.get(idx) else {
+            return;
+        };
+        let mut p = cell.lock();
+        let a = self.config.ewma_alpha;
+        p.score = (1.0 - a) * p.score + a * kind.weight();
+        if p.state != BreakerState::Open && p.score > self.config.trip_threshold {
+            self.transition(&mut p, BreakerState::Open, tel);
+        }
+    }
+
+    /// Consulted by *placement* before writing to provider `idx`: `true`
+    /// means the breaker is Open and this operation should go elsewhere.
+    /// Every shed is counted; after
+    /// [`probe_after_ops`](BreakerConfig::probe_after_ops) sheds the
+    /// breaker moves to HalfOpen and the next operation is let through as
+    /// a probe. Disabled trackers never shed.
+    pub fn should_shed(&self, idx: usize, tel: &TelemetryHandle) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        let Some(cell) = self.cells.get(idx) else {
+            return false;
+        };
+        let mut p = cell.lock();
+        if p.state != BreakerState::Open {
+            return false;
+        }
+        if p.sheds >= self.config.probe_after_ops {
+            self.transition(&mut p, BreakerState::HalfOpen, tel);
+            return false;
+        }
+        p.sheds += 1;
+        tel.incr("breaker_shed_total");
+        true
+    }
+
+    /// Read-ordering penalty for provider `idx`: 0 for Closed, and an
+    /// increasingly large value (state rank + score) for HalfOpen and
+    /// Open, so sorting candidates by `(penalty, estimated time)` pushes
+    /// quarantined providers to the back *without ever removing them* —
+    /// reads must still be able to fall through to an Open provider when
+    /// it holds the only copy. Always 0 when the breaker is disabled.
+    pub fn penalty(&self, idx: usize) -> f64 {
+        if !self.config.enabled {
+            return 0.0;
+        }
+        let Some(cell) = self.cells.get(idx) else {
+            return 0.0;
+        };
+        let p = cell.lock();
+        match p.state {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0 + p.score,
+            BreakerState::Open => 2.0 + p.score,
+        }
+    }
+
+    /// Indexes whose breaker is currently Open (quarantined).
+    pub fn open_providers(&self) -> Vec<usize> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.lock().state == BreakerState::Open)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn transition(&self, p: &mut ProviderHealth, to: BreakerState, tel: &TelemetryHandle) {
+        p.state = to;
+        p.sheds = 0;
+        tel.add_labeled("breaker_transitions_total", to.label(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(config: BreakerConfig) -> (HealthTracker, TelemetryHandle) {
+        (HealthTracker::new(3, config), TelemetryHandle::enabled())
+    }
+
+    #[test]
+    fn defaults_validate_and_start_closed() {
+        BreakerConfig::default().validate().expect("defaults valid");
+        let (t, _) = tracker(BreakerConfig::default());
+        for idx in 0..3 {
+            assert_eq!(t.state(idx), BreakerState::Closed);
+            assert_eq!(t.score(idx), 0.0);
+            assert_eq!(t.penalty(idx), 0.0);
+        }
+        // Out-of-range indexes read as healthy rather than panicking.
+        assert_eq!(t.state(99), BreakerState::Closed);
+        assert_eq!(t.penalty(99), 0.0);
+    }
+
+    #[test]
+    fn builders_and_validation() {
+        let c = BreakerConfig::default()
+            .with_ewma_alpha(0.5)
+            .with_trip_threshold(0.9)
+            .with_probe_after_ops(4)
+            .with_recover_threshold(0.2)
+            .with_enabled(false);
+        assert!(!c.enabled);
+        assert_eq!(c.probe_after_ops, 4);
+        c.validate().expect("tuned config valid");
+        assert!(!BreakerConfig::disabled().enabled);
+
+        for bad in [
+            BreakerConfig::default().with_ewma_alpha(0.0),
+            BreakerConfig::default().with_ewma_alpha(1.5),
+            BreakerConfig::default().with_trip_threshold(0.0),
+            BreakerConfig::default().with_recover_threshold(0.5),
+            BreakerConfig::default().with_probe_after_ops(0),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(CoreError::InvalidConfig { .. })),
+                "{bad:?} should fail validation"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_trips_faster_than_slowness() {
+        let (t, tel) = tracker(BreakerConfig::default());
+        // Two corruptions: 0.3, then 0.51 > 0.5 → Open.
+        t.record_failure(0, FailureKind::Corruption, &tel);
+        assert_eq!(t.state(0), BreakerState::Closed);
+        t.record_failure(0, FailureKind::Corruption, &tel);
+        assert_eq!(t.state(0), BreakerState::Open);
+        // Slow responses alone converge to 0.3 < 0.5: never trips.
+        for _ in 0..50 {
+            t.record_failure(1, FailureKind::Slow, &tel);
+        }
+        assert_eq!(t.state(1), BreakerState::Closed);
+        assert!(t.score(1) < BreakerConfig::default().trip_threshold);
+        assert_eq!(
+            tel.registry().unwrap().counter_value("breaker_transitions_total", "open"),
+            1
+        );
+    }
+
+    #[test]
+    fn shed_then_probe_then_recover() {
+        let cfg = BreakerConfig::default().with_probe_after_ops(3);
+        let (t, tel) = tracker(cfg);
+        t.record_failure(0, FailureKind::Corruption, &tel);
+        t.record_failure(0, FailureKind::Corruption, &tel);
+        assert_eq!(t.state(0), BreakerState::Open);
+        assert!(t.penalty(0) > 2.0);
+
+        // Three sheds while Open, then the breaker half-opens and lets a
+        // probe through.
+        for _ in 0..3 {
+            assert!(t.should_shed(0, &tel));
+        }
+        assert!(!t.should_shed(0, &tel));
+        assert_eq!(t.state(0), BreakerState::HalfOpen);
+        assert!(t.penalty(0) > 1.0 && t.penalty(0) < 2.0);
+        assert!(!t.should_shed(0, &tel), "HalfOpen does not shed");
+
+        // Successful probes decay the score below recover_threshold →
+        // Closed.
+        while t.state(0) != BreakerState::Closed {
+            t.record_success(0, &tel);
+        }
+        assert_eq!(t.penalty(0), 0.0);
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter_total("breaker_shed_total"), 3);
+        assert_eq!(reg.counter_value("breaker_transitions_total", "half_open"), 1);
+        assert_eq!(reg.counter_value("breaker_transitions_total", "closed"), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let (t, tel) = tracker(BreakerConfig::default().with_probe_after_ops(1));
+        t.record_failure(2, FailureKind::Corruption, &tel);
+        t.record_failure(2, FailureKind::Corruption, &tel);
+        assert!(t.should_shed(2, &tel));
+        assert!(!t.should_shed(2, &tel));
+        assert_eq!(t.state(2), BreakerState::HalfOpen);
+        // The probe comes back corrupt: straight back to Open.
+        t.record_failure(2, FailureKind::Corruption, &tel);
+        assert_eq!(t.state(2), BreakerState::Open);
+        assert_eq!(t.open_providers(), vec![2]);
+    }
+
+    #[test]
+    fn disabled_tracker_never_sheds_or_penalizes() {
+        let (t, tel) = tracker(BreakerConfig::disabled());
+        for _ in 0..10 {
+            t.record_failure(0, FailureKind::Corruption, &tel);
+        }
+        // Scores and states still track (observability)…
+        assert_eq!(t.state(0), BreakerState::Open);
+        // …but nothing is shed and ordering is untouched.
+        assert!(!t.should_shed(0, &tel));
+        assert_eq!(t.penalty(0), 0.0);
+        assert_eq!(tel.registry().unwrap().counter_total("breaker_shed_total"), 0);
+    }
+
+    #[test]
+    fn success_decays_score() {
+        let (t, tel) = tracker(BreakerConfig::default());
+        t.record_failure(1, FailureKind::Error, &tel);
+        let before = t.score(1);
+        t.record_success(1, &tel);
+        assert!(t.score(1) < before);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shard-integrity framing: a checksum stamped into every stored object.
+//!
+//! Every byte string the distributor hands to a provider is wrapped in a
+//! small frame before `put` and verified + stripped after `get`:
+//!
+//! ```text
+//! +-------+---------+------------------+----------------+
+//! | magic | version | checksum (LE u64)| payload ...    |
+//! | 4 B   | 1 B     | 8 B              |                |
+//! +-------+---------+------------------+----------------+
+//! ```
+//!
+//! The checksum is [`fragcloud_crypto::checksum64`] over the payload,
+//! **seeded by the object's virtual id** — so a provider serving an
+//! internally consistent but *wrong* object (a misrouted or swapped
+//! read) fails verification exactly like bit-rot does, without the
+//! tables having to store a digest per chunk. A mismatch surfaces as
+//! [`CoreError::ShardCorrupt`], which the read path treats as an
+//! erasure: the shard routes into parity reconstruction and read-repair
+//! rather than ever reaching decode as bad bytes.
+//!
+//! ## Versioning
+//!
+//! Frames carry version [`FRAME_VERSION`]; objects written before this
+//! framing existed ("v1", unframed) carry no magic and are passed
+//! through unverified — callers count them under `unframed_reads_total`
+//! and rely on reconstruction-time length checks instead, so a fleet
+//! with pre-framing objects keeps reading. (A legacy payload could
+//! start with the 5 magic+version bytes only by a 2⁻⁴⁰ accident; even
+//! then the failure mode is a checksum mismatch, i.e. a spurious
+//! erasure that parity absorbs — never silent corruption.)
+
+use crate::{CoreError, Result};
+use bytes::Bytes;
+use fragcloud_crypto::checksum64;
+use fragcloud_sim::VirtualId;
+
+/// Frame format version stamped after the magic. Version 1 is the
+/// retroactive name for unframed pre-framing objects.
+pub const FRAME_VERSION: u8 = 2;
+
+/// Frame magic: "FraGcloud Integrity".
+const MAGIC: [u8; 4] = *b"FGI\x02";
+
+/// Bytes of framing overhead per stored object.
+pub const FRAME_OVERHEAD: usize = MAGIC.len() + 1 + 8;
+
+/// Wraps a payload for storage under `vid`: magic, version, and a
+/// vid-seeded checksum over the payload.
+pub fn frame(vid: VirtualId, payload: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&checksum64(payload, vid.0).to_le_bytes());
+    out.extend_from_slice(payload);
+    Bytes::from(out)
+}
+
+/// Verifies and strips the frame from bytes read back for `vid`.
+///
+/// Returns `(payload, framed)`: `framed` is `false` for legacy v1
+/// objects (no magic), which pass through unverified. A present frame
+/// whose version is unknown or whose checksum does not match the
+/// vid-seeded payload sum fails with [`CoreError::ShardCorrupt`].
+pub fn unframe(vid: VirtualId, bytes: Bytes) -> Result<(Bytes, bool)> {
+    if bytes.len() < FRAME_OVERHEAD || bytes[..MAGIC.len()] != MAGIC {
+        return Ok((bytes, false));
+    }
+    let version = bytes[MAGIC.len()];
+    if version != FRAME_VERSION {
+        return Err(CoreError::ShardCorrupt {
+            vid,
+            why: format!("unsupported frame version {version}"),
+        });
+    }
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&bytes[MAGIC.len() + 1..FRAME_OVERHEAD]);
+    let stamped = u64::from_le_bytes(sum);
+    let payload = bytes.slice(FRAME_OVERHEAD..);
+    if checksum64(&payload, vid.0) != stamped {
+        return Err(CoreError::ShardCorrupt {
+            vid,
+            why: "checksum mismatch".to_string(),
+        });
+    }
+    Ok((payload, true))
+}
+
+/// [`unframe`] plus a table-length cross-check that closes the magic-flip
+/// hole: corruption inside the 4-byte magic makes a framed object look
+/// like a legacy unframed one, and `unframe` alone would pass the whole
+/// damaged blob through as payload. The chunk tables record every
+/// shard's payload length out-of-band, so a "legacy" blob whose length
+/// differs from `expected_len` cannot be a real v1 object — it is a
+/// framed object with a corrupted header (or a grown/shrunk legacy one),
+/// and either way it must not reach decode.
+pub fn unframe_expecting(vid: VirtualId, bytes: Bytes, expected_len: usize) -> Result<(Bytes, bool)> {
+    let (payload, framed) = unframe(vid, bytes)?;
+    if !framed && payload.len() != expected_len {
+        return Err(CoreError::ShardCorrupt {
+            vid,
+            why: format!(
+                "unframed object is {} bytes, table says {expected_len}",
+                payload.len()
+            ),
+        });
+    }
+    Ok((payload, framed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_overhead() {
+        let vid = VirtualId(1234);
+        let payload = Bytes::from((0u16..700).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        let framed = frame(vid, &payload);
+        assert_eq!(framed.len(), payload.len() + FRAME_OVERHEAD);
+        let (back, was_framed) = unframe(vid, framed).expect("clean frame verifies");
+        assert!(was_framed);
+        assert_eq!(back, payload);
+        // Empty payloads frame too.
+        let (empty, was_framed) = unframe(vid, frame(vid, b"")).unwrap();
+        assert!(was_framed);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn every_flipped_bit_is_caught() {
+        let vid = VirtualId(77);
+        let payload: Vec<u8> = (0..64).map(|i| (i * 3) as u8).collect();
+        let framed = frame(vid, &payload);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.to_vec();
+                bad[byte] ^= 1 << bit;
+                let outcome = unframe(vid, Bytes::from(bad));
+                // A flip in the magic demotes the object to legacy
+                // pass-through (indistinguishable from an unframed v1
+                // object); any other flip must be a typed corruption.
+                if byte < MAGIC.len() {
+                    assert!(matches!(outcome, Ok((_, false))), "byte={byte} bit={bit}");
+                } else {
+                    assert!(
+                        matches!(outcome, Err(CoreError::ShardCorrupt { .. })),
+                        "byte={byte} bit={bit}: {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught() {
+        let vid = VirtualId(9);
+        let framed = frame(vid, &[7u8; 100]);
+        for keep in FRAME_OVERHEAD..framed.len() {
+            assert!(
+                matches!(
+                    unframe(vid, framed.slice(..keep)),
+                    Err(CoreError::ShardCorrupt { .. })
+                ),
+                "keep={keep}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_object_swap_is_caught() {
+        // The same payload framed for a different vid must not verify:
+        // the checksum seed is the vid.
+        let payload = [42u8; 32];
+        let framed_for_a = frame(VirtualId(1), &payload);
+        assert!(matches!(
+            unframe(VirtualId(2), framed_for_a.clone()),
+            Err(CoreError::ShardCorrupt { vid: VirtualId(2), .. })
+        ));
+        assert!(unframe(VirtualId(1), framed_for_a).is_ok());
+    }
+
+    #[test]
+    fn legacy_unframed_objects_pass_through() {
+        let vid = VirtualId(5);
+        for raw in [&b""[..], b"short", &[0u8; 64][..]] {
+            let (back, framed) = unframe(vid, Bytes::copy_from_slice(raw)).unwrap();
+            assert!(!framed);
+            assert_eq!(back, Bytes::copy_from_slice(raw));
+        }
+    }
+
+    #[test]
+    fn magic_flip_is_caught_by_length_cross_check() {
+        let vid = VirtualId(11);
+        let payload: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let framed = frame(vid, &payload);
+        // Damage every bit of the magic: plain unframe demotes to legacy,
+        // but the length cross-check (payload.len() + FRAME_OVERHEAD ≠
+        // payload.len()) turns every one into a typed corruption.
+        for byte in 0..MAGIC.len() {
+            for bit in 0..8 {
+                let mut bad = framed.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        unframe_expecting(vid, Bytes::from(bad), payload.len()),
+                        Err(CoreError::ShardCorrupt { .. })
+                    ),
+                    "byte={byte} bit={bit}"
+                );
+            }
+        }
+        // A genuine legacy object of the right length still passes.
+        let (back, framed_flag) =
+            unframe_expecting(vid, Bytes::copy_from_slice(&payload), payload.len()).unwrap();
+        assert!(!framed_flag);
+        assert_eq!(back, Bytes::copy_from_slice(&payload));
+        // And an intact frame is unaffected by the cross-check.
+        let (back, framed_flag) = unframe_expecting(vid, frame(vid, &payload), payload.len()).unwrap();
+        assert!(framed_flag);
+        assert_eq!(back, Bytes::copy_from_slice(&payload));
+    }
+
+    #[test]
+    fn unknown_frame_version_is_corrupt_not_garbage() {
+        let vid = VirtualId(3);
+        let mut framed = frame(vid, b"hello").to_vec();
+        framed[MAGIC.len()] = 99;
+        assert!(matches!(
+            unframe(vid, Bytes::from(framed)),
+            Err(CoreError::ShardCorrupt { why, .. }) if why.contains("version 99")
+        ));
+    }
+}

@@ -197,6 +197,86 @@ impl JournalSink for SimulatedFsyncSink {
     }
 }
 
+/// How a [`FaultySink`] sabotages its scheduled flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFault {
+    /// The flush is silently dropped: the inner sink never sees the batch
+    /// (a lost fsync — power cut after the write syscall returned).
+    Drop,
+    /// Only the given number of bytes reach the inner sink (a torn write:
+    /// the tail of the batch never hit the platter). Clamped to the batch
+    /// length; cutting on a UTF-8 boundary is handled internally.
+    Torn(usize),
+}
+
+/// A [`JournalSink`] wrapper that injects exactly one scheduled flush
+/// fault — the journal-side leg of the chaos harness. Deterministic: the
+/// fault fires on the `at_flush`-th call to [`persist`](JournalSink::persist)
+/// (1-based) and never again; all other flushes pass through untouched.
+///
+/// Recovery code paired with this sink asserts the invariant the delta
+/// log is designed around: a dropped or torn close-record batch rolls the
+/// affected ops back (or forward, for removals) — it never invents state.
+pub struct FaultySink<S: JournalSink> {
+    inner: S,
+    fault: SinkFault,
+    at_flush: u64,
+    flushes: std::sync::atomic::AtomicU64,
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl<S: JournalSink> FaultySink<S> {
+    /// Wraps `inner`, scheduling `fault` for the `at_flush`-th flush
+    /// (1-based; 0 never fires).
+    pub fn new(inner: S, fault: SinkFault, at_flush: u64) -> Self {
+        FaultySink {
+            inner,
+            fault,
+            at_flush,
+            flushes: std::sync::atomic::AtomicU64::new(0),
+            fired: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the scheduled fault has fired yet.
+    pub fn fired(&self) -> bool {
+        self.fired.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Flushes the inner sink has been asked to persist so far (the
+    /// faulted one included — it was *attempted*).
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The wrapped sink, for post-crash inspection.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: JournalSink> JournalSink for FaultySink<S> {
+    fn persist(&self, batch: &str) {
+        use std::sync::atomic::Ordering;
+        let n = self.flushes.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.at_flush {
+            self.fired.store(true, Ordering::Release);
+            match self.fault {
+                SinkFault::Drop => {}
+                SinkFault::Torn(keep) => {
+                    let mut keep = keep.min(batch.len());
+                    while keep > 0 && !batch.is_char_boundary(keep) {
+                        keep -= 1;
+                    }
+                    self.inner.persist(&batch[..keep]);
+                }
+            }
+            return;
+        }
+        self.inner.persist(batch);
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Record {
     Begin {
@@ -998,6 +1078,59 @@ mod tests {
             reg.histogram("journal_fsync_wait_us", "").count(),
             reg.counter_total("fsync_waits")
         );
+    }
+
+    #[test]
+    fn faulty_sink_drops_or_tears_exactly_the_scheduled_flush() {
+        use parking_lot::Mutex as PlMutex;
+
+        #[derive(Default)]
+        struct RecordingSink(PlMutex<Vec<String>>);
+        impl JournalSink for RecordingSink {
+            fn persist(&self, batch: &str) {
+                self.0.lock().push(batch.to_string());
+            }
+        }
+
+        // Drop: flush 2 of 3 vanishes; 1 and 3 arrive intact.
+        let sink = FaultySink::new(RecordingSink::default(), SinkFault::Drop, 2);
+        sink.persist("one");
+        sink.persist("two");
+        sink.persist("three");
+        assert!(sink.fired());
+        assert_eq!(sink.flushes(), 3);
+        assert_eq!(*sink.inner().0.lock(), vec!["one", "three"]);
+
+        // Torn: flush 1 is cut mid-record (on a char boundary).
+        let sink = FaultySink::new(RecordingSink::default(), SinkFault::Torn(4), 1);
+        sink.persist("commit|1|é");
+        sink.persist("commit|2|x");
+        assert!(sink.fired());
+        assert_eq!(*sink.inner().0.lock(), vec!["comm", "commit|2|x"]);
+        // A cut landing inside a multi-byte char backs off to the boundary.
+        let sink = FaultySink::new(RecordingSink::default(), SinkFault::Torn(2), 1);
+        sink.persist("aé");
+        assert_eq!(*sink.inner().0.lock(), vec!["a"]);
+
+        // `at_flush: 0` never fires.
+        let sink = FaultySink::new(RecordingSink::default(), SinkFault::Drop, 0);
+        sink.persist("only");
+        assert!(!sink.fired());
+        assert_eq!(*sink.inner().0.lock(), vec!["only"]);
+    }
+
+    #[test]
+    fn journal_survives_faulty_sink() {
+        // The sink losing a flush must not corrupt the in-memory journal:
+        // ops still read back Committed, and the export still parses.
+        let j = Journal::new();
+        j.set_sink(Arc::new(FaultySink::new(NoopSink, SinkFault::Drop, 1)));
+        for i in 0..3 {
+            let op = j.begin(OpKind::Put, "c", &format!("f{i}"));
+            j.commit(op, String::new());
+        }
+        assert!(j.ops().iter().all(|o| o.status == OpStatus::Committed));
+        Journal::parse(&j.export()).expect("export still parses");
     }
 
     #[test]

@@ -40,6 +40,13 @@
 //! - [`recovery`] — replays a journal (checkpoint + close deltas) on
 //!   restart, rolling dangling ops back (or forward, for removals) and
 //!   garbage-collecting orphan objects from providers;
+//! - [`integrity`] — checksum framing around every stored shard: stamped
+//!   at `put`, verified on every read, turning silent provider corruption
+//!   into typed [`CoreError::ShardCorrupt`] erasures the parity machinery
+//!   heals (and read-repair re-uploads);
+//! - [`health`] — per-provider EWMA health tracking driving a
+//!   closed→open→half-open circuit breaker consulted by placement and
+//!   read-candidate ordering;
 //! - [`rebalance`] — §VII-E locality migration of hot chunks;
 //! - [`envelope`] — client-side full/partial encryption composed with
 //!   fragmentation (§VII-E: "encryption is not an alternative to
@@ -51,6 +58,8 @@ pub mod client_side;
 pub mod config;
 pub mod distributor;
 pub mod envelope;
+pub mod health;
+pub mod integrity;
 pub mod journal;
 pub mod mislead;
 pub mod multi;
@@ -70,9 +79,12 @@ pub use config::{
 };
 pub use distributor::{CloudDataDistributor, GetReceipt, PutOptions, PutReceipt};
 pub use fragcloud_sim::{CostLevel, PrivacyLevel, VirtualId};
+pub use health::{BreakerConfig, BreakerState, FailureKind, HealthTracker};
+pub use integrity::{frame, unframe, FRAME_OVERHEAD, FRAME_VERSION};
 pub use fragcloud_telemetry::TelemetryHandle;
 pub use journal::{
-    Journal, JournalSink, NoopSink, OpId, OpKind, OpStatus, OpView, SimulatedFsyncSink,
+    FaultySink, Journal, JournalSink, NoopSink, OpId, OpKind, OpStatus, OpView,
+    SimulatedFsyncSink, SinkFault,
 };
 pub use pool::TransferPool;
 pub use recovery::{recover, recover_with, RecoveryReport};
@@ -190,6 +202,18 @@ pub enum CoreError {
         /// `Clone + PartialEq`).
         why: String,
     },
+    /// A stored shard failed integrity verification (see
+    /// [`integrity`]): the provider returned bytes whose framing
+    /// checksum does not match what was stamped at `put` time. Treated
+    /// as an erasure — the read path routes it into parity
+    /// reconstruction instead of handing bad bytes to decode.
+    ShardCorrupt {
+        /// Virtual id of the corrupt object.
+        vid: VirtualId,
+        /// What failed: "checksum mismatch", "unsupported frame
+        /// version N", …
+        why: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -241,6 +265,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::StreamIo { why } => {
                 write!(f, "stream read failed: {why}")
+            }
+            CoreError::ShardCorrupt { vid, why } => {
+                write!(f, "stored shard {vid} failed integrity verification: {why}")
             }
         }
     }

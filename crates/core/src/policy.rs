@@ -41,9 +41,40 @@ pub fn place_stripe(
     strategy: PlacementStrategy,
     rng: &mut StdRng,
 ) -> Result<Vec<usize>> {
+    place_stripe_avoiding(providers, pl, shards, strategy, rng, &[])
+}
+
+/// [`place_stripe`] with a quarantine list: providers in `avoid` (typically
+/// those whose circuit breaker is Open — see [`crate::health`]) are dropped
+/// from the eligible set **only when enough others remain** for the stripe.
+/// A fleet too small to route around its quarantined members places on them
+/// anyway — a suspect provider never bricks a write that has nowhere else
+/// to go.
+pub fn place_stripe_avoiding(
+    providers: &[Arc<CloudProvider>],
+    pl: PrivacyLevel,
+    shards: usize,
+    strategy: PlacementStrategy,
+    rng: &mut StdRng,
+    avoid: &[usize],
+) -> Result<Vec<usize>> {
     let mut eligible = eligible_providers(providers, pl);
     if eligible.is_empty() {
         return Err(CoreError::NoEligibleProvider { pl });
+    }
+    if !avoid.is_empty() {
+        let trimmed: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|i| !avoid.contains(i))
+            .collect();
+        let enough = match strategy {
+            PlacementStrategy::SingleProvider => !trimmed.is_empty(),
+            _ => trimmed.len() >= shards,
+        };
+        if enough {
+            eligible = trimmed;
+        }
     }
     match strategy {
         PlacementStrategy::SingleProvider => {
@@ -198,6 +229,38 @@ mod tests {
         assert!(placed.iter().all(|&i| i == placed[0]));
         // High PL: must still be a trusted provider.
         assert!(f[placed[0]].profile().privacy_level >= PrivacyLevel::High);
+    }
+
+    #[test]
+    fn avoiding_sheds_only_when_enough_remain() {
+        let f = fleet();
+        let mut rng = StdRng::seed_from_u64(6);
+        // 4 PL-High providers; a 3-shard stripe avoiding provider 0 must
+        // land entirely on the other three.
+        for _ in 0..20 {
+            let placed = place_stripe_avoiding(
+                &f,
+                PrivacyLevel::High,
+                3,
+                PlacementStrategy::RandomEligible,
+                &mut rng,
+                &[0],
+            )
+            .unwrap();
+            assert!(!placed.contains(&0), "{placed:?}");
+        }
+        // Avoiding two of the four leaves only two for a 3-shard stripe:
+        // the quarantine is ignored rather than failing the write.
+        let placed = place_stripe_avoiding(
+            &f,
+            PrivacyLevel::High,
+            3,
+            PlacementStrategy::CheapestEligible,
+            &mut rng,
+            &[0, 1],
+        )
+        .unwrap();
+        assert_eq!(placed.len(), 3);
     }
 
     #[test]

@@ -215,6 +215,10 @@ pub struct ResilienceConfig {
     /// Order a chunk's candidate sources (primary + replicas) by live
     /// reputation score instead of stored order.
     pub reputation_ordering: bool,
+    /// Per-provider circuit breaker driven by observed corruptions,
+    /// timeouts, errors, and slow responses (see [`crate::health`]).
+    /// Enabled by default — behavior-neutral for a healthy fleet.
+    pub breaker: crate::health::BreakerConfig,
 }
 
 impl Default for ResilienceConfig {
@@ -223,6 +227,7 @@ impl Default for ResilienceConfig {
             retry: RetryPolicy::default(),
             hedge_threshold: None,
             reputation_ordering: true,
+            breaker: crate::health::BreakerConfig::default(),
         }
     }
 }
@@ -230,7 +235,8 @@ impl Default for ResilienceConfig {
 impl ResilienceConfig {
     /// Check the configuration's invariants.
     pub fn validate(&self) -> Result<(), CoreError> {
-        self.retry.validate()
+        self.retry.validate()?;
+        self.breaker.validate()
     }
 }
 
@@ -247,12 +253,18 @@ pub struct ScrubReport {
     pub unreadable: Vec<usize>,
     /// Total primary shard objects found missing or unreachable.
     pub missing_shards: usize,
+    /// Shard objects that were present but failed integrity verification
+    /// (bit-rot at rest, truncation, or a wrong-object swap). Only
+    /// populated by [`scrub_verify`](crate::CloudDataDistributor::scrub_verify),
+    /// which reads shard payloads; the cheap existence-only
+    /// [`scrub`](crate::CloudDataDistributor::scrub) leaves it 0.
+    pub corrupt_shards: usize,
 }
 
 impl ScrubReport {
     /// Whether every stripe had all its shards where the tables said.
     pub fn is_healthy(&self) -> bool {
-        self.degraded.is_empty() && self.unreadable.is_empty()
+        self.degraded.is_empty() && self.unreadable.is_empty() && self.corrupt_shards == 0
     }
 }
 
@@ -430,8 +442,15 @@ mod tests {
             degraded: vec![2],
             unreadable: vec![],
             missing_shards: 1,
+            corrupt_shards: 0,
         };
         assert!(!sick.is_healthy());
+        let rotted = ScrubReport {
+            stripes_checked: 4,
+            corrupt_shards: 1,
+            ..Default::default()
+        };
+        assert!(!rotted.is_healthy());
         assert!(RepairReport::default().is_complete());
         assert!(!RepairReport {
             failed: vec![1],

@@ -11,7 +11,9 @@
 //! - [`chacha20`] — the ChaCha20 stream cipher (RFC 8439 block function and
 //!   counter-mode keystream), verified against the RFC test vectors;
 //! - [`partial`] — partial encryption: encrypt only a sensitive prefix
-//!   (or byte ranges) of each record, as §VII-E suggests.
+//!   (or byte ranges) of each record, as §VII-E suggests;
+//! - [`checksum`] — a zero-dep seedable 64-bit content checksum (XXH64),
+//!   the detector behind the distributor's shard-integrity framing.
 //!
 //! This crate is an experiment substrate, **not** a hardened security
 //! product — there is no authentication (no Poly1305), no key management,
@@ -19,7 +21,9 @@
 //! provides.
 
 pub mod chacha20;
+pub mod checksum;
 pub mod partial;
 
 pub use chacha20::ChaCha20;
+pub use checksum::checksum64;
 pub use partial::{decrypt_ranges, encrypt_ranges, ByteRange};

@@ -22,10 +22,15 @@
 //! justify should not exist.
 //!
 //! `[[source]]`, `[[sanitizer]]` and `[[sink]]` entries extend the
-//! built-in lattice of the `plaintext-escape` analysis (see
-//! [`crate::taint`]): `fn` is a `::`-separated path suffix matched
-//! against call sites and fn definitions; `note` records why the entry
-//! belongs in the lattice.
+//! built-in lattice of one flow analysis (see [`crate::taint`]): `fn`
+//! is a `::`-separated path suffix matched against call sites and fn
+//! definitions; `note` records why the entry belongs in the lattice;
+//! `rule` names the analysis the entry extends and defaults to
+//! `plaintext-escape`. The scoping matters: `integrity::unframe` is a
+//! sanitizer for `verify-before-decode` but must NOT cleanse the
+//! plaintext-escape state — `update_chunk_inner` unframes the current
+//! shard on its read side, and a global entry would mask a put path
+//! that skipped the decoy layer.
 
 /// One path-level exemption from `fraglint.toml`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +58,9 @@ pub enum TaintRole {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaintDecl {
     pub role: TaintRole,
+    /// Flow analysis the entry extends (`plaintext-escape` when the
+    /// entry does not say).
+    pub rule: String,
     /// `::`-separated fn path suffix, e.g. `mislead::inject`.
     pub fn_path: String,
     /// Why this entry is in the lattice (optional but encouraged).
@@ -84,11 +92,15 @@ impl Config {
         })
     }
 
-    /// Declared fn paths for one lattice role.
-    pub fn taint_paths(&self, role: TaintRole) -> impl Iterator<Item = &str> {
+    /// Declared fn paths for one lattice role of one flow analysis.
+    pub fn taint_paths<'a>(
+        &'a self,
+        role: TaintRole,
+        rule: &'a str,
+    ) -> impl Iterator<Item = &'a str> {
         self.taint
             .iter()
-            .filter(move |d| d.role == role)
+            .filter(move |d| d.role == role && d.rule == rule)
             .map(|d| d.fn_path.as_str())
     }
 }
@@ -102,6 +114,7 @@ enum Entry {
     },
     Taint {
         role: TaintRole,
+        rule: Option<String>,
         fn_path: Option<String>,
         note: Option<String>,
     },
@@ -152,6 +165,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
             (Entry::Exempt { rule, .. }, "rule") => rule,
             (Entry::Exempt { path, .. }, "path") => path,
             (Entry::Exempt { reason, .. }, "reason") => reason,
+            (Entry::Taint { rule, .. }, "rule") => rule,
             (Entry::Taint { fn_path, .. }, "fn") => fn_path,
             (Entry::Taint { note, .. }, "note") => note,
             _ => return Err(format!("line {}: unknown key {key:?}", lineno + 1)),
@@ -170,6 +184,7 @@ pub fn parse(text: &str) -> Result<Config, String> {
 fn taint_entry(role: TaintRole) -> Entry {
     Entry::Taint {
         role,
+        rule: None,
         fn_path: None,
         note: None,
     }
@@ -185,10 +200,12 @@ fn finish(entry: Entry, lineno: usize, cfg: &mut Config) -> Result<(), String> {
         }),
         Entry::Taint {
             role,
+            rule,
             fn_path,
             note,
         } => cfg.taint.push(TaintDecl {
             role,
+            rule: rule.unwrap_or_else(|| "plaintext-escape".to_string()),
             fn_path: fn_path
                 .ok_or_else(|| format!("entry ending at line {lineno}: missing `fn`"))?,
             note: note.unwrap_or_default(),
@@ -294,12 +311,42 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cfg.taint.len(), 3);
-        let sans: Vec<&str> = cfg.taint_paths(TaintRole::Sanitizer).collect();
+        let sans: Vec<&str> = cfg
+            .taint_paths(TaintRole::Sanitizer, "plaintext-escape")
+            .collect();
         assert_eq!(sans, vec!["crypto::ChaCha20::encrypt"]);
-        let sources: Vec<&str> = cfg.taint_paths(TaintRole::Source).collect();
+        let sources: Vec<&str> = cfg
+            .taint_paths(TaintRole::Source, "plaintext-escape")
+            .collect();
         assert_eq!(sources, vec!["ingest::slurp"]);
-        let sinks: Vec<&str> = cfg.taint_paths(TaintRole::Sink).collect();
+        let sinks: Vec<&str> = cfg.taint_paths(TaintRole::Sink, "plaintext-escape").collect();
         assert_eq!(sinks, vec!["uplink::post"]);
+    }
+
+    #[test]
+    fn rule_key_scopes_an_entry_to_one_analysis() {
+        let cfg = parse(
+            r#"
+            [[sanitizer]]
+            rule = "verify-before-decode"
+            fn = "integrity::unframe"
+            note = "checksum verify on the read path"
+
+            [[sanitizer]]
+            fn = "crypto::seal"
+            "#,
+        )
+        .unwrap();
+        let vbd: Vec<&str> = cfg
+            .taint_paths(TaintRole::Sanitizer, "verify-before-decode")
+            .collect();
+        assert_eq!(vbd, vec!["integrity::unframe"]);
+        // The unscoped entry stays with plaintext-escape, and the scoped
+        // one never leaks into it.
+        let pe: Vec<&str> = cfg
+            .taint_paths(TaintRole::Sanitizer, "plaintext-escape")
+            .collect();
+        assert_eq!(pe, vec!["crypto::seal"]);
     }
 
     #[test]
@@ -311,7 +358,7 @@ mod tests {
         assert!(parse("[[exempt]]\nrule = bare\n").is_err()); // unquoted value
         assert!(parse("[[exempt]]\nrule = \"a\"\nrule = \"b\"\n").is_err()); // dup key
         assert!(parse("[[sanitizer]]\nnote = \"n\"\n").is_err()); // missing fn
-        assert!(parse("[[source]]\nrule = \"r\"\n").is_err()); // wrong key for table
+        assert!(parse("[[source]]\npath = \"p\"\n").is_err()); // wrong key for table
     }
 
     #[test]

@@ -108,6 +108,15 @@ pub const RULES: &[Rule] = &[
                     half-done ops forward or back",
         applies_to_tests: false,
     },
+    Rule {
+        id: "verify-before-decode",
+        summary: "provider-read shard bytes reach the erasure decode with no integrity check",
+        invariant: "Byzantine containment: every fetched shard crosses the vid-seeded \
+                    checksum verify (integrity::unframe_expecting) before RsCodec \
+                    decode, so bit-rot, truncation and wrong-object reads surface \
+                    as typed ShardCorrupt erasures — never as silently wrong bytes",
+        applies_to_tests: false,
+    },
 ];
 
 /// Looks a rule up by id.
@@ -179,9 +188,10 @@ pub fn run_rule(rule_id: &str, tokens: &[Token], code: &[usize]) -> Vec<Hit> {
         "histogram-units" => histogram_units(tokens, code),
         "provider-boundary" => provider_boundary(tokens, code),
         "lock-order" => lock_order(tokens, code),
-        // plaintext-escape and journal-ordering are interprocedural; the
-        // engine runs them through `taint::analyze` over the whole
-        // workspace, not through the per-file matcher dispatch.
+        // plaintext-escape, journal-ordering and verify-before-decode
+        // are interprocedural; the engine runs them through
+        // `taint::analyze` over the whole workspace, not through the
+        // per-file matcher dispatch.
         _ => Vec::new(),
     }
 }

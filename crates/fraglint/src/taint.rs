@@ -1,6 +1,6 @@
 //! Interprocedural ordering/taint analyses over the call graph.
 //!
-//! One engine, three analyses. Each is a [`FlowSpec`]: a set of
+//! One engine, four analyses. Each is a [`FlowSpec`]: a set of
 //! **sources** (functions where the protected bytes enter), **sanitizers**
 //! (calls that render the bytes safe — `mislead::inject`,
 //! declared crypto entry points) and **sinks** (calls that hand bytes to
@@ -65,12 +65,13 @@ fn pats(paths: &[&str]) -> Vec<Vec<String>> {
     paths.iter().map(|p| callgraph::pattern(p)).collect()
 }
 
-/// Builds the three shipped analyses, extending `plaintext-escape`'s
-/// lattice with the `[[source]]`/`[[sanitizer]]`/`[[sink]]` entries from
-/// `fraglint.toml`.
+/// Builds the shipped analyses, extending each rule's lattice with the
+/// `[[source]]`/`[[sanitizer]]`/`[[sink]]` entries from `fraglint.toml`
+/// that name it (entries without a `rule` key extend
+/// `plaintext-escape`).
 pub fn specs(config: &Config) -> Vec<FlowSpec> {
-    let extend = |mut base: Vec<Vec<String>>, role: TaintRole| {
-        base.extend(config.taint_paths(role).map(callgraph::pattern));
+    let extend = |mut base: Vec<Vec<String>>, role: TaintRole, rule: &str| {
+        base.extend(config.taint_paths(role, rule).map(callgraph::pattern));
         base
     };
     vec![
@@ -88,6 +89,7 @@ pub fn specs(config: &Config) -> Vec<FlowSpec> {
                     "chunker::split_shared",
                 ]),
                 TaintRole::Source,
+                "plaintext-escape",
             ),
             source_markers: Vec::new(),
             // `mislead::inject` is the one built-in cleanser. Parity is
@@ -95,10 +97,15 @@ pub fn specs(config: &Config) -> Vec<FlowSpec> {
             // from already-injected bytes, so treating the encode as
             // cleansing would mask a put path that skipped the decoy
             // layer (the exact bug the mutation test plants).
-            sanitizers: extend(pats(&["mislead::inject"]), TaintRole::Sanitizer),
+            sanitizers: extend(
+                pats(&["mislead::inject"]),
+                TaintRole::Sanitizer,
+                "plaintext-escape",
+            ),
             sink_fns: extend(
                 pats(&["put_with_retry", "store_shard_resilient"]),
                 TaintRole::Sink,
+                "plaintext-escape",
             ),
             sink_methods: &["put", "store"],
             what: "plaintext may reach provider storage",
@@ -127,6 +134,29 @@ pub fn specs(config: &Config) -> Vec<FlowSpec> {
             what: "provider delete precedes the journal doom intent",
             fix: "record journal_doom before deleting provider objects, so a crash \
                   mid-removal rolls forward instead of leaking live chunks",
+        },
+        FlowSpec {
+            rule: "verify-before-decode",
+            // The two fns that hand shard sets to the erasure decode. A
+            // provider-read byte string is untrusted until it crosses the
+            // integrity check: a corrupted shard must surface as a typed
+            // `ShardCorrupt` erasure, never decode into plausible garbage.
+            sources: pats(&["reconstruct_stored", "repair_stripe"]),
+            source_markers: Vec::new(),
+            // `get_with_retry` sanitizes transitively: its body calls
+            // `integrity::unframe_expecting` on every fetched object, and
+            // the `sanitizes_through` fixpoint carries that through.
+            sanitizers: extend(
+                pats(&["integrity::unframe", "integrity::unframe_expecting"]),
+                TaintRole::Sanitizer,
+                "verify-before-decode",
+            ),
+            sink_fns: pats(&["decode_observed", "reconstruct_shard_observed", "stripe::decode"]),
+            sink_methods: &[],
+            what: "provider-read bytes may reach the stripe decode unverified",
+            fix: "route every fetched shard through integrity::unframe_expecting \
+                  (or a declared [[sanitizer]] scoped to this rule) before any \
+                  RsCodec decode, so corruption becomes a typed erasure",
         },
     ]
 }
@@ -560,6 +590,62 @@ mod tests {
             }",
         )]);
         assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn unverified_decode_is_flagged_and_verified_decode_is_clean() {
+        let bad = run(&[(
+            "crates/core/src/d.rs",
+            "impl D {
+                fn reconstruct_stored(&self, st: &Tables, idx: usize) -> Result<Vec<u8>> {
+                    let raw = st.store.get(vid);
+                    codec.decode_observed(&refs, want, &tel)
+                }
+            }",
+        )]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].0, "verify-before-decode");
+
+        let good = run(&[(
+            "crates/core/src/d.rs",
+            "impl D {
+                fn reconstruct_stored(&self, st: &Tables, idx: usize) -> Result<Vec<u8>> {
+                    let raw = st.store.get(vid);
+                    let (payload, framed) = integrity::unframe_expecting(vid, raw, want);
+                    codec.decode_observed(&refs, want, &tel)
+                }
+            }",
+        )]);
+        assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn verify_before_decode_sanitizes_through_the_fetch_helper() {
+        // The real read path verifies inside `get_with_retry`; the
+        // `sanitizes_through` fixpoint must carry that into the decode
+        // callers across files.
+        let hits = run(&[
+            (
+                "crates/core/src/a.rs",
+                "impl D {
+                    fn repair_stripe(&self, st: &Tables) -> Result<()> {
+                        let bytes = self.get_with_retry(st, pidx, vid, len);
+                        codec.reconstruct_shard_observed(&refs, slot, &tel)
+                    }
+                }",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "impl D {
+                    fn get_with_retry(&self, st: &Tables, p: usize, vid: VirtualId, len: usize) -> Result<Bytes> {
+                        let raw = st.providers[p].get(vid);
+                        integrity::unframe_expecting(vid, raw, len)
+                    }
+                }",
+            ),
+        ]);
+        let vbd: Vec<_> = hits.iter().filter(|h| h.0 == "verify-before-decode").collect();
+        assert!(vbd.is_empty(), "{vbd:?}");
     }
 
     #[test]

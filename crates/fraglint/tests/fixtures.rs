@@ -43,6 +43,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "journal_order_good.rs",
     ),
     ("lock-order", "lock_order_bad.rs", "lock_order_good.rs"),
+    (
+        "verify-before-decode",
+        "verify_decode_bad.rs",
+        "verify_decode_good.rs",
+    ),
 ];
 
 fn tree_root() -> std::path::PathBuf {

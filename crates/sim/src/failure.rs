@@ -7,6 +7,7 @@
 //! file's stripes remain decodable.
 
 use crate::provider::CloudProvider;
+use crate::store::StoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -22,7 +23,11 @@ use std::sync::Arc;
 /// # use std::sync::Arc;
 /// # let fleet: Vec<Arc<CloudProvider>> = (0..3).map(|i| Arc::new(CloudProvider::new(
 /// #     ProviderProfile::new(format!("cp{i}"), PrivacyLevel::High, CostLevel::new(1))))).collect();
-/// OutageScript::new().kill_after(0, 2).kill_after(2, 5).arm(&fleet);
+/// OutageScript::new()
+///     .kill_after(0, 2)
+///     .kill_after(2, 5)
+///     .try_arm(&fleet)
+///     .expect("provider indices are in range");
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct OutageScript {
@@ -47,14 +52,33 @@ impl OutageScript {
         &self.events
     }
 
-    /// Arms every event against a live fleet.
+    /// Arms every event against a live fleet, validating every provider
+    /// index first — nothing is armed if any event names a provider the
+    /// fleet does not have.
+    pub fn try_arm(&self, fleet: &[Arc<CloudProvider>]) -> Result<(), StoreError> {
+        for &(idx, _) in &self.events {
+            if idx >= fleet.len() {
+                return Err(StoreError::UnknownProvider {
+                    index: idx,
+                    fleet: fleet.len(),
+                });
+            }
+        }
+        for &(idx, ops) in &self.events {
+            fleet[idx].fail_after_ops(ops);
+        }
+        Ok(())
+    }
+
+    /// [`try_arm`](Self::try_arm) for test scripts that know the indices
+    /// are valid.
     ///
     /// # Panics
     /// Panics when an event's provider index is out of range.
     pub fn arm(&self, fleet: &[Arc<CloudProvider>]) {
-        for &(idx, ops) in &self.events {
-            fleet[idx].fail_after_ops(ops);
-        }
+        self.try_arm(fleet)
+            // fraglint: allow(no-unwrap-in-lib) — documented panicking convenience form; try_arm is the fallible variant.
+            .expect("outage script provider index out of range for this fleet");
     }
 }
 
@@ -223,11 +247,41 @@ mod tests {
             .unwrap();
         let script = OutageScript::new().kill_after(0, 1);
         assert_eq!(script.events(), &[(0, 1)]);
-        script.arm(&fleet);
+        script.try_arm(&fleet).expect("index 0 is in range");
         assert!(fleet[0].get(VirtualId(1)).is_ok());
         assert!(fleet[0].get(VirtualId(1)).is_err());
         assert!(!fleet[0].is_online());
         assert!(fleet[1].is_online());
+    }
+
+    #[test]
+    fn try_arm_rejects_bad_index_without_arming() {
+        use crate::{CloudProvider, ProviderProfile};
+        use crate::types::{CostLevel, PrivacyLevel};
+        let fleet: Vec<Arc<CloudProvider>> = (0..2)
+            .map(|i| {
+                Arc::new(CloudProvider::new(ProviderProfile::new(
+                    format!("cp{i}"),
+                    PrivacyLevel::High,
+                    CostLevel::new(1),
+                )))
+            })
+            .collect();
+        // Valid event listed before the invalid one: neither may arm.
+        let script = OutageScript::new().kill_after(0, 0).kill_after(7, 3);
+        assert_eq!(
+            script.try_arm(&fleet).unwrap_err(),
+            StoreError::UnknownProvider { index: 7, fleet: 2 }
+        );
+        assert!(fleet[0].is_online());
+        assert!(fleet[1].is_online());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arm_panics_on_bad_index() {
+        let fleet: Vec<Arc<CloudProvider>> = Vec::new();
+        OutageScript::new().kill_after(0, 1).arm(&fleet);
     }
 
     #[test]

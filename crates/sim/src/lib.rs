@@ -17,6 +17,9 @@
 //!   distribution/retrieval times without wall-clock noise;
 //! - [`failure`] — outage schedules and Monte-Carlo availability sampling
 //!   (the EC2-outage motivation from §I);
+//! - [`fault`] — Byzantine/gray-failure injection: seeded per-provider
+//!   corruption (bit-flip, truncation, stale replay, wrong-object swap)
+//!   and degraded-latency "limping" links;
 //! - [`reputation`] — earned reliability scores behind the paper's
 //!   "reliability … defined in terms of its reputation" levels;
 //! - [`observer`] — the honest-but-curious observer: records everything a
@@ -25,6 +28,7 @@
 
 pub mod crash;
 pub mod failure;
+pub mod fault;
 pub mod net;
 pub mod observer;
 pub mod provider;
@@ -32,7 +36,9 @@ pub mod reputation;
 pub mod store;
 pub mod types;
 
+pub use bytes::Bytes;
 pub use crash::CrashPlan;
+pub use fault::{FaultMode, FaultPlan};
 pub use provider::{CloudProvider, ProviderProfile};
 pub use store::{MemoryStore, ObjectStore, StoreError};
 pub use types::{CostLevel, PrivacyLevel, VirtualId};

@@ -1,6 +1,7 @@
 //! A simulated cloud provider: profile + object store + failure switch +
 //! curious observer + op accounting.
 
+use crate::fault::{FaultMode, FaultState};
 use crate::net::LatencyModel;
 use crate::observer::Observer;
 use crate::store::{MemoryStore, ObjectStore, StoreError};
@@ -75,6 +76,12 @@ pub struct CloudProvider {
     /// Scripted mid-stream death: number of further operations this
     /// provider will serve before going offline (`-1` = no script).
     fail_after: AtomicI64,
+    /// Byzantine corruption script installed by a
+    /// [`FaultPlan`](crate::fault::FaultPlan); `None` = honest provider.
+    fault: Mutex<Option<FaultState>>,
+    /// Degraded-link multiplier on every transfer time, stored as `f64`
+    /// bits (1.0 = healthy link).
+    limp: AtomicU64,
     /// Runtime telemetry sink; disabled (no-op) by default.
     telemetry: RwLock<TelemetryHandle>,
 }
@@ -91,6 +98,8 @@ impl CloudProvider {
             op_seq: AtomicU64::new(0),
             flakiness: Mutex::new(None),
             fail_after: AtomicI64::new(-1),
+            fault: Mutex::new(None),
+            limp: AtomicU64::new(1.0f64.to_bits()),
             telemetry: RwLock::new(TelemetryHandle::disabled()),
         }
     }
@@ -144,6 +153,40 @@ impl CloudProvider {
             .expect("failure probability out of range");
     }
 
+    /// Installs a Byzantine corruption script — reads are corrupted in
+    /// `mode` with probability `rate` (hash-gated per object, see
+    /// [`crate::fault`]). Callers arm through
+    /// [`FaultPlan::try_arm`](crate::fault::FaultPlan::try_arm), which
+    /// validates `rate` first.
+    pub(crate) fn install_fault(&self, mode: FaultMode, rate: f64, seed: u64) {
+        *self.fault.lock() = Some(FaultState::new(mode, rate, seed));
+    }
+
+    /// Restores honesty: pending stale snapshots are dropped, but at-rest
+    /// damage (persisted bit-flips / truncations) stays in the store —
+    /// clearing the *injector* does not heal the *data*.
+    pub fn clear_fault(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Corrupted serves injected by the current fault script (0 when no
+    /// script is installed, or since the last install).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.lock().as_ref().map_or(0, |s| s.injected())
+    }
+
+    /// Sets the degraded-link multiplier (validated ≥ 1.0 and finite by
+    /// [`FaultPlan::try_arm`](crate::fault::FaultPlan::try_arm); 1.0
+    /// restores the healthy link).
+    pub(crate) fn set_limp_factor(&self, factor: f64) {
+        self.limp.store(factor.to_bits(), Ordering::Release);
+    }
+
+    /// Current degraded-link multiplier (1.0 = healthy).
+    pub fn limp_factor(&self) -> f64 {
+        f64::from_bits(self.limp.load(Ordering::Acquire))
+    }
+
     /// The provider's static profile.
     pub fn profile(&self) -> &ProviderProfile {
         &self.profile
@@ -194,10 +237,15 @@ impl CloudProvider {
         gb * self.profile.cost_level.dollars_per_gb_month()
     }
 
-    /// Simulated network time for an operation of `size` bytes.
+    /// Simulated network time for an operation of `size` bytes (scaled by
+    /// any armed limp factor).
     pub fn simulate_transfer(&self, size: usize) -> Duration {
         let seq = self.op_seq.fetch_add(1, Ordering::Relaxed);
-        let d = self.profile.latency.transfer_time(size, seq);
+        let d = self
+            .profile
+            .latency
+            .transfer_time(size, seq)
+            .mul_f64(self.limp_factor());
         let tel = self.telemetry.read();
         if tel.is_enabled() {
             tel.observe_labeled("provider_op_us", &self.profile.name, d.as_micros() as u64);
@@ -207,10 +255,15 @@ impl CloudProvider {
 
     /// Predicted transfer time for `size` bytes **without** consuming an
     /// operation slot — what a hedging read path consults before deciding
-    /// whether racing the parity reconstruction is worthwhile.
+    /// whether racing the parity reconstruction is worthwhile. Sees the
+    /// same limp factor real transfers pay, so hedging reacts to limping
+    /// links.
     pub fn estimate_transfer(&self, size: usize) -> Duration {
         let seq = self.op_seq.load(Ordering::Relaxed);
-        self.profile.latency.transfer_time(size, seq)
+        self.profile
+            .latency
+            .transfer_time(size, seq)
+            .mul_f64(self.limp_factor())
     }
 
     fn check_online(&self) -> Result<(), StoreError> {
@@ -259,6 +312,11 @@ impl CloudProvider {
 impl ObjectStore for CloudProvider {
     fn put(&self, key: VirtualId, value: Bytes) -> Result<(), StoreError> {
         self.check_online()?;
+        // A stale-replay fault stashes the first acked version before the
+        // overwrite lands, so it has something genuinely old to serve.
+        if let Some(state) = self.fault.lock().as_mut() {
+            state.on_put(&self.store, key);
+        }
         self.record_op("provider_puts");
         self.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -270,7 +328,17 @@ impl ObjectStore for CloudProvider {
 
     fn get(&self, key: VirtualId) -> Result<Bytes, StoreError> {
         self.check_online()?;
-        let v = self.store.get(key)?;
+        let mut v = self.store.get(key)?;
+        if let Some(state) = self.fault.lock().as_mut() {
+            let before = state.injected();
+            v = state.on_get(&self.store, key, v);
+            if state.injected() > before {
+                let tel = self.telemetry.read();
+                if tel.is_enabled() {
+                    tel.add_labeled("provider_faults_injected", &self.profile.name, 1);
+                }
+            }
+        }
         self.record_op("provider_gets");
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         self.stats

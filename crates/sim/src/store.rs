@@ -21,6 +21,14 @@ pub enum StoreError {
     /// A fault-injection probability was outside `[0, 1]` (or not a
     /// number at all).
     InvalidProbability,
+    /// A fault or outage script referenced a provider index outside the
+    /// fleet it was armed against.
+    UnknownProvider {
+        /// The out-of-range provider index.
+        index: usize,
+        /// Size of the fleet the script was armed against.
+        fleet: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -32,6 +40,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::InvalidProbability => {
                 write!(f, "failure probability out of range (want [0, 1])")
+            }
+            StoreError::UnknownProvider { index, fleet } => {
+                write!(f, "provider index {index} out of range for fleet of {fleet}")
             }
         }
     }

@@ -149,8 +149,12 @@ fn bytes_conserved_across_providers() {
         .unwrap()
         .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
         .unwrap();
+    // Providers see the integrity frame on every object; the receipt
+    // counts payload bytes only.
+    let objects: u64 = d.providers().iter().map(|p| p.chunk_count() as u64).sum();
+    let overhead = objects * fragcloud::core::integrity::FRAME_OVERHEAD as u64;
     let stored: u64 = d.providers().iter().map(|p| p.bytes_stored()).sum();
-    assert_eq!(stored, receipt.bytes_stored as u64);
+    assert_eq!(stored, receipt.bytes_stored as u64 + overhead);
     // Data bytes (excluding parity) equal the file size: client accounting.
     let client_bytes: u64 = d.client_bytes_per_provider("c").unwrap().iter().sum();
     assert_eq!(client_bytes, data.len() as u64);

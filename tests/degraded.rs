@@ -62,7 +62,10 @@ fn raid5_read_survives_one_mid_stream_death() {
 
     // The busiest provider serves two more ops, then dies mid-read.
     let victims = top_holders(&d, 1);
-    OutageScript::new().kill_after(victims[0], 2).arm(&fleet);
+    OutageScript::new()
+        .kill_after(victims[0], 2)
+        .try_arm(&fleet)
+        .expect("victim index is in range");
 
     let got = session.get_file("f").unwrap();
     assert_eq!(got.data, data);
@@ -87,7 +90,8 @@ fn raid6_read_survives_two_mid_stream_deaths() {
     OutageScript::new()
         .kill_after(victims[0], 1)
         .kill_after(victims[1], 3)
-        .arm(&fleet);
+        .try_arm(&fleet)
+        .expect("victim indices are in range");
 
     let got = session.get_file("f").unwrap();
     assert_eq!(got.data, data);

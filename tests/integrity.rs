@@ -1,0 +1,311 @@
+//! Integration tests: end-to-end shard integrity, read-repair, and the
+//! provider circuit breaker.
+//!
+//! Every stored shard carries a checksum frame stamped at `put` and
+//! verified on every read (see `fragcloud::core::integrity`). These tests
+//! corrupt objects at rest (directly in the provider stores) and in
+//! flight (via `FaultPlan`) and assert the system's robustness contract:
+//! a `get_file` either returns byte-identical plaintext or a typed error
+//! — never silently wrong bytes.
+
+use fragcloud::core::config::{ChunkSizeSchedule, DistributorConfig, Geometry, GeometrySchedule};
+use fragcloud::core::{integrity, BreakerState, CloudDataDistributor, CoreError, PutOptions};
+use fragcloud::sim::{
+    Bytes, CloudProvider, CostLevel, FaultMode, FaultPlan, ObjectStore, PrivacyLevel,
+    ProviderProfile,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn fleet(n: usize) -> Vec<Arc<CloudProvider>> {
+    (0..n)
+        .map(|i| {
+            Arc::new(CloudProvider::new(ProviderProfile::new(
+                format!("cp{i}"),
+                PrivacyLevel::High,
+                CostLevel::new((i % 4) as u8),
+            )))
+        })
+        .collect()
+}
+
+fn distributor_with(fleet: Vec<Arc<CloudProvider>>, k: usize, m: usize) -> CloudDataDistributor {
+    CloudDataDistributor::new(
+        fleet,
+        DistributorConfig {
+            chunk_sizes: ChunkSizeSchedule::uniform(1 << 10),
+            stripe_width: k,
+            geometry: Some(GeometrySchedule::uniform(Geometry::new(k, m))),
+            ..Default::default()
+        },
+    )
+}
+
+fn body(seed: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 31 + seed * 131) % 256) as u8)
+        .collect()
+}
+
+/// Corrupts every object currently stored on `p` in the given `mode`
+/// (0 = bit-flip, 1 = truncate-one-byte, 2 = swap-with-reversed-self).
+/// All three keep the frame magic intact, so the damage must be caught by
+/// the checksum, not by framing heuristics.
+fn corrupt_all_objects(p: &CloudProvider, mode: usize) -> usize {
+    let mut corrupted = 0;
+    for vid in p.virtual_id_list() {
+        let mut raw = p.get(vid).expect("object readable").to_vec();
+        match mode {
+            0 => {
+                let last = raw.len() - 1;
+                raw[last] ^= 0x01;
+            }
+            1 => {
+                raw.pop();
+            }
+            _ => {
+                // Reverse the payload in place: same length, same frame
+                // header, wrong bytes — models a mis-directed write.
+                let start = integrity::FRAME_OVERHEAD.min(raw.len());
+                raw[start..].reverse();
+            }
+        }
+        p.put(vid, Bytes::from(raw)).expect("overwrite accepted");
+        corrupted += 1;
+    }
+    corrupted
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary RS(k, m) geometry, one provider wholly corrupted at rest:
+    /// `get_file` still returns byte-identical plaintext, the corruption is
+    /// detected (typed, counted), and read-repair re-uploads the healed
+    /// shard so a second read is already clean.
+    #[test]
+    fn single_provider_corruption_heals_byte_identical(
+        k in 2usize..5,
+        m in 1usize..3,
+        victim_sel in 0usize..64,
+        mode in 0usize..3,
+        len in 1_000usize..20_000,
+    ) {
+        let fleet = fleet(k + m + 1);
+        let d = distributor_with(fleet, k, m);
+        d.register_client("c").unwrap();
+        d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+        let session = d.session("c", "pw").unwrap();
+        let data = body(k * 1000 + m * 100 + mode, len);
+        session
+            .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
+            .unwrap();
+
+        // Pick a victim that actually holds client data (not just parity),
+        // so the read path is guaranteed to touch a corrupt object.
+        let bytes_per = d.client_bytes_per_provider("c").unwrap();
+        let holders: Vec<usize> = bytes_per
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b > 0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(!holders.is_empty());
+        let victim = holders[victim_sel % holders.len()];
+
+        let tel = d.enable_telemetry();
+        let corrupted = corrupt_all_objects(&d.providers()[victim], mode);
+        prop_assert!(corrupted > 0);
+
+        let got = session.get_file("f").unwrap();
+        prop_assert_eq!(&got.data, &data, "healed read must be byte-identical");
+
+        let reg = tel.registry().unwrap();
+        prop_assert!(reg.counter_total("corruption_detected_total") >= 1);
+        prop_assert!(reg.counter_total("read_repair_total") >= 1);
+
+        // Read-repair re-uploaded the healed data shards: a second read of
+        // the data path needs no reconstruction at all.
+        let again = session.get_file("f").unwrap();
+        prop_assert_eq!(&again.data, &data);
+        prop_assert_eq!(again.reconstructed_chunks, 0);
+    }
+
+    /// Corruption beyond the parity budget (m+1 providers) surfaces as a
+    /// typed error — never as silently wrong bytes.
+    #[test]
+    fn corruption_beyond_parity_is_typed_never_wrong_bytes(
+        k in 2usize..5,
+        m in 1usize..3,
+        len in 1_000usize..20_000,
+    ) {
+        // Exactly k+m providers: every stripe touches all of them, so
+        // corrupting m+1 providers kills m+1 shards per stripe.
+        let fleet = fleet(k + m);
+        let d = distributor_with(fleet, k, m);
+        d.register_client("c").unwrap();
+        d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+        let session = d.session("c", "pw").unwrap();
+        let data = body(k + 10 * m, len);
+        session
+            .put_file("f", &data, PrivacyLevel::Low, PutOptions::new())
+            .unwrap();
+        for idx in 0..=m {
+            corrupt_all_objects(&d.providers()[idx], idx % 3);
+        }
+        match session.get_file("f") {
+            // A success is only acceptable if the bytes are right (cannot
+            // happen with m+1 erasures, but the contract is the point).
+            Ok(r) => prop_assert_eq!(&r.data, &data),
+            Err(
+                CoreError::Raid(_)
+                | CoreError::ShardCorrupt { .. }
+                | CoreError::RetriesExhausted { .. }
+                | CoreError::Store(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+}
+
+/// Regression: objects written by the pre-framing distributor (raw
+/// payloads, no checksum frame) still round-trip through the verifying
+/// read path, counted under `unframed_reads_total` and never flagged as
+/// corrupt by `scrub_verify`.
+#[test]
+fn legacy_unframed_objects_still_round_trip() {
+    let d = distributor_with(fleet(6), 4, 1);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let session = d.session("c", "pw").unwrap();
+    let data = body(42, 32 << 10);
+    session
+        .put_file("doc", &data, PrivacyLevel::Low, PutOptions::new())
+        .unwrap();
+
+    // Strip the integrity frame from every stored object, simulating a
+    // fleet populated before framing existed.
+    let mut stripped = 0;
+    for p in d.providers() {
+        for vid in p.virtual_id_list() {
+            let raw = p.get(vid).expect("object readable");
+            let (payload, framed) = integrity::unframe(vid, raw).expect("fresh frame verifies");
+            assert!(framed, "freshly written objects must be framed");
+            p.put(vid, payload).expect("overwrite accepted");
+            stripped += 1;
+        }
+    }
+    assert!(stripped > 0);
+
+    let tel = d.enable_telemetry();
+    let got = session.get_file("doc").unwrap();
+    assert_eq!(got.data, data);
+    assert_eq!(got.reconstructed_chunks, 0, "legacy objects are not erasures");
+    let reg = tel.registry().unwrap();
+    assert!(reg.counter_total("unframed_reads_total") > 0);
+    assert_eq!(reg.counter_total("corruption_detected_total"), 0);
+
+    // Integrity scrub treats unframed objects as legacy, not as rot.
+    let report = d.scrub_verify();
+    assert_eq!(report.corrupt_shards, 0);
+    assert!(report.is_healthy());
+}
+
+/// A provider serving corrupt bytes on every read trips its circuit
+/// breaker: reads keep succeeding (reconstruction), the breaker opens,
+/// and new writes route around the quarantined provider.
+#[test]
+fn byzantine_provider_trips_breaker_and_is_quarantined() {
+    let fleet = fleet(8);
+    let d = distributor_with(fleet.clone(), 4, 1);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let session = d.session("c", "pw").unwrap();
+    let data = body(9, 24 << 10);
+    session
+        .put_file("hot", &data, PrivacyLevel::Low, PutOptions::new())
+        .unwrap();
+
+    // Find a provider holding client data and turn it Byzantine: every
+    // read it serves is bit-flipped from here on.
+    let bytes_per = d.client_bytes_per_provider("c").unwrap();
+    let victim = bytes_per
+        .iter()
+        .position(|b| *b > 0)
+        .expect("some provider holds data");
+    let tel = d.enable_telemetry();
+    FaultPlan::new(0xB12A)
+        .corrupt(victim, FaultMode::BitFlip, 1.0)
+        .try_arm(&fleet)
+        .expect("victim index is in range");
+
+    for _ in 0..4 {
+        let got = session.get_file("hot").unwrap();
+        assert_eq!(got.data, data, "reads stay byte-identical under corruption");
+    }
+    assert_eq!(d.breaker_state(victim), BreakerState::Open);
+    let reg = tel.registry().unwrap();
+    assert!(reg.counter_value("breaker_transitions_total", "open") >= 1);
+    assert!(reg.counter_total("corruption_detected_total") >= 1);
+
+    // New writes avoid the quarantined provider entirely.
+    let before = d.providers()[victim].chunk_count();
+    session
+        .put_file("new", &body(10, 8 << 10), PrivacyLevel::Low, PutOptions::new())
+        .unwrap();
+    assert_eq!(
+        d.providers()[victim].chunk_count(),
+        before,
+        "open breaker sheds placements"
+    );
+    assert!(reg.counter_total("breaker_shed_total") >= 1);
+    assert_eq!(session.get_file("new").unwrap().data, body(10, 8 << 10));
+}
+
+/// Bit-rot at rest is invisible to the existence-only scrub but caught by
+/// `scrub_verify`, and `try_repair_verify` heals it in place.
+#[test]
+fn scrub_verify_catches_bit_rot_and_repair_heals_it() {
+    let d = distributor_with(fleet(6), 4, 1);
+    d.register_client("c").unwrap();
+    d.add_password("c", "pw", PrivacyLevel::High).unwrap();
+    let session = d.session("c", "pw").unwrap();
+    let data = body(5, 16 << 10);
+    session
+        .put_file("cold", &data, PrivacyLevel::Low, PutOptions::new())
+        .unwrap();
+
+    // Rot one byte of one object, somewhere in the payload.
+    let providers = d.providers();
+    let p = providers
+        .iter()
+        .find(|p| p.chunk_count() > 0)
+        .expect("fleet holds objects");
+    let vid = p.virtual_id_list()[0];
+    let mut raw = p.get(vid).unwrap().to_vec();
+    let last = raw.len() - 1;
+    raw[last] ^= 0x80;
+    p.put(vid, Bytes::from(raw)).unwrap();
+
+    let tel = d.enable_telemetry();
+    // The existence-only scrub sees nothing wrong…
+    let shallow = d.scrub();
+    assert_eq!(shallow.corrupt_shards, 0);
+    assert!(shallow.is_healthy());
+    // …the verifying scrub does.
+    let deep = d.scrub_verify();
+    assert_eq!(deep.corrupt_shards, 1);
+    assert!(!deep.is_healthy());
+    let reg = tel.registry().unwrap();
+    assert_eq!(reg.counter_total("scrub_corrupt_shards"), 1);
+    assert!(reg.counter_total("corruption_detected_total") >= 1);
+
+    // Repair with verification rebuilds the rotted shard from parity.
+    let report = d.try_repair_verify().unwrap();
+    assert!(report.is_complete());
+    assert!(report.shards_rebuilt >= 1);
+    let after = d.scrub_verify();
+    assert_eq!(after.corrupt_shards, 0);
+    assert!(after.is_healthy());
+    assert_eq!(session.get_file("cold").unwrap().data, data);
+}

@@ -117,7 +117,10 @@ fn mid_read_provider_death_shows_up_in_counters() {
 
     // The busiest provider dies two ops into the read (§I's EC2 story).
     let victims = top_holders(&d, 1);
-    OutageScript::new().kill_after(victims[0], 2).arm(&fleet);
+    OutageScript::new()
+        .kill_after(victims[0], 2)
+        .try_arm(&fleet)
+        .expect("victim index is in range");
 
     let r = session.get_file("f").unwrap();
     assert_eq!(r.data, data);
